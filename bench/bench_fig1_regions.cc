@@ -1,0 +1,76 @@
+// FIG-1: the paper's §2 Figure 1 — 2-D regions finitely represented by
+// dense-order generalized tuples, and the compact "four constants plus a
+// shape flag" encoding. Measures representation size and construction cost
+// as the region grows: both must scale linearly in the number of steps.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workloads.h"
+#include "dodb/dodb.h"
+
+namespace dodb {
+namespace {
+
+void BM_StaircaseConstruction(benchmark::State& state) {
+  int steps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    GeneralizedRelation stairs =
+        spatial::CornerStaircase(steps, Rational(0));
+    benchmark::DoNotOptimize(stairs);
+  }
+  GeneralizedRelation stairs = spatial::CornerStaircase(steps, Rational(0));
+  state.counters["tuples"] = static_cast<double>(stairs.tuple_count());
+  state.counters["atoms"] = static_cast<double>(stairs.atom_count());
+  state.counters["bytes"] =
+      static_cast<double>(StandardEncoding::EncodedSizeBytes(stairs));
+  // The paper's observation: each rectangle needs only 4 constants + flag.
+  state.counters["corner_bytes"] = static_cast<double>(steps) * (4 * 5 + 1);
+  state.SetComplexityN(steps);
+}
+BENCHMARK(BM_StaircaseConstruction)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity(benchmark::oN);
+
+void BM_RandomRectangleUnion(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    GeneralizedRelation region = bench::RandomRectangles(n, 4 * n, 42);
+    benchmark::DoNotOptimize(region);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RandomRectangleUnion)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity();
+
+void BM_RegionMembershipProbe(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  GeneralizedRelation region = bench::RandomRectangles(n, 4 * n, 7);
+  std::vector<Rational> probe = {Rational(2 * n), Rational(2 * n)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(region.Contains(probe));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RegionMembershipProbe)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity(benchmark::oN);
+
+void BM_RegionIntersectionTest(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  GeneralizedRelation a = bench::RandomRectangles(n, 4 * n, 1);
+  GeneralizedRelation b = bench::RandomRectangles(n, 4 * n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spatial::Intersects(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RegionIntersectionTest)->RangeMultiplier(2)->Range(4, 64);
+
+}  // namespace
+}  // namespace dodb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+// THM-4.1: data complexity of first-order queries. The theory: FO has AC0
+// data complexity over dense-order inputs, FO+ is in NC (AC0 over
+// integer-only inputs). Sequentially that predicts low-degree polynomial
+// growth with a fixed exponent per query — the shape measured here for a
+// fixed query suite as the database size n sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workloads.h"
+#include "dodb/dodb.h"
+
+namespace dodb {
+namespace {
+
+Database IntervalDb(int n) {
+  Database db;
+  db.SetRelation("s", bench::RandomIntervals(n, 4 * n, 2024));
+  db.SetRelation("t", bench::RandomIntervals(n, 4 * n, 2025));
+  return db;
+}
+
+void RunFoQuery(benchmark::State& state, const char* text) {
+  int n = static_cast<int>(state.range(0));
+  Database db = IntervalDb(n);
+  Query query = FoParser::ParseQuery(text).value();
+  uint64_t answer_tuples = 0;
+  for (auto _ : state) {
+    FoEvaluator evaluator(&db);
+    Result<GeneralizedRelation> out = evaluator.Evaluate(query);
+    benchmark::DoNotOptimize(out);
+    answer_tuples = out.value().tuple_count();
+  }
+  state.counters["answer_tuples"] = static_cast<double>(answer_tuples);
+  state.SetComplexityN(n);
+}
+
+void BM_FoSelection(benchmark::State& state) {
+  RunFoQuery(state, "{ (x) | s(x) and x > 10 }");
+}
+BENCHMARK(BM_FoSelection)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity();
+
+void BM_FoIntersection(benchmark::State& state) {
+  RunFoQuery(state, "{ (x) | s(x) and t(x) }");
+}
+BENCHMARK(BM_FoIntersection)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity();
+
+void BM_FoExistentialJoin(benchmark::State& state) {
+  // Pairs of s/t points in order: a 2-D answer built by join + constraint.
+  RunFoQuery(state, "{ (x, y) | s(x) and t(y) and x < y }");
+}
+BENCHMARK(BM_FoExistentialJoin)
+    ->RangeMultiplier(2)
+    ->Range(8, 32)
+    ->Complexity();
+
+void BM_FoNegation(benchmark::State& state) {
+  // Complement of a union of n intervals: the expensive FO operation.
+  RunFoQuery(state, "{ (x) | not s(x) }");
+}
+BENCHMARK(BM_FoNegation)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity();
+
+// Ablation (DESIGN.md): the two complement strategies on a 1-D union of n
+// intervals. The cell route is linear in the scale; the incremental DNF is
+// cubic here — which is why Complement() dispatches on arity.
+void BM_ComplementViaCells(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  GeneralizedRelation rel = bench::RandomIntervals(n, 4 * n, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algebra::ComplementViaCells(rel));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ComplementViaCells)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity();
+
+void BM_ComplementViaDnf(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  GeneralizedRelation rel = bench::RandomIntervals(n, 4 * n, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algebra::ComplementViaDnf(rel));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ComplementViaDnf)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity();
+
+void BM_FoQuantifierAlternation(benchmark::State& state) {
+  // "x is below every t-point above all s-points" — two alternations.
+  RunFoQuery(state,
+             "{ (x) | forall y (forall z (s(z) -> z < y) and t(y) -> x < y) }");
+}
+BENCHMARK(BM_FoQuantifierAlternation)
+    ->RangeMultiplier(2)
+    ->Range(8, 32)
+    ->Complexity();
+
+// Ablation: rewriter (NNF + flattening + conjunct reordering) on a
+// negation-heavy query. NNF turns "not (s and t)" complements of computed
+// intermediates into complements of base relations.
+void BM_RewriterAblation(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  bool optimize = state.range(1) != 0;
+  Database db = IntervalDb(n);
+  Query query = FoParser::ParseQuery(
+      "{ (x) | not (not s(x) or (s(x) and t(x))) }").value();
+  EvalOptions options;
+  options.optimize = optimize;
+  for (auto _ : state) {
+    FoEvaluator evaluator(&db, options);
+    benchmark::DoNotOptimize(evaluator.Evaluate(query));
+  }
+}
+BENCHMARK(BM_RewriterAblation)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+void RunLinearQuery(benchmark::State& state, const char* text) {
+  int n = static_cast<int>(state.range(0));
+  Database db = IntervalDb(n);
+  Query query = FoParser::ParseQuery(text).value();
+  for (auto _ : state) {
+    LinearFoEvaluator evaluator(&db);
+    Result<LinearRelation> out = evaluator.Evaluate(query);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_FoPlusMidpoint(benchmark::State& state) {
+  // FO+ (addition): midpoints of s/t pairs — not expressible without +.
+  RunLinearQuery(state,
+                 "{ (m) | exists x, y (s(x) and t(y) and m + m = x + y) }");
+}
+BENCHMARK(BM_FoPlusMidpoint)
+    ->RangeMultiplier(2)
+    ->Range(4, 32)
+    ->Complexity();
+
+void BM_FoPlusSelection(benchmark::State& state) {
+  RunLinearQuery(state, "{ (x) | s(x) and 2*x < 30 }");
+}
+BENCHMARK(BM_FoPlusSelection)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity();
+
+}  // namespace
+}  // namespace dodb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// QE-1: quantifier-elimination engine costs — dense-order elimination
+// (order-graph closure + bound pairing) vs Fourier-Motzkin over linear
+// constraints, on random conjunctions. Dense-order QE is polynomial per
+// variable; iterated FM can square the atom count per eliminated variable.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "dodb/dodb.h"
+
+namespace dodb {
+namespace {
+
+GeneralizedTuple RandomDenseTuple(int vars, int atoms, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const RelOp kOps[] = {RelOp::kLt, RelOp::kLe, RelOp::kGe, RelOp::kGt};
+  GeneralizedTuple tuple(vars);
+  // Mostly order atoms; occasional inequations (each != on the eliminated
+  // variable multiplies the elimination case splits, so their frequency is
+  // kept low to measure the typical, not the adversarial, cost).
+  for (int i = 0; i < atoms; ++i) {
+    Term lhs = Term::Var(static_cast<int>(rng() % vars));
+    Term rhs = (rng() % 4 == 0)
+                   ? Term::Const(Rational(static_cast<int64_t>(rng() % 10)))
+                   : Term::Var(static_cast<int>(rng() % vars));
+    RelOp op = (rng() % 8 == 0) ? RelOp::kNeq : kOps[rng() % 4];
+    tuple.AddAtom(DenseAtom(lhs, op, rhs));
+  }
+  return tuple;
+}
+
+LinearSystem RandomLinearSystem(int vars, int atoms, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  LinearSystem system(vars);
+  for (int i = 0; i < atoms; ++i) {
+    LinearExpr e = LinearExpr::Const(
+        Rational(static_cast<int64_t>(rng() % 9) - 4));
+    for (int v = 0; v < vars; ++v) {
+      int64_t coeff = static_cast<int64_t>(rng() % 5) - 2;
+      if (coeff != 0) {
+        e = e.Plus(LinearExpr::Var(v).ScaledBy(Rational(coeff)));
+      }
+    }
+    system.AddAtom(
+        LinearAtom(e, rng() % 2 == 0 ? LinOp::kLt : LinOp::kLe));
+  }
+  return system;
+}
+
+void BM_DenseSatisfiability(benchmark::State& state) {
+  int vars = static_cast<int>(state.range(0));
+  int atoms = 3 * vars;
+  std::vector<GeneralizedTuple> tuples;
+  for (uint64_t s = 0; s < 32; ++s) {
+    tuples.push_back(RandomDenseTuple(vars, atoms, s));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    // Fresh network each time: the tuple-level closure cache would
+    // otherwise make every iteration after the first free.
+    OrderGraph graph = tuples[i % tuples.size()].BuildGraph();
+    benchmark::DoNotOptimize(graph.IsSatisfiable());
+    ++i;
+  }
+  state.SetComplexityN(vars);
+}
+BENCHMARK(BM_DenseSatisfiability)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity();
+
+void BM_DenseElimination(benchmark::State& state) {
+  int vars = static_cast<int>(state.range(0));
+  int atoms = 3 * vars;
+  std::vector<GeneralizedTuple> tuples;
+  for (uint64_t s = 0; s < 32; ++s) {
+    tuples.push_back(RandomDenseTuple(vars, atoms, s + 100));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const GeneralizedTuple& tuple = tuples[i % tuples.size()];
+    benchmark::DoNotOptimize(EliminateVariable(tuple, 0));
+    ++i;
+  }
+  state.SetComplexityN(vars);
+}
+BENCHMARK(BM_DenseElimination)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Complexity();
+
+void BM_FourierMotzkinElimination(benchmark::State& state) {
+  int vars = static_cast<int>(state.range(0));
+  int atoms = 3 * vars;
+  std::vector<LinearSystem> systems;
+  for (uint64_t s = 0; s < 32; ++s) {
+    systems.push_back(RandomLinearSystem(vars, atoms, s));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const LinearSystem& system = systems[i % systems.size()];
+    benchmark::DoNotOptimize(system.EliminatedVariable(0));
+    ++i;
+  }
+  state.SetComplexityN(vars);
+}
+BENCHMARK(BM_FourierMotzkinElimination)
+    ->RangeMultiplier(2)
+    ->Range(2, 8)
+    ->Complexity();
+
+void BM_FourierMotzkinFullSat(benchmark::State& state) {
+  int vars = static_cast<int>(state.range(0));
+  int atoms = 2 * vars;
+  std::vector<LinearSystem> systems;
+  for (uint64_t s = 0; s < 16; ++s) {
+    systems.push_back(RandomLinearSystem(vars, atoms, s + 50));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(systems[i % systems.size()].IsSatisfiable());
+    ++i;
+  }
+  state.SetComplexityN(vars);
+}
+BENCHMARK(BM_FourierMotzkinFullSat)
+    ->DenseRange(2, 5)
+    ->Complexity();
+
+}  // namespace
+}  // namespace dodb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// THM-5.2: PTIME ⊆ C-CALC_1 ⊆ PSPACE. The inclusion is witnessed by
+// expressing graph reachability — the PTIME-complete pattern — with one
+// level of set quantification: "y is reachable from the first vertex iff y
+// belongs to every vertex set that contains the first vertex and is closed
+// under edges". The evaluator realizes the active-domain semantics by
+// enumerating all 2^#cells candidate pointsets, so the *measured* cost is
+// exponential in the constant count: exactly the PSPACE-flavored upper
+// bound shape, against the PTIME Datalog baseline for the same query.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/workloads.h"
+#include "dodb/dodb.h"
+
+namespace dodb {
+namespace {
+
+Database ChainDb(int n) {
+  Database db;
+  db.SetRelation("v", bench::OrderedPoints(n));
+  db.SetRelation("edge", bench::PathGraph(n));
+  return db;
+}
+
+// Reachable-from-vertex-1 via C-CALC_1 set quantification.
+const char kReachBySets[] =
+    "{ (y) | v(y) and forall set X : 1 ("
+    "  (1 in X and forall u, w (u in X and edge(u, w) -> w in X))"
+    "  -> y in X) }";
+
+// The same query in inflationary Datalog (PTIME baseline).
+GeneralizedRelation ReachByDatalog(const Database& db) {
+  DatalogProgram program = DatalogParser::ParseProgram(R"(
+    reach(x) :- v(x), x = 1.
+    reach(y) :- reach(x), edge(x, y).
+  )").value();
+  DatalogEvaluator evaluator(program, &db);
+  return *evaluator.Evaluate().value().FindRelation("reach");
+}
+
+}  // namespace
+
+void PrintCCalcReachTable() {
+  std::printf("THM-5.2: reachability via C-CALC_1 set quantification vs "
+              "Datalog fixpoint\n");
+  std::printf("  %-4s %-12s %-14s %-10s\n", "n", "cells(k=1)",
+              "candidates", "agree");
+  for (int n = 2; n <= 4; ++n) {
+    Database db = ChainDb(n);
+    CCalcOptions options;
+    options.max_candidates = uint64_t{1} << 30;
+    CCalcEvaluator ccalc(&db, options);
+    CCalcQuery query = CCalcParser::ParseQuery(kReachBySets).value();
+    GeneralizedRelation by_sets = ccalc.Evaluate(query).value();
+    GeneralizedRelation by_datalog = ReachByDatalog(db);
+    bool agree =
+        CellDecomposition::SemanticallyEqual(by_sets, by_datalog).value();
+    std::printf("  %-4d %-12llu %-14llu %-10s\n", n,
+                static_cast<unsigned long long>(ccalc.stats().max_cell_count),
+                static_cast<unsigned long long>(
+                    ccalc.stats().max_candidate_count),
+                agree ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+namespace {
+
+void BM_ReachBySets(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Database db = ChainDb(n);
+  CCalcQuery query = CCalcParser::ParseQuery(kReachBySets).value();
+  uint64_t candidates = 0;
+  for (auto _ : state) {
+    CCalcOptions options;
+    options.max_candidates = uint64_t{1} << 30;
+    CCalcEvaluator evaluator(&db, options);
+    benchmark::DoNotOptimize(evaluator.Evaluate(query));
+    candidates = evaluator.stats().max_candidate_count;
+  }
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ReachBySets)->DenseRange(2, 4)->Unit(benchmark::kMillisecond);
+
+void BM_ReachByDatalog(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Database db = ChainDb(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReachByDatalog(db));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ReachByDatalog)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Complexity();
+
+void BM_SetQuantifierScaling(benchmark::State& state) {
+  // Pure candidate-enumeration cost vs constant count m: 2^(2m+1).
+  int m = static_cast<int>(state.range(0));
+  Database db;
+  db.SetRelation("v", bench::OrderedPoints(m));
+  CCalcQuery query =
+      CCalcParser::ParseQuery("exists set X : 1 (forall y (y in X))")
+          .value();
+  uint64_t candidates = 0;
+  for (auto _ : state) {
+    CCalcOptions options;
+    options.max_candidates = uint64_t{1} << 30;
+    CCalcEvaluator evaluator(&db, options);
+    benchmark::DoNotOptimize(evaluator.Evaluate(query));
+    candidates = evaluator.stats().max_candidate_count;
+  }
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_SetQuantifierScaling)
+    ->DenseRange(1, 5)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dodb
+
+int main(int argc, char** argv) {
+  dodb::PrintCCalcReachTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,150 @@
+#ifndef DODB_BENCH_WORKLOADS_H_
+#define DODB_BENCH_WORKLOADS_H_
+
+// Shared synthetic workload generators for the experiment suite (DESIGN.md
+// §3/§4). All generators are deterministic given the seed.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "dodb/dodb.h"
+
+namespace dodb {
+namespace bench {
+
+/// n random closed intervals scattered along the line: interval i starts
+/// near 4i with jittered endpoints, so intervals overlap locally but no
+/// interval subsumes the rest — the stored representation genuinely grows
+/// with n (`span` is accepted for call-site compatibility and ignored).
+inline GeneralizedRelation RandomIntervals(int n, int64_t /*span*/,
+                                           uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<spatial::Interval> intervals;
+  intervals.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    int64_t a = 4 * i + static_cast<int64_t>(rng() % 3);
+    int64_t b = a + 1 + static_cast<int64_t>(rng() % 4);
+    intervals.push_back(spatial::Interval{Rational(a), Rational(b)});
+  }
+  return spatial::IntervalUnion(intervals);
+}
+
+/// n random rectangles scattered on a diagonal band (same rationale as
+/// RandomIntervals: local overlap, no global subsumption).
+inline GeneralizedRelation RandomRectangles(int n, int64_t /*span*/,
+                                            uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<spatial::Rect> rects;
+  rects.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    int64_t x1 = 3 * i + static_cast<int64_t>(rng() % 3);
+    int64_t x2 = x1 + 1 + static_cast<int64_t>(rng() % 4);
+    int64_t y1 = 3 * (i % 7) + static_cast<int64_t>(rng() % 3);
+    int64_t y2 = y1 + 1 + static_cast<int64_t>(rng() % 4);
+    rects.push_back(spatial::Rect{Rational(x1), Rational(x2), Rational(y1),
+                                  Rational(y2)});
+  }
+  return spatial::RectUnion(rects);
+}
+
+/// The directed path graph 1 -> 2 -> ... -> n as a finite edge relation.
+inline GeneralizedRelation PathGraph(int n) {
+  std::vector<std::vector<Rational>> points;
+  points.reserve(n > 0 ? n - 1 : 0);
+  for (int i = 1; i < n; ++i) {
+    points.push_back({Rational(i), Rational(i + 1)});
+  }
+  return GeneralizedRelation::FromPoints(2, points);
+}
+
+/// Two disjoint directed paths of length n each (a disconnected graph with
+/// the same local structure as PathGraph(2n)).
+inline GeneralizedRelation TwoPathGraph(int n) {
+  std::vector<std::vector<Rational>> points;
+  for (int i = 1; i < n; ++i) {
+    points.push_back({Rational(i), Rational(i + 1)});
+    points.push_back({Rational(1000 + i), Rational(1000 + i + 1)});
+  }
+  return GeneralizedRelation::FromPoints(2, points);
+}
+
+/// v(1..n): the unary "vertex list" relation used by parity programs.
+inline GeneralizedRelation OrderedPoints(int n) {
+  std::vector<std::vector<Rational>> points;
+  points.reserve(n);
+  for (int i = 1; i <= n; ++i) points.push_back({Rational(i)});
+  return GeneralizedRelation::FromPoints(1, points);
+}
+
+/// The FO formula reach_{2^k}(x, y): 2^k-step reachability over edge
+/// relation `edge`, built by repeated doubling (quantifier depth k).
+/// reach_1(x,y) = edge(x,y) or x = y; reach_{2m} = exists z (reach_m(x,z)
+/// and reach_m(z,y)).
+inline FormulaPtr DoublingReach(int k, const std::string& x,
+                                const std::string& y, int* fresh) {
+  if (k == 0) {
+    return MakeOr(MakeRelation("edge", {FoExpr::Variable(x),
+                                        FoExpr::Variable(y)}),
+                  MakeCompare(FoExpr::Variable(x), RelOp::kEq,
+                              FoExpr::Variable(y)));
+  }
+  std::string z = "z" + std::to_string((*fresh)++);
+  FormulaPtr left = DoublingReach(k - 1, x, z, fresh);
+  FormulaPtr right = DoublingReach(k - 1, z, y, fresh);
+  return MakeExists({z}, MakeAnd(std::move(left), std::move(right)));
+}
+
+/// Boolean FO query: "every pair of vertices is connected within 2^k
+/// hops" — the depth-k FO approximant of graph connectivity (ignoring
+/// direction by using reach in either orientation).
+inline Query ConnectivityApproximant(int k) {
+  int fresh = 0;
+  FormulaPtr forward = DoublingReach(k, "u", "v", &fresh);
+  FormulaPtr backward = DoublingReach(k, "v", "u", &fresh);
+  FormulaPtr within = MakeOr(std::move(forward), std::move(backward));
+  FormulaPtr vertices = MakeAnd(
+      MakeExists({"a"}, MakeOr(MakeRelation("edge", {FoExpr::Variable("u"),
+                                                     FoExpr::Variable("a")}),
+                               MakeRelation("edge", {FoExpr::Variable("a"),
+                                                     FoExpr::Variable("u")}))),
+      MakeExists({"b"}, MakeOr(MakeRelation("edge", {FoExpr::Variable("v"),
+                                                     FoExpr::Variable("b")}),
+                               MakeRelation("edge", {FoExpr::Variable("b"),
+                                                     FoExpr::Variable("v")}))));
+  Query query;
+  query.body = MakeNot(MakeExists(
+      {"u", "v"},
+      MakeAnd(std::move(vertices), MakeNot(std::move(within)))));
+  return query;
+}
+
+/// Exact graph connectivity via inflationary Datalog(not): reach from the
+/// (unique) minimal vertex in either edge direction; connected iff every
+/// vertex is reached.
+inline Result<bool> DatalogConnected(const Database& db,
+                                     uint64_t* iterations = nullptr) {
+  static const char kProgram[] = R"(
+    vertex(x) :- edge(x, y).
+    vertex(y) :- edge(x, y).
+    link(x, y) :- edge(x, y).
+    link(x, y) :- edge(y, x).
+    smaller(x) :- vertex(x), vertex(y), y < x.
+    reach(x) :- vertex(x), not smaller(x).
+    reach(y) :- reach(x), link(x, y).
+    unreached(x) :- vertex(x), not reach(x).
+  )";
+  DatalogProgram program = DatalogParser::ParseProgram(kProgram).value();
+  DatalogOptions options;
+  options.semantics = DatalogSemantics::kStratified;
+  DatalogEvaluator evaluator(program, &db, options);
+  Result<Database> idb = evaluator.Evaluate();
+  if (!idb.ok()) return idb.status();
+  if (iterations != nullptr) *iterations = evaluator.iterations();
+  return idb.value().FindRelation("unreached")->IsEmpty();
+}
+
+}  // namespace bench
+}  // namespace dodb
+
+#endif  // DODB_BENCH_WORKLOADS_H_

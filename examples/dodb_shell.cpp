@@ -1,0 +1,276 @@
+// dodb_shell: an interactive shell for dense-order constraint databases.
+//
+//   ./build/examples/dodb_shell [database.cdb]
+//
+// Commands:
+//   { (x, y) | phi }          evaluate an FO/FO+ query and print the answer
+//   any bare formula          evaluate as a boolean query
+//   let name = { ... | ... }  materialize a query as a new relation
+//   \list                     list relations with arity and tuple count
+//   \show <relation>          print a relation's finite representation
+//   \load <file> / \save <file>
+//   \datalog <file>           run a Datalog(not) program, merge its IDB
+//   \ccalc <query>            evaluate a C-CALC query (set quantifiers)
+//   \encode                   replace the database by its standard encoding
+//   \help, \quit
+//
+// Example session:
+//   dodb> let tall = { (x) | exists y (R(x, y) and y > 5) }
+//   dodb> { (x) | tall(x) and x < 3 }
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "dodb/dodb.h"
+
+namespace {
+
+using dodb::Database;
+
+void PrintRelation(const std::string& name,
+                   const dodb::GeneralizedRelation& rel) {
+  std::vector<std::string> names;
+  for (int i = 0; i < rel.arity(); ++i) names.push_back("x" + std::to_string(i));
+  dodb::GeneralizedRelation pretty(rel.arity());
+  for (const auto& tuple : rel.tuples()) pretty.AddTuple(tuple.Minimized());
+  std::cout << name << "/" << rel.arity() << " = " << pretty.ToString(&names)
+            << "\n";
+}
+
+void RunFoQuery(Database* db, const std::string& text) {
+  dodb::Result<dodb::Query> query = dodb::FoParser::ParseQuery(text);
+  if (!query.ok()) {
+    std::cout << "error: " << query.status().ToString() << "\n";
+    return;
+  }
+  dodb::Result<dodb::QueryAnalysis> analysis =
+      dodb::Analyze(query.value(), db);
+  if (!analysis.ok()) {
+    std::cout << "error: " << analysis.status().ToString() << "\n";
+    return;
+  }
+  if (analysis.value().is_dense_fragment) {
+    dodb::FoEvaluator evaluator(db);
+    dodb::Result<dodb::GeneralizedRelation> out =
+        evaluator.Evaluate(query.value());
+    if (!out.ok()) {
+      std::cout << "error: " << out.status().ToString() << "\n";
+      return;
+    }
+    if (query.value().head.empty()) {
+      std::cout << (out.value().IsEmpty() ? "false" : "true") << "\n";
+      return;
+    }
+    dodb::GeneralizedRelation pretty(out.value().arity());
+    for (const auto& tuple : out.value().tuples()) {
+      pretty.AddTuple(tuple.Minimized());
+    }
+    std::cout << pretty.ToString(&query.value().head) << "\n";
+    return;
+  }
+  // FO+ (linear terms).
+  dodb::LinearFoEvaluator evaluator(db);
+  dodb::Result<dodb::LinearRelation> out = evaluator.Evaluate(query.value());
+  if (!out.ok()) {
+    std::cout << "error: " << out.status().ToString() << "\n";
+    return;
+  }
+  if (query.value().head.empty()) {
+    std::cout << (out.value().IsEmpty() ? "false" : "true") << "\n";
+    return;
+  }
+  std::cout << out.value().ToString(&query.value().head) << "\n";
+}
+
+void RunLet(Database* db, const std::string& line) {
+  // let name = { ... }
+  size_t eq = line.find('=');
+  if (eq == std::string::npos) {
+    std::cout << "usage: let <name> = { (x, ...) | phi }\n";
+    return;
+  }
+  std::string name(dodb::StripWhitespace(line.substr(4, eq - 4)));
+  std::string body(line.substr(eq + 1));
+  dodb::Result<dodb::Query> query = dodb::FoParser::ParseQuery(body);
+  if (!query.ok()) {
+    std::cout << "error: " << query.status().ToString() << "\n";
+    return;
+  }
+  dodb::FoEvaluator evaluator(db);
+  dodb::Result<dodb::GeneralizedRelation> out =
+      evaluator.Evaluate(query.value());
+  if (!out.ok()) {
+    std::cout << "error: " << out.status().ToString() << "\n";
+    return;
+  }
+  db->SetRelation(name, out.value());
+  std::cout << "defined " << name << "/" << out.value().arity() << " ("
+            << out.value().tuple_count() << " tuples)\n";
+}
+
+void RunDatalogFile(Database* db, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cout << "error: cannot open '" << path << "'\n";
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  dodb::Result<dodb::DatalogProgram> program =
+      dodb::DatalogParser::ParseProgram(buffer.str());
+  if (!program.ok()) {
+    std::cout << "error: " << program.status().ToString() << "\n";
+    return;
+  }
+  dodb::DatalogEvaluator evaluator(program.value(), db);
+  dodb::Result<Database> idb = evaluator.Evaluate();
+  if (!idb.ok()) {
+    std::cout << "error: " << idb.status().ToString() << "\n";
+    return;
+  }
+  for (const std::string& name : idb.value().RelationNames()) {
+    db->SetRelation(name, *idb.value().FindRelation(name));
+    PrintRelation(name, *db->FindRelation(name));
+  }
+  std::cout << "(fixpoint after " << evaluator.iterations() << " rounds)\n";
+  for (const dodb::DatalogQuery& query : program.value().queries) {
+    dodb::Result<dodb::GeneralizedRelation> answer =
+        evaluator.Answer(query, idb.value());
+    std::cout << query.ToString() << "\n  ";
+    if (!answer.ok()) {
+      std::cout << answer.status().ToString() << "\n";
+      continue;
+    }
+    if (query.HeadVars().empty()) {
+      std::cout << (answer.value().IsEmpty() ? "false" : "true") << "\n";
+    } else {
+      std::vector<std::string> vars = query.HeadVars();
+      std::cout << answer.value().ToString(&vars) << "\n";
+    }
+  }
+}
+
+void RunCCalc(Database* db, const std::string& text) {
+  dodb::Result<dodb::CCalcQuery> query = dodb::CCalcParser::ParseQuery(text);
+  if (!query.ok()) {
+    std::cout << "error: " << query.status().ToString() << "\n";
+    return;
+  }
+  dodb::CCalcEvaluator evaluator(db);
+  dodb::Result<dodb::GeneralizedRelation> out =
+      evaluator.Evaluate(query.value());
+  if (!out.ok()) {
+    std::cout << "error: " << out.status().ToString() << "\n";
+    return;
+  }
+  if (query.value().head.empty()) {
+    std::cout << (out.value().IsEmpty() ? "false" : "true");
+  } else {
+    std::cout << out.value().ToString(&query.value().head);
+  }
+  std::cout << "   (" << evaluator.stats().set_assignments
+            << " set assignments)\n";
+}
+
+void PrintHelp() {
+  std::cout <<
+      "  { (x, y) | phi }      FO/FO+ query\n"
+      "  bare formula          boolean query\n"
+      "  let r = { ... }       materialize a query as relation r\n"
+      "  create r(k)           new empty relation of arity k\n"
+      "  insert into r <phi>   union { (x0..) | phi } into r\n"
+      "  delete from r where <phi>   subtract { (x0..) | phi }\n"
+      "  drop r                remove relation r\n"
+      "  \\list                 list relations\n"
+      "  \\show <r>             print relation r\n"
+      "  \\load <f> / \\save <f> text format I/O\n"
+      "  \\datalog <f>          run a Datalog(not) program file\n"
+      "  \\ccalc <query>        C-CALC query with set quantifiers\n"
+      "  \\encode               switch to the standard encoding\n"
+      "  \\quit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Database db;
+  if (argc > 1) {
+    dodb::Result<Database> loaded = dodb::LoadDatabaseFile(argv[1]);
+    if (!loaded.ok()) {
+      std::cerr << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    db = std::move(loaded).value();
+    std::cout << "loaded " << db.relation_count() << " relation(s) from "
+              << argv[1] << "\n";
+  }
+  std::cout << "dodb shell — dense-order constraint databases. \\help for "
+               "commands.\n";
+
+  std::string line;
+  while (true) {
+    std::cout << "dodb> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(dodb::StripWhitespace(line));
+    if (trimmed.empty()) continue;
+    if (trimmed == "\\quit" || trimmed == "\\q") break;
+    if (trimmed == "\\help") {
+      PrintHelp();
+    } else if (trimmed == "\\list") {
+      for (const std::string& name : db.RelationNames()) {
+        const dodb::GeneralizedRelation* rel = db.FindRelation(name);
+        std::cout << "  " << name << "/" << rel->arity() << "  ("
+                  << rel->tuple_count() << " tuples, "
+                  << rel->Constants().size() << " constants)\n";
+      }
+    } else if (trimmed.rfind("\\show ", 0) == 0) {
+      std::string name(dodb::StripWhitespace(trimmed.substr(6)));
+      const dodb::GeneralizedRelation* rel = db.FindRelation(name);
+      if (rel == nullptr) {
+        std::cout << "no relation '" << name << "'\n";
+      } else {
+        PrintRelation(name, *rel);
+      }
+    } else if (trimmed.rfind("\\load ", 0) == 0) {
+      std::string path(dodb::StripWhitespace(trimmed.substr(6)));
+      dodb::Result<Database> loaded = dodb::LoadDatabaseFile(path);
+      if (!loaded.ok()) {
+        std::cout << "error: " << loaded.status().ToString() << "\n";
+      } else {
+        db = std::move(loaded).value();
+        std::cout << "loaded " << db.relation_count() << " relation(s)\n";
+      }
+    } else if (trimmed.rfind("\\save ", 0) == 0) {
+      std::string path(dodb::StripWhitespace(trimmed.substr(6)));
+      dodb::Status status = dodb::SaveDatabaseFile(db, path);
+      std::cout << (status.ok() ? "saved" : status.ToString()) << "\n";
+    } else if (trimmed.rfind("\\datalog ", 0) == 0) {
+      RunDatalogFile(&db, std::string(
+                              dodb::StripWhitespace(trimmed.substr(9))));
+    } else if (trimmed.rfind("\\ccalc ", 0) == 0) {
+      RunCCalc(&db, trimmed.substr(7));
+    } else if (trimmed == "\\encode") {
+      db = db.Encoded();
+      std::cout << "database replaced by its standard encoding ("
+                << db.AllConstants().size() << " integer constants)\n";
+    } else if (trimmed.rfind("let ", 0) == 0) {
+      RunLet(&db, trimmed);
+    } else if (trimmed.rfind("create ", 0) == 0 ||
+               trimmed.rfind("drop ", 0) == 0 ||
+               trimmed.rfind("insert ", 0) == 0 ||
+               trimmed.rfind("delete ", 0) == 0) {
+      dodb::Result<std::string> outcome =
+          dodb::ExecuteCommand(&db, trimmed);
+      std::cout << (outcome.ok() ? outcome.value()
+                                 : outcome.status().ToString())
+                << "\n";
+    } else if (trimmed[0] == '\\') {
+      std::cout << "unknown command; \\help lists commands\n";
+    } else {
+      RunFoQuery(&db, trimmed);
+    }
+  }
+  return 0;
+}

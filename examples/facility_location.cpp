@@ -1,0 +1,80 @@
+// Facility location with exact rational geometry: the computational-
+// geometry territory the paper's introduction reserves for *linear*
+// constraints (FO+): "convex hull, Voronoi diagram ... dense order
+// constraints are not very appropriate. Instead, linear constraints are
+// necessary."
+//
+// Build & run:  ./build/examples/facility_location
+
+#include <iostream>
+
+#include "dodb/dodb.h"
+
+namespace {
+
+using dodb::Rational;
+using dodb::spatial::ConvexPolygon;
+using dodb::spatial::Point2;
+using dodb::spatial::VoronoiCell;
+
+Point2 P(int64_t x, int64_t y) { return Point2{Rational(x), Rational(y)}; }
+
+std::string Show(const Point2& p) {
+  return "(" + p.x.ToString() + ", " + p.y.ToString() + ")";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "facility location (exact rational geometry / FO+ layer)\n";
+  std::cout << "=======================================================\n\n";
+
+  // Warehouse sites on the city grid.
+  std::vector<Point2> sites = {P(0, 0), P(8, 1), P(4, 6), P(1, 5), P(7, 7)};
+
+  // Service territory = convex hull of the sites.
+  ConvexPolygon territory = ConvexPolygon::ConvexHull(sites);
+  std::cout << "service territory (convex hull of sites):\n  vertices:";
+  std::vector<Point2> territory_vertices = territory.Vertices().value();
+  for (const Point2& v : territory_vertices) {
+    std::cout << " " << Show(v);
+  }
+  std::cout << "\n  as linear constraints: "
+            << territory.system().ToString() << "\n\n";
+
+  // Which warehouse serves a customer? The Voronoi cell decides.
+  std::vector<Point2> customers = {P(2, 2), P(6, 5),
+                                   Point2{Rational(7, 2), Rational(1)}};
+  for (const Point2& customer : customers) {
+    std::cout << "customer " << Show(customer) << " -> served by";
+    for (const Point2& site : sites) {
+      if (VoronoiCell(site, sites).Contains(customer)) {
+        std::cout << " " << Show(site);
+      }
+    }
+    std::cout << (territory.Contains(customer) ? "  [inside territory]"
+                                               : "  [outside territory]")
+              << "\n";
+  }
+  std::cout << "\n";
+
+  // The central warehouse's exclusive zone, clipped to the territory.
+  ConvexPolygon zone =
+      VoronoiCell(P(4, 6), sites).IntersectWith(territory);
+  std::cout << "exclusive zone of warehouse (4, 6) within the territory:\n";
+  if (zone.IsBounded()) {
+    std::cout << "  vertices:";
+    std::vector<Point2> zone_vertices = zone.Vertices().value();
+    for (const Point2& v : zone_vertices) {
+      std::cout << " " << Show(v);
+    }
+    std::cout << "\n";
+  }
+
+  // Everything above is exact: no floating point was involved anywhere.
+  std::cout << "\nall coordinates exact rationals; e.g. a Voronoi vertex "
+               "above: ";
+  std::vector<Point2> vs = zone.Vertices().value();
+  std::cout << Show(vs[vs.size() / 2]) << "\n";
+  return 0;
+}

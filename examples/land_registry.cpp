@@ -1,0 +1,95 @@
+// Land registry: constraint-level data manipulation. Parcels are infinite
+// pointsets (regions of the plane), yet inserts, carve-outs and integrity
+// queries all run in closed form through the DML command layer.
+//
+// Build & run:  ./build/examples/land_registry
+
+#include <iostream>
+
+#include "dodb/dodb.h"
+
+namespace {
+
+using dodb::Database;
+using dodb::Rational;
+
+void Run(Database* db, const std::string& command) {
+  dodb::Result<std::string> outcome = dodb::ExecuteCommand(db, command);
+  std::cout << "> " << command << "\n  "
+            << (outcome.ok() ? outcome.value() : outcome.status().ToString())
+            << "\n";
+}
+
+bool Ask(const Database& db, const std::string& question,
+         const std::string& query) {
+  dodb::FoEvaluator evaluator(&db);
+  bool answer =
+      !evaluator.Evaluate(dodb::FoParser::ParseQuery(query).value())
+           .value()
+           .IsEmpty();
+  std::cout << question << " " << (answer ? "yes" : "no") << "\n";
+  return answer;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "land registry on dense-order constraints\n";
+  std::cout << "========================================\n\n";
+
+  Database db;
+  // Two parcels and a protected wetland, all as plane regions.
+  Run(&db, "create parcel_a(2)");
+  Run(&db, "insert into parcel_a x0 >= 0 and x0 <= 6 and x1 >= 0 and "
+           "x1 <= 4");
+  Run(&db, "create parcel_b(2)");
+  Run(&db, "insert into parcel_b x0 >= 5 and x0 <= 9 and x1 >= 1 and "
+           "x1 <= 3");
+  Run(&db, "create wetland(2)");
+  Run(&db, "insert into wetland x0 >= 4 and x0 <= 7 and x1 >= 2 and "
+           "x1 <= 6");
+  std::cout << "\n";
+
+  // Integrity checks, before remediation.
+  Ask(db, "do parcels A and B overlap?      ",
+      "exists x, y (parcel_a(x, y) and parcel_b(x, y))");
+  Ask(db, "does parcel A intrude on wetland?",
+      "exists x, y (parcel_a(x, y) and wetland(x, y))");
+  std::cout << "\n";
+
+  // Remediation: carve the wetland out of both parcels; resolve the A/B
+  // dispute by assigning the overlap to B (delete from A where B owns it).
+  Run(&db, "delete from parcel_a where wetland(x0, x1)");
+  Run(&db, "delete from parcel_b where wetland(x0, x1)");
+  Run(&db, "delete from parcel_a where parcel_b(x0, x1)");
+  std::cout << "\n";
+
+  Ask(db, "do parcels A and B overlap now?      ",
+      "exists x, y (parcel_a(x, y) and parcel_b(x, y))");
+  Ask(db, "any parcel point left in the wetland?",
+      "exists x, y ((parcel_a(x, y) or parcel_b(x, y)) and wetland(x, y))");
+  std::cout << "\n";
+
+  // The registry after remediation, as finite constraint representations.
+  std::vector<std::string> xy = {"x", "y"};
+  std::cout << "parcel A = " << db.FindRelation("parcel_a")->ToString(&xy)
+            << "\n";
+  std::cout << "parcel B = " << db.FindRelation("parcel_b")->ToString(&xy)
+            << "\n\n";
+
+  // Connectivity audit: carving the wetland out of parcel A leaves it in
+  // one piece? (The wetland bites a corner, so yes.)
+  dodb::Result<bool> connected =
+      dodb::spatial::IsConnected(*db.FindRelation("parcel_a"));
+  std::cout << "parcel A still connected after the carve-out? "
+            << (connected.value() ? "yes" : "no") << "\n";
+
+  // Registered area audit via the standard encoding: order-isomorphic
+  // registries have identical signatures.
+  dodb::StandardEncoding enc = db.BuildEncoding();
+  std::cout << "registry scale has " << enc.scale().size()
+            << " boundary constants; signature of parcel A:\n  "
+            << enc.Signature(*db.FindRelation("parcel_a")).value().substr(0, 60)
+            << "...\n";
+  return 0;
+}

@@ -1,0 +1,301 @@
+#include "cells/cell.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+Cell::Cell(std::vector<int> slots, std::vector<int> ranks)
+    : slots_(std::move(slots)), ranks_(std::move(ranks)) {
+  DODB_CHECK_MSG(slots_.size() == ranks_.size(), "slots/ranks size mismatch");
+}
+
+bool Cell::IsValid(int num_scale_constants) const {
+  int max_slot = 2 * num_scale_constants;
+  std::map<int, std::vector<int>> group_ranks;
+  for (int i = 0; i < arity(); ++i) {
+    if (slots_[i] < 0 || slots_[i] > max_slot) return false;
+    if (slots_[i] % 2 == 1) {
+      if (ranks_[i] != 0) return false;
+    } else {
+      group_ranks[slots_[i]].push_back(ranks_[i]);
+    }
+  }
+  for (auto& [slot, ranks] : group_ranks) {
+    std::sort(ranks.begin(), ranks.end());
+    if (ranks.front() != 0) return false;
+    for (size_t i = 1; i < ranks.size(); ++i) {
+      if (ranks[i] > ranks[i - 1] + 1) return false;  // dense prefix
+    }
+  }
+  return true;
+}
+
+std::vector<Rational> Cell::WitnessPoint(
+    const std::vector<Rational>& scale) const {
+  int m = static_cast<int>(scale.size());
+  DODB_DCHECK(IsValid(m));
+  // Max rank per open slot, to spread witnesses inside the interval.
+  std::map<int, int> max_rank;
+  for (int i = 0; i < arity(); ++i) {
+    if (slots_[i] % 2 == 0) {
+      auto [it, inserted] = max_rank.emplace(slots_[i], ranks_[i]);
+      if (!inserted) it->second = std::max(it->second, ranks_[i]);
+    }
+  }
+  std::vector<Rational> point(arity());
+  for (int i = 0; i < arity(); ++i) {
+    int slot = slots_[i];
+    if (slot % 2 == 1) {
+      point[i] = scale[(slot - 1) / 2];
+      continue;
+    }
+    int interval = slot / 2;  // open interval (c_{interval-1}, c_interval)
+    int r = ranks_[i];
+    int big_r = max_rank[slot];
+    if (m == 0) {
+      point[i] = Rational(r);
+    } else if (interval == 0) {
+      point[i] = scale.front() - Rational(big_r + 1 - r);
+    } else if (interval == m) {
+      point[i] = scale.back() + Rational(r + 1);
+    } else {
+      const Rational& lo = scale[interval - 1];
+      const Rational& hi = scale[interval];
+      point[i] = lo + (hi - lo) * Rational(r + 1, big_r + 2);
+    }
+  }
+  return point;
+}
+
+GeneralizedTuple Cell::ToTuple(const std::vector<Rational>& scale) const {
+  int m = static_cast<int>(scale.size());
+  DODB_DCHECK(IsValid(m));
+  GeneralizedTuple tuple(arity());
+  // Per-variable constant bounds.
+  std::map<int, std::vector<int>> groups;  // open slot -> variables
+  for (int i = 0; i < arity(); ++i) {
+    int slot = slots_[i];
+    Term x = Term::Var(i);
+    if (slot % 2 == 1) {
+      tuple.AddAtom(DenseAtom(x, RelOp::kEq, Term::Const(scale[(slot - 1) / 2])));
+      continue;
+    }
+    int interval = slot / 2;
+    if (interval > 0) {
+      tuple.AddAtom(
+          DenseAtom(x, RelOp::kGt, Term::Const(scale[interval - 1])));
+    }
+    if (interval < m) {
+      tuple.AddAtom(DenseAtom(x, RelOp::kLt, Term::Const(scale[interval])));
+    }
+    groups[slot].push_back(i);
+  }
+  // Within-group order chain.
+  for (auto& [slot, vars] : groups) {
+    std::sort(vars.begin(), vars.end(), [this](int a, int b) {
+      if (ranks_[a] != ranks_[b]) return ranks_[a] < ranks_[b];
+      return a < b;
+    });
+    for (size_t i = 0; i + 1 < vars.size(); ++i) {
+      RelOp op =
+          ranks_[vars[i]] == ranks_[vars[i + 1]] ? RelOp::kEq : RelOp::kLt;
+      tuple.AddAtom(DenseAtom(Term::Var(vars[i]), op, Term::Var(vars[i + 1])));
+    }
+  }
+  return tuple;
+}
+
+Cell Cell::Locate(const std::vector<Rational>& point,
+                  const std::vector<Rational>& scale) {
+  int k = static_cast<int>(point.size());
+  std::vector<int> slots(k);
+  std::vector<int> ranks(k, 0);
+  for (int i = 0; i < k; ++i) {
+    // First scale constant >= point[i].
+    auto it = std::lower_bound(scale.begin(), scale.end(), point[i]);
+    if (it != scale.end() && *it == point[i]) {
+      slots[i] = 2 * static_cast<int>(it - scale.begin()) + 1;
+    } else {
+      slots[i] = 2 * static_cast<int>(it - scale.begin());
+    }
+  }
+  // Dense ranks within each open slot.
+  std::map<int, std::vector<int>> groups;
+  for (int i = 0; i < k; ++i) {
+    if (slots[i] % 2 == 0) groups[slots[i]].push_back(i);
+  }
+  for (auto& [slot, vars] : groups) {
+    std::vector<Rational> values;
+    values.reserve(vars.size());
+    for (int v : vars) values.push_back(point[v]);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    for (int v : vars) {
+      ranks[v] = static_cast<int>(
+          std::lower_bound(values.begin(), values.end(), point[v]) -
+          values.begin());
+    }
+  }
+  return Cell(std::move(slots), std::move(ranks));
+}
+
+int Cell::Compare(const Cell& other) const {
+  if (arity() != other.arity()) return arity() < other.arity() ? -1 : 1;
+  if (slots_ != other.slots_) return slots_ < other.slots_ ? -1 : 1;
+  if (ranks_ != other.ranks_) return ranks_ < other.ranks_ ? -1 : 1;
+  return 0;
+}
+
+std::string Cell::ToKey() const {
+  std::string out;
+  for (int i = 0; i < arity(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(slots_[i]);
+  }
+  out += '|';
+  for (int i = 0; i < arity(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(ranks_[i]);
+  }
+  return out;
+}
+
+size_t Cell::Hash() const {
+  size_t h = 0x9e3779b97f4a7c15ull;
+  for (int s : slots_) h ^= s + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  for (int r : ranks_) h ^= r + 0x517cc1b727220a95ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+namespace {
+
+// Enumerates every dense-prefix rank vector for `group` (a weak order of the
+// group members), invoking fn for each completed assignment. Groups are at
+// most `arity` large, so brute-force enumeration with a validity filter is
+// fine: a rank vector is a weak order iff its image is {0..max}.
+bool EnumerateGroupRanks(const std::vector<int>& group, size_t index,
+                         std::vector<int>* ranks,
+                         const std::function<bool()>& fn) {
+  if (index == group.size()) {
+    int max_rank = 0;
+    unsigned used = 0;
+    for (int member : group) {
+      used |= 1u << (*ranks)[member];
+      max_rank = std::max(max_rank, (*ranks)[member]);
+    }
+    if (used != (1u << (max_rank + 1)) - 1) return true;  // gap: skip
+    return fn();
+  }
+  for (int r = 0; r < static_cast<int>(group.size()); ++r) {
+    (*ranks)[group[index]] = r;
+    if (!EnumerateGroupRanks(group, index + 1, ranks, fn)) return false;
+  }
+  return true;
+}
+
+bool EnumerateRanksForGroups(
+    const std::vector<std::vector<int>>& groups, size_t group_index,
+    std::vector<int>* ranks,
+    const std::function<bool()>& fn) {
+  if (group_index == groups.size()) return fn();
+  return EnumerateGroupRanks(
+      groups[group_index], 0, ranks, [&]() {
+        return EnumerateRanksForGroups(groups, group_index + 1, ranks, fn);
+      });
+}
+
+bool EnumerateSlotsRec(int arity, int max_slot, int index,
+                       std::vector<int>* slots,
+                       const std::function<bool(const Cell&)>& fn) {
+  if (index == arity) {
+    // Group the open-slot variables and enumerate their weak orders.
+    std::map<int, std::vector<int>> group_map;
+    for (int i = 0; i < arity; ++i) {
+      if ((*slots)[i] % 2 == 0) group_map[(*slots)[i]].push_back(i);
+    }
+    std::vector<std::vector<int>> groups;
+    groups.reserve(group_map.size());
+    for (auto& [slot, vars] : group_map) groups.push_back(vars);
+    std::vector<int> ranks(arity, 0);
+    return EnumerateRanksForGroups(groups, 0, &ranks, [&]() {
+      return fn(Cell(*slots, ranks));
+    });
+  }
+  for (int s = 0; s <= max_slot; ++s) {
+    (*slots)[index] = s;
+    if (!EnumerateSlotsRec(arity, max_slot, index + 1, slots, fn)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Weak-order (Fubini) numbers with uint64 saturation.
+uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  if (a != 0 && b > UINT64_MAX / a) return UINT64_MAX;
+  return a * b;
+}
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  if (b > UINT64_MAX - a) return UINT64_MAX;
+  return a + b;
+}
+
+}  // namespace
+
+bool Cell::EnumerateCells(int arity, int num_scale_constants,
+                          const std::function<bool(const Cell&)>& fn) {
+  DODB_CHECK(arity >= 0 && num_scale_constants >= 0);
+  if (arity == 0) return fn(Cell({}, {}));
+  std::vector<int> slots(arity, 0);
+  return EnumerateSlotsRec(arity, 2 * num_scale_constants, 0, &slots, fn);
+}
+
+uint64_t Cell::CountCells(int arity, int num_scale_constants) {
+  DODB_CHECK(arity >= 0 && num_scale_constants >= 0);
+  int k = arity;
+  // Binomials and Fubini numbers up to k.
+  std::vector<std::vector<uint64_t>> choose(k + 1,
+                                            std::vector<uint64_t>(k + 1, 0));
+  for (int n = 0; n <= k; ++n) {
+    choose[n][0] = 1;
+    for (int j = 1; j <= n; ++j) {
+      choose[n][j] = SaturatingAdd(choose[n - 1][j - 1],
+                                   j <= n - 1 ? choose[n - 1][j] : 0);
+    }
+  }
+  std::vector<uint64_t> fubini(k + 1, 0);
+  fubini[0] = 1;
+  for (int n = 1; n <= k; ++n) {
+    for (int j = 1; j <= n; ++j) {
+      fubini[n] =
+          SaturatingAdd(fubini[n], SaturatingMul(choose[n][j], fubini[n - j]));
+    }
+  }
+  // dp[u]: weighted placements of u labeled variables into processed slots.
+  int m = num_scale_constants;
+  std::vector<uint64_t> dp(k + 1, 0);
+  dp[0] = 1;
+  auto add_slot = [&](bool open_slot) {
+    std::vector<uint64_t> next(k + 1, 0);
+    for (int u = 0; u <= k; ++u) {
+      if (dp[u] == 0) continue;
+      for (int j = 0; u + j <= k; ++j) {
+        uint64_t weight = open_slot ? fubini[j] : 1;
+        uint64_t ways = SaturatingMul(dp[u], SaturatingMul(choose[k - u][j],
+                                                           weight));
+        next[u + j] = SaturatingAdd(next[u + j], ways);
+      }
+    }
+    dp = std::move(next);
+  };
+  for (int s = 0; s < m; ++s) add_slot(/*open_slot=*/false);  // constant slots
+  for (int s = 0; s <= m; ++s) add_slot(/*open_slot=*/true);  // open intervals
+  return dp[k];
+}
+
+}  // namespace dodb

@@ -1,0 +1,80 @@
+#ifndef DODB_CELLS_CELL_H_
+#define DODB_CELLS_CELL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "constraints/generalized_tuple.h"
+#include "core/rational.h"
+
+namespace dodb {
+
+/// A cell: a complete order type of k variables over a constant scale
+/// c_0 < c_1 < ... < c_{m-1}.
+///
+/// Cells are the finitely many "atoms" into which a scale partitions Q^k:
+/// every dense-order formula whose constants come from the scale is a union
+/// of cells, and all points of one cell are order-automorphic images of each
+/// other. They are the paper's vehicle for the standard encoding (§3), the
+/// relational representation in the PTIME proof of Theorem 4.4, and the
+/// "maximal covers" of the C-CALC active-domain semantics (§5).
+///
+/// Representation: each variable occupies a *slot* in 0..2m:
+///   slot 2i+1  =>  the variable equals c_i,
+///   slot 2i    =>  the variable lies in the open interval (c_{i-1}, c_i),
+///                  with c_{-1} = -infinity and c_m = +infinity.
+/// Variables sharing an open slot carry a *rank*: their position in a total
+/// preorder (equal ranks mean equal values; ranks within a slot are dense
+/// from 0). Variables in constant slots have rank 0.
+class Cell {
+ public:
+  Cell(std::vector<int> slots, std::vector<int> ranks);
+
+  int arity() const { return static_cast<int>(slots_.size()); }
+  const std::vector<int>& slots() const { return slots_; }
+  const std::vector<int>& ranks() const { return ranks_; }
+
+  /// Checks the canonicality invariants against a scale of m constants:
+  /// slots within range, rank 0 on constant slots, ranks within each open
+  /// slot forming a dense prefix {0..r}.
+  bool IsValid(int num_scale_constants) const;
+
+  /// A concrete point of the cell over the given scale.
+  std::vector<Rational> WitnessPoint(const std::vector<Rational>& scale) const;
+
+  /// The generalized tuple describing exactly this cell's point set.
+  GeneralizedTuple ToTuple(const std::vector<Rational>& scale) const;
+
+  /// The cell containing `point` over `scale` (scale strictly ascending).
+  static Cell Locate(const std::vector<Rational>& point,
+                     const std::vector<Rational>& scale);
+
+  /// Total ordering for set containers.
+  int Compare(const Cell& other) const;
+  bool operator==(const Cell& other) const { return Compare(other) == 0; }
+  bool operator<(const Cell& other) const { return Compare(other) < 0; }
+
+  /// Compact "slots|ranks" key, e.g. "3,0;0,0" — stable across runs.
+  std::string ToKey() const;
+
+  size_t Hash() const;
+
+  /// Invokes `fn` for every canonical cell of the given arity over a scale
+  /// of `num_scale_constants` constants. Enumeration order is deterministic.
+  /// Returns false if `fn` ever returns false (early stop), true otherwise.
+  static bool EnumerateCells(int arity, int num_scale_constants,
+                             const std::function<bool(const Cell&)>& fn);
+
+  /// The number of cells of the given arity over m constants (the size of
+  /// the paper's finite relational representation). Saturates at UINT64_MAX.
+  static uint64_t CountCells(int arity, int num_scale_constants);
+
+ private:
+  std::vector<int> slots_;
+  std::vector<int> ranks_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_CELLS_CELL_H_

@@ -1,0 +1,138 @@
+#include "cells/cell_decomposition.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+CellDecomposition::CellDecomposition(int arity, std::vector<Rational> scale)
+    : arity_(arity), scale_(std::move(scale)) {
+  DODB_CHECK(arity >= 0);
+  for (size_t i = 0; i + 1 < scale_.size(); ++i) {
+    DODB_CHECK_MSG(scale_[i] < scale_[i + 1], "scale not strictly ascending");
+  }
+}
+
+CellDecomposition CellDecomposition::ForRelation(
+    const GeneralizedRelation& relation) {
+  return CellDecomposition(relation.arity(), relation.Constants());
+}
+
+uint64_t CellDecomposition::CellCount() const {
+  return Cell::CountCells(arity_, static_cast<int>(scale_.size()));
+}
+
+bool CellDecomposition::CoversConstantsOf(
+    const GeneralizedRelation& relation) const {
+  for (const Rational& c : relation.Constants()) {
+    if (!std::binary_search(scale_.begin(), scale_.end(), c)) return false;
+  }
+  return true;
+}
+
+Result<std::vector<Cell>> CellDecomposition::CellsOf(
+    const GeneralizedRelation& relation, uint64_t limit) const {
+  DODB_CHECK_MSG(relation.arity() == arity_, "arity mismatch");
+  DODB_CHECK_MSG(CoversConstantsOf(relation),
+                 "relation constants not on the decomposition scale");
+  if (limit != 0 && CellCount() > limit) {
+    return Status::ResourceExhausted(
+        StrCat("cell decomposition has ", CellCount(),
+               " cells, over the limit of ", limit));
+  }
+  std::vector<Cell> cells;
+  Cell::EnumerateCells(arity_, static_cast<int>(scale_.size()),
+                       [&](const Cell& cell) {
+                         if (relation.Contains(cell.WitnessPoint(scale_))) {
+                           cells.push_back(cell);
+                         }
+                         return true;
+                       });
+  return cells;
+}
+
+GeneralizedRelation CellDecomposition::FromCells(
+    const std::vector<Cell>& cells) const {
+  GeneralizedRelation out(arity_);
+  for (const Cell& cell : cells) out.AddTuple(cell.ToTuple(scale_));
+  return out;
+}
+
+namespace {
+std::vector<Rational> JointScale(const GeneralizedRelation& a,
+                                 const GeneralizedRelation& b) {
+  std::vector<Rational> scale = a.Constants();
+  for (const Rational& c : b.Constants()) scale.push_back(c);
+  std::sort(scale.begin(), scale.end());
+  scale.erase(std::unique(scale.begin(), scale.end()), scale.end());
+  return scale;
+}
+}  // namespace
+
+Result<bool> CellDecomposition::SemanticallyEqual(
+    const GeneralizedRelation& a, const GeneralizedRelation& b,
+    uint64_t limit) {
+  DODB_CHECK_MSG(a.arity() == b.arity(), "arity mismatch");
+  CellDecomposition joint(a.arity(), JointScale(a, b));
+  if (limit != 0 && joint.CellCount() > limit) {
+    return Status::ResourceExhausted(
+        StrCat("joint decomposition has ", joint.CellCount(), " cells"));
+  }
+  bool equal = true;
+  Cell::EnumerateCells(
+      a.arity(), static_cast<int>(joint.scale_.size()), [&](const Cell& cell) {
+        std::vector<Rational> witness = cell.WitnessPoint(joint.scale_);
+        if (a.Contains(witness) != b.Contains(witness)) {
+          equal = false;
+          return false;  // early stop
+        }
+        return true;
+      });
+  return equal;
+}
+
+Result<bool> CellDecomposition::SemanticallyContains(
+    const GeneralizedRelation& outer, const GeneralizedRelation& inner,
+    uint64_t limit) {
+  DODB_CHECK_MSG(outer.arity() == inner.arity(), "arity mismatch");
+  CellDecomposition joint(outer.arity(), JointScale(outer, inner));
+  if (limit != 0 && joint.CellCount() > limit) {
+    return Status::ResourceExhausted(
+        StrCat("joint decomposition has ", joint.CellCount(), " cells"));
+  }
+  bool contains = true;
+  Cell::EnumerateCells(
+      outer.arity(), static_cast<int>(joint.scale_.size()),
+      [&](const Cell& cell) {
+        std::vector<Rational> witness = cell.WitnessPoint(joint.scale_);
+        if (inner.Contains(witness) && !outer.Contains(witness)) {
+          contains = false;
+          return false;
+        }
+        return true;
+      });
+  return contains;
+}
+
+Result<GeneralizedRelation> CellDecomposition::Complement(
+    const GeneralizedRelation& relation, uint64_t limit) {
+  CellDecomposition decomp = ForRelation(relation);
+  if (limit != 0 && decomp.CellCount() > limit) {
+    return Status::ResourceExhausted(
+        StrCat("decomposition has ", decomp.CellCount(), " cells"));
+  }
+  GeneralizedRelation out(relation.arity());
+  Cell::EnumerateCells(
+      relation.arity(), static_cast<int>(decomp.scale_.size()),
+      [&](const Cell& cell) {
+        if (!relation.Contains(cell.WitnessPoint(decomp.scale_))) {
+          out.AddTuple(cell.ToTuple(decomp.scale_));
+        }
+        return true;
+      });
+  return out;
+}
+
+}  // namespace dodb

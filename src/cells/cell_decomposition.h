@@ -1,0 +1,70 @@
+#ifndef DODB_CELLS_CELL_DECOMPOSITION_H_
+#define DODB_CELLS_CELL_DECOMPOSITION_H_
+
+#include <set>
+#include <vector>
+
+#include "cells/cell.h"
+#include "constraints/generalized_relation.h"
+#include "core/status.h"
+
+namespace dodb {
+
+/// The cell decomposition of Q^k induced by a constant scale: the finite,
+/// canonical, semantic representation of dense-order relations (the paper's
+/// "relational representation" in the proof of Theorem 4.4).
+///
+/// A relation whose constants all come from the scale is semantically equal
+/// to the union of the cells it contains, and membership of a whole cell is
+/// decided by evaluating the relation on one witness point of the cell.
+class CellDecomposition {
+ public:
+  /// Decomposition of Q^arity over the given strictly ascending scale.
+  CellDecomposition(int arity, std::vector<Rational> scale);
+
+  /// Decomposition over the relation's own constants.
+  static CellDecomposition ForRelation(const GeneralizedRelation& relation);
+
+  int arity() const { return arity_; }
+  const std::vector<Rational>& scale() const { return scale_; }
+
+  /// The number of cells (saturating). This is the size of the finite
+  /// encoding the PTIME characterization works over.
+  uint64_t CellCount() const;
+
+  /// All cells whose points belong to `relation`. The relation's constants
+  /// must be a subset of the scale (checked). Cost is proportional to
+  /// CellCount(); `limit` guards against blowups (0 = unlimited).
+  Result<std::vector<Cell>> CellsOf(const GeneralizedRelation& relation,
+                                    uint64_t limit = 0) const;
+
+  /// The relation denoting exactly the union of `cells`.
+  GeneralizedRelation FromCells(const std::vector<Cell>& cells) const;
+
+  /// Whether the relation's constants are all on the scale.
+  bool CoversConstantsOf(const GeneralizedRelation& relation) const;
+
+  /// --- Semantic operations over a joint scale ----------------------------
+
+  /// Exact semantic equality of two relations of the same arity.
+  static Result<bool> SemanticallyEqual(const GeneralizedRelation& a,
+                                        const GeneralizedRelation& b,
+                                        uint64_t limit = 0);
+
+  /// Exact containment: every point of `inner` belongs to `outer`.
+  static Result<bool> SemanticallyContains(const GeneralizedRelation& outer,
+                                           const GeneralizedRelation& inner,
+                                           uint64_t limit = 0);
+
+  /// Exact complement Q^k \ relation, via the relation's own scale.
+  static Result<GeneralizedRelation> Complement(
+      const GeneralizedRelation& relation, uint64_t limit = 0);
+
+ private:
+  int arity_;
+  std::vector<Rational> scale_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_CELLS_CELL_DECOMPOSITION_H_

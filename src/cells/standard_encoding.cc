@@ -1,0 +1,143 @@
+#include "cells/standard_encoding.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "cells/cell_decomposition.h"
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+StandardEncoding StandardEncoding::ForDatabase(
+    const std::vector<const GeneralizedRelation*>& relations) {
+  std::set<Rational> constants;
+  for (const GeneralizedRelation* rel : relations) {
+    DODB_CHECK(rel != nullptr);
+    for (const Rational& c : rel->Constants()) constants.insert(c);
+  }
+  return StandardEncoding(
+      std::vector<Rational>(constants.begin(), constants.end()));
+}
+
+int StandardEncoding::IndexOf(const Rational& c) const {
+  auto it = std::lower_bound(scale_.begin(), scale_.end(), c);
+  if (it == scale_.end() || *it != c) return -1;
+  return static_cast<int>(it - scale_.begin());
+}
+
+Rational StandardEncoding::Encode(const Rational& c) const {
+  int index = IndexOf(c);
+  DODB_CHECK_MSG(index >= 0, "constant not on the encoding scale");
+  return Rational(index);
+}
+
+Rational StandardEncoding::Decode(const Rational& index) const {
+  DODB_CHECK_MSG(index.is_integer(), "decode of non-integer rank");
+  Result<int64_t> i = index.num().ToInt64();
+  DODB_CHECK_MSG(i.ok(), "decode rank out of range");
+  DODB_CHECK_MSG(i.value() >= 0 &&
+                     i.value() < static_cast<int64_t>(scale_.size()),
+                 "decode rank outside the scale");
+  return scale_[static_cast<size_t>(i.value())];
+}
+
+namespace {
+GeneralizedRelation MapConstants(
+    const GeneralizedRelation& rel,
+    const std::function<Rational(const Rational&)>& fn) {
+  GeneralizedRelation out(rel.arity());
+  for (const GeneralizedTuple& tuple : rel.tuples()) {
+    GeneralizedTuple mapped(rel.arity());
+    for (const DenseAtom& atom : tuple.atoms()) {
+      Term lhs = atom.lhs().is_const()
+                     ? Term::Const(fn(atom.lhs().constant()))
+                     : atom.lhs();
+      Term rhs = atom.rhs().is_const()
+                     ? Term::Const(fn(atom.rhs().constant()))
+                     : atom.rhs();
+      mapped.AddAtom(DenseAtom(std::move(lhs), atom.op(), std::move(rhs)));
+    }
+    out.AddTuple(std::move(mapped));
+  }
+  return out;
+}
+}  // namespace
+
+GeneralizedRelation StandardEncoding::EncodeRelation(
+    const GeneralizedRelation& rel) const {
+  return MapConstants(rel, [this](const Rational& c) { return Encode(c); });
+}
+
+GeneralizedRelation StandardEncoding::DecodeRelation(
+    const GeneralizedRelation& rel) const {
+  return MapConstants(rel, [this](const Rational& c) { return Decode(c); });
+}
+
+Result<std::string> StandardEncoding::Signature(const GeneralizedRelation& rel,
+                                                uint64_t limit) const {
+  CellDecomposition decomp(rel.arity(), scale_);
+  DODB_CHECK_MSG(decomp.CoversConstantsOf(rel),
+                 "relation constants not on the encoding scale");
+  Result<std::vector<Cell>> cells = decomp.CellsOf(rel, limit);
+  if (!cells.ok()) return cells.status();
+  std::vector<std::string> keys;
+  keys.reserve(cells.value().size());
+  for (const Cell& cell : cells.value()) keys.push_back(cell.ToKey());
+  std::sort(keys.begin(), keys.end());
+  return StrCat("arity=", rel.arity(), ";m=", scale_.size(), ";",
+                StrJoin(keys, " "));
+}
+
+size_t StandardEncoding::EncodedSizeBytes(const GeneralizedRelation& rel) {
+  size_t bytes = 0;
+  auto term_bytes = [](const Term& term) -> size_t {
+    if (term.is_var()) return 1;
+    return 4 * (term.constant().num().limb_count() +
+                term.constant().den().limb_count()) +
+           1;
+  };
+  for (const GeneralizedTuple& tuple : rel.tuples()) {
+    bytes += 1;  // tuple header
+    for (const DenseAtom& atom : tuple.atoms()) {
+      bytes += 1 + term_bytes(atom.lhs()) + term_bytes(atom.rhs());
+    }
+  }
+  return bytes;
+}
+
+MonotoneMap::MonotoneMap(std::vector<std::pair<Rational, Rational>> anchors)
+    : anchors_(std::move(anchors)) {
+  for (size_t i = 0; i + 1 < anchors_.size(); ++i) {
+    DODB_CHECK_MSG(anchors_[i].first < anchors_[i + 1].first &&
+                       anchors_[i].second < anchors_[i + 1].second,
+                   "MonotoneMap anchors must be strictly increasing");
+  }
+}
+
+Rational MonotoneMap::Apply(const Rational& x) const {
+  if (anchors_.empty()) return x;
+  if (x <= anchors_.front().first) {
+    return anchors_.front().second + (x - anchors_.front().first);
+  }
+  if (x >= anchors_.back().first) {
+    return anchors_.back().second + (x - anchors_.back().first);
+  }
+  for (size_t i = 0; i + 1 < anchors_.size(); ++i) {
+    const auto& [x0, y0] = anchors_[i];
+    const auto& [x1, y1] = anchors_[i + 1];
+    if (x <= x1) {
+      return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+    }
+  }
+  DODB_CHECK(false);
+  return x;
+}
+
+GeneralizedRelation MonotoneMap::ApplyToRelation(
+    const GeneralizedRelation& rel) const {
+  return MapConstants(rel, [this](const Rational& c) { return Apply(c); });
+}
+
+}  // namespace dodb

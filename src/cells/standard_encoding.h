@@ -1,0 +1,86 @@
+#ifndef DODB_CELLS_STANDARD_ENCODING_H_
+#define DODB_CELLS_STANDARD_ENCODING_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "constraints/generalized_relation.h"
+#include "core/status.h"
+
+namespace dodb {
+
+/// The paper's §3 standard encoding: the rational constants of a database
+/// are renamed, order-preservingly, to the consecutive integers 0..m-1.
+///
+/// Because dense-order queries are closed under automorphisms of (Q, <=),
+/// the encoded database is query-equivalent to the original; the encoding
+/// (i) avoids rational arithmetic in the finite representation and (ii) is
+/// the first step of the relational representation used in the proof that
+/// inflationary Datalog with negation captures PTIME (Theorem 4.4).
+class StandardEncoding {
+ public:
+  /// Builds the encoding over the union of the relations' constants.
+  static StandardEncoding ForDatabase(
+      const std::vector<const GeneralizedRelation*>& relations);
+
+  /// The ordered constant scale c_0 < ... < c_{m-1}.
+  const std::vector<Rational>& scale() const { return scale_; }
+
+  /// Rank of `c` on the scale, or -1 when absent.
+  int IndexOf(const Rational& c) const;
+
+  /// c_i -> i. The constant must be on the scale.
+  Rational Encode(const Rational& c) const;
+  /// i -> c_i. The value must be an integer rank on the scale.
+  Rational Decode(const Rational& index) const;
+
+  /// Rewrites every constant of the relation to its rank.
+  GeneralizedRelation EncodeRelation(const GeneralizedRelation& rel) const;
+  /// Inverse of EncodeRelation.
+  GeneralizedRelation DecodeRelation(const GeneralizedRelation& rel) const;
+
+  /// Semantic signature of a relation whose constants lie on the scale: the
+  /// sorted keys of its cells. Two databases are order-isomorphic iff their
+  /// relations (in schema order) have equal signatures under their own
+  /// standard encodings. `limit` bounds the decomposition size (0 = none).
+  Result<std::string> Signature(const GeneralizedRelation& rel,
+                                uint64_t limit = 0) const;
+
+  /// Approximate byte size of a relation's finite representation (used by
+  /// the FIG-1 representation-size benchmark).
+  static size_t EncodedSizeBytes(const GeneralizedRelation& rel);
+
+ private:
+  explicit StandardEncoding(std::vector<Rational> scale)
+      : scale_(std::move(scale)) {}
+
+  std::vector<Rational> scale_;
+};
+
+/// A piecewise-linear automorphism of (Q, <): strictly increasing anchor
+/// points with linear interpolation between them and slope-1 extension
+/// beyond. Concrete witnesses for the paper's §3 closure-under-automorphism
+/// property of queries.
+class MonotoneMap {
+ public:
+  /// Anchors must be strictly increasing in both coordinates; an empty
+  /// anchor list is the identity.
+  explicit MonotoneMap(std::vector<std::pair<Rational, Rational>> anchors);
+
+  static MonotoneMap Identity() { return MonotoneMap({}); }
+
+  Rational Apply(const Rational& x) const;
+
+  /// Applies the map to every constant of the relation. Because the map is
+  /// an automorphism of (Q, <), the image relation is order-isomorphic to
+  /// the original.
+  GeneralizedRelation ApplyToRelation(const GeneralizedRelation& rel) const;
+
+ private:
+  std::vector<std::pair<Rational, Rational>> anchors_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_CELLS_STANDARD_ENCODING_H_

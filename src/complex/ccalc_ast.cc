@@ -1,0 +1,414 @@
+#include "complex/ccalc_ast.h"
+
+#include <algorithm>
+
+#include "core/str_util.h"
+
+namespace dodb {
+
+CCalcFormulaPtr CCalcFormula::Clone() const {
+  auto out = std::make_unique<CCalcFormula>();
+  out->kind = kind;
+  out->bool_value = bool_value;
+  out->lhs = lhs;
+  out->rhs = rhs;
+  out->op = op;
+  out->relation = relation;
+  out->args = args;
+  out->set_name = set_name;
+  out->inner_set = inner_set;
+  out->bound_vars = bound_vars;
+  out->bound_set = bound_set;
+  out->set_arity = set_arity;
+  out->set_height = set_height;
+  out->inner_set2 = inner_set2;
+  out->comp_vars = comp_vars;
+  if (child) out->child = child->Clone();
+  if (child2) out->child2 = child2->Clone();
+  return out;
+}
+
+void CCalcFormula::CollectFreePointVars(std::set<std::string>* out) const {
+  switch (kind) {
+    case CCalcKind::kBool:
+    case CCalcKind::kSetMember:
+    case CCalcKind::kSetCompare:
+      return;
+    case CCalcKind::kCompare:
+      lhs.CollectVars(out);
+      rhs.CollectVars(out);
+      return;
+    case CCalcKind::kRelation:
+    case CCalcKind::kMember:
+      for (const FoExpr& arg : args) arg.CollectVars(out);
+      return;
+    case CCalcKind::kComprehension:
+    case CCalcKind::kFixpointMember: {
+      for (const FoExpr& arg : args) arg.CollectVars(out);
+      // The body is closed over comp_vars; anything beyond is free.
+      std::set<std::string> inner;
+      child->CollectFreePointVars(&inner);
+      for (const std::string& v : comp_vars) inner.erase(v);
+      out->insert(inner.begin(), inner.end());
+      return;
+    }
+    case CCalcKind::kNot:
+    case CCalcKind::kSetExists:
+    case CCalcKind::kSetForall:
+      child->CollectFreePointVars(out);
+      return;
+    case CCalcKind::kAnd:
+    case CCalcKind::kOr:
+      child->CollectFreePointVars(out);
+      child2->CollectFreePointVars(out);
+      return;
+    case CCalcKind::kExists:
+    case CCalcKind::kForall: {
+      std::set<std::string> inner;
+      child->CollectFreePointVars(&inner);
+      for (const std::string& v : bound_vars) inner.erase(v);
+      out->insert(inner.begin(), inner.end());
+      return;
+    }
+  }
+}
+
+std::set<std::string> CCalcFormula::FreePointVars() const {
+  std::set<std::string> out;
+  CollectFreePointVars(&out);
+  return out;
+}
+
+void CCalcFormula::CollectFreeSetVars(std::set<std::string>* out) const {
+  switch (kind) {
+    case CCalcKind::kMember:
+      out->insert(set_name);
+      return;
+    case CCalcKind::kSetMember:
+      out->insert(set_name);
+      out->insert(inner_set);
+      return;
+    case CCalcKind::kSetCompare:
+      out->insert(inner_set);
+      out->insert(inner_set2);
+      return;
+    case CCalcKind::kNot:
+    case CCalcKind::kExists:
+    case CCalcKind::kForall:
+    case CCalcKind::kComprehension:
+    case CCalcKind::kFixpointMember:
+      child->CollectFreeSetVars(out);
+      return;
+    case CCalcKind::kAnd:
+    case CCalcKind::kOr:
+      child->CollectFreeSetVars(out);
+      child2->CollectFreeSetVars(out);
+      return;
+    case CCalcKind::kSetExists:
+    case CCalcKind::kSetForall: {
+      std::set<std::string> inner;
+      child->CollectFreeSetVars(&inner);
+      inner.erase(bound_set);
+      out->insert(inner.begin(), inner.end());
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+int CCalcFormula::MaxSetHeight() const {
+  switch (kind) {
+    case CCalcKind::kNot:
+    case CCalcKind::kExists:
+    case CCalcKind::kForall:
+      return child->MaxSetHeight();
+    case CCalcKind::kComprehension:
+      // The set term itself is one set level above its body.
+      return std::max(1, child->MaxSetHeight());
+    case CCalcKind::kFixpointMember:
+      // The fixpoint operator itself adds no set level (Thm 5.6's
+      // C-CALC_i + fixpoint keeps the level of the body).
+      return child->MaxSetHeight();
+    case CCalcKind::kAnd:
+    case CCalcKind::kOr:
+      return std::max(child->MaxSetHeight(), child2->MaxSetHeight());
+    case CCalcKind::kSetExists:
+    case CCalcKind::kSetForall:
+      return std::max(set_height, child->MaxSetHeight());
+    default:
+      return 0;
+  }
+}
+
+void CCalcFormula::CollectConstants(std::set<Rational>* out) const {
+  auto from_expr = [out](const FoExpr& expr) {
+    if (!expr.constant.is_zero() || expr.coeffs.empty()) {
+      out->insert(expr.constant);
+    }
+  };
+  switch (kind) {
+    case CCalcKind::kCompare:
+      from_expr(lhs);
+      from_expr(rhs);
+      return;
+    case CCalcKind::kRelation:
+    case CCalcKind::kMember:
+      for (const FoExpr& arg : args) from_expr(arg);
+      return;
+    case CCalcKind::kComprehension:
+    case CCalcKind::kFixpointMember:
+      for (const FoExpr& arg : args) from_expr(arg);
+      child->CollectConstants(out);
+      return;
+    case CCalcKind::kNot:
+    case CCalcKind::kExists:
+    case CCalcKind::kForall:
+    case CCalcKind::kSetExists:
+    case CCalcKind::kSetForall:
+      child->CollectConstants(out);
+      return;
+    case CCalcKind::kAnd:
+    case CCalcKind::kOr:
+      child->CollectConstants(out);
+      child2->CollectConstants(out);
+      return;
+    default:
+      return;
+  }
+}
+
+std::string CCalcFormula::ToString() const {
+  switch (kind) {
+    case CCalcKind::kBool:
+      return bool_value ? "true" : "false";
+    case CCalcKind::kCompare:
+      return StrCat(lhs.ToString(), " ", RelOpSymbol(op), " ",
+                    rhs.ToString());
+    case CCalcKind::kRelation: {
+      std::vector<std::string> parts;
+      parts.reserve(args.size());
+      for (const FoExpr& arg : args) parts.push_back(arg.ToString());
+      return StrCat(relation, "(", StrJoin(parts, ", "), ")");
+    }
+    case CCalcKind::kMember: {
+      std::vector<std::string> parts;
+      parts.reserve(args.size());
+      for (const FoExpr& arg : args) parts.push_back(arg.ToString());
+      if (parts.size() == 1) {
+        return StrCat(parts[0], " in ", set_name);
+      }
+      return StrCat("(", StrJoin(parts, ", "), ") in ", set_name);
+    }
+    case CCalcKind::kSetMember:
+      return StrCat(inner_set, " in ", set_name);
+    case CCalcKind::kSetCompare:
+      return StrCat(inner_set, " ", RelOpSymbol(op), " ", inner_set2);
+    case CCalcKind::kComprehension: {
+      std::vector<std::string> parts;
+      parts.reserve(args.size());
+      for (const FoExpr& arg : args) parts.push_back(arg.ToString());
+      std::string lhs_text = parts.size() == 1
+                                 ? parts[0]
+                                 : StrCat("(", StrJoin(parts, ", "), ")");
+      return StrCat(lhs_text, " in { (", StrJoin(comp_vars, ", "), ") | ",
+                    child->ToString(), " }");
+    }
+    case CCalcKind::kFixpointMember: {
+      std::vector<std::string> parts;
+      parts.reserve(args.size());
+      for (const FoExpr& arg : args) parts.push_back(arg.ToString());
+      std::string lhs_text = parts.size() == 1
+                                 ? parts[0]
+                                 : StrCat("(", StrJoin(parts, ", "), ")");
+      return StrCat(lhs_text, " in fix ", relation, " (",
+                    StrJoin(comp_vars, ", "), " | ", child->ToString(),
+                    ")");
+    }
+    case CCalcKind::kNot:
+      return StrCat("not (", child->ToString(), ")");
+    case CCalcKind::kAnd:
+      return StrCat("(", child->ToString(), " and ", child2->ToString(), ")");
+    case CCalcKind::kOr:
+      return StrCat("(", child->ToString(), " or ", child2->ToString(), ")");
+    case CCalcKind::kExists:
+    case CCalcKind::kForall:
+      return StrCat(kind == CCalcKind::kExists ? "exists " : "forall ",
+                    StrJoin(bound_vars, ", "), " (", child->ToString(), ")");
+    case CCalcKind::kSetExists:
+    case CCalcKind::kSetForall: {
+      std::string sets;
+      for (int i = 0; i < set_height; ++i) sets += "set ";
+      return StrCat(kind == CCalcKind::kSetExists ? "exists " : "forall ",
+                    sets, bound_set, " : ", set_arity, " (",
+                    child->ToString(), ")");
+    }
+  }
+  return "?";
+}
+
+namespace {
+CCalcFormulaPtr NewNode(CCalcKind kind) {
+  auto out = std::make_unique<CCalcFormula>();
+  out->kind = kind;
+  return out;
+}
+}  // namespace
+
+CCalcFormulaPtr MakeCBool(bool value) {
+  auto out = NewNode(CCalcKind::kBool);
+  out->bool_value = value;
+  return out;
+}
+
+CCalcFormulaPtr MakeCCompare(FoExpr lhs, RelOp op, FoExpr rhs) {
+  auto out = NewNode(CCalcKind::kCompare);
+  out->lhs = std::move(lhs);
+  out->rhs = std::move(rhs);
+  out->op = op;
+  return out;
+}
+
+CCalcFormulaPtr MakeCRelation(std::string name, std::vector<FoExpr> args) {
+  auto out = NewNode(CCalcKind::kRelation);
+  out->relation = std::move(name);
+  out->args = std::move(args);
+  return out;
+}
+
+CCalcFormulaPtr MakeCMember(std::vector<FoExpr> terms, std::string set_name) {
+  auto out = NewNode(CCalcKind::kMember);
+  out->args = std::move(terms);
+  out->set_name = std::move(set_name);
+  return out;
+}
+
+CCalcFormulaPtr MakeCNot(CCalcFormulaPtr child) {
+  auto out = NewNode(CCalcKind::kNot);
+  out->child = std::move(child);
+  return out;
+}
+
+CCalcFormulaPtr MakeCAnd(CCalcFormulaPtr a, CCalcFormulaPtr b) {
+  auto out = NewNode(CCalcKind::kAnd);
+  out->child = std::move(a);
+  out->child2 = std::move(b);
+  return out;
+}
+
+CCalcFormulaPtr MakeCOr(CCalcFormulaPtr a, CCalcFormulaPtr b) {
+  auto out = NewNode(CCalcKind::kOr);
+  out->child = std::move(a);
+  out->child2 = std::move(b);
+  return out;
+}
+
+CCalcFormulaPtr MakeCExists(std::vector<std::string> vars,
+                            CCalcFormulaPtr body) {
+  auto out = NewNode(CCalcKind::kExists);
+  out->bound_vars = std::move(vars);
+  out->child = std::move(body);
+  return out;
+}
+
+CCalcFormulaPtr MakeCForall(std::vector<std::string> vars,
+                            CCalcFormulaPtr body) {
+  auto out = NewNode(CCalcKind::kForall);
+  out->bound_vars = std::move(vars);
+  out->child = std::move(body);
+  return out;
+}
+
+CCalcFormulaPtr MakeCSetExists(std::string set_name, int arity, int height,
+                               CCalcFormulaPtr body) {
+  auto out = NewNode(CCalcKind::kSetExists);
+  out->bound_set = std::move(set_name);
+  out->set_arity = arity;
+  out->set_height = height;
+  out->child = std::move(body);
+  return out;
+}
+
+CCalcFormulaPtr MakeCSetForall(std::string set_name, int arity, int height,
+                               CCalcFormulaPtr body) {
+  auto out = NewNode(CCalcKind::kSetForall);
+  out->bound_set = std::move(set_name);
+  out->set_arity = arity;
+  out->set_height = height;
+  out->child = std::move(body);
+  return out;
+}
+
+CCalcFormulaPtr MakeCComprehension(std::vector<FoExpr> terms,
+                                   std::vector<std::string> comp_vars,
+                                   CCalcFormulaPtr body) {
+  auto out = NewNode(CCalcKind::kComprehension);
+  out->args = std::move(terms);
+  out->comp_vars = std::move(comp_vars);
+  out->child = std::move(body);
+  return out;
+}
+
+CCalcFormulaPtr MakeCFixpointMember(std::vector<FoExpr> terms,
+                                    std::string predicate,
+                                    std::vector<std::string> comp_vars,
+                                    CCalcFormulaPtr body) {
+  auto out = NewNode(CCalcKind::kFixpointMember);
+  out->args = std::move(terms);
+  out->relation = std::move(predicate);
+  out->comp_vars = std::move(comp_vars);
+  out->child = std::move(body);
+  return out;
+}
+
+void ResolveSetMembers(CCalcFormula* formula,
+                       std::set<std::string>* in_scope) {
+  switch (formula->kind) {
+    case CCalcKind::kMember:
+      if (formula->args.size() == 1 && formula->args[0].IsSimpleVar() &&
+          in_scope->count(formula->args[0].VarName()) > 0) {
+        formula->inner_set = formula->args[0].VarName();
+        formula->args.clear();
+        formula->kind = CCalcKind::kSetMember;
+      }
+      return;
+    case CCalcKind::kCompare:
+      // X = Y / X != Y between two in-scope set variables is set equality.
+      if ((formula->op == RelOp::kEq || formula->op == RelOp::kNeq) &&
+          formula->lhs.IsSimpleVar() && formula->rhs.IsSimpleVar() &&
+          in_scope->count(formula->lhs.VarName()) > 0 &&
+          in_scope->count(formula->rhs.VarName()) > 0) {
+        formula->inner_set = formula->lhs.VarName();
+        formula->inner_set2 = formula->rhs.VarName();
+        formula->kind = CCalcKind::kSetCompare;
+      }
+      return;
+    case CCalcKind::kNot:
+    case CCalcKind::kExists:
+    case CCalcKind::kForall:
+    case CCalcKind::kComprehension:
+    case CCalcKind::kFixpointMember:
+      ResolveSetMembers(formula->child.get(), in_scope);
+      return;
+    case CCalcKind::kAnd:
+    case CCalcKind::kOr:
+      ResolveSetMembers(formula->child.get(), in_scope);
+      ResolveSetMembers(formula->child2.get(), in_scope);
+      return;
+    case CCalcKind::kSetExists:
+    case CCalcKind::kSetForall: {
+      bool inserted = in_scope->insert(formula->bound_set).second;
+      ResolveSetMembers(formula->child.get(), in_scope);
+      if (inserted) in_scope->erase(formula->bound_set);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+std::string CCalcQuery::ToString() const {
+  return StrCat("{ (", StrJoin(head, ", "), ") | ", body->ToString(), " }");
+}
+
+}  // namespace dodb

@@ -1,0 +1,124 @@
+#ifndef DODB_COMPLEX_CCALC_AST_H_
+#define DODB_COMPLEX_CCALC_AST_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fo/ast.h"
+
+namespace dodb {
+
+/// Node kinds of the C-CALC calculus (§5): first-order logic over
+/// dense-order constraints extended with set variables, set membership and
+/// set quantifiers under the active-domain semantics.
+enum class CCalcKind {
+  kBool,
+  kCompare,
+  kRelation,
+  kNot,
+  kAnd,
+  kOr,
+  kExists,     // point-variable quantifier
+  kForall,
+  kMember,     // (t1,...,tk) in X   — point tuple in a set variable
+  kSetMember,  // X in F             — set variable in a set-of-sets variable
+  kSetExists,  // exists set X : k ( ... )   (height from 'set' repetition)
+  kSetForall,
+  kSetCompare,       // X = Y / X != Y between two level-1 set variables
+  kComprehension,    // (t1,...,tk) in { (x1,...,xk) | phi }  — a set term
+  kFixpointMember,   // (t1,...,tk) in fix P (x1,...,xk | phi)  — Thm 5.6
+};
+
+struct CCalcFormula;
+using CCalcFormulaPtr = std::unique_ptr<CCalcFormula>;
+
+/// Passive AST node for C-CALC formulas. The parser emits kMember for every
+/// "... in X"; the evaluator reinterprets a single-variable member whose
+/// variable is itself a bound set variable as kSetMember.
+struct CCalcFormula {
+  CCalcKind kind = CCalcKind::kBool;
+
+  bool bool_value = false;              // kBool
+  FoExpr lhs, rhs;                      // kCompare
+  RelOp op = RelOp::kEq;                // kCompare
+  std::string relation;                 // kRelation
+  std::vector<FoExpr> args;             // kRelation, kMember (member terms)
+  std::string set_name;                 // kMember / kSetMember target
+  std::string inner_set;                // kSetMember: inner_set in set_name
+  std::vector<std::string> bound_vars;  // kExists / kForall
+  std::string bound_set;                // kSetExists / kSetForall
+  int set_arity = 0;                    // declared arity of bound_set
+  int set_height = 1;                   // 1 = set of points, 2 = set of sets
+  std::string inner_set2;               // kSetCompare: inner_set op inner_set2
+  std::vector<std::string> comp_vars;   // kComprehension: the x1..xk
+  CCalcFormulaPtr child, child2;        // child also: kComprehension body
+
+  CCalcFormulaPtr Clone() const;
+
+  /// Free *point* variables (set variables are tracked separately).
+  void CollectFreePointVars(std::set<std::string>* out) const;
+  std::set<std::string> FreePointVars() const;
+
+  /// Free set variables.
+  void CollectFreeSetVars(std::set<std::string>* out) const;
+
+  /// Maximal set-height of any set variable bound in the formula (0 when
+  /// none): the C-CALC_i level of the query.
+  int MaxSetHeight() const;
+
+  /// Constants appearing in terms (contribute to the active-domain scale).
+  void CollectConstants(std::set<Rational>* out) const;
+
+  std::string ToString() const;
+};
+
+CCalcFormulaPtr MakeCBool(bool value);
+CCalcFormulaPtr MakeCCompare(FoExpr lhs, RelOp op, FoExpr rhs);
+CCalcFormulaPtr MakeCRelation(std::string name, std::vector<FoExpr> args);
+CCalcFormulaPtr MakeCMember(std::vector<FoExpr> terms, std::string set_name);
+CCalcFormulaPtr MakeCNot(CCalcFormulaPtr child);
+CCalcFormulaPtr MakeCAnd(CCalcFormulaPtr a, CCalcFormulaPtr b);
+CCalcFormulaPtr MakeCOr(CCalcFormulaPtr a, CCalcFormulaPtr b);
+CCalcFormulaPtr MakeCExists(std::vector<std::string> vars,
+                            CCalcFormulaPtr body);
+CCalcFormulaPtr MakeCForall(std::vector<std::string> vars,
+                            CCalcFormulaPtr body);
+CCalcFormulaPtr MakeCSetExists(std::string set_name, int arity, int height,
+                               CCalcFormulaPtr body);
+CCalcFormulaPtr MakeCSetForall(std::string set_name, int arity, int height,
+                               CCalcFormulaPtr body);
+/// (terms) in { (comp_vars) | body }. The paper's "set terms": body's free
+/// point variables must be among comp_vars; membership is by substitution.
+CCalcFormulaPtr MakeCComprehension(std::vector<FoExpr> terms,
+                                   std::vector<std::string> comp_vars,
+                                   CCalcFormulaPtr body);
+/// (terms) in fix P (comp_vars | body): the inflationary fixpoint operator
+/// of Theorem 5.6 (C-CALC_i + fixpoint = H_i-TIME). Inside `body` the name
+/// P may be used as a relation atom of arity |comp_vars|; the denoted
+/// relation is the limit of P_0 = empty, P_{j+1} = P_j ∪ body(P_j).
+CCalcFormulaPtr MakeCFixpointMember(std::vector<FoExpr> terms,
+                                    std::string predicate,
+                                    std::vector<std::string> comp_vars,
+                                    CCalcFormulaPtr body);
+
+/// Rewrites member atoms "X in F" whose single term names a set variable
+/// bound in an enclosing set quantifier into kSetMember nodes. The parser
+/// cannot distinguish point variables from set variables, so this must run
+/// before free-variable analysis and evaluation. `in_scope` carries the set
+/// variables bound around `formula` (empty at the top level).
+void ResolveSetMembers(CCalcFormula* formula,
+                       std::set<std::string>* in_scope);
+
+/// A C-CALC query {(x1,...,xn) | phi} with flat (point) head variables.
+struct CCalcQuery {
+  std::vector<std::string> head;
+  CCalcFormulaPtr body;
+
+  std::string ToString() const;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_COMPLEX_CCALC_AST_H_

@@ -1,0 +1,414 @@
+#include "complex/ccalc_parser.h"
+
+#include "core/str_util.h"
+#include "fo/lexer.h"
+
+namespace dodb {
+
+namespace {
+bool IsRelOpToken(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kLt:
+    case TokenKind::kLe:
+    case TokenKind::kEq:
+    case TokenKind::kNeq:
+    case TokenKind::kGe:
+    case TokenKind::kGt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RelOp TokenToRelOp(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kLt:
+      return RelOp::kLt;
+    case TokenKind::kLe:
+      return RelOp::kLe;
+    case TokenKind::kEq:
+      return RelOp::kEq;
+    case TokenKind::kNeq:
+      return RelOp::kNeq;
+    case TokenKind::kGe:
+      return RelOp::kGe;
+    default:
+      return RelOp::kGt;
+  }
+}
+}  // namespace
+
+Result<CCalcQuery> CCalcParser::ParseQuery(std::string_view text) {
+  Result<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  CCalcParser parser(std::move(tokens).value());
+  Result<CCalcQuery> query = parser.Query_();
+  if (!query.ok()) return query;
+  if (parser.Peek().kind != TokenKind::kEnd) {
+    return parser.ErrorHere("trailing input after query");
+  }
+  return query;
+}
+
+Result<CCalcFormulaPtr> CCalcParser::ParseFormula(std::string_view text) {
+  Result<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  CCalcParser parser(std::move(tokens).value());
+  Result<CCalcFormulaPtr> formula = parser.Iff();
+  if (!formula.ok()) return formula;
+  if (parser.Peek().kind != TokenKind::kEnd) {
+    return parser.ErrorHere("trailing input after formula");
+  }
+  return formula;
+}
+
+const Token& CCalcParser::Peek(int ahead) const {
+  size_t index = pos_ + static_cast<size_t>(ahead);
+  if (index >= tokens_.size()) return tokens_.back();
+  return tokens_[index];
+}
+
+const Token& CCalcParser::Advance() {
+  const Token& token = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return token;
+}
+
+bool CCalcParser::Match(TokenKind kind) {
+  if (Peek().kind != kind) return false;
+  Advance();
+  return true;
+}
+
+Status CCalcParser::Expect(TokenKind kind, const char* where) {
+  if (Peek().kind != kind) {
+    return ErrorHere(StrCat("expected ", TokenKindName(kind), " in ", where,
+                            ", found ", Peek().Describe()));
+  }
+  Advance();
+  return Status::Ok();
+}
+
+Status CCalcParser::ErrorHere(const std::string& message) const {
+  const Token& token = Peek();
+  return Status::ParseError(
+      StrCat(message, " (line ", token.line, ", column ", token.column, ")"));
+}
+
+Result<CCalcQuery> CCalcParser::Query_() {
+  CCalcQuery query;
+  if (Match(TokenKind::kLBrace)) {
+    bool parens = Match(TokenKind::kLParen);
+    if (!(parens && Peek().kind == TokenKind::kRParen)) {
+      Result<std::vector<std::string>> vars = VarList();
+      if (!vars.ok()) return vars.status();
+      query.head = std::move(vars).value();
+    }
+    if (parens) DODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "query head"));
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kPipe, "query"));
+    Result<CCalcFormulaPtr> body = Iff();
+    if (!body.ok()) return body.status();
+    query.body = std::move(body).value();
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "query"));
+    return query;
+  }
+  Result<CCalcFormulaPtr> body = Iff();
+  if (!body.ok()) return body.status();
+  query.body = std::move(body).value();
+  return query;
+}
+
+Result<std::vector<std::string>> CCalcParser::VarList() {
+  std::vector<std::string> vars;
+  do {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere(
+          StrCat("expected variable name, found ", Peek().Describe()));
+    }
+    vars.push_back(Advance().text);
+  } while (Match(TokenKind::kComma));
+  return vars;
+}
+
+Result<CCalcFormulaPtr> CCalcParser::Iff() {
+  Result<CCalcFormulaPtr> left = Implies();
+  if (!left.ok()) return left;
+  CCalcFormulaPtr formula = std::move(left).value();
+  while (Match(TokenKind::kIff)) {
+    Result<CCalcFormulaPtr> right = Implies();
+    if (!right.ok()) return right;
+    CCalcFormulaPtr a = std::move(formula);
+    CCalcFormulaPtr b = std::move(right).value();
+    CCalcFormulaPtr both = MakeCAnd(a->Clone(), b->Clone());
+    CCalcFormulaPtr neither =
+        MakeCAnd(MakeCNot(std::move(a)), MakeCNot(std::move(b)));
+    formula = MakeCOr(std::move(both), std::move(neither));
+  }
+  return formula;
+}
+
+Result<CCalcFormulaPtr> CCalcParser::Implies() {
+  Result<CCalcFormulaPtr> left = Or();
+  if (!left.ok()) return left;
+  if (Match(TokenKind::kArrow)) {
+    Result<CCalcFormulaPtr> right = Implies();
+    if (!right.ok()) return right;
+    return MakeCOr(MakeCNot(std::move(left).value()),
+                   std::move(right).value());
+  }
+  return left;
+}
+
+Result<CCalcFormulaPtr> CCalcParser::Or() {
+  Result<CCalcFormulaPtr> left = And();
+  if (!left.ok()) return left;
+  CCalcFormulaPtr formula = std::move(left).value();
+  while (Match(TokenKind::kKwOr)) {
+    Result<CCalcFormulaPtr> right = And();
+    if (!right.ok()) return right;
+    formula = MakeCOr(std::move(formula), std::move(right).value());
+  }
+  return formula;
+}
+
+Result<CCalcFormulaPtr> CCalcParser::And() {
+  Result<CCalcFormulaPtr> left = Unary();
+  if (!left.ok()) return left;
+  CCalcFormulaPtr formula = std::move(left).value();
+  while (Match(TokenKind::kKwAnd)) {
+    Result<CCalcFormulaPtr> right = Unary();
+    if (!right.ok()) return right;
+    formula = MakeCAnd(std::move(formula), std::move(right).value());
+  }
+  return formula;
+}
+
+Result<CCalcFormulaPtr> CCalcParser::Unary() {
+  if (Match(TokenKind::kKwNot)) {
+    Result<CCalcFormulaPtr> child = Unary();
+    if (!child.ok()) return child;
+    return MakeCNot(std::move(child).value());
+  }
+  if (Peek().kind == TokenKind::kKwExists ||
+      Peek().kind == TokenKind::kKwForall) {
+    bool exists = Advance().kind == TokenKind::kKwExists;
+    if (Peek().kind == TokenKind::kKwSet) {
+      int height = 0;
+      while (Match(TokenKind::kKwSet)) ++height;
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return ErrorHere("expected set variable name after 'set'");
+      }
+      std::string name = Advance().text;
+      DODB_RETURN_IF_ERROR(Expect(TokenKind::kColon, "set quantifier"));
+      if (Peek().kind != TokenKind::kNumber) {
+        return ErrorHere("expected arity after ':' in set quantifier");
+      }
+      Result<Rational> arity = Rational::FromString(Advance().text);
+      if (!arity.ok()) return arity.status();
+      if (!arity.value().is_integer() ||
+          arity.value() < Rational(1) || arity.value() > Rational(8)) {
+        return ErrorHere("set arity must be an integer in 1..8");
+      }
+      int k = static_cast<int>(arity.value().num().ToInt64().value());
+      DODB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "set quantifier body"));
+      Result<CCalcFormulaPtr> body = Iff();
+      if (!body.ok()) return body;
+      DODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "set quantifier body"));
+      if (exists) {
+        return MakeCSetExists(std::move(name), k, height,
+                              std::move(body).value());
+      }
+      return MakeCSetForall(std::move(name), k, height,
+                            std::move(body).value());
+    }
+    Result<std::vector<std::string>> vars = VarList();
+    if (!vars.ok()) return vars.status();
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "quantifier body"));
+    Result<CCalcFormulaPtr> body = Iff();
+    if (!body.ok()) return body;
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "quantifier body"));
+    if (exists) {
+      return MakeCExists(std::move(vars).value(), std::move(body).value());
+    }
+    return MakeCForall(std::move(vars).value(), std::move(body).value());
+  }
+  return Primary();
+}
+
+Result<CCalcFormulaPtr> CCalcParser::Primary() {
+  if (Match(TokenKind::kKwTrue)) return MakeCBool(true);
+  if (Match(TokenKind::kKwFalse)) return MakeCBool(false);
+
+  if (Peek().kind == TokenKind::kIdentifier &&
+      Peek(1).kind == TokenKind::kLParen) {
+    std::string name = Advance().text;
+    Advance();  // '('
+    std::vector<FoExpr> args;
+    if (Peek().kind != TokenKind::kRParen) {
+      do {
+        Result<FoExpr> arg = Expr();
+        if (!arg.ok()) return arg.status();
+        args.push_back(std::move(arg).value());
+      } while (Match(TokenKind::kComma));
+    }
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "relation atom"));
+    return MakeCRelation(std::move(name), std::move(args));
+  }
+
+  if (Peek().kind == TokenKind::kLParen) {
+    // Three readings: "(t1, ..., tk) in X", "(formula)", "(expr) relop ...".
+    size_t saved = pos_;
+    Advance();
+    std::vector<FoExpr> terms;
+    bool tuple_ok = true;
+    do {
+      Result<FoExpr> term = Expr();
+      if (!term.ok()) {
+        tuple_ok = false;
+        break;
+      }
+      terms.push_back(std::move(term).value());
+    } while (Match(TokenKind::kComma));
+    if (tuple_ok && Peek().kind == TokenKind::kRParen &&
+        Peek(1).kind == TokenKind::kKwIn) {
+      Advance();  // ')'
+      Advance();  // 'in'
+      return FinishMember(std::move(terms));
+    }
+    pos_ = saved;
+    Advance();
+    Result<CCalcFormulaPtr> inner = Iff();
+    if (inner.ok() && Peek().kind == TokenKind::kRParen) {
+      Advance();
+      return inner;
+    }
+    pos_ = saved;
+  }
+  return CompareOrMember();
+}
+
+Result<CCalcFormulaPtr> CCalcParser::CompareOrMember() {
+  Result<FoExpr> lhs = Expr();
+  if (!lhs.ok()) return lhs.status();
+  if (Match(TokenKind::kKwIn)) {
+    std::vector<FoExpr> terms;
+    terms.push_back(std::move(lhs).value());
+    return FinishMember(std::move(terms));
+  }
+  if (!IsRelOpToken(Peek().kind)) {
+    return ErrorHere(StrCat("expected comparison operator or 'in', found ",
+                            Peek().Describe()));
+  }
+  RelOp op = TokenToRelOp(Advance().kind);
+  Result<FoExpr> rhs = Expr();
+  if (!rhs.ok()) return rhs.status();
+  return MakeCCompare(std::move(lhs).value(), op, std::move(rhs).value());
+}
+
+Result<CCalcFormulaPtr> CCalcParser::FinishMember(std::vector<FoExpr> terms) {
+  // "in fix P (x, ... | phi)": the Theorem 5.6 fixpoint operator ("fix"
+  // followed by a predicate name; a plain set variable named fix is still
+  // reachable because it is not followed by an identifier).
+  if (Peek().kind == TokenKind::kIdentifier && Peek().text == "fix" &&
+      Peek(1).kind == TokenKind::kIdentifier) {
+    Advance();  // 'fix'
+    std::string predicate = Advance().text;
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "fixpoint"));
+    Result<std::vector<std::string>> vars = VarList();
+    if (!vars.ok()) return vars.status();
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kPipe, "fixpoint"));
+    Result<CCalcFormulaPtr> body = Iff();
+    if (!body.ok()) return body;
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "fixpoint"));
+    if (vars.value().size() != terms.size()) {
+      return ErrorHere(StrCat("fixpoint has ", vars.value().size(),
+                              " variables but the member tuple has ",
+                              terms.size()));
+    }
+    return MakeCFixpointMember(std::move(terms), std::move(predicate),
+                               std::move(vars).value(),
+                               std::move(body).value());
+  }
+  if (Peek().kind == TokenKind::kIdentifier) {
+    return MakeCMember(std::move(terms), Advance().text);
+  }
+  if (Match(TokenKind::kLBrace)) {
+    // Set term: { (x, y) | phi } or { x | phi }.
+    bool parens = Match(TokenKind::kLParen);
+    Result<std::vector<std::string>> vars = VarList();
+    if (!vars.ok()) return vars.status();
+    if (parens) {
+      DODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "set term head"));
+    }
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kPipe, "set term"));
+    Result<CCalcFormulaPtr> body = Iff();
+    if (!body.ok()) return body;
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "set term"));
+    if (vars.value().size() != terms.size()) {
+      return ErrorHere(
+          StrCat("set term has ", vars.value().size(),
+                 " head variables but the member tuple has ", terms.size()));
+    }
+    return MakeCComprehension(std::move(terms), std::move(vars).value(),
+                              std::move(body).value());
+  }
+  return ErrorHere("expected set variable or set term after 'in'");
+}
+
+Result<FoExpr> CCalcParser::Expr() {
+  Result<FoExpr> left = MulTerm();
+  if (!left.ok()) return left;
+  FoExpr expr = std::move(left).value();
+  while (Peek().kind == TokenKind::kPlus ||
+         Peek().kind == TokenKind::kMinus) {
+    bool plus = Advance().kind == TokenKind::kPlus;
+    Result<FoExpr> right = MulTerm();
+    if (!right.ok()) return right;
+    expr = plus ? expr.Plus(right.value()) : expr.Minus(right.value());
+  }
+  return expr;
+}
+
+Result<FoExpr> CCalcParser::MulTerm() {
+  Result<FoExpr> left = Factor();
+  if (!left.ok()) return left;
+  FoExpr expr = std::move(left).value();
+  while (Match(TokenKind::kStar)) {
+    Result<FoExpr> right = Factor();
+    if (!right.ok()) return right;
+    if (!expr.IsConstant() && !right.value().IsConstant()) {
+      return ErrorHere("non-linear term: product of two variables");
+    }
+    if (right.value().IsConstant()) {
+      expr = expr.ScaledBy(right.value().constant);
+    } else {
+      expr = right.value().ScaledBy(expr.constant);
+    }
+  }
+  return expr;
+}
+
+Result<FoExpr> CCalcParser::Factor() {
+  if (Peek().kind == TokenKind::kIdentifier) {
+    return FoExpr::Variable(Advance().text);
+  }
+  if (Peek().kind == TokenKind::kNumber) {
+    Result<Rational> value = Rational::FromString(Advance().text);
+    if (!value.ok()) return value.status();
+    return FoExpr::Constant(std::move(value).value());
+  }
+  if (Match(TokenKind::kMinus)) {
+    Result<FoExpr> inner = Factor();
+    if (!inner.ok()) return inner;
+    return inner.value().Negated();
+  }
+  if (Match(TokenKind::kLParen)) {
+    Result<FoExpr> inner = Expr();
+    if (!inner.ok()) return inner;
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "parenthesized term"));
+    return inner;
+  }
+  return ErrorHere(StrCat("expected term, found ", Peek().Describe()));
+}
+
+}  // namespace dodb

@@ -1,0 +1,61 @@
+#ifndef DODB_COMPLEX_CCALC_PARSER_H_
+#define DODB_COMPLEX_CCALC_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "complex/ccalc_ast.h"
+#include "core/status.h"
+#include "fo/token.h"
+
+namespace dodb {
+
+/// Parser for C-CALC queries — the FO surface syntax extended with set
+/// quantifiers and membership:
+///
+///   quant    := ('exists'|'forall') 'set'+ ident ':' number '(' phi ')'
+///             | ('exists'|'forall') varlist '(' phi ')'
+///   member   := '(' exprlist ')' 'in' ident  |  expr 'in' ident
+///
+/// The number of 'set' keywords is the set-height of the bound variable
+/// ("exists set set F : 1" binds a set of sets of unary pointsets); the
+/// number after ':' is the base arity. "X in F" between two set variables
+/// parses as a member atom and is re-typed by the evaluator.
+class CCalcParser {
+ public:
+  static Result<CCalcQuery> ParseQuery(std::string_view text);
+  static Result<CCalcFormulaPtr> ParseFormula(std::string_view text);
+
+ private:
+  explicit CCalcParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool Match(TokenKind kind);
+  Status Expect(TokenKind kind, const char* where);
+  Status ErrorHere(const std::string& message) const;
+
+  Result<CCalcQuery> Query_();
+  Result<std::vector<std::string>> VarList();
+  Result<CCalcFormulaPtr> Iff();
+  Result<CCalcFormulaPtr> Implies();
+  Result<CCalcFormulaPtr> Or();
+  Result<CCalcFormulaPtr> And();
+  Result<CCalcFormulaPtr> Unary();
+  Result<CCalcFormulaPtr> Primary();
+  Result<CCalcFormulaPtr> CompareOrMember();
+  /// After consuming 'in': a set-variable name, or a set term
+  /// "{ (x,...) | phi }" (comprehension).
+  Result<CCalcFormulaPtr> FinishMember(std::vector<FoExpr> terms);
+  Result<FoExpr> Expr();
+  Result<FoExpr> MulTerm();
+  Result<FoExpr> Factor();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_COMPLEX_CCALC_PARSER_H_

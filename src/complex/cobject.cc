@@ -1,0 +1,208 @@
+#include "complex/cobject.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+CObject CObject::FromRational(Rational value) {
+  CObject out;
+  out.kind_ = Kind::kRational;
+  out.rational_ = std::move(value);
+  return out;
+}
+
+CObject CObject::MakeTuple(std::vector<CObject> fields) {
+  CObject out;
+  out.kind_ = Kind::kTuple;
+  out.children_ = std::move(fields);
+  return out;
+}
+
+CObject CObject::PointSet(GeneralizedRelation relation) {
+  CObject out;
+  out.kind_ = Kind::kPointSet;
+  out.point_set_ = std::move(relation);
+  return out;
+}
+
+CObject CObject::ObjectSet(std::vector<CObject> members) {
+  CObject out;
+  out.kind_ = Kind::kObjectSet;
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  out.children_ = std::move(members);
+  return out;
+}
+
+const Rational& CObject::rational() const {
+  DODB_CHECK_MSG(kind_ == Kind::kRational, "rational() on non-rational");
+  return rational_;
+}
+
+const std::vector<CObject>& CObject::fields() const {
+  DODB_CHECK_MSG(kind_ == Kind::kTuple, "fields() on non-tuple");
+  return children_;
+}
+
+const GeneralizedRelation& CObject::point_set() const {
+  DODB_CHECK_MSG(kind_ == Kind::kPointSet, "point_set() on non-pointset");
+  return point_set_;
+}
+
+const std::vector<CObject>& CObject::members() const {
+  DODB_CHECK_MSG(kind_ == Kind::kObjectSet, "members() on non-object-set");
+  return children_;
+}
+
+Result<CType> CObject::InferType() const {
+  switch (kind_) {
+    case Kind::kRational:
+      return CType::Q();
+    case Kind::kTuple: {
+      std::vector<CType> fields;
+      fields.reserve(children_.size());
+      for (const CObject& field : children_) {
+        Result<CType> type = field.InferType();
+        if (!type.ok()) return type;
+        fields.push_back(std::move(type).value());
+      }
+      return CType::Tuple(std::move(fields));
+    }
+    case Kind::kPointSet: {
+      int k = point_set_.arity();
+      if (k == 1) return CType::Set(CType::Q());
+      std::vector<CType> fields(static_cast<size_t>(k), CType::Q());
+      return CType::Set(CType::Tuple(std::move(fields)));
+    }
+    case Kind::kObjectSet: {
+      if (children_.empty()) {
+        return Status::InvalidArgument(
+            "empty object set has no unique type; supply one externally");
+      }
+      Result<CType> first = children_[0].InferType();
+      if (!first.ok()) return first;
+      for (size_t i = 1; i < children_.size(); ++i) {
+        Result<CType> other = children_[i].InferType();
+        if (!other.ok()) return other;
+        if (!(other.value() == first.value())) {
+          return Status::InvalidArgument(
+              StrCat("heterogeneous object set: ", first.value().ToString(),
+                     " vs ", other.value().ToString()));
+        }
+      }
+      return CType::Set(std::move(first).value());
+    }
+  }
+  return Status::Internal("unknown object kind");
+}
+
+int CObject::SetHeight() const {
+  switch (kind_) {
+    case Kind::kRational:
+      return 0;
+    case Kind::kTuple: {
+      int height = 0;
+      for (const CObject& field : children_) {
+        height = std::max(height, field.SetHeight());
+      }
+      return height;
+    }
+    case Kind::kPointSet:
+      return 1;
+    case Kind::kObjectSet: {
+      int height = 0;
+      for (const CObject& member : children_) {
+        height = std::max(height, member.SetHeight());
+      }
+      return 1 + height;
+    }
+  }
+  return 0;
+}
+
+std::string CObject::ToString() const {
+  switch (kind_) {
+    case Kind::kRational:
+      return rational_.ToString();
+    case Kind::kTuple: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const CObject& field : children_) parts.push_back(field.ToString());
+      return StrCat("[", StrJoin(parts, ", "), "]");
+    }
+    case Kind::kPointSet:
+      return point_set_.ToString();
+    case Kind::kObjectSet: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const CObject& member : children_) {
+        parts.push_back(member.ToString());
+      }
+      return StrCat("{ ", StrJoin(parts, " ; "), " }");
+    }
+  }
+  return "?";
+}
+
+int CObject::Compare(const CObject& other) const {
+  if (kind_ != other.kind_) {
+    return static_cast<int>(kind_) < static_cast<int>(other.kind_) ? -1 : 1;
+  }
+  switch (kind_) {
+    case Kind::kRational:
+      return rational_.Compare(other.rational_);
+    case Kind::kPointSet: {
+      if (point_set_.arity() != other.point_set_.arity()) {
+        return point_set_.arity() < other.point_set_.arity() ? -1 : 1;
+      }
+      const auto& a = point_set_.tuples();
+      const auto& b = other.point_set_.tuples();
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int cmp = a[i].Compare(b[i]);
+        if (cmp != 0) return cmp;
+      }
+      if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+      return 0;
+    }
+    case Kind::kTuple:
+    case Kind::kObjectSet: {
+      size_t n = std::min(children_.size(), other.children_.size());
+      for (size_t i = 0; i < n; ++i) {
+        int cmp = children_[i].Compare(other.children_[i]);
+        if (cmp != 0) return cmp;
+      }
+      if (children_.size() != other.children_.size()) {
+        return children_.size() < other.children_.size() ? -1 : 1;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+size_t CObject::Hash() const {
+  size_t h = static_cast<size_t>(kind_) * 0x9e3779b97f4a7c15ull;
+  switch (kind_) {
+    case Kind::kRational:
+      h ^= rational_.Hash();
+      break;
+    case Kind::kPointSet:
+      for (const GeneralizedTuple& tuple : point_set_.tuples()) {
+        h ^= tuple.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      }
+      break;
+    case Kind::kTuple:
+    case Kind::kObjectSet:
+      for (const CObject& child : children_) {
+        h ^= child.Hash() + 0x517cc1b727220a95ull + (h << 6) + (h >> 2);
+      }
+      break;
+  }
+  return h;
+}
+
+}  // namespace dodb

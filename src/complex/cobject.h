@@ -1,0 +1,68 @@
+#ifndef DODB_COMPLEX_COBJECT_H_
+#define DODB_COMPLEX_COBJECT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "complex/ctype.h"
+#include "constraints/generalized_relation.h"
+#include "core/rational.h"
+
+namespace dodb {
+
+/// A complex constraint object (§5): a value composed from finitely
+/// representable pointsets by the tuple and set constructs.
+///
+/// The base-level set values are *pointsets* — finitely representable,
+/// possibly infinite subsets of Q^k carried as GeneralizedRelations (this is
+/// what makes pointsets first-class citizens in the model). Sets above the
+/// base level are finite sets of c-objects.
+class CObject {
+ public:
+  enum class Kind { kRational, kTuple, kPointSet, kObjectSet };
+
+  static CObject FromRational(Rational value);
+  static CObject MakeTuple(std::vector<CObject> fields);
+  /// A possibly infinite, finitely representable subset of Q^k.
+  static CObject PointSet(GeneralizedRelation relation);
+  /// A finite set of c-objects (deduplicated structurally, kept sorted).
+  static CObject ObjectSet(std::vector<CObject> members);
+
+  Kind kind() const { return kind_; }
+  const Rational& rational() const;
+  const std::vector<CObject>& fields() const;
+  const GeneralizedRelation& point_set() const;
+  const std::vector<CObject>& members() const;
+
+  /// The type of this object. Pointsets type as {[q,...,q]} ({q} for k=1);
+  /// heterogeneous object sets or empty object sets report an error (an
+  /// empty set is typeable as any set type, so the caller must supply it).
+  Result<CType> InferType() const;
+
+  /// Set-height of the value's shape (pointsets count as one set level).
+  int SetHeight() const;
+
+  std::string ToString() const;
+
+  /// Structural comparison (pointsets compare by canonical representation;
+  /// semantically equal pointsets with different syntax may differ — use
+  /// cells::SemanticallyEqual for semantic questions).
+  int Compare(const CObject& other) const;
+  bool operator==(const CObject& o) const { return Compare(o) == 0; }
+  bool operator<(const CObject& o) const { return Compare(o) < 0; }
+
+  size_t Hash() const;
+
+ private:
+  CObject() : kind_(Kind::kRational), point_set_(0) {}
+
+  Kind kind_;
+  Rational rational_;
+  std::vector<CObject> children_;  // tuple fields or set members
+  GeneralizedRelation point_set_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_COMPLEX_COBJECT_H_

@@ -1,0 +1,178 @@
+#include "complex/ctype.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+CType CType::Q() { return CType(Kind::kRational, {}); }
+
+CType CType::Tuple(std::vector<CType> fields) {
+  return CType(Kind::kTuple, std::move(fields));
+}
+
+CType CType::Set(CType element) {
+  std::vector<CType> children;
+  children.push_back(std::move(element));
+  return CType(Kind::kSet, std::move(children));
+}
+
+const std::vector<CType>& CType::fields() const {
+  DODB_CHECK_MSG(kind_ == Kind::kTuple, "fields() on non-tuple type");
+  return children_;
+}
+
+const CType& CType::element() const {
+  DODB_CHECK_MSG(kind_ == Kind::kSet, "element() on non-set type");
+  return children_[0];
+}
+
+int CType::SetHeight() const {
+  switch (kind_) {
+    case Kind::kRational:
+      return 0;
+    case Kind::kTuple: {
+      int height = 0;
+      for (const CType& field : children_) {
+        height = std::max(height, field.SetHeight());
+      }
+      return height;
+    }
+    case Kind::kSet:
+      return 1 + children_[0].SetHeight();
+  }
+  return 0;
+}
+
+int CType::PointSetArity() const {
+  if (kind_ != Kind::kSet) return -1;
+  const CType& elem = children_[0];
+  if (elem.kind_ == Kind::kRational) return 1;
+  if (elem.kind_ != Kind::kTuple) return -1;
+  for (const CType& field : elem.children_) {
+    if (field.kind_ != Kind::kRational) return -1;
+  }
+  return static_cast<int>(elem.children_.size());
+}
+
+std::string CType::ToString() const {
+  switch (kind_) {
+    case Kind::kRational:
+      return "q";
+    case Kind::kTuple: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const CType& field : children_) parts.push_back(field.ToString());
+      return StrCat("[", StrJoin(parts, ", "), "]");
+    }
+    case Kind::kSet:
+      return StrCat("{", children_[0].ToString(), "}");
+  }
+  return "?";
+}
+
+int CType::Compare(const CType& other) const {
+  if (kind_ != other.kind_) {
+    return static_cast<int>(kind_) < static_cast<int>(other.kind_) ? -1 : 1;
+  }
+  size_t n = std::min(children_.size(), other.children_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int cmp = children_[i].Compare(other.children_[i]);
+    if (cmp != 0) return cmp;
+  }
+  if (children_.size() != other.children_.size()) {
+    return children_.size() < other.children_.size() ? -1 : 1;
+  }
+  return 0;
+}
+
+namespace {
+
+// Recursive-descent parser over the raw text (the grammar is tiny enough
+// that the shared lexer is unnecessary).
+class TypeParser {
+ public:
+  explicit TypeParser(std::string_view text) : text_(text) {}
+
+  Result<CType> Parse() {
+    Result<CType> type = ParseType();
+    if (!type.ok()) return type;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError(
+          StrCat("trailing characters in type at offset ", pos_));
+    }
+    return type;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<CType> ParseType() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("unexpected end of type");
+    }
+    char c = text_[pos_];
+    if (c == 'q') {
+      ++pos_;
+      return CType::Q();
+    }
+    if (c == '[') {
+      ++pos_;
+      std::vector<CType> fields;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        return Status::ParseError("empty tuple type");
+      }
+      while (true) {
+        Result<CType> field = ParseType();
+        if (!field.ok()) return field;
+        fields.push_back(std::move(field).value());
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ']') {
+        return Status::ParseError("expected ']' in tuple type");
+      }
+      ++pos_;
+      return CType::Tuple(std::move(fields));
+    }
+    if (c == '{') {
+      ++pos_;
+      Result<CType> element = ParseType();
+      if (!element.ok()) return element;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '}') {
+        return Status::ParseError("expected '}' in set type");
+      }
+      ++pos_;
+      return CType::Set(std::move(element).value());
+    }
+    return Status::ParseError(
+        StrCat("unexpected character '", c, "' in type at offset ", pos_));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<CType> CType::Parse(std::string_view text) {
+  return TypeParser(text).Parse();
+}
+
+}  // namespace dodb

@@ -1,0 +1,62 @@
+#ifndef DODB_COMPLEX_CTYPE_H_
+#define DODB_COMPLEX_CTYPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dodb {
+
+/// A complex constraint object type (§5): built from the base type q
+/// (rational) with the tuple construct [T1,...,Tn] and the set construct
+/// {T}. The *set-height* of a type is the maximal number of set constructs
+/// on a root-to-leaf path; C-CALC_i restricts every type to set-height <= i
+/// (Theorem 5.3's hierarchy).
+class CType {
+ public:
+  enum class Kind { kRational, kTuple, kSet };
+
+  /// The base type q.
+  static CType Q();
+  static CType Tuple(std::vector<CType> fields);
+  static CType Set(CType element);
+
+  /// Parses "q", "[q, {q}]", "{[q, q]}", ...
+  static Result<CType> Parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  /// Tuple field types; requires kind() == kTuple.
+  const std::vector<CType>& fields() const;
+  /// Set element type; requires kind() == kSet.
+  const CType& element() const;
+
+  /// Maximal number of set constructs on a root-to-leaf path.
+  int SetHeight() const;
+
+  /// Whether this is a "flat" type: q, or a tuple of q's (a relational
+  /// schema column list), i.e. set-height 0.
+  bool IsFlat() const { return SetHeight() == 0; }
+
+  /// For the set-of-flat-tuples type {[q,...,q]} (or {q}): the tuple width.
+  /// Returns -1 for other shapes.
+  int PointSetArity() const;
+
+  std::string ToString() const;
+
+  int Compare(const CType& other) const;
+  bool operator==(const CType& o) const { return Compare(o) == 0; }
+  bool operator!=(const CType& o) const { return Compare(o) != 0; }
+
+ private:
+  CType(Kind kind, std::vector<CType> children)
+      : kind_(kind), children_(std::move(children)) {}
+
+  Kind kind_;
+  std::vector<CType> children_;  // fields (kTuple) or single element (kSet)
+};
+
+}  // namespace dodb
+
+#endif  // DODB_COMPLEX_CTYPE_H_

@@ -1,0 +1,166 @@
+#include "complex/range_restriction.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dodb {
+
+namespace {
+
+// Propagates restriction through top-level equalities x = y of a
+// conjunction: collects the equality pairs along the conjunctive spine and
+// closes the restricted set under them.
+void CollectEqualityPairs(
+    const CCalcFormula& formula,
+    std::vector<std::pair<std::string, std::string>>* pairs) {
+  if (formula.kind == CCalcKind::kAnd) {
+    CollectEqualityPairs(*formula.child, pairs);
+    CollectEqualityPairs(*formula.child2, pairs);
+    return;
+  }
+  if (formula.kind == CCalcKind::kCompare && formula.op == RelOp::kEq &&
+      formula.lhs.IsSimpleVar() && formula.rhs.IsSimpleVar()) {
+    pairs->emplace_back(formula.lhs.VarName(), formula.rhs.VarName());
+  }
+}
+
+void CloseUnderEqualities(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    std::set<std::string>* restricted) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [a, b] : pairs) {
+      if (restricted->count(a) && !restricted->count(b)) {
+        restricted->insert(b);
+        changed = true;
+      }
+      if (restricted->count(b) && !restricted->count(a)) {
+        restricted->insert(a);
+        changed = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RangeRestrictionInfo AnalyzeRangeRestriction(const CCalcFormula& formula) {
+  RangeRestrictionInfo info;
+  switch (formula.kind) {
+    case CCalcKind::kBool:
+      return info;
+    case CCalcKind::kCompare:
+      // x = c restricts x.
+      if (formula.op == RelOp::kEq) {
+        if (formula.lhs.IsSimpleVar() && formula.rhs.IsConstant()) {
+          info.restricted_point_vars.insert(formula.lhs.VarName());
+        }
+        if (formula.rhs.IsSimpleVar() && formula.lhs.IsConstant()) {
+          info.restricted_point_vars.insert(formula.rhs.VarName());
+        }
+      }
+      return info;
+    case CCalcKind::kRelation:
+      for (const FoExpr& arg : formula.args) {
+        arg.CollectVars(&info.restricted_point_vars);
+      }
+      return info;
+    case CCalcKind::kMember:
+      for (const FoExpr& arg : formula.args) {
+        arg.CollectVars(&info.restricted_point_vars);
+      }
+      return info;
+    case CCalcKind::kComprehension:
+    case CCalcKind::kFixpointMember:
+      // Membership in a set term / fixpoint restricts the member-term
+      // variables when the body is itself quantifier-safe.
+      info.quantifiers_safe =
+          AnalyzeRangeRestriction(*formula.child).quantifiers_safe;
+      for (const FoExpr& arg : formula.args) {
+        arg.CollectVars(&info.restricted_point_vars);
+      }
+      return info;
+    case CCalcKind::kSetCompare:
+      return info;  // restricts nothing
+    case CCalcKind::kSetMember:
+      // X in F restricts X when F is (externally) restricted; the
+      // conservative rule restricts X unconditionally only through this
+      // membership if F is, which we approximate by restricting X (F's own
+      // status is resolved at the conjunction level by the caller's
+      // intersection/union structure).
+      info.restricted_set_vars.insert(formula.inner_set);
+      return info;
+    case CCalcKind::kNot: {
+      RangeRestrictionInfo child = AnalyzeRangeRestriction(*formula.child);
+      info.quantifiers_safe = child.quantifiers_safe;
+      return info;  // negation restricts nothing
+    }
+    case CCalcKind::kAnd: {
+      RangeRestrictionInfo a = AnalyzeRangeRestriction(*formula.child);
+      RangeRestrictionInfo b = AnalyzeRangeRestriction(*formula.child2);
+      info.quantifiers_safe = a.quantifiers_safe && b.quantifiers_safe;
+      info.restricted_point_vars = a.restricted_point_vars;
+      info.restricted_point_vars.insert(b.restricted_point_vars.begin(),
+                                        b.restricted_point_vars.end());
+      info.restricted_set_vars = a.restricted_set_vars;
+      info.restricted_set_vars.insert(b.restricted_set_vars.begin(),
+                                      b.restricted_set_vars.end());
+      std::vector<std::pair<std::string, std::string>> pairs;
+      CollectEqualityPairs(formula, &pairs);
+      CloseUnderEqualities(pairs, &info.restricted_point_vars);
+      return info;
+    }
+    case CCalcKind::kOr: {
+      RangeRestrictionInfo a = AnalyzeRangeRestriction(*formula.child);
+      RangeRestrictionInfo b = AnalyzeRangeRestriction(*formula.child2);
+      info.quantifiers_safe = a.quantifiers_safe && b.quantifiers_safe;
+      std::set_intersection(
+          a.restricted_point_vars.begin(), a.restricted_point_vars.end(),
+          b.restricted_point_vars.begin(), b.restricted_point_vars.end(),
+          std::inserter(info.restricted_point_vars,
+                        info.restricted_point_vars.begin()));
+      std::set_intersection(
+          a.restricted_set_vars.begin(), a.restricted_set_vars.end(),
+          b.restricted_set_vars.begin(), b.restricted_set_vars.end(),
+          std::inserter(info.restricted_set_vars,
+                        info.restricted_set_vars.begin()));
+      return info;
+    }
+    case CCalcKind::kExists:
+    case CCalcKind::kForall: {
+      RangeRestrictionInfo child = AnalyzeRangeRestriction(*formula.child);
+      info = child;
+      for (const std::string& var : formula.bound_vars) {
+        if (child.restricted_point_vars.count(var) == 0) {
+          info.quantifiers_safe = false;
+        }
+        info.restricted_point_vars.erase(var);
+      }
+      return info;
+    }
+    case CCalcKind::kSetExists:
+    case CCalcKind::kSetForall: {
+      RangeRestrictionInfo child = AnalyzeRangeRestriction(*formula.child);
+      info = child;
+      if (child.restricted_set_vars.count(formula.bound_set) == 0) {
+        info.quantifiers_safe = false;
+      }
+      info.restricted_set_vars.erase(formula.bound_set);
+      return info;
+    }
+  }
+  return info;
+}
+
+bool IsRangeRestricted(const CCalcQuery& query) {
+  if (query.body == nullptr) return false;
+  RangeRestrictionInfo info = AnalyzeRangeRestriction(*query.body);
+  if (!info.quantifiers_safe) return false;
+  for (const std::string& var : query.head) {
+    if (info.restricted_point_vars.count(var) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace dodb

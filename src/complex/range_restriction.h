@@ -1,0 +1,47 @@
+#ifndef DODB_COMPLEX_RANGE_RESTRICTION_H_
+#define DODB_COMPLEX_RANGE_RESTRICTION_H_
+
+#include <set>
+#include <string>
+
+#include "complex/ccalc_ast.h"
+#include "core/status.h"
+
+namespace dodb {
+
+/// Result of the syntactic range-restriction analysis (§5 end): the
+/// alternative to the active-domain semantics, where syntactic conditions
+/// guarantee that variables only take values rooted in the input database
+/// (in the style of the range restriction for classical complex objects
+/// [GV91]).
+struct RangeRestrictionInfo {
+  /// Point variables that are range-restricted in the analyzed formula.
+  std::set<std::string> restricted_point_vars;
+  /// Set variables that are range-restricted.
+  std::set<std::string> restricted_set_vars;
+  /// Whether every quantified variable is restricted within its scope.
+  bool quantifiers_safe = true;
+};
+
+/// Computes the range-restricted variables of a formula under these rules
+/// (positive context only; negation restricts nothing):
+///   - R(t1,...,tk): every variable among the t_i is restricted;
+///   - (t1,...,tk) in X: the t_i variables are restricted, and if X is also
+///     restricted nothing more is needed (set variables become restricted
+///     only through "X in F" with F restricted or via membership of
+///     restricted points — the latter is NOT granted here, matching the
+///     conservative rule set);
+///   - x = c and x = y propagate restriction through equality;
+///   - conjunction: union, then equality propagation; disjunction:
+///     intersection; negation: empty;
+///   - quantifiers: the bound variable must be restricted in the body for
+///     quantifiers_safe to hold, and is removed from the result.
+RangeRestrictionInfo AnalyzeRangeRestriction(const CCalcFormula& formula);
+
+/// A query is range-restricted iff its body's quantifiers are safe and all
+/// head variables are restricted.
+bool IsRangeRestricted(const CCalcQuery& query);
+
+}  // namespace dodb
+
+#endif  // DODB_COMPLEX_RANGE_RESTRICTION_H_

@@ -1,0 +1,135 @@
+#include "constraints/dense_atom.h"
+
+#include <ostream>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+const char* RelOpSymbol(RelOp op) {
+  switch (op) {
+    case RelOp::kLt:
+      return "<";
+    case RelOp::kLe:
+      return "<=";
+    case RelOp::kEq:
+      return "=";
+    case RelOp::kNeq:
+      return "!=";
+    case RelOp::kGe:
+      return ">=";
+    case RelOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+RelOp NegateOp(RelOp op) {
+  switch (op) {
+    case RelOp::kLt:
+      return RelOp::kGe;
+    case RelOp::kLe:
+      return RelOp::kGt;
+    case RelOp::kEq:
+      return RelOp::kNeq;
+    case RelOp::kNeq:
+      return RelOp::kEq;
+    case RelOp::kGe:
+      return RelOp::kLt;
+    case RelOp::kGt:
+      return RelOp::kLe;
+  }
+  DODB_CHECK(false);
+  return RelOp::kEq;
+}
+
+RelOp FlipOp(RelOp op) {
+  switch (op) {
+    case RelOp::kLt:
+      return RelOp::kGt;
+    case RelOp::kLe:
+      return RelOp::kGe;
+    case RelOp::kEq:
+      return RelOp::kEq;
+    case RelOp::kNeq:
+      return RelOp::kNeq;
+    case RelOp::kGe:
+      return RelOp::kLe;
+    case RelOp::kGt:
+      return RelOp::kLt;
+  }
+  DODB_CHECK(false);
+  return RelOp::kEq;
+}
+
+bool OpHolds(int cmp, RelOp op) {
+  switch (op) {
+    case RelOp::kLt:
+      return cmp < 0;
+    case RelOp::kLe:
+      return cmp <= 0;
+    case RelOp::kEq:
+      return cmp == 0;
+    case RelOp::kNeq:
+      return cmp != 0;
+    case RelOp::kGe:
+      return cmp >= 0;
+    case RelOp::kGt:
+      return cmp > 0;
+  }
+  DODB_CHECK(false);
+  return false;
+}
+
+DenseAtom DenseAtom::Oriented() const {
+  if (lhs_.Compare(rhs_) <= 0) return *this;
+  return DenseAtom(rhs_, FlipOp(op_), lhs_);
+}
+
+namespace {
+Rational TermValue(const Term& term, const std::vector<Rational>& point) {
+  if (term.is_const()) return term.constant();
+  DODB_CHECK_MSG(term.var() < static_cast<int>(point.size()),
+                 "point too short for term variable");
+  return point[term.var()];
+}
+}  // namespace
+
+bool DenseAtom::Holds(const std::vector<Rational>& point) const {
+  int cmp = TermValue(lhs_, point).Compare(TermValue(rhs_, point));
+  return OpHolds(cmp, op_);
+}
+
+int DenseAtom::Compare(const DenseAtom& other) const {
+  DenseAtom a = Oriented();
+  DenseAtom b = other.Oriented();
+  int cmp = a.lhs_.Compare(b.lhs_);
+  if (cmp != 0) return cmp;
+  cmp = a.rhs_.Compare(b.rhs_);
+  if (cmp != 0) return cmp;
+  if (a.op_ != b.op_) return static_cast<int>(a.op_) < static_cast<int>(b.op_)
+                                 ? -1
+                                 : 1;
+  return 0;
+}
+
+std::string DenseAtom::ToString(const std::vector<std::string>* names) const {
+  return StrCat(lhs_.ToString(names), " ", RelOpSymbol(op_), " ",
+                rhs_.ToString(names));
+}
+
+size_t DenseAtom::Hash() const {
+  DenseAtom a = Oriented();
+  size_t h = a.lhs_.Hash();
+  h ^= static_cast<size_t>(a.op_) + 0x9e3779b97f4a7c15ull + (h << 6) +
+       (h >> 2);
+  h ^= a.rhs_.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const DenseAtom& atom) {
+  return os << atom.ToString();
+}
+
+}  // namespace dodb

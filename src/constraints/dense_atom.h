@@ -1,0 +1,72 @@
+#ifndef DODB_CONSTRAINTS_DENSE_ATOM_H_
+#define DODB_CONSTRAINTS_DENSE_ATOM_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "constraints/term.h"
+
+namespace dodb {
+
+/// Comparison operator of an atomic dense-order constraint. The paper's base
+/// language has {=, <=}; the remaining operators are definable abbreviations
+/// and are carried explicitly for compact normal forms.
+enum class RelOp { kLt, kLe, kEq, kNeq, kGe, kGt };
+
+/// "<", "<=", "=", "!=", ">=", ">".
+const char* RelOpSymbol(RelOp op);
+
+/// Logical negation: not(t1 < t2) == t1 >= t2, not(=) == !=, etc.
+RelOp NegateOp(RelOp op);
+
+/// Mirror for swapped operands: (t1 < t2) == (t2 > t1).
+RelOp FlipOp(RelOp op);
+
+/// Whether `cmp` (a three-way comparison result, <0 / 0 / >0) satisfies `op`.
+bool OpHolds(int cmp, RelOp op);
+
+/// An atomic dense-order constraint `lhs op rhs` over terms of L.
+///
+/// A conjunction of DenseAtoms is a *generalized tuple* in the sense of
+/// Kanellakis-Kuper-Revesz; see GeneralizedTuple.
+class DenseAtom {
+ public:
+  DenseAtom(Term lhs, RelOp op, Term rhs)
+      : lhs_(std::move(lhs)), op_(op), rhs_(std::move(rhs)) {}
+
+  const Term& lhs() const { return lhs_; }
+  const Term& rhs() const { return rhs_; }
+  RelOp op() const { return op_; }
+
+  /// The same constraint with operands in structural order (lhs <= rhs by
+  /// Term ordering), flipping the operator as needed.
+  DenseAtom Oriented() const;
+
+  /// The negation of this atom (also a single atom: dense-order atoms are
+  /// closed under negation).
+  DenseAtom Negated() const { return DenseAtom(lhs_, NegateOp(op_), rhs_); }
+
+  /// Evaluates the atom on a point assignment (index -> value).
+  bool Holds(const std::vector<Rational>& point) const;
+
+  /// Structural comparison (after orientation, equal atoms compare equal).
+  int Compare(const DenseAtom& other) const;
+  bool operator==(const DenseAtom& other) const { return Compare(other) == 0; }
+  bool operator<(const DenseAtom& other) const { return Compare(other) < 0; }
+
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+
+  size_t Hash() const;
+
+ private:
+  Term lhs_;
+  RelOp op_;
+  Term rhs_;
+};
+
+std::ostream& operator<<(std::ostream& os, const DenseAtom& atom);
+
+}  // namespace dodb
+
+#endif  // DODB_CONSTRAINTS_DENSE_ATOM_H_

@@ -1,0 +1,100 @@
+#include "constraints/generalized_relation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+GeneralizedRelation::GeneralizedRelation(int arity) : arity_(arity) {
+  DODB_CHECK(arity >= 0);
+}
+
+GeneralizedRelation GeneralizedRelation::True(int arity) {
+  GeneralizedRelation rel(arity);
+  rel.AddTuple(GeneralizedTuple(arity));
+  return rel;
+}
+
+GeneralizedRelation GeneralizedRelation::False(int arity) {
+  return GeneralizedRelation(arity);
+}
+
+GeneralizedRelation GeneralizedRelation::FromPoints(
+    int arity, const std::vector<std::vector<Rational>>& points) {
+  GeneralizedRelation rel(arity);
+  for (const std::vector<Rational>& point : points) {
+    DODB_CHECK(static_cast<int>(point.size()) == arity);
+    rel.AddTuple(GeneralizedTuple::Point(point));
+  }
+  return rel;
+}
+
+size_t GeneralizedRelation::atom_count() const {
+  size_t count = 0;
+  for (const GeneralizedTuple& tuple : tuples_) count += tuple.atoms().size();
+  return count;
+}
+
+void GeneralizedRelation::AddTuple(GeneralizedTuple tuple) {
+  DODB_CHECK_MSG(tuple.arity() == arity_, "AddTuple arity mismatch");
+  if (!tuple.IsSatisfiable()) return;
+  GeneralizedTuple canonical = tuple.Canonical();
+  // Exact duplicates are by far the common case in fixpoint loops: reject
+  // them with a binary search before the linear subsumption scan.
+  auto pos = std::lower_bound(tuples_.begin(), tuples_.end(), canonical);
+  if (pos != tuples_.end() && pos->Compare(canonical) == 0) return;
+  // Subsumption pruning: skip if an existing tuple covers it; drop existing
+  // tuples it covers.
+  for (const GeneralizedTuple& existing : tuples_) {
+    if (canonical.EntailsTuple(existing)) return;
+  }
+  std::erase_if(tuples_, [&](const GeneralizedTuple& existing) {
+    return existing.EntailsTuple(canonical);
+  });
+  pos = std::lower_bound(tuples_.begin(), tuples_.end(), canonical);
+  tuples_.insert(pos, std::move(canonical));
+}
+
+bool GeneralizedRelation::Contains(const std::vector<Rational>& point) const {
+  for (const GeneralizedTuple& tuple : tuples_) {
+    if (tuple.Contains(point)) return true;
+  }
+  return false;
+}
+
+std::vector<Rational> GeneralizedRelation::Constants() const {
+  std::set<Rational> seen;
+  for (const GeneralizedTuple& tuple : tuples_) {
+    for (const Rational& c : tuple.Constants()) seen.insert(c);
+  }
+  return std::vector<Rational>(seen.begin(), seen.end());
+}
+
+bool GeneralizedRelation::StructurallyEquals(
+    const GeneralizedRelation& other) const {
+  if (arity_ != other.arity_ || tuples_.size() != other.tuples_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (tuples_[i].Compare(other.tuples_[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::string GeneralizedRelation::ToString(
+    const std::vector<std::string>* names) const {
+  if (tuples_.empty()) return "{}";
+  std::vector<std::string> parts;
+  parts.reserve(tuples_.size());
+  for (const GeneralizedTuple& tuple : tuples_) {
+    // Stored tuples are closure-canonical (quadratic in atoms); print the
+    // minimized equivalent — ToString is for humans.
+    parts.push_back(tuple.Minimized().ToString(names));
+  }
+  return StrCat("{ ", StrJoin(parts, " ; "), " }");
+}
+
+}  // namespace dodb

@@ -1,0 +1,65 @@
+#ifndef DODB_CONSTRAINTS_GENERALIZED_RELATION_H_
+#define DODB_CONSTRAINTS_GENERALIZED_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/generalized_tuple.h"
+
+namespace dodb {
+
+/// A k-ary finitely representable relation [KKR90]: a finite set of k-ary
+/// generalized tuples, denoting the union of their point sets (a
+/// quantifier-free DNF formula over the dense-order language).
+///
+/// Invariants maintained by AddTuple: every stored tuple is satisfiable and
+/// in canonical (closure) form, no stored tuple is subsumed by another, and
+/// tuples are kept sorted for deterministic output. Semantic operations
+/// (union, complement, projection, ...) live in algebra/relational_ops.h.
+class GeneralizedRelation {
+ public:
+  /// The empty relation over Q^arity (formula "false").
+  explicit GeneralizedRelation(int arity);
+
+  /// The full space Q^arity (formula "true": one all-true tuple).
+  static GeneralizedRelation True(int arity);
+  /// Alias of the default constructor, for symmetry.
+  static GeneralizedRelation False(int arity);
+
+  /// A classical finite relation: one point tuple per row.
+  static GeneralizedRelation FromPoints(
+      int arity, const std::vector<std::vector<Rational>>& points);
+
+  int arity() const { return arity_; }
+  const std::vector<GeneralizedTuple>& tuples() const { return tuples_; }
+  bool IsEmpty() const { return tuples_.empty(); }
+  size_t tuple_count() const { return tuples_.size(); }
+  /// Total atom count across tuples (representation-size metric of §3).
+  size_t atom_count() const;
+
+  /// Inserts a tuple: drops it when unsatisfiable or subsumed by an existing
+  /// tuple; removes existing tuples it subsumes. Keeps canonical order.
+  void AddTuple(GeneralizedTuple tuple);
+
+  /// Point membership in the represented (possibly infinite) point set.
+  bool Contains(const std::vector<Rational>& point) const;
+
+  /// Distinct constants across all tuples, ascending (the relation's
+  /// "active scale" used by the cell decomposition and standard encoding).
+  std::vector<Rational> Constants() const;
+
+  /// Syntactic equality of canonical representations (sound for equality;
+  /// semantic equality is decided via cells::SemanticallyEqual).
+  bool StructurallyEquals(const GeneralizedRelation& other) const;
+
+  /// "{ tuple ; tuple ; ... }" or "{}".
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+
+ private:
+  int arity_;
+  std::vector<GeneralizedTuple> tuples_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_CONSTRAINTS_GENERALIZED_RELATION_H_

@@ -1,0 +1,186 @@
+#include "constraints/generalized_tuple.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+GeneralizedTuple::GeneralizedTuple(int arity) : arity_(arity) {
+  DODB_CHECK(arity >= 0);
+}
+
+GeneralizedTuple::GeneralizedTuple(int arity, std::vector<DenseAtom> atoms)
+    : arity_(arity) {
+  DODB_CHECK(arity >= 0);
+  atoms_.reserve(atoms.size());
+  for (DenseAtom& atom : atoms) AddAtom(std::move(atom));
+}
+
+GeneralizedTuple GeneralizedTuple::Point(const std::vector<Rational>& values) {
+  GeneralizedTuple tuple(static_cast<int>(values.size()));
+  for (size_t i = 0; i < values.size(); ++i) {
+    tuple.AddAtom(DenseAtom(Term::Var(static_cast<int>(i)), RelOp::kEq,
+                            Term::Const(values[i])));
+  }
+  return tuple;
+}
+
+namespace {
+void CheckTermArity(const Term& term, int arity) {
+  DODB_CHECK_MSG(!term.is_var() || term.var() < arity,
+                 "atom variable index out of tuple arity");
+}
+}  // namespace
+
+void GeneralizedTuple::AddAtom(DenseAtom atom) {
+  CheckTermArity(atom.lhs(), arity_);
+  CheckTermArity(atom.rhs(), arity_);
+  atoms_.push_back(std::move(atom));
+  graph_.reset();
+}
+
+OrderGraph GeneralizedTuple::BuildGraph() const {
+  OrderGraph graph(arity_);
+  for (const DenseAtom& atom : atoms_) graph.AddAtom(atom);
+  return graph;
+}
+
+OrderGraph* GeneralizedTuple::CachedGraph() const {
+  if (!graph_) graph_ = std::make_shared<OrderGraph>(BuildGraph());
+  return graph_.get();
+}
+
+bool GeneralizedTuple::IsSatisfiable() const {
+  return CachedGraph()->IsSatisfiable();
+}
+
+bool GeneralizedTuple::Entails(const DenseAtom& atom) const {
+  return CachedGraph()->Entails(atom);
+}
+
+bool GeneralizedTuple::EntailsTuple(const GeneralizedTuple& other) const {
+  DODB_CHECK(arity_ == other.arity_);
+  OrderGraph* graph = CachedGraph();
+  for (const DenseAtom& atom : other.atoms_) {
+    if (!graph->Entails(atom)) return false;
+  }
+  return true;
+}
+
+GeneralizedTuple GeneralizedTuple::Canonical() const {
+  OrderGraph* cached = CachedGraph();
+  DODB_CHECK_MSG(cached->IsSatisfiable(),
+                 "Canonical() on unsatisfiable tuple");
+  std::vector<DenseAtom> atoms = cached->CanonicalAtoms();
+  std::sort(atoms.begin(), atoms.end());
+  GeneralizedTuple out(arity_);
+  for (DenseAtom& atom : atoms) out.AddAtom(atom.Oriented());
+  return out;
+}
+
+GeneralizedTuple GeneralizedTuple::Minimized() const {
+  DODB_CHECK_MSG(IsSatisfiable(), "Minimized() on unsatisfiable tuple");
+  std::vector<DenseAtom> kept = atoms_;
+  // Drop ground (constant-constant) truths outright, then greedily remove
+  // atoms entailed by the rest. Scanning from the back keeps the earliest,
+  // typically user-written, atoms.
+  std::erase_if(kept, [](const DenseAtom& atom) {
+    return atom.lhs().is_const() && atom.rhs().is_const();
+  });
+  for (size_t i = kept.size(); i-- > 0;) {
+    OrderGraph graph(arity_);
+    for (size_t j = 0; j < kept.size(); ++j) {
+      if (j != i) graph.AddAtom(kept[j]);
+    }
+    if (graph.Entails(kept[i])) kept.erase(kept.begin() + i);
+  }
+  return GeneralizedTuple(arity_, std::move(kept));
+}
+
+bool GeneralizedTuple::Contains(const std::vector<Rational>& point) const {
+  DODB_CHECK(static_cast<int>(point.size()) == arity_);
+  for (const DenseAtom& atom : atoms_) {
+    if (!atom.Holds(point)) return false;
+  }
+  return true;
+}
+
+std::vector<Rational> GeneralizedTuple::Constants() const {
+  std::set<Rational> seen;
+  for (const DenseAtom& atom : atoms_) {
+    if (atom.lhs().is_const()) seen.insert(atom.lhs().constant());
+    if (atom.rhs().is_const()) seen.insert(atom.rhs().constant());
+  }
+  return std::vector<Rational>(seen.begin(), seen.end());
+}
+
+GeneralizedTuple GeneralizedTuple::Conjoin(
+    const GeneralizedTuple& other) const {
+  DODB_CHECK_MSG(arity_ == other.arity_, "Conjoin arity mismatch");
+  GeneralizedTuple out = *this;
+  for (const DenseAtom& atom : other.atoms_) out.AddAtom(atom);
+  return out;
+}
+
+namespace {
+Term ReindexTerm(const Term& term, const std::vector<int>& mapping,
+                 int new_arity) {
+  if (term.is_const()) return term;
+  DODB_CHECK_MSG(term.var() < static_cast<int>(mapping.size()),
+                 "Reindexed: variable outside mapping");
+  int target = mapping[term.var()];
+  DODB_CHECK_MSG(target >= 0 && target < new_arity,
+                 "Reindexed: mapping target out of range");
+  return Term::Var(target);
+}
+}  // namespace
+
+GeneralizedTuple GeneralizedTuple::Reindexed(const std::vector<int>& mapping,
+                                             int new_arity) const {
+  GeneralizedTuple out(new_arity);
+  for (const DenseAtom& atom : atoms_) {
+    out.AddAtom(DenseAtom(ReindexTerm(atom.lhs(), mapping, new_arity),
+                          atom.op(),
+                          ReindexTerm(atom.rhs(), mapping, new_arity)));
+  }
+  return out;
+}
+
+std::optional<std::vector<Rational>> GeneralizedTuple::SampleWitness() const {
+  return CachedGraph()->SampleWitness();
+}
+
+std::string GeneralizedTuple::ToString(
+    const std::vector<std::string>* names) const {
+  if (atoms_.empty()) return "true";
+  std::vector<std::string> parts;
+  parts.reserve(atoms_.size());
+  for (const DenseAtom& atom : atoms_) parts.push_back(atom.ToString(names));
+  return StrJoin(parts, " and ");
+}
+
+int GeneralizedTuple::Compare(const GeneralizedTuple& other) const {
+  if (arity_ != other.arity_) return arity_ < other.arity_ ? -1 : 1;
+  size_t n = std::min(atoms_.size(), other.atoms_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int cmp = atoms_[i].Compare(other.atoms_[i]);
+    if (cmp != 0) return cmp;
+  }
+  if (atoms_.size() != other.atoms_.size()) {
+    return atoms_.size() < other.atoms_.size() ? -1 : 1;
+  }
+  return 0;
+}
+
+size_t GeneralizedTuple::Hash() const {
+  size_t h = static_cast<size_t>(arity_) * 0x9e3779b97f4a7c15ull;
+  for (const DenseAtom& atom : atoms_) {
+    h ^= atom.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace dodb

@@ -1,0 +1,107 @@
+#ifndef DODB_CONSTRAINTS_GENERALIZED_TUPLE_H_
+#define DODB_CONSTRAINTS_GENERALIZED_TUPLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraints/dense_atom.h"
+#include "constraints/order_graph.h"
+#include "core/rational.h"
+
+namespace dodb {
+
+/// A k-ary generalized tuple [KKR90]: a conjunction of dense-order atomic
+/// constraints over the variables x0..x(k-1), finitely representing the
+/// (potentially infinite) set of points of Q^k that satisfy it.
+///
+/// Example: (x0 <= x1 and x0 >= 0 and x1 <= 10) is a binary generalized
+/// tuple representing a triangle-like region of the rational plane.
+class GeneralizedTuple {
+ public:
+  /// The all-true tuple over Q^arity (no atoms).
+  explicit GeneralizedTuple(int arity);
+  GeneralizedTuple(int arity, std::vector<DenseAtom> atoms);
+
+  /// The classical relational tuple (v0,...,vk-1) as the constraint
+  /// x0 = v0 and ... and x(k-1) = v(k-1).
+  static GeneralizedTuple Point(const std::vector<Rational>& values);
+
+  int arity() const { return arity_; }
+  const std::vector<DenseAtom>& atoms() const { return atoms_; }
+  bool is_true() const { return atoms_.empty(); }
+
+  /// Appends a conjunct. Variable indices must be < arity.
+  void AddAtom(DenseAtom atom);
+
+  /// Whether the conjunction has a solution in Q^arity.
+  bool IsSatisfiable() const;
+
+  /// Sound entailment test: every solution of this tuple satisfies `atom`.
+  bool Entails(const DenseAtom& atom) const;
+
+  /// Sound subsumption: solutions(*this) is a subset of solutions(other).
+  /// (Checks that this tuple's closure entails each atom of `other`.)
+  bool EntailsTuple(const GeneralizedTuple& other) const;
+
+  /// Path-consistency closure normal form: the full set of informative
+  /// pairwise relations, sorted. Requires IsSatisfiable(). Two tuples with
+  /// equal canonical forms are semantically equal (the converse is checked
+  /// through the cell decomposition).
+  GeneralizedTuple Canonical() const;
+
+  /// A subset of the atoms with the same meaning: greedily drops every atom
+  /// entailed by the remaining ones. Keeps complements and printed output
+  /// small (the closure normal form is quadratic in the node count).
+  /// Requires IsSatisfiable().
+  GeneralizedTuple Minimized() const;
+
+  /// Point membership.
+  bool Contains(const std::vector<Rational>& point) const;
+
+  /// Distinct constants appearing in the atoms, ascending.
+  std::vector<Rational> Constants() const;
+
+  /// Conjunction of two tuples of the same arity (may be unsatisfiable).
+  GeneralizedTuple Conjoin(const GeneralizedTuple& other) const;
+
+  /// Rewrites variables: old index i becomes mapping[i] (each mapping value
+  /// must be a valid index < new_arity). Used for column alignment,
+  /// permutation and projection bookkeeping.
+  GeneralizedTuple Reindexed(const std::vector<int>& mapping,
+                             int new_arity) const;
+
+  /// A satisfying point, or nullopt when unsatisfiable.
+  std::optional<std::vector<Rational>> SampleWitness() const;
+
+  /// A fresh constraint network for this conjunction (closure not yet run).
+  OrderGraph BuildGraph() const;
+
+  /// The tuple's constraint network, built once and cached (the closure is
+  /// computed lazily inside OrderGraph). Invalidated by AddAtom. Shared
+  /// between copies of the tuple, which is safe because every cached-graph
+  /// query first runs the idempotent closure.
+  OrderGraph* CachedGraph() const;
+
+  /// "true" or "a and b and ...".
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+
+  /// Structural (syntactic) comparison of sorted atom lists.
+  int Compare(const GeneralizedTuple& other) const;
+  bool operator==(const GeneralizedTuple& o) const { return Compare(o) == 0; }
+  bool operator<(const GeneralizedTuple& o) const { return Compare(o) < 0; }
+
+  size_t Hash() const;
+
+ private:
+  int arity_;
+  std::vector<DenseAtom> atoms_;
+  // Closure cache; see CachedGraph(). Copies share it until either side
+  // mutates (AddAtom resets only its own pointer).
+  mutable std::shared_ptr<OrderGraph> graph_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_CONSTRAINTS_GENERALIZED_TUPLE_H_

@@ -1,0 +1,111 @@
+#ifndef DODB_CONSTRAINTS_ORDER_GRAPH_H_
+#define DODB_CONSTRAINTS_ORDER_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "constraints/dense_atom.h"
+#include "core/rational.h"
+
+namespace dodb {
+
+/// Point-algebra relation between two points of a dense total order,
+/// encoded as a bitmask over the basic relations {<, =, >}.
+using PaRel = uint8_t;
+
+inline constexpr PaRel kPaEmpty = 0;   // unsatisfiable
+inline constexpr PaRel kPaLt = 1;      // {<}
+inline constexpr PaRel kPaEq = 2;      // {=}
+inline constexpr PaRel kPaGt = 4;      // {>}
+inline constexpr PaRel kPaLe = 3;      // {<, =}
+inline constexpr PaRel kPaNeq = 5;     // {<, >}
+inline constexpr PaRel kPaGe = 6;      // {=, >}
+inline constexpr PaRel kPaAll = 7;     // no information
+
+/// The bitmask corresponding to a RelOp.
+PaRel RelOpToPa(RelOp op);
+
+/// The RelOp corresponding to a non-trivial bitmask (not kPaEmpty/kPaAll).
+RelOp PaToRelOp(PaRel rel);
+
+/// Point-algebra composition: the strongest relation R such that
+/// x R z is implied by (x r1 y) and (y r2 z) over a dense total order.
+PaRel PaCompose(PaRel r1, PaRel r2);
+
+/// Inverse relation: x R y iff y Inv(R) x.
+PaRel PaInverse(PaRel rel);
+
+/// Constraint network of a conjunction of dense-order atoms.
+///
+/// Nodes are the tuple's variables (0..num_vars-1) plus one node per distinct
+/// rational constant appearing in the atoms. The closure is computed by
+/// path-consistency over the point algebra, which decides satisfiability over
+/// dense total orders without endpoints (van Beek); the closed matrix also
+/// yields a sound entailment test and a deterministic canonical atom list.
+class OrderGraph {
+ public:
+  /// An empty (all-true) network over `num_vars` variables.
+  explicit OrderGraph(int num_vars);
+
+  /// Adds an atom; variable indices must be < num_vars.
+  void AddAtom(const DenseAtom& atom);
+
+  /// Computes the path-consistent closure. Idempotent; called implicitly by
+  /// the query methods below. Returns whether the conjunction is satisfiable.
+  bool Close();
+
+  bool IsSatisfiable() { return Close(); }
+
+  int num_vars() const { return num_vars_; }
+  /// Total node count after closure: variables plus discovered constants.
+  int num_nodes() const { return static_cast<int>(node_terms_.size()); }
+  /// The term labeling a node (variable or constant).
+  const Term& node_term(int node) const { return node_terms_[node]; }
+
+  /// The closed relation between two nodes. Requires a satisfiable network.
+  PaRel RelBetween(int a, int b);
+
+  /// The closed relation between a variable and a rational value (the value
+  /// need not be a node: it is located relative to the constant nodes).
+  /// Sound but conservative for values strictly between constant nodes.
+  PaRel RelToValue(int var, const Rational& value);
+
+  /// Whether the closure entails `atom` (sound; complete for the convex
+  /// fragment). An unsatisfiable network entails everything.
+  bool Entails(const DenseAtom& atom);
+
+  /// Deterministic canonical conjunction equivalent to the closure: one atom
+  /// per unordered node pair whose closed relation is informative, skipping
+  /// constant-constant pairs. Empty when the network is unsatisfiable is NOT
+  /// the convention: call IsSatisfiable() first.
+  std::vector<DenseAtom> CanonicalAtoms();
+
+  /// A point of Q^num_vars satisfying the conjunction, or nullopt when
+  /// unsatisfiable. Witnesses avoid all constant values unless forced equal.
+  std::optional<std::vector<Rational>> SampleWitness();
+
+  /// If the closure forces variable `var` equal to another node, the term of
+  /// the preferred representative (a constant if available, else the lowest
+  /// other variable index); nullopt otherwise.
+  std::optional<Term> EqualityRep(int var);
+
+ private:
+  int NodeForConstant(const Rational& value);
+  void EnsureMatrix();
+  void Set(int a, int b, PaRel rel);
+
+  int num_vars_;
+  std::vector<Term> node_terms_;
+  std::map<Rational, int> constant_nodes_;
+  std::vector<std::pair<std::pair<int, int>, PaRel>> pending_;  // atom edges
+  std::vector<PaRel> rel_;  // row-major num_nodes x num_nodes, after Close()
+  bool closed_ = false;
+  bool satisfiable_ = true;
+  bool forced_unsat_ = false;  // a ground atom was already false
+};
+
+}  // namespace dodb
+
+#endif  // DODB_CONSTRAINTS_ORDER_GRAPH_H_

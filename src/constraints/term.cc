@@ -1,0 +1,57 @@
+#include "constraints/term.h"
+
+#include <ostream>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+Term Term::Var(int index) {
+  DODB_CHECK_MSG(index >= 0, "negative variable index");
+  return Term(/*is_var=*/true, index, Rational());
+}
+
+Term Term::Const(Rational value) {
+  return Term(/*is_var=*/false, -1, std::move(value));
+}
+
+int Term::var() const {
+  DODB_CHECK_MSG(is_var_, "Term::var() on a constant");
+  return index_;
+}
+
+const Rational& Term::constant() const {
+  DODB_CHECK_MSG(!is_var_, "Term::constant() on a variable");
+  return value_;
+}
+
+int Term::Compare(const Term& other) const {
+  if (is_var_ != other.is_var_) return is_var_ ? -1 : 1;
+  if (is_var_) {
+    if (index_ != other.index_) return index_ < other.index_ ? -1 : 1;
+    return 0;
+  }
+  return value_.Compare(other.value_);
+}
+
+std::string Term::ToString(const std::vector<std::string>* names) const {
+  if (is_var_) {
+    if (names != nullptr && index_ < static_cast<int>(names->size())) {
+      return (*names)[index_];
+    }
+    return StrCat("x", index_);
+  }
+  return value_.ToString();
+}
+
+size_t Term::Hash() const {
+  if (is_var_) return 0x517cc1b727220a95ull ^ static_cast<size_t>(index_);
+  return value_.Hash();
+}
+
+std::ostream& operator<<(std::ostream& os, const Term& term) {
+  return os << term.ToString();
+}
+
+}  // namespace dodb

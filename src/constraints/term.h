@@ -1,0 +1,54 @@
+#ifndef DODB_CONSTRAINTS_TERM_H_
+#define DODB_CONSTRAINTS_TERM_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/rational.h"
+
+namespace dodb {
+
+/// A term of the dense-order language L = {=, <=} ∪ Q: either a variable
+/// (identified by its column index within a tuple context) or a rational
+/// constant.
+class Term {
+ public:
+  /// Constructs the variable with column index `index` (>= 0).
+  static Term Var(int index);
+  /// Constructs a constant term.
+  static Term Const(Rational value);
+
+  bool is_var() const { return is_var_; }
+  bool is_const() const { return !is_var_; }
+
+  /// Column index; requires is_var().
+  int var() const;
+  /// Constant value; requires is_const().
+  const Rational& constant() const;
+
+  /// Structural ordering: variables (by index) before constants (by value).
+  int Compare(const Term& other) const;
+  bool operator==(const Term& other) const { return Compare(other) == 0; }
+  bool operator!=(const Term& other) const { return Compare(other) != 0; }
+  bool operator<(const Term& other) const { return Compare(other) < 0; }
+
+  /// Renders a variable as names[index] when provided, else "x<index>".
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+
+  size_t Hash() const;
+
+ private:
+  Term(bool is_var, int index, Rational value)
+      : is_var_(is_var), index_(index), value_(std::move(value)) {}
+
+  bool is_var_;
+  int index_;
+  Rational value_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Term& term);
+
+}  // namespace dodb
+
+#endif  // DODB_CONSTRAINTS_TERM_H_

@@ -1,0 +1,313 @@
+#include "core/bigint.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+namespace {
+constexpr uint64_t kLimbBase = uint64_t{1} << 32;
+}  // namespace
+
+BigInt::BigInt(int64_t value) {
+  if (value == 0) {
+    sign_ = 0;
+    return;
+  }
+  sign_ = value > 0 ? 1 : -1;
+  // Careful with INT64_MIN: negate in unsigned space.
+  uint64_t mag = value > 0 ? static_cast<uint64_t>(value)
+                           : ~static_cast<uint64_t>(value) + 1;
+  mag_.push_back(static_cast<uint32_t>(mag & 0xffffffffu));
+  if (mag >> 32) mag_.push_back(static_cast<uint32_t>(mag >> 32));
+}
+
+BigInt BigInt::FromParts(int sign, std::vector<uint32_t> mag) {
+  BigInt out;
+  Trim(&mag);
+  out.mag_ = std::move(mag);
+  out.sign_ = out.mag_.empty() ? 0 : sign;
+  return out;
+}
+
+void BigInt::Trim(std::vector<uint32_t>* mag) {
+  while (!mag->empty() && mag->back() == 0) mag->pop_back();
+}
+
+Result<BigInt> BigInt::FromString(std::string_view text) {
+  std::string_view s = StripWhitespace(text);
+  if (s.empty()) {
+    return Status::InvalidArgument("empty integer literal");
+  }
+  int sign = 1;
+  if (s[0] == '-' || s[0] == '+') {
+    if (s[0] == '-') sign = -1;
+    s.remove_prefix(1);
+  }
+  if (s.empty()) {
+    return Status::InvalidArgument(StrCat("bad integer literal: '", text, "'"));
+  }
+  BigInt value;
+  const BigInt ten(10);
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(
+          StrCat("bad digit '", c, "' in integer literal: '", text, "'"));
+    }
+    value = value * ten + BigInt(c - '0');
+  }
+  if (sign < 0) value = -value;
+  return value;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (sign_ != other.sign_) return sign_ < other.sign_ ? -1 : 1;
+  if (sign_ == 0) return 0;
+  int mag_cmp = MagCompare(mag_, other.mag_);
+  return sign_ > 0 ? mag_cmp : -mag_cmp;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  out.sign_ = -out.sign_;
+  return out;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  if (out.sign_ < 0) out.sign_ = 1;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (sign_ == 0) return other;
+  if (other.sign_ == 0) return *this;
+  if (sign_ == other.sign_) {
+    return FromParts(sign_, MagAdd(mag_, other.mag_));
+  }
+  int mag_cmp = MagCompare(mag_, other.mag_);
+  if (mag_cmp == 0) return BigInt();
+  if (mag_cmp > 0) return FromParts(sign_, MagSub(mag_, other.mag_));
+  return FromParts(other.sign_, MagSub(other.mag_, mag_));
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (sign_ == 0 || other.sign_ == 0) return BigInt();
+  return FromParts(sign_ * other.sign_, MagMul(mag_, other.mag_));
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  DODB_CHECK_MSG(other.sign_ != 0, "division by zero");
+  if (sign_ == 0) return BigInt();
+  std::vector<uint32_t> remainder;
+  std::vector<uint32_t> quotient = MagDivMod(mag_, other.mag_, &remainder);
+  return FromParts(sign_ * other.sign_, std::move(quotient));
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  DODB_CHECK_MSG(other.sign_ != 0, "division by zero");
+  if (sign_ == 0) return BigInt();
+  std::vector<uint32_t> remainder;
+  MagDivMod(mag_, other.mag_, &remainder);
+  return FromParts(sign_, std::move(remainder));
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  while (!y.is_zero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+bool BigInt::FitsInt64() const {
+  if (mag_.size() > 2) return false;
+  if (mag_.size() < 2) return true;
+  uint64_t mag = (static_cast<uint64_t>(mag_[1]) << 32) | mag_[0];
+  if (sign_ > 0) return mag <= static_cast<uint64_t>(INT64_MAX);
+  return mag <= static_cast<uint64_t>(INT64_MAX) + 1;
+}
+
+Result<int64_t> BigInt::ToInt64() const {
+  if (!FitsInt64()) {
+    return Status::InvalidArgument(
+        StrCat("BigInt out of int64 range: ", ToString()));
+  }
+  uint64_t mag = 0;
+  if (!mag_.empty()) mag = mag_[0];
+  if (mag_.size() == 2) mag |= static_cast<uint64_t>(mag_[1]) << 32;
+  if (sign_ >= 0) return static_cast<int64_t>(mag);
+  return static_cast<int64_t>(~mag + 1);
+}
+
+std::string BigInt::ToString() const {
+  if (sign_ == 0) return "0";
+  std::vector<uint32_t> mag = mag_;
+  std::string digits;
+  while (!mag.empty()) {
+    uint32_t remainder = 0;
+    mag = MagDivModSmall(mag, 1000000000u, &remainder);
+    Trim(&mag);
+    if (mag.empty()) {
+      // Most significant chunk: no zero padding.
+      std::string chunk = std::to_string(remainder);
+      std::reverse(chunk.begin(), chunk.end());
+      digits += chunk;
+    } else {
+      for (int i = 0; i < 9; ++i) {
+        digits += static_cast<char>('0' + remainder % 10);
+        remainder /= 10;
+      }
+    }
+  }
+  if (sign_ < 0) digits += '-';
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+size_t BigInt::Hash() const {
+  size_t h = static_cast<size_t>(sign_) + 0x9e3779b97f4a7c15ull;
+  for (uint32_t limb : mag_) {
+    h ^= limb + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+int BigInt::MagCompare(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::MagAdd(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  const std::vector<uint32_t>& longer = a.size() >= b.size() ? a : b;
+  const std::vector<uint32_t>& shorter = a.size() >= b.size() ? b : a;
+  std::vector<uint32_t> out;
+  out.reserve(longer.size() + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < longer.size(); ++i) {
+    uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0);
+    out.push_back(static_cast<uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry) out.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MagSub(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  DODB_DCHECK(MagCompare(a, b) >= 0);
+  std::vector<uint32_t> out;
+  out.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<uint32_t>(diff));
+  }
+  Trim(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MagMul(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry) {
+      uint64_t cur = out[k] + carry;
+      out[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  Trim(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MagDivModSmall(const std::vector<uint32_t>& a,
+                                             uint32_t d, uint32_t* remainder) {
+  DODB_DCHECK(d != 0);
+  std::vector<uint32_t> out(a.size(), 0);
+  uint64_t rem = 0;
+  for (size_t i = a.size(); i-- > 0;) {
+    uint64_t cur = (rem << 32) | a[i];
+    out[i] = static_cast<uint32_t>(cur / d);
+    rem = cur % d;
+  }
+  *remainder = static_cast<uint32_t>(rem);
+  Trim(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MagDivMod(const std::vector<uint32_t>& a,
+                                        const std::vector<uint32_t>& b,
+                                        std::vector<uint32_t>* remainder) {
+  DODB_DCHECK(!b.empty());
+  if (b.size() == 1) {
+    uint32_t rem = 0;
+    std::vector<uint32_t> quotient = MagDivModSmall(a, b[0], &rem);
+    remainder->clear();
+    if (rem) remainder->push_back(rem);
+    return quotient;
+  }
+  if (MagCompare(a, b) < 0) {
+    *remainder = a;
+    Trim(remainder);
+    return {};
+  }
+  // Bitwise long division: O(bits(a) * limbs(b)). Coefficients in dodb stay
+  // small (tens of limbs at most), so the simple algorithm is sufficient and
+  // has no normalization corner cases.
+  size_t total_bits = a.size() * 32;
+  std::vector<uint32_t> quotient(a.size(), 0);
+  std::vector<uint32_t> rem;
+  for (size_t bit = total_bits; bit-- > 0;) {
+    // rem = rem << 1 | bit_of_a
+    uint32_t carry = (a[bit / 32] >> (bit % 32)) & 1u;
+    for (size_t i = 0; i < rem.size(); ++i) {
+      uint32_t next_carry = rem[i] >> 31;
+      rem[i] = (rem[i] << 1) | carry;
+      carry = next_carry;
+    }
+    if (carry) rem.push_back(carry);
+    if (MagCompare(rem, b) >= 0) {
+      rem = MagSub(rem, b);
+      quotient[bit / 32] |= (1u << (bit % 32));
+    }
+  }
+  Trim(&quotient);
+  Trim(&rem);
+  *remainder = std::move(rem);
+  return quotient;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.ToString();
+}
+
+}  // namespace dodb

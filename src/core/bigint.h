@@ -1,0 +1,115 @@
+#ifndef DODB_CORE_BIGINT_H_
+#define DODB_CORE_BIGINT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dodb {
+
+/// Arbitrary-precision signed integer.
+///
+/// Quantifier elimination over linear constraints (Fourier-Motzkin) multiplies
+/// coefficients pairwise, so fixed-width integers overflow quickly; all exact
+/// arithmetic in dodb is built on this type. Representation: sign plus a
+/// little-endian base-2^32 magnitude with no trailing zero limbs (zero is the
+/// empty magnitude with sign 0).
+class BigInt {
+ public:
+  /// Constructs zero.
+  BigInt() : sign_(0) {}
+  /// Constructs from a machine integer.
+  BigInt(int64_t value);  // NOLINT: implicit by design (numeric literal use)
+
+  BigInt(const BigInt&) = default;
+  BigInt& operator=(const BigInt&) = default;
+  BigInt(BigInt&&) = default;
+  BigInt& operator=(BigInt&&) = default;
+
+  /// Parses a decimal integer with optional leading '-'.
+  static Result<BigInt> FromString(std::string_view text);
+
+  bool is_zero() const { return sign_ == 0; }
+  bool is_negative() const { return sign_ < 0; }
+  bool is_positive() const { return sign_ > 0; }
+  /// -1, 0, or +1.
+  int sign() const { return sign_; }
+
+  /// Three-way comparison: negative, zero, or positive as *this <=> other.
+  int Compare(const BigInt& other) const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Quotient truncated toward zero. `other` must be nonzero.
+  BigInt operator/(const BigInt& other) const;
+  /// Remainder with the sign of the dividend. `other` must be nonzero.
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+
+  bool operator==(const BigInt& other) const { return Compare(other) == 0; }
+  bool operator!=(const BigInt& other) const { return Compare(other) != 0; }
+  bool operator<(const BigInt& other) const { return Compare(other) < 0; }
+  bool operator<=(const BigInt& other) const { return Compare(other) <= 0; }
+  bool operator>(const BigInt& other) const { return Compare(other) > 0; }
+  bool operator>=(const BigInt& other) const { return Compare(other) >= 0; }
+
+  /// Greatest common divisor; always non-negative, Gcd(0,0) == 0.
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+
+  /// The value as int64_t if it fits, otherwise an InvalidArgument error.
+  Result<int64_t> ToInt64() const;
+
+  /// Whether the value fits in int64_t.
+  bool FitsInt64() const;
+
+  /// Decimal representation.
+  std::string ToString() const;
+
+  /// Hash suitable for unordered containers.
+  size_t Hash() const;
+
+  /// Number of limbs (for size diagnostics in benchmarks).
+  size_t limb_count() const { return mag_.size(); }
+
+ private:
+  static BigInt FromParts(int sign, std::vector<uint32_t> mag);
+
+  // Magnitude helpers (little-endian limb vectors, no trailing zeros).
+  static int MagCompare(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MagAdd(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  // Requires MagCompare(a, b) >= 0.
+  static std::vector<uint32_t> MagSub(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MagMul(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  // Divides by a single limb; returns quotient, sets *remainder.
+  static std::vector<uint32_t> MagDivModSmall(const std::vector<uint32_t>& a,
+                                              uint32_t d, uint32_t* remainder);
+  // General division; returns quotient, sets *remainder.
+  static std::vector<uint32_t> MagDivMod(const std::vector<uint32_t>& a,
+                                         const std::vector<uint32_t>& b,
+                                         std::vector<uint32_t>* remainder);
+  static void Trim(std::vector<uint32_t>* mag);
+
+  int sign_;
+  std::vector<uint32_t> mag_;
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+}  // namespace dodb
+
+#endif  // DODB_CORE_BIGINT_H_

@@ -1,0 +1,37 @@
+#ifndef DODB_CORE_CHECK_H_
+#define DODB_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checks. The library is exception-free; a failed check
+// indicates a programming error inside dodb (never a data error, which is
+// reported through Status), so the process aborts with a source location.
+
+#define DODB_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "DODB_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define DODB_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "DODB_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   (msg), __FILE__, __LINE__);                             \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define DODB_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define DODB_DCHECK(cond) DODB_CHECK(cond)
+#endif
+
+#endif  // DODB_CORE_CHECK_H_

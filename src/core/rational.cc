@@ -1,0 +1,146 @@
+#include "core/rational.h"
+
+#include <ostream>
+#include <utility>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  DODB_CHECK_MSG(!den_.is_zero(), "Rational with zero denominator");
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ = num_ / g;
+    den_ = den_ / g;
+  }
+}
+
+Result<Rational> Rational::FromString(std::string_view text) {
+  std::string_view s = StripWhitespace(text);
+  if (s.empty()) return Status::InvalidArgument("empty rational literal");
+
+  size_t slash = s.find('/');
+  if (slash != std::string_view::npos) {
+    Result<BigInt> num = BigInt::FromString(s.substr(0, slash));
+    if (!num.ok()) return num.status();
+    Result<BigInt> den = BigInt::FromString(s.substr(slash + 1));
+    if (!den.ok()) return den.status();
+    if (den.value().is_zero()) {
+      return Status::InvalidArgument(
+          StrCat("zero denominator in rational literal: '", text, "'"));
+    }
+    return Rational(std::move(num).value(), std::move(den).value());
+  }
+
+  size_t dot = s.find('.');
+  if (dot != std::string_view::npos) {
+    std::string digits(s.substr(0, dot));
+    std::string_view frac = s.substr(dot + 1);
+    if (frac.empty() && digits.empty()) {
+      return Status::InvalidArgument(
+          StrCat("bad rational literal: '", text, "'"));
+    }
+    digits.append(frac);
+    Result<BigInt> num = BigInt::FromString(digits);
+    if (!num.ok()) return num.status();
+    BigInt den(1);
+    const BigInt ten(10);
+    for (size_t i = 0; i < frac.size(); ++i) den *= ten;
+    return Rational(std::move(num).value(), std::move(den));
+  }
+
+  Result<BigInt> num = BigInt::FromString(s);
+  if (!num.ok()) return num.status();
+  return Rational(std::move(num).value());
+}
+
+int Rational::Compare(const Rational& other) const {
+  // num_/den_ <=> other.num_/other.den_ with positive denominators.
+  return (num_ * other.den_).Compare(other.num_ * den_);
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational Rational::Abs() const {
+  Rational out = *this;
+  out.num_ = out.num_.Abs();
+  return out;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return Rational(num_ * other.den_ + other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return Rational(num_ * other.den_ - other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return Rational(num_ * other.num_, den_ * other.den_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  DODB_CHECK_MSG(!other.is_zero(), "Rational division by zero");
+  return Rational(num_ * other.den_, den_ * other.num_);
+}
+
+std::string Rational::ToString() const {
+  if (is_integer()) return num_.ToString();
+  return StrCat(num_.ToString(), "/", den_.ToString());
+}
+
+double Rational::ToDouble() const {
+  // Adequate for diagnostics: go through strings only when values are huge.
+  Result<int64_t> n = num_.ToInt64();
+  Result<int64_t> d = den_.ToInt64();
+  if (n.ok() && d.ok()) {
+    return static_cast<double>(n.value()) / static_cast<double>(d.value());
+  }
+  // Fall back to scaling both down; precision is irrelevant at this size.
+  BigInt num = num_;
+  BigInt den = den_;
+  const BigInt kScale(int64_t{1} << 32);
+  while (!num.FitsInt64() || !den.FitsInt64()) {
+    num = num / kScale;
+    den = den / kScale;
+    if (den.is_zero()) return num.is_negative() ? -1e300 : 1e300;
+  }
+  return static_cast<double>(num.ToInt64().value()) /
+         static_cast<double>(den.ToInt64().value());
+}
+
+size_t Rational::Hash() const {
+  size_t h = num_.Hash();
+  h ^= den_.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+Rational Rational::Midpoint(const Rational& a, const Rational& b) {
+  DODB_CHECK_MSG(a < b, "Midpoint requires a < b");
+  return (a + b) / Rational(2);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.ToString();
+}
+
+}  // namespace dodb

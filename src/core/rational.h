@@ -1,0 +1,88 @@
+#ifndef DODB_CORE_RATIONAL_H_
+#define DODB_CORE_RATIONAL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "core/bigint.h"
+#include "core/status.h"
+
+namespace dodb {
+
+/// Exact rational number over arbitrary-precision integers.
+///
+/// The paper's domain is Q = (Q, <=): every constant occurring in a
+/// dense-order or linear constraint is a Rational. Invariants: the
+/// denominator is positive and gcd(|num|, den) == 1; zero is 0/1.
+class Rational {
+ public:
+  /// Constructs zero.
+  Rational() : num_(0), den_(1) {}
+  /// Constructs an integer value.
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT: implicit
+  Rational(BigInt value) : num_(std::move(value)), den_(1) {}  // NOLINT
+  /// Constructs num/den; den must be nonzero.
+  Rational(BigInt num, BigInt den);
+  Rational(int64_t num, int64_t den) : Rational(BigInt(num), BigInt(den)) {}
+
+  /// Parses "p", "-p/q", or a decimal like "3.25" / "-0.5".
+  static Result<Rational> FromString(std::string_view text);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_negative() const { return num_.is_negative(); }
+  bool is_integer() const { return den_ == BigInt(1); }
+  int sign() const { return num_.sign(); }
+
+  /// Three-way comparison by cross-multiplication.
+  int Compare(const Rational& other) const;
+
+  Rational operator-() const;
+  Rational Abs() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// `other` must be nonzero.
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const { return Compare(o) == 0; }
+  bool operator!=(const Rational& o) const { return Compare(o) != 0; }
+  bool operator<(const Rational& o) const { return Compare(o) < 0; }
+  bool operator<=(const Rational& o) const { return Compare(o) <= 0; }
+  bool operator>(const Rational& o) const { return Compare(o) > 0; }
+  bool operator>=(const Rational& o) const { return Compare(o) >= 0; }
+
+  /// "p" when integral, otherwise "p/q".
+  std::string ToString() const;
+
+  /// Nearest double (benchmark diagnostics only; not used in evaluation).
+  double ToDouble() const;
+
+  /// Hash consistent with operator== (canonical form makes this well-defined).
+  size_t Hash() const;
+
+  /// A rational strictly between a and b (requires a < b); used to pick
+  /// witnesses inside open intervals of a cell decomposition.
+  static Rational Midpoint(const Rational& a, const Rational& b);
+
+ private:
+  void Normalize();
+
+  BigInt num_;
+  BigInt den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+}  // namespace dodb
+
+#endif  // DODB_CORE_RATIONAL_H_

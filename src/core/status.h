@@ -1,0 +1,117 @@
+#ifndef DODB_CORE_STATUS_H_
+#define DODB_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "core/check.h"
+
+namespace dodb {
+
+/// Error category for a failed operation. The library never throws; every
+/// fallible public entry point returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  // malformed input value (e.g. zero denominator)
+  kParseError,       // surface-syntax text failed to parse
+  kNotFound,         // a named relation / variable is missing
+  kUnsupported,      // operation outside the implemented fragment
+  kResourceExhausted,  // configured evaluation limit exceeded
+  kInternal,         // invariant violation surfaced as data (bug)
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: kOk or an error code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status ParseError(std::string message) {
+    return Status(StatusCode::kParseError, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Unsupported(std::string message) {
+    return Status(StatusCode::kUnsupported, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Access to the value when the
+/// result holds an error is a checked programming error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    DODB_CHECK_MSG(!std::get<Status>(data_).ok(),
+                   "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    DODB_CHECK_MSG(ok(), status_ref().message().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    DODB_CHECK_MSG(ok(), status_ref().message().c_str());
+    return std::get<T>(data_);
+  }
+  // By value (moved out), so `for (auto& x : F().value())` over a temporary
+  // Result is safe: the returned prvalue is lifetime-extended by the range
+  // binding, unlike a T&& into the dead temporary.
+  T value() && {
+    DODB_CHECK_MSG(ok(), status_ref().message().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  /// The error status; Status::Ok() if the result holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  const Status& status_ref() const { return std::get<Status>(data_); }
+
+  std::variant<T, Status> data_;
+};
+
+// Propagates an error status from an expression producing a Status.
+#define DODB_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::dodb::Status dodb_status_tmp_ = (expr);   \
+    if (!dodb_status_tmp_.ok()) return dodb_status_tmp_; \
+  } while (0)
+
+}  // namespace dodb
+
+#endif  // DODB_CORE_STATUS_H_

@@ -1,0 +1,46 @@
+#include "core/str_util.h"
+
+#include <cctype>
+
+namespace dodb {
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> StrSplit(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      break;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace dodb

@@ -1,0 +1,31 @@
+#ifndef DODB_CORE_STR_UTIL_H_
+#define DODB_CORE_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dodb {
+
+/// Concatenates the string representations (via operator<<) of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  static_cast<void>((out << ... << args));
+  return out.str();
+}
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `text` on the single character `sep`; keeps empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+}  // namespace dodb
+
+#endif  // DODB_CORE_STR_UTIL_H_

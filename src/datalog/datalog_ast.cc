@@ -1,0 +1,146 @@
+#include "datalog/datalog_ast.h"
+
+#include <algorithm>
+
+#include "core/str_util.h"
+
+namespace dodb {
+
+std::string DatalogLiteral::ToString() const {
+  if (kind == Kind::kCompare) {
+    return StrCat(lhs.ToString(), " ", RelOpSymbol(op), " ", rhs.ToString());
+  }
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const FoExpr& arg : args) parts.push_back(arg.ToString());
+  std::string atom = StrCat(relation, "(", StrJoin(parts, ", "), ")");
+  return negated ? StrCat("not ", atom) : atom;
+}
+
+std::string DatalogRule::ToString() const {
+  std::vector<std::string> head_parts;
+  head_parts.reserve(head_args.size());
+  for (const FoExpr& arg : head_args) head_parts.push_back(arg.ToString());
+  std::string out = StrCat(head, "(", StrJoin(head_parts, ", "), ")");
+  if (body.empty()) return StrCat(out, ".");
+  std::vector<std::string> body_parts;
+  body_parts.reserve(body.size());
+  for (const DatalogLiteral& literal : body) {
+    body_parts.push_back(literal.ToString());
+  }
+  return StrCat(out, " :- ", StrJoin(body_parts, ", "), ".");
+}
+
+std::vector<std::string> DatalogQuery::HeadVars() const {
+  std::vector<std::string> vars;
+  auto add_expr = [&vars](const FoExpr& expr) {
+    for (const auto& [name, coeff] : expr.coeffs) {
+      if (std::find(vars.begin(), vars.end(), name) == vars.end()) {
+        vars.push_back(name);
+      }
+    }
+  };
+  for (const DatalogLiteral& literal : body) {
+    if (literal.kind == DatalogLiteral::Kind::kCompare) {
+      add_expr(literal.lhs);
+      add_expr(literal.rhs);
+    } else {
+      for (const FoExpr& arg : literal.args) add_expr(arg);
+    }
+  }
+  return vars;
+}
+
+std::string DatalogQuery::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(body.size());
+  for (const DatalogLiteral& literal : body) {
+    parts.push_back(literal.ToString());
+  }
+  return StrCat("?- ", StrJoin(parts, ", "), ".");
+}
+
+std::map<std::string, int> DatalogProgram::IdbArities() const {
+  std::map<std::string, int> arities;
+  for (const DatalogRule& rule : rules) {
+    arities.emplace(rule.head, static_cast<int>(rule.head_args.size()));
+  }
+  return arities;
+}
+
+namespace {
+Status CheckSimpleTerm(const FoExpr& expr, const std::string& context) {
+  if (!expr.IsSimpleVar() && !expr.IsConstant()) {
+    return Status::Unsupported(
+        StrCat("non-simple term '", expr.ToString(), "' in ", context,
+               " (Datalog over dense-order constraints has no addition)"));
+  }
+  return Status::Ok();
+}
+}  // namespace
+
+Status DatalogProgram::Validate(const Database& edb) const {
+  std::map<std::string, int> arities = IdbArities();
+  for (const auto& [name, arity] : arities) {
+    if (edb.HasRelation(name)) {
+      return Status::InvalidArgument(
+          StrCat("IDB predicate '", name, "' collides with an EDB relation"));
+    }
+    (void)arity;
+  }
+  for (const DatalogRule& rule : rules) {
+    auto it = arities.find(rule.head);
+    if (it->second != static_cast<int>(rule.head_args.size())) {
+      return Status::InvalidArgument(
+          StrCat("predicate '", rule.head, "' has rules with arity ",
+                 it->second, " and ", rule.head_args.size()));
+    }
+    for (const FoExpr& arg : rule.head_args) {
+      DODB_RETURN_IF_ERROR(
+          CheckSimpleTerm(arg, StrCat("head of rule for '", rule.head, "'")));
+    }
+    for (const DatalogLiteral& literal : rule.body) {
+      if (literal.kind == DatalogLiteral::Kind::kCompare) {
+        DODB_RETURN_IF_ERROR(CheckSimpleTerm(literal.lhs, "constraint atom"));
+        DODB_RETURN_IF_ERROR(CheckSimpleTerm(literal.rhs, "constraint atom"));
+        continue;
+      }
+      for (const FoExpr& arg : literal.args) {
+        DODB_RETURN_IF_ERROR(
+            CheckSimpleTerm(arg, StrCat("atom '", literal.relation, "'")));
+      }
+      int used_arity = static_cast<int>(literal.args.size());
+      auto idb = arities.find(literal.relation);
+      if (idb != arities.end()) {
+        if (idb->second != used_arity) {
+          return Status::InvalidArgument(
+              StrCat("predicate '", literal.relation, "' has arity ",
+                     idb->second, " but is used with arity ", used_arity));
+        }
+        continue;
+      }
+      const GeneralizedRelation* rel = edb.FindRelation(literal.relation);
+      if (rel == nullptr) {
+        return Status::NotFound(
+            StrCat("relation '", literal.relation,
+                   "' is neither IDB nor in the extensional database"));
+      }
+      if (rel->arity() != used_arity) {
+        return Status::InvalidArgument(
+            StrCat("EDB relation '", literal.relation, "' has arity ",
+                   rel->arity(), " but is used with arity ", used_arity));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string DatalogProgram::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(rules.size() + queries.size());
+  for (const DatalogRule& rule : rules) parts.push_back(rule.ToString());
+  for (const DatalogQuery& query : queries) parts.push_back(query.ToString());
+  return StrJoin(parts, "\n");
+}
+
+}  // namespace dodb

@@ -1,0 +1,74 @@
+#ifndef DODB_DATALOG_DATALOG_AST_H_
+#define DODB_DATALOG_DATALOG_AST_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "fo/ast.h"
+#include "io/database.h"
+
+namespace dodb {
+
+/// A body literal of a Datalog(not) rule: a possibly negated relation atom,
+/// or a dense-order constraint atom (never negated — the parser folds
+/// negation into the comparison operator).
+struct DatalogLiteral {
+  enum class Kind { kRelation, kCompare };
+
+  Kind kind = Kind::kRelation;
+  bool negated = false;            // kRelation only
+  std::string relation;            // kRelation
+  std::vector<FoExpr> args;        // kRelation (simple terms)
+  FoExpr lhs, rhs;                 // kCompare
+  RelOp op = RelOp::kEq;           // kCompare
+
+  std::string ToString() const;
+};
+
+/// A rule head(args) :- body. Head arguments are simple terms (variables or
+/// constants); body variables not occurring in the head are implicitly
+/// existentially quantified.
+struct DatalogRule {
+  std::string head;
+  std::vector<FoExpr> head_args;
+  std::vector<DatalogLiteral> body;  // empty body == unconditional fact rule
+
+  std::string ToString() const;
+};
+
+/// A query "?- body." appearing in a program: evaluated against the
+/// fixpoint, answering the relation over the body's free variables (in
+/// first-occurrence order).
+struct DatalogQuery {
+  std::vector<DatalogLiteral> body;
+
+  /// Free variables in first-occurrence order (the answer columns).
+  std::vector<std::string> HeadVars() const;
+
+  std::string ToString() const;
+};
+
+/// A Datalog(not) program over dense-order constraints (§4). Predicates
+/// defined by rule heads are intensional (IDB); all other relation symbols
+/// must exist in the extensional database.
+struct DatalogProgram {
+  std::vector<DatalogRule> rules;
+  std::vector<DatalogQuery> queries;
+
+  /// Names of IDB predicates (rule heads) with their arity.
+  std::map<std::string, int> IdbArities() const;
+
+  /// Validation: consistent arities for every predicate, simple terms only,
+  /// IDB names not colliding with EDB relations, EDB relations present with
+  /// matching arity.
+  Status Validate(const Database& edb) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_DATALOG_DATALOG_AST_H_

@@ -1,0 +1,313 @@
+#include "datalog/datalog_evaluator.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "algebra/relational_ops.h"
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+DatalogEvaluator::DatalogEvaluator(DatalogProgram program, const Database* edb,
+                                   DatalogOptions options)
+    : program_(std::move(program)), edb_(edb), options_(options) {
+  DODB_CHECK(edb != nullptr);
+}
+
+namespace {
+
+// Conjunction of body literals as a first-order formula.
+FormulaPtr LowerLiterals(const std::vector<DatalogLiteral>& literals) {
+  FormulaPtr body;
+  for (const DatalogLiteral& literal : literals) {
+    FormulaPtr part;
+    if (literal.kind == DatalogLiteral::Kind::kCompare) {
+      part = MakeCompare(literal.lhs, literal.op, literal.rhs);
+    } else {
+      part = MakeRelation(literal.relation, literal.args);
+      if (literal.negated) part = MakeNot(std::move(part));
+    }
+    body = body ? MakeAnd(std::move(body), std::move(part)) : std::move(part);
+  }
+  if (!body) body = MakeBool(true);
+  return body;
+}
+
+// Lowers a rule body into a first-order formula, existentially closing the
+// variables that do not occur in the head.
+FormulaPtr LowerBody(const DatalogRule& rule) {
+  FormulaPtr body = LowerLiterals(rule.body);
+
+  std::set<std::string> head_vars;
+  for (const FoExpr& arg : rule.head_args) {
+    if (arg.IsSimpleVar()) head_vars.insert(arg.VarName());
+  }
+  std::vector<std::string> closed;
+  for (const std::string& var : body->FreeVars()) {
+    if (head_vars.count(var) == 0) closed.push_back(var);
+  }
+  if (!closed.empty()) body = MakeExists(std::move(closed), std::move(body));
+  return body;
+}
+
+}  // namespace
+
+Result<GeneralizedRelation> DatalogEvaluator::EvalRule(
+    const DatalogRule& rule, const Database& snapshot) {
+  Query query;
+  query.body = LowerBody(rule);
+  // Head variables in first-occurrence order.
+  for (const FoExpr& arg : rule.head_args) {
+    if (arg.IsSimpleVar() &&
+        std::find(query.head.begin(), query.head.end(), arg.VarName()) ==
+            query.head.end()) {
+      query.head.push_back(arg.VarName());
+    }
+  }
+  FoEvaluator evaluator(&snapshot, options_.eval_options);
+  Result<GeneralizedRelation> answer = evaluator.Evaluate(query);
+  if (!answer.ok()) return answer;
+
+  // Widen the answer over distinct variables to the full head arity,
+  // duplicating variable columns and pinning constant arguments.
+  int arity = static_cast<int>(rule.head_args.size());
+  std::vector<int> mapping(query.head.size(), -1);
+  std::vector<int> first_column(query.head.size(), -1);
+  for (int i = 0; i < arity; ++i) {
+    const FoExpr& arg = rule.head_args[i];
+    if (!arg.IsSimpleVar()) continue;
+    int v = static_cast<int>(
+        std::find(query.head.begin(), query.head.end(), arg.VarName()) -
+        query.head.begin());
+    if (first_column[v] < 0) {
+      first_column[v] = i;
+      mapping[v] = i;
+    }
+  }
+  GeneralizedRelation widened =
+      algebra::Rename(answer.value(), mapping, arity);
+  for (int i = 0; i < arity; ++i) {
+    const FoExpr& arg = rule.head_args[i];
+    if (arg.IsSimpleVar()) {
+      int v = static_cast<int>(
+          std::find(query.head.begin(), query.head.end(), arg.VarName()) -
+          query.head.begin());
+      if (first_column[v] != i) {
+        widened = algebra::Select(
+            widened, DenseAtom(Term::Var(i), RelOp::kEq,
+                               Term::Var(first_column[v])));
+      }
+    } else {
+      widened = algebra::Select(
+          widened,
+          DenseAtom(Term::Var(i), RelOp::kEq, Term::Const(arg.constant)));
+    }
+  }
+  return widened;
+}
+
+namespace {
+
+// Positions of positive IDB atoms in a rule's body; nullopt when the rule
+// has a *negated* IDB atom (then semi-naive evaluation is unsound and the
+// rule runs naively every round).
+std::optional<std::vector<size_t>> PositiveIdbOccurrences(
+    const DatalogRule& rule, const std::map<std::string, int>& idb_arities) {
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const DatalogLiteral& literal = rule.body[i];
+    if (literal.kind != DatalogLiteral::Kind::kRelation) continue;
+    if (idb_arities.count(literal.relation) == 0) continue;
+    if (literal.negated) return std::nullopt;
+    positions.push_back(i);
+  }
+  return positions;
+}
+
+// Syntactic set difference of canonical relations: tuples of `next` not
+// present in `prev` (both kept sorted by AddTuple).
+GeneralizedRelation TupleDifference(const GeneralizedRelation& next,
+                                    const GeneralizedRelation& prev) {
+  GeneralizedRelation out(next.arity());
+  size_t i = 0;
+  const auto& old_tuples = prev.tuples();
+  for (const GeneralizedTuple& tuple : next.tuples()) {
+    while (i < old_tuples.size() && old_tuples[i].Compare(tuple) < 0) ++i;
+    if (i < old_tuples.size() && old_tuples[i].Compare(tuple) == 0) continue;
+    out.AddTuple(tuple);
+  }
+  return out;
+}
+
+constexpr char kDeltaRelationName[] = "__dodb_delta";
+
+}  // namespace
+
+Status DatalogEvaluator::RunToFixpoint(
+    const std::vector<const DatalogRule*>& rules, Database* idb) {
+  std::map<std::string, int> idb_arities = program_.IdbArities();
+  // Deltas from the previous round (only consulted when semi-naive).
+  std::map<std::string, GeneralizedRelation> delta_in;
+  bool first_round = true;
+
+  while (true) {
+    if (options_.max_iterations != 0 &&
+        iterations_ >= options_.max_iterations) {
+      return Status::ResourceExhausted(
+          StrCat("datalog fixpoint did not stabilize within ",
+                 options_.max_iterations, " rounds"));
+    }
+    ++iterations_;
+
+    // Snapshot: EDB plus the current IDB.
+    Database snapshot = *edb_;
+    for (const std::string& name : idb->RelationNames()) {
+      snapshot.SetRelation(name, *idb->FindRelation(name));
+    }
+
+    std::map<std::string, GeneralizedRelation> derived_by_head;
+    auto merge_derived = [&derived_by_head](const std::string& head,
+                                            GeneralizedRelation rel) {
+      auto it = derived_by_head.find(head);
+      if (it == derived_by_head.end()) {
+        derived_by_head.emplace(head, std::move(rel));
+      } else {
+        it->second = algebra::Union(it->second, rel);
+      }
+    };
+
+    for (const DatalogRule* rule : rules) {
+      std::optional<std::vector<size_t>> positive =
+          options_.semi_naive && !first_round
+              ? PositiveIdbOccurrences(*rule, idb_arities)
+              : std::nullopt;
+      if (!positive.has_value()) {
+        // Naive: negation present, semi-naive disabled, or first round.
+        Result<GeneralizedRelation> derived = EvalRule(*rule, snapshot);
+        if (!derived.ok()) return derived.status();
+        merge_derived(rule->head, std::move(derived).value());
+        continue;
+      }
+      if (positive->empty()) continue;  // EDB-only rule: saturated round 1
+      // Semi-naive: once per positive IDB occurrence, with that occurrence
+      // redirected to the previous round's delta.
+      for (size_t occurrence : *positive) {
+        const std::string& pred = rule->body[occurrence].relation;
+        auto delta_it = delta_in.find(pred);
+        if (delta_it == delta_in.end() || delta_it->second.IsEmpty()) {
+          continue;
+        }
+        DatalogRule focused = *rule;
+        focused.body[occurrence].relation = kDeltaRelationName;
+        Database focused_snapshot = snapshot;
+        focused_snapshot.SetRelation(kDeltaRelationName, delta_it->second);
+        Result<GeneralizedRelation> derived =
+            EvalRule(focused, focused_snapshot);
+        if (!derived.ok()) return derived.status();
+        merge_derived(rule->head, std::move(derived).value());
+      }
+    }
+
+    bool changed = false;
+    std::map<std::string, GeneralizedRelation> delta_out;
+    for (auto& [name, rel] : derived_by_head) {
+      const GeneralizedRelation* old = idb->FindRelation(name);
+      DODB_CHECK(old != nullptr);
+      GeneralizedRelation merged = algebra::Union(*old, rel);
+      if (!merged.StructurallyEquals(*old)) {
+        changed = true;
+        delta_out.emplace(name, TupleDifference(merged, *old));
+        idb->SetRelation(name, std::move(merged));
+      }
+    }
+    if (!changed) return Status::Ok();
+    delta_in = std::move(delta_out);
+    first_round = false;
+  }
+}
+
+Result<std::vector<std::vector<std::string>>> DatalogEvaluator::Stratify()
+    const {
+  std::map<std::string, int> arities = program_.IdbArities();
+  std::map<std::string, int> stratum;
+  for (const auto& [name, arity] : arities) stratum[name] = 0;
+  int num_preds = static_cast<int>(arities.size());
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const DatalogRule& rule : program_.rules) {
+      int& head_stratum = stratum[rule.head];
+      for (const DatalogLiteral& literal : rule.body) {
+        if (literal.kind != DatalogLiteral::Kind::kRelation) continue;
+        auto it = stratum.find(literal.relation);
+        if (it == stratum.end()) continue;  // EDB
+        int required = it->second + (literal.negated ? 1 : 0);
+        if (head_stratum < required) {
+          head_stratum = required;
+          if (head_stratum > num_preds) {
+            return Status::InvalidArgument(
+                StrCat("program is not stratifiable: predicate '", rule.head,
+                       "' depends negatively on itself through recursion"));
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+  int max_stratum = 0;
+  for (const auto& [name, s] : stratum) max_stratum = std::max(max_stratum, s);
+  std::vector<std::vector<std::string>> strata(max_stratum + 1);
+  for (const auto& [name, s] : stratum) strata[s].push_back(name);
+  return strata;
+}
+
+Result<GeneralizedRelation> DatalogEvaluator::Answer(
+    const DatalogQuery& query, const Database& idb) {
+  Database snapshot = *edb_;
+  for (const std::string& name : idb.RelationNames()) {
+    snapshot.SetRelation(name, *idb.FindRelation(name));
+  }
+  Query fo_query;
+  fo_query.head = query.HeadVars();
+  fo_query.body = LowerLiterals(query.body);
+  FoEvaluator evaluator(&snapshot, options_.eval_options);
+  return evaluator.Evaluate(fo_query);
+}
+
+Result<Database> DatalogEvaluator::Evaluate() {
+  DODB_RETURN_IF_ERROR(program_.Validate(*edb_));
+  iterations_ = 0;
+
+  Database idb;
+  for (const auto& [name, arity] : program_.IdbArities()) {
+    idb.SetRelation(name, GeneralizedRelation(arity));
+  }
+
+  if (options_.semantics == DatalogSemantics::kInflationary) {
+    std::vector<const DatalogRule*> rules;
+    rules.reserve(program_.rules.size());
+    for (const DatalogRule& rule : program_.rules) rules.push_back(&rule);
+    DODB_RETURN_IF_ERROR(RunToFixpoint(rules, &idb));
+    return idb;
+  }
+
+  Result<std::vector<std::vector<std::string>>> strata = Stratify();
+  if (!strata.ok()) return strata.status();
+  for (const std::vector<std::string>& level : strata.value()) {
+    std::set<std::string> preds(level.begin(), level.end());
+    std::vector<const DatalogRule*> rules;
+    for (const DatalogRule& rule : program_.rules) {
+      if (preds.count(rule.head)) rules.push_back(&rule);
+    }
+    if (!rules.empty()) {
+      DODB_RETURN_IF_ERROR(RunToFixpoint(rules, &idb));
+    }
+  }
+  return idb;
+}
+
+}  // namespace dodb

@@ -1,0 +1,82 @@
+#ifndef DODB_DATALOG_DATALOG_EVALUATOR_H_
+#define DODB_DATALOG_DATALOG_EVALUATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "datalog/datalog_ast.h"
+#include "fo/evaluator.h"
+#include "io/database.h"
+
+namespace dodb {
+
+/// Which negation semantics to apply.
+enum class DatalogSemantics {
+  /// The paper's semantics (§4, Theorem 4.4): all rules fire against the
+  /// current snapshot each round; derived facts are added and never
+  /// retracted. Negation may be used freely (even recursively).
+  kInflationary,
+  /// Classical stratified semantics: negation only through strata; each
+  /// stratum is evaluated to its least fixpoint.
+  kStratified,
+};
+
+struct DatalogOptions {
+  DatalogSemantics semantics = DatalogSemantics::kInflationary;
+  /// Abort with ResourceExhausted beyond this many rounds (0 = unlimited;
+  /// termination is guaranteed anyway — see EvaluateInflationary).
+  uint64_t max_iterations = 100000;
+  /// Semi-naive evaluation: after the first round, a rule whose IDB
+  /// references are all positive is re-evaluated once per positive IDB
+  /// occurrence with that occurrence restricted to the previous round's
+  /// delta. Sound (positive bodies are monotone in the IDB); rules with
+  /// negated IDB atoms always run naively against the full snapshot, so
+  /// the inflationary semantics is unchanged. Off = pure naive iteration
+  /// (the ablation baseline measured in bench_thm44).
+  bool semi_naive = true;
+  EvalOptions eval_options;
+};
+
+/// Fixpoint evaluator for Datalog(not) over dense-order constraint
+/// databases. Rule bodies are lowered to first-order formulas and evaluated
+/// in closed form by FoEvaluator, so IDB relations are themselves finitely
+/// representable at every stage [KKR90].
+///
+/// Termination: quantifier elimination and complement only ever reuse
+/// constants already present, so all derivable canonical tuples come from a
+/// finite universe and the inflationary sequence stabilizes.
+class DatalogEvaluator {
+ public:
+  DatalogEvaluator(DatalogProgram program, const Database* edb,
+                   DatalogOptions options = {});
+
+  /// Runs to fixpoint; returns the IDB database.
+  Result<Database> Evaluate();
+
+  /// Answers a "?- body." query against a fixpoint previously computed by
+  /// Evaluate() (pass its result as `idb`). Answer columns are
+  /// query.HeadVars() in first-occurrence order.
+  Result<GeneralizedRelation> Answer(const DatalogQuery& query,
+                                     const Database& idb);
+
+  /// Rounds executed by the last Evaluate() call.
+  uint64_t iterations() const { return iterations_; }
+
+ private:
+  Result<GeneralizedRelation> EvalRule(const DatalogRule& rule,
+                                       const Database& snapshot);
+  Status RunToFixpoint(const std::vector<const DatalogRule*>& rules,
+                       Database* idb);
+  Result<std::vector<std::vector<std::string>>> Stratify() const;
+
+  DatalogProgram program_;
+  const Database* edb_;
+  DatalogOptions options_;
+  uint64_t iterations_ = 0;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_DATALOG_DATALOG_EVALUATOR_H_

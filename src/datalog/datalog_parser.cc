@@ -1,0 +1,174 @@
+#include "datalog/datalog_parser.h"
+
+#include "core/str_util.h"
+#include "fo/lexer.h"
+
+namespace dodb {
+
+namespace {
+bool IsRelOpToken(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kLt:
+    case TokenKind::kLe:
+    case TokenKind::kEq:
+    case TokenKind::kNeq:
+    case TokenKind::kGe:
+    case TokenKind::kGt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RelOp TokenToRelOp(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kLt:
+      return RelOp::kLt;
+    case TokenKind::kLe:
+      return RelOp::kLe;
+    case TokenKind::kEq:
+      return RelOp::kEq;
+    case TokenKind::kNeq:
+      return RelOp::kNeq;
+    case TokenKind::kGe:
+      return RelOp::kGe;
+    default:
+      return RelOp::kGt;
+  }
+}
+}  // namespace
+
+Result<DatalogProgram> DatalogParser::ParseProgram(std::string_view text) {
+  Result<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  DatalogParser parser(std::move(tokens).value());
+  DatalogProgram program;
+  while (parser.Peek().kind != TokenKind::kEnd) {
+    if (parser.Match(TokenKind::kQueryPrefix)) {
+      DatalogQuery query;
+      do {
+        Result<DatalogLiteral> literal = parser.Literal();
+        if (!literal.ok()) return literal.status();
+        query.body.push_back(std::move(literal).value());
+      } while (parser.Match(TokenKind::kComma));
+      DODB_RETURN_IF_ERROR(parser.Expect(TokenKind::kDot, "query"));
+      program.queries.push_back(std::move(query));
+      continue;
+    }
+    Result<DatalogRule> rule = parser.Rule();
+    if (!rule.ok()) return rule.status();
+    program.rules.push_back(std::move(rule).value());
+  }
+  return program;
+}
+
+const Token& DatalogParser::Peek(int ahead) const {
+  size_t index = pos_ + static_cast<size_t>(ahead);
+  if (index >= tokens_.size()) return tokens_.back();
+  return tokens_[index];
+}
+
+const Token& DatalogParser::Advance() {
+  const Token& token = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return token;
+}
+
+bool DatalogParser::Match(TokenKind kind) {
+  if (Peek().kind != kind) return false;
+  Advance();
+  return true;
+}
+
+Status DatalogParser::Expect(TokenKind kind, const char* where) {
+  if (Peek().kind != kind) {
+    return ErrorHere(StrCat("expected ", TokenKindName(kind), " in ", where,
+                            ", found ", Peek().Describe()));
+  }
+  Advance();
+  return Status::Ok();
+}
+
+Status DatalogParser::ErrorHere(const std::string& message) const {
+  const Token& token = Peek();
+  return Status::ParseError(
+      StrCat(message, " (line ", token.line, ", column ", token.column, ")"));
+}
+
+Result<DatalogRule> DatalogParser::Rule() {
+  DatalogRule rule;
+  DODB_RETURN_IF_ERROR(Atom(&rule.head, &rule.head_args));
+  if (Match(TokenKind::kColonDash)) {
+    do {
+      Result<DatalogLiteral> literal = Literal();
+      if (!literal.ok()) return literal.status();
+      rule.body.push_back(std::move(literal).value());
+    } while (Match(TokenKind::kComma));
+  }
+  DODB_RETURN_IF_ERROR(Expect(TokenKind::kDot, "rule"));
+  return rule;
+}
+
+Result<DatalogLiteral> DatalogParser::Literal() {
+  DatalogLiteral literal;
+  if (Match(TokenKind::kKwNot)) {
+    literal.kind = DatalogLiteral::Kind::kRelation;
+    literal.negated = true;
+    DODB_RETURN_IF_ERROR(Atom(&literal.relation, &literal.args));
+    return literal;
+  }
+  // Relation atom: identifier followed by '('.
+  if (Peek().kind == TokenKind::kIdentifier &&
+      Peek(1).kind == TokenKind::kLParen) {
+    literal.kind = DatalogLiteral::Kind::kRelation;
+    DODB_RETURN_IF_ERROR(Atom(&literal.relation, &literal.args));
+    return literal;
+  }
+  // Constraint atom.
+  literal.kind = DatalogLiteral::Kind::kCompare;
+  Result<FoExpr> lhs = Term_();
+  if (!lhs.ok()) return lhs.status();
+  literal.lhs = std::move(lhs).value();
+  if (!IsRelOpToken(Peek().kind)) {
+    return ErrorHere(StrCat("expected comparison operator, found ",
+                            Peek().Describe()));
+  }
+  literal.op = TokenToRelOp(Advance().kind);
+  Result<FoExpr> rhs = Term_();
+  if (!rhs.ok()) return rhs.status();
+  literal.rhs = std::move(rhs).value();
+  return literal;
+}
+
+Status DatalogParser::Atom(std::string* name, std::vector<FoExpr>* args) {
+  if (Peek().kind != TokenKind::kIdentifier) {
+    return ErrorHere(
+        StrCat("expected predicate name, found ", Peek().Describe()));
+  }
+  *name = Advance().text;
+  DODB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "atom"));
+  if (Peek().kind != TokenKind::kRParen) {
+    do {
+      Result<FoExpr> term = Term_();
+      if (!term.ok()) return term.status();
+      args->push_back(std::move(term).value());
+    } while (Match(TokenKind::kComma));
+  }
+  return Expect(TokenKind::kRParen, "atom");
+}
+
+Result<FoExpr> DatalogParser::Term_() {
+  if (Peek().kind == TokenKind::kIdentifier) {
+    return FoExpr::Variable(Advance().text);
+  }
+  bool negate = Match(TokenKind::kMinus);
+  if (Peek().kind == TokenKind::kNumber) {
+    Result<Rational> value = Rational::FromString(Advance().text);
+    if (!value.ok()) return value.status();
+    Rational v = std::move(value).value();
+    return FoExpr::Constant(negate ? -v : v);
+  }
+  return ErrorHere(StrCat("expected term, found ", Peek().Describe()));
+}
+
+}  // namespace dodb

@@ -1,0 +1,49 @@
+#ifndef DODB_DATALOG_DATALOG_PARSER_H_
+#define DODB_DATALOG_DATALOG_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "datalog/datalog_ast.h"
+#include "fo/token.h"
+
+namespace dodb {
+
+/// Parser for Datalog(not) programs:
+///
+///   program := rule*
+///   rule    := atom (':-' body)? '.'
+///   atom    := ident '(' termlist ')'
+///   body    := literal (',' literal)*
+///   literal := 'not' atom | atom | term relop term
+///   term    := ident | number | '-' number
+///
+/// Comments start with '#'. Constraint literals use dense-order comparisons
+/// only (no addition: the paper's Datalog(not) is over {=, <=}).
+class DatalogParser {
+ public:
+  static Result<DatalogProgram> ParseProgram(std::string_view text);
+
+ private:
+  explicit DatalogParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool Match(TokenKind kind);
+  Status Expect(TokenKind kind, const char* where);
+  Status ErrorHere(const std::string& message) const;
+
+  Result<DatalogRule> Rule();
+  Result<DatalogLiteral> Literal();
+  Status Atom(std::string* name, std::vector<FoExpr>* args);
+  Result<FoExpr> Term_();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_DATALOG_DATALOG_PARSER_H_

@@ -1,0 +1,78 @@
+#include "fo/analyzer.h"
+
+#include "core/str_util.h"
+
+namespace dodb {
+
+namespace {
+
+// Collects relation uses, failing on arity conflicts between uses.
+Status CollectRelationUses(const Formula& formula,
+                           std::map<std::string, int>* out) {
+  switch (formula.kind) {
+    case FormulaKind::kRelation: {
+      int arity = static_cast<int>(formula.args.size());
+      auto [it, inserted] = out->emplace(formula.relation, arity);
+      if (!inserted && it->second != arity) {
+        return Status::InvalidArgument(
+            StrCat("relation '", formula.relation, "' used with arity ",
+                   arity, " and ", it->second));
+      }
+      return Status::Ok();
+    }
+    case FormulaKind::kNot:
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      return CollectRelationUses(*formula.child, out);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      DODB_RETURN_IF_ERROR(CollectRelationUses(*formula.child, out));
+      return CollectRelationUses(*formula.child2, out);
+    default:
+      return Status::Ok();
+  }
+}
+
+}  // namespace
+
+Result<QueryAnalysis> Analyze(const Query& query, const Database* db) {
+  if (query.body == nullptr) {
+    return Status::InvalidArgument("query has no body");
+  }
+  QueryAnalysis analysis;
+  analysis.free_vars = query.body->FreeVars();
+  analysis.is_dense_fragment = query.body->IsDenseFragment();
+  analysis.quantifier_depth = query.body->QuantifierDepth();
+  DODB_RETURN_IF_ERROR(CollectRelationUses(*query.body, &analysis.relations));
+
+  std::set<std::string> head_set;
+  for (const std::string& var : query.head) {
+    if (!head_set.insert(var).second) {
+      return Status::InvalidArgument(
+          StrCat("duplicate head variable '", var, "'"));
+    }
+  }
+  for (const std::string& var : analysis.free_vars) {
+    if (head_set.count(var) == 0) {
+      return Status::InvalidArgument(
+          StrCat("free variable '", var, "' not listed in the query head"));
+    }
+  }
+  if (db != nullptr) {
+    for (const auto& [name, arity] : analysis.relations) {
+      const GeneralizedRelation* rel = db->FindRelation(name);
+      if (rel == nullptr) {
+        return Status::NotFound(StrCat("relation '", name,
+                                       "' not in the database"));
+      }
+      if (rel->arity() != arity) {
+        return Status::InvalidArgument(
+            StrCat("relation '", name, "' has arity ", rel->arity(),
+                   " but is used with arity ", arity));
+      }
+    }
+  }
+  return analysis;
+}
+
+}  // namespace dodb

@@ -1,0 +1,33 @@
+#ifndef DODB_FO_ANALYZER_H_
+#define DODB_FO_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/status.h"
+#include "fo/ast.h"
+#include "io/database.h"
+
+namespace dodb {
+
+/// Static facts about a query, computed by Analyze().
+struct QueryAnalysis {
+  std::set<std::string> free_vars;          // free variables of the body
+  std::map<std::string, int> relations;     // relation name -> arity used
+  bool is_dense_fragment = true;            // no linear (FO+) terms
+  int quantifier_depth = 0;
+};
+
+/// Validates a query against a database schema and returns its analysis.
+///
+/// Checks: non-null body, consistent arity across every use of a relation
+/// name, relations present in `db` with matching arity (skipped when db is
+/// nullptr), no duplicate head variables, and every free variable of the
+/// body listed in the head. Head variables that do not occur in the body are
+/// legal (they range over all of Q).
+Result<QueryAnalysis> Analyze(const Query& query, const Database* db);
+
+}  // namespace dodb
+
+#endif  // DODB_FO_ANALYZER_H_

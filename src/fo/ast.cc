@@ -1,0 +1,311 @@
+#include "fo/ast.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+FoExpr FoExpr::Variable(const std::string& name) {
+  FoExpr e;
+  e.coeffs[name] = Rational(1);
+  return e;
+}
+
+FoExpr FoExpr::Constant(Rational value) {
+  FoExpr e;
+  e.constant = std::move(value);
+  return e;
+}
+
+FoExpr FoExpr::Plus(const FoExpr& other) const {
+  FoExpr out = *this;
+  out.constant += other.constant;
+  for (const auto& [name, coeff] : other.coeffs) {
+    Rational& slot = out.coeffs[name];
+    slot += coeff;
+    if (slot.is_zero()) out.coeffs.erase(name);
+  }
+  return out;
+}
+
+FoExpr FoExpr::Minus(const FoExpr& other) const {
+  return Plus(other.Negated());
+}
+
+FoExpr FoExpr::Negated() const { return ScaledBy(Rational(-1)); }
+
+FoExpr FoExpr::ScaledBy(const Rational& factor) const {
+  FoExpr out;
+  if (factor.is_zero()) return out;
+  out.constant = constant * factor;
+  for (const auto& [name, coeff] : coeffs) out.coeffs[name] = coeff * factor;
+  return out;
+}
+
+bool FoExpr::IsSimpleVar() const {
+  return constant.is_zero() && coeffs.size() == 1 &&
+         coeffs.begin()->second == Rational(1);
+}
+
+bool FoExpr::IsConstant() const { return coeffs.empty(); }
+
+const std::string& FoExpr::VarName() const {
+  DODB_CHECK_MSG(IsSimpleVar(), "VarName() on a non-simple term");
+  return coeffs.begin()->first;
+}
+
+void FoExpr::CollectVars(std::set<std::string>* out) const {
+  for (const auto& [name, coeff] : coeffs) out->insert(name);
+}
+
+std::string FoExpr::ToString() const {
+  if (coeffs.empty()) return constant.ToString();
+  std::string out;
+  bool first = true;
+  for (const auto& [name, coeff] : coeffs) {
+    if (first) {
+      if (coeff == Rational(1)) {
+        out = name;
+      } else if (coeff == Rational(-1)) {
+        out = StrCat("-", name);
+      } else {
+        out = StrCat(coeff.ToString(), "*", name);
+      }
+      first = false;
+      continue;
+    }
+    if (coeff == Rational(1)) {
+      out += StrCat(" + ", name);
+    } else if (coeff == Rational(-1)) {
+      out += StrCat(" - ", name);
+    } else if (coeff.is_negative()) {
+      out += StrCat(" - ", (-coeff).ToString(), "*", name);
+    } else {
+      out += StrCat(" + ", coeff.ToString(), "*", name);
+    }
+  }
+  if (!constant.is_zero()) {
+    if (constant.is_negative()) {
+      out += StrCat(" - ", (-constant).ToString());
+    } else {
+      out += StrCat(" + ", constant.ToString());
+    }
+  }
+  return out;
+}
+
+bool FoExpr::operator==(const FoExpr& other) const {
+  return constant == other.constant && coeffs == other.coeffs;
+}
+
+FormulaPtr Formula::Clone() const {
+  auto out = std::make_unique<Formula>();
+  out->kind = kind;
+  out->bool_value = bool_value;
+  out->lhs = lhs;
+  out->rhs = rhs;
+  out->op = op;
+  out->relation = relation;
+  out->args = args;
+  out->bound_vars = bound_vars;
+  if (child) out->child = child->Clone();
+  if (child2) out->child2 = child2->Clone();
+  return out;
+}
+
+void Formula::CollectFreeVars(std::set<std::string>* out) const {
+  switch (kind) {
+    case FormulaKind::kBool:
+      return;
+    case FormulaKind::kCompare:
+      lhs.CollectVars(out);
+      rhs.CollectVars(out);
+      return;
+    case FormulaKind::kRelation:
+      for (const FoExpr& arg : args) arg.CollectVars(out);
+      return;
+    case FormulaKind::kNot:
+      child->CollectFreeVars(out);
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      child->CollectFreeVars(out);
+      child2->CollectFreeVars(out);
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      std::set<std::string> inner;
+      child->CollectFreeVars(&inner);
+      for (const std::string& v : bound_vars) inner.erase(v);
+      out->insert(inner.begin(), inner.end());
+      return;
+    }
+  }
+}
+
+std::set<std::string> Formula::FreeVars() const {
+  std::set<std::string> out;
+  CollectFreeVars(&out);
+  return out;
+}
+
+void Formula::CollectRelations(std::map<std::string, int>* out) const {
+  switch (kind) {
+    case FormulaKind::kRelation:
+      out->emplace(relation, static_cast<int>(args.size()));
+      return;
+    case FormulaKind::kNot:
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      child->CollectRelations(out);
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      child->CollectRelations(out);
+      child2->CollectRelations(out);
+      return;
+    default:
+      return;
+  }
+}
+
+int Formula::QuantifierDepth() const {
+  switch (kind) {
+    case FormulaKind::kBool:
+    case FormulaKind::kCompare:
+    case FormulaKind::kRelation:
+      return 0;
+    case FormulaKind::kNot:
+      return child->QuantifierDepth();
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      return std::max(child->QuantifierDepth(), child2->QuantifierDepth());
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      return 1 + child->QuantifierDepth();
+  }
+  return 0;
+}
+
+namespace {
+bool ExprIsDense(const FoExpr& expr) {
+  return expr.IsSimpleVar() || expr.IsConstant();
+}
+}  // namespace
+
+bool Formula::IsDenseFragment() const {
+  switch (kind) {
+    case FormulaKind::kBool:
+      return true;
+    case FormulaKind::kCompare:
+      return ExprIsDense(lhs) && ExprIsDense(rhs);
+    case FormulaKind::kRelation:
+      return std::all_of(args.begin(), args.end(), ExprIsDense);
+    case FormulaKind::kNot:
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      return child->IsDenseFragment();
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      return child->IsDenseFragment() && child2->IsDenseFragment();
+  }
+  return false;
+}
+
+std::string Formula::ToString() const {
+  switch (kind) {
+    case FormulaKind::kBool:
+      return bool_value ? "true" : "false";
+    case FormulaKind::kCompare:
+      return StrCat(lhs.ToString(), " ", RelOpSymbol(op), " ",
+                    rhs.ToString());
+    case FormulaKind::kRelation: {
+      std::vector<std::string> parts;
+      parts.reserve(args.size());
+      for (const FoExpr& arg : args) parts.push_back(arg.ToString());
+      return StrCat(relation, "(", StrJoin(parts, ", "), ")");
+    }
+    case FormulaKind::kNot:
+      return StrCat("not (", child->ToString(), ")");
+    case FormulaKind::kAnd:
+      return StrCat("(", child->ToString(), " and ", child2->ToString(), ")");
+    case FormulaKind::kOr:
+      return StrCat("(", child->ToString(), " or ", child2->ToString(), ")");
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      return StrCat(kind == FormulaKind::kExists ? "exists " : "forall ",
+                    StrJoin(bound_vars, ", "), " (", child->ToString(), ")");
+  }
+  return "?";
+}
+
+FormulaPtr MakeBool(bool value) {
+  auto out = std::make_unique<Formula>();
+  out->kind = FormulaKind::kBool;
+  out->bool_value = value;
+  return out;
+}
+
+FormulaPtr MakeCompare(FoExpr lhs, RelOp op, FoExpr rhs) {
+  auto out = std::make_unique<Formula>();
+  out->kind = FormulaKind::kCompare;
+  out->lhs = std::move(lhs);
+  out->rhs = std::move(rhs);
+  out->op = op;
+  return out;
+}
+
+FormulaPtr MakeRelation(std::string name, std::vector<FoExpr> args) {
+  auto out = std::make_unique<Formula>();
+  out->kind = FormulaKind::kRelation;
+  out->relation = std::move(name);
+  out->args = std::move(args);
+  return out;
+}
+
+FormulaPtr MakeNot(FormulaPtr child) {
+  auto out = std::make_unique<Formula>();
+  out->kind = FormulaKind::kNot;
+  out->child = std::move(child);
+  return out;
+}
+
+FormulaPtr MakeAnd(FormulaPtr a, FormulaPtr b) {
+  auto out = std::make_unique<Formula>();
+  out->kind = FormulaKind::kAnd;
+  out->child = std::move(a);
+  out->child2 = std::move(b);
+  return out;
+}
+
+FormulaPtr MakeOr(FormulaPtr a, FormulaPtr b) {
+  auto out = std::make_unique<Formula>();
+  out->kind = FormulaKind::kOr;
+  out->child = std::move(a);
+  out->child2 = std::move(b);
+  return out;
+}
+
+FormulaPtr MakeExists(std::vector<std::string> vars, FormulaPtr body) {
+  auto out = std::make_unique<Formula>();
+  out->kind = FormulaKind::kExists;
+  out->bound_vars = std::move(vars);
+  out->child = std::move(body);
+  return out;
+}
+
+FormulaPtr MakeForall(std::vector<std::string> vars, FormulaPtr body) {
+  auto out = std::make_unique<Formula>();
+  out->kind = FormulaKind::kForall;
+  out->bound_vars = std::move(vars);
+  out->child = std::move(body);
+  return out;
+}
+
+std::string Query::ToString() const {
+  return StrCat("{ (", StrJoin(head, ", "), ") | ", body->ToString(), " }");
+}
+
+}  // namespace dodb

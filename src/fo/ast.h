@@ -1,0 +1,113 @@
+#ifndef DODB_FO_AST_H_
+#define DODB_FO_AST_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "constraints/dense_atom.h"
+#include "core/rational.h"
+
+namespace dodb {
+
+/// A term of the surface language: a linear expression
+/// sum_i (coeff_i * var_i) + constant over variable *names*.
+///
+/// Dense-order queries (FO) only use simple terms (a single variable with
+/// coefficient 1 and no constant, or a bare constant); general linear terms
+/// are the FO+ extension of §4 and are evaluated by the linear evaluator.
+struct FoExpr {
+  std::map<std::string, Rational> coeffs;
+  Rational constant;
+
+  static FoExpr Variable(const std::string& name);
+  static FoExpr Constant(Rational value);
+
+  FoExpr Plus(const FoExpr& other) const;
+  FoExpr Minus(const FoExpr& other) const;
+  FoExpr Negated() const;
+  FoExpr ScaledBy(const Rational& factor) const;
+
+  /// A bare variable with coefficient 1 and no constant part.
+  bool IsSimpleVar() const;
+  /// No variables at all.
+  bool IsConstant() const;
+  /// The variable name; requires IsSimpleVar().
+  const std::string& VarName() const;
+
+  void CollectVars(std::set<std::string>* out) const;
+
+  std::string ToString() const;
+  bool operator==(const FoExpr& other) const;
+};
+
+enum class FormulaKind {
+  kBool,      // true / false
+  kCompare,   // expr op expr
+  kRelation,  // R(t1, ..., tk)
+  kNot,
+  kAnd,
+  kOr,
+  kExists,
+  kForall,
+};
+
+struct Formula;
+using FormulaPtr = std::unique_ptr<Formula>;
+
+/// First-order formula over dense-order (or, with linear terms, FO+)
+/// constraints. Passive AST node; built via the factory functions below.
+/// '->' and '<->' are desugared by the parser.
+struct Formula {
+  FormulaKind kind = FormulaKind::kBool;
+
+  bool bool_value = false;                 // kBool
+  FoExpr lhs, rhs;                         // kCompare
+  RelOp op = RelOp::kEq;                   // kCompare
+  std::string relation;                    // kRelation
+  std::vector<FoExpr> args;                // kRelation
+  std::vector<std::string> bound_vars;     // kExists / kForall
+  FormulaPtr child;                        // kNot, quantifiers, kAnd, kOr
+  FormulaPtr child2;                       // kAnd, kOr
+
+  FormulaPtr Clone() const;
+
+  /// Free variables, honoring quantifier shadowing.
+  void CollectFreeVars(std::set<std::string>* out) const;
+  std::set<std::string> FreeVars() const;
+
+  /// Relation names used, with their (syntactic) arity.
+  void CollectRelations(std::map<std::string, int>* out) const;
+
+  /// Maximum quantifier nesting depth (0 for quantifier-free).
+  int QuantifierDepth() const;
+
+  /// Whether every term is simple (the dense-order FO fragment).
+  bool IsDenseFragment() const;
+
+  std::string ToString() const;
+};
+
+FormulaPtr MakeBool(bool value);
+FormulaPtr MakeCompare(FoExpr lhs, RelOp op, FoExpr rhs);
+FormulaPtr MakeRelation(std::string name, std::vector<FoExpr> args);
+FormulaPtr MakeNot(FormulaPtr child);
+FormulaPtr MakeAnd(FormulaPtr a, FormulaPtr b);
+FormulaPtr MakeOr(FormulaPtr a, FormulaPtr b);
+FormulaPtr MakeExists(std::vector<std::string> vars, FormulaPtr body);
+FormulaPtr MakeForall(std::vector<std::string> vars, FormulaPtr body);
+
+/// A query {(x1,...,xn) | phi}: head variables plus a body formula. A bare
+/// formula parses as a boolean (arity-0) query.
+struct Query {
+  std::vector<std::string> head;
+  FormulaPtr body;
+
+  std::string ToString() const;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_FO_AST_H_

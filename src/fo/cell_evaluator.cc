@@ -1,0 +1,225 @@
+#include "fo/cell_evaluator.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "cells/cell_decomposition.h"
+#include "core/check.h"
+#include "core/str_util.h"
+#include "fo/analyzer.h"
+
+namespace dodb {
+
+namespace {
+
+void CollectQueryConstants(const Formula& f, std::set<Rational>* out) {
+  auto from_expr = [out](const FoExpr& expr) {
+    if (expr.IsConstant()) out->insert(expr.constant);
+  };
+  switch (f.kind) {
+    case FormulaKind::kCompare:
+      from_expr(f.lhs);
+      from_expr(f.rhs);
+      return;
+    case FormulaKind::kRelation:
+      for (const FoExpr& arg : f.args) from_expr(arg);
+      return;
+    case FormulaKind::kNot:
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      CollectQueryConstants(*f.child, out);
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      CollectQueryConstants(*f.child, out);
+      CollectQueryConstants(*f.child2, out);
+      return;
+    default:
+      return;
+  }
+}
+
+Rational EvalSimpleExpr(const FoExpr& expr,
+                        const std::map<std::string, Rational>& env) {
+  if (expr.IsConstant()) return expr.constant;
+  DODB_CHECK(expr.IsSimpleVar());
+  auto it = env.find(expr.VarName());
+  DODB_CHECK_MSG(it != env.end(), "unbound variable in cell evaluation");
+  return it->second;
+}
+
+}  // namespace
+
+CellFoEvaluator::CellFoEvaluator(const Database* db, CellEvalOptions options)
+    : db_(db), options_(options) {
+  DODB_CHECK(db != nullptr);
+  scale_ = db->AllConstants();
+}
+
+std::vector<Rational> CellFoEvaluator::Representatives(const Env& env) const {
+  // One value per order-position relative to scale constants and bound
+  // values: each anchor itself, one point strictly between each adjacent
+  // anchor pair, and one beyond each end.
+  std::set<Rational> anchors(scale_.begin(), scale_.end());
+  for (const auto& [name, value] : env) anchors.insert(value);
+  std::vector<Rational> reps;
+  if (anchors.empty()) {
+    reps.push_back(Rational(0));
+    return reps;
+  }
+  std::vector<Rational> sorted(anchors.begin(), anchors.end());
+  reps.push_back(sorted.front() - Rational(1));
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    reps.push_back(sorted[i]);
+    if (i + 1 < sorted.size()) {
+      reps.push_back(Rational::Midpoint(sorted[i], sorted[i + 1]));
+    }
+  }
+  reps.push_back(sorted.back() + Rational(1));
+  return reps;
+}
+
+Result<bool> CellFoEvaluator::Quantify(const Formula& formula, Env* env,
+                                       size_t index) const {
+  bool exists = formula.kind == FormulaKind::kExists;
+  if (index == formula.bound_vars.size()) {
+    return Holds(*formula.child, env);
+  }
+  const std::string& var = formula.bound_vars[index];
+  std::optional<Rational> saved;
+  auto it = env->find(var);
+  if (it != env->end()) saved = it->second;
+  for (const Rational& value : Representatives(*env)) {
+    (*env)[var] = value;
+    Result<bool> inner = Quantify(formula, env, index + 1);
+    if (!inner.ok()) return inner;
+    if (inner.value() == exists) {
+      if (saved.has_value()) {
+        (*env)[var] = *saved;
+      } else {
+        env->erase(var);
+      }
+      return exists;
+    }
+  }
+  if (saved.has_value()) {
+    (*env)[var] = *saved;
+  } else {
+    env->erase(var);
+  }
+  return !exists;
+}
+
+Result<bool> CellFoEvaluator::Holds(const Formula& formula, Env* env) const {
+  switch (formula.kind) {
+    case FormulaKind::kBool:
+      return formula.bool_value;
+    case FormulaKind::kCompare: {
+      if (!(formula.lhs.IsSimpleVar() || formula.lhs.IsConstant()) ||
+          !(formula.rhs.IsSimpleVar() || formula.rhs.IsConstant())) {
+        return Status::Unsupported(
+            "CellFoEvaluator handles the dense fragment only");
+      }
+      Rational lhs = EvalSimpleExpr(formula.lhs, *env);
+      Rational rhs = EvalSimpleExpr(formula.rhs, *env);
+      return OpHolds(lhs.Compare(rhs), formula.op);
+    }
+    case FormulaKind::kRelation: {
+      const GeneralizedRelation* rel = db_->FindRelation(formula.relation);
+      DODB_CHECK(rel != nullptr);
+      std::vector<Rational> point;
+      point.reserve(formula.args.size());
+      for (const FoExpr& arg : formula.args) {
+        if (!(arg.IsSimpleVar() || arg.IsConstant())) {
+          return Status::Unsupported(
+              "CellFoEvaluator handles the dense fragment only");
+        }
+        point.push_back(EvalSimpleExpr(arg, *env));
+      }
+      return rel->Contains(point);
+    }
+    case FormulaKind::kNot: {
+      Result<bool> inner = Holds(*formula.child, env);
+      if (!inner.ok()) return inner;
+      return !inner.value();
+    }
+    case FormulaKind::kAnd: {
+      Result<bool> a = Holds(*formula.child, env);
+      if (!a.ok()) return a;
+      if (!a.value()) return false;
+      return Holds(*formula.child2, env);
+    }
+    case FormulaKind::kOr: {
+      Result<bool> a = Holds(*formula.child, env);
+      if (!a.ok()) return a;
+      if (a.value()) return true;
+      return Holds(*formula.child2, env);
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      return Quantify(formula, env, 0);
+  }
+  return Status::Internal("unknown formula kind");
+}
+
+Result<bool> CellFoEvaluator::Decide(const Formula& formula) {
+  if (!formula.FreeVars().empty()) {
+    return Status::InvalidArgument("Decide() needs a closed formula");
+  }
+  // Include the formula's own constants in the scale for this decision.
+  std::set<Rational> constants(scale_.begin(), scale_.end());
+  CollectQueryConstants(formula, &constants);
+  std::vector<Rational> saved = std::move(scale_);
+  scale_.assign(constants.begin(), constants.end());
+  Env env;
+  Result<bool> out = Holds(formula, &env);
+  scale_ = std::move(saved);
+  return out;
+}
+
+Result<GeneralizedRelation> CellFoEvaluator::Evaluate(const Query& query) {
+  Result<QueryAnalysis> analysis = Analyze(query, db_);
+  if (!analysis.ok()) return analysis.status();
+  if (!analysis.value().is_dense_fragment) {
+    return Status::Unsupported(
+        "CellFoEvaluator handles the dense fragment only");
+  }
+
+  // Active scale: database plus query constants.
+  std::vector<Rational> db_constants = db_->AllConstants();
+  std::set<Rational> constants(db_constants.begin(), db_constants.end());
+  CollectQueryConstants(*query.body, &constants);
+  std::vector<Rational> saved = std::move(scale_);
+  scale_.assign(constants.begin(), constants.end());
+
+  int arity = static_cast<int>(query.head.size());
+  CellDecomposition decomposition(arity, scale_);
+  GeneralizedRelation answer(arity);
+  Status failure = Status::Ok();
+  if (options_.max_cells != 0 &&
+      decomposition.CellCount() > options_.max_cells) {
+    failure = Status::ResourceExhausted(
+        StrCat("answer decomposition has ", decomposition.CellCount(),
+               " cells, over the limit of ", options_.max_cells));
+  } else {
+    Cell::EnumerateCells(
+        arity, static_cast<int>(scale_.size()), [&](const Cell& cell) {
+          std::vector<Rational> witness = cell.WitnessPoint(scale_);
+          Env env;
+          for (int i = 0; i < arity; ++i) env[query.head[i]] = witness[i];
+          Result<bool> holds = Holds(*query.body, &env);
+          if (!holds.ok()) {
+            failure = holds.status();
+            return false;
+          }
+          if (holds.value()) answer.AddTuple(cell.ToTuple(scale_));
+          return true;
+        });
+  }
+  scale_ = std::move(saved);
+  if (!failure.ok()) return failure;
+  return answer;
+}
+
+}  // namespace dodb

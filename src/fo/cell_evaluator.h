@@ -1,0 +1,60 @@
+#ifndef DODB_FO_CELL_EVALUATOR_H_
+#define DODB_FO_CELL_EVALUATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "constraints/generalized_relation.h"
+#include "core/status.h"
+#include "fo/ast.h"
+#include "io/database.h"
+
+namespace dodb {
+
+struct CellEvalOptions {
+  /// Abort with ResourceExhausted when the output decomposition has more
+  /// cells than this (0 = unlimited).
+  uint64_t max_cells = 1 << 22;
+};
+
+/// Model-theoretic evaluator for dense-order FO queries — the paper's
+/// data-complexity evaluation scheme, and a fully independent second
+/// implementation used for differential validation of FoEvaluator.
+///
+/// The answer of a k-ary query is a union of cells of Q^k over the active
+/// scale (database plus query constants). Each cell is decided by testing
+/// the body at the cell's witness point; quantifiers are decided by trying
+/// one representative value per order-position relative to the scale and
+/// the values already bound (by denseness, those finitely many positions
+/// exhaust the possible behaviours — the same argument that gives the
+/// paper's AC0 bound: for a FIXED query the work is polynomial in the
+/// database, though exponential in the query's variable count).
+class CellFoEvaluator {
+ public:
+  explicit CellFoEvaluator(const Database* db, CellEvalOptions options = {});
+
+  /// Evaluates a dense-fragment query; column i is head variable i.
+  Result<GeneralizedRelation> Evaluate(const Query& query);
+
+  /// Decides a boolean (closed) formula.
+  Result<bool> Decide(const Formula& formula);
+
+ private:
+  using Env = std::map<std::string, Rational>;
+
+  Result<bool> Holds(const Formula& formula, Env* env) const;
+  Result<bool> Quantify(const Formula& formula, Env* env,
+                        size_t index) const;
+  /// Representative values for one fresh variable relative to the scale
+  /// and the currently bound values.
+  std::vector<Rational> Representatives(const Env& env) const;
+
+  const Database* db_;
+  CellEvalOptions options_;
+  std::vector<Rational> scale_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_FO_CELL_EVALUATOR_H_

@@ -1,0 +1,246 @@
+#include "fo/evaluator.h"
+
+#include <algorithm>
+
+#include "algebra/relational_ops.h"
+#include "constraints/dense_qe.h"
+#include "core/check.h"
+#include "core/str_util.h"
+#include "fo/analyzer.h"
+#include "fo/rewriter.h"
+
+namespace dodb {
+
+namespace {
+
+int IndexOfVar(const std::vector<std::string>& vars, const std::string& var) {
+  auto it = std::find(vars.begin(), vars.end(), var);
+  if (it == vars.end()) return -1;
+  return static_cast<int>(it - vars.begin());
+}
+
+// Term of the constraint layer for a simple FoExpr relative to `vars`.
+Term LowerSimpleExpr(const FoExpr& expr, const std::vector<std::string>& vars) {
+  if (expr.IsConstant()) return Term::Const(expr.constant);
+  DODB_CHECK(expr.IsSimpleVar());
+  int index = IndexOfVar(vars, expr.VarName());
+  DODB_CHECK(index >= 0);
+  return Term::Var(index);
+}
+
+}  // namespace
+
+FoEvaluator::FoEvaluator(const Database* db, EvalOptions options)
+    : db_(db), options_(options) {
+  DODB_CHECK(db != nullptr);
+}
+
+Status FoEvaluator::CheckSize(const GeneralizedRelation& rel) {
+  stats_.max_intermediate_tuples =
+      std::max(stats_.max_intermediate_tuples,
+               static_cast<uint64_t>(rel.tuple_count()));
+  if (options_.max_tuples != 0 && rel.tuple_count() > options_.max_tuples) {
+    return Status::ResourceExhausted(
+        StrCat("intermediate relation has ", rel.tuple_count(),
+               " tuples, over the limit of ", options_.max_tuples));
+  }
+  return Status::Ok();
+}
+
+Result<GeneralizedRelation> FoEvaluator::Evaluate(const Query& query) {
+  Result<QueryAnalysis> analysis = Analyze(query, db_);
+  if (!analysis.ok()) return analysis.status();
+  if (!analysis.value().is_dense_fragment) {
+    return Status::Unsupported(
+        "query uses linear (FO+) terms; use LinearFoEvaluator");
+  }
+  if (options_.optimize) {
+    FormulaPtr optimized = rewriter::Optimize(*query.body);
+    return EvaluateFormula(*optimized, query.head);
+  }
+  return EvaluateFormula(*query.body, query.head);
+}
+
+Result<GeneralizedRelation> FoEvaluator::EvaluateFormula(
+    const Formula& formula, const std::vector<std::string>& columns) {
+  Result<Binding> binding = Eval(formula);
+  if (!binding.ok()) return binding.status();
+  for (const std::string& var : binding.value().vars) {
+    if (IndexOfVar(columns, var) < 0) {
+      return Status::InvalidArgument(
+          StrCat("free variable '", var, "' not among the output columns"));
+    }
+  }
+  return AlignTo(binding.value(), columns).rel;
+}
+
+FoEvaluator::Binding FoEvaluator::AlignTo(
+    const Binding& binding, const std::vector<std::string>& target) {
+  std::vector<int> mapping(binding.vars.size());
+  for (size_t i = 0; i < binding.vars.size(); ++i) {
+    int index = IndexOfVar(target, binding.vars[i]);
+    DODB_CHECK_MSG(index >= 0, "AlignTo target misses a variable");
+    mapping[i] = index;
+  }
+  return Binding(target, algebra::Rename(binding.rel, mapping,
+                                         static_cast<int>(target.size())));
+}
+
+Result<FoEvaluator::Binding> FoEvaluator::Eval(const Formula& formula) {
+  switch (formula.kind) {
+    case FormulaKind::kBool: {
+      GeneralizedRelation rel = formula.bool_value
+                                    ? GeneralizedRelation::True(0)
+                                    : GeneralizedRelation::False(0);
+      return Binding({}, std::move(rel));
+    }
+    case FormulaKind::kCompare:
+      return EvalCompare(formula);
+    case FormulaKind::kRelation:
+      return EvalRelation(formula);
+    case FormulaKind::kNot: {
+      Result<Binding> child = Eval(*formula.child);
+      if (!child.ok()) return child;
+      ++stats_.complements;
+      GeneralizedRelation complement =
+          algebra::Complement(child.value().rel);
+      DODB_RETURN_IF_ERROR(CheckSize(complement));
+      return Binding(std::move(child).value().vars, std::move(complement));
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      Result<Binding> left = Eval(*formula.child);
+      if (!left.ok()) return left;
+      Result<Binding> right = Eval(*formula.child2);
+      if (!right.ok()) return right;
+      std::vector<std::string> joint = left.value().vars;
+      for (const std::string& var : right.value().vars) {
+        if (IndexOfVar(joint, var) < 0) joint.push_back(var);
+      }
+      Binding a = AlignTo(left.value(), joint);
+      Binding b = AlignTo(right.value(), joint);
+      GeneralizedRelation combined(static_cast<int>(joint.size()));
+      if (formula.kind == FormulaKind::kAnd) {
+        ++stats_.intersections;
+        combined = algebra::Intersect(a.rel, b.rel);
+      } else {
+        ++stats_.unions;
+        combined = algebra::Union(a.rel, b.rel);
+      }
+      DODB_RETURN_IF_ERROR(CheckSize(combined));
+      return Binding(std::move(joint), std::move(combined));
+    }
+    case FormulaKind::kExists: {
+      Result<Binding> child = Eval(*formula.child);
+      if (!child.ok()) return child;
+      return EliminateVars(std::move(child).value(), formula.bound_vars);
+    }
+    case FormulaKind::kForall: {
+      // forall x phi == not exists x not phi, evaluated directly on the
+      // child's binding to avoid AST rewriting.
+      Result<Binding> child = Eval(*formula.child);
+      if (!child.ok()) return child;
+      Binding binding = std::move(child).value();
+      ++stats_.complements;
+      binding.rel = algebra::Complement(binding.rel);
+      DODB_RETURN_IF_ERROR(CheckSize(binding.rel));
+      Result<Binding> eliminated =
+          EliminateVars(std::move(binding), formula.bound_vars);
+      if (!eliminated.ok()) return eliminated;
+      ++stats_.complements;
+      GeneralizedRelation complement =
+          algebra::Complement(eliminated.value().rel);
+      DODB_RETURN_IF_ERROR(CheckSize(complement));
+      return Binding(std::move(eliminated).value().vars,
+                     std::move(complement));
+    }
+  }
+  return Status::Internal("unknown formula kind");
+}
+
+Result<FoEvaluator::Binding> FoEvaluator::EvalCompare(
+    const Formula& formula) {
+  const FoExpr& lhs = formula.lhs;
+  const FoExpr& rhs = formula.rhs;
+  if (lhs.IsConstant() && rhs.IsConstant()) {
+    bool holds = OpHolds(lhs.constant.Compare(rhs.constant), formula.op);
+    return Binding({}, holds ? GeneralizedRelation::True(0)
+                             : GeneralizedRelation::False(0));
+  }
+  std::vector<std::string> vars;
+  if (lhs.IsSimpleVar()) vars.push_back(lhs.VarName());
+  if (rhs.IsSimpleVar() && IndexOfVar(vars, rhs.VarName()) < 0) {
+    vars.push_back(rhs.VarName());
+  }
+  GeneralizedTuple tuple(static_cast<int>(vars.size()));
+  tuple.AddAtom(DenseAtom(LowerSimpleExpr(lhs, vars), formula.op,
+                          LowerSimpleExpr(rhs, vars)));
+  GeneralizedRelation rel(static_cast<int>(vars.size()));
+  rel.AddTuple(std::move(tuple));
+  return Binding(std::move(vars), std::move(rel));
+}
+
+Result<FoEvaluator::Binding> FoEvaluator::EvalRelation(
+    const Formula& formula) {
+  const GeneralizedRelation* stored = db_->FindRelation(formula.relation);
+  DODB_CHECK(stored != nullptr);  // Analyze() verified
+  int k = stored->arity();
+  DODB_CHECK(static_cast<int>(formula.args.size()) == k);
+
+  // Distinct variables in first-occurrence order; constant and duplicate
+  // arguments become equality constraints on extra tail columns that are
+  // then projected away (the projection is a cheap substitution).
+  std::vector<std::string> vars;
+  for (const FoExpr& arg : formula.args) {
+    if (arg.IsSimpleVar() && IndexOfVar(vars, arg.VarName()) < 0) {
+      vars.push_back(arg.VarName());
+    }
+  }
+  int num_vars = static_cast<int>(vars.size());
+  int num_consts = 0;
+  std::vector<int> mapping(k);
+  std::vector<std::pair<int, Rational>> pinned;  // tail column -> constant
+  for (int i = 0; i < k; ++i) {
+    const FoExpr& arg = formula.args[i];
+    if (arg.IsSimpleVar()) {
+      mapping[i] = IndexOfVar(vars, arg.VarName());
+    } else {
+      int column = num_vars + num_consts;
+      mapping[i] = column;
+      pinned.emplace_back(column, arg.constant);
+      ++num_consts;
+    }
+  }
+  int ext_arity = num_vars + num_consts;
+  GeneralizedRelation renamed = algebra::Rename(*stored, mapping, ext_arity);
+  for (const auto& [column, value] : pinned) {
+    renamed = algebra::Select(
+        renamed, DenseAtom(Term::Var(column), RelOp::kEq,
+                           Term::Const(value)));
+  }
+  std::vector<int> keep(num_vars);
+  for (int i = 0; i < num_vars; ++i) keep[i] = i;
+  GeneralizedRelation projected = ProjectColumns(renamed, keep);
+  DODB_RETURN_IF_ERROR(CheckSize(projected));
+  return Binding(std::move(vars), std::move(projected));
+}
+
+Result<FoEvaluator::Binding> FoEvaluator::EliminateVars(
+    Binding binding, const std::vector<std::string>& vars) {
+  for (const std::string& var : vars) {
+    int index = IndexOfVar(binding.vars, var);
+    if (index < 0) continue;  // vacuous quantifier
+    ++stats_.eliminations;
+    std::vector<int> keep;
+    keep.reserve(binding.vars.size() - 1);
+    for (int i = 0; i < static_cast<int>(binding.vars.size()); ++i) {
+      if (i != index) keep.push_back(i);
+    }
+    binding.rel = ProjectColumns(binding.rel, keep);
+    binding.vars.erase(binding.vars.begin() + index);
+    DODB_RETURN_IF_ERROR(CheckSize(binding.rel));
+  }
+  return binding;
+}
+
+}  // namespace dodb

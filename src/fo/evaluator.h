@@ -1,0 +1,84 @@
+#ifndef DODB_FO_EVALUATOR_H_
+#define DODB_FO_EVALUATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraints/generalized_relation.h"
+#include "core/status.h"
+#include "fo/ast.h"
+#include "io/database.h"
+
+namespace dodb {
+
+/// Evaluation limits and counters.
+struct EvalOptions {
+  /// Abort with ResourceExhausted when an intermediate relation exceeds this
+  /// many generalized tuples (0 = unlimited).
+  uint64_t max_tuples = 1000000;
+  /// Run the rewriter (NNF, quantifier flattening, conjunct reordering)
+  /// before evaluation; see fo/rewriter.h. Semantics-preserving.
+  bool optimize = false;
+};
+
+struct EvalStats {
+  uint64_t complements = 0;
+  uint64_t eliminations = 0;
+  uint64_t intersections = 0;
+  uint64_t unions = 0;
+  uint64_t max_intermediate_tuples = 0;
+};
+
+/// Bottom-up, closed-form evaluator for first-order queries over dense-order
+/// constraint databases [KKR90]: every subformula evaluates to a finitely
+/// representable relation over its free variables; quantifiers become
+/// quantifier elimination, negation becomes complement.
+///
+/// Only the dense fragment (simple terms) is handled here; FO+ queries with
+/// linear terms are evaluated by LinearFoEvaluator.
+class FoEvaluator {
+ public:
+  explicit FoEvaluator(const Database* db, EvalOptions options = {});
+
+  /// Evaluates a query into a relation whose column i is head variable i.
+  Result<GeneralizedRelation> Evaluate(const Query& query);
+
+  /// Evaluates a formula into a relation over exactly `columns` (which must
+  /// cover the formula's free variables).
+  Result<GeneralizedRelation> EvaluateFormula(
+      const Formula& formula, const std::vector<std::string>& columns);
+
+  const EvalStats& stats() const { return stats_; }
+
+ private:
+  struct Binding {
+    std::vector<std::string> vars;
+    GeneralizedRelation rel;
+
+    Binding() : rel(0) {}
+    Binding(std::vector<std::string> v, GeneralizedRelation r)
+        : vars(std::move(v)), rel(std::move(r)) {}
+  };
+
+  Result<Binding> Eval(const Formula& formula);
+  Result<Binding> EvalCompare(const Formula& formula);
+  Result<Binding> EvalRelation(const Formula& formula);
+  Result<Binding> EliminateVars(Binding binding,
+                                const std::vector<std::string>& vars);
+
+  /// Widens/permutes `binding` to the column list `target` (a superset of
+  /// binding.vars).
+  Binding AlignTo(const Binding& binding,
+                  const std::vector<std::string>& target);
+
+  Status CheckSize(const GeneralizedRelation& rel);
+
+  const Database* db_;
+  EvalOptions options_;
+  EvalStats stats_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_FO_EVALUATOR_H_

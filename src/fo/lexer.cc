@@ -1,0 +1,242 @@
+#include "fo/lexer.h"
+
+#include <cctype>
+#include <map>
+#include <string>
+
+#include "core/str_util.h"
+
+namespace dodb {
+
+namespace {
+
+TokenKind KeywordKind(const std::string& word) {
+  static const std::map<std::string, TokenKind> kKeywords = {
+      {"and", TokenKind::kKwAnd},       {"or", TokenKind::kKwOr},
+      {"not", TokenKind::kKwNot},       {"exists", TokenKind::kKwExists},
+      {"forall", TokenKind::kKwForall}, {"true", TokenKind::kKwTrue},
+      {"false", TokenKind::kKwFalse},   {"in", TokenKind::kKwIn},
+      {"set", TokenKind::kKwSet},
+  };
+  auto it = kKeywords.find(word);
+  return it == kKeywords.end() ? TokenKind::kIdentifier : it->second;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  int column = 1;
+
+  auto make = [&](TokenKind kind, std::string token_text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(token_text);
+    t.offset = i;
+    t.line = line;
+    t.column = column;
+    return t;
+  };
+  auto advance = [&](size_t n) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i < text.size() && text[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < text.size() && text[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      Token t = make(TokenKind::kIdentifier, "");
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_')) {
+        advance(1);
+      }
+      t.text = std::string(text.substr(start, i - start));
+      t.kind = KeywordKind(t.text);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // 12 | 3.25 | 3/4  (a '/' is part of the number only when followed by
+      // a digit, so numbers never swallow unrelated slashes).
+      size_t start = i;
+      Token t = make(TokenKind::kNumber, "");
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        advance(1);
+      }
+      if (i < text.size() && text[i] == '.' && i + 1 < text.size() &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        advance(1);
+        while (i < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[i]))) {
+          advance(1);
+        }
+      } else if (i < text.size() && text[i] == '/' && i + 1 < text.size() &&
+                 std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        advance(1);
+        while (i < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[i]))) {
+          advance(1);
+        }
+      }
+      t.text = std::string(text.substr(start, i - start));
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    auto two = [&](char second) {
+      return i + 1 < text.size() && text[i + 1] == second;
+    };
+    Token t = make(TokenKind::kEnd, std::string(1, c));
+    switch (c) {
+      case '(':
+        t.kind = TokenKind::kLParen;
+        advance(1);
+        break;
+      case ')':
+        t.kind = TokenKind::kRParen;
+        advance(1);
+        break;
+      case '{':
+        t.kind = TokenKind::kLBrace;
+        advance(1);
+        break;
+      case '}':
+        t.kind = TokenKind::kRBrace;
+        advance(1);
+        break;
+      case '[':
+        t.kind = TokenKind::kLBracket;
+        advance(1);
+        break;
+      case ']':
+        t.kind = TokenKind::kRBracket;
+        advance(1);
+        break;
+      case ',':
+        t.kind = TokenKind::kComma;
+        advance(1);
+        break;
+      case '|':
+        t.kind = TokenKind::kPipe;
+        advance(1);
+        break;
+      case ';':
+        t.kind = TokenKind::kSemicolon;
+        advance(1);
+        break;
+      case '.':
+        t.kind = TokenKind::kDot;
+        advance(1);
+        break;
+      case ':':
+        if (two('-')) {
+          t.kind = TokenKind::kColonDash;
+          t.text = ":-";
+          advance(2);
+        } else {
+          t.kind = TokenKind::kColon;
+          advance(1);
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          t.kind = TokenKind::kLe;
+          t.text = "<=";
+          advance(2);
+        } else if (two('-') && i + 2 < text.size() && text[i + 2] == '>') {
+          t.kind = TokenKind::kIff;
+          t.text = "<->";
+          advance(3);
+        } else {
+          t.kind = TokenKind::kLt;
+          advance(1);
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          t.kind = TokenKind::kGe;
+          t.text = ">=";
+          advance(2);
+        } else {
+          t.kind = TokenKind::kGt;
+          advance(1);
+        }
+        break;
+      case '=':
+        t.kind = TokenKind::kEq;
+        advance(1);
+        break;
+      case '?':
+        if (two('-')) {
+          t.kind = TokenKind::kQueryPrefix;
+          t.text = "?-";
+          advance(2);
+        } else {
+          return Status::ParseError(
+              StrCat("stray '?' at line ", line, ", column ", column));
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          t.kind = TokenKind::kNeq;
+          t.text = "!=";
+          advance(2);
+        } else {
+          return Status::ParseError(
+              StrCat("stray '!' at line ", line, ", column ", column));
+        }
+        break;
+      case '+':
+        t.kind = TokenKind::kPlus;
+        advance(1);
+        break;
+      case '-':
+        if (two('>')) {
+          t.kind = TokenKind::kArrow;
+          t.text = "->";
+          advance(2);
+        } else {
+          t.kind = TokenKind::kMinus;
+          advance(1);
+        }
+        break;
+      case '*':
+        t.kind = TokenKind::kStar;
+        advance(1);
+        break;
+      default:
+        return Status::ParseError(StrCat("unexpected character '", c,
+                                         "' at line ", line, ", column ",
+                                         column));
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = i;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace dodb

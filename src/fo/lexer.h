@@ -1,0 +1,18 @@
+#ifndef DODB_FO_LEXER_H_
+#define DODB_FO_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "fo/token.h"
+
+namespace dodb {
+
+/// Tokenizes query-language text. Comments run from '#' to end of line.
+/// The returned vector always ends with a kEnd token.
+Result<std::vector<Token>> Lex(std::string_view text);
+
+}  // namespace dodb
+
+#endif  // DODB_FO_LEXER_H_

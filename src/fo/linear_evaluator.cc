@@ -1,0 +1,253 @@
+#include "fo/linear_evaluator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/check.h"
+#include "core/str_util.h"
+#include "fo/analyzer.h"
+
+namespace dodb {
+
+namespace {
+
+int IndexOfVar(const std::vector<std::string>& vars, const std::string& var) {
+  auto it = std::find(vars.begin(), vars.end(), var);
+  if (it == vars.end()) return -1;
+  return static_cast<int>(it - vars.begin());
+}
+
+// Lowers a name-based linear surface term to a column-based LinearExpr.
+LinearExpr LowerExpr(const FoExpr& expr,
+                     const std::vector<std::string>& vars) {
+  LinearExpr out = LinearExpr::Const(expr.constant);
+  for (const auto& [name, coeff] : expr.coeffs) {
+    int index = IndexOfVar(vars, name);
+    DODB_CHECK(index >= 0);
+    out = out.Plus(LinearExpr::Var(index).ScaledBy(coeff));
+  }
+  return out;
+}
+
+}  // namespace
+
+LinearFoEvaluator::LinearFoEvaluator(const Database* db, EvalOptions options)
+    : db_(db), options_(options) {
+  DODB_CHECK(db != nullptr);
+}
+
+Status LinearFoEvaluator::CheckSize(const LinearRelation& rel) {
+  stats_.max_intermediate_tuples =
+      std::max(stats_.max_intermediate_tuples,
+               static_cast<uint64_t>(rel.system_count()));
+  if (options_.max_tuples != 0 && rel.system_count() > options_.max_tuples) {
+    return Status::ResourceExhausted(
+        StrCat("intermediate linear relation has ", rel.system_count(),
+               " systems, over the limit of ", options_.max_tuples));
+  }
+  return Status::Ok();
+}
+
+Result<LinearRelation> LinearFoEvaluator::Evaluate(const Query& query) {
+  Result<QueryAnalysis> analysis = Analyze(query, db_);
+  if (!analysis.ok()) return analysis.status();
+  Result<Binding> binding = Eval(*query.body);
+  if (!binding.ok()) return binding.status();
+  return AlignTo(binding.value(), query.head).rel;
+}
+
+LinearFoEvaluator::Binding LinearFoEvaluator::AlignTo(
+    const Binding& binding, const std::vector<std::string>& target) {
+  std::vector<int> mapping(binding.vars.size());
+  for (size_t i = 0; i < binding.vars.size(); ++i) {
+    int index = IndexOfVar(target, binding.vars[i]);
+    DODB_CHECK_MSG(index >= 0, "AlignTo target misses a variable");
+    mapping[i] = index;
+  }
+  return Binding(target,
+                 linear_algebra::Rename(binding.rel, mapping,
+                                        static_cast<int>(target.size())));
+}
+
+Result<LinearFoEvaluator::Binding> LinearFoEvaluator::Eval(
+    const Formula& formula) {
+  switch (formula.kind) {
+    case FormulaKind::kBool:
+      return Binding({}, formula.bool_value ? LinearRelation::True(0)
+                                            : LinearRelation::False(0));
+    case FormulaKind::kCompare:
+      return EvalCompare(formula);
+    case FormulaKind::kRelation:
+      return EvalRelation(formula);
+    case FormulaKind::kNot: {
+      Result<Binding> child = Eval(*formula.child);
+      if (!child.ok()) return child;
+      ++stats_.complements;
+      LinearRelation complement =
+          linear_algebra::Complement(child.value().rel);
+      DODB_RETURN_IF_ERROR(CheckSize(complement));
+      return Binding(std::move(child).value().vars, std::move(complement));
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      Result<Binding> left = Eval(*formula.child);
+      if (!left.ok()) return left;
+      Result<Binding> right = Eval(*formula.child2);
+      if (!right.ok()) return right;
+      std::vector<std::string> joint = left.value().vars;
+      for (const std::string& var : right.value().vars) {
+        if (IndexOfVar(joint, var) < 0) joint.push_back(var);
+      }
+      Binding a = AlignTo(left.value(), joint);
+      Binding b = AlignTo(right.value(), joint);
+      LinearRelation combined(static_cast<int>(joint.size()));
+      if (formula.kind == FormulaKind::kAnd) {
+        ++stats_.intersections;
+        combined = linear_algebra::Intersect(a.rel, b.rel);
+      } else {
+        ++stats_.unions;
+        combined = linear_algebra::Union(a.rel, b.rel);
+      }
+      DODB_RETURN_IF_ERROR(CheckSize(combined));
+      return Binding(std::move(joint), std::move(combined));
+    }
+    case FormulaKind::kExists: {
+      Result<Binding> child = Eval(*formula.child);
+      if (!child.ok()) return child;
+      return EliminateVars(std::move(child).value(), formula.bound_vars);
+    }
+    case FormulaKind::kForall: {
+      Result<Binding> child = Eval(*formula.child);
+      if (!child.ok()) return child;
+      Binding binding = std::move(child).value();
+      ++stats_.complements;
+      binding.rel = linear_algebra::Complement(binding.rel);
+      DODB_RETURN_IF_ERROR(CheckSize(binding.rel));
+      Result<Binding> eliminated =
+          EliminateVars(std::move(binding), formula.bound_vars);
+      if (!eliminated.ok()) return eliminated;
+      ++stats_.complements;
+      LinearRelation complement =
+          linear_algebra::Complement(eliminated.value().rel);
+      DODB_RETURN_IF_ERROR(CheckSize(complement));
+      return Binding(std::move(eliminated).value().vars,
+                     std::move(complement));
+    }
+  }
+  return Status::Internal("unknown formula kind");
+}
+
+Result<LinearFoEvaluator::Binding> LinearFoEvaluator::EvalCompare(
+    const Formula& formula) {
+  std::set<std::string> var_set;
+  formula.lhs.CollectVars(&var_set);
+  formula.rhs.CollectVars(&var_set);
+  std::vector<std::string> vars(var_set.begin(), var_set.end());
+  int arity = static_cast<int>(vars.size());
+  LinearExpr diff =
+      LowerExpr(formula.lhs, vars).Minus(LowerExpr(formula.rhs, vars));
+  LinearRelation rel(arity);
+  switch (formula.op) {
+    case RelOp::kLt: {
+      LinearSystem s(arity);
+      s.AddAtom(LinearAtom(diff, LinOp::kLt));
+      rel.AddSystem(std::move(s));
+      break;
+    }
+    case RelOp::kLe: {
+      LinearSystem s(arity);
+      s.AddAtom(LinearAtom(diff, LinOp::kLe));
+      rel.AddSystem(std::move(s));
+      break;
+    }
+    case RelOp::kEq: {
+      LinearSystem s(arity);
+      s.AddAtom(LinearAtom(diff, LinOp::kEq));
+      rel.AddSystem(std::move(s));
+      break;
+    }
+    case RelOp::kGe: {
+      LinearSystem s(arity);
+      s.AddAtom(LinearAtom(diff.Negated(), LinOp::kLe));
+      rel.AddSystem(std::move(s));
+      break;
+    }
+    case RelOp::kGt: {
+      LinearSystem s(arity);
+      s.AddAtom(LinearAtom(diff.Negated(), LinOp::kLt));
+      rel.AddSystem(std::move(s));
+      break;
+    }
+    case RelOp::kNeq: {
+      LinearSystem lt(arity);
+      lt.AddAtom(LinearAtom(diff, LinOp::kLt));
+      rel.AddSystem(std::move(lt));
+      LinearSystem gt(arity);
+      gt.AddAtom(LinearAtom(diff.Negated(), LinOp::kLt));
+      rel.AddSystem(std::move(gt));
+      break;
+    }
+  }
+  return Binding(std::move(vars), std::move(rel));
+}
+
+Result<LinearFoEvaluator::Binding> LinearFoEvaluator::EvalRelation(
+    const Formula& formula) {
+  const GeneralizedRelation* stored = db_->FindRelation(formula.relation);
+  DODB_CHECK(stored != nullptr);
+  int k = stored->arity();
+  DODB_CHECK(static_cast<int>(formula.args.size()) == k);
+  LinearRelation lifted = LinearRelation::FromGeneralized(*stored);
+
+  // Arguments may be arbitrary linear terms: R(t1,...,tk) is evaluated as
+  // exists fresh columns c1..ck (R(c1..ck) and c_i = t_i), i.e. the stored
+  // relation's columns are appended after the argument variables and then
+  // projected away.
+  std::set<std::string> var_set;
+  for (const FoExpr& arg : formula.args) arg.CollectVars(&var_set);
+  std::vector<std::string> vars(var_set.begin(), var_set.end());
+  int num_vars = static_cast<int>(vars.size());
+  int ext_arity = num_vars + k;
+
+  std::vector<int> mapping(k);
+  for (int i = 0; i < k; ++i) mapping[i] = num_vars + i;
+  LinearRelation wide = linear_algebra::Rename(lifted, mapping, ext_arity);
+
+  // Constrain column num_vars+i to equal the lowered argument term.
+  LinearRelation constrained(ext_arity);
+  for (const LinearSystem& system : wide.systems()) {
+    LinearSystem s = system;
+    for (int i = 0; i < k; ++i) {
+      LinearExpr arg = LowerExpr(formula.args[i], vars);
+      s.AddAtom(LinearAtom(LinearExpr::Var(num_vars + i).Minus(arg),
+                           LinOp::kEq));
+    }
+    constrained.AddSystem(std::move(s));
+  }
+  std::vector<int> keep(num_vars);
+  for (int i = 0; i < num_vars; ++i) keep[i] = i;
+  LinearRelation projected =
+      linear_algebra::ProjectColumns(constrained, keep);
+  DODB_RETURN_IF_ERROR(CheckSize(projected));
+  return Binding(std::move(vars), std::move(projected));
+}
+
+Result<LinearFoEvaluator::Binding> LinearFoEvaluator::EliminateVars(
+    Binding binding, const std::vector<std::string>& vars) {
+  for (const std::string& var : vars) {
+    int index = IndexOfVar(binding.vars, var);
+    if (index < 0) continue;
+    ++stats_.eliminations;
+    std::vector<int> keep;
+    keep.reserve(binding.vars.size() - 1);
+    for (int i = 0; i < static_cast<int>(binding.vars.size()); ++i) {
+      if (i != index) keep.push_back(i);
+    }
+    binding.rel = linear_algebra::ProjectColumns(binding.rel, keep);
+    binding.vars.erase(binding.vars.begin() + index);
+    DODB_RETURN_IF_ERROR(CheckSize(binding.rel));
+  }
+  return binding;
+}
+
+}  // namespace dodb

@@ -1,0 +1,61 @@
+#ifndef DODB_FO_LINEAR_EVALUATOR_H_
+#define DODB_FO_LINEAR_EVALUATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "fo/ast.h"
+#include "fo/evaluator.h"
+#include "io/database.h"
+#include "linear/linear_relation.h"
+
+namespace dodb {
+
+/// Bottom-up evaluator for FO+ — first-order logic with linear constraints
+/// (dense order plus addition, §4). Quantifier elimination is
+/// Fourier-Motzkin [Tar51 gives closure for the full arithmetic; the linear
+/// fragment needs only FM]. Database relations (stored as dense-order
+/// relations) are lifted into linear form on access.
+///
+/// FO+ formulas are not automatically *queries* in the sense of §3 (they
+/// need not be closed under automorphisms of Q); the evaluator computes the
+/// standard semantics regardless.
+class LinearFoEvaluator {
+ public:
+  explicit LinearFoEvaluator(const Database* db, EvalOptions options = {});
+
+  /// Evaluates a query into a linear relation whose column i is head
+  /// variable i.
+  Result<LinearRelation> Evaluate(const Query& query);
+
+  const EvalStats& stats() const { return stats_; }
+
+ private:
+  struct Binding {
+    std::vector<std::string> vars;
+    LinearRelation rel;
+
+    Binding() : rel(0) {}
+    Binding(std::vector<std::string> v, LinearRelation r)
+        : vars(std::move(v)), rel(std::move(r)) {}
+  };
+
+  Result<Binding> Eval(const Formula& formula);
+  Result<Binding> EvalCompare(const Formula& formula);
+  Result<Binding> EvalRelation(const Formula& formula);
+  Result<Binding> EliminateVars(Binding binding,
+                                const std::vector<std::string>& vars);
+  Binding AlignTo(const Binding& binding,
+                  const std::vector<std::string>& target);
+  Status CheckSize(const LinearRelation& rel);
+
+  const Database* db_;
+  EvalOptions options_;
+  EvalStats stats_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_FO_LINEAR_EVALUATOR_H_

@@ -1,0 +1,318 @@
+#include "fo/parser.h"
+
+#include <utility>
+
+#include "core/str_util.h"
+#include "fo/lexer.h"
+
+namespace dodb {
+
+namespace {
+bool IsRelOpToken(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kLt:
+    case TokenKind::kLe:
+    case TokenKind::kEq:
+    case TokenKind::kNeq:
+    case TokenKind::kGe:
+    case TokenKind::kGt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RelOp TokenToRelOp(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kLt:
+      return RelOp::kLt;
+    case TokenKind::kLe:
+      return RelOp::kLe;
+    case TokenKind::kEq:
+      return RelOp::kEq;
+    case TokenKind::kNeq:
+      return RelOp::kNeq;
+    case TokenKind::kGe:
+      return RelOp::kGe;
+    default:
+      return RelOp::kGt;
+  }
+}
+}  // namespace
+
+Result<Query> FoParser::ParseQuery(std::string_view text) {
+  Result<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  FoParser parser(std::move(tokens).value());
+  Result<Query> query = parser.Query_();
+  if (!query.ok()) return query;
+  if (parser.Peek().kind != TokenKind::kEnd) {
+    return parser.ErrorHere("trailing input after query");
+  }
+  return query;
+}
+
+Result<FormulaPtr> FoParser::ParseFormula(std::string_view text) {
+  Result<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  FoParser parser(std::move(tokens).value());
+  Result<FormulaPtr> formula = parser.Iff();
+  if (!formula.ok()) return formula;
+  if (parser.Peek().kind != TokenKind::kEnd) {
+    return parser.ErrorHere("trailing input after formula");
+  }
+  return formula;
+}
+
+const Token& FoParser::Peek(int ahead) const {
+  size_t index = pos_ + static_cast<size_t>(ahead);
+  if (index >= tokens_.size()) return tokens_.back();
+  return tokens_[index];
+}
+
+const Token& FoParser::Advance() {
+  const Token& token = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return token;
+}
+
+bool FoParser::Match(TokenKind kind) {
+  if (Peek().kind != kind) return false;
+  Advance();
+  return true;
+}
+
+Status FoParser::Expect(TokenKind kind, const char* where) {
+  if (Peek().kind != kind) {
+    return ErrorHere(StrCat("expected ", TokenKindName(kind), " in ", where,
+                            ", found ", Peek().Describe()));
+  }
+  Advance();
+  return Status::Ok();
+}
+
+Status FoParser::ErrorHere(const std::string& message) const {
+  const Token& token = Peek();
+  return Status::ParseError(
+      StrCat(message, " (line ", token.line, ", column ", token.column, ")"));
+}
+
+Result<Query> FoParser::Query_() {
+  Query query;
+  if (Match(TokenKind::kLBrace)) {
+    bool parens = Match(TokenKind::kLParen);
+    if (!(parens && Peek().kind == TokenKind::kRParen)) {
+      Result<std::vector<std::string>> vars = VarList();
+      if (!vars.ok()) return vars.status();
+      query.head = std::move(vars).value();
+    }
+    if (parens) DODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "query head"));
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kPipe, "query"));
+    Result<FormulaPtr> body = Iff();
+    if (!body.ok()) return body.status();
+    query.body = std::move(body).value();
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "query"));
+    return query;
+  }
+  Result<FormulaPtr> body = Iff();
+  if (!body.ok()) return body.status();
+  query.body = std::move(body).value();
+  return query;
+}
+
+Result<std::vector<std::string>> FoParser::VarList() {
+  std::vector<std::string> vars;
+  do {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere(StrCat("expected variable name, found ",
+                              Peek().Describe()));
+    }
+    vars.push_back(Advance().text);
+  } while (Match(TokenKind::kComma));
+  return vars;
+}
+
+Result<FormulaPtr> FoParser::Iff() {
+  Result<FormulaPtr> left = Implies();
+  if (!left.ok()) return left;
+  FormulaPtr formula = std::move(left).value();
+  while (Match(TokenKind::kIff)) {
+    Result<FormulaPtr> right = Implies();
+    if (!right.ok()) return right;
+    // a <-> b  ==  (a and b) or (not a and not b).
+    FormulaPtr a = std::move(formula);
+    FormulaPtr b = std::move(right).value();
+    FormulaPtr both = MakeAnd(a->Clone(), b->Clone());
+    FormulaPtr neither =
+        MakeAnd(MakeNot(std::move(a)), MakeNot(std::move(b)));
+    formula = MakeOr(std::move(both), std::move(neither));
+  }
+  return formula;
+}
+
+Result<FormulaPtr> FoParser::Implies() {
+  Result<FormulaPtr> left = Or();
+  if (!left.ok()) return left;
+  if (Match(TokenKind::kArrow)) {
+    Result<FormulaPtr> right = Implies();  // right-associative
+    if (!right.ok()) return right;
+    // a -> b  ==  not a or b.
+    return MakeOr(MakeNot(std::move(left).value()),
+                  std::move(right).value());
+  }
+  return left;
+}
+
+Result<FormulaPtr> FoParser::Or() {
+  Result<FormulaPtr> left = And();
+  if (!left.ok()) return left;
+  FormulaPtr formula = std::move(left).value();
+  while (Match(TokenKind::kKwOr)) {
+    Result<FormulaPtr> right = And();
+    if (!right.ok()) return right;
+    formula = MakeOr(std::move(formula), std::move(right).value());
+  }
+  return formula;
+}
+
+Result<FormulaPtr> FoParser::And() {
+  Result<FormulaPtr> left = Unary();
+  if (!left.ok()) return left;
+  FormulaPtr formula = std::move(left).value();
+  while (Match(TokenKind::kKwAnd)) {
+    Result<FormulaPtr> right = Unary();
+    if (!right.ok()) return right;
+    formula = MakeAnd(std::move(formula), std::move(right).value());
+  }
+  return formula;
+}
+
+Result<FormulaPtr> FoParser::Unary() {
+  if (Match(TokenKind::kKwNot)) {
+    Result<FormulaPtr> child = Unary();
+    if (!child.ok()) return child;
+    return MakeNot(std::move(child).value());
+  }
+  if (Peek().kind == TokenKind::kKwExists ||
+      Peek().kind == TokenKind::kKwForall) {
+    bool exists = Advance().kind == TokenKind::kKwExists;
+    Result<std::vector<std::string>> vars = VarList();
+    if (!vars.ok()) return vars.status();
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "quantifier body"));
+    Result<FormulaPtr> body = Iff();
+    if (!body.ok()) return body;
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "quantifier body"));
+    if (exists) {
+      return MakeExists(std::move(vars).value(), std::move(body).value());
+    }
+    return MakeForall(std::move(vars).value(), std::move(body).value());
+  }
+  return Primary();
+}
+
+Result<FormulaPtr> FoParser::Primary() {
+  if (Match(TokenKind::kKwTrue)) return MakeBool(true);
+  if (Match(TokenKind::kKwFalse)) return MakeBool(false);
+
+  // Relation atom: identifier followed by '('.
+  if (Peek().kind == TokenKind::kIdentifier &&
+      Peek(1).kind == TokenKind::kLParen) {
+    std::string name = Advance().text;
+    Advance();  // '('
+    std::vector<FoExpr> args;
+    if (Peek().kind != TokenKind::kRParen) {
+      do {
+        Result<FoExpr> arg = Expr();
+        if (!arg.ok()) return arg.status();
+        args.push_back(std::move(arg).value());
+      } while (Match(TokenKind::kComma));
+    }
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "relation atom"));
+    return MakeRelation(std::move(name), std::move(args));
+  }
+
+  // '(' is ambiguous: parenthesized formula or parenthesized arithmetic
+  // term. Try the formula reading first and backtrack on failure.
+  if (Peek().kind == TokenKind::kLParen) {
+    size_t saved = pos_;
+    Advance();
+    Result<FormulaPtr> inner = Iff();
+    if (inner.ok() && Peek().kind == TokenKind::kRParen) {
+      Advance();
+      return inner;
+    }
+    pos_ = saved;  // backtrack: must be "(expr) relop expr"
+  }
+  return Comparison();
+}
+
+Result<FormulaPtr> FoParser::Comparison() {
+  Result<FoExpr> lhs = Expr();
+  if (!lhs.ok()) return lhs.status();
+  if (!IsRelOpToken(Peek().kind)) {
+    return ErrorHere(StrCat("expected comparison operator, found ",
+                            Peek().Describe()));
+  }
+  RelOp op = TokenToRelOp(Advance().kind);
+  Result<FoExpr> rhs = Expr();
+  if (!rhs.ok()) return rhs.status();
+  return MakeCompare(std::move(lhs).value(), op, std::move(rhs).value());
+}
+
+Result<FoExpr> FoParser::Expr() {
+  Result<FoExpr> left = MulTerm();
+  if (!left.ok()) return left;
+  FoExpr expr = std::move(left).value();
+  while (Peek().kind == TokenKind::kPlus || Peek().kind == TokenKind::kMinus) {
+    bool plus = Advance().kind == TokenKind::kPlus;
+    Result<FoExpr> right = MulTerm();
+    if (!right.ok()) return right;
+    expr = plus ? expr.Plus(right.value()) : expr.Minus(right.value());
+  }
+  return expr;
+}
+
+Result<FoExpr> FoParser::MulTerm() {
+  Result<FoExpr> left = Factor();
+  if (!left.ok()) return left;
+  FoExpr expr = std::move(left).value();
+  while (Match(TokenKind::kStar)) {
+    Result<FoExpr> right = Factor();
+    if (!right.ok()) return right;
+    // Linear terms only: one side must be constant.
+    if (!expr.IsConstant() && !right.value().IsConstant()) {
+      return ErrorHere("non-linear term: product of two variables");
+    }
+    if (right.value().IsConstant()) {
+      expr = expr.ScaledBy(right.value().constant);
+    } else {
+      expr = right.value().ScaledBy(expr.constant);
+    }
+  }
+  return expr;
+}
+
+Result<FoExpr> FoParser::Factor() {
+  if (Peek().kind == TokenKind::kIdentifier) {
+    return FoExpr::Variable(Advance().text);
+  }
+  if (Peek().kind == TokenKind::kNumber) {
+    Result<Rational> value = Rational::FromString(Advance().text);
+    if (!value.ok()) return value.status();
+    return FoExpr::Constant(std::move(value).value());
+  }
+  if (Match(TokenKind::kMinus)) {
+    Result<FoExpr> inner = Factor();
+    if (!inner.ok()) return inner;
+    return inner.value().Negated();
+  }
+  if (Match(TokenKind::kLParen)) {
+    Result<FoExpr> inner = Expr();
+    if (!inner.ok()) return inner;
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "parenthesized term"));
+    return inner;
+  }
+  return ErrorHere(StrCat("expected term, found ", Peek().Describe()));
+}
+
+}  // namespace dodb

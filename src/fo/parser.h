@@ -1,0 +1,67 @@
+#ifndef DODB_FO_PARSER_H_
+#define DODB_FO_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "fo/ast.h"
+#include "fo/token.h"
+
+namespace dodb {
+
+/// Recursive-descent parser for the FO / FO+ query surface syntax.
+///
+///   query    := '{' head '|' formula '}'  |  formula
+///   head     := '(' varlist ')' | varlist
+///   formula  := iff
+///   iff      := implies ('<->' implies)*
+///   implies  := or ('->' implies)?                (right-associative)
+///   or       := and ('or' and)*
+///   and      := unary ('and' unary)*
+///   unary    := 'not' unary | quantifier | primary
+///   quant    := ('exists'|'forall') varlist '(' formula ')'
+///   primary  := 'true' | 'false' | '(' formula ')' | R '(' exprlist ')'
+///             | expr relop expr
+///   expr     := term (('+'|'-') term)*            (linear terms only)
+///   term     := factor ('*' factor)*              (at most one variable side)
+///   factor   := ident | number | '-' factor | '(' expr ')'
+///
+/// '->' and '<->' are desugared into not/or/and. Comments start with '#'.
+class FoParser {
+ public:
+  /// Parses "{ (x,y) | phi }" or a bare formula (boolean query, empty head).
+  static Result<Query> ParseQuery(std::string_view text);
+
+  /// Parses a bare formula.
+  static Result<FormulaPtr> ParseFormula(std::string_view text);
+
+ private:
+  explicit FoParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool Match(TokenKind kind);
+  Status Expect(TokenKind kind, const char* where);
+  Status ErrorHere(const std::string& message) const;
+
+  Result<Query> Query_();
+  Result<std::vector<std::string>> VarList();
+  Result<FormulaPtr> Iff();
+  Result<FormulaPtr> Implies();
+  Result<FormulaPtr> Or();
+  Result<FormulaPtr> And();
+  Result<FormulaPtr> Unary();
+  Result<FormulaPtr> Primary();
+  Result<FormulaPtr> Comparison();
+  Result<FoExpr> Expr();
+  Result<FoExpr> MulTerm();
+  Result<FoExpr> Factor();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_FO_PARSER_H_

@@ -1,0 +1,167 @@
+#include "fo/rewriter.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/check.h"
+
+namespace dodb {
+namespace rewriter {
+
+namespace {
+
+FormulaPtr Nnf(const Formula& f, bool negated) {
+  switch (f.kind) {
+    case FormulaKind::kBool:
+      return MakeBool(negated ? !f.bool_value : f.bool_value);
+    case FormulaKind::kCompare:
+      return MakeCompare(f.lhs, negated ? NegateOp(f.op) : f.op, f.rhs);
+    case FormulaKind::kRelation: {
+      FormulaPtr atom = MakeRelation(f.relation, f.args);
+      return negated ? MakeNot(std::move(atom)) : std::move(atom);
+    }
+    case FormulaKind::kNot:
+      return Nnf(*f.child, !negated);
+    case FormulaKind::kAnd: {
+      FormulaPtr a = Nnf(*f.child, negated);
+      FormulaPtr b = Nnf(*f.child2, negated);
+      return negated ? MakeOr(std::move(a), std::move(b))
+                     : MakeAnd(std::move(a), std::move(b));
+    }
+    case FormulaKind::kOr: {
+      FormulaPtr a = Nnf(*f.child, negated);
+      FormulaPtr b = Nnf(*f.child2, negated);
+      return negated ? MakeAnd(std::move(a), std::move(b))
+                     : MakeOr(std::move(a), std::move(b));
+    }
+    case FormulaKind::kExists: {
+      FormulaPtr body = Nnf(*f.child, negated);
+      return negated ? MakeForall(f.bound_vars, std::move(body))
+                     : MakeExists(f.bound_vars, std::move(body));
+    }
+    case FormulaKind::kForall: {
+      FormulaPtr body = Nnf(*f.child, negated);
+      return negated ? MakeExists(f.bound_vars, std::move(body))
+                     : MakeForall(f.bound_vars, std::move(body));
+    }
+  }
+  DODB_CHECK(false);
+  return nullptr;
+}
+
+// Evaluation-cost category along a conjunctive spine (lower runs first).
+int ConjunctRank(const Formula& f) {
+  switch (f.kind) {
+    case FormulaKind::kBool:
+    case FormulaKind::kCompare:
+      return 0;
+    case FormulaKind::kRelation:
+      return 1;
+    default:
+      return 2;  // negations, disjunctions, quantifiers
+  }
+}
+
+void CollectConjuncts(FormulaPtr formula, std::vector<FormulaPtr>* out) {
+  if (formula->kind == FormulaKind::kAnd) {
+    CollectConjuncts(std::move(formula->child), out);
+    CollectConjuncts(std::move(formula->child2), out);
+    return;
+  }
+  out->push_back(std::move(formula));
+}
+
+}  // namespace
+
+FormulaPtr ToNnf(const Formula& formula) { return Nnf(formula, false); }
+
+FormulaPtr FlattenQuantifiers(const Formula& formula) {
+  FormulaPtr out = formula.Clone();
+  switch (formula.kind) {
+    case FormulaKind::kNot:
+      out->child = FlattenQuantifiers(*formula.child);
+      return out;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      out->child = FlattenQuantifiers(*formula.child);
+      out->child2 = FlattenQuantifiers(*formula.child2);
+      return out;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      FormulaPtr body = FlattenQuantifiers(*formula.child);
+      if (body->kind == formula.kind) {
+        // Merge unless the inner block shadows an outer name (then the
+        // outer binding is vacuous but merging would change which variable
+        // the body sees).
+        std::set<std::string> outer(formula.bound_vars.begin(),
+                                    formula.bound_vars.end());
+        bool shadows = false;
+        for (const std::string& v : body->bound_vars) {
+          if (outer.count(v)) {
+            shadows = true;
+            break;
+          }
+        }
+        if (!shadows) {
+          std::vector<std::string> merged = formula.bound_vars;
+          merged.insert(merged.end(), body->bound_vars.begin(),
+                        body->bound_vars.end());
+          FormulaPtr inner_body = std::move(body->child);
+          return formula.kind == FormulaKind::kExists
+                     ? MakeExists(std::move(merged), std::move(inner_body))
+                     : MakeForall(std::move(merged), std::move(inner_body));
+        }
+      }
+      out->child = std::move(body);
+      return out;
+    }
+    default:
+      return out;
+  }
+}
+
+FormulaPtr ReorderConjunctions(const Formula& formula) {
+  switch (formula.kind) {
+    case FormulaKind::kAnd: {
+      std::vector<FormulaPtr> conjuncts;
+      CollectConjuncts(formula.Clone(), &conjuncts);
+      for (FormulaPtr& part : conjuncts) {
+        part = ReorderConjunctions(*part);
+      }
+      std::stable_sort(conjuncts.begin(), conjuncts.end(),
+                       [](const FormulaPtr& a, const FormulaPtr& b) {
+                         return ConjunctRank(*a) < ConjunctRank(*b);
+                       });
+      FormulaPtr out = std::move(conjuncts[0]);
+      for (size_t i = 1; i < conjuncts.size(); ++i) {
+        out = MakeAnd(std::move(out), std::move(conjuncts[i]));
+      }
+      return out;
+    }
+    case FormulaKind::kNot:
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      FormulaPtr out = formula.Clone();
+      out->child = ReorderConjunctions(*formula.child);
+      return out;
+    }
+    case FormulaKind::kOr: {
+      FormulaPtr out = formula.Clone();
+      out->child = ReorderConjunctions(*formula.child);
+      out->child2 = ReorderConjunctions(*formula.child2);
+      return out;
+    }
+    default:
+      return formula.Clone();
+  }
+}
+
+FormulaPtr Optimize(const Formula& formula) {
+  FormulaPtr nnf = ToNnf(formula);
+  FormulaPtr flat = FlattenQuantifiers(*nnf);
+  return ReorderConjunctions(*flat);
+}
+
+}  // namespace rewriter
+}  // namespace dodb

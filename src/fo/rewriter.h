@@ -1,0 +1,39 @@
+#ifndef DODB_FO_REWRITER_H_
+#define DODB_FO_REWRITER_H_
+
+#include "fo/ast.h"
+
+namespace dodb {
+
+/// Semantics-preserving formula rewrites used before bottom-up evaluation.
+/// Each pass returns an equivalent formula (property-tested through the
+/// cell decomposition); Optimize() composes them.
+namespace rewriter {
+
+/// Negation normal form: pushes 'not' through the connectives and the
+/// quantifiers (de Morgan, not-exists == forall-not) and folds it into
+/// comparison atoms (not(x < y) == x >= y). Negation survives only directly
+/// on relation atoms, where the evaluator turns it into one complement of a
+/// *base* relation instead of a complement of a computed intermediate —
+/// usually far cheaper.
+FormulaPtr ToNnf(const Formula& formula);
+
+/// Flattens directly nested quantifier blocks of the same kind:
+/// exists x (exists y (phi)) == exists x, y (phi). Fewer evaluator passes,
+/// identical semantics (bound names are already distinct per scope rules;
+/// shadowed names are kept nested).
+FormulaPtr FlattenQuantifiers(const Formula& formula);
+
+/// Reorders the conjuncts along every conjunctive spine so that cheap,
+/// selective parts evaluate first: comparisons, then relation atoms, then
+/// everything else (negations, disjunctions, quantifiers). Left-to-right
+/// pairwise intersection then shrinks intermediates early.
+FormulaPtr ReorderConjunctions(const Formula& formula);
+
+/// All of the above, in order.
+FormulaPtr Optimize(const Formula& formula);
+
+}  // namespace rewriter
+}  // namespace dodb
+
+#endif  // DODB_FO_REWRITER_H_

@@ -1,0 +1,92 @@
+#include "fo/token.h"
+
+#include "core/str_util.h"
+
+namespace dodb {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kColonDash:
+      return "':-'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kQueryPrefix:
+      return "'?-'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNeq:
+      return "'!='";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kIff:
+      return "'<->'";
+    case TokenKind::kKwAnd:
+      return "'and'";
+    case TokenKind::kKwOr:
+      return "'or'";
+    case TokenKind::kKwNot:
+      return "'not'";
+    case TokenKind::kKwExists:
+      return "'exists'";
+    case TokenKind::kKwForall:
+      return "'forall'";
+    case TokenKind::kKwTrue:
+      return "'true'";
+    case TokenKind::kKwFalse:
+      return "'false'";
+    case TokenKind::kKwIn:
+      return "'in'";
+    case TokenKind::kKwSet:
+      return "'set'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "unknown token";
+}
+
+std::string Token::Describe() const {
+  if (kind == TokenKind::kIdentifier || kind == TokenKind::kNumber) {
+    return StrCat(TokenKindName(kind), " '", text, "'");
+  }
+  return TokenKindName(kind);
+}
+
+}  // namespace dodb

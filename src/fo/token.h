@@ -1,0 +1,65 @@
+#ifndef DODB_FO_TOKEN_H_
+#define DODB_FO_TOKEN_H_
+
+#include <string>
+
+namespace dodb {
+
+/// Lexical token kinds shared by the FO, Datalog and C-CALC surface syntax.
+enum class TokenKind {
+  kIdentifier,  // relation and variable names: [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      // rational literal: 12, 3.25, 3/4
+  kLParen,      // (
+  kRParen,      // )
+  kLBrace,      // {
+  kRBrace,      // }
+  kLBracket,    // [
+  kRBracket,    // ]
+  kComma,       // ,
+  kPipe,        // |
+  kSemicolon,   // ;
+  kDot,         // .
+  kColonDash,   // :-   (Datalog rule head/body separator)
+  kColon,       // :
+  kQueryPrefix, // ?-   (Datalog query)
+  kLt,          // <
+  kLe,          // <=
+  kEq,          // =
+  kNeq,         // !=
+  kGe,          // >=
+  kGt,          // >
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kArrow,       // ->
+  kIff,         // <->
+  kKwAnd,       // and
+  kKwOr,        // or
+  kKwNot,       // not
+  kKwExists,    // exists
+  kKwForall,    // forall
+  kKwTrue,      // true
+  kKwFalse,     // false
+  kKwIn,        // in   (C-CALC set membership)
+  kKwSet,       // set  (C-CALC set-variable quantifier marker)
+  kEnd,         // end of input
+};
+
+/// Human-readable token-kind name for error messages.
+const char* TokenKindName(TokenKind kind);
+
+/// A lexical token with its source position (0-based offset, 1-based line
+/// and column, for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_FO_TOKEN_H_

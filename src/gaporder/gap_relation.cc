@@ -1,0 +1,93 @@
+#include "gaporder/gap_relation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+GapRelation::GapRelation(int num_vars) : num_vars_(num_vars) {
+  DODB_CHECK(num_vars >= 0);
+}
+
+GapRelation GapRelation::FromPoints(
+    int num_vars, const std::vector<std::vector<int64_t>>& pts) {
+  GapRelation out(num_vars);
+  for (const std::vector<int64_t>& point : pts) {
+    DODB_CHECK(static_cast<int>(point.size()) == num_vars);
+    GapSystem system(num_vars);
+    for (int i = 0; i < num_vars; ++i) system.AddEquals(i, point[i]);
+    out.AddSystem(std::move(system));
+  }
+  return out;
+}
+
+void GapRelation::AddSystem(GapSystem system) {
+  DODB_CHECK_MSG(system.num_vars() == num_vars_, "AddSystem arity mismatch");
+  if (!system.IsSatisfiable()) return;
+  auto pos = std::lower_bound(systems_.begin(), systems_.end(), system);
+  if (pos != systems_.end() && *pos == system) return;
+  systems_.insert(pos, std::move(system));
+}
+
+bool GapRelation::Contains(const std::vector<int64_t>& point) const {
+  for (const GapSystem& system : systems_) {
+    if (system.Contains(point)) return true;
+  }
+  return false;
+}
+
+GapRelation GapRelation::UnionWith(const GapRelation& other) const {
+  DODB_CHECK_MSG(num_vars_ == other.num_vars_, "Union arity mismatch");
+  GapRelation out = *this;
+  for (const GapSystem& system : other.systems_) out.AddSystem(system);
+  return out;
+}
+
+GapRelation GapRelation::IntersectWith(const GapRelation& other) const {
+  DODB_CHECK_MSG(num_vars_ == other.num_vars_, "Intersect arity mismatch");
+  GapRelation out(num_vars_);
+  for (const GapSystem& a : systems_) {
+    for (const GapSystem& b : other.systems_) {
+      out.AddSystem(a.Conjoin(b));
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> GapRelation::AbsoluteConstants() const {
+  std::set<int64_t> constants;
+  for (const GapSystem& system : systems_) {
+    for (int64_t c : system.AbsoluteConstants()) constants.insert(c);
+  }
+  return std::vector<int64_t>(constants.begin(), constants.end());
+}
+
+std::string GapRelation::ToString(
+    const std::vector<std::string>* names) const {
+  if (systems_.empty()) return "{}";
+  std::vector<std::string> parts;
+  parts.reserve(systems_.size());
+  for (const GapSystem& system : systems_) {
+    parts.push_back(system.ToString(names));
+  }
+  return StrCat("{ ", StrJoin(parts, " ; "), " }");
+}
+
+GapRelation SuccessorStep(const GapRelation& p) {
+  DODB_CHECK_MSG(p.num_vars() == 1, "SuccessorStep is unary");
+  GapRelation out = p;
+  for (const GapSystem& system : p.systems()) {
+    // exists x (p(x) and y - x = 1), as a binary scratch system (column 0
+    // holds x, column 1 holds y) projected onto y.
+    GapSystem pair = system.Lifted(2, {0});
+    pair.AddDifference(1, 0, 1);   // y - x <= 1
+    pair.AddDifference(0, 1, -1);  // x - y <= -1, i.e. y - x >= 1
+    out.AddSystem(pair.EliminatedVariable(0).Projected({1}));
+  }
+  return out;
+}
+
+}  // namespace dodb

@@ -1,0 +1,57 @@
+#ifndef DODB_GAPORDER_GAP_RELATION_H_
+#define DODB_GAPORDER_GAP_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "gaporder/gap_system.h"
+
+namespace dodb {
+
+/// A finite union of gap-order systems over Z^k — the discrete-order
+/// counterpart of GeneralizedRelation. Stored systems are satisfiable and
+/// deduplicated by their closed canonical form.
+class GapRelation {
+ public:
+  explicit GapRelation(int num_vars);
+
+  static GapRelation FromPoints(int num_vars,
+                                const std::vector<std::vector<int64_t>>& pts);
+
+  int num_vars() const { return num_vars_; }
+  const std::vector<GapSystem>& systems() const { return systems_; }
+  bool IsEmpty() const { return systems_.empty(); }
+  size_t system_count() const { return systems_.size(); }
+
+  void AddSystem(GapSystem system);
+
+  bool Contains(const std::vector<int64_t>& point) const;
+
+  /// Union of the two relations.
+  GapRelation UnionWith(const GapRelation& other) const;
+
+  /// Pairwise conjunction.
+  GapRelation IntersectWith(const GapRelation& other) const;
+
+  /// Distinct absolute constants across all systems, ascending. Under
+  /// gap-order fixpoints this set *grows without bound* — the §6 divergence
+  /// (dense-order operations never mint constants).
+  std::vector<int64_t> AbsoluteConstants() const;
+
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+
+ private:
+  int num_vars_;
+  std::vector<GapSystem> systems_;
+};
+
+/// One naive inflationary round of the successor program
+///   p(y) :- p(x), y - x = 1
+/// over a unary gap relation: p ∪ (p shifted by +1). Iterating this from a
+/// finite seed never stabilizes — the executable content of the paper's §6
+/// remark that Theorem 4.4 fails over discrete orders.
+GapRelation SuccessorStep(const GapRelation& p);
+
+}  // namespace dodb
+
+#endif  // DODB_GAPORDER_GAP_RELATION_H_

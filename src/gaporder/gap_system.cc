@@ -1,0 +1,261 @@
+#include "gaporder/gap_system.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+namespace {
+// Saturating addition over bounds (kUnbounded absorbs).
+int64_t AddBounds(int64_t a, int64_t b) {
+  if (a == GapSystem::kUnbounded || b == GapSystem::kUnbounded) {
+    return GapSystem::kUnbounded;
+  }
+  return a + b;
+}
+}  // namespace
+
+GapSystem::GapSystem(int num_vars) : num_vars_(num_vars) {
+  DODB_CHECK(num_vars >= 0);
+  matrix_.assign(static_cast<size_t>(NodeCount()) * NodeCount(), kUnbounded);
+  for (int i = 0; i < NodeCount(); ++i) At(i, i) = 0;
+}
+
+void GapSystem::Tighten(int i, int j, int64_t bound) {
+  if (bound < Get(i, j)) {
+    At(i, j) = bound;
+    closed_valid_ = false;
+  }
+}
+
+void GapSystem::AddDifference(int i, int j, int64_t bound) {
+  DODB_CHECK(i >= 0 && i < num_vars_ && j >= 0 && j < num_vars_);
+  Tighten(i + 1, j + 1, bound);
+}
+
+void GapSystem::AddUpperBound(int i, int64_t c) {
+  DODB_CHECK(i >= 0 && i < num_vars_);
+  Tighten(i + 1, 0, c);  // x_i - 0 <= c
+}
+
+void GapSystem::AddLowerBound(int i, int64_t c) {
+  DODB_CHECK(i >= 0 && i < num_vars_);
+  Tighten(0, i + 1, -c);  // 0 - x_i <= -c
+}
+
+void GapSystem::AddEquals(int i, int64_t c) {
+  AddUpperBound(i, c);
+  AddLowerBound(i, c);
+}
+
+void GapSystem::AddGap(int i, int j, int64_t gap) {
+  DODB_CHECK_MSG(gap >= 0, "gap must be non-negative");
+  // x_j - x_i > gap  ==  x_i - x_j <= -(gap + 1).
+  AddDifference(i, j, -(gap + 1));
+}
+
+void GapSystem::Close() const {
+  if (closed_valid_) return;
+  closed_valid_ = true;
+  satisfiable_ = true;
+  closed_ = matrix_;
+  int n = NodeCount();
+  auto at = [this, n](int i, int j) -> int64_t& {
+    return closed_[i * n + j];
+  };
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      if (at(i, k) == kUnbounded) continue;
+      for (int j = 0; j < n; ++j) {
+        int64_t through = AddBounds(at(i, k), at(k, j));
+        if (through < at(i, j)) at(i, j) = through;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (at(i, i) < 0) {
+      satisfiable_ = false;
+      return;
+    }
+  }
+}
+
+bool GapSystem::IsSatisfiable() const {
+  Close();
+  return satisfiable_;
+}
+
+bool GapSystem::Contains(const std::vector<int64_t>& point) const {
+  DODB_CHECK(static_cast<int>(point.size()) == num_vars_);
+  int n = NodeCount();
+  auto value = [&point](int node) -> int64_t {
+    return node == 0 ? 0 : point[node - 1];
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      int64_t bound = Get(i, j);
+      if (bound == kUnbounded) continue;
+      if (value(i) - value(j) > bound) return false;
+    }
+  }
+  return true;
+}
+
+GapSystem GapSystem::Conjoin(const GapSystem& other) const {
+  DODB_CHECK_MSG(num_vars_ == other.num_vars_, "Conjoin arity mismatch");
+  GapSystem out = *this;
+  int n = NodeCount();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out.Tighten(i, j, other.Get(i, j));
+    }
+  }
+  return out;
+}
+
+GapSystem GapSystem::EliminatedVariable(int var) const {
+  DODB_CHECK(var >= 0 && var < num_vars_);
+  DODB_CHECK_MSG(IsSatisfiable(), "elimination on unsatisfiable system");
+  // After closure every path through `var` is summarized by a direct edge,
+  // so dropping its row and column is exact existential elimination over Z.
+  GapSystem out(num_vars_);
+  int n = NodeCount();
+  int victim = var + 1;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == victim || j == victim || i == j) continue;
+      int64_t bound = closed_[i * n + j];
+      if (bound != kUnbounded) out.Tighten(i, j, bound);
+    }
+  }
+  return out;
+}
+
+GapSystem GapSystem::Lifted(int new_num_vars,
+                            const std::vector<int>& mapping) const {
+  DODB_CHECK(static_cast<int>(mapping.size()) == num_vars_);
+  GapSystem out(new_num_vars);
+  auto map_node = [&mapping, new_num_vars](int node) {
+    if (node == 0) return 0;
+    int target = mapping[node - 1];
+    DODB_CHECK(target >= 0 && target < new_num_vars);
+    return target + 1;
+  };
+  int n = NodeCount();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      int64_t bound = Get(i, j);
+      if (bound != kUnbounded) out.Tighten(map_node(i), map_node(j), bound);
+    }
+  }
+  return out;
+}
+
+GapSystem GapSystem::Projected(const std::vector<int>& keep) const {
+  DODB_CHECK_MSG(IsSatisfiable(), "projection of unsatisfiable system");
+  GapSystem out(static_cast<int>(keep.size()));
+  int n = NodeCount();
+  auto old_node = [&keep, this](int new_node) {
+    if (new_node == 0) return 0;
+    int column = keep[new_node - 1];
+    DODB_CHECK(column >= 0 && column < num_vars_);
+    return column + 1;
+  };
+  int m = out.NodeCount();
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i == j) continue;
+      int64_t bound = closed_[old_node(i) * n + old_node(j)];
+      if (bound != kUnbounded) out.Tighten(i, j, bound);
+    }
+  }
+  return out;
+}
+
+int64_t GapSystem::ImpliedDifference(int i, int j) const {
+  DODB_CHECK(i >= 0 && i < num_vars_ && j >= 0 && j < num_vars_);
+  DODB_CHECK_MSG(IsSatisfiable(), "query on unsatisfiable system");
+  return closed_[(i + 1) * NodeCount() + (j + 1)];
+}
+
+std::optional<std::vector<int64_t>> GapSystem::SampleWitness() const {
+  if (!IsSatisfiable()) return std::nullopt;
+  // Textbook potentials: shortest distances from a virtual source with a
+  // 0-edge to every node. A DBM constraint x_i - x_j <= w is a graph edge
+  // j -> i of weight w; the distances then satisfy d(i) <= d(j) + w, so
+  // x_i := d(i) - d(zero) is an integer solution (no negative cycles since
+  // the system is satisfiable).
+  int n = NodeCount();
+  std::vector<int64_t> dist(n, 0);
+  for (int round = 0; round < n; ++round) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        int64_t w = Get(i, j);
+        if (w == kUnbounded) continue;
+        if (dist[j] + w < dist[i]) dist[i] = dist[j] + w;
+      }
+    }
+  }
+  std::vector<int64_t> point(num_vars_);
+  for (int i = 1; i < n; ++i) point[i - 1] = dist[i] - dist[0];
+  DODB_CHECK_MSG(Contains(point), "witness construction failed");
+  return point;
+}
+
+int GapSystem::Compare(const GapSystem& other) const {
+  if (num_vars_ != other.num_vars_) {
+    return num_vars_ < other.num_vars_ ? -1 : 1;
+  }
+  Close();
+  other.Close();
+  if (satisfiable_ != other.satisfiable_) return satisfiable_ ? 1 : -1;
+  if (closed_ != other.closed_) return closed_ < other.closed_ ? -1 : 1;
+  return 0;
+}
+
+std::vector<int64_t> GapSystem::AbsoluteConstants() const {
+  DODB_CHECK_MSG(IsSatisfiable(), "query on unsatisfiable system");
+  std::set<int64_t> constants;
+  int n = NodeCount();
+  for (int i = 1; i < n; ++i) {
+    int64_t upper = closed_[i * n + 0];
+    int64_t lower = closed_[0 * n + i];
+    if (upper != kUnbounded) constants.insert(upper);
+    if (lower != kUnbounded) constants.insert(-lower);
+  }
+  return std::vector<int64_t>(constants.begin(), constants.end());
+}
+
+std::string GapSystem::ToString(
+    const std::vector<std::string>* names) const {
+  auto var_name = [names](int index) {
+    if (names != nullptr && index < static_cast<int>(names->size())) {
+      return (*names)[index];
+    }
+    return StrCat("x", index);
+  };
+  std::vector<std::string> parts;
+  int n = NodeCount();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      int64_t bound = Get(i, j);
+      if (i == j || bound == kUnbounded) continue;
+      if (i == 0) {
+        parts.push_back(StrCat(var_name(j - 1), " >= ", -bound));
+      } else if (j == 0) {
+        parts.push_back(StrCat(var_name(i - 1), " <= ", bound));
+      } else {
+        parts.push_back(StrCat(var_name(i - 1), " - ", var_name(j - 1),
+                               " <= ", bound));
+      }
+    }
+  }
+  if (parts.empty()) return "true";
+  return StrJoin(parts, " and ");
+}
+
+}  // namespace dodb

@@ -1,0 +1,109 @@
+#ifndef DODB_GAPORDER_GAP_SYSTEM_H_
+#define DODB_GAPORDER_GAP_SYSTEM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dodb {
+
+/// A conjunction of *gap-order* constraints over the integers [Rev93]:
+/// the discrete-order counterpart of a dense-order generalized tuple,
+/// implemented as a difference-bound matrix (DBM).
+///
+/// Atoms are difference bounds x_i - x_j <= b (b ∈ Z), with a virtual
+/// "zero" node for absolute bounds (x <= c, x >= c, x = c). The gap-order
+/// atom "x <_g y" (y exceeds x by more than g) is x - y <= -(g+1). Over Z
+/// the theory has no denseness: closure is integer shortest paths
+/// (Floyd-Warshall), satisfiability is "no negative cycle", and eliminating
+/// a variable after closure is exact (paths through the node are already
+/// summarized).
+///
+/// This module exists for the paper's §6 contrast: over dense orders no
+/// query can create new constants, so Datalog(not) fixpoints always
+/// terminate (Theorem 4.4); over discrete orders the successor relation
+/// y = x + 1 is a gap-order constraint, fresh constants appear ad infinitum,
+/// and naive fixpoints diverge (Rev93 gives the non-naive closed form).
+class GapSystem {
+ public:
+  /// Bound value; kUnbounded means "no constraint".
+  static constexpr int64_t kUnbounded = INT64_MAX;
+
+  /// The all-true system over `num_vars` integer variables.
+  explicit GapSystem(int num_vars);
+
+  int num_vars() const { return num_vars_; }
+
+  /// Adds x_i - x_j <= bound.
+  void AddDifference(int i, int j, int64_t bound);
+  /// Adds x_i <= c.
+  void AddUpperBound(int i, int64_t c);
+  /// Adds x_i >= c.
+  void AddLowerBound(int i, int64_t c);
+  /// Adds x_i = c.
+  void AddEquals(int i, int64_t c);
+  /// The gap-order atom x_i <_g x_j (x_j - x_i > gap, gap >= 0).
+  void AddGap(int i, int j, int64_t gap);
+
+  /// Whether the conjunction has an integer solution. Computed by
+  /// Floyd-Warshall closure; cached until the system is modified.
+  bool IsSatisfiable() const;
+
+  /// Point membership.
+  bool Contains(const std::vector<int64_t>& point) const;
+
+  /// Conjunction of two systems over the same variables.
+  GapSystem Conjoin(const GapSystem& other) const;
+
+  /// Exact existential elimination of x_var (arity preserved, variable
+  /// unconstrained afterwards). Requires a satisfiable system.
+  GapSystem EliminatedVariable(int var) const;
+
+  /// The same constraints over a wider system: old variable i becomes
+  /// variable mapping[i] (mapping values distinct, < new_num_vars).
+  GapSystem Lifted(int new_num_vars, const std::vector<int>& mapping) const;
+
+  /// Exact projection onto `keep` columns (in the given order): closure,
+  /// then restriction to the kept nodes. Requires a satisfiable system.
+  GapSystem Projected(const std::vector<int>& keep) const;
+
+  /// The tightest implied bound on x_i - x_j (kUnbounded if none);
+  /// requires a satisfiable system.
+  int64_t ImpliedDifference(int i, int j) const;
+
+  /// An integer solution, or nullopt when unsatisfiable.
+  std::optional<std::vector<int64_t>> SampleWitness() const;
+
+  /// Canonical (closed) form comparison.
+  int Compare(const GapSystem& other) const;
+  bool operator==(const GapSystem& o) const { return Compare(o) == 0; }
+  bool operator<(const GapSystem& o) const { return Compare(o) < 0; }
+
+  /// Distinct absolute constants mentioned by closed bounds against the
+  /// zero node — the "active constants" that grow under gap-order fixpoints
+  /// (the divergence engine of the §6 remark).
+  std::vector<int64_t> AbsoluteConstants() const;
+
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+
+ private:
+  // Matrix entry m[i][j] = bound on node_i - node_j; node 0 is "zero".
+  int NodeCount() const { return num_vars_ + 1; }
+  int64_t& At(int i, int j) { return matrix_[i * NodeCount() + j]; }
+  int64_t Get(int i, int j) const { return matrix_[i * NodeCount() + j]; }
+  void Tighten(int i, int j, int64_t bound);
+  void Close() const;
+
+  int num_vars_;
+  std::vector<int64_t> matrix_;           // (n+1)^2, row-major
+  mutable std::vector<int64_t> closed_;   // closure cache
+  mutable bool closed_valid_ = false;
+  mutable bool satisfiable_ = true;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_GAPORDER_GAP_SYSTEM_H_

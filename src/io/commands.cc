@@ -1,0 +1,158 @@
+#include "io/commands.h"
+
+#include <cctype>
+#include <vector>
+
+#include "algebra/relational_ops.h"
+#include "core/check.h"
+#include "core/str_util.h"
+#include "fo/evaluator.h"
+#include "fo/parser.h"
+
+namespace dodb {
+
+namespace {
+
+// Splits off the first whitespace-delimited word.
+std::string_view NextWord(std::string_view* text) {
+  *text = StripWhitespace(*text);
+  size_t end = 0;
+  while (end < text->size() &&
+         !std::isspace(static_cast<unsigned char>((*text)[end]))) {
+    ++end;
+  }
+  std::string_view word = text->substr(0, end);
+  text->remove_prefix(end);
+  *text = StripWhitespace(*text);
+  return word;
+}
+
+bool IsIdentifier(std::string_view word) {
+  if (word.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(word[0])) && word[0] != '_') {
+    return false;
+  }
+  for (char c : word) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Evaluates `formula_text` over the columns x0..x(arity-1) of `db`.
+Result<GeneralizedRelation> EvalCondition(const Database& db, int arity,
+                                          std::string_view formula_text) {
+  Result<FormulaPtr> formula = FoParser::ParseFormula(formula_text);
+  if (!formula.ok()) return formula.status();
+  Query query;
+  for (int i = 0; i < arity; ++i) query.head.push_back(StrCat("x", i));
+  query.body = std::move(formula).value();
+  FoEvaluator evaluator(&db);
+  return evaluator.Evaluate(query);
+}
+
+Result<std::string> Create(Database* db, std::string_view rest) {
+  // create <name>(<arity>)
+  size_t paren = rest.find('(');
+  size_t close = rest.rfind(')');
+  if (paren == std::string_view::npos || close == std::string_view::npos ||
+      close < paren) {
+    return Status::ParseError("usage: create <name>(<arity>)");
+  }
+  std::string name(StripWhitespace(rest.substr(0, paren)));
+  if (!IsIdentifier(name)) {
+    return Status::ParseError(StrCat("bad relation name '", name, "'"));
+  }
+  Result<Rational> arity = Rational::FromString(
+      rest.substr(paren + 1, close - paren - 1));
+  if (!arity.ok() || !arity.value().is_integer() ||
+      arity.value() < Rational(0) || arity.value() > Rational(16)) {
+    return Status::ParseError("arity must be an integer in 0..16");
+  }
+  int k = static_cast<int>(arity.value().num().ToInt64().value());
+  DODB_RETURN_IF_ERROR(db->AddRelation(name, GeneralizedRelation(k)));
+  return StrCat("created ", name, "/", k);
+}
+
+Result<std::string> Drop(Database* db, std::string_view rest) {
+  std::string name(StripWhitespace(rest));
+  if (!db->HasRelation(name)) {
+    return Status::NotFound(StrCat("no relation '", name, "'"));
+  }
+  Database remaining;
+  for (const std::string& existing : db->RelationNames()) {
+    if (existing != name) {
+      remaining.SetRelation(existing, *db->FindRelation(existing));
+    }
+  }
+  *db = std::move(remaining);
+  return StrCat("dropped ", name);
+}
+
+Result<std::string> Insert(Database* db, std::string_view rest) {
+  // insert into <name> <formula>
+  std::string_view into = NextWord(&rest);
+  if (into != "into") {
+    return Status::ParseError("usage: insert into <name> <formula>");
+  }
+  std::string name(NextWord(&rest));
+  const GeneralizedRelation* rel = db->FindRelation(name);
+  if (rel == nullptr) {
+    return Status::NotFound(StrCat("no relation '", name, "'"));
+  }
+  if (rest.empty()) {
+    return Status::ParseError("insert needs a formula");
+  }
+  Result<GeneralizedRelation> addition =
+      EvalCondition(*db, rel->arity(), rest);
+  if (!addition.ok()) return addition.status();
+  GeneralizedRelation merged = algebra::Union(*rel, addition.value());
+  size_t added = merged.tuple_count();
+  db->SetRelation(name, std::move(merged));
+  return StrCat("insert ok: ", name, " now has ", added,
+                " generalized tuples");
+}
+
+Result<std::string> Delete(Database* db, std::string_view rest) {
+  // delete from <name> where <formula>
+  std::string_view from = NextWord(&rest);
+  if (from != "from") {
+    return Status::ParseError("usage: delete from <name> where <formula>");
+  }
+  std::string name(NextWord(&rest));
+  const GeneralizedRelation* rel = db->FindRelation(name);
+  if (rel == nullptr) {
+    return Status::NotFound(StrCat("no relation '", name, "'"));
+  }
+  std::string_view where = NextWord(&rest);
+  if (where != "where" || rest.empty()) {
+    return Status::ParseError("usage: delete from <name> where <formula>");
+  }
+  Result<GeneralizedRelation> removal =
+      EvalCondition(*db, rel->arity(), rest);
+  if (!removal.ok()) return removal.status();
+  GeneralizedRelation remaining = algebra::Difference(*rel, removal.value());
+  size_t left = remaining.tuple_count();
+  db->SetRelation(name, std::move(remaining));
+  return StrCat("delete ok: ", name, " now has ", left,
+                " generalized tuples");
+}
+
+}  // namespace
+
+Result<std::string> ExecuteCommand(Database* db, std::string_view text) {
+  DODB_CHECK(db != nullptr);
+  std::string_view rest = StripWhitespace(text);
+  if (!rest.empty() && rest.back() == ';') rest.remove_suffix(1);
+  std::string_view verb = NextWord(&rest);
+  if (verb == "create") return Create(db, rest);
+  if (verb == "drop") return Drop(db, rest);
+  if (verb == "insert") return Insert(db, rest);
+  if (verb == "delete") return Delete(db, rest);
+  return Status::ParseError(
+      StrCat("unknown command '", verb,
+             "' (expected create/drop/insert/delete)"));
+}
+
+}  // namespace dodb

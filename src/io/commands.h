@@ -1,0 +1,29 @@
+#ifndef DODB_IO_COMMANDS_H_
+#define DODB_IO_COMMANDS_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+#include "io/database.h"
+
+namespace dodb {
+
+/// Data-manipulation commands over a constraint database. Because relations
+/// are (possibly infinite) pointsets, inserts and deletes take *formulas*,
+/// not rows — and the formulas may reference other relations:
+///
+///   create parcels(2)
+///   insert into parcels x0 >= 0 and x0 <= 4 and x1 >= 0 and x1 <= 2
+///   insert into parcels exists y (survey(x0, x1, y) and y > 10)
+///   delete from parcels where x0 > 3
+///   drop parcels
+///
+/// Column variables are x0..x(k-1). Insert unions { (x0..) | formula } into
+/// the relation; delete subtracts { (x0..) | formula } (set difference over
+/// infinite sets, in closed form). Returns a one-line human summary.
+Result<std::string> ExecuteCommand(Database* db, std::string_view text);
+
+}  // namespace dodb
+
+#endif  // DODB_IO_COMMANDS_H_

@@ -1,0 +1,88 @@
+#include "io/database.h"
+
+#include <set>
+
+#include "core/str_util.h"
+
+namespace dodb {
+
+Status Database::AddRelation(const std::string& name,
+                             GeneralizedRelation relation) {
+  auto [it, inserted] = relations_.emplace(name, std::move(relation));
+  if (!inserted) {
+    return Status::InvalidArgument(StrCat("relation '", name,
+                                          "' already exists"));
+  }
+  return Status::Ok();
+}
+
+void Database::SetRelation(const std::string& name,
+                           GeneralizedRelation relation) {
+  relations_.insert_or_assign(name, std::move(relation));
+}
+
+bool Database::HasRelation(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+const GeneralizedRelation* Database::FindRelation(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+std::vector<Rational> Database::AllConstants() const {
+  std::set<Rational> constants;
+  for (const auto& [name, rel] : relations_) {
+    for (const Rational& c : rel.Constants()) constants.insert(c);
+  }
+  return std::vector<Rational>(constants.begin(), constants.end());
+}
+
+StandardEncoding Database::BuildEncoding() const {
+  std::vector<const GeneralizedRelation*> rels;
+  rels.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) rels.push_back(&rel);
+  return StandardEncoding::ForDatabase(rels);
+}
+
+Database Database::Encoded() const {
+  StandardEncoding encoding = BuildEncoding();
+  Database out;
+  for (const auto& [name, rel] : relations_) {
+    out.SetRelation(name, encoding.EncodeRelation(rel));
+  }
+  return out;
+}
+
+Result<std::string> Database::CanonicalSignature(uint64_t limit) const {
+  StandardEncoding encoding = BuildEncoding();
+  std::string out;
+  for (const auto& [name, rel] : relations_) {
+    Result<std::string> signature = encoding.Signature(rel, limit);
+    if (!signature.ok()) return signature.status();
+    out += name;
+    out += '=';
+    out += signature.value();
+    out += '\n';
+  }
+  return out;
+}
+
+Database Database::Mapped(const MonotoneMap& map) const {
+  Database out;
+  for (const auto& [name, rel] : relations_) {
+    out.SetRelation(name, map.ApplyToRelation(rel));
+  }
+  return out;
+}
+
+}  // namespace dodb

@@ -1,0 +1,63 @@
+#ifndef DODB_IO_DATABASE_H_
+#define DODB_IO_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cells/standard_encoding.h"
+#include "constraints/generalized_relation.h"
+#include "core/status.h"
+
+namespace dodb {
+
+/// A dense-order constraint database: a catalog of named finitely
+/// representable relations (the paper's database instances over a schema).
+class Database {
+ public:
+  Database() = default;
+
+  /// Registers a new relation; fails if the name is taken.
+  Status AddRelation(const std::string& name, GeneralizedRelation relation);
+
+  /// Inserts or replaces.
+  void SetRelation(const std::string& name, GeneralizedRelation relation);
+
+  bool HasRelation(const std::string& name) const;
+
+  /// The relation, or nullptr when absent.
+  const GeneralizedRelation* FindRelation(const std::string& name) const;
+
+  /// Names in sorted (schema) order.
+  std::vector<std::string> RelationNames() const;
+
+  size_t relation_count() const { return relations_.size(); }
+
+  /// Union of all relations' constants, ascending (the database's active
+  /// scale: the input to the §3 standard encoding).
+  std::vector<Rational> AllConstants() const;
+
+  /// The standard encoding over this database's constants.
+  StandardEncoding BuildEncoding() const;
+
+  /// The database with every relation rewritten through the encoding
+  /// (constants become consecutive integers).
+  Database Encoded() const;
+
+  /// The database with `map` applied to every constant of every relation
+  /// (an order-isomorphic copy when `map` is an automorphism of Q).
+  Database Mapped(const MonotoneMap& map) const;
+
+  /// Automorphism-invariant fingerprint: relation names with their cell
+  /// signatures under this database's standard encoding. Two databases are
+  /// order-isomorphic iff their signatures are equal. `limit` bounds each
+  /// relation's cell decomposition (0 = none).
+  Result<std::string> CanonicalSignature(uint64_t limit = 0) const;
+
+ private:
+  std::map<std::string, GeneralizedRelation> relations_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_IO_DATABASE_H_

@@ -1,0 +1,209 @@
+#include "io/text_format.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/str_util.h"
+#include "fo/lexer.h"
+
+namespace dodb {
+
+namespace {
+
+class DatabaseParser {
+ public:
+  explicit DatabaseParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<Database> Parse() {
+    Database db;
+    while (Peek().kind != TokenKind::kEnd) {
+      DODB_RETURN_IF_ERROR(ParseRelation(&db));
+    }
+    return db;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t index = pos_ + static_cast<size_t>(ahead);
+    if (index >= tokens_.size()) return tokens_.back();
+    return tokens_[index];
+  }
+  const Token& Advance() {
+    const Token& token = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return token;
+  }
+  bool Match(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    Advance();
+    return true;
+  }
+  Status ErrorHere(const std::string& message) const {
+    const Token& token = Peek();
+    return Status::ParseError(StrCat(message, " (line ", token.line,
+                                     ", column ", token.column, ")"));
+  }
+  Status Expect(TokenKind kind, const char* where) {
+    if (Peek().kind != kind) {
+      return ErrorHere(StrCat("expected ", TokenKindName(kind), " in ",
+                              where, ", found ", Peek().Describe()));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Status ParseRelation(Database* db) {
+    if (Peek().kind != TokenKind::kIdentifier ||
+        Peek().text != "relation") {
+      return ErrorHere(
+          StrCat("expected 'relation', found ", Peek().Describe()));
+    }
+    Advance();
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected relation name");
+    }
+    std::string name = Advance().text;
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "relation header"));
+    std::vector<std::string> columns;
+    if (Peek().kind != TokenKind::kRParen) {
+      do {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return ErrorHere("expected column name");
+        }
+        columns.push_back(Advance().text);
+      } while (Match(TokenKind::kComma));
+    }
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "relation header"));
+    DODB_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "relation body"));
+
+    GeneralizedRelation rel(static_cast<int>(columns.size()));
+    while (!Match(TokenKind::kRBrace)) {
+      Result<GeneralizedTuple> tuple = ParseTuple(columns);
+      if (!tuple.ok()) return tuple.status();
+      DODB_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "tuple"));
+      rel.AddTuple(std::move(tuple).value());
+    }
+    if (db->HasRelation(name)) {
+      return Status::InvalidArgument(
+          StrCat("duplicate relation '", name, "'"));
+    }
+    db->SetRelation(name, std::move(rel));
+    return Status::Ok();
+  }
+
+  Result<GeneralizedTuple> ParseTuple(
+      const std::vector<std::string>& columns) {
+    GeneralizedTuple tuple(static_cast<int>(columns.size()));
+    if (Match(TokenKind::kKwTrue)) return tuple;
+    do {
+      Result<Term> lhs = ParseTerm(columns);
+      if (!lhs.ok()) return lhs.status();
+      RelOp op;
+      switch (Peek().kind) {
+        case TokenKind::kLt:
+          op = RelOp::kLt;
+          break;
+        case TokenKind::kLe:
+          op = RelOp::kLe;
+          break;
+        case TokenKind::kEq:
+          op = RelOp::kEq;
+          break;
+        case TokenKind::kNeq:
+          op = RelOp::kNeq;
+          break;
+        case TokenKind::kGe:
+          op = RelOp::kGe;
+          break;
+        case TokenKind::kGt:
+          op = RelOp::kGt;
+          break;
+        default:
+          return ErrorHere(StrCat("expected comparison operator, found ",
+                                  Peek().Describe()));
+      }
+      Advance();
+      Result<Term> rhs = ParseTerm(columns);
+      if (!rhs.ok()) return rhs.status();
+      tuple.AddAtom(
+          DenseAtom(std::move(lhs).value(), op, std::move(rhs).value()));
+    } while (Match(TokenKind::kKwAnd));
+    return tuple;
+  }
+
+  Result<Term> ParseTerm(const std::vector<std::string>& columns) {
+    if (Peek().kind == TokenKind::kIdentifier) {
+      const std::string& name = Peek().text;
+      for (size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i] == name) {
+          Advance();
+          return Term::Var(static_cast<int>(i));
+        }
+      }
+      return ErrorHere(StrCat("unknown column '", name, "'"));
+    }
+    bool negate = Match(TokenKind::kMinus);
+    if (Peek().kind != TokenKind::kNumber) {
+      return ErrorHere(StrCat("expected term, found ", Peek().Describe()));
+    }
+    Result<Rational> value = Rational::FromString(Advance().text);
+    if (!value.ok()) return value.status();
+    Rational v = std::move(value).value();
+    return Term::Const(negate ? -v : v);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Database> ParseDatabase(std::string_view text) {
+  Result<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  return DatabaseParser(std::move(tokens).value()).Parse();
+}
+
+std::string FormatDatabase(const Database& db) {
+  std::ostringstream out;
+  for (const std::string& name : db.RelationNames()) {
+    const GeneralizedRelation* rel = db.FindRelation(name);
+    std::vector<std::string> columns;
+    columns.reserve(rel->arity());
+    for (int i = 0; i < rel->arity(); ++i) {
+      columns.push_back(StrCat("x", i));
+    }
+    out << "relation " << name << "(" << StrJoin(columns, ", ") << ") {\n";
+    for (const GeneralizedTuple& tuple : rel->tuples()) {
+      out << "  " << tuple.Minimized().ToString(&columns) << ";\n";
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+Result<Database> LoadDatabaseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot open '", path, "'"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDatabase(buffer.str());
+}
+
+Status SaveDatabaseFile(const Database& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument(StrCat("cannot write '", path, "'"));
+  }
+  out << FormatDatabase(db);
+  if (!out) {
+    return Status::Internal(StrCat("write to '", path, "' failed"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dodb

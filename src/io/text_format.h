@@ -1,0 +1,38 @@
+#ifndef DODB_IO_TEXT_FORMAT_H_
+#define DODB_IO_TEXT_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+#include "io/database.h"
+
+namespace dodb {
+
+/// Human-readable text format for constraint databases (.cdb):
+///
+///   # comment
+///   relation S(x) {
+///     x >= 0 and x <= 2;
+///     x >= 5 and x <= 8;
+///   }
+///   relation E(x, y) {
+///     x = 1 and y = 2;
+///   }
+///
+/// Each ';'-terminated conjunction is one generalized tuple ("true" denotes
+/// the all-true tuple); a relation with no tuples is empty. Terms are the
+/// declared column variables and rational literals.
+Result<Database> ParseDatabase(std::string_view text);
+
+/// Canonical text rendering (column names x0, x1, ...). Round-trips through
+/// ParseDatabase up to tuple canonicalization.
+std::string FormatDatabase(const Database& db);
+
+/// File variants.
+Result<Database> LoadDatabaseFile(const std::string& path);
+Status SaveDatabaseFile(const Database& db, const std::string& path);
+
+}  // namespace dodb
+
+#endif  // DODB_IO_TEXT_FORMAT_H_

@@ -1,0 +1,125 @@
+#include "linear/linear_atom.h"
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+const char* LinOpSymbol(LinOp op) {
+  switch (op) {
+    case LinOp::kLt:
+      return "<";
+    case LinOp::kLe:
+      return "<=";
+    case LinOp::kEq:
+      return "=";
+  }
+  return "?";
+}
+
+LinearAtom::LinearAtom(LinearExpr expr, LinOp op)
+    : expr_(std::move(expr)), op_(op) {
+  Normalize();
+}
+
+void LinearAtom::Normalize() {
+  // Scale by the positive rational that clears denominators and divides by
+  // the gcd of all numerators; for equations additionally flip the sign so
+  // the leading (lowest-index) coefficient is positive.
+  BigInt den_lcm(1);
+  auto fold_den = [&den_lcm](const Rational& r) {
+    const BigInt& d = r.den();
+    den_lcm = den_lcm / BigInt::Gcd(den_lcm, d) * d;
+  };
+  fold_den(expr_.constant());
+  for (const auto& [index, coeff] : expr_.coeffs()) fold_den(coeff);
+  LinearExpr scaled = expr_.ScaledBy(Rational(den_lcm));
+
+  BigInt gcd(0);
+  auto fold_gcd = [&gcd](const Rational& r) {
+    gcd = BigInt::Gcd(gcd, r.num());
+  };
+  fold_gcd(scaled.constant());
+  for (const auto& [index, coeff] : scaled.coeffs()) fold_gcd(coeff);
+  if (!gcd.is_zero() && gcd != BigInt(1)) {
+    scaled = scaled.ScaledBy(Rational(BigInt(1), gcd));
+  }
+  if (op_ == LinOp::kEq && !scaled.coeffs().empty() &&
+      scaled.coeffs().begin()->second.is_negative()) {
+    scaled = scaled.Negated();
+  }
+  expr_ = std::move(scaled);
+}
+
+bool LinearAtom::Holds(const std::vector<Rational>& point) const {
+  Rational value = expr_.Eval(point);
+  switch (op_) {
+    case LinOp::kLt:
+      return value < Rational(0);
+    case LinOp::kLe:
+      return value <= Rational(0);
+    case LinOp::kEq:
+      return value.is_zero();
+  }
+  DODB_CHECK(false);
+  return false;
+}
+
+bool LinearAtom::Uses(int index) const {
+  return expr_.coeffs().count(index) > 0;
+}
+
+std::vector<LinearAtom> LinearAtom::NegatedDisjuncts() const {
+  switch (op_) {
+    case LinOp::kLt:  // not(e < 0) == -e <= 0
+      return {LinearAtom(expr_.Negated(), LinOp::kLe)};
+    case LinOp::kLe:  // not(e <= 0) == -e < 0
+      return {LinearAtom(expr_.Negated(), LinOp::kLt)};
+    case LinOp::kEq:  // not(e = 0) == e < 0 or -e < 0
+      return {LinearAtom(expr_, LinOp::kLt),
+              LinearAtom(expr_.Negated(), LinOp::kLt)};
+  }
+  DODB_CHECK(false);
+  return {};
+}
+
+LinearAtom LinearAtom::Reindexed(const std::vector<int>& mapping) const {
+  return LinearAtom(expr_.Reindexed(mapping), op_);
+}
+
+LinearAtom LinearAtom::Substituted(int index,
+                                   const LinearExpr& replacement) const {
+  return LinearAtom(expr_.Substituted(index, replacement), op_);
+}
+
+bool LinearAtom::GroundHolds() const {
+  DODB_CHECK_MSG(expr_.is_constant(), "GroundHolds on non-ground atom");
+  switch (op_) {
+    case LinOp::kLt:
+      return expr_.constant() < Rational(0);
+    case LinOp::kLe:
+      return expr_.constant() <= Rational(0);
+    case LinOp::kEq:
+      return expr_.constant().is_zero();
+  }
+  DODB_CHECK(false);
+  return false;
+}
+
+std::string LinearAtom::ToString(
+    const std::vector<std::string>* names) const {
+  return StrCat(expr_.ToString(names), " ", LinOpSymbol(op_), " 0");
+}
+
+int LinearAtom::Compare(const LinearAtom& other) const {
+  if (op_ != other.op_) {
+    return static_cast<int>(op_) < static_cast<int>(other.op_) ? -1 : 1;
+  }
+  return expr_.Compare(other.expr_);
+}
+
+size_t LinearAtom::Hash() const {
+  return expr_.Hash() ^ (static_cast<size_t>(op_) * 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace dodb

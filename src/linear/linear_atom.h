@@ -1,0 +1,60 @@
+#ifndef DODB_LINEAR_LINEAR_ATOM_H_
+#define DODB_LINEAR_LINEAR_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "linear/linear_expr.h"
+
+namespace dodb {
+
+/// Comparison of an atomic linear constraint `expr op 0`. Inequations
+/// (expr != 0) are not representable as one atom; they are handled at the
+/// relation level by splitting into (expr < 0) or (-expr < 0).
+enum class LinOp { kLt, kLe, kEq };
+
+const char* LinOpSymbol(LinOp op);
+
+/// An atomic linear constraint in the canonical form `expr op 0`, normalized
+/// so coefficients and constant are integers with gcd 1, and (for equations)
+/// the leading coefficient is positive. Equal constraint sets therefore
+/// compare equal syntactically.
+class LinearAtom {
+ public:
+  LinearAtom(LinearExpr expr, LinOp op);
+
+  const LinearExpr& expr() const { return expr_; }
+  LinOp op() const { return op_; }
+
+  bool Holds(const std::vector<Rational>& point) const;
+
+  /// Whether the atom mentions x_index.
+  bool Uses(int index) const;
+
+  /// The negation, as a disjunction of atoms (one for inequalities, two for
+  /// an equation).
+  std::vector<LinearAtom> NegatedDisjuncts() const;
+
+  LinearAtom Reindexed(const std::vector<int>& mapping) const;
+  LinearAtom Substituted(int index, const LinearExpr& replacement) const;
+
+  /// Ground truth value; requires expr().is_constant().
+  bool GroundHolds() const;
+
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+
+  int Compare(const LinearAtom& other) const;
+  bool operator==(const LinearAtom& o) const { return Compare(o) == 0; }
+  bool operator<(const LinearAtom& o) const { return Compare(o) < 0; }
+  size_t Hash() const;
+
+ private:
+  void Normalize();
+
+  LinearExpr expr_;
+  LinOp op_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_LINEAR_LINEAR_ATOM_H_

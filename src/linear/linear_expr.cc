@@ -1,0 +1,159 @@
+#include "linear/linear_expr.h"
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+LinearExpr LinearExpr::Var(int index) {
+  DODB_CHECK(index >= 0);
+  LinearExpr e;
+  e.coeffs_[index] = Rational(1);
+  return e;
+}
+
+LinearExpr LinearExpr::Const(Rational value) {
+  LinearExpr e;
+  e.constant_ = std::move(value);
+  return e;
+}
+
+Rational LinearExpr::coeff(int index) const {
+  auto it = coeffs_.find(index);
+  if (it == coeffs_.end()) return Rational(0);
+  return it->second;
+}
+
+LinearExpr LinearExpr::Plus(const LinearExpr& other) const {
+  LinearExpr out = *this;
+  out.constant_ += other.constant_;
+  for (const auto& [index, coeff] : other.coeffs_) {
+    Rational& slot = out.coeffs_[index];
+    slot += coeff;
+    if (slot.is_zero()) out.coeffs_.erase(index);
+  }
+  return out;
+}
+
+LinearExpr LinearExpr::Minus(const LinearExpr& other) const {
+  return Plus(other.Negated());
+}
+
+LinearExpr LinearExpr::Negated() const { return ScaledBy(Rational(-1)); }
+
+LinearExpr LinearExpr::ScaledBy(const Rational& factor) const {
+  LinearExpr out;
+  if (factor.is_zero()) return out;
+  out.constant_ = constant_ * factor;
+  for (const auto& [index, coeff] : coeffs_) {
+    out.coeffs_[index] = coeff * factor;
+  }
+  return out;
+}
+
+LinearExpr LinearExpr::Substituted(int index,
+                                   const LinearExpr& replacement) const {
+  auto it = coeffs_.find(index);
+  if (it == coeffs_.end()) return *this;
+  Rational factor = it->second;
+  LinearExpr out = *this;
+  out.coeffs_.erase(index);
+  return out.Plus(replacement.ScaledBy(factor));
+}
+
+LinearExpr LinearExpr::Reindexed(const std::vector<int>& mapping) const {
+  LinearExpr out;
+  out.constant_ = constant_;
+  for (const auto& [index, coeff] : coeffs_) {
+    DODB_CHECK_MSG(index < static_cast<int>(mapping.size()),
+                   "Reindexed: column outside mapping");
+    int target = mapping[index];
+    DODB_CHECK(target >= 0);
+    Rational& slot = out.coeffs_[target];
+    slot += coeff;
+    if (slot.is_zero()) out.coeffs_.erase(target);
+  }
+  return out;
+}
+
+Rational LinearExpr::Eval(const std::vector<Rational>& point) const {
+  Rational value = constant_;
+  for (const auto& [index, coeff] : coeffs_) {
+    DODB_CHECK_MSG(index < static_cast<int>(point.size()),
+                   "point too short for linear expression");
+    value += coeff * point[index];
+  }
+  return value;
+}
+
+int LinearExpr::MaxVar() const {
+  if (coeffs_.empty()) return -1;
+  return coeffs_.rbegin()->first;
+}
+
+std::string LinearExpr::ToString(
+    const std::vector<std::string>* names) const {
+  auto var_name = [names](int index) {
+    if (names != nullptr && index < static_cast<int>(names->size())) {
+      return (*names)[index];
+    }
+    return StrCat("x", index);
+  };
+  if (coeffs_.empty()) return constant_.ToString();
+  std::string out;
+  bool first = true;
+  for (const auto& [index, coeff] : coeffs_) {
+    if (first) {
+      if (coeff == Rational(1)) {
+        out = var_name(index);
+      } else if (coeff == Rational(-1)) {
+        out = StrCat("-", var_name(index));
+      } else {
+        out = StrCat(coeff.ToString(), "*", var_name(index));
+      }
+      first = false;
+      continue;
+    }
+    Rational abs = coeff.Abs();
+    const char* sign = coeff.is_negative() ? " - " : " + ";
+    if (abs == Rational(1)) {
+      out += StrCat(sign, var_name(index));
+    } else {
+      out += StrCat(sign, abs.ToString(), "*", var_name(index));
+    }
+  }
+  if (!constant_.is_zero()) {
+    out += StrCat(constant_.is_negative() ? " - " : " + ",
+                  constant_.Abs().ToString());
+  }
+  return out;
+}
+
+int LinearExpr::Compare(const LinearExpr& other) const {
+  int cmp = constant_.Compare(other.constant_);
+  if (cmp != 0) return cmp;
+  auto it = coeffs_.begin();
+  auto jt = other.coeffs_.begin();
+  while (it != coeffs_.end() && jt != other.coeffs_.end()) {
+    if (it->first != jt->first) return it->first < jt->first ? -1 : 1;
+    cmp = it->second.Compare(jt->second);
+    if (cmp != 0) return cmp;
+    ++it;
+    ++jt;
+  }
+  if (it != coeffs_.end()) return 1;
+  if (jt != other.coeffs_.end()) return -1;
+  return 0;
+}
+
+size_t LinearExpr::Hash() const {
+  size_t h = constant_.Hash();
+  for (const auto& [index, coeff] : coeffs_) {
+    h ^= static_cast<size_t>(index) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+    h ^= coeff.Hash() + 0x517cc1b727220a95ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace dodb

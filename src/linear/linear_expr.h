@@ -1,0 +1,60 @@
+#ifndef DODB_LINEAR_LINEAR_EXPR_H_
+#define DODB_LINEAR_LINEAR_EXPR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rational.h"
+
+namespace dodb {
+
+/// A linear expression sum_i coeff_i * x_i + constant over column indices,
+/// with exact rational coefficients. The term language of FO+ (§4): dense
+/// order plus addition.
+class LinearExpr {
+ public:
+  /// The zero expression.
+  LinearExpr() = default;
+
+  static LinearExpr Var(int index);
+  static LinearExpr Const(Rational value);
+
+  const std::map<int, Rational>& coeffs() const { return coeffs_; }
+  const Rational& constant() const { return constant_; }
+
+  /// Coefficient of x_index (zero when absent).
+  Rational coeff(int index) const;
+  bool is_constant() const { return coeffs_.empty(); }
+
+  LinearExpr Plus(const LinearExpr& other) const;
+  LinearExpr Minus(const LinearExpr& other) const;
+  LinearExpr Negated() const;
+  LinearExpr ScaledBy(const Rational& factor) const;
+
+  /// Substitutes `replacement` for x_index.
+  LinearExpr Substituted(int index, const LinearExpr& replacement) const;
+
+  /// Applies the column remapping old index -> mapping[old index].
+  LinearExpr Reindexed(const std::vector<int>& mapping) const;
+
+  /// Value at a point.
+  Rational Eval(const std::vector<Rational>& point) const;
+
+  /// Largest column index used, or -1 when constant.
+  int MaxVar() const;
+
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+
+  int Compare(const LinearExpr& other) const;
+  bool operator==(const LinearExpr& o) const { return Compare(o) == 0; }
+  size_t Hash() const;
+
+ private:
+  std::map<int, Rational> coeffs_;
+  Rational constant_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_LINEAR_LINEAR_EXPR_H_

@@ -1,0 +1,190 @@
+#include "linear/linear_relation.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+LinearRelation::LinearRelation(int arity) : arity_(arity) {
+  DODB_CHECK(arity >= 0);
+}
+
+LinearRelation LinearRelation::True(int arity) {
+  LinearRelation rel(arity);
+  rel.AddSystem(LinearSystem(arity));
+  return rel;
+}
+
+LinearRelation LinearRelation::False(int arity) {
+  return LinearRelation(arity);
+}
+
+namespace {
+
+LinearExpr TermToLinear(const Term& term) {
+  if (term.is_var()) return LinearExpr::Var(term.var());
+  return LinearExpr::Const(term.constant());
+}
+
+// lhs op rhs as linear atoms; a dense != yields two alternative atoms.
+struct LoweredAtom {
+  std::vector<LinearAtom> alternatives;  // disjunction
+};
+
+LoweredAtom LowerDenseAtom(const DenseAtom& atom) {
+  LinearExpr diff = TermToLinear(atom.lhs()).Minus(TermToLinear(atom.rhs()));
+  switch (atom.op()) {
+    case RelOp::kLt:
+      return {{LinearAtom(diff, LinOp::kLt)}};
+    case RelOp::kLe:
+      return {{LinearAtom(diff, LinOp::kLe)}};
+    case RelOp::kEq:
+      return {{LinearAtom(diff, LinOp::kEq)}};
+    case RelOp::kGe:
+      return {{LinearAtom(diff.Negated(), LinOp::kLe)}};
+    case RelOp::kGt:
+      return {{LinearAtom(diff.Negated(), LinOp::kLt)}};
+    case RelOp::kNeq:
+      return {{LinearAtom(diff, LinOp::kLt),
+               LinearAtom(diff.Negated(), LinOp::kLt)}};
+  }
+  DODB_CHECK(false);
+  return {};
+}
+
+}  // namespace
+
+LinearRelation LinearRelation::FromGeneralized(
+    const GeneralizedRelation& rel) {
+  LinearRelation out(rel.arity());
+  for (const GeneralizedTuple& tuple : rel.tuples()) {
+    // Expand the (rare) inequations into a small DNF.
+    std::vector<LinearSystem> partial = {LinearSystem(rel.arity())};
+    GeneralizedTuple minimized = tuple.Minimized();
+    for (const DenseAtom& atom : minimized.atoms()) {
+      LoweredAtom lowered = LowerDenseAtom(atom);
+      if (lowered.alternatives.size() == 1) {
+        for (LinearSystem& system : partial) {
+          system.AddAtom(lowered.alternatives[0]);
+        }
+        continue;
+      }
+      std::vector<LinearSystem> next;
+      next.reserve(partial.size() * lowered.alternatives.size());
+      for (const LinearSystem& system : partial) {
+        for (const LinearAtom& alt : lowered.alternatives) {
+          LinearSystem branch = system;
+          branch.AddAtom(alt);
+          next.push_back(std::move(branch));
+        }
+      }
+      partial = std::move(next);
+    }
+    for (LinearSystem& system : partial) out.AddSystem(std::move(system));
+  }
+  return out;
+}
+
+void LinearRelation::AddSystem(LinearSystem system) {
+  DODB_CHECK_MSG(system.arity() == arity_, "AddSystem arity mismatch");
+  if (!system.IsSatisfiable()) return;
+  LinearSystem canonical = system.Canonical();
+  auto pos = std::lower_bound(systems_.begin(), systems_.end(), canonical);
+  if (pos != systems_.end() && *pos == canonical) return;
+  systems_.insert(pos, std::move(canonical));
+}
+
+bool LinearRelation::Contains(const std::vector<Rational>& point) const {
+  for (const LinearSystem& system : systems_) {
+    if (system.Contains(point)) return true;
+  }
+  return false;
+}
+
+std::string LinearRelation::ToString(
+    const std::vector<std::string>* names) const {
+  if (systems_.empty()) return "{}";
+  std::vector<std::string> parts;
+  parts.reserve(systems_.size());
+  for (const LinearSystem& system : systems_) {
+    parts.push_back(system.ToString(names));
+  }
+  return StrCat("{ ", StrJoin(parts, " ; "), " }");
+}
+
+namespace linear_algebra {
+
+LinearRelation Union(const LinearRelation& a, const LinearRelation& b) {
+  DODB_CHECK_MSG(a.arity() == b.arity(), "Union arity mismatch");
+  LinearRelation out = a;
+  for (const LinearSystem& system : b.systems()) out.AddSystem(system);
+  return out;
+}
+
+LinearRelation Intersect(const LinearRelation& a, const LinearRelation& b) {
+  DODB_CHECK_MSG(a.arity() == b.arity(), "Intersect arity mismatch");
+  LinearRelation out(a.arity());
+  for (const LinearSystem& sa : a.systems()) {
+    for (const LinearSystem& sb : b.systems()) {
+      out.AddSystem(sa.Conjoin(sb));
+    }
+  }
+  return out;
+}
+
+LinearRelation Complement(const LinearRelation& rel) {
+  LinearRelation acc = LinearRelation::True(rel.arity());
+  for (const LinearSystem& system : rel.systems()) {
+    if (system.is_true()) return LinearRelation(rel.arity());
+    LinearRelation next(rel.arity());
+    for (const LinearSystem& partial : acc.systems()) {
+      for (const LinearAtom& atom : system.atoms()) {
+        for (const LinearAtom& negated : atom.NegatedDisjuncts()) {
+          LinearSystem candidate = partial;
+          candidate.AddAtom(negated);
+          next.AddSystem(std::move(candidate));
+        }
+      }
+    }
+    acc = std::move(next);
+    if (acc.IsEmpty()) break;
+  }
+  return acc;
+}
+
+LinearRelation Rename(const LinearRelation& rel,
+                      const std::vector<int>& mapping, int new_arity) {
+  LinearRelation out(new_arity);
+  for (const LinearSystem& system : rel.systems()) {
+    out.AddSystem(system.Reindexed(mapping, new_arity));
+  }
+  return out;
+}
+
+LinearRelation ProjectColumns(const LinearRelation& rel,
+                              const std::vector<int>& keep) {
+  std::vector<bool> kept(rel.arity(), false);
+  for (int column : keep) {
+    DODB_CHECK(column >= 0 && column < rel.arity());
+    DODB_CHECK_MSG(!kept[column], "duplicate column in projection");
+    kept[column] = true;
+  }
+  LinearRelation out(static_cast<int>(keep.size()));
+  std::vector<int> mapping(rel.arity(), 0);
+  for (size_t i = 0; i < keep.size(); ++i) {
+    mapping[keep[i]] = static_cast<int>(i);
+  }
+  for (const LinearSystem& system : rel.systems()) {
+    LinearSystem current = system;
+    for (int column = 0; column < rel.arity(); ++column) {
+      if (!kept[column]) current = current.EliminatedVariable(column);
+    }
+    out.AddSystem(current.Reindexed(mapping, static_cast<int>(keep.size())));
+  }
+  return out;
+}
+
+}  // namespace linear_algebra
+}  // namespace dodb

@@ -1,0 +1,62 @@
+#ifndef DODB_LINEAR_LINEAR_RELATION_H_
+#define DODB_LINEAR_LINEAR_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/generalized_relation.h"
+#include "linear/linear_system.h"
+
+namespace dodb {
+
+/// A finitely representable relation over linear constraints: a finite
+/// disjunction of LinearSystems (the FO+ analogue of GeneralizedRelation).
+/// Stored systems are satisfiable, canonicalized and deduplicated
+/// syntactically (semantic subsumption over polyhedra is not attempted).
+class LinearRelation {
+ public:
+  explicit LinearRelation(int arity);
+
+  static LinearRelation True(int arity);
+  static LinearRelation False(int arity);
+
+  /// Converts a dense-order relation: every dense atom is linear; dense
+  /// inequations split each tuple into the < and > cases.
+  static LinearRelation FromGeneralized(const GeneralizedRelation& rel);
+
+  int arity() const { return arity_; }
+  const std::vector<LinearSystem>& systems() const { return systems_; }
+  bool IsEmpty() const { return systems_.empty(); }
+  size_t system_count() const { return systems_.size(); }
+
+  void AddSystem(LinearSystem system);
+
+  bool Contains(const std::vector<Rational>& point) const;
+
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+
+ private:
+  int arity_;
+  std::vector<LinearSystem> systems_;
+};
+
+/// Closed-form algebra over linear relations, mirroring algebra/ for the
+/// dense case.
+namespace linear_algebra {
+
+LinearRelation Union(const LinearRelation& a, const LinearRelation& b);
+LinearRelation Intersect(const LinearRelation& a, const LinearRelation& b);
+/// Complement via incremental negation; not(e = 0) contributes two
+/// disjuncts per atom.
+LinearRelation Complement(const LinearRelation& rel);
+LinearRelation Rename(const LinearRelation& rel,
+                      const std::vector<int>& mapping, int new_arity);
+/// Projection onto `keep` columns via Fourier-Motzkin.
+LinearRelation ProjectColumns(const LinearRelation& rel,
+                              const std::vector<int>& keep);
+
+}  // namespace linear_algebra
+
+}  // namespace dodb
+
+#endif  // DODB_LINEAR_LINEAR_RELATION_H_

@@ -1,0 +1,178 @@
+#include "linear/linear_system.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/check.h"
+#include "core/str_util.h"
+
+namespace dodb {
+
+LinearSystem::LinearSystem(int arity) : arity_(arity) {
+  DODB_CHECK(arity >= 0);
+}
+
+LinearSystem::LinearSystem(int arity, std::vector<LinearAtom> atoms)
+    : arity_(arity), atoms_(std::move(atoms)) {
+  DODB_CHECK(arity >= 0);
+  for (const LinearAtom& atom : atoms_) {
+    DODB_CHECK_MSG(atom.expr().MaxVar() < arity_,
+                   "atom variable outside system arity");
+  }
+}
+
+void LinearSystem::AddAtom(LinearAtom atom) {
+  DODB_CHECK_MSG(atom.expr().MaxVar() < arity_,
+                 "atom variable outside system arity");
+  atoms_.push_back(std::move(atom));
+}
+
+bool LinearSystem::Contains(const std::vector<Rational>& point) const {
+  DODB_CHECK(static_cast<int>(point.size()) == arity_);
+  for (const LinearAtom& atom : atoms_) {
+    if (!atom.Holds(point)) return false;
+  }
+  return true;
+}
+
+LinearSystem LinearSystem::Conjoin(const LinearSystem& other) const {
+  DODB_CHECK_MSG(arity_ == other.arity_, "Conjoin arity mismatch");
+  LinearSystem out = *this;
+  for (const LinearAtom& atom : other.atoms_) out.AddAtom(atom);
+  return out;
+}
+
+LinearSystem LinearSystem::Reindexed(const std::vector<int>& mapping,
+                                     int new_arity) const {
+  LinearSystem out(new_arity);
+  for (const LinearAtom& atom : atoms_) {
+    out.AddAtom(atom.Reindexed(mapping));
+  }
+  return out;
+}
+
+LinearSystem LinearSystem::EliminatedVariable(int var) const {
+  DODB_CHECK(var >= 0 && var < arity_);
+  // 1. Equation with a nonzero coefficient on x_var: solve and substitute.
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    const LinearAtom& atom = atoms_[i];
+    if (atom.op() != LinOp::kEq || !atom.Uses(var)) continue;
+    Rational a = atom.expr().coeff(var);
+    // x = -(expr - a*x) / a.
+    LinearExpr rest =
+        atom.expr().Minus(LinearExpr::Var(var).ScaledBy(a));
+    LinearExpr solution = rest.ScaledBy(Rational(-1) / a);
+    LinearSystem out(arity_);
+    for (size_t j = 0; j < atoms_.size(); ++j) {
+      if (j == i) continue;
+      out.AddAtom(atoms_[j].Substituted(var, solution));
+    }
+    return out;
+  }
+  // 2. Fourier-Motzkin on inequalities.
+  LinearSystem out(arity_);
+  struct Bound {
+    LinearExpr expr;  // full atom expression (contains x_var)
+    Rational coeff;
+    bool strict;
+  };
+  std::vector<Bound> uppers;  // coeff > 0
+  std::vector<Bound> lowers;  // coeff < 0
+  for (const LinearAtom& atom : atoms_) {
+    if (!atom.Uses(var)) {
+      out.AddAtom(atom);
+      continue;
+    }
+    Bound bound{atom.expr(), atom.expr().coeff(var),
+                atom.op() == LinOp::kLt};
+    if (bound.coeff.is_negative()) {
+      lowers.push_back(std::move(bound));
+    } else {
+      uppers.push_back(std::move(bound));
+    }
+  }
+  // Imbert-style light pruning: normalization makes scaled duplicates
+  // collide, so deduplicate the combined atoms (otherwise iterated FM
+  // squares the atom count far faster than necessary).
+  std::set<LinearAtom> seen;
+  for (const LinearAtom& atom : out.atoms()) seen.insert(atom);
+  for (const Bound& lo : lowers) {
+    for (const Bound& up : uppers) {
+      // lo.expr has coeff a < 0, up.expr has coeff b > 0:
+      // b * lo.expr + (-a) * up.expr has no x_var and must be (<|<=) 0.
+      LinearExpr combined = lo.expr.ScaledBy(up.coeff).Plus(
+          up.expr.ScaledBy(lo.coeff.Abs()));
+      LinOp op = (lo.strict || up.strict) ? LinOp::kLt : LinOp::kLe;
+      LinearAtom atom(std::move(combined), op);
+      if (atom.expr().is_constant()) {
+        if (!atom.GroundHolds()) {
+          // Unsatisfiable ground combination: encode as 1 <= 0.
+          LinearSystem contradiction(arity_);
+          contradiction.AddAtom(
+              LinearAtom(LinearExpr::Const(Rational(1)), LinOp::kLe));
+          return contradiction;
+        }
+        continue;
+      }
+      if (seen.insert(atom).second) out.AddAtom(std::move(atom));
+    }
+  }
+  return out;
+}
+
+bool LinearSystem::IsSatisfiable() const {
+  LinearSystem current = *this;
+  for (int var = 0; var < arity_; ++var) {
+    current = current.EliminatedVariable(var);
+  }
+  for (const LinearAtom& atom : current.atoms_) {
+    DODB_CHECK(atom.expr().is_constant());
+    if (!atom.GroundHolds()) return false;
+  }
+  return true;
+}
+
+LinearSystem LinearSystem::Canonical() const {
+  DODB_CHECK_MSG(IsSatisfiable(), "Canonical() on unsatisfiable system");
+  std::vector<LinearAtom> kept;
+  kept.reserve(atoms_.size());
+  for (const LinearAtom& atom : atoms_) {
+    if (atom.expr().is_constant()) continue;  // ground truths
+    kept.push_back(atom);
+  }
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  return LinearSystem(arity_, std::move(kept));
+}
+
+std::string LinearSystem::ToString(
+    const std::vector<std::string>* names) const {
+  if (atoms_.empty()) return "true";
+  std::vector<std::string> parts;
+  parts.reserve(atoms_.size());
+  for (const LinearAtom& atom : atoms_) parts.push_back(atom.ToString(names));
+  return StrJoin(parts, " and ");
+}
+
+int LinearSystem::Compare(const LinearSystem& other) const {
+  if (arity_ != other.arity_) return arity_ < other.arity_ ? -1 : 1;
+  size_t n = std::min(atoms_.size(), other.atoms_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int cmp = atoms_[i].Compare(other.atoms_[i]);
+    if (cmp != 0) return cmp;
+  }
+  if (atoms_.size() != other.atoms_.size()) {
+    return atoms_.size() < other.atoms_.size() ? -1 : 1;
+  }
+  return 0;
+}
+
+size_t LinearSystem::Hash() const {
+  size_t h = static_cast<size_t>(arity_) * 0x517cc1b727220a95ull;
+  for (const LinearAtom& atom : atoms_) {
+    h ^= atom.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace dodb

@@ -1,0 +1,59 @@
+#ifndef DODB_LINEAR_LINEAR_SYSTEM_H_
+#define DODB_LINEAR_LINEAR_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "linear/linear_atom.h"
+
+namespace dodb {
+
+/// A conjunction of linear atoms over Q^arity — the linear-constraint
+/// analogue of a generalized tuple. Because the atom language {<, <=, =} is
+/// closed under Fourier-Motzkin elimination, `exists x . system` is again a
+/// single system (unlike the dense-order case with inequations).
+class LinearSystem {
+ public:
+  explicit LinearSystem(int arity);
+  LinearSystem(int arity, std::vector<LinearAtom> atoms);
+
+  int arity() const { return arity_; }
+  const std::vector<LinearAtom>& atoms() const { return atoms_; }
+  bool is_true() const { return atoms_.empty(); }
+
+  void AddAtom(LinearAtom atom);
+
+  /// Decided exactly by Fourier-Motzkin elimination.
+  bool IsSatisfiable() const;
+
+  bool Contains(const std::vector<Rational>& point) const;
+
+  LinearSystem Conjoin(const LinearSystem& other) const;
+  LinearSystem Reindexed(const std::vector<int>& mapping,
+                         int new_arity) const;
+
+  /// Fourier-Motzkin: `exists x_var . *this`, arity preserved (x_var no
+  /// longer occurs). Equations are eliminated by substitution; inequalities
+  /// by pairing lower and upper bounds with exact rational arithmetic.
+  LinearSystem EliminatedVariable(int var) const;
+
+  /// Sorted, deduplicated atom list (ground truths dropped). Requires
+  /// IsSatisfiable(). Redundant-but-nontrivial atoms are kept: full
+  /// redundancy elimination would need an LP solver.
+  LinearSystem Canonical() const;
+
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+
+  int Compare(const LinearSystem& other) const;
+  bool operator==(const LinearSystem& o) const { return Compare(o) == 0; }
+  bool operator<(const LinearSystem& o) const { return Compare(o) < 0; }
+  size_t Hash() const;
+
+ private:
+  int arity_;
+  std::vector<LinearAtom> atoms_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_LINEAR_LINEAR_SYSTEM_H_

@@ -1,0 +1,97 @@
+#include "spatial/connectivity.h"
+
+#include <vector>
+
+#include "core/check.h"
+
+namespace dodb {
+namespace spatial {
+
+namespace {
+
+// Expands every inequation t1 != t2 of `tuple` into the < and > branches,
+// yielding satisfiable convex pieces (conjunctions over {<, <=, =} define
+// intersections of half-spaces and hyperplanes of R^k, hence convex sets).
+void ConvexPieces(const GeneralizedTuple& tuple,
+                  std::vector<GeneralizedTuple>* out) {
+  for (size_t i = 0; i < tuple.atoms().size(); ++i) {
+    const DenseAtom& atom = tuple.atoms()[i];
+    if (atom.op() != RelOp::kNeq) continue;
+    GeneralizedTuple lt(tuple.arity());
+    GeneralizedTuple gt(tuple.arity());
+    for (size_t j = 0; j < tuple.atoms().size(); ++j) {
+      if (j == i) continue;
+      lt.AddAtom(tuple.atoms()[j]);
+      gt.AddAtom(tuple.atoms()[j]);
+    }
+    lt.AddAtom(DenseAtom(atom.lhs(), RelOp::kLt, atom.rhs()));
+    gt.AddAtom(DenseAtom(atom.lhs(), RelOp::kGt, atom.rhs()));
+    ConvexPieces(lt, out);
+    ConvexPieces(gt, out);
+    return;
+  }
+  if (tuple.IsSatisfiable()) out->push_back(tuple);
+}
+
+// The topological closure of a nonempty convex piece: relax strict
+// comparisons to their non-strict counterparts.
+GeneralizedTuple TopologicalClosure(const GeneralizedTuple& piece) {
+  GeneralizedTuple out(piece.arity());
+  for (const DenseAtom& atom : piece.atoms()) {
+    RelOp op = atom.op();
+    if (op == RelOp::kLt) op = RelOp::kLe;
+    if (op == RelOp::kGt) op = RelOp::kGe;
+    out.AddAtom(DenseAtom(atom.lhs(), op, atom.rhs()));
+  }
+  return out;
+}
+
+// For convex sets A and B: A ∪ B is connected iff
+// (cl(A) ∩ B) ∪ (A ∩ cl(B)) is nonempty.
+bool Touch(const GeneralizedTuple& a, const GeneralizedTuple& b) {
+  if (TopologicalClosure(a).Conjoin(b).IsSatisfiable()) return true;
+  return a.Conjoin(TopologicalClosure(b)).IsSatisfiable();
+}
+
+}  // namespace
+
+Result<int> CountConnectedComponents(const GeneralizedRelation& region) {
+  std::vector<GeneralizedTuple> pieces;
+  for (const GeneralizedTuple& tuple : region.tuples()) {
+    ConvexPieces(tuple, &pieces);
+  }
+  if (pieces.empty()) return 0;
+
+  // Union-find over the touch graph. A finite union of convex sets is
+  // connected iff its touch graph is: touching pieces certainly merge, and
+  // if the pieces split into two groups with no touching cross pair then
+  // the groups' unions are separated.
+  std::vector<int> parent(pieces.size());
+  for (size_t i = 0; i < pieces.size(); ++i) parent[i] = static_cast<int>(i);
+  auto find = [&parent](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    for (size_t j = i + 1; j < pieces.size(); ++j) {
+      int ri = find(static_cast<int>(i));
+      int rj = find(static_cast<int>(j));
+      if (ri == rj) continue;
+      if (Touch(pieces[i], pieces[j])) parent[ri] = rj;
+    }
+  }
+  int components = 0;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (find(static_cast<int>(i)) == static_cast<int>(i)) ++components;
+  }
+  return components;
+}
+
+Result<bool> IsConnected(const GeneralizedRelation& region) {
+  Result<int> components = CountConnectedComponents(region);
+  if (!components.ok()) return components.status();
+  return components.value() == 1;
+}
+
+}  // namespace spatial
+}  // namespace dodb

@@ -1,0 +1,31 @@
+#ifndef DODB_SPATIAL_CONNECTIVITY_H_
+#define DODB_SPATIAL_CONNECTIVITY_H_
+
+#include "constraints/generalized_relation.h"
+#include "core/status.h"
+
+namespace dodb {
+namespace spatial {
+
+/// Topological connectivity of the region denoted by a dense-order
+/// constraint relation, interpreted in R^k (the real closure of the
+/// rational constraints — the reading under which "region connectivity" in
+/// §4 is a meaningful spatial query).
+///
+/// Algorithm: split every tuple's inequations so each piece is a conjunction
+/// of {<, <=, =} atoms, i.e. a convex polyhedron; two convex pieces A, B
+/// have a connected union iff (cl(A) ∩ B) ∪ (A ∩ cl(B)) is nonempty; the
+/// whole region is connected iff the touch graph of its pieces is. This is
+/// a genuinely *procedural* computation — by Theorem 4.3 no FO/FO+ query
+/// expresses it, which bench_thm43 demonstrates empirically.
+///
+/// Returns the number of connected components (0 for the empty region).
+Result<int> CountConnectedComponents(const GeneralizedRelation& region);
+
+/// Whether the region is nonempty and connected.
+Result<bool> IsConnected(const GeneralizedRelation& region);
+
+}  // namespace spatial
+}  // namespace dodb
+
+#endif  // DODB_SPATIAL_CONNECTIVITY_H_

@@ -1,0 +1,62 @@
+#include "spatial/interval.h"
+
+#include "core/str_util.h"
+
+namespace dodb {
+namespace spatial {
+
+GeneralizedTuple Interval::ToTuple() const {
+  GeneralizedTuple tuple(1);
+  tuple.AddAtom(DenseAtom(Term::Var(0), lo_closed ? RelOp::kGe : RelOp::kGt,
+                          Term::Const(lo)));
+  tuple.AddAtom(DenseAtom(Term::Var(0), hi_closed ? RelOp::kLe : RelOp::kLt,
+                          Term::Const(hi)));
+  return tuple;
+}
+
+bool Interval::IsNonEmpty() const {
+  if (lo < hi) return true;
+  return lo == hi && lo_closed && hi_closed;
+}
+
+bool Interval::Contains(const Rational& value) const {
+  if (value < lo || value > hi) return false;
+  if (value == lo && !lo_closed) return false;
+  if (value == hi && !hi_closed) return false;
+  return true;
+}
+
+bool Interval::Overlaps(const Interval& other) const {
+  GeneralizedTuple joint = ToTuple().Conjoin(other.ToTuple());
+  return joint.IsSatisfiable();
+}
+
+bool Interval::Meets(const Interval& other) const {
+  return hi == other.lo && (hi_closed || other.lo_closed) && IsNonEmpty() &&
+         other.IsNonEmpty();
+}
+
+std::string Interval::ToString() const {
+  return StrCat(lo_closed ? "[" : "(", lo.ToString(), ", ", hi.ToString(),
+                hi_closed ? "]" : ")");
+}
+
+GeneralizedRelation IntervalUnion(const std::vector<Interval>& intervals) {
+  GeneralizedRelation out(1);
+  for (const Interval& interval : intervals) {
+    out.AddTuple(interval.ToTuple());
+  }
+  return out;
+}
+
+GeneralizedRelation IntervalEndpointRelation(
+    const std::vector<Interval>& intervals) {
+  GeneralizedRelation out(2);
+  for (const Interval& interval : intervals) {
+    out.AddTuple(GeneralizedTuple::Point({interval.lo, interval.hi}));
+  }
+  return out;
+}
+
+}  // namespace spatial
+}  // namespace dodb

@@ -1,0 +1,50 @@
+#ifndef DODB_SPATIAL_INTERVAL_H_
+#define DODB_SPATIAL_INTERVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/generalized_relation.h"
+#include "core/rational.h"
+
+namespace dodb {
+namespace spatial {
+
+/// A 1-D rational interval with independent boundary conditions — the
+/// temporal-database face of dense-order constraints.
+struct Interval {
+  Rational lo, hi;
+  bool lo_closed = true;
+  bool hi_closed = true;
+
+  /// The unary generalized tuple lo (<|<=) x (<|<=) hi.
+  GeneralizedTuple ToTuple() const;
+
+  /// Whether the interval denotes a nonempty set of rationals.
+  bool IsNonEmpty() const;
+
+  bool Contains(const Rational& value) const;
+
+  /// Whether the two intervals share a point.
+  bool Overlaps(const Interval& other) const;
+
+  /// Allen-style "meets": this ends exactly where other starts, with at
+  /// least one of the touching endpoints closed.
+  bool Meets(const Interval& other) const;
+
+  std::string ToString() const;
+};
+
+/// A union-of-intervals relation (arity 1).
+GeneralizedRelation IntervalUnion(const std::vector<Interval>& intervals);
+
+/// An interval *schema* relation iv(lo, hi): one point tuple per interval
+/// (closed bounds assumed) — the encoding used when interval endpoints are
+/// data that Datalog rules join on.
+GeneralizedRelation IntervalEndpointRelation(
+    const std::vector<Interval>& intervals);
+
+}  // namespace spatial
+}  // namespace dodb
+
+#endif  // DODB_SPATIAL_INTERVAL_H_

@@ -1,0 +1,246 @@
+#include "spatial/polygon.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/check.h"
+
+namespace dodb {
+namespace spatial {
+
+Rational Cross(const Point2& a, const Point2& b, const Point2& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+ConvexPolygon ConvexPolygon::FromSystem(LinearSystem system) {
+  DODB_CHECK_MSG(system.arity() == 2, "ConvexPolygon is 2-D");
+  return ConvexPolygon(std::move(system));
+}
+
+namespace {
+
+LinearExpr X() { return LinearExpr::Var(0); }
+LinearExpr Y() { return LinearExpr::Var(1); }
+
+// Interior-left constraint of the directed edge p -> q (CCW boundary):
+// (q.y - p.y) * (x - p.x) - (q.x - p.x) * (y - p.y) <= 0.
+LinearAtom EdgeAtom(const Point2& p, const Point2& q) {
+  LinearExpr e = X().Minus(LinearExpr::Const(p.x)).ScaledBy(q.y - p.y)
+                     .Minus(Y().Minus(LinearExpr::Const(p.y))
+                                .ScaledBy(q.x - p.x));
+  return LinearAtom(std::move(e), LinOp::kLe);
+}
+
+}  // namespace
+
+ConvexPolygon ConvexPolygon::ConvexHull(std::vector<Point2> points) {
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  LinearSystem system(2);
+
+  if (points.empty()) {
+    system.AddAtom(LinearAtom(LinearExpr::Const(Rational(1)), LinOp::kLe));
+    return ConvexPolygon(std::move(system));
+  }
+  if (points.size() == 1) {
+    system.AddAtom(LinearAtom(X().Minus(LinearExpr::Const(points[0].x)),
+                              LinOp::kEq));
+    system.AddAtom(LinearAtom(Y().Minus(LinearExpr::Const(points[0].y)),
+                              LinOp::kEq));
+    return ConvexPolygon(std::move(system));
+  }
+
+  // Andrew's monotone chain; popping on cross <= 0 discards collinear
+  // middle points. Result: hull in counter-clockwise order.
+  std::vector<Point2> hull;
+  auto build = [&hull](const Point2& p) {
+    while (hull.size() >= 2 &&
+           Cross(hull[hull.size() - 2], hull[hull.size() - 1], p) <=
+               Rational(0)) {
+      hull.pop_back();
+    }
+    hull.push_back(p);
+  };
+  for (const Point2& p : points) build(p);
+  size_t lower_size = hull.size();
+  for (size_t i = points.size() - 1; i-- > 0;) {
+    const Point2& p = points[i];
+    while (hull.size() > lower_size &&
+           Cross(hull[hull.size() - 2], hull[hull.size() - 1], p) <=
+               Rational(0)) {
+      hull.pop_back();
+    }
+    hull.push_back(p);
+  }
+  hull.pop_back();  // last point repeats the first
+
+  if (hull.size() == 2) {
+    // All points collinear: the hull is the segment [hull0, hull1].
+    const Point2& p = hull[0];
+    const Point2& q = hull[1];
+    // On the line through p and q:
+    LinearExpr line = X().Minus(LinearExpr::Const(p.x)).ScaledBy(q.y - p.y)
+                          .Minus(Y().Minus(LinearExpr::Const(p.y))
+                                     .ScaledBy(q.x - p.x));
+    system.AddAtom(LinearAtom(std::move(line), LinOp::kEq));
+    // Between the endpoints: (q - p) . (r - p) >= 0 and (p - q) . (r - q)
+    // >= 0.
+    LinearExpr from_p =
+        X().Minus(LinearExpr::Const(p.x)).ScaledBy(q.x - p.x).Plus(
+            Y().Minus(LinearExpr::Const(p.y)).ScaledBy(q.y - p.y));
+    LinearExpr from_q =
+        X().Minus(LinearExpr::Const(q.x)).ScaledBy(p.x - q.x).Plus(
+            Y().Minus(LinearExpr::Const(q.y)).ScaledBy(p.y - q.y));
+    system.AddAtom(LinearAtom(from_p.Negated(), LinOp::kLe));
+    system.AddAtom(LinearAtom(from_q.Negated(), LinOp::kLe));
+    return ConvexPolygon(std::move(system));
+  }
+
+  for (size_t i = 0; i < hull.size(); ++i) {
+    system.AddAtom(EdgeAtom(hull[i], hull[(i + 1) % hull.size()]));
+  }
+  return ConvexPolygon(std::move(system));
+}
+
+bool ConvexPolygon::Contains(const Point2& p) const {
+  return system_.Contains({p.x, p.y});
+}
+
+bool ConvexPolygon::IsEmpty() const { return !system_.IsSatisfiable(); }
+
+bool ConvexPolygon::IsBounded() const {
+  if (IsEmpty()) return true;
+  // Recession cone: directions d with a . d (<=|=) 0 for every constraint.
+  LinearSystem cone(2);
+  for (const LinearAtom& atom : system_.atoms()) {
+    LinearExpr direction;
+    for (const auto& [index, coeff] : atom.expr().coeffs()) {
+      direction =
+          direction.Plus(LinearExpr::Var(index).ScaledBy(coeff));
+    }
+    cone.AddAtom(LinearAtom(std::move(direction),
+                            atom.op() == LinOp::kEq ? LinOp::kEq
+                                                    : LinOp::kLe));
+  }
+  // Nontrivial direction iff one exists with a coordinate pinned to +-1.
+  const Rational kOne(1);
+  for (int coord = 0; coord < 2; ++coord) {
+    for (int sign = -1; sign <= 1; sign += 2) {
+      LinearSystem probe = cone;
+      probe.AddAtom(LinearAtom(
+          LinearExpr::Var(coord).Minus(LinearExpr::Const(
+              sign > 0 ? kOne : -kOne)),
+          LinOp::kEq));
+      if (coord == 1) {
+        probe.AddAtom(LinearAtom(LinearExpr::Var(0), LinOp::kEq));
+      }
+      if (probe.IsSatisfiable()) return false;
+    }
+  }
+  return true;
+}
+
+ConvexPolygon ConvexPolygon::IntersectWith(const ConvexPolygon& other) const {
+  return ConvexPolygon(system_.Conjoin(other.system_));
+}
+
+namespace {
+
+// Closure membership: strict atoms relaxed to non-strict.
+bool ContainsClosure(const LinearSystem& system, const Point2& p) {
+  for (const LinearAtom& atom : system.atoms()) {
+    Rational value = atom.expr().Eval({p.x, p.y});
+    if (atom.op() == LinOp::kEq) {
+      if (!value.is_zero()) return false;
+    } else if (value > Rational(0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<Point2>> ConvexPolygon::Vertices() const {
+  if (IsEmpty()) {
+    return Status::InvalidArgument("empty polygon has no vertices");
+  }
+  if (!IsBounded()) {
+    return Status::InvalidArgument(
+        "vertex enumeration requires a bounded polygon");
+  }
+  // Boundary lines a*x + b*y + c = 0 from every atom.
+  struct Line {
+    Rational a, b, c;
+  };
+  std::vector<Line> lines;
+  for (const LinearAtom& atom : system_.atoms()) {
+    lines.push_back(Line{atom.expr().coeff(0), atom.expr().coeff(1),
+                         atom.expr().constant()});
+  }
+  std::set<Point2> candidates;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    for (size_t j = i + 1; j < lines.size(); ++j) {
+      Rational det = lines[i].a * lines[j].b - lines[j].a * lines[i].b;
+      if (det.is_zero()) continue;
+      // Cramer on a*x + b*y = -c.
+      Point2 p;
+      p.x = ((-lines[i].c) * lines[j].b - (-lines[j].c) * lines[i].b) / det;
+      p.y = (lines[i].a * (-lines[j].c) - lines[j].a * (-lines[i].c)) / det;
+      if (ContainsClosure(system_, p)) candidates.insert(p);
+    }
+  }
+  // Degenerate single-point region (x = c and y = d gives one candidate
+  // only if two non-parallel lines exist — they do).
+  std::vector<Point2> vertices(candidates.begin(), candidates.end());
+  if (vertices.size() <= 2) return vertices;  // point or segment
+
+  // Sort counter-clockwise around the centroid, starting from the
+  // lexicographically smallest vertex.
+  Rational cx(0), cy(0);
+  for (const Point2& v : vertices) {
+    cx += v.x;
+    cy += v.y;
+  }
+  Rational count(static_cast<int64_t>(vertices.size()));
+  Point2 centroid{cx / count, cy / count};
+  auto half = [&centroid](const Point2& p) {
+    // 0: upper half-plane (dy > 0, or dy == 0 and dx > 0); 1: lower.
+    Rational dy = p.y - centroid.y;
+    if (dy > Rational(0)) return 0;
+    if (dy < Rational(0)) return 1;
+    return p.x - centroid.x > Rational(0) ? 0 : 1;
+  };
+  std::sort(vertices.begin(), vertices.end(),
+            [&](const Point2& p, const Point2& q) {
+              int hp = half(p);
+              int hq = half(q);
+              if (hp != hq) return hp < hq;
+              return Cross(centroid, p, q) > Rational(0);
+            });
+  auto smallest = std::min_element(vertices.begin(), vertices.end());
+  std::rotate(vertices.begin(), smallest, vertices.end());
+  return vertices;
+}
+
+ConvexPolygon VoronoiCell(const Point2& site,
+                          const std::vector<Point2>& sites) {
+  LinearSystem system(2);
+  const Rational kTwo(2);
+  for (const Point2& other : sites) {
+    if (other == site) continue;
+    // |p - site|^2 <= |p - other|^2
+    //   <=>  2 p . (other - site) <= |other|^2 - |site|^2.
+    LinearExpr lhs = LinearExpr::Var(0).ScaledBy(kTwo * (other.x - site.x))
+                         .Plus(LinearExpr::Var(1).ScaledBy(
+                             kTwo * (other.y - site.y)));
+    Rational rhs = other.x * other.x + other.y * other.y -
+                   site.x * site.x - site.y * site.y;
+    system.AddAtom(
+        LinearAtom(lhs.Minus(LinearExpr::Const(rhs)), LinOp::kLe));
+  }
+  return ConvexPolygon::FromSystem(std::move(system));
+}
+
+}  // namespace spatial
+}  // namespace dodb

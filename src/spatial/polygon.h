@@ -1,0 +1,79 @@
+#ifndef DODB_SPATIAL_POLYGON_H_
+#define DODB_SPATIAL_POLYGON_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+#include "linear/linear_system.h"
+
+namespace dodb {
+namespace spatial {
+
+/// A point of the rational plane.
+struct Point2 {
+  Rational x, y;
+
+  bool operator==(const Point2& o) const { return x == o.x && y == o.y; }
+  bool operator<(const Point2& o) const {
+    int cmp = x.Compare(o.x);
+    if (cmp != 0) return cmp < 0;
+    return y < o.y;
+  }
+};
+
+/// 2 * signed area of the triangle (a, b, c): positive iff counter-
+/// clockwise. Exact.
+Rational Cross(const Point2& a, const Point2& b, const Point2& c);
+
+/// A convex region of the rational plane as a conjunction of linear
+/// constraints (an arity-2 LinearSystem) — the paper's intro example of
+/// where dense-order constraints stop and linear constraints (FO+) begin:
+/// convex hulls are not expressible, let alone definable, with order alone.
+class ConvexPolygon {
+ public:
+  /// Wraps an arity-2 system (need not be satisfiable).
+  static ConvexPolygon FromSystem(LinearSystem system);
+
+  /// The convex hull of finitely many points (Andrew's monotone chain with
+  /// exact rational arithmetic). Degenerate inputs are handled: a segment
+  /// or single point yields the corresponding flat polygon; an empty input
+  /// yields the empty polygon.
+  static ConvexPolygon ConvexHull(std::vector<Point2> points);
+
+  const LinearSystem& system() const { return system_; }
+
+  bool Contains(const Point2& p) const;
+  bool IsEmpty() const;
+
+  /// Whether the region is bounded (the recession cone is trivial).
+  bool IsBounded() const;
+
+  /// Intersection of two convex regions.
+  ConvexPolygon IntersectWith(const ConvexPolygon& other) const;
+
+  /// The vertices of a nonempty *bounded* region in counter-clockwise
+  /// order starting from the lexicographically smallest. Vertices are the
+  /// feasible intersection points of constraint boundary lines.
+  /// InvalidArgument on empty or unbounded regions.
+  Result<std::vector<Point2>> Vertices() const;
+
+ private:
+  explicit ConvexPolygon(LinearSystem system) : system_(std::move(system)) {}
+
+  LinearSystem system_;
+};
+
+/// The closed Voronoi cell of `site` among `sites`: every point at least as
+/// close (in Euclidean distance) to `site` as to each other site. Squared
+/// distances cancel the quadratic terms, so each bisector is a half-plane
+/// and the cell an intersection of linear constraints — the paper's second
+/// named example (after convex hull) of geometry needing FO+ rather than
+/// dense order.
+ConvexPolygon VoronoiCell(const Point2& site,
+                          const std::vector<Point2>& sites);
+
+}  // namespace spatial
+}  // namespace dodb
+
+#endif  // DODB_SPATIAL_POLYGON_H_

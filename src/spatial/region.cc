@@ -1,0 +1,85 @@
+#include "spatial/region.h"
+
+#include "algebra/relational_ops.h"
+#include "core/check.h"
+
+namespace dodb {
+namespace spatial {
+
+GeneralizedTuple RectTuple(const Rect& rect) {
+  DODB_CHECK_MSG(rect.x_lo <= rect.x_hi && rect.y_lo <= rect.y_hi,
+                 "degenerate rectangle bounds");
+  RelOp lower = rect.closed ? RelOp::kGe : RelOp::kGt;
+  RelOp upper = rect.closed ? RelOp::kLe : RelOp::kLt;
+  GeneralizedTuple tuple(2);
+  tuple.AddAtom(DenseAtom(Term::Var(0), lower, Term::Const(rect.x_lo)));
+  tuple.AddAtom(DenseAtom(Term::Var(0), upper, Term::Const(rect.x_hi)));
+  tuple.AddAtom(DenseAtom(Term::Var(1), lower, Term::Const(rect.y_lo)));
+  tuple.AddAtom(DenseAtom(Term::Var(1), upper, Term::Const(rect.y_hi)));
+  return tuple;
+}
+
+GeneralizedRelation RectUnion(const std::vector<Rect>& rects) {
+  GeneralizedRelation out(2);
+  for (const Rect& rect : rects) out.AddTuple(RectTuple(rect));
+  return out;
+}
+
+GeneralizedRelation CornerStaircase(int steps, const Rational& origin) {
+  DODB_CHECK(steps >= 1);
+  std::vector<Rect> rects;
+  rects.reserve(steps);
+  for (int i = 0; i < steps; ++i) {
+    Rational lo = origin + Rational(i);
+    Rational hi = origin + Rational(i + 1);
+    rects.push_back(Rect{lo, hi, lo, hi, /*closed=*/true});
+  }
+  return RectUnion(rects);
+}
+
+GeneralizedRelation BrokenStaircase(int steps, const Rational& origin) {
+  DODB_CHECK(steps >= 1);
+  // Cut the shared corner point (origin+i, origin+i) for every even i >= 2:
+  // the point must vanish from the *union*, so both adjacent steps exclude
+  // it. Each step borders at most one cut corner: step i's lower corner is
+  // cut when i is even (>= 2), its upper corner when i is odd.
+  GeneralizedRelation out(2);
+  for (int i = 0; i < steps; ++i) {
+    Rational lo = origin + Rational(i);
+    Rational hi = origin + Rational(i + 1);
+    GeneralizedTuple tuple =
+        RectTuple(Rect{lo, hi, lo, hi, /*closed=*/true});
+    bool lower_cut = i >= 2 && i % 2 == 0;
+    bool upper_cut = i % 2 == 1 && i + 1 >= 2;
+    if (!lower_cut && !upper_cut) {
+      out.AddTuple(tuple);
+      continue;
+    }
+    // rect minus {(a,a)} == (rect and x != a) or (rect and y != a).
+    const Rational& a = lower_cut ? lo : hi;
+    GeneralizedTuple left = tuple;
+    left.AddAtom(DenseAtom(Term::Var(0), RelOp::kNeq, Term::Const(a)));
+    GeneralizedTuple bottom = tuple;
+    bottom.AddAtom(DenseAtom(Term::Var(1), RelOp::kNeq, Term::Const(a)));
+    out.AddTuple(std::move(left));
+    out.AddTuple(std::move(bottom));
+  }
+  return out;
+}
+
+GeneralizedRelation Triangle(const Rational& lo, const Rational& hi) {
+  GeneralizedTuple tuple(2);
+  tuple.AddAtom(DenseAtom(Term::Var(0), RelOp::kLe, Term::Var(1)));
+  tuple.AddAtom(DenseAtom(Term::Var(0), RelOp::kGe, Term::Const(lo)));
+  tuple.AddAtom(DenseAtom(Term::Var(1), RelOp::kLe, Term::Const(hi)));
+  GeneralizedRelation out(2);
+  out.AddTuple(tuple);
+  return out;
+}
+
+bool Intersects(const GeneralizedRelation& a, const GeneralizedRelation& b) {
+  return !algebra::Intersect(a, b).IsEmpty();
+}
+
+}  // namespace spatial
+}  // namespace dodb

@@ -1,0 +1,51 @@
+#ifndef DODB_SPATIAL_REGION_H_
+#define DODB_SPATIAL_REGION_H_
+
+#include <vector>
+
+#include "constraints/generalized_relation.h"
+#include "core/rational.h"
+
+namespace dodb {
+
+/// The paper's §2 spatial vocabulary (Figure 1): 2-D regions finitely
+/// represented by dense-order constraints. Rectangles and the axis-monotone
+/// shapes of Figure 1 need only "four constants along with a flag
+/// indicating the shape (and boundary conditions)".
+namespace spatial {
+
+/// An axis-aligned rectangle [x_lo, x_hi] x [y_lo, y_hi]; `closed` selects
+/// the boundary condition (closed or fully open).
+struct Rect {
+  Rational x_lo, x_hi, y_lo, y_hi;
+  bool closed = true;
+};
+
+/// The binary generalized tuple of a rectangle (column 0 = x, column 1 = y).
+GeneralizedTuple RectTuple(const Rect& rect);
+
+/// A region as the union of rectangles.
+GeneralizedRelation RectUnion(const std::vector<Rect>& rects);
+
+/// The Figure-1 style staircase with `steps` unit steps starting at
+/// (origin, origin): the union of steps [origin+i, origin+i+1] x
+/// [origin+i, origin+i+1]; consecutive steps share exactly one corner
+/// point, so the staircase is connected but thin at the corners.
+GeneralizedRelation CornerStaircase(int steps, const Rational& origin);
+
+/// Same staircase but with every second shared corner point removed,
+/// splitting the region into ceil(steps/2) connected components (pairs of
+/// steps). With CornerStaircase this forms the connected/disconnected
+/// region family of the Theorem 4.3 experiment.
+GeneralizedRelation BrokenStaircase(int steps, const Rational& origin);
+
+/// The paper's triangle example: x <= y and x >= lo and y <= hi.
+GeneralizedRelation Triangle(const Rational& lo, const Rational& hi);
+
+/// Whether two constraint regions of equal arity intersect.
+bool Intersects(const GeneralizedRelation& a, const GeneralizedRelation& b);
+
+}  // namespace spatial
+}  // namespace dodb
+
+#endif  // DODB_SPATIAL_REGION_H_

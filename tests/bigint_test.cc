@@ -1,0 +1,186 @@
+#include "core/bigint.h"
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dodb {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.ToString(), "0");
+}
+
+TEST(BigIntTest, Int64Construction) {
+  EXPECT_EQ(BigInt(0).ToString(), "0");
+  EXPECT_EQ(BigInt(42).ToString(), "42");
+  EXPECT_EQ(BigInt(-42).ToString(), "-42");
+  EXPECT_EQ(BigInt(INT64_MAX).ToString(), "9223372036854775807");
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  const char* cases[] = {"0",
+                         "1",
+                         "-1",
+                         "123456789",
+                         "-987654321",
+                         "340282366920938463463374607431768211456",
+                         "-340282366920938463463374607431768211455"};
+  for (const char* text : cases) {
+    Result<BigInt> parsed = BigInt::FromString(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.value().ToString(), text);
+  }
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12a").ok());
+  EXPECT_FALSE(BigInt::FromString("1.5").ok());
+  EXPECT_FALSE(BigInt::FromString("- 3").ok());
+}
+
+TEST(BigIntTest, FromStringAcceptsWhitespaceAndPlus) {
+  EXPECT_EQ(BigInt::FromString("  17 ").value(), BigInt(17));
+  EXPECT_EQ(BigInt::FromString("+17").value(), BigInt(17));
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::FromString("4294967295").value();  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).ToString(), "4294967296");
+  BigInt b = BigInt::FromString("18446744073709551615").value();  // 2^64 - 1
+  EXPECT_EQ((b + BigInt(1)).ToString(), "18446744073709551616");
+}
+
+TEST(BigIntTest, SubtractionSignHandling) {
+  EXPECT_EQ((BigInt(5) - BigInt(7)).ToString(), "-2");
+  EXPECT_EQ((BigInt(-5) - BigInt(-7)).ToString(), "2");
+  EXPECT_EQ((BigInt(5) - BigInt(5)).ToString(), "0");
+  EXPECT_TRUE((BigInt(5) - BigInt(5)).is_zero());
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  BigInt a = BigInt::FromString("123456789012345678901234567890").value();
+  BigInt b = BigInt::FromString("987654321098765432109876543210").value();
+  EXPECT_EQ((a * b).ToString(),
+            "121932631137021795226185032733622923332237463801111263526900");
+  EXPECT_EQ((a * BigInt(0)).ToString(), "0");
+  EXPECT_EQ(((-a) * b).ToString(),
+            "-121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).ToString(), "3");
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).ToString(), "-3");
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).ToString(), "-3");
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).ToString(), "3");
+  EXPECT_EQ((BigInt(7) % BigInt(2)).ToString(), "1");
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).ToString(), "-1");
+}
+
+TEST(BigIntTest, DivisionLargeOperands) {
+  BigInt a = BigInt::FromString("340282366920938463463374607431768211456")
+                 .value();  // 2^128
+  BigInt b = BigInt::FromString("18446744073709551616").value();  // 2^64
+  EXPECT_EQ((a / b).ToString(), "18446744073709551616");
+  EXPECT_EQ((a % b).ToString(), "0");
+  EXPECT_EQ(((a + BigInt(5)) % b).ToString(), "5");
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  EXPECT_LT(BigInt(-10), BigInt(-9));
+  EXPECT_LT(BigInt(-1), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(1));
+  EXPECT_LT(BigInt(1), BigInt::FromString("4294967296").value());
+  EXPECT_GT(BigInt::FromString("-1").value(),
+            BigInt::FromString("-4294967296").value());
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)), BigInt(0));
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)), BigInt(1));
+}
+
+TEST(BigIntTest, ToInt64Boundaries) {
+  EXPECT_EQ(BigInt(INT64_MAX).ToInt64().value(), INT64_MAX);
+  EXPECT_EQ(BigInt(INT64_MIN).ToInt64().value(), INT64_MIN);
+  BigInt beyond = BigInt(INT64_MAX) + BigInt(1);
+  EXPECT_FALSE(beyond.ToInt64().ok());
+  BigInt below = BigInt(INT64_MIN) - BigInt(1);
+  EXPECT_FALSE(below.ToInt64().ok());
+  EXPECT_TRUE((-beyond).ToInt64().ok());  // exactly INT64_MIN
+  EXPECT_EQ((-beyond).ToInt64().value(), INT64_MIN);
+}
+
+TEST(BigIntTest, HashConsistentWithEquality) {
+  BigInt a = BigInt::FromString("123456789123456789123456789").value();
+  BigInt b = BigInt::FromString("123456789123456789123456789").value();
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+// Property sweep: random arithmetic cross-checked against int64 (inputs kept
+// small enough that no intermediate overflows int64).
+class BigIntRandomArithmetic : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntRandomArithmetic, MatchesInt64Semantics) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> dist(-1000000000, 1000000000);
+  for (int i = 0; i < 200; ++i) {
+    int64_t x = dist(rng);
+    int64_t y = dist(rng);
+    EXPECT_EQ((BigInt(x) + BigInt(y)).ToInt64().value(), x + y);
+    EXPECT_EQ((BigInt(x) - BigInt(y)).ToInt64().value(), x - y);
+    EXPECT_EQ((BigInt(x) * BigInt(y)).ToInt64().value(), x * y);
+    if (y != 0) {
+      EXPECT_EQ((BigInt(x) / BigInt(y)).ToInt64().value(), x / y);
+      EXPECT_EQ((BigInt(x) % BigInt(y)).ToInt64().value(), x % y);
+    }
+    EXPECT_EQ(BigInt(x).Compare(BigInt(y)), x < y ? -1 : (x == y ? 0 : 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntRandomArithmetic,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// Property: (a / b) * b + a % b == a for random multi-limb operands.
+class BigIntDivModProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntDivModProperty, DivModIdentity) {
+  std::mt19937_64 rng(GetParam() * 7919);
+  auto random_big = [&rng](int limbs) {
+    BigInt out;
+    for (int i = 0; i < limbs; ++i) {
+      out = out * BigInt(int64_t{1} << 32) +
+            BigInt(static_cast<int64_t>(rng() & 0xffffffffu));
+    }
+    if (rng() & 1) out = -out;
+    return out;
+  };
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = random_big(1 + static_cast<int>(rng() % 6));
+    BigInt b = random_big(1 + static_cast<int>(rng() % 3));
+    if (b.is_zero()) continue;
+    BigInt q = a / b;
+    BigInt r = a % b;
+    EXPECT_EQ(q * b + r, a) << "a=" << a << " b=" << b;
+    EXPECT_LT(r.Abs(), b.Abs());
+    // Remainder has the sign of the dividend (or is zero).
+    if (!r.is_zero()) EXPECT_EQ(r.sign(), a.sign());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntDivModProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace dodb

@@ -1,0 +1,208 @@
+#include "cells/cell_decomposition.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraints/dense_qe.h"
+
+namespace dodb {
+namespace {
+
+Term V(int i) { return Term::Var(i); }
+Term C(int64_t n) { return Term::Const(Rational(n)); }
+DenseAtom A(Term l, RelOp op, Term r) { return DenseAtom(l, op, r); }
+
+GeneralizedRelation IntervalRel(int64_t lo, int64_t hi) {
+  GeneralizedRelation rel(1);
+  GeneralizedTuple t(1);
+  t.AddAtom(A(V(0), RelOp::kGe, C(lo)));
+  t.AddAtom(A(V(0), RelOp::kLe, C(hi)));
+  rel.AddTuple(t);
+  return rel;
+}
+
+TEST(CellDecompositionTest, CellsOfInterval) {
+  GeneralizedRelation rel = IntervalRel(0, 10);
+  CellDecomposition decomp = CellDecomposition::ForRelation(rel);
+  ASSERT_EQ(decomp.scale().size(), 2u);
+  Result<std::vector<Cell>> cells = decomp.CellsOf(rel);
+  ASSERT_TRUE(cells.ok());
+  // [0,10] over scale {0,10}: cells "=0", "(0,10)", "=10": 3 of 5.
+  EXPECT_EQ(cells.value().size(), 3u);
+}
+
+TEST(CellDecompositionTest, FromCellsRoundTrip) {
+  GeneralizedRelation rel = IntervalRel(0, 10);
+  CellDecomposition decomp = CellDecomposition::ForRelation(rel);
+  GeneralizedRelation rebuilt =
+      decomp.FromCells(decomp.CellsOf(rel).value());
+  Result<bool> equal = CellDecomposition::SemanticallyEqual(rel, rebuilt);
+  ASSERT_TRUE(equal.ok());
+  EXPECT_TRUE(equal.value());
+}
+
+TEST(CellDecompositionTest, SemanticEqualityDetectsSyntacticVariants) {
+  // x >= 0 and x <= 10   vs   (x >= 0 and x < 5) or (x >= 5 and x <= 10).
+  GeneralizedRelation whole = IntervalRel(0, 10);
+  GeneralizedRelation split(1);
+  GeneralizedTuple lo(1);
+  lo.AddAtom(A(V(0), RelOp::kGe, C(0)));
+  lo.AddAtom(A(V(0), RelOp::kLt, C(5)));
+  split.AddTuple(lo);
+  GeneralizedTuple hi(1);
+  hi.AddAtom(A(V(0), RelOp::kGe, C(5)));
+  hi.AddAtom(A(V(0), RelOp::kLe, C(10)));
+  split.AddTuple(hi);
+  EXPECT_TRUE(CellDecomposition::SemanticallyEqual(whole, split).value());
+}
+
+TEST(CellDecompositionTest, SemanticEqualityDetectsDifference) {
+  // [0,10] vs [0,10] minus the single point 5.
+  GeneralizedRelation whole = IntervalRel(0, 10);
+  GeneralizedRelation punctured(1);
+  GeneralizedTuple t(1);
+  t.AddAtom(A(V(0), RelOp::kGe, C(0)));
+  t.AddAtom(A(V(0), RelOp::kLe, C(10)));
+  t.AddAtom(A(V(0), RelOp::kNeq, C(5)));
+  punctured.AddTuple(t);
+  EXPECT_FALSE(CellDecomposition::SemanticallyEqual(whole, punctured).value());
+  EXPECT_TRUE(
+      CellDecomposition::SemanticallyContains(whole, punctured).value());
+  EXPECT_FALSE(
+      CellDecomposition::SemanticallyContains(punctured, whole).value());
+}
+
+TEST(CellDecompositionTest, ComplementOfInterval) {
+  GeneralizedRelation rel = IntervalRel(0, 10);
+  GeneralizedRelation complement =
+      CellDecomposition::Complement(rel).value();
+  EXPECT_TRUE(complement.Contains({Rational(-1)}));
+  EXPECT_TRUE(complement.Contains({Rational(11)}));
+  EXPECT_FALSE(complement.Contains({Rational(0)}));
+  EXPECT_FALSE(complement.Contains({Rational(5)}));
+  EXPECT_FALSE(complement.Contains({Rational(10)}));
+  // Complement of the complement is the original.
+  GeneralizedRelation back =
+      CellDecomposition::Complement(complement).value();
+  EXPECT_TRUE(CellDecomposition::SemanticallyEqual(rel, back).value());
+}
+
+TEST(CellDecompositionTest, ComplementOfEmptyAndFull) {
+  GeneralizedRelation empty(2);
+  GeneralizedRelation full = CellDecomposition::Complement(empty).value();
+  EXPECT_TRUE(full.Contains({Rational(3), Rational(-8)}));
+  GeneralizedRelation empty_again =
+      CellDecomposition::Complement(full).value();
+  EXPECT_TRUE(empty_again.IsEmpty());
+}
+
+TEST(CellDecompositionTest, LimitTriggersResourceExhausted) {
+  GeneralizedRelation rel = IntervalRel(0, 10);
+  CellDecomposition decomp = CellDecomposition::ForRelation(rel);
+  Result<std::vector<Cell>> cells = decomp.CellsOf(rel, /*limit=*/2);
+  EXPECT_FALSE(cells.ok());
+  EXPECT_EQ(cells.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CellDecompositionTest, BinaryRelationCells) {
+  // The paper's triangle: x <= y, x >= 0, y <= 10.
+  GeneralizedRelation rel(2);
+  GeneralizedTuple t(2);
+  t.AddAtom(A(V(0), RelOp::kLe, V(1)));
+  t.AddAtom(A(V(0), RelOp::kGe, C(0)));
+  t.AddAtom(A(V(1), RelOp::kLe, C(10)));
+  rel.AddTuple(t);
+  CellDecomposition decomp = CellDecomposition::ForRelation(rel);
+  Result<std::vector<Cell>> cells = decomp.CellsOf(rel);
+  ASSERT_TRUE(cells.ok());
+  GeneralizedRelation rebuilt = decomp.FromCells(cells.value());
+  EXPECT_TRUE(CellDecomposition::SemanticallyEqual(rel, rebuilt).value());
+  // Spot checks through the rebuilt form.
+  EXPECT_TRUE(rebuilt.Contains({Rational(1), Rational(2)}));
+  EXPECT_FALSE(rebuilt.Contains({Rational(2), Rational(1)}));
+}
+
+// Property: complement computed via cells agrees pointwise with negation of
+// membership for random relations; also checks A ∪ complement(A) = Q^k.
+class CellComplementProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CellComplementProperty, ComplementIsPointwiseNegation) {
+  std::mt19937_64 rng(GetParam() * 2147483647ull);
+  const RelOp kOps[] = {RelOp::kLt, RelOp::kLe, RelOp::kEq,
+                        RelOp::kNeq, RelOp::kGe, RelOp::kGt};
+  for (int trial = 0; trial < 30; ++trial) {
+    GeneralizedRelation rel(2);
+    int tuples = 1 + static_cast<int>(rng() % 3);
+    for (int t = 0; t < tuples; ++t) {
+      GeneralizedTuple tuple(2);
+      int atoms = 1 + static_cast<int>(rng() % 3);
+      for (int a = 0; a < atoms; ++a) {
+        Term lhs = Term::Var(static_cast<int>(rng() % 2));
+        Term rhs = (rng() % 2 == 0)
+                       ? Term::Const(Rational(
+                             static_cast<int64_t>(rng() % 5) * 2 - 4))
+                       : Term::Var(static_cast<int>(rng() % 2));
+        tuple.AddAtom(A(lhs, kOps[rng() % 6], rhs));
+      }
+      rel.AddTuple(tuple);
+    }
+    Result<GeneralizedRelation> complement =
+        CellDecomposition::Complement(rel);
+    ASSERT_TRUE(complement.ok());
+    for (int probe = 0; probe < 60; ++probe) {
+      std::vector<Rational> point = {
+          Rational(-12 + static_cast<int64_t>(rng() % 25), 2),
+          Rational(-12 + static_cast<int64_t>(rng() % 25), 2)};
+      EXPECT_NE(rel.Contains(point), complement.value().Contains(point))
+          << rel.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CellComplementProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+// Property: cells commute with projection — cells of the projection equal
+// the projection of cells (exactness cross-check between QE and cells).
+class CellProjectionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CellProjectionProperty, QeAgreesWithCellProjection) {
+  std::mt19937_64 rng(GetParam() * 999983);
+  const RelOp kOps[] = {RelOp::kLt, RelOp::kLe, RelOp::kEq,
+                        RelOp::kNeq, RelOp::kGe, RelOp::kGt};
+  for (int trial = 0; trial < 25; ++trial) {
+    GeneralizedRelation rel(2);
+    GeneralizedTuple tuple(2);
+    int atoms = 1 + static_cast<int>(rng() % 4);
+    for (int a = 0; a < atoms; ++a) {
+      Term lhs = Term::Var(static_cast<int>(rng() % 2));
+      Term rhs =
+          (rng() % 2 == 0)
+              ? Term::Const(Rational(static_cast<int64_t>(rng() % 5) - 2))
+              : Term::Var(static_cast<int>(rng() % 2));
+      tuple.AddAtom(A(lhs, kOps[rng() % 6], rhs));
+    }
+    rel.AddTuple(tuple);
+    // Project out column 1 via QE.
+    GeneralizedRelation projected = ProjectColumns(rel, {0});
+    // Reference: a point x belongs to the projection iff the line {x} x Q
+    // meets the relation; test on a fine grid.
+    for (int num = -9; num <= 9; ++num) {
+      Rational x(num, 2);
+      bool in_projection = projected.Contains({x});
+      bool expected = false;
+      for (int vnum = -24; vnum <= 24 && !expected; ++vnum) {
+        expected = rel.Contains({x, Rational(vnum, 4)});
+      }
+      EXPECT_EQ(in_projection, expected)
+          << rel.ToString() << " at x=" << x.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CellProjectionProperty,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace dodb

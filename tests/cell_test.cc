@@ -1,0 +1,204 @@
+#include "cells/cell.h"
+
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dodb {
+namespace {
+
+TEST(CellTest, ValidityChecks) {
+  // Two vars, scale of one constant: slots 0..2.
+  EXPECT_TRUE(Cell({1, 1}, {0, 0}).IsValid(1));     // both equal c0
+  EXPECT_TRUE(Cell({0, 0}, {0, 1}).IsValid(1));     // both below, ordered
+  EXPECT_TRUE(Cell({0, 0}, {0, 0}).IsValid(1));     // both below, equal
+  EXPECT_TRUE(Cell({0, 2}, {0, 0}).IsValid(1));     // one below, one above
+  EXPECT_FALSE(Cell({3, 0}, {0, 0}).IsValid(1));    // slot out of range
+  EXPECT_FALSE(Cell({1, 1}, {1, 0}).IsValid(1));    // rank on constant slot
+  EXPECT_FALSE(Cell({0, 0}, {1, 1}).IsValid(1));    // ranks not from 0
+  EXPECT_FALSE(Cell({0, 0}, {0, 2}).IsValid(1));    // rank gap
+}
+
+TEST(CellTest, WitnessPointMatchesSlots) {
+  std::vector<Rational> scale = {Rational(0), Rational(10)};
+  // x0 = c0, x1 in (c0, c1), x2 above c1.
+  Cell cell({1, 2, 4}, {0, 0, 0});
+  std::vector<Rational> w = cell.WitnessPoint(scale);
+  EXPECT_EQ(w[0], Rational(0));
+  EXPECT_GT(w[1], Rational(0));
+  EXPECT_LT(w[1], Rational(10));
+  EXPECT_GT(w[2], Rational(10));
+}
+
+TEST(CellTest, WitnessRespectsRanks) {
+  std::vector<Rational> scale = {Rational(0), Rational(1)};
+  // Three variables in the open interval (0,1): ranks 1, 0, 1.
+  Cell cell({2, 2, 2}, {1, 0, 1});
+  std::vector<Rational> w = cell.WitnessPoint(scale);
+  EXPECT_LT(w[1], w[0]);
+  EXPECT_EQ(w[0], w[2]);
+  for (const Rational& v : w) {
+    EXPECT_GT(v, Rational(0));
+    EXPECT_LT(v, Rational(1));
+  }
+}
+
+TEST(CellTest, WitnessOnEmptyScale) {
+  Cell cell({0, 0}, {1, 0});
+  std::vector<Rational> w = cell.WitnessPoint({});
+  EXPECT_GT(w[0], w[1]);
+}
+
+TEST(CellTest, ToTupleContainsExactlyTheCell) {
+  std::vector<Rational> scale = {Rational(0), Rational(10)};
+  Cell cell({2, 2}, {0, 1});  // both in (0,10), x0 < x1
+  GeneralizedTuple tuple = cell.ToTuple(scale);
+  EXPECT_TRUE(tuple.Contains({Rational(1), Rational(2)}));
+  EXPECT_FALSE(tuple.Contains({Rational(2), Rational(1)}));
+  EXPECT_FALSE(tuple.Contains({Rational(1), Rational(1)}));
+  EXPECT_FALSE(tuple.Contains({Rational(0), Rational(2)}));   // boundary
+  EXPECT_FALSE(tuple.Contains({Rational(1), Rational(11)}));  // outside
+}
+
+TEST(CellTest, LocateRoundTripsWitness) {
+  std::vector<Rational> scale = {Rational(0), Rational(2), Rational(4)};
+  int checked = 0;
+  Cell::EnumerateCells(2, 3, [&](const Cell& cell) {
+    std::vector<Rational> w = cell.WitnessPoint(scale);
+    Cell located = Cell::Locate(w, scale);
+    EXPECT_EQ(located, cell) << cell.ToKey() << " vs " << located.ToKey();
+    ++checked;
+    return true;
+  });
+  EXPECT_GT(checked, 0);
+}
+
+TEST(CellTest, LocateSpecificPoints) {
+  std::vector<Rational> scale = {Rational(0), Rational(10)};
+  Cell at_const = Cell::Locate({Rational(0)}, scale);
+  EXPECT_EQ(at_const.slots()[0], 1);
+  Cell below = Cell::Locate({Rational(-5)}, scale);
+  EXPECT_EQ(below.slots()[0], 0);
+  Cell between = Cell::Locate({Rational(5)}, scale);
+  EXPECT_EQ(between.slots()[0], 2);
+  Cell above = Cell::Locate({Rational(15)}, scale);
+  EXPECT_EQ(above.slots()[0], 4);
+}
+
+TEST(CellTest, EnumerationProducesValidDistinctCells) {
+  std::set<std::string> keys;
+  int count = 0;
+  Cell::EnumerateCells(2, 2, [&](const Cell& cell) {
+    EXPECT_TRUE(cell.IsValid(2)) << cell.ToKey();
+    EXPECT_TRUE(keys.insert(cell.ToKey()).second) << "duplicate "
+                                                  << cell.ToKey();
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(static_cast<uint64_t>(count), Cell::CountCells(2, 2));
+}
+
+TEST(CellTest, CountCellsKnownValues) {
+  // Arity 1 over m constants: m constant slots + m+1 open intervals.
+  EXPECT_EQ(Cell::CountCells(1, 0), 1u);
+  EXPECT_EQ(Cell::CountCells(1, 1), 3u);
+  EXPECT_EQ(Cell::CountCells(1, 3), 7u);
+  // Arity 2, no constants: weak orders of 2 elements = 3.
+  EXPECT_EQ(Cell::CountCells(2, 0), 3u);
+  // Arity 0: single empty cell.
+  EXPECT_EQ(Cell::CountCells(0, 5), 1u);
+  // Arity 2, one constant: slots {0,1,2} per var. Count by hand:
+  // both on c0: 1; one on c0, other open (2 intervals, 2 ways to pick var):
+  // 2*2=4; both open same interval: 3 weak orders * 2 intervals = 6; both
+  // open different intervals: 2. Total 1+4+6+2 = 13.
+  EXPECT_EQ(Cell::CountCells(2, 1), 13u);
+}
+
+TEST(CellTest, CountMatchesEnumerationSweep) {
+  for (int arity = 0; arity <= 3; ++arity) {
+    for (int m = 0; m <= 3; ++m) {
+      uint64_t enumerated = 0;
+      Cell::EnumerateCells(arity, m, [&](const Cell&) {
+        ++enumerated;
+        return true;
+      });
+      EXPECT_EQ(enumerated, Cell::CountCells(arity, m))
+          << "arity=" << arity << " m=" << m;
+    }
+  }
+}
+
+TEST(CellTest, EnumerationEarlyStop) {
+  int count = 0;
+  bool completed = Cell::EnumerateCells(2, 2, [&](const Cell&) {
+    ++count;
+    return count < 5;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(CellTest, CountCellsGrowsExponentiallyInArity) {
+  // The cell count over a fixed scale grows exponentially with arity — the
+  // source of the C-CALC hierarchy blowup measured in bench_thm53.
+  uint64_t prev = Cell::CountCells(1, 2);
+  for (int arity = 2; arity <= 5; ++arity) {
+    uint64_t cur = Cell::CountCells(arity, 2);
+    EXPECT_GT(cur, prev * 4);
+    prev = cur;
+  }
+}
+
+TEST(CellTest, CountCellsSaturatesInsteadOfOverflowing) {
+  // Arity 16 over 40 constants dwarfs uint64; the count must saturate.
+  EXPECT_EQ(Cell::CountCells(16, 40), UINT64_MAX);
+}
+
+TEST(CellTest, Arity3SemanticsThroughTuples) {
+  std::vector<Rational> scale = {Rational(0)};
+  // Every arity-3 cell's tuple contains its witness and excludes the
+  // witnesses of all other cells (cells partition Q^3).
+  std::vector<Cell> cells;
+  Cell::EnumerateCells(3, 1, [&cells](const Cell& cell) {
+    cells.push_back(cell);
+    return true;
+  });
+  ASSERT_EQ(static_cast<uint64_t>(cells.size()), Cell::CountCells(3, 1));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    GeneralizedTuple tuple = cells[i].ToTuple(scale);
+    for (size_t j = 0; j < cells.size(); ++j) {
+      bool inside = tuple.Contains(cells[j].WitnessPoint(scale));
+      EXPECT_EQ(inside, i == j)
+          << cells[i].ToKey() << " vs " << cells[j].ToKey();
+    }
+  }
+}
+
+// Property: every point of a cell's tuple relocates to the same cell.
+class CellRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CellRandomProperty, TupleAndLocateAgree) {
+  std::mt19937_64 rng(GetParam() * 6700417);
+  std::vector<Rational> scale = {Rational(-3), Rational(0), Rational(5)};
+  for (int trial = 0; trial < 100; ++trial) {
+    // Random point with coordinates in [-6, 8] at half-integer steps.
+    std::vector<Rational> point;
+    for (int i = 0; i < 3; ++i) {
+      point.push_back(Rational(-12 + static_cast<int64_t>(rng() % 29), 2));
+    }
+    Cell cell = Cell::Locate(point, scale);
+    EXPECT_TRUE(cell.IsValid(3));
+    GeneralizedTuple tuple = cell.ToTuple(scale);
+    EXPECT_TRUE(tuple.Contains(point))
+        << cell.ToKey() << " tuple " << tuple.ToString();
+    // The cell's own witness must land in the same cell.
+    EXPECT_EQ(Cell::Locate(cell.WitnessPoint(scale), scale), cell);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CellRandomProperty,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace dodb

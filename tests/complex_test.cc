@@ -1,0 +1,493 @@
+#include <gtest/gtest.h>
+
+#include "complex/ccalc_evaluator.h"
+#include "complex/ccalc_parser.h"
+#include "complex/cobject.h"
+#include "complex/ctype.h"
+#include "complex/range_restriction.h"
+#include "core/str_util.h"
+
+namespace dodb {
+namespace {
+
+Term V(int i) { return Term::Var(i); }
+Term C(int64_t n) { return Term::Const(Rational(n)); }
+
+TEST(CTypeTest, ParseAndToString) {
+  EXPECT_EQ(CType::Parse("q").value().ToString(), "q");
+  EXPECT_EQ(CType::Parse("[q, q]").value().ToString(), "[q, q]");
+  EXPECT_EQ(CType::Parse("{[q, q]}").value().ToString(), "{[q, q]}");
+  EXPECT_EQ(CType::Parse("{{q}}").value().ToString(), "{{q}}");
+  EXPECT_EQ(CType::Parse(" [ q , { q } ] ").value().ToString(), "[q, {q}]");
+  EXPECT_FALSE(CType::Parse("").ok());
+  EXPECT_FALSE(CType::Parse("[]").ok());
+  EXPECT_FALSE(CType::Parse("{q").ok());
+  EXPECT_FALSE(CType::Parse("qq").ok());
+}
+
+TEST(CTypeTest, SetHeight) {
+  EXPECT_EQ(CType::Parse("q").value().SetHeight(), 0);
+  EXPECT_EQ(CType::Parse("[q, q]").value().SetHeight(), 0);
+  EXPECT_EQ(CType::Parse("{q}").value().SetHeight(), 1);
+  EXPECT_EQ(CType::Parse("{[q, {q}]}").value().SetHeight(), 2);
+  EXPECT_EQ(CType::Parse("{{[q, q]}}").value().SetHeight(), 2);
+  EXPECT_TRUE(CType::Parse("[q, q]").value().IsFlat());
+  EXPECT_FALSE(CType::Parse("{q}").value().IsFlat());
+}
+
+TEST(CTypeTest, PointSetArity) {
+  EXPECT_EQ(CType::Parse("{q}").value().PointSetArity(), 1);
+  EXPECT_EQ(CType::Parse("{[q, q, q]}").value().PointSetArity(), 3);
+  EXPECT_EQ(CType::Parse("{[q, {q}]}").value().PointSetArity(), -1);
+  EXPECT_EQ(CType::Parse("q").value().PointSetArity(), -1);
+  EXPECT_EQ(CType::Parse("{{q}}").value().PointSetArity(), -1);
+}
+
+GeneralizedRelation IntervalRel(int64_t lo, int64_t hi) {
+  GeneralizedRelation rel(1);
+  GeneralizedTuple t(1);
+  t.AddAtom(DenseAtom(V(0), RelOp::kGe, C(lo)));
+  t.AddAtom(DenseAtom(V(0), RelOp::kLe, C(hi)));
+  rel.AddTuple(t);
+  return rel;
+}
+
+TEST(CObjectTest, ConstructionAndTypes) {
+  CObject r = CObject::FromRational(Rational(3, 2));
+  EXPECT_EQ(r.InferType().value(), CType::Q());
+
+  CObject pair = CObject::MakeTuple({r, CObject::FromRational(Rational(1))});
+  EXPECT_EQ(pair.InferType().value().ToString(), "[q, q]");
+
+  CObject pointset = CObject::PointSet(IntervalRel(0, 10));
+  EXPECT_EQ(pointset.InferType().value().ToString(), "{q}");
+  EXPECT_EQ(pointset.SetHeight(), 1);
+
+  // The §5 motivation: a region carrying a property value (rainfall).
+  CObject region_with_rainfall =
+      CObject::MakeTuple({pointset, CObject::FromRational(Rational(42))});
+  EXPECT_EQ(region_with_rainfall.InferType().value().ToString(), "[{q}, q]");
+
+  CObject collection = CObject::ObjectSet({region_with_rainfall});
+  EXPECT_EQ(collection.InferType().value().ToString(), "{[{q}, q]}");
+  EXPECT_EQ(collection.SetHeight(), 2);
+}
+
+TEST(CObjectTest, ObjectSetDeduplicates) {
+  CObject a = CObject::FromRational(Rational(1));
+  CObject b = CObject::FromRational(Rational(2));
+  CObject set = CObject::ObjectSet({b, a, a, b});
+  EXPECT_EQ(set.members().size(), 2u);
+  EXPECT_EQ(set.members()[0], a);  // sorted
+}
+
+TEST(CObjectTest, HeterogeneousSetRejected) {
+  CObject set = CObject::ObjectSet(
+      {CObject::FromRational(Rational(1)),
+       CObject::MakeTuple({CObject::FromRational(Rational(1))})});
+  EXPECT_FALSE(set.InferType().ok());
+  CObject empty = CObject::ObjectSet({});
+  EXPECT_FALSE(empty.InferType().ok());
+}
+
+TEST(CCalcParserTest, SetQuantifierAndMember) {
+  CCalcFormulaPtr f =
+      CCalcParser::ParseFormula(
+          "exists set X : 2 (forall x, y ((x, y) in X -> x < y))")
+          .value();
+  ASSERT_EQ(f->kind, CCalcKind::kSetExists);
+  EXPECT_EQ(f->set_arity, 2);
+  EXPECT_EQ(f->set_height, 1);
+  EXPECT_EQ(f->bound_set, "X");
+}
+
+TEST(CCalcParserTest, SetHeightTwo) {
+  CCalcFormulaPtr f =
+      CCalcParser::ParseFormula("exists set set F : 1 (true)").value();
+  EXPECT_EQ(f->set_height, 2);
+  EXPECT_EQ(f->MaxSetHeight(), 2);
+}
+
+TEST(CCalcParserTest, SingleTermMember) {
+  CCalcFormulaPtr f = CCalcParser::ParseFormula("x in X").value();
+  ASSERT_EQ(f->kind, CCalcKind::kMember);
+  EXPECT_EQ(f->set_name, "X");
+  ASSERT_EQ(f->args.size(), 1u);
+  EXPECT_EQ(f->args[0].VarName(), "x");
+}
+
+TEST(CCalcParserTest, FoPartStillParses) {
+  CCalcQuery q =
+      CCalcParser::ParseQuery("{ (x) | R(x) and exists y (x < y) }").value();
+  EXPECT_EQ(q.head.size(), 1u);
+  EXPECT_EQ(q.body->kind, CCalcKind::kAnd);
+}
+
+TEST(CCalcParserTest, ParseErrors) {
+  EXPECT_FALSE(CCalcParser::ParseFormula("exists set X (true)").ok());
+  EXPECT_FALSE(CCalcParser::ParseFormula("exists set X : 0 (true)").ok());
+  EXPECT_FALSE(CCalcParser::ParseFormula("x in 3").ok());
+}
+
+Database MakeDb() {
+  Database db;
+  // S = [0, 2] ∪ [5, 8]; T = [0, 2].
+  GeneralizedRelation s = IntervalRel(0, 2);
+  GeneralizedRelation upper = IntervalRel(5, 8);
+  for (const GeneralizedTuple& t : upper.tuples()) s.AddTuple(t);
+  db.SetRelation("S", s);
+  db.SetRelation("T", IntervalRel(0, 2));
+  return db;
+}
+
+GeneralizedRelation EvalC(const Database& db, const std::string& text,
+                          CCalcStats* stats = nullptr) {
+  CCalcQuery query = CCalcParser::ParseQuery(text).value();
+  CCalcEvaluator evaluator(&db);
+  Result<GeneralizedRelation> result = evaluator.Evaluate(query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << " for " << text;
+  if (stats != nullptr) *stats = evaluator.stats();
+  return result.ok() ? result.value() : GeneralizedRelation(0);
+}
+
+bool EvalCBool(const Database& db, const std::string& text,
+               CCalcStats* stats = nullptr) {
+  return !EvalC(db, text, stats).IsEmpty();
+}
+
+TEST(CCalcEvaluatorTest, FoFragmentMatchesExpectation) {
+  Database db = MakeDb();
+  GeneralizedRelation out = EvalC(db, "{ (x) | S(x) and x > 1 }");
+  EXPECT_TRUE(out.Contains({Rational(2)}));
+  EXPECT_TRUE(out.Contains({Rational(6)}));
+  EXPECT_FALSE(out.Contains({Rational(1)}));
+  EXPECT_FALSE(out.Contains({Rational(3)}));
+}
+
+TEST(CCalcEvaluatorTest, ExistsSetMatchingRelation) {
+  Database db = MakeDb();
+  // Some candidate set coincides with S (S is a union of cells).
+  EXPECT_TRUE(EvalCBool(
+      db, "exists set X : 1 (forall y (y in X <-> S(y)))"));
+}
+
+TEST(CCalcEvaluatorTest, SetSplitsRelation) {
+  Database db = MakeDb();
+  // S (two components) can be split into two disjoint nonempty closed-open
+  // pieces; a single cell cannot be split into two nonempty cell-unions...
+  // it can (cells are atoms; but T = [0,2] spans 3 cells, so it can too).
+  // Distinguish instead: X strictly between the empty set and S.
+  EXPECT_TRUE(EvalCBool(db,
+      "exists set X : 1 (exists u (u in X) and "
+      "exists v (S(v) and not v in X) and forall w (w in X -> S(w)))"));
+}
+
+TEST(CCalcEvaluatorTest, ForallSetTautology) {
+  Database db = MakeDb();
+  // Every candidate set either contains 1 or does not.
+  EXPECT_TRUE(EvalCBool(
+      db, "forall set X : 1 (1 in X or not 1 in X)"));
+  // Not every candidate set contains 1.
+  EXPECT_FALSE(EvalCBool(db, "forall set X : 1 (1 in X)"));
+}
+
+TEST(CCalcEvaluatorTest, FreePointVarWithSets) {
+  Database db = MakeDb();
+  // Points that belong to every candidate set containing all of T:
+  // exactly the points of T... (the smallest such candidate is T itself).
+  GeneralizedRelation out = EvalC(
+      db,
+      "{ (x) | forall set X : 1 (forall y (T(y) -> y in X) -> x in X) }");
+  EXPECT_TRUE(out.Contains({Rational(1)}));
+  EXPECT_TRUE(out.Contains({Rational(0)}));
+  EXPECT_FALSE(out.Contains({Rational(6)}));
+  EXPECT_FALSE(out.Contains({Rational(-1)}));
+}
+
+TEST(CCalcEvaluatorTest, LevelTwoSets) {
+  Database db;
+  db.SetRelation("P", GeneralizedRelation::FromPoints(1, {{Rational(0)}}));
+  // Scale has one constant -> 3 cells -> 8 level-1 candidates -> 256
+  // families. Some family contains both the empty set and the full space.
+  EXPECT_TRUE(EvalCBool(db,
+      "exists set set F : 1 (exists set X : 1 ("
+      "X in F and forall y (y in X)) and exists set Z : 1 ("
+      "Z in F and not exists w (w in Z)))"));
+}
+
+TEST(CCalcEvaluatorTest, StatsReportCandidateCounts) {
+  Database db = MakeDb();
+  CCalcStats stats;
+  EvalCBool(db, "exists set X : 1 (1 in X)", &stats);
+  // Active scale {0,1,2,5,8} (the query constant 1 joins the database
+  // constants): 11 cells, 2048 candidates; early exit may stop sooner.
+  EXPECT_EQ(stats.max_cell_count, 11u);
+  EXPECT_EQ(stats.max_candidate_count, 2048u);
+  EXPECT_GE(stats.set_assignments, 1u);
+}
+
+TEST(CCalcEvaluatorTest, CandidateCountFormula) {
+  Database db = MakeDb();
+  CCalcEvaluator evaluator(&db);
+  // 4 constants -> 9 cells at arity 1 -> 2^9 candidates.
+  EXPECT_EQ(evaluator.CandidateCount(1), uint64_t{1} << 9);
+}
+
+TEST(CCalcEvaluatorTest, ResourceLimitOnLargeArity) {
+  Database db = MakeDb();
+  CCalcOptions options;
+  options.max_cells = 10;
+  CCalcEvaluator evaluator(&db, options);
+  CCalcQuery query =
+      CCalcParser::ParseQuery("exists set X : 2 ((1, 1) in X)").value();
+  // Arity-2 cells over 4 constants far exceed 10.
+  EXPECT_EQ(evaluator.Evaluate(query).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(CCalcEvaluatorTest, UnboundSetVariableError) {
+  Database db = MakeDb();
+  CCalcQuery query = CCalcParser::ParseQuery("1 in X").value();
+  CCalcEvaluator evaluator(&db);
+  EXPECT_EQ(evaluator.Evaluate(query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CCalcEvaluatorTest, SetHeightThreeUnsupported) {
+  Database db = MakeDb();
+  CCalcQuery query =
+      CCalcParser::ParseQuery("exists set set set G : 1 (true)").value();
+  CCalcEvaluator evaluator(&db);
+  EXPECT_EQ(evaluator.Evaluate(query).status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(CCalcEvaluatorTest, SetTermMembership) {
+  Database db = MakeDb();
+  // 1 in { x | S(x) }  — comprehension membership by substitution.
+  EXPECT_TRUE(EvalCBool(db, "1 in { x | S(x) }"));
+  EXPECT_FALSE(EvalCBool(db, "3 in { x | S(x) }"));
+  // Binary set term.
+  EXPECT_TRUE(EvalCBool(db, "(1, 2) in { (u, v) | S(u) and S(v) and u < v }"));
+  EXPECT_FALSE(EvalCBool(db, "(2, 1) in { (u, v) | S(u) and S(v) and u < v }"));
+}
+
+TEST(CCalcEvaluatorTest, SetTermWithFreePointVariable) {
+  Database db = MakeDb();
+  // { (y) | y in { x | S(x) and x < 3 } } == S ∩ (-inf, 3).
+  GeneralizedRelation out =
+      EvalC(db, "{ (y) | y in { x | S(x) and x < 3 } }");
+  EXPECT_TRUE(out.Contains({Rational(1)}));
+  EXPECT_FALSE(out.Contains({Rational(6)}));
+}
+
+TEST(CCalcEvaluatorTest, SetTermReferencingSetVariable) {
+  Database db = MakeDb();
+  // The set term's body may mention enclosing set variables: X such that
+  // 1 is in "X restricted to T" — i.e. 1 in X (1 is in T).
+  EXPECT_TRUE(EvalCBool(
+      db, "exists set X : 1 (1 in { x | x in X and T(x) })"));
+  // But 6 is not in T, so the restriction empties it out for every X.
+  EXPECT_FALSE(EvalCBool(
+      db, "exists set X : 1 (6 in { x | x in X and T(x) })"));
+}
+
+TEST(CCalcEvaluatorTest, SetTermBodyWithStrayFreeVariableRejected) {
+  Database db = MakeDb();
+  CCalcQuery query =
+      CCalcParser::ParseQuery("{ (y) | 1 in { x | x < y } }").value();
+  CCalcEvaluator evaluator(&db);
+  EXPECT_EQ(evaluator.Evaluate(query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CCalcEvaluatorTest, SetEqualityBetweenSetVariables) {
+  Database db = MakeDb();
+  // Some pair of equal candidate sets exists (trivially X = X).
+  EXPECT_TRUE(EvalCBool(
+      db, "exists set X : 1 (exists set Y : 1 (X = Y))"));
+  // Not all candidate pairs are equal.
+  EXPECT_FALSE(EvalCBool(
+      db, "forall set X : 1 (forall set Y : 1 (X = Y))"));
+  // X != Y finds a witness.
+  EXPECT_TRUE(EvalCBool(
+      db, "exists set X : 1 (exists set Y : 1 (X != Y and 1 in X))"));
+}
+
+TEST(CCalcParserTest, SetTermToStringRoundTrip) {
+  CCalcFormulaPtr f =
+      CCalcParser::ParseFormula("(1, 2) in { (u, v) | u < v }").value();
+  ASSERT_EQ(f->kind, CCalcKind::kComprehension);
+  CCalcFormulaPtr again =
+      CCalcParser::ParseFormula(f->ToString()).value();
+  EXPECT_EQ(f->ToString(), again->ToString());
+}
+
+TEST(CCalcParserTest, SetTermHeadArityMismatchRejected) {
+  EXPECT_FALSE(CCalcParser::ParseFormula("(1, 2) in { x | x < 3 }").ok());
+  EXPECT_FALSE(CCalcParser::ParseFormula("1 in { | true }").ok());
+}
+
+TEST(CCalcEvaluatorTest, FixpointTransitiveClosure) {
+  Database db;
+  db.SetRelation("edge", GeneralizedRelation::FromPoints(
+                             2, {{Rational(1), Rational(2)},
+                                 {Rational(2), Rational(3)},
+                                 {Rational(5), Rational(6)}}));
+  // Theorem 5.6's fixpoint construct at set-height 0: transitive closure.
+  const char* fix =
+      "(u, v) in fix P (x, y | edge(x, y) or "
+      "exists z (P(x, z) and edge(z, y)))";
+  auto reachable = [&](int64_t a, int64_t b) {
+    CCalcQuery query = CCalcParser::ParseQuery(
+        StrCat("{ (u, v) | u = ", a, " and v = ", b, " and ", fix, " }"))
+        .value();
+    CCalcEvaluator evaluator(&db);
+    return !evaluator.Evaluate(query).value().IsEmpty();
+  };
+  EXPECT_TRUE(reachable(1, 2));
+  EXPECT_TRUE(reachable(1, 3));
+  EXPECT_TRUE(reachable(5, 6));
+  EXPECT_FALSE(reachable(3, 1));
+  EXPECT_FALSE(reachable(1, 6));
+}
+
+TEST(CCalcEvaluatorTest, FixpointWithFreeMemberVariables) {
+  Database db;
+  db.SetRelation("edge", GeneralizedRelation::FromPoints(
+                             2, {{Rational(1), Rational(2)},
+                                 {Rational(2), Rational(3)}}));
+  // All pairs in the closure, as a relation-valued query.
+  CCalcQuery query = CCalcParser::ParseQuery(
+      "{ (u, v) | (u, v) in fix P (x, y | edge(x, y) or "
+      "exists z (P(x, z) and P(z, y))) }").value();
+  CCalcEvaluator evaluator(&db);
+  GeneralizedRelation out = evaluator.Evaluate(query).value();
+  EXPECT_TRUE(out.Contains({Rational(1), Rational(3)}));
+  EXPECT_FALSE(out.Contains({Rational(3), Rational(1)}));
+}
+
+TEST(CCalcEvaluatorTest, FixpointMatchesDatalogOnIntervals) {
+  // Fixpoint over an *infinite* relation: interval-overlap chaining.
+  Database db;
+  db.SetRelation("iv", GeneralizedRelation::FromPoints(
+                           2, {{Rational(0), Rational(2)},
+                               {Rational(1), Rational(3)},
+                               {Rational(6), Rational(7)}}));
+  CCalcQuery query = CCalcParser::ParseQuery(
+      "{ (a, b, c, d) | (a, b, c, d) in fix L (a1, b1, a2, b2 | "
+      "(iv(a1, b1) and iv(a2, b2) and a2 <= b1 and a1 <= b2) or "
+      "exists m1, m2 (L(a1, b1, m1, m2) and iv(a2, b2) and "
+      "a2 <= m2 and m1 <= b2)) }").value();
+  CCalcEvaluator evaluator(&db);
+  GeneralizedRelation out = evaluator.Evaluate(query).value();
+  EXPECT_TRUE(out.Contains(
+      {Rational(0), Rational(2), Rational(1), Rational(3)}));
+  EXPECT_FALSE(out.Contains(
+      {Rational(0), Rational(2), Rational(6), Rational(7)}));
+}
+
+TEST(CCalcEvaluatorTest, FixpointBodyWithStrayVariableRejected) {
+  Database db;
+  db.SetRelation("edge", GeneralizedRelation::FromPoints(
+                             2, {{Rational(1), Rational(2)}}));
+  CCalcQuery query = CCalcParser::ParseQuery(
+      "{ (u, w) | u in fix P (x | edge(x, w)) }").value();
+  CCalcEvaluator evaluator(&db);
+  EXPECT_EQ(evaluator.Evaluate(query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CCalcParserTest, FixpointToStringRoundTrip) {
+  CCalcFormulaPtr f = CCalcParser::ParseFormula(
+      "(1, 2) in fix P (x, y | edge(x, y))").value();
+  ASSERT_EQ(f->kind, CCalcKind::kFixpointMember);
+  EXPECT_EQ(f->relation, "P");
+  CCalcFormulaPtr again = CCalcParser::ParseFormula(f->ToString()).value();
+  EXPECT_EQ(f->ToString(), again->ToString());
+}
+
+TEST(CCalcEvaluatorTest, FixpointInsideSetQuantifier) {
+  Database db;
+  db.SetRelation("edge", GeneralizedRelation::FromPoints(
+                             2, {{Rational(1), Rational(2)}}));
+  // Some candidate set X equals the fixpoint's reachable set {1, 2}.
+  EXPECT_TRUE(EvalCBool(db,
+      "exists set X : 1 (forall y (y in X <-> "
+      "y in fix P (x | x = 1 or exists u (P(u) and edge(u, x)))))"));
+  // And no candidate equals it while missing 2.
+  EXPECT_FALSE(EvalCBool(db,
+      "exists set X : 1 (not 2 in X and forall y (y in X <-> "
+      "y in fix P (x | x = 1 or exists u (P(u) and edge(u, x)))))"));
+}
+
+TEST(CCalcEvaluatorTest, NestedFixpointsShadowing) {
+  Database db;
+  db.SetRelation("edge", GeneralizedRelation::FromPoints(
+                             2, {{Rational(1), Rational(2)},
+                                 {Rational(2), Rational(3)}}));
+  // An inner fixpoint reusing the same predicate name P must not corrupt
+  // the outer one: outer P computes reach-from-1; inner P (inside the
+  // outer body!) computes reach-from-2 over the same edges.
+  CCalcQuery query = CCalcParser::ParseQuery(
+      "{ (y) | y in fix P (x | x = 1 or exists u (P(u) and edge(u, x) and "
+      "u in fix P (w | w = 1 or w = 2 or exists v (P(v) and edge(v, w))))) }")
+      .value();
+  CCalcEvaluator evaluator(&db);
+  GeneralizedRelation out = evaluator.Evaluate(query).value();
+  EXPECT_TRUE(out.Contains({Rational(1)}));
+  EXPECT_TRUE(out.Contains({Rational(2)}));
+  EXPECT_TRUE(out.Contains({Rational(3)}));
+}
+
+TEST(CCalcParserTest, FixpointArityMismatchRejected) {
+  EXPECT_FALSE(
+      CCalcParser::ParseFormula("1 in fix P (x, y | edge(x, y))").ok());
+}
+
+TEST(RangeRestrictionTest, PositiveAtomRestricts) {
+  CCalcQuery q = CCalcParser::ParseQuery("{ (x) | S(x) }").value();
+  EXPECT_TRUE(IsRangeRestricted(q));
+}
+
+TEST(RangeRestrictionTest, PureComparisonDoesNotRestrict) {
+  CCalcQuery q = CCalcParser::ParseQuery("{ (x) | x < 5 }").value();
+  EXPECT_FALSE(IsRangeRestricted(q));
+}
+
+TEST(RangeRestrictionTest, EqualityToConstantRestricts) {
+  CCalcQuery q = CCalcParser::ParseQuery("{ (x) | x = 5 }").value();
+  EXPECT_TRUE(IsRangeRestricted(q));
+}
+
+TEST(RangeRestrictionTest, EqualityPropagation) {
+  CCalcQuery q =
+      CCalcParser::ParseQuery("{ (x, y) | S(x) and x = y }").value();
+  EXPECT_TRUE(IsRangeRestricted(q));
+}
+
+TEST(RangeRestrictionTest, NegationBlocksRestriction) {
+  CCalcQuery q = CCalcParser::ParseQuery("{ (x) | not S(x) }").value();
+  EXPECT_FALSE(IsRangeRestricted(q));
+}
+
+TEST(RangeRestrictionTest, DisjunctionIntersects) {
+  CCalcQuery both =
+      CCalcParser::ParseQuery("{ (x) | S(x) or T(x) }").value();
+  EXPECT_TRUE(IsRangeRestricted(both));
+  CCalcQuery half =
+      CCalcParser::ParseQuery("{ (x) | S(x) or x < 5 }").value();
+  EXPECT_FALSE(IsRangeRestricted(half));
+}
+
+TEST(RangeRestrictionTest, UnsafeQuantifier) {
+  CCalcQuery q =
+      CCalcParser::ParseQuery("{ (x) | S(x) and exists y (y = y) }").value();
+  EXPECT_FALSE(IsRangeRestricted(q));
+  CCalcQuery safe =
+      CCalcParser::ParseQuery("{ (x) | S(x) and exists y (S(y)) }").value();
+  EXPECT_TRUE(IsRangeRestricted(safe));
+}
+
+}  // namespace
+}  // namespace dodb

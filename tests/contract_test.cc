@@ -1,0 +1,83 @@
+// Contract (death) tests: documented preconditions abort via DODB_CHECK
+// rather than corrupting state. Each case exercises one documented
+// "requires" clause.
+
+#include <gtest/gtest.h>
+
+#include "cells/standard_encoding.h"
+#include "constraints/dense_qe.h"
+#include "constraints/generalized_relation.h"
+#include "core/rational.h"
+
+namespace dodb {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, RationalZeroDenominatorAborts) {
+  EXPECT_DEATH(Rational(1, 0), "zero denominator");
+}
+
+TEST(ContractDeathTest, BigIntDivisionByZeroAborts) {
+  BigInt one(1);
+  BigInt zero;
+  EXPECT_DEATH(one / zero, "division by zero");
+  EXPECT_DEATH(one % zero, "division by zero");
+}
+
+TEST(ContractDeathTest, TermAccessorMismatchAborts) {
+  Term var = Term::Var(0);
+  Term constant = Term::Const(Rational(1));
+  EXPECT_DEATH(var.constant(), "on a variable");
+  EXPECT_DEATH(constant.var(), "on a constant");
+  EXPECT_DEATH(Term::Var(-1), "negative variable index");
+}
+
+TEST(ContractDeathTest, TupleArityViolationsAbort) {
+  GeneralizedTuple tuple(1);
+  EXPECT_DEATH(
+      tuple.AddAtom(DenseAtom(Term::Var(5), RelOp::kEq, Term::Var(0))),
+      "out of tuple arity");
+  GeneralizedRelation rel(2);
+  EXPECT_DEATH(rel.AddTuple(GeneralizedTuple(3)), "arity mismatch");
+}
+
+TEST(ContractDeathTest, CanonicalOnUnsatisfiableAborts) {
+  GeneralizedTuple t(1);
+  t.AddAtom(DenseAtom(Term::Var(0), RelOp::kLt, Term::Const(Rational(0))));
+  t.AddAtom(DenseAtom(Term::Var(0), RelOp::kGt, Term::Const(Rational(0))));
+  EXPECT_DEATH(t.Canonical(), "unsatisfiable");
+  EXPECT_DEATH(t.Minimized(), "unsatisfiable");
+}
+
+TEST(ContractDeathTest, ProjectionColumnChecksAbort) {
+  GeneralizedRelation rel = GeneralizedRelation::True(2);
+  EXPECT_DEATH(ProjectColumns(rel, {0, 0}), "duplicate column");
+  EXPECT_DEATH(ProjectColumns(rel, {7}), "");
+}
+
+TEST(ContractDeathTest, EncodingDecodeOutsideScaleAborts) {
+  GeneralizedRelation rel = GeneralizedRelation::FromPoints(
+      1, {{Rational(1)}, {Rational(2)}});
+  StandardEncoding enc = StandardEncoding::ForDatabase({&rel});
+  EXPECT_DEATH(enc.Encode(Rational(99)), "not on the encoding scale");
+  EXPECT_DEATH(enc.Decode(Rational(1, 2)), "non-integer");
+  EXPECT_DEATH(enc.Decode(Rational(5)), "outside the scale");
+}
+
+TEST(ContractDeathTest, MonotoneMapRequiresIncreasingAnchors) {
+  EXPECT_DEATH(MonotoneMap({{Rational(1), Rational(1)},
+                            {Rational(0), Rational(2)}}),
+               "strictly increasing");
+  EXPECT_DEATH(MonotoneMap({{Rational(0), Rational(2)},
+                            {Rational(1), Rational(1)}}),
+               "strictly increasing");
+}
+
+TEST(ContractDeathTest, MidpointRequiresStrictOrder) {
+  EXPECT_DEATH(Rational::Midpoint(Rational(2), Rational(1)), "requires");
+  EXPECT_DEATH(Rational::Midpoint(Rational(1), Rational(1)), "requires");
+}
+
+}  // namespace
+}  // namespace dodb

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "datalog/datalog_evaluator.h"
+#include "datalog/datalog_parser.h"
+
+namespace dodb {
+namespace {
+
+Term V(int i) { return Term::Var(i); }
+
+Database GraphDb() {
+  Database db;
+  // Path graph 1 -> 2 -> 3 -> 4 plus an isolated edge 10 -> 11.
+  db.SetRelation("e", GeneralizedRelation::FromPoints(
+                          2, {{Rational(1), Rational(2)},
+                              {Rational(2), Rational(3)},
+                              {Rational(3), Rational(4)},
+                              {Rational(10), Rational(11)}}));
+  return db;
+}
+
+Database RunProgram(const std::string& program_text, const Database& edb,
+                    DatalogOptions options = {}) {
+  DatalogProgram program =
+      DatalogParser::ParseProgram(program_text).value();
+  DatalogEvaluator evaluator(program, &edb, options);
+  Result<Database> idb = evaluator.Evaluate();
+  EXPECT_TRUE(idb.ok()) << idb.status().ToString();
+  return idb.ok() ? idb.value() : Database();
+}
+
+TEST(DatalogParserTest, ParsesRulesAndFacts) {
+  DatalogProgram program = DatalogParser::ParseProgram(R"(
+    tc(x, y) :- e(x, y).
+    tc(x, y) :- tc(x, z), e(z, y).
+    start(1).
+  )").value();
+  ASSERT_EQ(program.rules.size(), 3u);
+  EXPECT_EQ(program.rules[0].head, "tc");
+  EXPECT_EQ(program.rules[1].body.size(), 2u);
+  EXPECT_TRUE(program.rules[2].body.empty());
+  EXPECT_EQ(program.rules[2].head_args[0].constant, Rational(1));
+}
+
+TEST(DatalogParserTest, ParsesNegationAndConstraints) {
+  DatalogProgram program = DatalogParser::ParseProgram(
+      "p(x) :- q(x), not r(x), x < 5, x != 2.").value();
+  ASSERT_EQ(program.rules.size(), 1u);
+  const DatalogRule& rule = program.rules[0];
+  ASSERT_EQ(rule.body.size(), 4u);
+  EXPECT_FALSE(rule.body[0].negated);
+  EXPECT_TRUE(rule.body[1].negated);
+  EXPECT_EQ(rule.body[2].kind, DatalogLiteral::Kind::kCompare);
+  EXPECT_EQ(rule.body[2].op, RelOp::kLt);
+  EXPECT_EQ(rule.body[3].op, RelOp::kNeq);
+}
+
+TEST(DatalogParserTest, NegativeConstants) {
+  DatalogProgram program =
+      DatalogParser::ParseProgram("p(-3) :- q(-1/2).").value();
+  EXPECT_EQ(program.rules[0].head_args[0].constant, Rational(-3));
+  EXPECT_EQ(program.rules[0].body[0].args[0].constant, Rational(-1, 2));
+}
+
+TEST(DatalogParserTest, ParseErrors) {
+  EXPECT_FALSE(DatalogParser::ParseProgram("p(x)").ok());      // missing dot
+  EXPECT_FALSE(DatalogParser::ParseProgram("p(x) :- .").ok()); // empty body
+  EXPECT_FALSE(DatalogParser::ParseProgram("p :- q(x).").ok());
+}
+
+TEST(DatalogEvaluatorTest, TransitiveClosure) {
+  Database idb = RunProgram(R"(
+    tc(x, y) :- e(x, y).
+    tc(x, y) :- tc(x, z), e(z, y).
+  )", GraphDb());
+  const GeneralizedRelation* tc = idb.FindRelation("tc");
+  ASSERT_NE(tc, nullptr);
+  EXPECT_TRUE(tc->Contains({Rational(1), Rational(4)}));
+  EXPECT_TRUE(tc->Contains({Rational(2), Rational(4)}));
+  EXPECT_TRUE(tc->Contains({Rational(10), Rational(11)}));
+  EXPECT_FALSE(tc->Contains({Rational(4), Rational(1)}));
+  EXPECT_FALSE(tc->Contains({Rational(1), Rational(11)}));
+}
+
+TEST(DatalogEvaluatorTest, FactsAndConstants) {
+  Database idb = RunProgram(R"(
+    start(1).
+    reach(x) :- start(x).
+    reach(y) :- reach(x), e(x, y).
+  )", GraphDb());
+  const GeneralizedRelation* reach = idb.FindRelation("reach");
+  ASSERT_NE(reach, nullptr);
+  EXPECT_TRUE(reach->Contains({Rational(1)}));
+  EXPECT_TRUE(reach->Contains({Rational(4)}));
+  EXPECT_FALSE(reach->Contains({Rational(10)}));
+}
+
+TEST(DatalogEvaluatorTest, ConstraintBodyOverInfiniteRelation) {
+  Database db;
+  GeneralizedRelation interval(1);
+  GeneralizedTuple t(1);
+  t.AddAtom(DenseAtom(V(0), RelOp::kGe, Term::Const(Rational(0))));
+  t.AddAtom(DenseAtom(V(0), RelOp::kLe, Term::Const(Rational(10))));
+  interval.AddTuple(t);
+  db.SetRelation("s", interval);
+
+  Database idb = RunProgram("p(x) :- s(x), x < 5.", db);
+  const GeneralizedRelation* p = idb.FindRelation("p");
+  EXPECT_TRUE(p->Contains({Rational(3)}));
+  EXPECT_TRUE(p->Contains({Rational(9, 2)}));
+  EXPECT_FALSE(p->Contains({Rational(5)}));
+  EXPECT_FALSE(p->Contains({Rational(-1)}));
+}
+
+TEST(DatalogEvaluatorTest, InflationaryNegationSnapshot) {
+  // The classic inflationary example: q fires against the *initial empty* p
+  // in round one, and once derived is never retracted.
+  Database db;
+  db.SetRelation("a", GeneralizedRelation::FromPoints(1, {{Rational(1)}}));
+  Database idb = RunProgram(R"(
+    p(x) :- a(x).
+    q(x) :- a(x), not p(x).
+  )", db);
+  // Round 1: p(1) and q(1) both derived (p was empty in the snapshot).
+  EXPECT_TRUE(idb.FindRelation("p")->Contains({Rational(1)}));
+  EXPECT_TRUE(idb.FindRelation("q")->Contains({Rational(1)}));
+}
+
+TEST(DatalogEvaluatorTest, StratifiedNegationSemantics) {
+  Database db;
+  db.SetRelation("a", GeneralizedRelation::FromPoints(1, {{Rational(1)}}));
+  DatalogOptions options;
+  options.semantics = DatalogSemantics::kStratified;
+  Database idb = RunProgram(R"(
+    p(x) :- a(x).
+    q(x) :- a(x), not p(x).
+  )", db, options);
+  // Stratified: p is computed first, so q is empty.
+  EXPECT_TRUE(idb.FindRelation("p")->Contains({Rational(1)}));
+  EXPECT_TRUE(idb.FindRelation("q")->IsEmpty());
+}
+
+TEST(DatalogEvaluatorTest, NonStratifiableRejected) {
+  Database db;
+  db.SetRelation("a", GeneralizedRelation::FromPoints(1, {{Rational(1)}}));
+  DatalogProgram program = DatalogParser::ParseProgram(R"(
+    p(x) :- a(x), not q(x).
+    q(x) :- a(x), not p(x).
+  )").value();
+  DatalogOptions options;
+  options.semantics = DatalogSemantics::kStratified;
+  DatalogEvaluator evaluator(program, &db, options);
+  EXPECT_EQ(evaluator.Evaluate().status().code(),
+            StatusCode::kInvalidArgument);
+  // The same program is fine inflationarily.
+  DatalogEvaluator inflationary(program, &db);
+  EXPECT_TRUE(inflationary.Evaluate().ok());
+}
+
+TEST(DatalogEvaluatorTest, HeadConstantsAndRepeatedVars) {
+  Database db = GraphDb();
+  Database idb = RunProgram(R"(
+    loop(x, x) :- e(x, y).
+    tagged(0, y) :- e(1, y).
+  )", db);
+  EXPECT_TRUE(idb.FindRelation("loop")->Contains({Rational(1), Rational(1)}));
+  EXPECT_FALSE(idb.FindRelation("loop")->Contains({Rational(1), Rational(2)}));
+  EXPECT_TRUE(
+      idb.FindRelation("tagged")->Contains({Rational(0), Rational(2)}));
+}
+
+TEST(DatalogEvaluatorTest, TransitiveClosureOverInfiniteRegions) {
+  // Overlap graph between two infinite strips via a constraint join:
+  // reach propagates through interval overlap.
+  Database db;
+  // iv(lo, hi) intervals: [0,2], [1,3], [5,7].
+  db.SetRelation("iv", GeneralizedRelation::FromPoints(
+                           2, {{Rational(0), Rational(2)},
+                               {Rational(1), Rational(3)},
+                               {Rational(5), Rational(7)}}));
+  Database idb = RunProgram(R"(
+    overlap(a1, b1, a2, b2) :- iv(a1, b1), iv(a2, b2), a2 <= b1, a1 <= b2.
+    conn(a1, b1, a2, b2) :- overlap(a1, b1, a2, b2).
+    conn(a1, b1, a3, b3) :- conn(a1, b1, a2, b2), overlap(a2, b2, a3, b3).
+  )", db);
+  const GeneralizedRelation* conn = idb.FindRelation("conn");
+  // [0,2] connects to [1,3] but not to [5,7].
+  EXPECT_TRUE(conn->Contains(
+      {Rational(0), Rational(2), Rational(1), Rational(3)}));
+  EXPECT_FALSE(conn->Contains(
+      {Rational(0), Rational(2), Rational(5), Rational(7)}));
+}
+
+TEST(DatalogEvaluatorTest, IterationCountReported) {
+  DatalogProgram program = DatalogParser::ParseProgram(R"(
+    tc(x, y) :- e(x, y).
+    tc(x, y) :- tc(x, z), e(z, y).
+  )").value();
+  Database db = GraphDb();
+  DatalogEvaluator evaluator(program, &db);
+  ASSERT_TRUE(evaluator.Evaluate().ok());
+  // Path of length 3 needs 3 productive rounds plus one quiescent round.
+  EXPECT_GE(evaluator.iterations(), 4u);
+  EXPECT_LE(evaluator.iterations(), 6u);
+}
+
+TEST(DatalogEvaluatorTest, MaxIterationsGuard) {
+  DatalogProgram program = DatalogParser::ParseProgram(R"(
+    tc(x, y) :- e(x, y).
+    tc(x, y) :- tc(x, z), e(z, y).
+  )").value();
+  Database db = GraphDb();
+  DatalogOptions options;
+  options.max_iterations = 1;
+  DatalogEvaluator evaluator(program, &db, options);
+  EXPECT_EQ(evaluator.Evaluate().status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(DatalogEvaluatorTest, ValidationErrors) {
+  Database db = GraphDb();
+  // Unknown EDB relation.
+  DatalogProgram p1 =
+      DatalogParser::ParseProgram("p(x) :- nothere(x).").value();
+  EXPECT_EQ(DatalogEvaluator(p1, &db).Evaluate().status().code(),
+            StatusCode::kNotFound);
+  // IDB/EDB name collision.
+  DatalogProgram p2 = DatalogParser::ParseProgram("e(x, x) :- e(x, x).")
+                          .value();
+  EXPECT_EQ(DatalogEvaluator(p2, &db).Evaluate().status().code(),
+            StatusCode::kInvalidArgument);
+  // Arity conflict between rules.
+  DatalogProgram p3 =
+      DatalogParser::ParseProgram("p(x) :- e(x, y). p(x, y) :- e(x, y).")
+          .value();
+  EXPECT_EQ(DatalogEvaluator(p3, &db).Evaluate().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatalogParserTest, ParsesQueries) {
+  DatalogProgram program = DatalogParser::ParseProgram(R"(
+    tc(x, y) :- e(x, y).
+    ?- tc(1, x), x > 2.
+    ?- tc(1, 4).
+  )").value();
+  ASSERT_EQ(program.queries.size(), 2u);
+  EXPECT_EQ(program.queries[0].HeadVars(), std::vector<std::string>{"x"});
+  EXPECT_TRUE(program.queries[1].HeadVars().empty());
+  EXPECT_EQ(program.queries[0].ToString(), "?- tc(1, x), x > 2.");
+}
+
+TEST(DatalogEvaluatorTest, AnswersQueries) {
+  Database db = GraphDb();
+  DatalogProgram program = DatalogParser::ParseProgram(R"(
+    tc(x, y) :- e(x, y).
+    tc(x, y) :- tc(x, z), e(z, y).
+    ?- tc(1, y), y > 2.
+    ?- tc(4, 1).
+    ?- tc(1, 4).
+  )").value();
+  DatalogEvaluator evaluator(program, &db);
+  Database idb = evaluator.Evaluate().value();
+
+  GeneralizedRelation far = evaluator.Answer(program.queries[0], idb).value();
+  EXPECT_TRUE(far.Contains({Rational(3)}));
+  EXPECT_TRUE(far.Contains({Rational(4)}));
+  EXPECT_FALSE(far.Contains({Rational(2)}));
+
+  EXPECT_TRUE(evaluator.Answer(program.queries[1], idb).value().IsEmpty());
+  EXPECT_FALSE(evaluator.Answer(program.queries[2], idb).value().IsEmpty());
+}
+
+// Parity of a finite linear order is the canonical PTIME-but-not-FO query
+// (Theorem 4.2 / 4.4 context): computable in inflationary Datalog(not) by
+// walking the order.
+TEST(DatalogEvaluatorTest, ParityViaOrderWalk) {
+  auto parity_of_prefix = [](int n) {
+    Database db;
+    std::vector<std::vector<Rational>> points;
+    for (int i = 1; i <= n; ++i) points.push_back({Rational(i)});
+    db.SetRelation("v", GeneralizedRelation::FromPoints(1, points));
+    // odd(x): x is at an odd position in the order; the order is walked via
+    // the successor relation defined with negation (stratified).
+    DatalogOptions options;
+    options.semantics = DatalogSemantics::kStratified;
+    Database idb = RunProgram(R"(
+      between(x, z) :- v(x), v(z), v(y2), x < y2, y2 < z.
+      succ(x, y) :- v(x), v(y), x < y, not between(x, y).
+      smaller(x) :- v(x), v(y), y < x.
+      first(x) :- v(x), not smaller(x).
+      odd(x) :- first(x).
+      even(x) :- succ(y, x), odd(y).
+      odd(x) :- succ(y, x), even(y).
+    )", db, options);
+    // Parity of n = parity of the last element's position.
+    return idb.FindRelation("odd")->Contains({Rational(n)});
+  };
+  EXPECT_TRUE(parity_of_prefix(1));
+  EXPECT_FALSE(parity_of_prefix(2));
+  EXPECT_TRUE(parity_of_prefix(5));
+  EXPECT_FALSE(parity_of_prefix(6));
+}
+
+}  // namespace
+}  // namespace dodb

@@ -1,0 +1,241 @@
+#include "constraints/dense_qe.h"
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace dodb {
+namespace {
+
+Term V(int i) { return Term::Var(i); }
+Term C(int64_t n) { return Term::Const(Rational(n)); }
+DenseAtom A(Term l, RelOp op, Term r) { return DenseAtom(l, op, r); }
+
+TEST(DenseQeTest, NonStrictBoundsPairToNonStrict) {
+  // exists x1 (x0 <= x1 and x1 <= x2)  ==  x0 <= x2.
+  GeneralizedTuple t(3);
+  t.AddAtom(A(V(0), RelOp::kLe, V(1)));
+  t.AddAtom(A(V(1), RelOp::kLe, V(2)));
+  GeneralizedRelation result = EliminateVariable(t, 1);
+  EXPECT_TRUE(result.Contains({Rational(0), Rational(99), Rational(0)}));
+  EXPECT_TRUE(result.Contains({Rational(0), Rational(-99), Rational(1)}));
+  EXPECT_FALSE(result.Contains({Rational(1), Rational(0), Rational(0)}));
+}
+
+TEST(DenseQeTest, StrictBoundsPairToStrict) {
+  // exists x1 (x0 < x1 and x1 < x2)  ==  x0 < x2 (denseness!).
+  GeneralizedTuple t(3);
+  t.AddAtom(A(V(0), RelOp::kLt, V(1)));
+  t.AddAtom(A(V(1), RelOp::kLt, V(2)));
+  GeneralizedRelation result = EliminateVariable(t, 1);
+  EXPECT_TRUE(result.Contains({Rational(0), Rational(0), Rational(1, 1000)}));
+  EXPECT_FALSE(result.Contains({Rational(0), Rational(0), Rational(0)}));
+}
+
+TEST(DenseQeTest, MixedStrictness) {
+  // exists x1 (x0 <= x1 and x1 < x2)  ==  x0 < x2.
+  GeneralizedTuple t(3);
+  t.AddAtom(A(V(0), RelOp::kLe, V(1)));
+  t.AddAtom(A(V(1), RelOp::kLt, V(2)));
+  GeneralizedRelation result = EliminateVariable(t, 1);
+  EXPECT_TRUE(result.Contains({Rational(0), Rational(0), Rational(1)}));
+  EXPECT_FALSE(result.Contains({Rational(0), Rational(0), Rational(0)}));
+}
+
+TEST(DenseQeTest, InequationDegeneratePointExcluded) {
+  // exists x1 (x0 <= x1 and x1 <= x2 and x1 != x0):
+  //   true iff x0 < x2 (when x0 = x2 the only candidate x1 = x0 is banned).
+  GeneralizedTuple t(3);
+  t.AddAtom(A(V(0), RelOp::kLe, V(1)));
+  t.AddAtom(A(V(1), RelOp::kLe, V(2)));
+  t.AddAtom(A(V(1), RelOp::kNeq, V(0)));
+  GeneralizedRelation result = EliminateVariable(t, 1);
+  EXPECT_TRUE(result.Contains({Rational(0), Rational(0), Rational(1)}));
+  EXPECT_FALSE(result.Contains({Rational(5), Rational(0), Rational(5)}));
+}
+
+TEST(DenseQeTest, InequationAgainstThirdParty) {
+  // exists x1 (x0 <= x1 <= x2 and x1 != x3):
+  //   x0 < x2, or (x0 <= x2 and x0 != x3).
+  GeneralizedTuple t(4);
+  t.AddAtom(A(V(0), RelOp::kLe, V(1)));
+  t.AddAtom(A(V(1), RelOp::kLe, V(2)));
+  t.AddAtom(A(V(1), RelOp::kNeq, V(3)));
+  GeneralizedRelation result = EliminateVariable(t, 1);
+  Rational z(0);
+  // x0 = x2 = 1, x3 = 1: the single candidate is banned.
+  EXPECT_FALSE(result.Contains({Rational(1), z, Rational(1), Rational(1)}));
+  // x0 = x2 = 1, x3 = 2: candidate x1 = 1 works.
+  EXPECT_TRUE(result.Contains({Rational(1), z, Rational(1), Rational(2)}));
+  // x0 = 0 < x2 = 1: infinitely many candidates regardless of x3.
+  EXPECT_TRUE(result.Contains({Rational(0), z, Rational(1), Rational(0)}));
+}
+
+TEST(DenseQeTest, EqualitySubstitution) {
+  // exists x1 (x1 = x0 and x1 < x2)  ==  x0 < x2.
+  GeneralizedTuple t(3);
+  t.AddAtom(A(V(1), RelOp::kEq, V(0)));
+  t.AddAtom(A(V(1), RelOp::kLt, V(2)));
+  GeneralizedRelation result = EliminateVariable(t, 1);
+  EXPECT_TRUE(result.Contains({Rational(0), Rational(9), Rational(1)}));
+  EXPECT_FALSE(result.Contains({Rational(1), Rational(9), Rational(0)}));
+}
+
+TEST(DenseQeTest, DerivedEqualitySubstitution) {
+  // x1 <= x0 and x0 <= x1 force x1 = x0 without an explicit equality atom.
+  GeneralizedTuple t(3);
+  t.AddAtom(A(V(1), RelOp::kLe, V(0)));
+  t.AddAtom(A(V(0), RelOp::kLe, V(1)));
+  t.AddAtom(A(V(1), RelOp::kLt, V(2)));
+  GeneralizedRelation result = EliminateVariable(t, 1);
+  EXPECT_TRUE(result.Contains({Rational(0), Rational(9), Rational(1)}));
+  EXPECT_FALSE(result.Contains({Rational(1), Rational(9), Rational(0)}));
+}
+
+TEST(DenseQeTest, EqualityToConstant) {
+  // exists x0 (x0 = 5 and x0 < x1)  ==  5 < x1.
+  GeneralizedTuple t(2);
+  t.AddAtom(A(V(0), RelOp::kEq, C(5)));
+  t.AddAtom(A(V(0), RelOp::kLt, V(1)));
+  GeneralizedRelation result = EliminateVariable(t, 0);
+  EXPECT_TRUE(result.Contains({Rational(0), Rational(6)}));
+  EXPECT_FALSE(result.Contains({Rational(0), Rational(5)}));
+}
+
+TEST(DenseQeTest, UnboundedSideMakesInequationsVacuous) {
+  // exists x0 (x0 > x1 and x0 != x2)  ==  true.
+  GeneralizedTuple t(3);
+  t.AddAtom(A(V(0), RelOp::kGt, V(1)));
+  t.AddAtom(A(V(0), RelOp::kNeq, V(2)));
+  GeneralizedRelation result = EliminateVariable(t, 0);
+  EXPECT_TRUE(result.Contains({Rational(0), Rational(0), Rational(0)}));
+  EXPECT_TRUE(result.Contains({Rational(0), Rational(100), Rational(-3)}));
+}
+
+TEST(DenseQeTest, UnsatisfiableEliminatesToEmpty) {
+  GeneralizedTuple t(2);
+  t.AddAtom(A(V(0), RelOp::kLt, V(1)));
+  t.AddAtom(A(V(1), RelOp::kLt, V(0)));
+  GeneralizedRelation result = EliminateVariable(t, 0);
+  EXPECT_TRUE(result.IsEmpty());
+}
+
+TEST(DenseQeTest, ProjectColumnsDropsAndReorders) {
+  // R(x0,x1,x2): x0 < x1 < x2, x0 > 0. Project onto (x2, x0).
+  GeneralizedRelation rel(3);
+  GeneralizedTuple t(3);
+  t.AddAtom(A(V(0), RelOp::kLt, V(1)));
+  t.AddAtom(A(V(1), RelOp::kLt, V(2)));
+  t.AddAtom(A(V(0), RelOp::kGt, C(0)));
+  rel.AddTuple(t);
+  GeneralizedRelation projected = ProjectColumns(rel, {2, 0});
+  EXPECT_EQ(projected.arity(), 2);
+  // New column 0 is old x2, new column 1 is old x0: need x1 > x0' and x0'>0.
+  EXPECT_TRUE(projected.Contains({Rational(5), Rational(1)}));
+  EXPECT_FALSE(projected.Contains({Rational(1), Rational(5)}));
+  EXPECT_FALSE(projected.Contains({Rational(5), Rational(-1)}));
+}
+
+TEST(DenseQeTest, ProjectToBoolean) {
+  GeneralizedRelation rel(1);
+  GeneralizedTuple t(1);
+  t.AddAtom(A(V(0), RelOp::kGt, C(0)));
+  rel.AddTuple(t);
+  GeneralizedRelation projected = ProjectColumns(rel, {});
+  EXPECT_EQ(projected.arity(), 0);
+  EXPECT_FALSE(projected.IsEmpty());  // "exists x > 0" is true
+
+  GeneralizedRelation empty(1);
+  GeneralizedRelation projected_empty = ProjectColumns(empty, {});
+  EXPECT_TRUE(projected_empty.IsEmpty());
+}
+
+// --- Property sweep: exactness of elimination -------------------------------
+//
+// For random tuples over 3 variables and constants {0, 2, 4}, eliminating a
+// variable must yield a formula that holds at a grid point (over remaining
+// variables) iff some grid value for the eliminated variable satisfies the
+// original tuple. Grid completeness as in order_graph_test.
+
+class DenseQeRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenseQeRandomProperty, EliminationMatchesGridSemantics) {
+  std::mt19937_64 rng(GetParam() * 15485863);
+  const int kVars = 3;
+  const std::vector<Rational> constants = {Rational(0), Rational(2),
+                                           Rational(4)};
+  std::vector<Rational> grid;
+  for (int i = 1; i <= kVars + 1; ++i) grid.push_back(Rational(-i));
+  for (size_t g = 0; g + 1 < constants.size(); ++g) {
+    for (int i = 1; i <= kVars + 1; ++i) {
+      grid.push_back(constants[g] + (constants[g + 1] - constants[g]) *
+                                        Rational(i, kVars + 2));
+    }
+  }
+  for (int i = 1; i <= kVars + 1; ++i) {
+    grid.push_back(Rational(4) + Rational(i));
+  }
+  for (const Rational& c : constants) grid.push_back(c);
+
+  // The eliminated variable may need a value strictly between two adjacent
+  // grid points or beyond the extremes, so its search grid is finer.
+  std::vector<Rational> victim_grid = grid;
+  {
+    std::vector<Rational> sorted = grid;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      if (sorted[i] < sorted[i + 1]) {
+        victim_grid.push_back(Rational::Midpoint(sorted[i], sorted[i + 1]));
+      }
+    }
+    victim_grid.push_back(sorted.front() - Rational(1));
+    victim_grid.push_back(sorted.back() + Rational(1));
+  }
+
+  const RelOp kOps[] = {RelOp::kLt, RelOp::kLe, RelOp::kEq,
+                        RelOp::kNeq, RelOp::kGe, RelOp::kGt};
+  for (int trial = 0; trial < 60; ++trial) {
+    int num_atoms = 1 + static_cast<int>(rng() % 5);
+    GeneralizedTuple tuple(kVars);
+    for (int a = 0; a < num_atoms; ++a) {
+      Term lhs = Term::Var(static_cast<int>(rng() % kVars));
+      Term rhs = (rng() % 3 == 0)
+                     ? Term::Const(constants[rng() % constants.size()])
+                     : Term::Var(static_cast<int>(rng() % kVars));
+      tuple.AddAtom(A(lhs, kOps[rng() % 6], rhs));
+    }
+    int victim = static_cast<int>(rng() % kVars);
+    GeneralizedRelation eliminated = EliminateVariable(tuple, victim);
+
+    std::vector<Rational> point(kVars);
+    for (const Rational& a : grid) {
+      for (const Rational& b : grid) {
+        // Values for the two surviving variables.
+        int free1 = victim == 0 ? 1 : 0;
+        int free2 = victim == 2 ? 1 : 2;
+        point[free1] = a;
+        point[free2] = b;
+        bool expected = false;
+        for (const Rational& v : victim_grid) {
+          point[victim] = v;
+          if (tuple.Contains(point)) {
+            expected = true;
+            break;
+          }
+        }
+        point[victim] = Rational(0);  // must be irrelevant in the result
+        bool got = eliminated.Contains(point);
+        ASSERT_EQ(got, expected)
+            << "trial " << trial << " tuple: " << tuple.ToString()
+            << " victim: x" << victim << " at (" << a << "," << b << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DenseQeRandomProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dodb

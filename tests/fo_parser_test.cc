@@ -1,0 +1,246 @@
+#include "fo/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "fo/analyzer.h"
+#include "fo/lexer.h"
+
+namespace dodb {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Lex("{ (x, y) | R(x) and x <= 3/4 }").value();
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLBrace);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[2].text, "x");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NumbersAndFractions) {
+  auto tokens = Lex("12 3.25 3/4").value();
+  EXPECT_EQ(tokens[0].text, "12");
+  EXPECT_EQ(tokens[1].text, "3.25");
+  EXPECT_EQ(tokens[2].text, "3/4");
+}
+
+TEST(LexerTest, CompositeOperators) {
+  auto tokens = Lex("<= >= != -> <-> :-").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLe);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kNeq);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kArrow);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kIff);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kColonDash);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("x # the variable\n< y").value();
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLt);
+  EXPECT_EQ(tokens[2].text, "y");
+}
+
+TEST(LexerTest, PositionsTracked) {
+  auto tokens = Lex("x\n  y").value();
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  EXPECT_FALSE(Lex("x $ y").ok());
+  EXPECT_FALSE(Lex("x ! y").ok());
+}
+
+TEST(FoParserTest, SimpleQuery) {
+  Query q = FoParser::ParseQuery("{ (x, y) | R(x, y) and x < y }").value();
+  ASSERT_EQ(q.head.size(), 2u);
+  EXPECT_EQ(q.head[0], "x");
+  EXPECT_EQ(q.head[1], "y");
+  EXPECT_EQ(q.body->kind, FormulaKind::kAnd);
+}
+
+TEST(FoParserTest, HeadWithoutParens) {
+  Query q = FoParser::ParseQuery("{ x | x > 0 }").value();
+  ASSERT_EQ(q.head.size(), 1u);
+  EXPECT_EQ(q.head[0], "x");
+}
+
+TEST(FoParserTest, BooleanQuery) {
+  Query q = FoParser::ParseQuery("exists x (R(x))").value();
+  EXPECT_TRUE(q.head.empty());
+  EXPECT_EQ(q.body->kind, FormulaKind::kExists);
+}
+
+TEST(FoParserTest, EmptyHead) {
+  Query q = FoParser::ParseQuery("{ () | exists x (R(x)) }").value();
+  EXPECT_TRUE(q.head.empty());
+}
+
+TEST(FoParserTest, PrecedenceAndOverOr) {
+  // a or b and c == a or (b and c)
+  FormulaPtr f = FoParser::ParseFormula("x = 1 or x = 2 and x = 3").value();
+  ASSERT_EQ(f->kind, FormulaKind::kOr);
+  EXPECT_EQ(f->child2->kind, FormulaKind::kAnd);
+}
+
+TEST(FoParserTest, NotBindsTighter) {
+  FormulaPtr f = FoParser::ParseFormula("not x = 1 and x = 2").value();
+  ASSERT_EQ(f->kind, FormulaKind::kAnd);
+  EXPECT_EQ(f->child->kind, FormulaKind::kNot);
+}
+
+TEST(FoParserTest, ImplicationDesugarsToNotOr) {
+  FormulaPtr f = FoParser::ParseFormula("x = 1 -> x = 2").value();
+  ASSERT_EQ(f->kind, FormulaKind::kOr);
+  EXPECT_EQ(f->child->kind, FormulaKind::kNot);
+}
+
+TEST(FoParserTest, IffDesugars) {
+  FormulaPtr f = FoParser::ParseFormula("x = 1 <-> x = 2").value();
+  EXPECT_EQ(f->kind, FormulaKind::kOr);
+}
+
+TEST(FoParserTest, QuantifierWithMultipleVars) {
+  FormulaPtr f =
+      FoParser::ParseFormula("exists x, y (R(x, y) and x < y)").value();
+  ASSERT_EQ(f->kind, FormulaKind::kExists);
+  EXPECT_EQ(f->bound_vars.size(), 2u);
+  EXPECT_TRUE(f->FreeVars().empty());
+}
+
+TEST(FoParserTest, ForallParses) {
+  FormulaPtr f = FoParser::ParseFormula("forall x (x < 1 or x >= 1)").value();
+  EXPECT_EQ(f->kind, FormulaKind::kForall);
+}
+
+TEST(FoParserTest, ParenthesizedFormulaVsTerm) {
+  // Parenthesized formula.
+  FormulaPtr f1 = FoParser::ParseFormula("(x < y) and true").value();
+  EXPECT_EQ(f1->kind, FormulaKind::kAnd);
+  // Parenthesized arithmetic term.
+  FormulaPtr f2 = FoParser::ParseFormula("(x + 1) < y").value();
+  ASSERT_EQ(f2->kind, FormulaKind::kCompare);
+  EXPECT_EQ(f2->lhs.coeffs.size(), 1u);
+  EXPECT_EQ(f2->lhs.constant, Rational(1));
+}
+
+TEST(FoParserTest, LinearTerms) {
+  FormulaPtr f = FoParser::ParseFormula("2*x + 3*y - 1 <= z").value();
+  ASSERT_EQ(f->kind, FormulaKind::kCompare);
+  EXPECT_EQ(f->lhs.coeffs.at("x"), Rational(2));
+  EXPECT_EQ(f->lhs.coeffs.at("y"), Rational(3));
+  EXPECT_EQ(f->lhs.constant, Rational(-1));
+  EXPECT_FALSE(f->IsDenseFragment());
+}
+
+TEST(FoParserTest, DenseFragmentDetection) {
+  EXPECT_TRUE(
+      FoParser::ParseFormula("x < y and y <= 3").value()->IsDenseFragment());
+  EXPECT_FALSE(
+      FoParser::ParseFormula("x + y < 3").value()->IsDenseFragment());
+}
+
+TEST(FoParserTest, RejectsNonLinearProduct) {
+  EXPECT_FALSE(FoParser::ParseFormula("x * y < 1").ok());
+}
+
+TEST(FoParserTest, ConstantFolding) {
+  FormulaPtr f = FoParser::ParseFormula("2 * 3 + 1 < x").value();
+  EXPECT_EQ(f->lhs.constant, Rational(7));
+  EXPECT_TRUE(f->lhs.IsConstant());
+}
+
+TEST(FoParserTest, UnaryMinus) {
+  FormulaPtr f = FoParser::ParseFormula("-x < -2").value();
+  EXPECT_EQ(f->lhs.coeffs.at("x"), Rational(-1));
+  EXPECT_EQ(f->rhs.constant, Rational(-2));
+}
+
+TEST(FoParserTest, RationalLiterals) {
+  FormulaPtr f = FoParser::ParseFormula("x < 3/4 and x > 1.5").value();
+  EXPECT_EQ(f->child->rhs.constant, Rational(3, 4));
+  EXPECT_EQ(f->child2->rhs.constant, Rational(3, 2));
+}
+
+TEST(FoParserTest, ErrorsCarryPosition) {
+  Status s = FoParser::ParseQuery("{ (x | R(x) }").status();
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("line 1"), std::string::npos);
+}
+
+TEST(FoParserTest, RejectsTrailingInput) {
+  EXPECT_FALSE(FoParser::ParseFormula("x < y y").ok());
+  EXPECT_FALSE(FoParser::ParseQuery("{ x | x > 0 } extra").ok());
+}
+
+TEST(FoParserTest, RejectsMissingBody) {
+  EXPECT_FALSE(FoParser::ParseQuery("{ (x) | }").ok());
+  EXPECT_FALSE(FoParser::ParseQuery("{ | x > 0 }").ok());
+}
+
+TEST(FoParserTest, FreeVarsHonorShadowing) {
+  FormulaPtr f =
+      FoParser::ParseFormula("R(x) and exists x (S(x, y))").value();
+  std::set<std::string> free = f->FreeVars();
+  EXPECT_EQ(free.size(), 2u);
+  EXPECT_TRUE(free.count("x"));
+  EXPECT_TRUE(free.count("y"));
+}
+
+TEST(FoParserTest, QuantifierDepth) {
+  FormulaPtr f =
+      FoParser::ParseFormula("exists x (forall y (x < y or exists z (z < x)))")
+          .value();
+  EXPECT_EQ(f->QuantifierDepth(), 3);
+}
+
+TEST(AnalyzerTest, CollectsFactsAndValidates) {
+  Database db;
+  db.SetRelation("R", GeneralizedRelation(2));
+  db.SetRelation("S", GeneralizedRelation(1));
+
+  Query q = FoParser::ParseQuery(
+      "{ (x, y) | R(x, y) and exists z (S(z) and z < y) }").value();
+  QueryAnalysis a = Analyze(q, &db).value();
+  EXPECT_EQ(a.free_vars, (std::set<std::string>{"x", "y"}));
+  EXPECT_EQ(a.relations.at("R"), 2);
+  EXPECT_EQ(a.relations.at("S"), 1);
+  EXPECT_TRUE(a.is_dense_fragment);
+  EXPECT_EQ(a.quantifier_depth, 1);
+}
+
+TEST(AnalyzerTest, DetectsArityConflictsAcrossUses) {
+  Query q = FoParser::ParseQuery("{ (x) | R(x) and R(x, x) }").value();
+  EXPECT_EQ(Analyze(q, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AnalyzerTest, NullDbSkipsSchemaChecks) {
+  Query q = FoParser::ParseQuery("{ (x) | Ghost(x) }").value();
+  EXPECT_TRUE(Analyze(q, nullptr).ok());
+}
+
+TEST(AnalyzerTest, DuplicateHeadVariableRejected) {
+  Query q = FoParser::ParseQuery("{ (x, x) | x = 1 }").value();
+  EXPECT_EQ(Analyze(q, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AnalyzerTest, LinearTermsFlagged) {
+  Query q = FoParser::ParseQuery("{ (x) | x + x = 2 }").value();
+  QueryAnalysis a = Analyze(q, nullptr).value();
+  EXPECT_FALSE(a.is_dense_fragment);
+}
+
+TEST(FoParserTest, ToStringRoundTrip) {
+  const char* text = "{ (x, y) | exists z (R(x, z) and z < y) }";
+  Query q1 = FoParser::ParseQuery(text).value();
+  Query q2 = FoParser::ParseQuery(q1.ToString()).value();
+  EXPECT_EQ(q1.ToString(), q2.ToString());
+}
+
+}  // namespace
+}  // namespace dodb

@@ -1,0 +1,211 @@
+// Gap-order constraints over the integers (the §6 discrete-order contrast).
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraints/order_graph.h"
+#include "gaporder/gap_relation.h"
+#include "gaporder/gap_system.h"
+
+namespace dodb {
+namespace {
+
+TEST(GapSystemTest, BoundsAndMembership) {
+  GapSystem s(2);
+  s.AddLowerBound(0, 1);
+  s.AddUpperBound(0, 5);
+  s.AddDifference(0, 1, -2);  // x0 - x1 <= -2, i.e. x1 >= x0 + 2
+  EXPECT_TRUE(s.IsSatisfiable());
+  EXPECT_TRUE(s.Contains({1, 3}));
+  EXPECT_TRUE(s.Contains({5, 100}));
+  EXPECT_FALSE(s.Contains({0, 3}));   // below lower bound
+  EXPECT_FALSE(s.Contains({3, 4}));   // difference violated
+}
+
+TEST(GapSystemTest, NegativeCycleUnsatisfiable) {
+  GapSystem s(2);
+  s.AddDifference(0, 1, -1);  // x0 < x1
+  s.AddDifference(1, 0, -1);  // x1 < x0
+  EXPECT_FALSE(s.IsSatisfiable());
+}
+
+TEST(GapSystemTest, GapAtomSemantics) {
+  GapSystem s(2);
+  s.AddGap(0, 1, 3);  // x1 - x0 > 3
+  EXPECT_TRUE(s.Contains({0, 4}));
+  EXPECT_FALSE(s.Contains({0, 3}));
+  EXPECT_TRUE(s.IsSatisfiable());
+}
+
+TEST(GapSystemTest, DiscretenessVersusDenseness) {
+  // Over Z there is no integer strictly between x and x + 1 ...
+  GapSystem discrete(2);
+  discrete.AddDifference(0, 1, -1);  // x0 < x1
+  discrete.AddDifference(1, 0, 0);   // x1 <= x0 + 0 ... i.e. x1 - x0 <= 0
+  EXPECT_FALSE(discrete.IsSatisfiable());
+
+  // ... and "y strictly between x and x+1" is unsatisfiable:
+  GapSystem squeeze(2);
+  squeeze.AddDifference(0, 1, -1);   // x0 < x1   (x1 - x0 >= 1)
+  squeeze.AddDifference(1, 0, 1);    // x1 - x0 <= 1
+  // Here x1 = x0 + 1 exactly: satisfiable, but nothing fits strictly
+  // between, so adding a middle variable fails:
+  GapSystem middle(3);
+  middle.AddDifference(0, 2, -1);  // x0 < x2
+  middle.AddDifference(2, 1, -1);  // x2 < x1
+  middle.AddDifference(1, 0, 1);   // x1 <= x0 + 1
+  EXPECT_FALSE(middle.IsSatisfiable());
+
+  // The dense-order analogue IS satisfiable (denseness of Q): this is the
+  // semantic cliff between §2-§5 and the §6 remark.
+  OrderGraph dense(3);
+  dense.AddAtom(DenseAtom(Term::Var(0), RelOp::kLt, Term::Var(2)));
+  dense.AddAtom(DenseAtom(Term::Var(2), RelOp::kLt, Term::Var(1)));
+  // (no "x1 <= x0 + 1" exists densely — order constraints cannot say it)
+  EXPECT_TRUE(dense.IsSatisfiable());
+}
+
+TEST(GapSystemTest, ClosureTightensTransitively) {
+  GapSystem s(3);
+  s.AddDifference(0, 1, -1);
+  s.AddDifference(1, 2, -1);
+  ASSERT_TRUE(s.IsSatisfiable());
+  EXPECT_EQ(s.ImpliedDifference(0, 2), -2);  // x0 <= x2 - 2
+}
+
+TEST(GapSystemTest, WitnessSatisfiesSystem) {
+  GapSystem s(3);
+  s.AddGap(0, 1, 2);
+  s.AddGap(1, 2, 0);
+  s.AddLowerBound(0, 10);
+  auto witness = s.SampleWitness();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(s.Contains(*witness));
+  EXPECT_GE((*witness)[0], 10);
+  EXPECT_GT((*witness)[1], (*witness)[0] + 2);
+}
+
+TEST(GapSystemTest, WitnessOfUnboundedSystem) {
+  GapSystem s(2);
+  s.AddDifference(0, 1, -5);  // only a relative constraint
+  auto witness = s.SampleWitness();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(s.Contains(*witness));
+}
+
+TEST(GapSystemTest, EliminationIsExact) {
+  // exists x1 (x0 < x1 and x1 < x2): over Z this forces x2 - x0 >= 2.
+  GapSystem s(3);
+  s.AddDifference(0, 1, -1);
+  s.AddDifference(1, 2, -1);
+  GapSystem out = s.EliminatedVariable(1);
+  EXPECT_TRUE(out.Contains({0, 999, 2}));     // x1 unconstrained now
+  EXPECT_FALSE(out.Contains({0, 999, 1}));    // x2 - x0 = 1 < 2
+}
+
+TEST(GapSystemTest, LiftedAndProjected) {
+  GapSystem unary(1);
+  unary.AddLowerBound(0, 3);
+  unary.AddUpperBound(0, 7);
+  GapSystem wide = unary.Lifted(3, {2});
+  EXPECT_TRUE(wide.Contains({-100, 100, 5}));
+  EXPECT_FALSE(wide.Contains({0, 0, 8}));
+  GapSystem back = wide.Projected({2});
+  EXPECT_TRUE(back.Contains({3}));
+  EXPECT_FALSE(back.Contains({2}));
+}
+
+TEST(GapSystemTest, CanonicalComparison) {
+  // Syntactically different, semantically equal systems compare equal
+  // after closure.
+  GapSystem a(2);
+  a.AddDifference(0, 1, -1);
+  a.AddDifference(1, 0, 1);
+  GapSystem b(2);
+  b.AddDifference(0, 1, -1);
+  b.AddDifference(1, 0, 1);
+  b.AddDifference(0, 1, -1);  // duplicate
+  EXPECT_EQ(a.Compare(b), 0);
+}
+
+// Property: elimination matches brute force over a bounded integer box.
+class GapEliminationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GapEliminationProperty, MatchesBruteForce) {
+  std::mt19937_64 rng(GetParam() * 2654435761u);
+  for (int trial = 0; trial < 60; ++trial) {
+    GapSystem s(3);
+    // Bound every variable into [-6, 6] so brute force is exact.
+    for (int v = 0; v < 3; ++v) {
+      s.AddLowerBound(v, -6);
+      s.AddUpperBound(v, 6);
+    }
+    int atoms = 1 + static_cast<int>(rng() % 4);
+    for (int a = 0; a < atoms; ++a) {
+      int i = static_cast<int>(rng() % 3);
+      int j = static_cast<int>(rng() % 3);
+      if (i == j) continue;
+      s.AddDifference(i, j, static_cast<int64_t>(rng() % 9) - 4);
+    }
+    if (!s.IsSatisfiable()) continue;
+    GapSystem out = s.EliminatedVariable(2);
+    for (int64_t x0 = -7; x0 <= 7; ++x0) {
+      for (int64_t x1 = -7; x1 <= 7; ++x1) {
+        bool expected = false;
+        for (int64_t x2 = -7; x2 <= 7 && !expected; ++x2) {
+          expected = s.Contains({x0, x1, x2});
+        }
+        EXPECT_EQ(out.Contains({x0, x1, 0}), expected)
+            << s.ToString() << " at (" << x0 << "," << x1 << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GapEliminationProperty,
+                         ::testing::Values(1, 2, 3));
+
+TEST(GapRelationTest, PointsAndOps) {
+  GapRelation p = GapRelation::FromPoints(1, {{1}, {4}});
+  EXPECT_TRUE(p.Contains({1}));
+  EXPECT_TRUE(p.Contains({4}));
+  EXPECT_FALSE(p.Contains({2}));
+  GapRelation q = GapRelation::FromPoints(1, {{4}, {9}});
+  GapRelation u = p.UnionWith(q);
+  EXPECT_EQ(u.system_count(), 3u);
+  GapRelation i = p.IntersectWith(q);
+  EXPECT_TRUE(i.Contains({4}));
+  EXPECT_FALSE(i.Contains({1}));
+}
+
+TEST(GapRelationTest, AbsoluteConstants) {
+  GapRelation p = GapRelation::FromPoints(1, {{2}, {5}});
+  std::vector<int64_t> constants = p.AbsoluteConstants();
+  ASSERT_EQ(constants.size(), 2u);
+  EXPECT_EQ(constants[0], 2);
+  EXPECT_EQ(constants[1], 5);
+}
+
+// The §6 divergence: the successor program p(y) :- p(x), y = x + 1 mints a
+// fresh constant every round — the fixpoint never stabilizes, unlike every
+// dense-order Datalog(not) program (Theorem 4.4's termination argument
+// rests on dense-order operations never creating constants).
+TEST(GapRelationTest, SuccessorFixpointDiverges) {
+  GapRelation p = GapRelation::FromPoints(1, {{0}});
+  size_t previous_constants = p.AbsoluteConstants().size();
+  for (int round = 1; round <= 12; ++round) {
+    GapRelation next = SuccessorStep(p);
+    // Strictly growing every round: no fixpoint in sight.
+    EXPECT_GT(next.AbsoluteConstants().size(), previous_constants);
+    EXPECT_TRUE(next.Contains({round}));
+    EXPECT_FALSE(next.Contains({round + 1}));
+    previous_constants = next.AbsoluteConstants().size();
+    p = std::move(next);
+  }
+  // After k rounds: {0, 1, ..., k}.
+  EXPECT_EQ(p.AbsoluteConstants().size(), 13u);
+}
+
+}  // namespace
+}  // namespace dodb

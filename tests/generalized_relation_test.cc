@@ -1,0 +1,122 @@
+#include "constraints/generalized_relation.h"
+
+#include <gtest/gtest.h>
+
+namespace dodb {
+namespace {
+
+Term V(int i) { return Term::Var(i); }
+Term C(int64_t n) { return Term::Const(Rational(n)); }
+DenseAtom A(Term l, RelOp op, Term r) { return DenseAtom(l, op, r); }
+
+GeneralizedTuple Interval(int64_t lo, int64_t hi) {
+  GeneralizedTuple t(1);
+  t.AddAtom(A(V(0), RelOp::kGe, C(lo)));
+  t.AddAtom(A(V(0), RelOp::kLe, C(hi)));
+  return t;
+}
+
+TEST(GeneralizedRelationTest, EmptyAndTrue) {
+  GeneralizedRelation empty(2);
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(empty.Contains({Rational(0), Rational(0)}));
+  EXPECT_EQ(empty.ToString(), "{}");
+
+  GeneralizedRelation full = GeneralizedRelation::True(2);
+  EXPECT_FALSE(full.IsEmpty());
+  EXPECT_TRUE(full.Contains({Rational(-100), Rational(100)}));
+  EXPECT_EQ(full.tuple_count(), 1u);
+}
+
+TEST(GeneralizedRelationTest, AddTupleDropsUnsatisfiable) {
+  GeneralizedRelation rel(1);
+  GeneralizedTuple bad(1);
+  bad.AddAtom(A(V(0), RelOp::kLt, C(0)));
+  bad.AddAtom(A(V(0), RelOp::kGt, C(0)));
+  rel.AddTuple(bad);
+  EXPECT_TRUE(rel.IsEmpty());
+}
+
+TEST(GeneralizedRelationTest, AddTupleDeduplicatesEquivalentSyntax) {
+  GeneralizedRelation rel(2);
+  GeneralizedTuple a(2);
+  a.AddAtom(A(V(0), RelOp::kLt, V(1)));
+  GeneralizedTuple b(2);
+  b.AddAtom(A(V(1), RelOp::kGt, V(0)));
+  rel.AddTuple(a);
+  rel.AddTuple(b);
+  EXPECT_EQ(rel.tuple_count(), 1u);
+}
+
+TEST(GeneralizedRelationTest, AddTupleSubsumptionBothDirections) {
+  GeneralizedRelation rel(1);
+  rel.AddTuple(Interval(2, 3));
+  // Wider tuple subsumes and replaces the narrow one.
+  rel.AddTuple(Interval(0, 10));
+  EXPECT_EQ(rel.tuple_count(), 1u);
+  EXPECT_TRUE(rel.Contains({Rational(7)}));
+  // A tuple inside the stored one is dropped.
+  rel.AddTuple(Interval(4, 5));
+  EXPECT_EQ(rel.tuple_count(), 1u);
+}
+
+TEST(GeneralizedRelationTest, OverlappingTuplesBothKept) {
+  GeneralizedRelation rel(1);
+  rel.AddTuple(Interval(0, 5));
+  rel.AddTuple(Interval(3, 10));
+  EXPECT_EQ(rel.tuple_count(), 2u);
+  EXPECT_TRUE(rel.Contains({Rational(4)}));
+  EXPECT_TRUE(rel.Contains({Rational(9)}));
+  EXPECT_FALSE(rel.Contains({Rational(11)}));
+}
+
+TEST(GeneralizedRelationTest, FromPointsClassicalRelation) {
+  GeneralizedRelation rel = GeneralizedRelation::FromPoints(
+      2, {{Rational(1), Rational(2)}, {Rational(3), Rational(4)}});
+  EXPECT_EQ(rel.tuple_count(), 2u);
+  EXPECT_TRUE(rel.Contains({Rational(1), Rational(2)}));
+  EXPECT_TRUE(rel.Contains({Rational(3), Rational(4)}));
+  EXPECT_FALSE(rel.Contains({Rational(1), Rational(4)}));
+}
+
+TEST(GeneralizedRelationTest, ConstantsAcrossTuples) {
+  GeneralizedRelation rel(1);
+  rel.AddTuple(Interval(5, 8));
+  rel.AddTuple(Interval(0, 2));
+  std::vector<Rational> constants = rel.Constants();
+  ASSERT_EQ(constants.size(), 4u);
+  EXPECT_EQ(constants[0], Rational(0));
+  EXPECT_EQ(constants[3], Rational(8));
+}
+
+TEST(GeneralizedRelationTest, StructurallyEqualsAfterCanonicalization) {
+  GeneralizedRelation a(1);
+  a.AddTuple(Interval(0, 5));
+  a.AddTuple(Interval(7, 9));
+  GeneralizedRelation b(1);
+  b.AddTuple(Interval(7, 9));
+  b.AddTuple(Interval(0, 5));
+  EXPECT_TRUE(a.StructurallyEquals(b));
+  GeneralizedRelation c(1);
+  c.AddTuple(Interval(0, 5));
+  EXPECT_FALSE(a.StructurallyEquals(c));
+}
+
+TEST(GeneralizedRelationTest, AtomCountMetric) {
+  GeneralizedRelation rel(1);
+  rel.AddTuple(Interval(0, 5));
+  EXPECT_GT(rel.atom_count(), 0u);
+}
+
+TEST(GeneralizedRelationTest, DeterministicToString) {
+  GeneralizedRelation a(1);
+  a.AddTuple(Interval(7, 9));
+  a.AddTuple(Interval(0, 5));
+  GeneralizedRelation b(1);
+  b.AddTuple(Interval(0, 5));
+  b.AddTuple(Interval(7, 9));
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+}  // namespace
+}  // namespace dodb

@@ -1,0 +1,164 @@
+#include "constraints/generalized_tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace dodb {
+namespace {
+
+Term V(int i) { return Term::Var(i); }
+Term C(int64_t n) { return Term::Const(Rational(n)); }
+DenseAtom A(Term l, RelOp op, Term r) { return DenseAtom(l, op, r); }
+
+TEST(GeneralizedTupleTest, TrueTuple) {
+  GeneralizedTuple t(2);
+  EXPECT_TRUE(t.is_true());
+  EXPECT_TRUE(t.IsSatisfiable());
+  EXPECT_TRUE(t.Contains({Rational(1), Rational(-5)}));
+  EXPECT_EQ(t.ToString(), "true");
+}
+
+TEST(GeneralizedTupleTest, PointTuple) {
+  GeneralizedTuple t = GeneralizedTuple::Point({Rational(3), Rational(1, 2)});
+  EXPECT_EQ(t.arity(), 2);
+  EXPECT_TRUE(t.Contains({Rational(3), Rational(1, 2)}));
+  EXPECT_FALSE(t.Contains({Rational(3), Rational(1)}));
+}
+
+TEST(GeneralizedTupleTest, TriangleExampleFromPaper) {
+  // (x <= y and x >= 0 and y <= 10): the paper's §2 binary generalized tuple.
+  GeneralizedTuple t(2);
+  t.AddAtom(A(V(0), RelOp::kLe, V(1)));
+  t.AddAtom(A(V(0), RelOp::kGe, C(0)));
+  t.AddAtom(A(V(1), RelOp::kLe, C(10)));
+  EXPECT_TRUE(t.IsSatisfiable());
+  EXPECT_TRUE(t.Contains({Rational(0), Rational(0)}));
+  EXPECT_TRUE(t.Contains({Rational(2), Rational(7)}));
+  EXPECT_TRUE(t.Contains({Rational(10), Rational(10)}));
+  EXPECT_FALSE(t.Contains({Rational(7), Rational(2)}));
+  EXPECT_FALSE(t.Contains({Rational(-1), Rational(5)}));
+  EXPECT_FALSE(t.Contains({Rational(5), Rational(11)}));
+}
+
+TEST(GeneralizedTupleTest, UnsatisfiableTuple) {
+  GeneralizedTuple t(1);
+  t.AddAtom(A(V(0), RelOp::kLt, C(0)));
+  t.AddAtom(A(V(0), RelOp::kGt, C(1)));
+  EXPECT_FALSE(t.IsSatisfiable());
+  EXPECT_FALSE(t.SampleWitness().has_value());
+}
+
+TEST(GeneralizedTupleTest, CanonicalEqualizesEquivalentSyntax) {
+  // x < y and y < z (implied x < z) vs the same plus explicit x < z.
+  GeneralizedTuple a(3);
+  a.AddAtom(A(V(0), RelOp::kLt, V(1)));
+  a.AddAtom(A(V(1), RelOp::kLt, V(2)));
+  GeneralizedTuple b(3);
+  b.AddAtom(A(V(1), RelOp::kLt, V(2)));
+  b.AddAtom(A(V(0), RelOp::kLt, V(2)));
+  b.AddAtom(A(V(0), RelOp::kLt, V(1)));
+  EXPECT_EQ(a.Canonical().Compare(b.Canonical()), 0);
+}
+
+TEST(GeneralizedTupleTest, CanonicalOfFlippedAtoms) {
+  GeneralizedTuple a(2);
+  a.AddAtom(A(V(0), RelOp::kLt, V(1)));
+  GeneralizedTuple b(2);
+  b.AddAtom(A(V(1), RelOp::kGt, V(0)));
+  EXPECT_EQ(a.Canonical().Compare(b.Canonical()), 0);
+}
+
+TEST(GeneralizedTupleTest, EntailsTransitiveAtom) {
+  GeneralizedTuple t(3);
+  t.AddAtom(A(V(0), RelOp::kLt, V(1)));
+  t.AddAtom(A(V(1), RelOp::kLt, V(2)));
+  EXPECT_TRUE(t.Entails(A(V(0), RelOp::kLt, V(2))));
+  EXPECT_TRUE(t.Entails(A(V(0), RelOp::kNeq, V(2))));
+  EXPECT_FALSE(t.Entails(A(V(2), RelOp::kLe, V(0))));
+}
+
+TEST(GeneralizedTupleTest, EntailsTupleSubsumption) {
+  GeneralizedTuple narrow(2);
+  narrow.AddAtom(A(V(0), RelOp::kGt, C(2)));
+  narrow.AddAtom(A(V(0), RelOp::kLt, C(3)));
+  narrow.AddAtom(A(V(1), RelOp::kEq, C(0)));
+  GeneralizedTuple wide(2);
+  wide.AddAtom(A(V(0), RelOp::kGt, C(0)));
+  EXPECT_TRUE(narrow.EntailsTuple(wide));
+  EXPECT_FALSE(wide.EntailsTuple(narrow));
+}
+
+TEST(GeneralizedTupleTest, ConjoinIntersects) {
+  GeneralizedTuple a(1);
+  a.AddAtom(A(V(0), RelOp::kGe, C(0)));
+  GeneralizedTuple b(1);
+  b.AddAtom(A(V(0), RelOp::kLe, C(10)));
+  GeneralizedTuple both = a.Conjoin(b);
+  EXPECT_TRUE(both.Contains({Rational(5)}));
+  EXPECT_FALSE(both.Contains({Rational(-1)}));
+  EXPECT_FALSE(both.Contains({Rational(11)}));
+}
+
+TEST(GeneralizedTupleTest, ConjoinCanBeUnsatisfiable) {
+  GeneralizedTuple a(1);
+  a.AddAtom(A(V(0), RelOp::kLt, C(0)));
+  GeneralizedTuple b(1);
+  b.AddAtom(A(V(0), RelOp::kGt, C(0)));
+  EXPECT_FALSE(a.Conjoin(b).IsSatisfiable());
+}
+
+TEST(GeneralizedTupleTest, ConstantsSortedDistinct) {
+  GeneralizedTuple t(1);
+  t.AddAtom(A(V(0), RelOp::kGt, C(5)));
+  t.AddAtom(A(V(0), RelOp::kLt, C(2)));
+  t.AddAtom(A(V(0), RelOp::kNeq, C(5)));
+  std::vector<Rational> constants = t.Constants();
+  ASSERT_EQ(constants.size(), 2u);
+  EXPECT_EQ(constants[0], Rational(2));
+  EXPECT_EQ(constants[1], Rational(5));
+}
+
+TEST(GeneralizedTupleTest, ReindexedPermutesColumns) {
+  GeneralizedTuple t(2);
+  t.AddAtom(A(V(0), RelOp::kLt, V(1)));
+  GeneralizedTuple swapped = t.Reindexed({1, 0}, 2);
+  EXPECT_TRUE(swapped.Contains({Rational(2), Rational(1)}));
+  EXPECT_FALSE(swapped.Contains({Rational(1), Rational(2)}));
+}
+
+TEST(GeneralizedTupleTest, ReindexedWidensArity) {
+  GeneralizedTuple t(1);
+  t.AddAtom(A(V(0), RelOp::kEq, C(7)));
+  GeneralizedTuple widened = t.Reindexed({2}, 3);
+  EXPECT_EQ(widened.arity(), 3);
+  EXPECT_TRUE(widened.Contains({Rational(0), Rational(0), Rational(7)}));
+  EXPECT_FALSE(widened.Contains({Rational(7), Rational(0), Rational(0)}));
+}
+
+TEST(GeneralizedTupleTest, WitnessSatisfiesTuple) {
+  GeneralizedTuple t(3);
+  t.AddAtom(A(V(0), RelOp::kLt, V(1)));
+  t.AddAtom(A(V(1), RelOp::kLt, V(2)));
+  t.AddAtom(A(V(0), RelOp::kGt, C(100)));
+  auto witness = t.SampleWitness();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(t.Contains(*witness));
+}
+
+TEST(GeneralizedTupleTest, ToStringWithNames) {
+  GeneralizedTuple t(2);
+  t.AddAtom(A(V(0), RelOp::kLe, V(1)));
+  std::vector<std::string> names = {"x", "y"};
+  EXPECT_EQ(t.ToString(&names), "x <= y");
+  EXPECT_EQ(t.ToString(), "x0 <= x1");
+}
+
+TEST(GeneralizedTupleTest, HashEqualForEqualTuples) {
+  GeneralizedTuple a(2);
+  a.AddAtom(A(V(0), RelOp::kLt, V(1)));
+  GeneralizedTuple b(2);
+  b.AddAtom(A(V(1), RelOp::kGt, V(0)));
+  EXPECT_EQ(a.Canonical().Hash(), b.Canonical().Hash());
+}
+
+}  // namespace
+}  // namespace dodb

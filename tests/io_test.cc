@@ -1,0 +1,121 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "cells/cell_decomposition.h"
+#include "io/database.h"
+#include "io/text_format.h"
+
+namespace dodb {
+namespace {
+
+constexpr char kSample[] = R"(
+# sample constraint database
+relation S(x) {
+  x >= 0 and x <= 2;
+  x >= 5 and x <= 8;
+}
+relation E(x, y) {
+  x = 1 and y = 2;
+  x = 2 and y = 3;
+}
+relation Empty(a, b) {
+}
+relation All(z) {
+  true;
+}
+)";
+
+TEST(DatabaseTest, CatalogBasics) {
+  Database db;
+  EXPECT_TRUE(db.AddRelation("R", GeneralizedRelation(2)).ok());
+  EXPECT_FALSE(db.AddRelation("R", GeneralizedRelation(1)).ok());
+  EXPECT_TRUE(db.HasRelation("R"));
+  EXPECT_FALSE(db.HasRelation("S"));
+  EXPECT_EQ(db.FindRelation("S"), nullptr);
+  ASSERT_NE(db.FindRelation("R"), nullptr);
+  EXPECT_EQ(db.FindRelation("R")->arity(), 2);
+  db.SetRelation("R", GeneralizedRelation(3));
+  EXPECT_EQ(db.FindRelation("R")->arity(), 3);
+  EXPECT_EQ(db.relation_count(), 1u);
+}
+
+TEST(TextFormatTest, ParseSample) {
+  Database db = ParseDatabase(kSample).value();
+  EXPECT_EQ(db.relation_count(), 4u);
+  const GeneralizedRelation* s = db.FindRelation("S");
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->Contains({Rational(1)}));
+  EXPECT_TRUE(s->Contains({Rational(6)}));
+  EXPECT_FALSE(s->Contains({Rational(3)}));
+  const GeneralizedRelation* e = db.FindRelation("E");
+  EXPECT_TRUE(e->Contains({Rational(1), Rational(2)}));
+  EXPECT_FALSE(e->Contains({Rational(1), Rational(3)}));
+  EXPECT_TRUE(db.FindRelation("Empty")->IsEmpty());
+  EXPECT_TRUE(db.FindRelation("All")->Contains({Rational(-999)}));
+}
+
+TEST(TextFormatTest, RationalAndNegativeConstants) {
+  Database db = ParseDatabase(R"(
+    relation R(x) {
+      x >= -3/2 and x < 0.5;
+    }
+  )").value();
+  const GeneralizedRelation* r = db.FindRelation("R");
+  EXPECT_TRUE(r->Contains({Rational(-3, 2)}));
+  EXPECT_TRUE(r->Contains({Rational(0)}));
+  EXPECT_FALSE(r->Contains({Rational(1, 2)}));
+}
+
+TEST(TextFormatTest, RoundTripPreservesSemantics) {
+  Database db = ParseDatabase(kSample).value();
+  std::string text = FormatDatabase(db);
+  Database back = ParseDatabase(text).value();
+  ASSERT_EQ(back.relation_count(), db.relation_count());
+  for (const std::string& name : db.RelationNames()) {
+    Result<bool> equal = CellDecomposition::SemanticallyEqual(
+        *db.FindRelation(name), *back.FindRelation(name));
+    ASSERT_TRUE(equal.ok());
+    EXPECT_TRUE(equal.value()) << name;
+  }
+}
+
+TEST(TextFormatTest, ParseErrors) {
+  EXPECT_FALSE(ParseDatabase("relation R(x) { x >= 0 }").ok());  // missing ;
+  EXPECT_FALSE(ParseDatabase("relation R(x) { y >= 0; }").ok());
+  EXPECT_FALSE(ParseDatabase("table R(x) { }").ok());
+  EXPECT_FALSE(
+      ParseDatabase("relation R(x) { } relation R(x) { }").ok());
+  EXPECT_FALSE(ParseDatabase("relation R(x) { x + 1 >= 0; }").ok());
+}
+
+TEST(TextFormatTest, FileRoundTrip) {
+  Database db = ParseDatabase(kSample).value();
+  std::string path = ::testing::TempDir() + "/dodb_io_test.cdb";
+  ASSERT_TRUE(SaveDatabaseFile(db, path).ok());
+  Database loaded = LoadDatabaseFile(path).value();
+  EXPECT_EQ(loaded.relation_count(), db.relation_count());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadDatabaseFile(path + ".missing").ok());
+}
+
+TEST(DatabaseTest, EncodedDatabaseUsesIntegerRanks) {
+  Database db = ParseDatabase(R"(
+    relation R(x) {
+      x >= 1/3 and x <= 1/2;
+    }
+    relation S(x) {
+      x = 7/8;
+    }
+  )").value();
+  Database encoded = db.Encoded();
+  // Constants 1/3 < 1/2 < 7/8 become 0, 1, 2.
+  EXPECT_TRUE(encoded.FindRelation("R")->Contains({Rational(1, 2)}));
+  EXPECT_TRUE(encoded.FindRelation("S")->Contains({Rational(2)}));
+  for (const Rational& c : encoded.AllConstants()) {
+    EXPECT_TRUE(c.is_integer());
+  }
+}
+
+}  // namespace
+}  // namespace dodb

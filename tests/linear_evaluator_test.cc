@@ -1,0 +1,131 @@
+#include "fo/linear_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "fo/parser.h"
+
+namespace dodb {
+namespace {
+
+Term V(int i) { return Term::Var(i); }
+Term C(int64_t n) { return Term::Const(Rational(n)); }
+
+Database MakeDb() {
+  Database db;
+  // The paper's triangle R and a 1-D pointset S (dense-order relations;
+  // the evaluator lifts them into linear form).
+  GeneralizedRelation triangle(2);
+  GeneralizedTuple t(2);
+  t.AddAtom(DenseAtom(V(0), RelOp::kLe, V(1)));
+  t.AddAtom(DenseAtom(V(0), RelOp::kGe, C(0)));
+  t.AddAtom(DenseAtom(V(1), RelOp::kLe, C(10)));
+  triangle.AddTuple(t);
+  db.SetRelation("R", triangle);
+
+  db.SetRelation("P", GeneralizedRelation::FromPoints(
+                          1, {{Rational(1)}, {Rational(2)}, {Rational(5)}}));
+  return db;
+}
+
+LinearRelation EvalQuery(const Database& db, const std::string& text) {
+  Query query = FoParser::ParseQuery(text).value();
+  LinearFoEvaluator evaluator(&db);
+  Result<LinearRelation> result = evaluator.Evaluate(query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << " for " << text;
+  return result.ok() ? result.value() : LinearRelation(0);
+}
+
+bool EvalBool(const Database& db, const std::string& text) {
+  return !EvalQuery(db, text).IsEmpty();
+}
+
+TEST(LinearFoEvaluatorTest, AdditionInComparison) {
+  Database db = MakeDb();
+  // Midpoint definable with +: {(x,y,m) | R(x,y) and m + m = x + y}.
+  LinearRelation out =
+      EvalQuery(db, "{ (x, y, m) | R(x, y) and m + m = x + y }");
+  EXPECT_TRUE(out.Contains({Rational(0), Rational(10), Rational(5)}));
+  EXPECT_TRUE(out.Contains({Rational(1), Rational(2), Rational(3, 2)}));
+  EXPECT_FALSE(out.Contains({Rational(0), Rational(10), Rational(4)}));
+}
+
+TEST(LinearFoEvaluatorTest, SumSelection) {
+  Database db = MakeDb();
+  LinearRelation out = EvalQuery(db, "{ (x, y) | R(x, y) and x + y <= 6 }");
+  EXPECT_TRUE(out.Contains({Rational(1), Rational(5)}));
+  EXPECT_FALSE(out.Contains({Rational(3), Rational(4)}));
+  EXPECT_FALSE(out.Contains({Rational(5), Rational(1)}));  // not in R
+}
+
+TEST(LinearFoEvaluatorTest, LinearTermAsRelationArgument) {
+  Database db = MakeDb();
+  // P(x + 1): x such that x+1 is one of {1, 2, 5}.
+  LinearRelation out = EvalQuery(db, "{ (x) | P(x + 1) }");
+  EXPECT_TRUE(out.Contains({Rational(0)}));
+  EXPECT_TRUE(out.Contains({Rational(1)}));
+  EXPECT_TRUE(out.Contains({Rational(4)}));
+  EXPECT_FALSE(out.Contains({Rational(2)}));
+}
+
+TEST(LinearFoEvaluatorTest, ScalarMultiplication) {
+  Database db = MakeDb();
+  LinearRelation out = EvalQuery(db, "{ (x) | 2*x - 3 < 1 and x >= 0 }");
+  EXPECT_TRUE(out.Contains({Rational(0)}));
+  EXPECT_TRUE(out.Contains({Rational(3, 2)}));
+  EXPECT_FALSE(out.Contains({Rational(2)}));
+}
+
+TEST(LinearFoEvaluatorTest, ExistentialWithAddition) {
+  Database db = MakeDb();
+  // Is there a point of P that is the sum of two P points? 1+1=2: yes.
+  EXPECT_TRUE(EvalBool(db, "exists x, y, z (P(x) and P(y) and P(z) and "
+                           "x + y = z)"));
+  // Is there a P point equal to 4 + a P point? 1+4=5: yes via x=1.
+  EXPECT_TRUE(EvalBool(db, "exists x, z (P(x) and P(z) and x + 4 = z)"));
+  // No P point is the double of 5.
+  EXPECT_FALSE(EvalBool(db, "exists x (P(x) and x = 10)"));
+}
+
+TEST(LinearFoEvaluatorTest, NegationOfHalfPlane) {
+  Database db = MakeDb();
+  LinearRelation out = EvalQuery(db, "{ (x, y) | not (x + y <= 0) }");
+  EXPECT_TRUE(out.Contains({Rational(1), Rational(0)}));
+  EXPECT_FALSE(out.Contains({Rational(0), Rational(0)}));
+  EXPECT_FALSE(out.Contains({Rational(-1), Rational(0)}));
+}
+
+TEST(LinearFoEvaluatorTest, ForallWithAddition) {
+  Database db = MakeDb();
+  // Every pair of P points sums to at most c  <=>  c >= 10.
+  LinearRelation out = EvalQuery(
+      db, "{ (c) | forall x, y (P(x) and P(y) -> x + y <= c) }");
+  EXPECT_TRUE(out.Contains({Rational(10)}));
+  EXPECT_TRUE(out.Contains({Rational(11)}));
+  EXPECT_FALSE(out.Contains({Rational(9)}));
+}
+
+TEST(LinearFoEvaluatorTest, InequationSplits) {
+  Database db = MakeDb();
+  LinearRelation out = EvalQuery(db, "{ (x) | x + x != 2 and P(x) }");
+  EXPECT_FALSE(out.Contains({Rational(1)}));
+  EXPECT_TRUE(out.Contains({Rational(2)}));
+  EXPECT_TRUE(out.Contains({Rational(5)}));
+}
+
+TEST(LinearFoEvaluatorTest, DenseQueriesStillWork) {
+  Database db = MakeDb();
+  LinearRelation out = EvalQuery(db, "{ (y) | exists x (R(x, y)) }");
+  EXPECT_TRUE(out.Contains({Rational(0)}));
+  EXPECT_TRUE(out.Contains({Rational(10)}));
+  EXPECT_FALSE(out.Contains({Rational(11)}));
+}
+
+TEST(LinearFoEvaluatorTest, MissingRelationIsError) {
+  Database db = MakeDb();
+  Query query = FoParser::ParseQuery("{ (x) | Zap(x + 1) }").value();
+  LinearFoEvaluator evaluator(&db);
+  EXPECT_EQ(evaluator.Evaluate(query).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dodb

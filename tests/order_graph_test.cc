@@ -1,0 +1,314 @@
+#include "constraints/order_graph.h"
+
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "constraints/dense_atom.h"
+
+namespace dodb {
+namespace {
+
+Term V(int i) { return Term::Var(i); }
+Term C(int64_t n) { return Term::Const(Rational(n)); }
+
+TEST(PaAlgebraTest, ComposeBasics) {
+  EXPECT_EQ(PaCompose(kPaLt, kPaLt), kPaLt);
+  EXPECT_EQ(PaCompose(kPaLt, kPaEq), kPaLt);
+  EXPECT_EQ(PaCompose(kPaLt, kPaGt), kPaAll);
+  EXPECT_EQ(PaCompose(kPaEq, kPaNeq), kPaNeq);
+  EXPECT_EQ(PaCompose(kPaLe, kPaLe), kPaLe);
+  EXPECT_EQ(PaCompose(kPaLe, kPaLt), kPaLt);
+  EXPECT_EQ(PaCompose(kPaGe, kPaGt), kPaGt);
+  EXPECT_EQ(PaCompose(kPaNeq, kPaNeq), kPaAll);
+}
+
+TEST(PaAlgebraTest, InverseBasics) {
+  EXPECT_EQ(PaInverse(kPaLt), kPaGt);
+  EXPECT_EQ(PaInverse(kPaLe), kPaGe);
+  EXPECT_EQ(PaInverse(kPaEq), kPaEq);
+  EXPECT_EQ(PaInverse(kPaNeq), kPaNeq);
+  EXPECT_EQ(PaInverse(kPaAll), kPaAll);
+}
+
+TEST(PaAlgebraTest, RelOpRoundTrip) {
+  for (RelOp op : {RelOp::kLt, RelOp::kLe, RelOp::kEq, RelOp::kNeq, RelOp::kGe,
+                   RelOp::kGt}) {
+    EXPECT_EQ(PaToRelOp(RelOpToPa(op)), op);
+  }
+}
+
+TEST(OrderGraphTest, EmptyNetworkSatisfiable) {
+  OrderGraph g(3);
+  EXPECT_TRUE(g.IsSatisfiable());
+}
+
+TEST(OrderGraphTest, StrictCycleUnsatisfiable) {
+  OrderGraph g(2);
+  g.AddAtom(DenseAtom(V(0), RelOp::kLt, V(1)));
+  g.AddAtom(DenseAtom(V(1), RelOp::kLt, V(0)));
+  EXPECT_FALSE(g.IsSatisfiable());
+}
+
+TEST(OrderGraphTest, NonStrictCycleForcesEquality) {
+  OrderGraph g(2);
+  g.AddAtom(DenseAtom(V(0), RelOp::kLe, V(1)));
+  g.AddAtom(DenseAtom(V(1), RelOp::kLe, V(0)));
+  ASSERT_TRUE(g.IsSatisfiable());
+  EXPECT_EQ(g.RelBetween(0, 1), kPaEq);
+  EXPECT_TRUE(g.Entails(DenseAtom(V(0), RelOp::kEq, V(1))));
+}
+
+TEST(OrderGraphTest, NonStrictCycleWithNeqUnsatisfiable) {
+  OrderGraph g(2);
+  g.AddAtom(DenseAtom(V(0), RelOp::kLe, V(1)));
+  g.AddAtom(DenseAtom(V(1), RelOp::kLe, V(0)));
+  g.AddAtom(DenseAtom(V(0), RelOp::kNeq, V(1)));
+  EXPECT_FALSE(g.IsSatisfiable());
+}
+
+TEST(OrderGraphTest, TransitivityEntailed) {
+  OrderGraph g(3);
+  g.AddAtom(DenseAtom(V(0), RelOp::kLt, V(1)));
+  g.AddAtom(DenseAtom(V(1), RelOp::kLe, V(2)));
+  EXPECT_TRUE(g.Entails(DenseAtom(V(0), RelOp::kLt, V(2))));
+  EXPECT_FALSE(g.Entails(DenseAtom(V(2), RelOp::kLt, V(0))));
+}
+
+TEST(OrderGraphTest, ConstantsCarryTheirOrder) {
+  OrderGraph g(1);
+  g.AddAtom(DenseAtom(V(0), RelOp::kGt, C(3)));
+  g.AddAtom(DenseAtom(V(0), RelOp::kLt, C(5)));
+  ASSERT_TRUE(g.IsSatisfiable());
+  EXPECT_TRUE(g.Entails(DenseAtom(V(0), RelOp::kGt, C(2))));
+  EXPECT_TRUE(g.Entails(DenseAtom(V(0), RelOp::kNeq, C(7))));
+  EXPECT_FALSE(g.Entails(DenseAtom(V(0), RelOp::kGt, C(4))));
+}
+
+TEST(OrderGraphTest, ContradictoryConstantBoundsUnsatisfiable) {
+  OrderGraph g(1);
+  g.AddAtom(DenseAtom(V(0), RelOp::kGt, C(5)));
+  g.AddAtom(DenseAtom(V(0), RelOp::kLt, C(3)));
+  EXPECT_FALSE(g.IsSatisfiable());
+}
+
+TEST(OrderGraphTest, EqualToConstantThenNeqUnsatisfiable) {
+  OrderGraph g(1);
+  g.AddAtom(DenseAtom(V(0), RelOp::kEq, C(5)));
+  g.AddAtom(DenseAtom(V(0), RelOp::kNeq, C(5)));
+  EXPECT_FALSE(g.IsSatisfiable());
+}
+
+TEST(OrderGraphTest, GroundFalseAtomUnsatisfiable) {
+  OrderGraph g(1);
+  g.AddAtom(DenseAtom(C(5), RelOp::kLt, C(3)));
+  EXPECT_FALSE(g.IsSatisfiable());
+}
+
+TEST(OrderGraphTest, GroundTrueAtomIgnored) {
+  OrderGraph g(1);
+  g.AddAtom(DenseAtom(C(3), RelOp::kLt, C(5)));
+  EXPECT_TRUE(g.IsSatisfiable());
+}
+
+TEST(OrderGraphTest, ReflexiveAtoms) {
+  OrderGraph g(1);
+  g.AddAtom(DenseAtom(V(0), RelOp::kLe, V(0)));
+  EXPECT_TRUE(g.IsSatisfiable());
+  OrderGraph g2(1);
+  g2.AddAtom(DenseAtom(V(0), RelOp::kLt, V(0)));
+  EXPECT_FALSE(g2.IsSatisfiable());
+  OrderGraph g3(1);
+  g3.AddAtom(DenseAtom(V(0), RelOp::kNeq, V(0)));
+  EXPECT_FALSE(g3.IsSatisfiable());
+}
+
+TEST(OrderGraphTest, NeqPropagatesThroughEquality) {
+  // x = 5 and x != y entails y != 5.
+  OrderGraph g(2);
+  g.AddAtom(DenseAtom(V(0), RelOp::kEq, C(5)));
+  g.AddAtom(DenseAtom(V(0), RelOp::kNeq, V(1)));
+  ASSERT_TRUE(g.IsSatisfiable());
+  EXPECT_TRUE(g.Entails(DenseAtom(V(1), RelOp::kNeq, C(5))));
+}
+
+TEST(OrderGraphTest, RelToValueBetweenConstants) {
+  OrderGraph g(1);
+  g.AddAtom(DenseAtom(V(0), RelOp::kGt, C(3)));
+  g.AddAtom(DenseAtom(V(0), RelOp::kLt, C(5)));
+  // 7 is above the upper bound: x < 7 known exactly.
+  EXPECT_EQ(g.RelToValue(0, Rational(7)), kPaLt);
+  EXPECT_EQ(g.RelToValue(0, Rational(2)), kPaGt);
+  // 4 lies inside the feasible interval: nothing is known.
+  EXPECT_EQ(g.RelToValue(0, Rational(4)), kPaAll);
+}
+
+TEST(OrderGraphTest, EqualityRepPrefersConstant) {
+  OrderGraph g(2);
+  g.AddAtom(DenseAtom(V(0), RelOp::kEq, V(1)));
+  g.AddAtom(DenseAtom(V(1), RelOp::kEq, C(9)));
+  auto rep = g.EqualityRep(0);
+  ASSERT_TRUE(rep.has_value());
+  ASSERT_TRUE(rep->is_const());
+  EXPECT_EQ(rep->constant(), Rational(9));
+}
+
+TEST(OrderGraphTest, EqualityRepDerivedFromNonStrictCycle) {
+  OrderGraph g(2);
+  g.AddAtom(DenseAtom(V(0), RelOp::kLe, V(1)));
+  g.AddAtom(DenseAtom(V(1), RelOp::kLe, V(0)));
+  auto rep = g.EqualityRep(1);
+  ASSERT_TRUE(rep.has_value());
+  ASSERT_TRUE(rep->is_var());
+  EXPECT_EQ(rep->var(), 0);
+}
+
+TEST(OrderGraphTest, EqualityRepAbsent) {
+  OrderGraph g(2);
+  g.AddAtom(DenseAtom(V(0), RelOp::kLt, V(1)));
+  EXPECT_FALSE(g.EqualityRep(0).has_value());
+}
+
+TEST(OrderGraphTest, CanonicalAtomsIncludeDerivedRelations) {
+  OrderGraph g(3);
+  g.AddAtom(DenseAtom(V(0), RelOp::kLt, V(1)));
+  g.AddAtom(DenseAtom(V(1), RelOp::kLt, V(2)));
+  std::vector<DenseAtom> atoms = g.CanonicalAtoms();
+  bool found_derived = false;
+  for (const DenseAtom& atom : atoms) {
+    if (atom.Compare(DenseAtom(V(0), RelOp::kLt, V(2))) == 0) {
+      found_derived = true;
+    }
+  }
+  EXPECT_TRUE(found_derived);
+}
+
+TEST(OrderGraphTest, WitnessSatisfiesSimpleNetwork) {
+  OrderGraph g(3);
+  g.AddAtom(DenseAtom(V(0), RelOp::kLt, V(1)));
+  g.AddAtom(DenseAtom(V(1), RelOp::kLe, V(2)));
+  g.AddAtom(DenseAtom(V(0), RelOp::kGt, C(0)));
+  g.AddAtom(DenseAtom(V(2), RelOp::kLt, C(1)));
+  auto witness = g.SampleWitness();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_LT((*witness)[0], (*witness)[1]);
+  EXPECT_LE((*witness)[1], (*witness)[2]);
+  EXPECT_GT((*witness)[0], Rational(0));
+  EXPECT_LT((*witness)[2], Rational(1));
+}
+
+TEST(OrderGraphTest, WitnessRespectsPinnedEquality) {
+  OrderGraph g(2);
+  g.AddAtom(DenseAtom(V(0), RelOp::kEq, C(5)));
+  g.AddAtom(DenseAtom(V(1), RelOp::kGt, V(0)));
+  auto witness = g.SampleWitness();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ((*witness)[0], Rational(5));
+  EXPECT_GT((*witness)[1], Rational(5));
+}
+
+TEST(OrderGraphTest, WitnessOfUnsatisfiableIsNullopt) {
+  OrderGraph g(1);
+  g.AddAtom(DenseAtom(V(0), RelOp::kLt, C(0)));
+  g.AddAtom(DenseAtom(V(0), RelOp::kGt, C(0)));
+  EXPECT_FALSE(g.SampleWitness().has_value());
+}
+
+TEST(OrderGraphTest, ZeroVariableNetwork) {
+  OrderGraph g(0);
+  EXPECT_TRUE(g.IsSatisfiable());
+  auto witness = g.SampleWitness();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->empty());
+  OrderGraph g2(0);
+  g2.AddAtom(DenseAtom(C(1), RelOp::kLt, C(0)));
+  EXPECT_FALSE(g2.IsSatisfiable());
+}
+
+// --- Property sweep ---------------------------------------------------------
+//
+// Random networks: path-consistency satisfiability must agree with an
+// independent brute-force search over a witness grid, and SampleWitness must
+// return a point satisfying every atom whenever the network is satisfiable.
+//
+// Grid completeness: atoms only compare variables to each other and to the
+// constants {0, 2, 4}. Any rational solution can be order-isomorphically
+// moved onto a grid holding the constants plus `num_vars` distinct fresh
+// values in every open interval (including the two unbounded ends), so
+// searching the grid is exact.
+
+class OrderGraphRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrderGraphRandomProperty, PcAgreesWithBruteForceAndWitnessIsValid) {
+  std::mt19937_64 rng(GetParam() * 1299709);
+  const int kVars = 3;
+  const std::vector<Rational> constants = {Rational(0), Rational(2),
+                                           Rational(4)};
+  // Grid: constants plus kVars interior points per gap and per unbounded end.
+  std::vector<Rational> grid;
+  for (int i = 1; i <= kVars; ++i) grid.push_back(Rational(-i));
+  for (size_t g = 0; g + 1 < constants.size(); ++g) {
+    for (int i = 1; i <= kVars; ++i) {
+      grid.push_back(constants[g] +
+                     (constants[g + 1] - constants[g]) *
+                         Rational(i, kVars + 1));
+    }
+  }
+  for (int i = 1; i <= kVars; ++i) grid.push_back(Rational(4) + Rational(i));
+  for (const Rational& c : constants) grid.push_back(c);
+
+  const RelOp kOps[] = {RelOp::kLt, RelOp::kLe, RelOp::kEq,
+                        RelOp::kNeq, RelOp::kGe, RelOp::kGt};
+  for (int trial = 0; trial < 120; ++trial) {
+    int num_atoms = 1 + static_cast<int>(rng() % 6);
+    std::vector<DenseAtom> atoms;
+    for (int a = 0; a < num_atoms; ++a) {
+      Term lhs = Term::Var(static_cast<int>(rng() % kVars));
+      Term rhs = (rng() % 3 == 0)
+                     ? Term::Const(constants[rng() % constants.size()])
+                     : Term::Var(static_cast<int>(rng() % kVars));
+      atoms.emplace_back(lhs, kOps[rng() % 6], rhs);
+    }
+    OrderGraph g(kVars);
+    for (const DenseAtom& atom : atoms) g.AddAtom(atom);
+    bool pc_sat = g.IsSatisfiable();
+
+    // Brute force over the grid.
+    bool brute_sat = false;
+    std::vector<Rational> point(kVars);
+    for (size_t i = 0; i < grid.size() && !brute_sat; ++i) {
+      for (size_t j = 0; j < grid.size() && !brute_sat; ++j) {
+        for (size_t k = 0; k < grid.size() && !brute_sat; ++k) {
+          point[0] = grid[i];
+          point[1] = grid[j];
+          point[2] = grid[k];
+          bool all = true;
+          for (const DenseAtom& atom : atoms) {
+            if (!atom.Holds(point)) {
+              all = false;
+              break;
+            }
+          }
+          brute_sat = all;
+        }
+      }
+    }
+
+    ASSERT_EQ(pc_sat, brute_sat) << "trial " << trial;
+    if (pc_sat) {
+      auto witness = g.SampleWitness();
+      ASSERT_TRUE(witness.has_value());
+      for (const DenseAtom& atom : atoms) {
+        EXPECT_TRUE(atom.Holds(*witness))
+            << atom.ToString() << " violated by witness";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderGraphRandomProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace dodb

@@ -1,0 +1,227 @@
+#include "spatial/polygon.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "cells/standard_encoding.h"
+
+namespace dodb {
+namespace spatial {
+namespace {
+
+Point2 P(int64_t x, int64_t y) { return Point2{Rational(x), Rational(y)}; }
+
+TEST(CrossTest, Orientation) {
+  EXPECT_GT(Cross(P(0, 0), P(1, 0), P(0, 1)), Rational(0));   // CCW
+  EXPECT_LT(Cross(P(0, 0), P(0, 1), P(1, 0)), Rational(0));   // CW
+  EXPECT_EQ(Cross(P(0, 0), P(1, 1), P(2, 2)), Rational(0));   // collinear
+}
+
+TEST(ConvexHullTest, SquareWithInteriorAndEdgePoints) {
+  ConvexPolygon hull = ConvexPolygon::ConvexHull(
+      {P(0, 0), P(2, 0), P(2, 2), P(0, 2), P(1, 1), P(1, 0), P(0, 1)});
+  EXPECT_TRUE(hull.Contains(P(1, 1)));
+  EXPECT_TRUE(hull.Contains(P(0, 0)));
+  EXPECT_TRUE(hull.Contains(P(2, 1)));
+  EXPECT_FALSE(hull.Contains(P(3, 1)));
+  EXPECT_FALSE(hull.Contains(Point2{Rational(-1, 100), Rational(1)}));
+  EXPECT_TRUE(hull.IsBounded());
+
+  std::vector<Point2> vertices = hull.Vertices().value();
+  ASSERT_EQ(vertices.size(), 4u);
+  EXPECT_EQ(vertices[0], P(0, 0));  // lexicographically smallest first
+  // Counter-clockwise: (0,0) -> (2,0) -> (2,2) -> (0,2).
+  EXPECT_EQ(vertices[1], P(2, 0));
+  EXPECT_EQ(vertices[2], P(2, 2));
+  EXPECT_EQ(vertices[3], P(0, 2));
+}
+
+TEST(ConvexHullTest, TriangleWithRationalCoordinates) {
+  ConvexPolygon hull = ConvexPolygon::ConvexHull(
+      {Point2{Rational(1, 2), Rational(0)}, P(3, 0),
+       Point2{Rational(3, 2), Rational(5, 2)}});
+  EXPECT_TRUE(hull.Contains(Point2{Rational(3, 2), Rational(1)}));
+  EXPECT_FALSE(hull.Contains(P(0, 0)));
+  EXPECT_EQ(hull.Vertices().value().size(), 3u);
+}
+
+TEST(ConvexHullTest, DegenerateCases) {
+  // Empty.
+  ConvexPolygon empty = ConvexPolygon::ConvexHull({});
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(empty.Vertices().ok());
+
+  // Single point.
+  ConvexPolygon point = ConvexPolygon::ConvexHull({P(3, 4), P(3, 4)});
+  EXPECT_TRUE(point.Contains(P(3, 4)));
+  EXPECT_FALSE(point.Contains(P(3, 5)));
+  EXPECT_TRUE(point.IsBounded());
+  EXPECT_EQ(point.Vertices().value().size(), 1u);
+
+  // Collinear points: a segment.
+  ConvexPolygon segment =
+      ConvexPolygon::ConvexHull({P(0, 0), P(2, 2), P(4, 4), P(1, 1)});
+  EXPECT_TRUE(segment.Contains(P(3, 3)));
+  EXPECT_FALSE(segment.Contains(P(5, 5)));   // beyond the endpoint
+  EXPECT_FALSE(segment.Contains(P(1, 2)));   // off the line
+  EXPECT_TRUE(segment.IsBounded());
+  std::vector<Point2> ends = segment.Vertices().value();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(ends[0], P(0, 0));
+  EXPECT_EQ(ends[1], P(4, 4));
+}
+
+TEST(ConvexPolygonTest, UnboundedRegions) {
+  // Half-plane x >= 0.
+  LinearSystem half(2);
+  half.AddAtom(LinearAtom(LinearExpr::Var(0).Negated(), LinOp::kLe));
+  ConvexPolygon region = ConvexPolygon::FromSystem(half);
+  EXPECT_FALSE(region.IsBounded());
+  EXPECT_FALSE(region.Vertices().ok());
+
+  // A line (equality): unbounded too.
+  LinearSystem line(2);
+  line.AddAtom(LinearAtom(
+      LinearExpr::Var(0).Minus(LinearExpr::Var(1)), LinOp::kEq));
+  EXPECT_FALSE(ConvexPolygon::FromSystem(line).IsBounded());
+}
+
+TEST(ConvexPolygonTest, IntersectionOfHulls) {
+  ConvexPolygon a = ConvexPolygon::ConvexHull(
+      {P(0, 0), P(4, 0), P(4, 4), P(0, 4)});
+  ConvexPolygon b = ConvexPolygon::ConvexHull(
+      {P(2, 2), P(6, 2), P(6, 6), P(2, 6)});
+  ConvexPolygon inter = a.IntersectWith(b);
+  EXPECT_TRUE(inter.Contains(P(3, 3)));
+  EXPECT_FALSE(inter.Contains(P(1, 1)));
+  EXPECT_FALSE(inter.Contains(P(5, 5)));
+  std::vector<Point2> vertices = inter.Vertices().value();
+  ASSERT_EQ(vertices.size(), 4u);  // the square [2,4]^2
+  EXPECT_EQ(vertices[0], P(2, 2));
+  EXPECT_EQ(vertices[2], P(4, 4));
+
+  ConvexPolygon far = ConvexPolygon::ConvexHull({P(10, 10), P(11, 10),
+                                                 P(10, 11)});
+  EXPECT_TRUE(a.IntersectWith(far).IsEmpty());
+}
+
+// Property: the hull contains every input point, and every hull vertex is
+// an input point.
+class HullProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HullProperty, HullIsTightAndCovering) {
+  std::mt19937_64 rng(GetParam() * 7566619);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Point2> points;
+    int n = 3 + static_cast<int>(rng() % 10);
+    for (int i = 0; i < n; ++i) {
+      points.push_back(Point2{Rational(static_cast<int64_t>(rng() % 13) - 6),
+                              Rational(static_cast<int64_t>(rng() % 13) - 6)});
+    }
+    ConvexPolygon hull = ConvexPolygon::ConvexHull(points);
+    for (const Point2& p : points) {
+      EXPECT_TRUE(hull.Contains(p));
+    }
+    Result<std::vector<Point2>> vertices = hull.Vertices();
+    ASSERT_TRUE(vertices.ok());
+    for (const Point2& v : vertices.value()) {
+      EXPECT_NE(std::find(points.begin(), points.end(), v), points.end())
+          << "hull vertex (" << v.x << ", " << v.y
+          << ") is not an input point";
+    }
+    // Midpoints of consecutive vertices stay inside (convexity).
+    const std::vector<Point2>& vs = vertices.value();
+    for (size_t i = 0; vs.size() >= 3 && i < vs.size(); ++i) {
+      const Point2& a = vs[i];
+      const Point2& b = vs[(i + 1) % vs.size()];
+      Point2 mid{(a.x + b.x) / Rational(2), (a.y + b.y) / Rational(2)};
+      EXPECT_TRUE(hull.Contains(mid));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HullProperty, ::testing::Values(1, 2, 3));
+
+TEST(VoronoiTest, UnitSquareSites) {
+  // Sites at the four corners of [0,2]^2; the cell of (0,0) is the lower
+  // left quadrant of the square world: x <= 1 and y <= 1.
+  std::vector<Point2> sites = {P(0, 0), P(2, 0), P(0, 2), P(2, 2)};
+  ConvexPolygon cell = VoronoiCell(P(0, 0), sites);
+  EXPECT_TRUE(cell.Contains(Point2{Rational(1, 2), Rational(1, 2)}));
+  EXPECT_TRUE(cell.Contains(P(1, 1)));  // closed cell: bisectors included
+  EXPECT_FALSE(cell.Contains(Point2{Rational(3, 2), Rational(1, 2)}));
+  EXPECT_FALSE(cell.IsBounded());  // corner cells are unbounded
+  // The center is equidistant to all four sites: in every cell.
+  for (const Point2& s : sites) {
+    EXPECT_TRUE(VoronoiCell(s, sites).Contains(P(1, 1)));
+  }
+}
+
+TEST(VoronoiTest, InteriorSiteHasBoundedCell) {
+  std::vector<Point2> sites = {P(0, 0), P(4, 0), P(0, 4), P(4, 4), P(2, 2)};
+  ConvexPolygon center = VoronoiCell(P(2, 2), sites);
+  EXPECT_TRUE(center.IsBounded());
+  std::vector<Point2> vertices = center.Vertices().value();
+  ASSERT_EQ(vertices.size(), 4u);  // a diamond around (2,2)
+  EXPECT_TRUE(center.Contains(P(2, 2)));
+  EXPECT_FALSE(center.Contains(Point2{Rational(1, 2), Rational(1, 2)}));
+}
+
+TEST(VoronoiTest, TieBoundaryIsClosed) {
+  std::vector<Point2> sites = {P(0, 0), P(4, 0), P(0, 4), P(4, 4), P(2, 2)};
+  ConvexPolygon center = VoronoiCell(P(2, 2), sites);
+  // (1,1) is equidistant to (0,0) and (2,2): on the closed boundary.
+  EXPECT_TRUE(center.Contains(P(1, 1)));
+}
+
+TEST(VoronoiTest, CellsCoverThePlane) {
+  std::vector<Point2> sites = {P(0, 0), P(3, 1), P(1, 4), P(-2, 2)};
+  std::mt19937_64 rng(77);
+  for (int probe = 0; probe < 50; ++probe) {
+    Point2 p{Rational(static_cast<int64_t>(rng() % 17) - 8, 2),
+             Rational(static_cast<int64_t>(rng() % 17) - 8, 2)};
+    bool covered = false;
+    for (const Point2& s : sites) {
+      if (VoronoiCell(s, sites).Contains(p)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "(" << p.x << ", " << p.y << ")";
+  }
+}
+
+// The paper's intro claim: convex hull is NOT a dense-order query — it is
+// not preserved by automorphisms of (Q, <) acting coordinatewise on the
+// plane. A concave order-preserving bend pushes a hull boundary point
+// *outside* the hull of the moved inputs, so no dense-order query can
+// compute hulls.
+TEST(ConvexHullTest, NotClosedUnderOrderAutomorphisms) {
+  std::vector<Point2> input = {P(0, 0), P(4, 0), P(0, 4)};
+  ConvexPolygon hull = ConvexPolygon::ConvexHull(input);
+  Point2 on_edge = P(2, 2);  // on the hypotenuse x + y = 4
+  ASSERT_TRUE(hull.Contains(on_edge));
+
+  // Order automorphism of Q with a concave bend at 2 (0->0, 2->3, 4->4):
+  // it fixes the triangle's vertices but moves (2,2) to (3,3).
+  MonotoneMap bend({{Rational(0), Rational(0)},
+                    {Rational(2), Rational(3)},
+                    {Rational(4), Rational(4)}});
+  std::vector<Point2> moved;
+  for (const Point2& p : input) {
+    moved.push_back(Point2{bend.Apply(p.x), bend.Apply(p.y)});
+  }
+  ConvexPolygon moved_hull = ConvexPolygon::ConvexHull(moved);
+  Point2 moved_point{bend.Apply(on_edge.x), bend.Apply(on_edge.y)};
+  EXPECT_EQ(moved_point, P(3, 3));
+  // Hull membership does not commute with the automorphism: the image of a
+  // hull point escapes the hull of the image (3 + 3 > 4).
+  EXPECT_FALSE(moved_hull.Contains(moved_point));
+  // Whereas any dense-order definable set would commute (see the
+  // QueryGenericity suite in fo_evaluator_test.cc).
+}
+
+}  // namespace
+}  // namespace spatial
+}  // namespace dodb

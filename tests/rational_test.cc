@@ -1,0 +1,130 @@
+#include "core/rational.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace dodb {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.ToString(), "0");
+  EXPECT_TRUE(z.is_integer());
+}
+
+TEST(RationalTest, NormalizationReducesAndFixesSign) {
+  EXPECT_EQ(Rational(2, 4).ToString(), "1/2");
+  EXPECT_EQ(Rational(-2, 4).ToString(), "-1/2");
+  EXPECT_EQ(Rational(2, -4).ToString(), "-1/2");
+  EXPECT_EQ(Rational(-2, -4).ToString(), "1/2");
+  EXPECT_EQ(Rational(0, -7).ToString(), "0");
+  EXPECT_EQ(Rational(0, -7).den(), BigInt(1));
+  EXPECT_EQ(Rational(6, 3).ToString(), "2");
+  EXPECT_TRUE(Rational(6, 3).is_integer());
+}
+
+TEST(RationalTest, FromStringForms) {
+  EXPECT_EQ(Rational::FromString("7").value(), Rational(7));
+  EXPECT_EQ(Rational::FromString("-7").value(), Rational(-7));
+  EXPECT_EQ(Rational::FromString("3/4").value(), Rational(3, 4));
+  EXPECT_EQ(Rational::FromString("-6/8").value(), Rational(-3, 4));
+  EXPECT_EQ(Rational::FromString("3.25").value(), Rational(13, 4));
+  EXPECT_EQ(Rational::FromString("-0.5").value(), Rational(-1, 2));
+  EXPECT_EQ(Rational::FromString("2.").value(), Rational(2));
+  EXPECT_EQ(Rational::FromString(" 1/3 ").value(), Rational(1, 3));
+}
+
+TEST(RationalTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(Rational::FromString("").ok());
+  EXPECT_FALSE(Rational::FromString("1/0").ok());
+  EXPECT_FALSE(Rational::FromString("a/2").ok());
+  EXPECT_FALSE(Rational::FromString("1/2/3").ok());
+  EXPECT_FALSE(Rational::FromString(".").ok());
+}
+
+TEST(RationalTest, ArithmeticExactness) {
+  Rational third(1, 3);
+  EXPECT_EQ(third + third + third, Rational(1));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+  EXPECT_EQ(Rational(-5, 3).Abs(), Rational(5, 3));
+}
+
+TEST(RationalTest, ComparisonByCrossMultiplication) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+  EXPECT_EQ(Rational(2, 4).Compare(Rational(1, 2)), 0);
+  EXPECT_GT(Rational(7, 2), Rational(3));
+}
+
+TEST(RationalTest, MidpointStrictlyBetween) {
+  Rational m = Rational::Midpoint(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(1, 3), m);
+  EXPECT_LT(m, Rational(1, 2));
+  // Denseness: repeated midpoints stay strictly ordered.
+  Rational lo(0);
+  Rational hi(1);
+  for (int i = 0; i < 20; ++i) {
+    Rational mid = Rational::Midpoint(lo, hi);
+    ASSERT_LT(lo, mid);
+    ASSERT_LT(mid, hi);
+    hi = mid;
+  }
+}
+
+TEST(RationalTest, ToDoubleApproximation) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).ToDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-7).ToDouble(), -7.0);
+  EXPECT_NEAR(Rational(1, 3).ToDouble(), 0.333333, 1e-5);
+}
+
+TEST(RationalTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Rational(2, 4).Hash(), Rational(1, 2).Hash());
+  EXPECT_EQ(Rational(-3, 9).Hash(), Rational(-1, 3).Hash());
+}
+
+// Property sweep: field axioms on random rationals.
+class RationalFieldProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalFieldProperty, FieldAxiomsHold) {
+  std::mt19937_64 rng(GetParam() * 104729);
+  std::uniform_int_distribution<int64_t> num(-1000, 1000);
+  std::uniform_int_distribution<int64_t> den(1, 1000);
+  for (int i = 0; i < 100; ++i) {
+    Rational a(num(rng), den(rng));
+    Rational b(num(rng), den(rng));
+    Rational c(num(rng), den(rng));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!a.is_zero()) {
+      EXPECT_EQ(a / a, Rational(1));
+    }
+    // Order compatibility.
+    if (a < b) {
+      EXPECT_LT(a + c, b + c);
+      if (c > Rational(0)) {
+        EXPECT_LT(a * c, b * c);
+      }
+      if (c < Rational(0)) {
+        EXPECT_GT(a * c, b * c);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalFieldProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dodb

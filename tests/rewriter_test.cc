@@ -1,0 +1,169 @@
+#include "fo/rewriter.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "cells/cell_decomposition.h"
+#include "fo/evaluator.h"
+#include "fo/parser.h"
+
+namespace dodb {
+namespace {
+
+FormulaPtr Parse(const std::string& text) {
+  return FoParser::ParseFormula(text).value();
+}
+
+TEST(RewriterTest, NnfFoldsNegationIntoComparisons) {
+  FormulaPtr f = rewriter::ToNnf(*Parse("not (x < y)"));
+  ASSERT_EQ(f->kind, FormulaKind::kCompare);
+  EXPECT_EQ(f->op, RelOp::kGe);
+}
+
+TEST(RewriterTest, NnfDeMorgan) {
+  FormulaPtr f = rewriter::ToNnf(*Parse("not (x < 1 and y < 2)"));
+  ASSERT_EQ(f->kind, FormulaKind::kOr);
+  EXPECT_EQ(f->child->op, RelOp::kGe);
+  EXPECT_EQ(f->child2->op, RelOp::kGe);
+}
+
+TEST(RewriterTest, NnfQuantifierDuality) {
+  FormulaPtr f = rewriter::ToNnf(*Parse("not exists x (R(x))"));
+  ASSERT_EQ(f->kind, FormulaKind::kForall);
+  EXPECT_EQ(f->child->kind, FormulaKind::kNot);  // kept on the atom
+  EXPECT_EQ(f->child->child->kind, FormulaKind::kRelation);
+}
+
+TEST(RewriterTest, NnfDoubleNegationCancels) {
+  FormulaPtr f = rewriter::ToNnf(*Parse("not not (x < y)"));
+  ASSERT_EQ(f->kind, FormulaKind::kCompare);
+  EXPECT_EQ(f->op, RelOp::kLt);
+}
+
+TEST(RewriterTest, NnfBooleanConstants) {
+  EXPECT_FALSE(rewriter::ToNnf(*Parse("not true"))->bool_value);
+  EXPECT_TRUE(rewriter::ToNnf(*Parse("not not true"))->bool_value);
+}
+
+TEST(RewriterTest, FlattenMergesSameKindBlocks) {
+  FormulaPtr f =
+      rewriter::FlattenQuantifiers(*Parse("exists x (exists y (x < y))"));
+  ASSERT_EQ(f->kind, FormulaKind::kExists);
+  EXPECT_EQ(f->bound_vars.size(), 2u);
+  EXPECT_EQ(f->child->kind, FormulaKind::kCompare);
+}
+
+TEST(RewriterTest, FlattenKeepsShadowedBlocksNested) {
+  FormulaPtr f =
+      rewriter::FlattenQuantifiers(*Parse("exists x (exists x (x < 1))"));
+  ASSERT_EQ(f->kind, FormulaKind::kExists);
+  EXPECT_EQ(f->bound_vars.size(), 1u);
+  EXPECT_EQ(f->child->kind, FormulaKind::kExists);
+}
+
+TEST(RewriterTest, FlattenDoesNotMixKinds) {
+  FormulaPtr f =
+      rewriter::FlattenQuantifiers(*Parse("exists x (forall y (x < y))"));
+  ASSERT_EQ(f->kind, FormulaKind::kExists);
+  EXPECT_EQ(f->child->kind, FormulaKind::kForall);
+}
+
+TEST(RewriterTest, ReorderPutsComparisonsFirst) {
+  FormulaPtr f = rewriter::ReorderConjunctions(
+      *Parse("R(x) and x < 3 and not R(x) and y = 1"));
+  // Spine order after sort: comparisons, relation, negation.
+  ASSERT_EQ(f->kind, FormulaKind::kAnd);
+  // Left-assoc chain: ((x<3 and y=1) and R(x)) and not R(x).
+  EXPECT_EQ(f->child2->kind, FormulaKind::kNot);
+  EXPECT_EQ(f->child->child2->kind, FormulaKind::kRelation);
+  EXPECT_EQ(f->child->child->kind, FormulaKind::kAnd);
+}
+
+// Property: every rewrite preserves semantics, checked by evaluating both
+// versions and comparing through the cell decomposition.
+class RewriterEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RewriterEquivalence, OptimizePreservesSemantics) {
+  Database db;
+  GeneralizedRelation s(1);
+  GeneralizedTuple t(1);
+  t.AddAtom(DenseAtom(Term::Var(0), RelOp::kGe, Term::Const(Rational(0))));
+  t.AddAtom(DenseAtom(Term::Var(0), RelOp::kLe, Term::Const(Rational(4))));
+  s.AddTuple(t);
+  db.SetRelation("R", s);
+  db.SetRelation("E", GeneralizedRelation::FromPoints(
+                          2, {{Rational(0), Rational(2)},
+                              {Rational(2), Rational(4)}}));
+
+  Query original = FoParser::ParseQuery(GetParam()).value();
+  Query optimized;
+  optimized.head = original.head;
+  optimized.body = rewriter::Optimize(*original.body);
+
+  FoEvaluator ev1(&db);
+  FoEvaluator ev2(&db);
+  GeneralizedRelation out1 = ev1.Evaluate(original).value();
+  GeneralizedRelation out2 = ev2.Evaluate(optimized).value();
+  Result<bool> equal = CellDecomposition::SemanticallyEqual(out1, out2);
+  ASSERT_TRUE(equal.ok());
+  EXPECT_TRUE(equal.value()) << GetParam() << "\n  optimized: "
+                             << optimized.body->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RewriterEquivalence,
+    ::testing::Values(
+        "{ (x) | not (R(x) and x < 3) }",
+        "{ (x) | not not R(x) }",
+        "{ (x) | not exists y (E(x, y) and not R(y)) }",
+        "{ (x, y) | not (x < y or R(x)) and E(x, y) }",
+        "{ (x) | exists u (exists v (E(u, v) and x = u)) }",
+        "{ (x) | forall y (E(x, y) -> R(y)) }",
+        "{ (x) | R(x) and x != 2 and not E(x, x) }",
+        "{ () | not forall z (R(z)) }"));
+
+// Random-formula equivalence sweep, reusing the optimizer inside the
+// evaluator via EvalOptions::optimize.
+class RewriterRandomEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RewriterRandomEquivalence, EvaluatorFlagPreservesSemantics) {
+  std::mt19937_64 rng(GetParam() * 94418953);
+  Database db;
+  db.SetRelation("s", GeneralizedRelation::FromPoints(
+                          1, {{Rational(0)}, {Rational(2)}}));
+  db.SetRelation("e", GeneralizedRelation::FromPoints(
+                          2, {{Rational(0), Rational(2)}}));
+  const char* pieces[] = {
+      "s(x)", "e(x, y)", "x < y", "x = 2", "not s(y)", "true",
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random conjunction/disjunction tree with occasional negation and one
+    // quantifier.
+    std::string text = pieces[rng() % 6];
+    for (int i = 0; i < 3; ++i) {
+      std::string next = pieces[rng() % 6];
+      text = "(" + text + (rng() % 2 ? " and " : " or ") + next + ")";
+      if (rng() % 3 == 0) text = "not " + text;
+    }
+    std::string query_text = "{ (x, y) | " + text + " }";
+    Query query = FoParser::ParseQuery(query_text).value();
+
+    EvalOptions plain;
+    EvalOptions optimizing;
+    optimizing.optimize = true;
+    FoEvaluator ev1(&db, plain);
+    FoEvaluator ev2(&db, optimizing);
+    GeneralizedRelation out1 = ev1.Evaluate(query).value();
+    GeneralizedRelation out2 = ev2.Evaluate(query).value();
+    Result<bool> equal = CellDecomposition::SemanticallyEqual(out1, out2);
+    ASSERT_TRUE(equal.ok());
+    EXPECT_TRUE(equal.value()) << query_text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriterRandomEquivalence,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dodb

@@ -1,0 +1,210 @@
+// Robustness: the parsers and evaluators must fail *gracefully* (Status,
+// never a crash) on malformed or adversarial input, and the RelToValue
+// neighbor fast path must stay exact.
+
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "complex/ccalc_parser.h"
+#include "constraints/order_graph.h"
+#include "datalog/datalog_parser.h"
+#include "fo/parser.h"
+#include "io/text_format.h"
+
+namespace dodb {
+namespace {
+
+// --- Parser fuzzing ---------------------------------------------------------
+
+std::string RandomTokenSoup(std::mt19937_64& rng, int length) {
+  static const char* kPieces[] = {
+      "x",   "y",    "R",     "(",    ")",  "{",   "}",   ",",  "|",
+      "<",   "<=",   "=",     "!=",   ">",  ">=",  "and", "or", "not",
+      "exists", "forall", "true", "false", "in",  "set", ":",  ";",
+      ".",   ":-",   "+",     "-",    "*",  "1",   "3/4", "2.5", "relation",
+  };
+  std::string out;
+  for (int i = 0; i < length; ++i) {
+    out += kPieces[rng() % (sizeof(kPieces) / sizeof(kPieces[0]))];
+    out += ' ';
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, FoParserNeverCrashes) {
+  std::mt19937_64 rng(GetParam() * 823117);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string soup = RandomTokenSoup(rng, 1 + static_cast<int>(rng() % 20));
+    Result<Query> query = FoParser::ParseQuery(soup);
+    if (query.ok()) {
+      // Whatever parsed must print and re-parse.
+      Result<Query> again = FoParser::ParseQuery(query.value().ToString());
+      EXPECT_TRUE(again.ok()) << soup << " -> " << query.value().ToString();
+    }
+  }
+}
+
+TEST_P(ParserFuzz, DatalogParserNeverCrashes) {
+  std::mt19937_64 rng(GetParam() * 479001599ull);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string soup = RandomTokenSoup(rng, 1 + static_cast<int>(rng() % 20));
+    Result<DatalogProgram> program = DatalogParser::ParseProgram(soup);
+    if (program.ok()) {
+      Result<DatalogProgram> again =
+          DatalogParser::ParseProgram(program.value().ToString());
+      EXPECT_TRUE(again.ok()) << soup;
+    }
+  }
+}
+
+TEST_P(ParserFuzz, CCalcParserNeverCrashes) {
+  std::mt19937_64 rng(GetParam() * 15787);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string soup = RandomTokenSoup(rng, 1 + static_cast<int>(rng() % 20));
+    Result<CCalcQuery> query = CCalcParser::ParseQuery(soup);
+    if (query.ok() && query.value().body != nullptr) {
+      (void)query.value().ToString();
+    }
+  }
+}
+
+TEST_P(ParserFuzz, TextFormatNeverCrashes) {
+  std::mt19937_64 rng(GetParam() * 60013);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string soup = RandomTokenSoup(rng, 1 + static_cast<int>(rng() % 25));
+    Result<Database> db = ParseDatabase(soup);
+    if (db.ok()) {
+      Result<Database> again = ParseDatabase(FormatDatabase(db.value()));
+      EXPECT_TRUE(again.ok()) << soup;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(1, 2, 3));
+
+TEST(ParserEdgeCases, DeepNestingDoesNotOverflow) {
+  // 200 nested parentheses / negations parse fine (recursive descent is
+  // depth-bounded by input length, which is fine at realistic sizes).
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "not (";
+  deep += "x < 1";
+  for (int i = 0; i < 200; ++i) deep += ")";
+  Result<FormulaPtr> f = FoParser::ParseFormula(deep);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value()->kind, FormulaKind::kNot);
+}
+
+TEST(ParserEdgeCases, EmptyAndWhitespaceInputs) {
+  EXPECT_FALSE(FoParser::ParseQuery("").ok());
+  EXPECT_FALSE(FoParser::ParseQuery("   \n\t ").ok());
+  EXPECT_FALSE(FoParser::ParseQuery("# only a comment").ok());
+  Result<DatalogProgram> empty = DatalogParser::ParseProgram("");
+  ASSERT_TRUE(empty.ok());  // the empty program is a program
+  EXPECT_TRUE(empty.value().rules.empty());
+  Result<Database> empty_db = ParseDatabase("# nothing\n");
+  ASSERT_TRUE(empty_db.ok());
+  EXPECT_EQ(empty_db.value().relation_count(), 0u);
+}
+
+// --- RelToValue neighbor fast path ------------------------------------------
+
+TEST(RelToValueTest, ExactAgainstAllConstantsDefinition) {
+  // The closed network: 1 <= x <= 5, x != 3, plus far-away constants that
+  // the fast path must still account for through closure monotonicity.
+  OrderGraph g(1);
+  g.AddAtom(DenseAtom(Term::Var(0), RelOp::kGe, Term::Const(Rational(1))));
+  g.AddAtom(DenseAtom(Term::Var(0), RelOp::kLe, Term::Const(Rational(5))));
+  g.AddAtom(DenseAtom(Term::Var(0), RelOp::kNeq, Term::Const(Rational(3))));
+  g.AddAtom(DenseAtom(Term::Const(Rational(-10)), RelOp::kLt,
+                      Term::Const(Rational(20))));  // extra scale constants
+  ASSERT_TRUE(g.IsSatisfiable());
+
+  // Probe values inside, outside, between and equal to scale constants.
+  struct Case {
+    Rational value;
+    PaRel expected;
+  };
+  const Case cases[] = {
+      {Rational(-10), kPaGt},        // x >= 1 > -10
+      {Rational(0), kPaGt},          // between -10 and 1
+      {Rational(1), kPaGe},          // x >= 1, can be equal
+      {Rational(2), kPaAll},         // inside the feasible interval
+      {Rational(3), kPaNeq},         // explicitly excluded point
+      {Rational(5), kPaLe},          // x <= 5
+      {Rational(7), kPaLt},          // between 5 and 20
+      {Rational(20), kPaLt},
+      {Rational(100), kPaLt},        // beyond every constant
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(g.RelToValue(0, c.value), c.expected)
+        << "value " << c.value.ToString();
+  }
+}
+
+TEST(RelToValueTest, PinnedVariable) {
+  OrderGraph g(1);
+  g.AddAtom(DenseAtom(Term::Var(0), RelOp::kEq, Term::Const(Rational(4))));
+  EXPECT_EQ(g.RelToValue(0, Rational(4)), kPaEq);
+  EXPECT_EQ(g.RelToValue(0, Rational(3)), kPaGt);
+  EXPECT_EQ(g.RelToValue(0, Rational(9, 2)), kPaLt);
+}
+
+TEST(RelToValueTest, NoConstantsMeansNoInformation) {
+  OrderGraph g(2);
+  g.AddAtom(DenseAtom(Term::Var(0), RelOp::kLt, Term::Var(1)));
+  EXPECT_EQ(g.RelToValue(0, Rational(7)), kPaAll);
+}
+
+// Property: the neighbor fast path agrees with the brute-force definition
+// (intersecting over every scale constant) on random networks.
+class RelToValueProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelToValueProperty, NeighborPathMatchesFullIntersection) {
+  std::mt19937_64 rng(GetParam() * 86028121);
+  const RelOp kOps[] = {RelOp::kLt, RelOp::kLe, RelOp::kEq,
+                        RelOp::kNeq, RelOp::kGe, RelOp::kGt};
+  for (int trial = 0; trial < 150; ++trial) {
+    OrderGraph g(2);
+    std::vector<Rational> scale;
+    int atoms = 1 + static_cast<int>(rng() % 5);
+    for (int i = 0; i < atoms; ++i) {
+      Rational c(static_cast<int64_t>(rng() % 9) - 4);
+      scale.push_back(c);
+      Term lhs = Term::Var(static_cast<int>(rng() % 2));
+      Term rhs = (rng() % 2 == 0) ? Term::Const(c)
+                                  : Term::Var(static_cast<int>(rng() % 2));
+      g.AddAtom(DenseAtom(lhs, kOps[rng() % 6], rhs));
+    }
+    if (!g.IsSatisfiable()) continue;
+    for (int probe = 0; probe < 10; ++probe) {
+      Rational value(static_cast<int64_t>(rng() % 21) - 10, 2);
+      PaRel fast = g.RelToValue(0, value);
+      // Brute-force reference: intersect over every scale constant.
+      PaRel reference = kPaAll;
+      for (const Rational& c : scale) {
+        int node = -1;
+        for (int n = 0; n < g.num_nodes(); ++n) {
+          if (g.node_term(n).is_const() && g.node_term(n).constant() == c) {
+            node = n;
+            break;
+          }
+        }
+        if (node < 0) continue;
+        int cmp = c.Compare(value);
+        PaRel c_to_value = cmp < 0 ? kPaLt : (cmp == 0 ? kPaEq : kPaGt);
+        reference &= PaCompose(g.RelBetween(0, node), c_to_value);
+      }
+      EXPECT_EQ(fast, reference) << "value " << value.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelToValueProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dodb

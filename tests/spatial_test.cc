@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "spatial/connectivity.h"
+#include "spatial/interval.h"
+#include "spatial/region.h"
+
+namespace dodb {
+namespace spatial {
+namespace {
+
+TEST(RegionTest, RectangleMembership) {
+  GeneralizedTuple rect =
+      RectTuple(Rect{Rational(0), Rational(2), Rational(1), Rational(3)});
+  EXPECT_TRUE(rect.Contains({Rational(1), Rational(2)}));
+  EXPECT_TRUE(rect.Contains({Rational(0), Rational(1)}));  // closed corner
+  EXPECT_FALSE(rect.Contains({Rational(3), Rational(2)}));
+
+  GeneralizedTuple open_rect = RectTuple(
+      Rect{Rational(0), Rational(2), Rational(1), Rational(3), false});
+  EXPECT_FALSE(open_rect.Contains({Rational(0), Rational(1)}));
+  EXPECT_TRUE(open_rect.Contains({Rational(1), Rational(2)}));
+}
+
+TEST(RegionTest, TriangleMatchesPaperExample) {
+  GeneralizedRelation tri = Triangle(Rational(0), Rational(10));
+  EXPECT_TRUE(tri.Contains({Rational(2), Rational(7)}));
+  EXPECT_FALSE(tri.Contains({Rational(7), Rational(2)}));
+}
+
+TEST(RegionTest, IntersectsDetectsOverlap) {
+  GeneralizedRelation a = RectUnion(
+      {Rect{Rational(0), Rational(2), Rational(0), Rational(2)}});
+  GeneralizedRelation b = RectUnion(
+      {Rect{Rational(1), Rational(3), Rational(1), Rational(3)}});
+  GeneralizedRelation c = RectUnion(
+      {Rect{Rational(5), Rational(6), Rational(5), Rational(6)}});
+  EXPECT_TRUE(Intersects(a, b));
+  EXPECT_FALSE(Intersects(a, c));
+}
+
+TEST(ConnectivityTest, SingleRectangleConnected) {
+  GeneralizedRelation r = RectUnion(
+      {Rect{Rational(0), Rational(1), Rational(0), Rational(1)}});
+  EXPECT_EQ(CountConnectedComponents(r).value(), 1);
+  EXPECT_TRUE(IsConnected(r).value());
+}
+
+TEST(ConnectivityTest, DisjointRectanglesTwoComponents) {
+  GeneralizedRelation r = RectUnion(
+      {Rect{Rational(0), Rational(1), Rational(0), Rational(1)},
+       Rect{Rational(5), Rational(6), Rational(0), Rational(1)}});
+  EXPECT_EQ(CountConnectedComponents(r).value(), 2);
+  EXPECT_FALSE(IsConnected(r).value());
+}
+
+TEST(ConnectivityTest, TouchingAtEdgeConnected) {
+  GeneralizedRelation r = RectUnion(
+      {Rect{Rational(0), Rational(1), Rational(0), Rational(1)},
+       Rect{Rational(1), Rational(2), Rational(0), Rational(1)}});
+  EXPECT_TRUE(IsConnected(r).value());
+}
+
+TEST(ConnectivityTest, OpenRectanglesTouchingBoundariesDisconnected) {
+  // (0,1) x (0,1) and (1,2) x (0,1): closures touch along x = 1 but the
+  // union misses the touching segment, so the region is disconnected.
+  GeneralizedRelation r = RectUnion(
+      {Rect{Rational(0), Rational(1), Rational(0), Rational(1), false},
+       Rect{Rational(1), Rational(2), Rational(0), Rational(1), false}});
+  EXPECT_EQ(CountConnectedComponents(r).value(), 2);
+}
+
+TEST(ConnectivityTest, OpenNextToClosedConnected) {
+  // (0,1) x [0,1] open in x, next to [1,2] x [0,1] closed: the closed
+  // rectangle contains the boundary segment, so the union is connected.
+  GeneralizedRelation r(2);
+  GeneralizedTuple open_left(2);
+  open_left.AddAtom(DenseAtom(Term::Var(0), RelOp::kGt,
+                              Term::Const(Rational(0))));
+  open_left.AddAtom(DenseAtom(Term::Var(0), RelOp::kLt,
+                              Term::Const(Rational(1))));
+  open_left.AddAtom(DenseAtom(Term::Var(1), RelOp::kGe,
+                              Term::Const(Rational(0))));
+  open_left.AddAtom(DenseAtom(Term::Var(1), RelOp::kLe,
+                              Term::Const(Rational(1))));
+  r.AddTuple(open_left);
+  r.AddTuple(RectTuple(Rect{Rational(1), Rational(2), Rational(0),
+                            Rational(1)}));
+  EXPECT_TRUE(IsConnected(r).value());
+}
+
+TEST(ConnectivityTest, DiagonalSplitDisconnects) {
+  // [0,1]^2 minus the diagonal x = y: two open triangles.
+  GeneralizedRelation r(2);
+  GeneralizedTuple t =
+      RectTuple(Rect{Rational(0), Rational(1), Rational(0), Rational(1)});
+  t.AddAtom(DenseAtom(Term::Var(0), RelOp::kNeq, Term::Var(1)));
+  r.AddTuple(t);
+  EXPECT_EQ(CountConnectedComponents(r).value(), 2);
+}
+
+TEST(ConnectivityTest, RectangleMinusInteriorPointConnected) {
+  // [0,2]^2 minus {(1,1)}: still connected.
+  GeneralizedRelation r(2);
+  GeneralizedTuple left =
+      RectTuple(Rect{Rational(0), Rational(2), Rational(0), Rational(2)});
+  left.AddAtom(DenseAtom(Term::Var(0), RelOp::kNeq, Term::Const(Rational(1))));
+  GeneralizedTuple bottom =
+      RectTuple(Rect{Rational(0), Rational(2), Rational(0), Rational(2)});
+  bottom.AddAtom(
+      DenseAtom(Term::Var(1), RelOp::kNeq, Term::Const(Rational(1))));
+  r.AddTuple(left);
+  r.AddTuple(bottom);
+  EXPECT_TRUE(IsConnected(r).value());
+}
+
+TEST(ConnectivityTest, CornerStaircaseConnected) {
+  for (int steps : {1, 2, 5, 8}) {
+    GeneralizedRelation stairs = CornerStaircase(steps, Rational(0));
+    EXPECT_TRUE(IsConnected(stairs).value()) << steps << " steps";
+  }
+}
+
+TEST(ConnectivityTest, BrokenStaircaseComponents) {
+  // ceil(steps / 2) components.
+  EXPECT_EQ(CountConnectedComponents(BrokenStaircase(1, Rational(0))).value(),
+            1);
+  EXPECT_EQ(CountConnectedComponents(BrokenStaircase(2, Rational(0))).value(),
+            1);
+  EXPECT_EQ(CountConnectedComponents(BrokenStaircase(3, Rational(0))).value(),
+            2);
+  EXPECT_EQ(CountConnectedComponents(BrokenStaircase(4, Rational(0))).value(),
+            2);
+  EXPECT_EQ(CountConnectedComponents(BrokenStaircase(7, Rational(0))).value(),
+            4);
+}
+
+TEST(ConnectivityTest, EmptyRegionZeroComponents) {
+  EXPECT_EQ(CountConnectedComponents(GeneralizedRelation(2)).value(), 0);
+  EXPECT_FALSE(IsConnected(GeneralizedRelation(2)).value());
+}
+
+TEST(IntervalTest, MembershipAndBoundaries) {
+  Interval closed{Rational(0), Rational(1)};
+  EXPECT_TRUE(closed.Contains(Rational(0)));
+  EXPECT_TRUE(closed.Contains(Rational(1)));
+  Interval open{Rational(0), Rational(1), false, false};
+  EXPECT_FALSE(open.Contains(Rational(0)));
+  EXPECT_TRUE(open.Contains(Rational(1, 2)));
+  EXPECT_EQ(open.ToString(), "(0, 1)");
+  EXPECT_EQ(closed.ToString(), "[0, 1]");
+}
+
+TEST(IntervalTest, EmptinessRules) {
+  EXPECT_TRUE((Interval{Rational(0), Rational(0)}).IsNonEmpty());
+  EXPECT_FALSE((Interval{Rational(0), Rational(0), false, true}).IsNonEmpty());
+  EXPECT_FALSE((Interval{Rational(1), Rational(0)}).IsNonEmpty());
+}
+
+TEST(IntervalTest, OverlapAndMeets) {
+  Interval a{Rational(0), Rational(2)};
+  Interval b{Rational(1), Rational(3)};
+  Interval c{Rational(2), Rational(4)};
+  Interval d{Rational(5), Rational(6)};
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(a.Overlaps(c));  // share the point 2
+  EXPECT_FALSE(a.Overlaps(d));
+  EXPECT_TRUE(a.Meets(c));
+  EXPECT_FALSE(a.Meets(b));
+  // Open-open touching endpoints do not meet.
+  Interval a_open{Rational(0), Rational(2), true, false};
+  Interval c_open{Rational(2), Rational(4), false, true};
+  EXPECT_FALSE(a_open.Meets(c_open));
+}
+
+TEST(IntervalTest, UnionRelation) {
+  GeneralizedRelation rel = IntervalUnion(
+      {Interval{Rational(0), Rational(1)},
+       Interval{Rational(3), Rational(4), false, false}});
+  EXPECT_TRUE(rel.Contains({Rational(1)}));
+  EXPECT_FALSE(rel.Contains({Rational(3)}));
+  EXPECT_TRUE(rel.Contains({Rational(7, 2)}));
+}
+
+TEST(IntervalTest, EndpointRelation) {
+  GeneralizedRelation rel = IntervalEndpointRelation(
+      {Interval{Rational(0), Rational(1)}, Interval{Rational(3), Rational(4)}});
+  EXPECT_EQ(rel.arity(), 2);
+  EXPECT_TRUE(rel.Contains({Rational(0), Rational(1)}));
+  EXPECT_FALSE(rel.Contains({Rational(0), Rational(4)}));
+}
+
+}  // namespace
+}  // namespace spatial
+}  // namespace dodb

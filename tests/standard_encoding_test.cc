@@ -1,0 +1,177 @@
+#include "cells/standard_encoding.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "cells/cell_decomposition.h"
+
+namespace dodb {
+namespace {
+
+Term V(int i) { return Term::Var(i); }
+DenseAtom A(Term l, RelOp op, Term r) { return DenseAtom(l, op, r); }
+
+GeneralizedRelation RationalIntervals() {
+  // Two intervals with rational endpoints: [1/3, 1/2] and [7/4, 9/4].
+  GeneralizedRelation rel(1);
+  GeneralizedTuple a(1);
+  a.AddAtom(A(V(0), RelOp::kGe, Term::Const(Rational(1, 3))));
+  a.AddAtom(A(V(0), RelOp::kLe, Term::Const(Rational(1, 2))));
+  rel.AddTuple(a);
+  GeneralizedTuple b(1);
+  b.AddAtom(A(V(0), RelOp::kGe, Term::Const(Rational(7, 4))));
+  b.AddAtom(A(V(0), RelOp::kLe, Term::Const(Rational(9, 4))));
+  rel.AddTuple(b);
+  return rel;
+}
+
+TEST(StandardEncodingTest, ScaleIsSortedUnionOfConstants) {
+  GeneralizedRelation rel = RationalIntervals();
+  StandardEncoding enc = StandardEncoding::ForDatabase({&rel});
+  ASSERT_EQ(enc.scale().size(), 4u);
+  EXPECT_EQ(enc.scale()[0], Rational(1, 3));
+  EXPECT_EQ(enc.scale()[3], Rational(9, 4));
+}
+
+TEST(StandardEncodingTest, EncodeMapsToConsecutiveIntegers) {
+  GeneralizedRelation rel = RationalIntervals();
+  StandardEncoding enc = StandardEncoding::ForDatabase({&rel});
+  EXPECT_EQ(enc.Encode(Rational(1, 3)), Rational(0));
+  EXPECT_EQ(enc.Encode(Rational(1, 2)), Rational(1));
+  EXPECT_EQ(enc.Encode(Rational(7, 4)), Rational(2));
+  EXPECT_EQ(enc.Encode(Rational(9, 4)), Rational(3));
+  EXPECT_EQ(enc.IndexOf(Rational(5)), -1);
+}
+
+TEST(StandardEncodingTest, EncodedRelationUsesIntegerConstantsOnly) {
+  GeneralizedRelation rel = RationalIntervals();
+  StandardEncoding enc = StandardEncoding::ForDatabase({&rel});
+  GeneralizedRelation encoded = enc.EncodeRelation(rel);
+  for (const Rational& c : encoded.Constants()) {
+    EXPECT_TRUE(c.is_integer());
+  }
+  // Membership transfers through the order isomorphism.
+  EXPECT_TRUE(rel.Contains({Rational(2, 5)}));   // inside [1/3, 1/2]
+  EXPECT_TRUE(encoded.Contains({Rational(1, 2)}));  // inside [0, 1]
+  EXPECT_FALSE(encoded.Contains({Rational(3, 2)}));  // between the images
+}
+
+TEST(StandardEncodingTest, DecodeRoundTrips) {
+  GeneralizedRelation rel = RationalIntervals();
+  StandardEncoding enc = StandardEncoding::ForDatabase({&rel});
+  GeneralizedRelation decoded = enc.DecodeRelation(enc.EncodeRelation(rel));
+  EXPECT_TRUE(CellDecomposition::SemanticallyEqual(rel, decoded).value());
+}
+
+TEST(StandardEncodingTest, DatabaseWideScale) {
+  GeneralizedRelation r1 = RationalIntervals();
+  GeneralizedRelation r2(1);
+  GeneralizedTuple t(1);
+  t.AddAtom(A(V(0), RelOp::kEq, Term::Const(Rational(1))));
+  r2.AddTuple(t);
+  StandardEncoding enc = StandardEncoding::ForDatabase({&r1, &r2});
+  EXPECT_EQ(enc.scale().size(), 5u);
+  EXPECT_EQ(enc.Encode(Rational(1)), Rational(2));  // 1/3 < 1/2 < 1 < 7/4
+}
+
+TEST(StandardEncodingTest, SignatureEqualForIsomorphicRelations) {
+  GeneralizedRelation rel = RationalIntervals();
+  StandardEncoding enc = StandardEncoding::ForDatabase({&rel});
+  // Apply an automorphism of Q: signatures must match.
+  MonotoneMap shift({{Rational(0), Rational(100)},
+                     {Rational(1), Rational(102)},
+                     {Rational(2), Rational(110)}});
+  GeneralizedRelation moved = shift.ApplyToRelation(rel);
+  StandardEncoding enc2 = StandardEncoding::ForDatabase({&moved});
+  EXPECT_EQ(enc.Signature(rel).value(), enc2.Signature(moved).value());
+}
+
+TEST(StandardEncodingTest, SignatureDiffersForNonIsomorphicRelations) {
+  GeneralizedRelation two = RationalIntervals();
+  GeneralizedRelation one(1);
+  GeneralizedTuple t(1);
+  t.AddAtom(A(V(0), RelOp::kGe, Term::Const(Rational(1, 3))));
+  t.AddAtom(A(V(0), RelOp::kLe, Term::Const(Rational(1, 2))));
+  one.AddTuple(t);
+  StandardEncoding enc_two = StandardEncoding::ForDatabase({&two});
+  StandardEncoding enc_one = StandardEncoding::ForDatabase({&one});
+  EXPECT_NE(enc_two.Signature(two).value(), enc_one.Signature(one).value());
+}
+
+TEST(MonotoneMapTest, IdentityAndInterpolation) {
+  MonotoneMap id = MonotoneMap::Identity();
+  EXPECT_EQ(id.Apply(Rational(7, 3)), Rational(7, 3));
+
+  MonotoneMap map({{Rational(0), Rational(0)}, {Rational(2), Rational(10)}});
+  EXPECT_EQ(map.Apply(Rational(0)), Rational(0));
+  EXPECT_EQ(map.Apply(Rational(1)), Rational(5));
+  EXPECT_EQ(map.Apply(Rational(2)), Rational(10));
+  // Slope-1 extension beyond the anchors.
+  EXPECT_EQ(map.Apply(Rational(-3)), Rational(-3));
+  EXPECT_EQ(map.Apply(Rational(5)), Rational(13));
+}
+
+TEST(MonotoneMapTest, PreservesStrictOrder) {
+  MonotoneMap map({{Rational(-1), Rational(3)},
+                   {Rational(0), Rational(4)},
+                   {Rational(10), Rational(5)}});
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 100; ++i) {
+    Rational a(static_cast<int64_t>(rng() % 60) - 30,
+               1 + static_cast<int64_t>(rng() % 4));
+    Rational b(static_cast<int64_t>(rng() % 60) - 30,
+               1 + static_cast<int64_t>(rng() % 4));
+    if (a < b) {
+      EXPECT_LT(map.Apply(a), map.Apply(b));
+    } else if (a == b) {
+      EXPECT_EQ(map.Apply(a), map.Apply(b));
+    }
+  }
+}
+
+// Property (paper §3): membership is invariant under automorphisms — the
+// image relation contains the image point iff the original contains the
+// original point. This is the semantic core of "queries are closed under
+// automorphisms of Q".
+class AutomorphismInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutomorphismInvariance, MembershipTransfers) {
+  std::mt19937_64 rng(GetParam() * 7368787);
+  const RelOp kOps[] = {RelOp::kLt, RelOp::kLe, RelOp::kEq,
+                        RelOp::kNeq, RelOp::kGe, RelOp::kGt};
+  for (int trial = 0; trial < 30; ++trial) {
+    GeneralizedRelation rel(2);
+    for (int t = 0; t < 2; ++t) {
+      GeneralizedTuple tuple(2);
+      for (int a = 0; a < 2; ++a) {
+        Term lhs = Term::Var(static_cast<int>(rng() % 2));
+        Term rhs =
+            (rng() % 2 == 0)
+                ? Term::Const(Rational(static_cast<int64_t>(rng() % 7) - 3))
+                : Term::Var(static_cast<int>(rng() % 2));
+        tuple.AddAtom(A(lhs, kOps[rng() % 6], rhs));
+      }
+      rel.AddTuple(tuple);
+    }
+    // Random monotone map with three anchors.
+    MonotoneMap map({{Rational(-4), Rational(-9)},
+                     {Rational(0), Rational(static_cast<int64_t>(rng() % 5))},
+                     {Rational(4), Rational(20)}});
+    GeneralizedRelation image = map.ApplyToRelation(rel);
+    for (int probe = 0; probe < 40; ++probe) {
+      std::vector<Rational> point = {
+          Rational(static_cast<int64_t>(rng() % 33) - 16, 2),
+          Rational(static_cast<int64_t>(rng() % 33) - 16, 2)};
+      std::vector<Rational> mapped = {map.Apply(point[0]),
+                                      map.Apply(point[1])};
+      EXPECT_EQ(rel.Contains(point), image.Contains(mapped));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutomorphismInvariance,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dodb

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp6_discrete.dir/bench_exp6_discrete.cc.o"
+  "CMakeFiles/bench_exp6_discrete.dir/bench_exp6_discrete.cc.o.d"
+  "bench_exp6_discrete"
+  "bench_exp6_discrete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp6_discrete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

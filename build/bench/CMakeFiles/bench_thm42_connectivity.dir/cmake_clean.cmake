@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm42_connectivity.dir/bench_thm42_connectivity.cc.o"
+  "CMakeFiles/bench_thm42_connectivity.dir/bench_thm42_connectivity.cc.o.d"
+  "bench_thm42_connectivity"
+  "bench_thm42_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm42_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

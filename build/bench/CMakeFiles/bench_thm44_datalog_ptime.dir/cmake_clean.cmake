@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm44_datalog_ptime.dir/bench_thm44_datalog_ptime.cc.o"
+  "CMakeFiles/bench_thm44_datalog_ptime.dir/bench_thm44_datalog_ptime.cc.o.d"
+  "bench_thm44_datalog_ptime"
+  "bench_thm44_datalog_ptime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm44_datalog_ptime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

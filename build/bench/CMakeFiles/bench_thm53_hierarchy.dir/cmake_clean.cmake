@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm53_hierarchy.dir/bench_thm53_hierarchy.cc.o"
+  "CMakeFiles/bench_thm53_hierarchy.dir/bench_thm53_hierarchy.cc.o.d"
+  "bench_thm53_hierarchy"
+  "bench_thm53_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm53_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

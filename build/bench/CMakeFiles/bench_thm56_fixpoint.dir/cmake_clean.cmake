@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm56_fixpoint.dir/bench_thm56_fixpoint.cc.o"
+  "CMakeFiles/bench_thm56_fixpoint.dir/bench_thm56_fixpoint.cc.o.d"
+  "bench_thm56_fixpoint"
+  "bench_thm56_fixpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm56_fixpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

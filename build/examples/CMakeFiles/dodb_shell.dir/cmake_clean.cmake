@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dodb_shell.dir/dodb_shell.cpp.o"
+  "CMakeFiles/dodb_shell.dir/dodb_shell.cpp.o.d"
+  "dodb_shell"
+  "dodb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dodb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_rainfall.dir/gis_rainfall.cpp.o"
+  "CMakeFiles/gis_rainfall.dir/gis_rainfall.cpp.o.d"
+  "gis_rainfall"
+  "gis_rainfall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_rainfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/land_registry.dir/land_registry.cpp.o"
+  "CMakeFiles/land_registry.dir/land_registry.cpp.o.d"
+  "land_registry"
+  "land_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/land_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_scheduling.dir/temporal_scheduling.cpp.o"
+  "CMakeFiles/temporal_scheduling.dir/temporal_scheduling.cpp.o.d"
+  "temporal_scheduling"
+  "temporal_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/relational_ops.cc" "src/CMakeFiles/dodb.dir/algebra/relational_ops.cc.o" "gcc" "src/CMakeFiles/dodb.dir/algebra/relational_ops.cc.o.d"
+  "/root/repo/src/cells/cell.cc" "src/CMakeFiles/dodb.dir/cells/cell.cc.o" "gcc" "src/CMakeFiles/dodb.dir/cells/cell.cc.o.d"
+  "/root/repo/src/cells/cell_decomposition.cc" "src/CMakeFiles/dodb.dir/cells/cell_decomposition.cc.o" "gcc" "src/CMakeFiles/dodb.dir/cells/cell_decomposition.cc.o.d"
+  "/root/repo/src/cells/standard_encoding.cc" "src/CMakeFiles/dodb.dir/cells/standard_encoding.cc.o" "gcc" "src/CMakeFiles/dodb.dir/cells/standard_encoding.cc.o.d"
+  "/root/repo/src/complex/ccalc_ast.cc" "src/CMakeFiles/dodb.dir/complex/ccalc_ast.cc.o" "gcc" "src/CMakeFiles/dodb.dir/complex/ccalc_ast.cc.o.d"
+  "/root/repo/src/complex/ccalc_evaluator.cc" "src/CMakeFiles/dodb.dir/complex/ccalc_evaluator.cc.o" "gcc" "src/CMakeFiles/dodb.dir/complex/ccalc_evaluator.cc.o.d"
+  "/root/repo/src/complex/ccalc_parser.cc" "src/CMakeFiles/dodb.dir/complex/ccalc_parser.cc.o" "gcc" "src/CMakeFiles/dodb.dir/complex/ccalc_parser.cc.o.d"
+  "/root/repo/src/complex/cobject.cc" "src/CMakeFiles/dodb.dir/complex/cobject.cc.o" "gcc" "src/CMakeFiles/dodb.dir/complex/cobject.cc.o.d"
+  "/root/repo/src/complex/ctype.cc" "src/CMakeFiles/dodb.dir/complex/ctype.cc.o" "gcc" "src/CMakeFiles/dodb.dir/complex/ctype.cc.o.d"
+  "/root/repo/src/complex/range_restriction.cc" "src/CMakeFiles/dodb.dir/complex/range_restriction.cc.o" "gcc" "src/CMakeFiles/dodb.dir/complex/range_restriction.cc.o.d"
+  "/root/repo/src/constraints/dense_atom.cc" "src/CMakeFiles/dodb.dir/constraints/dense_atom.cc.o" "gcc" "src/CMakeFiles/dodb.dir/constraints/dense_atom.cc.o.d"
+  "/root/repo/src/constraints/dense_qe.cc" "src/CMakeFiles/dodb.dir/constraints/dense_qe.cc.o" "gcc" "src/CMakeFiles/dodb.dir/constraints/dense_qe.cc.o.d"
+  "/root/repo/src/constraints/generalized_relation.cc" "src/CMakeFiles/dodb.dir/constraints/generalized_relation.cc.o" "gcc" "src/CMakeFiles/dodb.dir/constraints/generalized_relation.cc.o.d"
+  "/root/repo/src/constraints/generalized_tuple.cc" "src/CMakeFiles/dodb.dir/constraints/generalized_tuple.cc.o" "gcc" "src/CMakeFiles/dodb.dir/constraints/generalized_tuple.cc.o.d"
+  "/root/repo/src/constraints/order_graph.cc" "src/CMakeFiles/dodb.dir/constraints/order_graph.cc.o" "gcc" "src/CMakeFiles/dodb.dir/constraints/order_graph.cc.o.d"
+  "/root/repo/src/constraints/term.cc" "src/CMakeFiles/dodb.dir/constraints/term.cc.o" "gcc" "src/CMakeFiles/dodb.dir/constraints/term.cc.o.d"
+  "/root/repo/src/core/bigint.cc" "src/CMakeFiles/dodb.dir/core/bigint.cc.o" "gcc" "src/CMakeFiles/dodb.dir/core/bigint.cc.o.d"
+  "/root/repo/src/core/rational.cc" "src/CMakeFiles/dodb.dir/core/rational.cc.o" "gcc" "src/CMakeFiles/dodb.dir/core/rational.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/CMakeFiles/dodb.dir/core/status.cc.o" "gcc" "src/CMakeFiles/dodb.dir/core/status.cc.o.d"
+  "/root/repo/src/core/str_util.cc" "src/CMakeFiles/dodb.dir/core/str_util.cc.o" "gcc" "src/CMakeFiles/dodb.dir/core/str_util.cc.o.d"
+  "/root/repo/src/datalog/datalog_ast.cc" "src/CMakeFiles/dodb.dir/datalog/datalog_ast.cc.o" "gcc" "src/CMakeFiles/dodb.dir/datalog/datalog_ast.cc.o.d"
+  "/root/repo/src/datalog/datalog_evaluator.cc" "src/CMakeFiles/dodb.dir/datalog/datalog_evaluator.cc.o" "gcc" "src/CMakeFiles/dodb.dir/datalog/datalog_evaluator.cc.o.d"
+  "/root/repo/src/datalog/datalog_parser.cc" "src/CMakeFiles/dodb.dir/datalog/datalog_parser.cc.o" "gcc" "src/CMakeFiles/dodb.dir/datalog/datalog_parser.cc.o.d"
+  "/root/repo/src/fo/analyzer.cc" "src/CMakeFiles/dodb.dir/fo/analyzer.cc.o" "gcc" "src/CMakeFiles/dodb.dir/fo/analyzer.cc.o.d"
+  "/root/repo/src/fo/ast.cc" "src/CMakeFiles/dodb.dir/fo/ast.cc.o" "gcc" "src/CMakeFiles/dodb.dir/fo/ast.cc.o.d"
+  "/root/repo/src/fo/cell_evaluator.cc" "src/CMakeFiles/dodb.dir/fo/cell_evaluator.cc.o" "gcc" "src/CMakeFiles/dodb.dir/fo/cell_evaluator.cc.o.d"
+  "/root/repo/src/fo/evaluator.cc" "src/CMakeFiles/dodb.dir/fo/evaluator.cc.o" "gcc" "src/CMakeFiles/dodb.dir/fo/evaluator.cc.o.d"
+  "/root/repo/src/fo/lexer.cc" "src/CMakeFiles/dodb.dir/fo/lexer.cc.o" "gcc" "src/CMakeFiles/dodb.dir/fo/lexer.cc.o.d"
+  "/root/repo/src/fo/linear_evaluator.cc" "src/CMakeFiles/dodb.dir/fo/linear_evaluator.cc.o" "gcc" "src/CMakeFiles/dodb.dir/fo/linear_evaluator.cc.o.d"
+  "/root/repo/src/fo/parser.cc" "src/CMakeFiles/dodb.dir/fo/parser.cc.o" "gcc" "src/CMakeFiles/dodb.dir/fo/parser.cc.o.d"
+  "/root/repo/src/fo/rewriter.cc" "src/CMakeFiles/dodb.dir/fo/rewriter.cc.o" "gcc" "src/CMakeFiles/dodb.dir/fo/rewriter.cc.o.d"
+  "/root/repo/src/fo/token.cc" "src/CMakeFiles/dodb.dir/fo/token.cc.o" "gcc" "src/CMakeFiles/dodb.dir/fo/token.cc.o.d"
+  "/root/repo/src/gaporder/gap_relation.cc" "src/CMakeFiles/dodb.dir/gaporder/gap_relation.cc.o" "gcc" "src/CMakeFiles/dodb.dir/gaporder/gap_relation.cc.o.d"
+  "/root/repo/src/gaporder/gap_system.cc" "src/CMakeFiles/dodb.dir/gaporder/gap_system.cc.o" "gcc" "src/CMakeFiles/dodb.dir/gaporder/gap_system.cc.o.d"
+  "/root/repo/src/io/commands.cc" "src/CMakeFiles/dodb.dir/io/commands.cc.o" "gcc" "src/CMakeFiles/dodb.dir/io/commands.cc.o.d"
+  "/root/repo/src/io/database.cc" "src/CMakeFiles/dodb.dir/io/database.cc.o" "gcc" "src/CMakeFiles/dodb.dir/io/database.cc.o.d"
+  "/root/repo/src/io/text_format.cc" "src/CMakeFiles/dodb.dir/io/text_format.cc.o" "gcc" "src/CMakeFiles/dodb.dir/io/text_format.cc.o.d"
+  "/root/repo/src/linear/linear_atom.cc" "src/CMakeFiles/dodb.dir/linear/linear_atom.cc.o" "gcc" "src/CMakeFiles/dodb.dir/linear/linear_atom.cc.o.d"
+  "/root/repo/src/linear/linear_expr.cc" "src/CMakeFiles/dodb.dir/linear/linear_expr.cc.o" "gcc" "src/CMakeFiles/dodb.dir/linear/linear_expr.cc.o.d"
+  "/root/repo/src/linear/linear_relation.cc" "src/CMakeFiles/dodb.dir/linear/linear_relation.cc.o" "gcc" "src/CMakeFiles/dodb.dir/linear/linear_relation.cc.o.d"
+  "/root/repo/src/linear/linear_system.cc" "src/CMakeFiles/dodb.dir/linear/linear_system.cc.o" "gcc" "src/CMakeFiles/dodb.dir/linear/linear_system.cc.o.d"
+  "/root/repo/src/spatial/connectivity.cc" "src/CMakeFiles/dodb.dir/spatial/connectivity.cc.o" "gcc" "src/CMakeFiles/dodb.dir/spatial/connectivity.cc.o.d"
+  "/root/repo/src/spatial/interval.cc" "src/CMakeFiles/dodb.dir/spatial/interval.cc.o" "gcc" "src/CMakeFiles/dodb.dir/spatial/interval.cc.o.d"
+  "/root/repo/src/spatial/polygon.cc" "src/CMakeFiles/dodb.dir/spatial/polygon.cc.o" "gcc" "src/CMakeFiles/dodb.dir/spatial/polygon.cc.o.d"
+  "/root/repo/src/spatial/region.cc" "src/CMakeFiles/dodb.dir/spatial/region.cc.o" "gcc" "src/CMakeFiles/dodb.dir/spatial/region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_decomposition_test.dir/cell_decomposition_test.cc.o"
+  "CMakeFiles/cell_decomposition_test.dir/cell_decomposition_test.cc.o.d"
+  "cell_decomposition_test"
+  "cell_decomposition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_decomposition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

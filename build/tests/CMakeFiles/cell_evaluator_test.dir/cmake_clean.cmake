@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_evaluator_test.dir/cell_evaluator_test.cc.o"
+  "CMakeFiles/cell_evaluator_test.dir/cell_evaluator_test.cc.o.d"
+  "cell_evaluator_test"
+  "cell_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

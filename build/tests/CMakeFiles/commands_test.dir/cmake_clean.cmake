@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commands_test.dir/commands_test.cc.o"
+  "CMakeFiles/commands_test.dir/commands_test.cc.o.d"
+  "commands_test"
+  "commands_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commands_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_qe_test.dir/dense_qe_test.cc.o"
+  "CMakeFiles/dense_qe_test.dir/dense_qe_test.cc.o.d"
+  "dense_qe_test"
+  "dense_qe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_qe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaporder_test.dir/gaporder_test.cc.o"
+  "CMakeFiles/gaporder_test.dir/gaporder_test.cc.o.d"
+  "gaporder_test"
+  "gaporder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaporder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalized_relation_test.dir/generalized_relation_test.cc.o"
+  "CMakeFiles/generalized_relation_test.dir/generalized_relation_test.cc.o.d"
+  "generalized_relation_test"
+  "generalized_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalized_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalized_tuple_test.dir/generalized_tuple_test.cc.o"
+  "CMakeFiles/generalized_tuple_test.dir/generalized_tuple_test.cc.o.d"
+  "generalized_tuple_test"
+  "generalized_tuple_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalized_tuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_evaluator_test.dir/linear_evaluator_test.cc.o"
+  "CMakeFiles/linear_evaluator_test.dir/linear_evaluator_test.cc.o.d"
+  "linear_evaluator_test"
+  "linear_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

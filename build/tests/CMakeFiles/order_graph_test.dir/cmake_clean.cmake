@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_graph_test.dir/order_graph_test.cc.o"
+  "CMakeFiles/order_graph_test.dir/order_graph_test.cc.o.d"
+  "order_graph_test"
+  "order_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

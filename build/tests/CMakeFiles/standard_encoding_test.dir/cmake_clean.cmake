@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standard_encoding_test.dir/standard_encoding_test.cc.o"
+  "CMakeFiles/standard_encoding_test.dir/standard_encoding_test.cc.o.d"
+  "standard_encoding_test"
+  "standard_encoding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standard_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

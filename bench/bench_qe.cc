@@ -90,6 +90,32 @@ BENCHMARK(BM_DenseElimination)
     ->Range(2, 16)
     ->Complexity();
 
+// Relation-level elimination: one EliminateVariable call over a DNF of
+// many tuples. This is the tuple-parallel path — per-tuple eliminations run
+// on the pool (DODB_THREADS / EvalOptions::num_threads), then merge in
+// input order. Compare DODB_THREADS=1 against the default to measure the
+// parallel speedup.
+void BM_RelationElimination(benchmark::State& state) {
+  size_t tuples = static_cast<size_t>(state.range(0));
+  constexpr int kVars = 8;
+  GeneralizedRelation rel(kVars);
+  // Denser random conjunctions are almost always unsatisfiable; kVars atoms
+  // leaves roughly half alive, so draw seeds until the DNF is full.
+  for (uint64_t seed = 500; rel.tuple_count() < tuples; ++seed) {
+    rel.AddTuple(RandomDenseTuple(kVars, kVars, seed));
+  }
+  EvalThreadsScope threads(DefaultNumThreads());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EliminateVariable(rel, 0));
+  }
+  state.SetComplexityN(tuples);
+}
+BENCHMARK(BM_RelationElimination)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity()
+    ->UseRealTime();
+
 void BM_FourierMotzkinElimination(benchmark::State& state) {
   int vars = static_cast<int>(state.range(0));
   int atoms = 3 * vars;

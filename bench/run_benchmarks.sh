@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and records one JSON per binary at the repo root:
+#   BENCH_<name>.json            (name = binary name minus the bench_ prefix)
+#   BENCH_<name>_t<K>.json       when DODB_THREADS=K is set in the environment
+#
+# Usage:
+#   bench/run_benchmarks.sh [build_dir] [bench_name ...]
+#
+#   build_dir     defaults to "build"
+#   bench_name    e.g. "qe" or "bench_qe"; default is every bench_* binary
+#
+# Extra google-benchmark flags pass through via BENCH_ARGS, e.g.:
+#   BENCH_ARGS='--benchmark_filter=BM_RelationElimination' \
+#     DODB_THREADS=1 bench/run_benchmarks.sh build qe
+#
+# The parallel-engine speedup record (ISSUE: bench_qe relation-level
+# elimination, bench_thm44) comes from running the same bench twice:
+#   DODB_THREADS=1 bench/run_benchmarks.sh build qe thm44_datalog_ptime
+#   bench/run_benchmarks.sh build qe thm44_datalog_ptime
+# and comparing real_time in BENCH_<name>_t1.json vs BENCH_<name>.json.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-build}"
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$repo_root/$build_dir" ;;
+esac
+shift || true
+
+if [[ ! -d "$build_dir/bench" ]]; then
+  echo "error: $build_dir/bench not found; build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+if [[ $# -gt 0 ]]; then
+  benches=()
+  for name in "$@"; do
+    benches+=("$build_dir/bench/bench_${name#bench_}")
+  done
+else
+  benches=("$build_dir"/bench/bench_*)
+fi
+
+suffix=""
+if [[ -n "${DODB_THREADS:-}" ]]; then
+  suffix="_t${DODB_THREADS}"
+fi
+
+for bench in "${benches[@]}"; do
+  [[ -x "$bench" ]] || { echo "error: $bench is not executable" >&2; exit 1; }
+  name="$(basename "$bench")"
+  out="$repo_root/BENCH_${name#bench_}${suffix}.json"
+  echo "== $name -> ${out#"$repo_root"/}"
+  # shellcheck disable=SC2086  # BENCH_ARGS is deliberately word-split
+  "$bench" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    ${BENCH_ARGS:-}
+done

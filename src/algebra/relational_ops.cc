@@ -10,7 +10,9 @@ GeneralizedRelation Union(const GeneralizedRelation& a,
                           const GeneralizedRelation& b) {
   DODB_CHECK_MSG(a.arity() == b.arity(), "Union arity mismatch");
   GeneralizedRelation out = a;
-  for (const GeneralizedTuple& tuple : b.tuples()) out.AddTuple(tuple);
+  const std::vector<GeneralizedTuple>& additions = b.tuples();
+  out.AddTuplesParallel(additions.size(),
+                        [&](size_t i) { return additions[i]; });
   return out;
 }
 
@@ -18,11 +20,13 @@ GeneralizedRelation Intersect(const GeneralizedRelation& a,
                               const GeneralizedRelation& b) {
   DODB_CHECK_MSG(a.arity() == b.arity(), "Intersect arity mismatch");
   GeneralizedRelation out(a.arity());
-  for (const GeneralizedTuple& ta : a.tuples()) {
-    for (const GeneralizedTuple& tb : b.tuples()) {
-      out.AddTuple(ta.Conjoin(tb));
-    }
-  }
+  const std::vector<GeneralizedTuple>& ta = a.tuples();
+  const std::vector<GeneralizedTuple>& tb = b.tuples();
+  // The pairwise-conjunction product in row-major order, so the merge
+  // matches the classic nested loop exactly.
+  out.AddTuplesParallel(tb.empty() ? 0 : ta.size() * tb.size(), [&](size_t i) {
+    return ta[i / tb.size()].Conjoin(tb[i % tb.size()]);
+  });
   return out;
 }
 
@@ -54,13 +58,16 @@ GeneralizedRelation ComplementViaDnf(const GeneralizedRelation& rel) {
     GeneralizedTuple minimized = tuple.Minimized();
     if (minimized.is_true()) return GeneralizedRelation(rel.arity());
     GeneralizedRelation next(rel.arity());
-    for (const GeneralizedTuple& partial : acc.tuples()) {
-      for (const DenseAtom& atom : minimized.atoms()) {
-        GeneralizedTuple candidate = partial;
-        candidate.AddAtom(atom.Negated());
-        next.AddTuple(std::move(candidate));  // filters unsat, subsumption
-      }
-    }
+    const std::vector<GeneralizedTuple>& partials = acc.tuples();
+    const std::vector<DenseAtom>& atoms = minimized.atoms();
+    // The outer accumulator walk is inherently sequential; the partial x
+    // negated-atom product inside one step is not. Filters unsat, prunes
+    // subsumption, in the legacy (partial-major) order.
+    next.AddTuplesParallel(partials.size() * atoms.size(), [&](size_t i) {
+      GeneralizedTuple candidate = partials[i / atoms.size()];
+      candidate.AddAtom(atoms[i % atoms.size()].Negated());
+      return candidate;
+    });
     acc = std::move(next);
     if (acc.IsEmpty()) break;
   }
@@ -81,12 +88,17 @@ GeneralizedRelation CrossProduct(const GeneralizedRelation& a,
   std::vector<int> b_map(b.arity());
   for (int i = 0; i < b.arity(); ++i) b_map[i] = a.arity() + i;
   GeneralizedRelation out(arity);
+  const std::vector<GeneralizedTuple>& tb = b.tuples();
+  std::vector<GeneralizedTuple> wide_a;
+  wide_a.reserve(a.tuples().size());
   for (const GeneralizedTuple& ta : a.tuples()) {
-    GeneralizedTuple wide_a = ta.Reindexed(a_map, arity);
-    for (const GeneralizedTuple& tb : b.tuples()) {
-      out.AddTuple(wide_a.Conjoin(tb.Reindexed(b_map, arity)));
-    }
+    wide_a.push_back(ta.Reindexed(a_map, arity));
   }
+  out.AddTuplesParallel(
+      tb.empty() ? 0 : wide_a.size() * tb.size(), [&](size_t i) {
+        return wide_a[i / tb.size()].Conjoin(
+            tb[i % tb.size()].Reindexed(b_map, arity));
+      });
   return out;
 }
 
@@ -106,20 +118,22 @@ GeneralizedRelation EquiJoin(
 GeneralizedRelation Select(const GeneralizedRelation& rel,
                            const DenseAtom& atom) {
   GeneralizedRelation out(rel.arity());
-  for (const GeneralizedTuple& tuple : rel.tuples()) {
-    GeneralizedTuple selected = tuple;
+  const std::vector<GeneralizedTuple>& tuples = rel.tuples();
+  out.AddTuplesParallel(tuples.size(), [&](size_t i) {
+    GeneralizedTuple selected = tuples[i];
     selected.AddAtom(atom);
-    out.AddTuple(std::move(selected));
-  }
+    return selected;
+  });
   return out;
 }
 
 GeneralizedRelation Rename(const GeneralizedRelation& rel,
                            const std::vector<int>& mapping, int new_arity) {
   GeneralizedRelation out(new_arity);
-  for (const GeneralizedTuple& tuple : rel.tuples()) {
-    out.AddTuple(tuple.Reindexed(mapping, new_arity));
-  }
+  const std::vector<GeneralizedTuple>& tuples = rel.tuples();
+  out.AddTuplesParallel(tuples.size(), [&](size_t i) {
+    return tuples[i].Reindexed(mapping, new_arity);
+  });
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/check.h"
+#include "core/thread_pool.h"
 
 namespace dodb {
 
@@ -148,8 +149,23 @@ GeneralizedRelation EliminateVariable(const GeneralizedTuple& tuple, int var) {
 GeneralizedRelation EliminateVariable(const GeneralizedRelation& relation,
                                       int var) {
   GeneralizedRelation result(relation.arity());
-  for (const GeneralizedTuple& tuple : relation.tuples()) {
-    GeneralizedRelation part = EliminateVariable(tuple, var);
+  const std::vector<GeneralizedTuple>& tuples = relation.tuples();
+  if (!ShouldParallelize(tuples.size())) {
+    for (const GeneralizedTuple& tuple : tuples) {
+      GeneralizedRelation part = EliminateVariable(tuple, var);
+      for (const GeneralizedTuple& t : part.tuples()) result.AddTuple(t);
+    }
+    return result;
+  }
+  // Per-tuple elimination is a pure function of the tuple (it builds fresh
+  // constraint networks throughout); the subsumption-sensitive merge runs
+  // sequentially in input order, so the output is bit-identical to the
+  // inline loop above at any thread count.
+  std::vector<GeneralizedRelation> parts =
+      ParallelMap<GeneralizedRelation>(tuples.size(), [&](size_t i) {
+        return EliminateVariable(tuples[i], var);
+      });
+  for (const GeneralizedRelation& part : parts) {
     for (const GeneralizedTuple& t : part.tuples()) result.AddTuple(t);
   }
   return result;
@@ -172,9 +188,10 @@ GeneralizedRelation ProjectColumns(const GeneralizedRelation& relation,
   // harmlessly (ReindexTerm is never consulted for them).
   for (size_t i = 0; i < keep.size(); ++i) mapping[keep[i]] = static_cast<int>(i);
   GeneralizedRelation result(static_cast<int>(keep.size()));
-  for (const GeneralizedTuple& tuple : current.tuples()) {
-    result.AddTuple(tuple.Reindexed(mapping, static_cast<int>(keep.size())));
-  }
+  const std::vector<GeneralizedTuple>& tuples = current.tuples();
+  result.AddTuplesParallel(tuples.size(), [&](size_t i) {
+    return tuples[i].Reindexed(mapping, static_cast<int>(keep.size()));
+  });
   return result;
 }
 

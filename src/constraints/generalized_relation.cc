@@ -5,6 +5,7 @@
 
 #include "core/check.h"
 #include "core/str_util.h"
+#include "core/thread_pool.h"
 
 namespace dodb {
 
@@ -41,7 +42,11 @@ size_t GeneralizedRelation::atom_count() const {
 void GeneralizedRelation::AddTuple(GeneralizedTuple tuple) {
   DODB_CHECK_MSG(tuple.arity() == arity_, "AddTuple arity mismatch");
   if (!tuple.IsSatisfiable()) return;
-  GeneralizedTuple canonical = tuple.Canonical();
+  AddCanonicalTuple(tuple.Canonical());
+}
+
+void GeneralizedRelation::AddCanonicalTuple(GeneralizedTuple canonical) {
+  DODB_CHECK_MSG(canonical.arity() == arity_, "AddTuple arity mismatch");
   // Exact duplicates are by far the common case in fixpoint loops: reject
   // them with a binary search before the linear subsumption scan.
   auto pos = std::lower_bound(tuples_.begin(), tuples_.end(), canonical);
@@ -56,6 +61,24 @@ void GeneralizedRelation::AddTuple(GeneralizedTuple tuple) {
   });
   pos = std::lower_bound(tuples_.begin(), tuples_.end(), canonical);
   tuples_.insert(pos, std::move(canonical));
+}
+
+void GeneralizedRelation::AddTuplesParallel(
+    size_t n, const std::function<GeneralizedTuple(size_t)>& make) {
+  if (!ShouldParallelize(n)) {
+    for (size_t i = 0; i < n; ++i) AddTuple(make(i));
+    return;
+  }
+  // Parallel phase: satisfiability + canonicalization per candidate, each a
+  // pure function of its index. Sequential phase: the same insertions, in
+  // the same order, as the inline loop above.
+  std::vector<std::optional<GeneralizedTuple>> prepared =
+      ParallelMap<std::optional<GeneralizedTuple>>(n, [&make](size_t i) {
+        return make(i).CanonicalIfSatisfiable();
+      });
+  for (std::optional<GeneralizedTuple>& candidate : prepared) {
+    if (candidate.has_value()) AddCanonicalTuple(std::move(*candidate));
+  }
 }
 
 bool GeneralizedRelation::Contains(const std::vector<Rational>& point) const {

@@ -1,6 +1,7 @@
 #ifndef DODB_CONSTRAINTS_GENERALIZED_RELATION_H_
 #define DODB_CONSTRAINTS_GENERALIZED_RELATION_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,22 @@ class GeneralizedRelation {
   /// Inserts a tuple: drops it when unsatisfiable or subsumed by an existing
   /// tuple; removes existing tuples it subsumes. Keeps canonical order.
   void AddTuple(GeneralizedTuple tuple);
+
+  /// AddTuple for a tuple already in closure-canonical form (as produced by
+  /// GeneralizedTuple::CanonicalIfSatisfiable): skips the satisfiability
+  /// check and re-canonicalization, keeps the same pruning contract.
+  void AddCanonicalTuple(GeneralizedTuple canonical);
+
+  /// Evaluates make(i) for every i in [0, n) — on the shared thread pool
+  /// when the current eval-thread setting allows — and inserts the results
+  /// in index order. Bit-identical to `for (i) AddTuple(make(i))` at any
+  /// thread count: per-candidate closure/canonicalization is a pure function
+  /// of the candidate and runs on the workers, while the order-sensitive
+  /// subsumption merge stays sequential. `make` must be safe to call
+  /// concurrently for distinct indices (reading shared tuples and copying
+  /// them is safe; calling their caching accessors is not).
+  void AddTuplesParallel(size_t n,
+                         const std::function<GeneralizedTuple(size_t)>& make);
 
   /// Point membership in the represented (possibly infinite) point set.
   bool Contains(const std::vector<Rational>& point) const;

@@ -81,6 +81,20 @@ GeneralizedTuple GeneralizedTuple::Canonical() const {
   return out;
 }
 
+std::optional<GeneralizedTuple> GeneralizedTuple::CanonicalIfSatisfiable()
+    const {
+  OrderGraph graph = BuildGraph();
+  if (!graph.Close()) return std::nullopt;
+  std::vector<DenseAtom> atoms = graph.CanonicalAtoms();
+  std::sort(atoms.begin(), atoms.end());
+  GeneralizedTuple out(arity_);
+  for (DenseAtom& atom : atoms) out.AddAtom(atom.Oriented());
+  // Warm the result's own cache here (typically on a pool worker) so the
+  // order-sensitive merge that follows only does closed-graph lookups.
+  out.IsSatisfiable();
+  return out;
+}
+
 GeneralizedTuple GeneralizedTuple::Minimized() const {
   DODB_CHECK_MSG(IsSatisfiable(), "Minimized() on unsatisfiable tuple");
   std::vector<DenseAtom> kept = atoms_;

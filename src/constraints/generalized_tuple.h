@@ -51,6 +51,13 @@ class GeneralizedTuple {
   /// through the cell decomposition).
   GeneralizedTuple Canonical() const;
 
+  /// Canonical() when satisfiable, nullopt otherwise — computed on a fresh
+  /// constraint network, never reading or populating the shared closure
+  /// cache, so it is safe to call concurrently on tuples (or copies of
+  /// tuples) visible to other threads. The returned tuple carries its own
+  /// already-closed cache. Identical output to the cached path.
+  std::optional<GeneralizedTuple> CanonicalIfSatisfiable() const;
+
   /// A subset of the atoms with the same meaning: greedily drops every atom
   /// entailed by the remaining ones. Keeps complements and printed output
   /// small (the closure normal form is quadratic in the node count).

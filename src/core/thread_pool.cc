@@ -1,0 +1,169 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace dodb {
+
+namespace {
+
+// Hard cap on spawned workers: EvalThreadsScope may legitimately request
+// more threads than cores (the determinism tests oversubscribe on purpose),
+// but a runaway setting must not exhaust the process.
+constexpr int kMaxWorkers = 256;
+
+thread_local int tls_eval_threads = 0;    // 0 = auto
+thread_local bool tls_in_parallel = false;
+
+}  // namespace
+
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int DefaultNumThreads() {
+  static const int value = [] {
+    if (const char* env = std::getenv("DODB_THREADS")) {
+      int parsed = std::atoi(env);
+      if (parsed >= 1) return std::min(parsed, kMaxWorkers);
+    }
+    return HardwareThreads();
+  }();
+  return value;
+}
+
+int CurrentEvalThreads() {
+  int threads = tls_eval_threads;
+  if (threads <= 0) threads = DefaultNumThreads();
+  return std::min(threads, kMaxWorkers);
+}
+
+EvalThreadsScope::EvalThreadsScope(int num_threads) : prev_(tls_eval_threads) {
+  tls_eval_threads = num_threads;
+}
+
+EvalThreadsScope::~EvalThreadsScope() { tls_eval_threads = prev_; }
+
+struct ThreadPool::ForState {
+  size_t n = 0;
+  size_t block = 1;
+  const std::function<void(size_t)>* body = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<int> pending_helpers{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable done;
+  std::exception_ptr error;  // guarded by mu
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : max_workers_(std::clamp(num_threads - 1, 0, kMaxWorkers)) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::InParallelRegion() { return tls_in_parallel; }
+
+ThreadPool& ThreadPool::Global() {
+  // Sized by the cap, not DefaultNumThreads(): scopes may request more
+  // threads than the default and the pool grows lazily to meet them.
+  static ThreadPool pool(kMaxWorkers + 1);
+  return pool;
+}
+
+void ThreadPool::EnsureWorkers(int count) {
+  count = std::min(count, max_workers_);
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  while (static_cast<int>(workers_.size()) < count) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunChunks(ForState* state) {
+  bool prev = tls_in_parallel;
+  tls_in_parallel = true;
+  for (;;) {
+    if (state->failed.load(std::memory_order_relaxed)) break;
+    size_t begin = state->next.fetch_add(state->block);
+    if (begin >= state->n) break;
+    size_t end = std::min(begin + state->block, state->n);
+    try {
+      for (size_t i = begin; i < end; ++i) (*state->body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->error) state->error = std::current_exception();
+      state->failed.store(true, std::memory_order_relaxed);
+    }
+  }
+  tls_in_parallel = prev;
+}
+
+void ThreadPool::ParallelFor(int num_threads, size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || num_threads <= 1 || tls_in_parallel) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  int helpers =
+      static_cast<int>(std::min<size_t>(n, static_cast<size_t>(
+                                               std::min(num_threads,
+                                                        kMaxWorkers + 1)))) -
+      1;
+  EnsureWorkers(helpers);
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->body = &body;
+  // Chunks several times smaller than a fair share keep threads busy when
+  // item costs are skewed; results are per-index, so the chunking never
+  // affects output.
+  state->block =
+      std::max<size_t>(1, n / (static_cast<size_t>(helpers + 1) * 4));
+  state->pending_helpers.store(helpers);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (int h = 0; h < helpers; ++h) {
+      queue_.push_back([state] {
+        RunChunks(state.get());
+        if (state->pending_helpers.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> state_lock(state->mu);
+          state->done.notify_all();
+        }
+      });
+    }
+  }
+  queue_cv_.notify_all();
+
+  RunChunks(state.get());
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done.wait(lock,
+                     [&] { return state->pending_helpers.load() == 0; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace dodb

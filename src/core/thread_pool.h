@@ -1,0 +1,130 @@
+#ifndef DODB_CORE_THREAD_POOL_H_
+#define DODB_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace dodb {
+
+/// std::thread::hardware_concurrency(), never less than 1.
+int HardwareThreads();
+
+/// The engine-wide default parallelism: the DODB_THREADS environment
+/// variable when set to a positive integer, else HardwareThreads(). Read
+/// once per process.
+int DefaultNumThreads();
+
+/// The thread count in effect for parallel evaluation on this thread:
+/// the innermost EvalThreadsScope, or DefaultNumThreads() when no scope is
+/// active (or the scope requested 0 = auto). Always >= 1.
+int CurrentEvalThreads();
+
+/// RAII thread-local override of CurrentEvalThreads(). Evaluators install
+/// one from EvalOptions::num_threads so every algebra/QE call they make —
+/// and nothing outside them — picks up the setting.
+class EvalThreadsScope {
+ public:
+  explicit EvalThreadsScope(int num_threads);
+  ~EvalThreadsScope();
+  EvalThreadsScope(const EvalThreadsScope&) = delete;
+  EvalThreadsScope& operator=(const EvalThreadsScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// A deterministic fork-join runtime: no work stealing, no task
+/// dependencies, just index-space fan-out with the caller participating.
+///
+/// Determinism contract: ParallelFor(n, body) invokes body(i) exactly once
+/// for every i in [0, n); which thread runs which index is unspecified, so
+/// callers make body(i) a pure function of i writing only to slot i of a
+/// pre-sized output. ParallelMap packages that pattern and returns the
+/// results in index order, which is how every engine hot path achieves
+/// bit-identical output at any thread count.
+///
+/// Nested submission is safe: a body that itself calls ParallelFor (e.g. a
+/// Datalog rule fired on the pool whose FO evaluation reaches the parallel
+/// algebra) runs the inner loop inline on its worker, so the pool can never
+/// deadlock on its own queue.
+class ThreadPool {
+ public:
+  /// A pool that will use up to `num_threads` threads per ParallelFor
+  /// (workers are spawned lazily, caller included in the count).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs body(i) for every i in [0, n) using up to `num_threads` threads
+  /// (the calling thread plus pool workers). Runs inline on the caller when
+  /// num_threads <= 1, n <= 1, or the caller is already a pool worker.
+  /// The first exception thrown by any body is rethrown here after all
+  /// indices finish or are abandoned.
+  void ParallelFor(int num_threads, size_t n,
+                   const std::function<void(size_t)>& body);
+
+  /// ParallelFor that collects fn(i) into a vector in index order.
+  /// T needs to be move-constructible, not default-constructible.
+  template <typename T>
+  std::vector<T> ParallelMap(int num_threads, size_t n,
+                             const std::function<T(size_t)>& fn) {
+    std::vector<std::optional<T>> slots(n);
+    ParallelFor(num_threads, n, [&](size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::optional<T>& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  /// Whether the calling thread is currently executing a ParallelFor body
+  /// (worker or participating caller). Nested parallel calls run inline.
+  static bool InParallelRegion();
+
+  /// The process-wide pool shared by all evaluators.
+  static ThreadPool& Global();
+
+ private:
+  struct ForState;
+
+  void EnsureWorkers(int count);
+  void WorkerLoop();
+  static void RunChunks(ForState* state);
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int max_workers_;
+  bool stop_ = false;
+};
+
+/// True when a loop of `n` independent items is worth preparing for the
+/// pool under the current thread setting. The sequential path taken when
+/// this is false must compute the same result (see ParallelFor contract).
+inline bool ShouldParallelize(size_t n) {
+  return n >= 2 && !ThreadPool::InParallelRegion() && CurrentEvalThreads() > 1;
+}
+
+/// Global-pool ParallelFor under the current eval-thread setting.
+inline void ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  ThreadPool::Global().ParallelFor(CurrentEvalThreads(), n, body);
+}
+
+/// Global-pool ParallelMap under the current eval-thread setting.
+template <typename T>
+std::vector<T> ParallelMap(size_t n, const std::function<T(size_t)>& fn) {
+  return ThreadPool::Global().ParallelMap<T>(CurrentEvalThreads(), n, fn);
+}
+
+}  // namespace dodb
+
+#endif  // DODB_CORE_THREAD_POOL_H_

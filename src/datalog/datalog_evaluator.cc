@@ -8,6 +8,7 @@
 #include "algebra/relational_ops.h"
 #include "core/check.h"
 #include "core/str_util.h"
+#include "core/thread_pool.h"
 
 namespace dodb {
 
@@ -144,6 +145,27 @@ GeneralizedRelation TupleDifference(const GeneralizedRelation& next,
 
 constexpr char kDeltaRelationName[] = "__dodb_delta";
 
+// Populates and closes the lazily cached constraint network of every stored
+// tuple. Copies of these tuples made inside pool workers share the caches,
+// and a closed OrderGraph is read-only under every query method — so after
+// warming, concurrent rule evaluations may read the snapshot freely.
+void WarmClosureCaches(const Database& db) {
+  for (const std::string& name : db.RelationNames()) {
+    for (const GeneralizedTuple& tuple : db.FindRelation(name)->tuples()) {
+      tuple.IsSatisfiable();
+    }
+  }
+}
+
+// One unit of work in a fixpoint round: a rule fired naively against the
+// full snapshot, or (semi-naive) one positive IDB occurrence of a rule
+// redirected to the previous round's delta.
+struct RuleJob {
+  const DatalogRule* rule = nullptr;
+  const GeneralizedRelation* delta = nullptr;  // null = naive firing
+  size_t occurrence = 0;
+};
+
 }  // namespace
 
 Status DatalogEvaluator::RunToFixpoint(
@@ -179,6 +201,11 @@ Status DatalogEvaluator::RunToFixpoint(
       }
     };
 
+    // Plan the round's independent firings up front (in rule order), then
+    // evaluate them on the pool and merge sequentially in plan order — the
+    // same derivation sequence as the legacy one-rule-at-a-time loop, so
+    // the fixpoint trajectory is bit-identical at any thread count.
+    std::vector<RuleJob> jobs;
     for (const DatalogRule* rule : rules) {
       std::optional<std::vector<size_t>> positive =
           options_.semi_naive && !first_round
@@ -186,12 +213,10 @@ Status DatalogEvaluator::RunToFixpoint(
               : std::nullopt;
       if (!positive.has_value()) {
         // Naive: negation present, semi-naive disabled, or first round.
-        Result<GeneralizedRelation> derived = EvalRule(*rule, snapshot);
-        if (!derived.ok()) return derived.status();
-        merge_derived(rule->head, std::move(derived).value());
+        jobs.push_back(RuleJob{rule, nullptr, 0});
         continue;
       }
-      if (positive->empty()) continue;  // EDB-only rule: saturated round 1
+      // EDB-only rules (positive->empty()) saturated in round 1: no job.
       // Semi-naive: once per positive IDB occurrence, with that occurrence
       // redirected to the previous round's delta.
       for (size_t occurrence : *positive) {
@@ -200,15 +225,43 @@ Status DatalogEvaluator::RunToFixpoint(
         if (delta_it == delta_in.end() || delta_it->second.IsEmpty()) {
           continue;
         }
-        DatalogRule focused = *rule;
-        focused.body[occurrence].relation = kDeltaRelationName;
-        Database focused_snapshot = snapshot;
-        focused_snapshot.SetRelation(kDeltaRelationName, delta_it->second);
-        Result<GeneralizedRelation> derived =
-            EvalRule(focused, focused_snapshot);
-        if (!derived.ok()) return derived.status();
-        merge_derived(rule->head, std::move(derived).value());
+        jobs.push_back(RuleJob{rule, &delta_it->second, occurrence});
       }
+    }
+
+    auto eval_job = [&](size_t j) -> Result<GeneralizedRelation> {
+      const RuleJob& job = jobs[j];
+      if (job.delta == nullptr) return EvalRule(*job.rule, snapshot);
+      DatalogRule focused = *job.rule;
+      focused.body[job.occurrence].relation = kDeltaRelationName;
+      Database focused_snapshot = snapshot;
+      focused_snapshot.SetRelation(kDeltaRelationName, *job.delta);
+      return EvalRule(focused, focused_snapshot);
+    };
+
+    std::vector<Result<GeneralizedRelation>> derived;
+    if (!ShouldParallelize(jobs.size())) {
+      derived.reserve(jobs.size());
+      for (size_t j = 0; j < jobs.size(); ++j) {
+        derived.push_back(eval_job(j));
+        if (!derived.back().ok()) return derived.back().status();
+      }
+    } else {
+      // Concurrent jobs share the snapshot and deltas read-only; warming
+      // makes every shared tuple's closure cache closed (hence read-only)
+      // before the first worker touches it.
+      WarmClosureCaches(snapshot);
+      for (const auto& [pred, delta] : delta_in) {
+        for (const GeneralizedTuple& tuple : delta.tuples()) {
+          tuple.IsSatisfiable();
+        }
+      }
+      derived = ParallelMap<Result<GeneralizedRelation>>(jobs.size(),
+                                                         eval_job);
+    }
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      if (!derived[j].ok()) return derived[j].status();
+      merge_derived(jobs[j].rule->head, std::move(derived[j]).value());
     }
 
     bool changed = false;
@@ -279,6 +332,7 @@ Result<GeneralizedRelation> DatalogEvaluator::Answer(
 }
 
 Result<Database> DatalogEvaluator::Evaluate() {
+  EvalThreadsScope threads(options_.eval_options.num_threads);
   DODB_RETURN_IF_ERROR(program_.Validate(*edb_));
   iterations_ = 0;
 

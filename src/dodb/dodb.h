@@ -39,6 +39,7 @@
 #include "core/rational.h"
 #include "core/status.h"
 #include "core/str_util.h"
+#include "core/thread_pool.h"
 #include "datalog/datalog_ast.h"
 #include "datalog/datalog_evaluator.h"
 #include "datalog/datalog_parser.h"

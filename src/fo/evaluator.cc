@@ -6,6 +6,7 @@
 #include "constraints/dense_qe.h"
 #include "core/check.h"
 #include "core/str_util.h"
+#include "core/thread_pool.h"
 #include "fo/analyzer.h"
 #include "fo/rewriter.h"
 
@@ -48,6 +49,7 @@ Status FoEvaluator::CheckSize(const GeneralizedRelation& rel) {
 }
 
 Result<GeneralizedRelation> FoEvaluator::Evaluate(const Query& query) {
+  EvalThreadsScope threads(options_.num_threads);
   Result<QueryAnalysis> analysis = Analyze(query, db_);
   if (!analysis.ok()) return analysis.status();
   if (!analysis.value().is_dense_fragment) {
@@ -63,6 +65,7 @@ Result<GeneralizedRelation> FoEvaluator::Evaluate(const Query& query) {
 
 Result<GeneralizedRelation> FoEvaluator::EvaluateFormula(
     const Formula& formula, const std::vector<std::string>& columns) {
+  EvalThreadsScope threads(options_.num_threads);
   Result<Binding> binding = Eval(formula);
   if (!binding.ok()) return binding.status();
   for (const std::string& var : binding.value().vars) {

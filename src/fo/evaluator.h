@@ -20,6 +20,12 @@ struct EvalOptions {
   /// Run the rewriter (NNF, quantifier flattening, conjunct reordering)
   /// before evaluation; see fo/rewriter.h. Semantics-preserving.
   bool optimize = false;
+  /// Worker threads for tuple-parallel algebra, quantifier elimination and
+  /// Datalog rule firing. 0 = auto: the DODB_THREADS environment override
+  /// when set, else std::thread::hardware_concurrency(). 1 = the exact
+  /// single-threaded legacy path. Canonical results are bit-identical at
+  /// every setting; only wall-clock changes.
+  int num_threads = 0;
 };
 
 struct EvalStats {

@@ -6,6 +6,7 @@
 #include "algebra/relational_ops.h"
 #include "core/check.h"
 #include "core/str_util.h"
+#include "core/thread_pool.h"
 #include "fo/evaluator.h"
 #include "fo/parser.h"
 
@@ -48,7 +49,11 @@ Result<GeneralizedRelation> EvalCondition(const Database& db, int arity,
   Query query;
   for (int i = 0; i < arity; ++i) query.head.push_back(StrCat("x", i));
   query.body = std::move(formula).value();
-  FoEvaluator evaluator(&db);
+  // The DML layer always runs at the engine-wide default, which is where
+  // the DODB_THREADS override lands; per-query knobs stay internal.
+  EvalOptions options;
+  options.num_threads = DefaultNumThreads();
+  FoEvaluator evaluator(&db, options);
   return evaluator.Evaluate(query);
 }
 

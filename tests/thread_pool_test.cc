@@ -1,0 +1,149 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/str_util.h"
+
+namespace dodb {
+namespace {
+
+TEST(ThreadPoolTest, DefaultNumThreadsIsPositive) {
+  EXPECT_GE(DefaultNumThreads(), 1);
+  EXPECT_GE(HardwareThreads(), 1);
+  EXPECT_GE(CurrentEvalThreads(), 1);
+}
+
+TEST(ThreadPoolTest, EvalThreadsScopeOverridesAndRestores) {
+  int base = CurrentEvalThreads();
+  {
+    EvalThreadsScope scope(7);
+    EXPECT_EQ(CurrentEvalThreads(), 7);
+    {
+      EvalThreadsScope inner(1);
+      EXPECT_EQ(CurrentEvalThreads(), 1);
+    }
+    EXPECT_EQ(CurrentEvalThreads(), 7);
+    {
+      // 0 = auto: falls back to the process default inside the scope.
+      EvalThreadsScope inner(0);
+      EXPECT_EQ(CurrentEvalThreads(), DefaultNumThreads());
+    }
+  }
+  EXPECT_EQ(CurrentEvalThreads(), base);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  EvalThreadsScope scope(8);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesInputOrder) {
+  EvalThreadsScope scope(8);
+  constexpr size_t kN = 4096;
+  std::vector<std::string> out = ParallelMap<std::string>(
+      kN, [](size_t i) { return StrCat("item-", i * i); });
+  ASSERT_EQ(out.size(), kN);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(out[i], StrCat("item-", i * i));
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapWorksWithMoveOnlyResults) {
+  EvalThreadsScope scope(4);
+  std::vector<std::unique_ptr<int>> out =
+      ParallelMap<std::unique_ptr<int>>(100, [](size_t i) {
+        return std::make_unique<int>(static_cast<int>(i) * 3);
+      });
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(*out[i], static_cast<int>(i) * 3);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  EvalThreadsScope scope(8);
+  EXPECT_THROW(ParallelFor(1000,
+                           [](size_t i) {
+                             if (i == 617) {
+                               throw std::runtime_error("boom at 617");
+                             }
+                           }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotPoisonLaterCalls) {
+  EvalThreadsScope scope(8);
+  try {
+    ParallelFor(100, [](size_t) { throw std::runtime_error("boom"); });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<size_t> count{0};
+  ParallelFor(100, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionRunsInlineWithoutDeadlock) {
+  EvalThreadsScope scope(8);
+  constexpr size_t kOuter = 64;
+  constexpr size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  ParallelFor(kOuter, [&](size_t i) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    // Nested calls must not be re-submitted to the pool (deadlock risk);
+    // they run inline on the current worker.
+    ParallelFor(kInner,
+                [&](size_t j) { hits[i * kInner + j].fetch_add(1); });
+  });
+  for (size_t k = 0; k < hits.size(); ++k) EXPECT_EQ(hits[k].load(), 1) << k;
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ThreadPoolTest, SingleThreadSettingRunsOnCallingThread) {
+  EvalThreadsScope scope(1);
+  std::thread::id caller = std::this_thread::get_id();
+  std::set<std::thread::id> seen;
+  ParallelFor(500, [&](size_t) { seen.insert(std::this_thread::get_id()); });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), caller);
+  EXPECT_FALSE(ShouldParallelize(500));
+}
+
+TEST(ThreadPoolTest, MultipleThreadsActuallyUsedWhenRequested) {
+  // Oversubscription is deliberate: even a 1-core machine must exercise
+  // real concurrency so the determinism tests and TSan mean something.
+  // Each index sleeps so the caller cannot drain the whole range before
+  // the pool workers get scheduled.
+  EvalThreadsScope scope(8);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  ParallelFor(200, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(ThreadPoolTest, ZeroAndOneItemAreInline) {
+  EvalThreadsScope scope(8);
+  size_t count = 0;  // unsynchronized on purpose: must stay on this thread
+  ParallelFor(0, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 0u);
+  ParallelFor(1, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace dodb

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "bench/workloads.h"
 #include "dodb/dodb.h"
 
@@ -14,6 +16,7 @@ namespace {
 void BM_BuildStandardEncoding(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   GeneralizedRelation rel = bench::RandomIntervals(n, 8 * n, 11);
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     StandardEncoding enc = StandardEncoding::ForDatabase({&rel});
     benchmark::DoNotOptimize(enc);
@@ -30,6 +33,7 @@ void BM_EncodeRelation(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   GeneralizedRelation rel = bench::RandomIntervals(n, 8 * n, 13);
   StandardEncoding enc = StandardEncoding::ForDatabase({&rel});
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     GeneralizedRelation encoded = enc.EncodeRelation(rel);
     benchmark::DoNotOptimize(encoded);
@@ -45,6 +49,7 @@ void BM_CellSignature(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   GeneralizedRelation rel = bench::RandomIntervals(n, 8 * n, 17);
   StandardEncoding enc = StandardEncoding::ForDatabase({&rel});
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     Result<std::string> sig = enc.Signature(rel);
     benchmark::DoNotOptimize(sig);
@@ -65,6 +70,7 @@ void BM_AutomorphismApplication(benchmark::State& state) {
   MonotoneMap map({{Rational(0), Rational(-100)},
                    {Rational(2 * n), Rational(0)},
                    {Rational(8 * n), Rational(17)}});
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     GeneralizedRelation moved = map.ApplyToRelation(rel);
     benchmark::DoNotOptimize(moved);
@@ -87,6 +93,7 @@ void BM_SignatureInvariance(benchmark::State& state) {
                    {Rational(8 * n), Rational(99 * n)}});
   GeneralizedRelation moved = map.ApplyToRelation(rel);
   int agreements = 0;
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     StandardEncoding enc1 = StandardEncoding::ForDatabase({&rel});
     StandardEncoding enc2 = StandardEncoding::ForDatabase({&moved});

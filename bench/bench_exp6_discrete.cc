@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <cstdio>
 
 #include "bench/workloads.h"
@@ -54,6 +56,7 @@ namespace {
 
 void BM_GapSuccessorRounds(benchmark::State& state) {
   int rounds = static_cast<int>(state.range(0));
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     GapRelation p = GapRelation::FromPoints(1, {{0}});
     for (int i = 0; i < rounds; ++i) p = SuccessorStep(p);
@@ -73,6 +76,7 @@ BENCHMARK(BM_GapSuccessorRounds)
 void BM_GapClosure(benchmark::State& state) {
   // DBM closure cost over k variables (cubic Floyd-Warshall).
   int k = static_cast<int>(state.range(0));
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     GapSystem s(k);
     for (int i = 0; i + 1 < k; ++i) s.AddGap(i, i + 1, i % 3);

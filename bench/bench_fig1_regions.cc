@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "bench/workloads.h"
 #include "dodb/dodb.h"
 
@@ -13,6 +15,7 @@ namespace {
 
 void BM_StaircaseConstruction(benchmark::State& state) {
   int steps = static_cast<int>(state.range(0));
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     GeneralizedRelation stairs =
         spatial::CornerStaircase(steps, Rational(0));
@@ -34,6 +37,7 @@ BENCHMARK(BM_StaircaseConstruction)
 
 void BM_RandomRectangleUnion(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     GeneralizedRelation region = bench::RandomRectangles(n, 4 * n, 42);
     benchmark::DoNotOptimize(region);
@@ -49,6 +53,7 @@ void BM_RegionMembershipProbe(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   GeneralizedRelation region = bench::RandomRectangles(n, 4 * n, 7);
   std::vector<Rational> probe = {Rational(2 * n), Rational(2 * n)};
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(region.Contains(probe));
   }
@@ -63,6 +68,7 @@ void BM_RegionIntersectionTest(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   GeneralizedRelation a = bench::RandomRectangles(n, 4 * n, 1);
   GeneralizedRelation b = bench::RandomRectangles(n, 4 * n, 2);
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(spatial::Intersects(a, b));
   }

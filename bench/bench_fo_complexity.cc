@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "bench/workloads.h"
 #include "dodb/dodb.h"
 
@@ -24,6 +26,7 @@ void RunFoQuery(benchmark::State& state, const char* text) {
   Database db = IntervalDb(n);
   Query query = FoParser::ParseQuery(text).value();
   uint64_t answer_tuples = 0;
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     FoEvaluator evaluator(&db);
     Result<GeneralizedRelation> out = evaluator.Evaluate(query);
@@ -74,6 +77,7 @@ BENCHMARK(BM_FoNegation)
 void BM_ComplementViaCells(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   GeneralizedRelation rel = bench::RandomIntervals(n, 4 * n, 99);
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(algebra::ComplementViaCells(rel));
   }
@@ -87,6 +91,7 @@ BENCHMARK(BM_ComplementViaCells)
 void BM_ComplementViaDnf(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   GeneralizedRelation rel = bench::RandomIntervals(n, 4 * n, 99);
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(algebra::ComplementViaDnf(rel));
   }
@@ -118,6 +123,7 @@ void BM_RewriterAblation(benchmark::State& state) {
       "{ (x) | not (not s(x) or (s(x) and t(x))) }").value();
   EvalOptions options;
   options.optimize = optimize;
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     FoEvaluator evaluator(&db, options);
     benchmark::DoNotOptimize(evaluator.Evaluate(query));
@@ -133,6 +139,7 @@ void RunLinearQuery(benchmark::State& state, const char* text) {
   int n = static_cast<int>(state.range(0));
   Database db = IntervalDb(n);
   Query query = FoParser::ParseQuery(text).value();
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     LinearFoEvaluator evaluator(&db);
     Result<LinearRelation> out = evaluator.Evaluate(query);

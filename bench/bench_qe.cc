@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <random>
 
 #include "dodb/dodb.h"
@@ -56,6 +58,7 @@ void BM_DenseSatisfiability(benchmark::State& state) {
     tuples.push_back(RandomDenseTuple(vars, atoms, s));
   }
   size_t i = 0;
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     // Fresh network each time: the tuple-level closure cache would
     // otherwise make every iteration after the first free.
@@ -78,6 +81,7 @@ void BM_DenseElimination(benchmark::State& state) {
     tuples.push_back(RandomDenseTuple(vars, atoms, s + 100));
   }
   size_t i = 0;
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     const GeneralizedTuple& tuple = tuples[i % tuples.size()];
     benchmark::DoNotOptimize(EliminateVariable(tuple, 0));
@@ -105,6 +109,7 @@ void BM_RelationElimination(benchmark::State& state) {
     rel.AddTuple(RandomDenseTuple(kVars, kVars, seed));
   }
   EvalThreadsScope threads(DefaultNumThreads());
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(EliminateVariable(rel, 0));
   }
@@ -124,6 +129,7 @@ void BM_FourierMotzkinElimination(benchmark::State& state) {
     systems.push_back(RandomLinearSystem(vars, atoms, s));
   }
   size_t i = 0;
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     const LinearSystem& system = systems[i % systems.size()];
     benchmark::DoNotOptimize(system.EliminatedVariable(0));
@@ -144,6 +150,7 @@ void BM_FourierMotzkinFullSat(benchmark::State& state) {
     systems.push_back(RandomLinearSystem(vars, atoms, s + 50));
   }
   size_t i = 0;
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(systems[i % systems.size()].IsSatisfiable());
     ++i;

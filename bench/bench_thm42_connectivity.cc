@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <cstdio>
 
 #include "bench/workloads.h"
@@ -67,6 +69,7 @@ void BM_FoApproximant(benchmark::State& state) {
   int k = static_cast<int>(state.range(1));
   Database db;
   db.SetRelation("edge", bench::PathGraph(n));
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(FoApproximantSaysConnected(db, k));
   }
@@ -81,6 +84,7 @@ void BM_DatalogConnectivity(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Database db;
   db.SetRelation("edge", bench::PathGraph(n));
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(bench::DatalogConnected(db).value());
   }

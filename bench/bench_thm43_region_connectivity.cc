@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <cstdio>
 
 #include "bench/workloads.h"
@@ -91,6 +93,7 @@ void BM_RegionConnectivitySolid(benchmark::State& state) {
   int steps = static_cast<int>(state.range(0));
   GeneralizedRelation region = spatial::CornerStaircase(steps, Rational(0));
   int components = 0;
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     components = spatial::CountConnectedComponents(region).value();
     benchmark::DoNotOptimize(components);
@@ -107,6 +110,7 @@ void BM_RegionConnectivityBroken(benchmark::State& state) {
   int steps = static_cast<int>(state.range(0));
   GeneralizedRelation region = spatial::BrokenStaircase(steps, Rational(0));
   int components = 0;
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     components = spatial::CountConnectedComponents(region).value();
     benchmark::DoNotOptimize(components);

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "bench/workloads.h"
 #include "dodb/dodb.h"
 
@@ -27,6 +29,7 @@ void BM_TransitiveClosure(benchmark::State& state) {
     tc(x, y) :- tc(x, z), e(z, y).
   )").value();
   uint64_t iterations = 0;
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     DatalogEvaluator evaluator(program, &db);
     Result<Database> idb = evaluator.Evaluate();
@@ -62,6 +65,7 @@ void BM_TransitiveClosureNaiveAblation(benchmark::State& state) {
   )").value();
   DatalogOptions options;
   options.semi_naive = false;
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     DatalogEvaluator evaluator(program, &db, options);
     benchmark::DoNotOptimize(evaluator.Evaluate());
@@ -89,6 +93,7 @@ void BM_ParityWalk(benchmark::State& state) {
   DatalogOptions options;
   options.semantics = DatalogSemantics::kStratified;
   bool odd = false;
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     DatalogEvaluator evaluator(program, &db, options);
     Database idb = evaluator.Evaluate().value();
@@ -119,6 +124,7 @@ void BM_ConstraintPropagation(benchmark::State& state) {
     linked(a1, b1, a2, b2) :- touch(a1, b1, a2, b2).
     linked(a1, b1, a3, b3) :- linked(a1, b1, a2, b2), touch(a2, b2, a3, b3).
   )").value();
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     DatalogEvaluator evaluator(program, &db);
     benchmark::DoNotOptimize(evaluator.Evaluate());
@@ -149,6 +155,7 @@ void BM_EncodedVsRawConstants(benchmark::State& state) {
   bool encoded = state.range(1) != 0;
   Database db = encoded ? raw.Encoded() : raw;
   Query query = FoParser::ParseQuery("{ (x) | not s(x) }").value();
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     FoEvaluator evaluator(&db);
     benchmark::DoNotOptimize(evaluator.Evaluate(query));

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <cstdio>
 
 #include "bench/workloads.h"
@@ -73,6 +75,7 @@ void BM_ReachBySets(benchmark::State& state) {
   Database db = ChainDb(n);
   CCalcQuery query = CCalcParser::ParseQuery(kReachBySets).value();
   uint64_t candidates = 0;
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     CCalcOptions options;
     options.max_candidates = uint64_t{1} << 30;
@@ -88,6 +91,7 @@ BENCHMARK(BM_ReachBySets)->DenseRange(2, 4)->Unit(benchmark::kMillisecond);
 void BM_ReachByDatalog(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Database db = ChainDb(n);
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ReachByDatalog(db));
   }
@@ -107,6 +111,7 @@ void BM_SetQuantifierScaling(benchmark::State& state) {
       CCalcParser::ParseQuery("exists set X : 1 (forall y (y in X))")
           .value();
   uint64_t candidates = 0;
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     CCalcOptions options;
     options.max_candidates = uint64_t{1} << 30;

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <cstdio>
 
 #include "bench/workloads.h"
@@ -79,6 +81,7 @@ namespace {
 
 void BM_Height0(benchmark::State& state) {
   Database db = TinyDb(static_cast<int>(state.range(0)));
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(RunAtHeight(db, 0, nullptr, nullptr));
   }
@@ -87,6 +90,7 @@ BENCHMARK(BM_Height0)->Arg(1)->Arg(2);
 
 void BM_Height1(benchmark::State& state) {
   Database db = TinyDb(static_cast<int>(state.range(0)));
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(RunAtHeight(db, 1, nullptr, nullptr));
   }
@@ -95,6 +99,7 @@ BENCHMARK(BM_Height1)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 void BM_Height2(benchmark::State& state) {
   Database db = TinyDb(static_cast<int>(state.range(0)));
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(RunAtHeight(db, 2, nullptr, nullptr));
   }

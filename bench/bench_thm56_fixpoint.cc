@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <cstdio>
 
 #include "bench/workloads.h"
@@ -92,6 +94,7 @@ namespace {
 void BM_ReachFixpoint(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Database db = ChainDb(n);
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ReachFixpoint(db, nullptr));
   }
@@ -105,6 +108,7 @@ BENCHMARK(BM_ReachFixpoint)
 void BM_ReachSets(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Database db = ChainDb(n);
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ReachSets(db, nullptr));
   }
@@ -115,6 +119,7 @@ BENCHMARK(BM_ReachSets)->DenseRange(2, 4)->Unit(benchmark::kMillisecond);
 void BM_ReachCCalcFixpoint(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Database db = ChainDb(n);
+  bench::ScopedCounterReport eval_counters(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ReachCCalcFix(db));
   }

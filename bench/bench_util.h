@@ -1,0 +1,52 @@
+#ifndef DODB_BENCH_BENCH_UTIL_H_
+#define DODB_BENCH_BENCH_UTIL_H_
+
+// Helpers shared by the benchmark binaries (kept out of workloads.h so the
+// generators stay usable from tests without a benchmark dependency).
+
+#include <benchmark/benchmark.h>
+
+#include "dodb/dodb.h"
+
+namespace dodb {
+namespace bench {
+
+/// Attaches the engine-counter delta for the measured section to the
+/// benchmark's user counters, so every BENCH_*.json row carries the
+/// pruning / subsumption / index statistics next to its timings.
+inline void ReportEvalCounters(benchmark::State& state,
+                               const EvalCounterSnapshot& delta) {
+  state.counters["pairs_considered"] =
+      static_cast<double>(delta.pairs_considered);
+  state.counters["pairs_pruned"] = static_cast<double>(delta.pairs_pruned);
+  state.counters["canonicalized"] = static_cast<double>(delta.canonicalized);
+  state.counters["subsumption_checks"] =
+      static_cast<double>(delta.subsumption_checks);
+  state.counters["hash_skips"] = static_cast<double>(delta.hash_skips);
+  state.counters["index_builds"] = static_cast<double>(delta.index_builds);
+  state.counters["index_probes"] = static_cast<double>(delta.index_probes);
+  state.counters["index_build_ms"] =
+      static_cast<double>(delta.index_build_ns) / 1e6;
+  state.counters["index_probe_ms"] =
+      static_cast<double>(delta.index_probe_ns) / 1e6;
+}
+
+/// RAII: snapshot on construction, ReportEvalCounters on destruction —
+/// wrap the whole benchmark function body after setup.
+class ScopedCounterReport {
+ public:
+  explicit ScopedCounterReport(benchmark::State& state)
+      : state_(state), start_(EvalCounters::Snapshot()) {}
+  ~ScopedCounterReport() {
+    ReportEvalCounters(state_, EvalCounters::Snapshot() - start_);
+  }
+
+ private:
+  benchmark::State& state_;
+  EvalCounterSnapshot start_;
+};
+
+}  // namespace bench
+}  // namespace dodb
+
+#endif  // DODB_BENCH_BENCH_UTIL_H_

@@ -13,6 +13,14 @@
 #   BENCH_ARGS='--benchmark_filter=BM_RelationElimination' \
 #     DODB_THREADS=1 bench/run_benchmarks.sh build qe
 #
+# BENCH_SMOKE=1 runs a fast CI preset: one quick repetition of a filtered
+# subset, enough to validate that the binaries run and emit well-formed
+# JSONs (with counter columns), not to produce stable timings.
+#
+# Every JSON is stamped (benchmark "context" section) with the git revision,
+# compiler version and the effective evaluation thread count, so archived
+# records stay attributable.
+#
 # The parallel-engine speedup record (ISSUE: bench_qe relation-level
 # elimination, bench_thm44) comes from running the same bench twice:
 #   DODB_THREADS=1 bench/run_benchmarks.sh build qe thm44_datalog_ptime
@@ -49,6 +57,20 @@ if [[ -n "${DODB_THREADS:-}" ]]; then
   suffix="_t${DODB_THREADS}"
 fi
 
+# Provenance stamps for the JSON "context" section.
+git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if ! git -C "$repo_root" diff --quiet 2>/dev/null; then
+  git_sha="${git_sha}-dirty"
+fi
+compiler="$( (c++ --version 2>/dev/null || cc --version 2>/dev/null) \
+  | head -n1 | tr -s ' ' | tr ' ' '_' )"
+threads="${DODB_THREADS:-$(nproc 2>/dev/null || echo unknown)}"
+
+smoke_args=()
+if [[ -n "${BENCH_SMOKE:-}" ]]; then
+  smoke_args=(--benchmark_min_time=0.01 --benchmark_repetitions=1)
+fi
+
 for bench in "${benches[@]}"; do
   [[ -x "$bench" ]] || { echo "error: $bench is not executable" >&2; exit 1; }
   name="$(basename "$bench")"
@@ -58,5 +80,9 @@ for bench in "${benches[@]}"; do
   "$bench" \
     --benchmark_out="$out" \
     --benchmark_out_format=json \
+    --benchmark_context=git_sha="$git_sha" \
+    --benchmark_context=compiler="$compiler" \
+    --benchmark_context=eval_threads="$threads" \
+    "${smoke_args[@]}" \
     ${BENCH_ARGS:-}
 done

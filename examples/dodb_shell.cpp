@@ -12,6 +12,7 @@
 //   \datalog <file>           run a Datalog(not) program, merge its IDB
 //   \ccalc <query>            evaluate a C-CALC query (set quantifiers)
 //   \encode                   replace the database by its standard encoding
+//   \stats                    cumulative evaluation statistics
 //   \help, \quit
 //
 // Example session:
@@ -189,6 +190,8 @@ void PrintHelp() {
       "  \\datalog <f>          run a Datalog(not) program file\n"
       "  \\ccalc <query>        C-CALC query with set quantifiers\n"
       "  \\encode               switch to the standard encoding\n"
+      "  \\stats                cumulative evaluation statistics (pruned\n"
+      "                        pairs, subsumption checks, index time)\n"
       "  \\quit\n";
 }
 
@@ -251,6 +254,9 @@ int main(int argc, char** argv) {
                               dodb::StripWhitespace(trimmed.substr(9))));
     } else if (trimmed.rfind("\\ccalc ", 0) == 0) {
       RunCCalc(&db, trimmed.substr(7));
+    } else if (trimmed == "\\stats") {
+      std::cout << "evaluation statistics (cumulative for this session):\n"
+                << dodb::EvalCounters::Snapshot().ToString();
     } else if (trimmed == "\\encode") {
       db = db.Encoded();
       std::cout << "database replaced by its standard encoding ("

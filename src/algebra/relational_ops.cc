@@ -1,18 +1,42 @@
 #include "algebra/relational_ops.h"
 
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <utility>
+
 #include "cells/cell_decomposition.h"
+#include "constraints/eval_counters.h"
+#include "constraints/relation_index.h"
 #include "core/check.h"
 
 namespace dodb {
 namespace algebra {
 
+namespace {
+
+// Below this many candidate pairs the plain all-pairs loop beats the index
+// setup cost; both paths produce bit-identical relations either way.
+constexpr size_t kIndexMinPairs = 16;
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
 GeneralizedRelation Union(const GeneralizedRelation& a,
                           const GeneralizedRelation& b) {
   DODB_CHECK_MSG(a.arity() == b.arity(), "Union arity mismatch");
   GeneralizedRelation out = a;
-  const std::vector<GeneralizedTuple>& additions = b.tuples();
-  out.AddTuplesParallel(additions.size(),
-                        [&](size_t i) { return additions[i]; });
+  // Stored tuples are already canonical (relation invariant), so they merge
+  // directly — re-running the closure on them would be a no-op.
+  for (const GeneralizedTuple& addition : b.tuples()) {
+    out.AddCanonicalTuple(addition);
+  }
   return out;
 }
 
@@ -22,10 +46,43 @@ GeneralizedRelation Intersect(const GeneralizedRelation& a,
   GeneralizedRelation out(a.arity());
   const std::vector<GeneralizedTuple>& ta = a.tuples();
   const std::vector<GeneralizedTuple>& tb = b.tuples();
-  // The pairwise-conjunction product in row-major order, so the merge
-  // matches the classic nested loop exactly.
-  out.AddTuplesParallel(tb.empty() ? 0 : ta.size() * tb.size(), [&](size_t i) {
-    return ta[i / tb.size()].Conjoin(tb[i % tb.size()]);
+  if (ta.empty() || tb.empty()) return out;
+  const size_t total = ta.size() * tb.size();
+  EvalCounters::AddPairsConsidered(total);
+  if (!IndexingEnabled() || a.arity() == 0 || total < kIndexMinPairs) {
+    // The pairwise-conjunction product in row-major order, so the merge
+    // matches the classic nested loop exactly.
+    out.AddTuplesParallel(total, [&](size_t i) {
+      return ta[i / tb.size()].Conjoin(tb[i % tb.size()]);
+    });
+    return out;
+  }
+  // Indexed path: enumerate, still in row-major order, only the pairs whose
+  // per-column bound boxes share a point. A pruned pair is provably
+  // unsatisfiable, so it would have contributed nothing to the merge — the
+  // surviving sequence is exactly the legacy sequence minus no-ops, and the
+  // result is bit-identical.
+  const RelationIndex& index = b.Index();
+  const int probe_column = index.ProbeColumn(b.arity());
+  const ColumnIntervalIndex* intervals = index.IntervalIndex(probe_column);
+  auto probe_start = std::chrono::steady_clock::now();
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::vector<size_t> window;
+  for (size_t i = 0; i < ta.size(); ++i) {
+    const TupleSignature& sa = ta[i].CachedSignature();
+    window.clear();
+    intervals->AppendCandidates(sa.columns[probe_column], &window);
+    std::sort(window.begin(), window.end());
+    for (size_t j : window) {
+      if (SignaturesMayOverlap(sa, index.signature(j))) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  }
+  EvalCounters::AddIndexProbes(ta.size(), ElapsedNs(probe_start));
+  EvalCounters::AddPairsPruned(total - pairs.size());
+  out.AddTuplesParallel(pairs.size(), [&](size_t k) {
+    return ta[pairs[k].first].Conjoin(tb[pairs[k].second]);
   });
   return out;
 }
@@ -60,14 +117,45 @@ GeneralizedRelation ComplementViaDnf(const GeneralizedRelation& rel) {
     GeneralizedRelation next(rel.arity());
     const std::vector<GeneralizedTuple>& partials = acc.tuples();
     const std::vector<DenseAtom>& atoms = minimized.atoms();
+    const size_t total = partials.size() * atoms.size();
+    EvalCounters::AddPairsConsidered(total);
     // The outer accumulator walk is inherently sequential; the partial x
     // negated-atom product inside one step is not. Filters unsat, prunes
     // subsumption, in the legacy (partial-major) order.
-    next.AddTuplesParallel(partials.size() * atoms.size(), [&](size_t i) {
-      GeneralizedTuple candidate = partials[i / atoms.size()];
-      candidate.AddAtom(atoms[i % atoms.size()].Negated());
-      return candidate;
-    });
+    if (!IndexingEnabled() || total < kIndexMinPairs) {
+      next.AddTuplesParallel(total, [&](size_t i) {
+        GeneralizedTuple candidate = partials[i / atoms.size()];
+        candidate.AddAtom(atoms[i % atoms.size()].Negated());
+        return candidate;
+      });
+    } else {
+      // A negated var-constant atom confines one column to a half-line; a
+      // partial whose signature box is disjoint from it yields an
+      // unsatisfiable conjunction, so the pair is skipped up front.
+      std::vector<std::optional<std::pair<int, ColumnBound>>> negated_bounds;
+      negated_bounds.reserve(atoms.size());
+      for (const DenseAtom& atom : atoms) {
+        negated_bounds.push_back(BoundOfAtom(atom.Negated()));
+      }
+      std::vector<std::pair<size_t, size_t>> pairs;
+      for (size_t p = 0; p < partials.size(); ++p) {
+        const TupleSignature& sp = partials[p].CachedSignature();
+        for (size_t k = 0; k < atoms.size(); ++k) {
+          if (negated_bounds[k].has_value() &&
+              !BoundsMayOverlap(sp.columns[negated_bounds[k]->first],
+                                negated_bounds[k]->second)) {
+            continue;
+          }
+          pairs.emplace_back(p, k);
+        }
+      }
+      EvalCounters::AddPairsPruned(total - pairs.size());
+      next.AddTuplesParallel(pairs.size(), [&](size_t i) {
+        GeneralizedTuple candidate = partials[pairs[i].first];
+        candidate.AddAtom(atoms[pairs[i].second].Negated());
+        return candidate;
+      });
+    }
     acc = std::move(next);
     if (acc.IsEmpty()) break;
   }
@@ -77,6 +165,38 @@ GeneralizedRelation ComplementViaDnf(const GeneralizedRelation& rel) {
 GeneralizedRelation Difference(const GeneralizedRelation& a,
                                const GeneralizedRelation& b) {
   DODB_CHECK_MSG(a.arity() == b.arity(), "Difference arity mismatch");
+  if (IndexingEnabled() && a.arity() > 0 && !a.IsEmpty() && !b.IsEmpty() &&
+      a.tuples().size() * b.tuples().size() >= kIndexMinPairs) {
+    // Overlap-restricted containment pre-filter: a tuple of `a` wholly inside
+    // a single tuple of `b` contributes nothing to a - b, and every Intersect
+    // candidate it would have produced against not(b) is unsatisfiable — so
+    // dropping it up front removes only no-ops and the result stays
+    // bit-identical. In semi-naive fixpoints most re-derived tuples fall out
+    // here, often before the complement is ever computed.
+    const RelationIndex& index = b.Index();
+    const std::vector<GeneralizedTuple>& tb = b.tuples();
+    GeneralizedRelation kept(a.arity());
+    uint64_t checks = 0;
+    auto probe_start = std::chrono::steady_clock::now();
+    std::vector<size_t> window;
+    for (const GeneralizedTuple& tuple : a.tuples()) {
+      window.clear();
+      index.AppendOverlapCandidates(tuple.CachedSignature(), &window);
+      bool contained = false;
+      for (size_t j : window) {
+        ++checks;
+        if (tuple.EntailsTuple(tb[j])) {
+          contained = true;
+          break;
+        }
+      }
+      if (!contained) kept.AddCanonicalTuple(tuple);
+    }
+    EvalCounters::AddIndexProbes(a.tuples().size(), ElapsedNs(probe_start));
+    EvalCounters::AddSubsumptionChecks(checks);
+    if (kept.IsEmpty()) return kept;
+    return Intersect(kept, Complement(b));
+  }
   return Intersect(a, Complement(b));
 }
 
@@ -105,14 +225,82 @@ GeneralizedRelation CrossProduct(const GeneralizedRelation& a,
 GeneralizedRelation EquiJoin(
     const GeneralizedRelation& a, const GeneralizedRelation& b,
     const std::vector<std::pair<int, int>>& column_pairs) {
-  GeneralizedRelation product = CrossProduct(a, b);
+  std::vector<DenseAtom> eq_atoms;
+  eq_atoms.reserve(column_pairs.size());
   for (const auto& [left, right] : column_pairs) {
     DODB_CHECK(left >= 0 && left < a.arity());
     DODB_CHECK(right >= 0 && right < b.arity());
-    product = Select(product, DenseAtom(Term::Var(left), RelOp::kEq,
-                                        Term::Var(a.arity() + right)));
+    eq_atoms.push_back(DenseAtom(Term::Var(left), RelOp::kEq,
+                                 Term::Var(a.arity() + right)));
   }
-  return product;
+  // Fused cross-product + equality selection: each candidate pair is widened
+  // and conjoined with every join-equality atom in one step, so candidates
+  // that fail the join never materialize as intermediates. Both modes
+  // enumerate the same fused candidates in row-major order; the index only
+  // removes pairs with provably disjoint joined-column bounds, keeping the
+  // output bit-identical to the unindexed mode.
+  const int arity = a.arity() + b.arity();
+  GeneralizedRelation out(arity);
+  const std::vector<GeneralizedTuple>& ta = a.tuples();
+  const std::vector<GeneralizedTuple>& tb = b.tuples();
+  if (ta.empty() || tb.empty()) return out;
+  std::vector<int> a_map(a.arity());
+  for (int i = 0; i < a.arity(); ++i) a_map[i] = i;
+  std::vector<int> b_map(b.arity());
+  for (int i = 0; i < b.arity(); ++i) b_map[i] = a.arity() + i;
+  std::vector<GeneralizedTuple> wide_a;
+  wide_a.reserve(ta.size());
+  for (const GeneralizedTuple& tuple : ta) {
+    wide_a.push_back(tuple.Reindexed(a_map, arity));
+  }
+  auto make_candidate = [&](size_t i, size_t j) {
+    GeneralizedTuple candidate =
+        wide_a[i].Conjoin(tb[j].Reindexed(b_map, arity));
+    for (const DenseAtom& atom : eq_atoms) candidate.AddAtom(atom);
+    return candidate;
+  };
+  const size_t total = ta.size() * tb.size();
+  EvalCounters::AddPairsConsidered(total);
+  if (!IndexingEnabled() || column_pairs.empty() || total < kIndexMinPairs) {
+    out.AddTuplesParallel(total, [&](size_t k) {
+      return make_candidate(k / tb.size(), k % tb.size());
+    });
+    return out;
+  }
+  // Indexed path: a pair survives only if, for every joined column pair,
+  // the left column's bounds (in a) and the right column's bounds (in b)
+  // can agree on a value — the join forces them equal, so disjoint bounds
+  // mean an unsatisfiable candidate.
+  const RelationIndex& index = b.Index();
+  const int probe_left = column_pairs.front().first;
+  const int probe_right = column_pairs.front().second;
+  const ColumnIntervalIndex* intervals = index.IntervalIndex(probe_right);
+  auto probe_start = std::chrono::steady_clock::now();
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::vector<size_t> window;
+  for (size_t i = 0; i < ta.size(); ++i) {
+    const TupleSignature& sa = ta[i].CachedSignature();
+    window.clear();
+    intervals->AppendCandidates(sa.columns[probe_left], &window);
+    std::sort(window.begin(), window.end());
+    for (size_t j : window) {
+      const TupleSignature& sb = index.signature(j);
+      bool compatible = true;
+      for (const auto& [left, right] : column_pairs) {
+        if (!BoundsMayOverlap(sa.columns[left], sb.columns[right])) {
+          compatible = false;
+          break;
+        }
+      }
+      if (compatible) pairs.emplace_back(i, j);
+    }
+  }
+  EvalCounters::AddIndexProbes(ta.size(), ElapsedNs(probe_start));
+  EvalCounters::AddPairsPruned(total - pairs.size());
+  out.AddTuplesParallel(pairs.size(), [&](size_t k) {
+    return make_candidate(pairs[k].first, pairs[k].second);
+  });
+  return out;
 }
 
 GeneralizedRelation Select(const GeneralizedRelation& rel,
@@ -131,6 +319,27 @@ GeneralizedRelation Rename(const GeneralizedRelation& rel,
                            const std::vector<int>& mapping, int new_arity) {
   GeneralizedRelation out(new_arity);
   const std::vector<GeneralizedTuple>& tuples = rel.tuples();
+  // Injective renamings (column permutation / widening — the common case in
+  // rule evaluation) preserve canonical form up to re-orienting and
+  // re-sorting atoms, so stored tuples skip the closure pass entirely. A
+  // non-injective mapping merges columns, which adds implicit equalities and
+  // needs the full pipeline.
+  bool injective = true;
+  std::vector<char> seen(new_arity, 0);
+  for (int target : mapping) {
+    if (target < 0) continue;  // unused source column
+    if (target >= new_arity || seen[target]) {
+      injective = false;
+      break;
+    }
+    seen[target] = 1;
+  }
+  if (injective) {
+    for (const GeneralizedTuple& tuple : tuples) {
+      out.AddCanonicalTuple(tuple.ReindexedCanonical(mapping, new_arity));
+    }
+    return out;
+  }
   out.AddTuplesParallel(tuples.size(), [&](size_t i) {
     return tuples[i].Reindexed(mapping, new_arity);
   });

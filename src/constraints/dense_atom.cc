@@ -102,15 +102,24 @@ bool DenseAtom::Holds(const std::vector<Rational>& point) const {
 }
 
 int DenseAtom::Compare(const DenseAtom& other) const {
-  DenseAtom a = Oriented();
-  DenseAtom b = other.Oriented();
-  int cmp = a.lhs_.Compare(b.lhs_);
+  // Compares the Oriented() forms without materializing them (this runs in
+  // every atom sort and tuple comparison; an oriented copy would deep-copy
+  // both terms' rationals).
+  const bool flip_a = lhs_.Compare(rhs_) > 0;
+  const bool flip_b = other.lhs_.Compare(other.rhs_) > 0;
+  const Term& a_lhs = flip_a ? rhs_ : lhs_;
+  const Term& a_rhs = flip_a ? lhs_ : rhs_;
+  const Term& b_lhs = flip_b ? other.rhs_ : other.lhs_;
+  const Term& b_rhs = flip_b ? other.lhs_ : other.rhs_;
+  int cmp = a_lhs.Compare(b_lhs);
   if (cmp != 0) return cmp;
-  cmp = a.rhs_.Compare(b.rhs_);
+  cmp = a_rhs.Compare(b_rhs);
   if (cmp != 0) return cmp;
-  if (a.op_ != b.op_) return static_cast<int>(a.op_) < static_cast<int>(b.op_)
-                                 ? -1
-                                 : 1;
+  const RelOp a_op = flip_a ? FlipOp(op_) : op_;
+  const RelOp b_op = flip_b ? FlipOp(other.op_) : other.op_;
+  if (a_op != b_op) {
+    return static_cast<int>(a_op) < static_cast<int>(b_op) ? -1 : 1;
+  }
   return 0;
 }
 
@@ -120,11 +129,16 @@ std::string DenseAtom::ToString(const std::vector<std::string>* names) const {
 }
 
 size_t DenseAtom::Hash() const {
-  DenseAtom a = Oriented();
-  size_t h = a.lhs_.Hash();
-  h ^= static_cast<size_t>(a.op_) + 0x9e3779b97f4a7c15ull + (h << 6) +
-       (h >> 2);
-  h ^= a.rhs_.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  // Hash of the Oriented() form without materializing it (an oriented copy
+  // would deep-copy both terms' rationals; this runs per atom in every
+  // tuple-signature computation).
+  const bool flip = lhs_.Compare(rhs_) > 0;
+  const Term& l = flip ? rhs_ : lhs_;
+  const Term& r = flip ? lhs_ : rhs_;
+  const RelOp op = flip ? FlipOp(op_) : op_;
+  size_t h = l.Hash();
+  h ^= static_cast<size_t>(op) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= r.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
   return h;
 }
 

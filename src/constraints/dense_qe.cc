@@ -91,12 +91,14 @@ GeneralizedRelation EliminateVariable(const GeneralizedTuple& tuple, int var) {
   DODB_CHECK(var >= 0 && var < tuple.arity());
   GeneralizedRelation result(tuple.arity());
 
-  OrderGraph graph = tuple.BuildGraph();
-  if (!graph.IsSatisfiable()) return result;  // exists x. false == false
+  // Reuse the tuple's own (typically already-closed) network; elimination
+  // runs on job-local tuples, so the caching accessor is safe here.
+  OrderGraph* graph = tuple.CachedGraph();
+  if (!graph->IsSatisfiable()) return result;  // exists x. false == false
 
   // Case 1: x is (syntactically or derivedly) equal to another term:
   // substitute the representative.
-  if (std::optional<Term> rep = graph.EqualityRep(var); rep.has_value()) {
+  if (std::optional<Term> rep = graph->EqualityRep(var); rep.has_value()) {
     result.AddTuple(Substitute(tuple, var, *rep));
     return result;
   }

@@ -1,0 +1,115 @@
+#include "constraints/eval_counters.h"
+
+#include <atomic>
+
+#include "core/str_util.h"
+
+namespace dodb {
+
+namespace {
+
+struct Counters {
+  std::atomic<uint64_t> pairs_considered{0};
+  std::atomic<uint64_t> pairs_pruned{0};
+  std::atomic<uint64_t> canonicalized{0};
+  std::atomic<uint64_t> subsumption_checks{0};
+  std::atomic<uint64_t> hash_skips{0};
+  std::atomic<uint64_t> index_builds{0};
+  std::atomic<uint64_t> index_probes{0};
+  std::atomic<uint64_t> index_build_ns{0};
+  std::atomic<uint64_t> index_probe_ns{0};
+};
+
+Counters& Global() {
+  static Counters counters;
+  return counters;
+}
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+thread_local bool tls_indexing_enabled = true;
+
+std::string Millis(uint64_t ns) {
+  return StrCat(ns / 1000000, ".", (ns / 100000) % 10, " ms");
+}
+
+}  // namespace
+
+void EvalCounters::AddPairsConsidered(uint64_t n) {
+  Global().pairs_considered.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddPairsPruned(uint64_t n) {
+  Global().pairs_pruned.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddCanonicalized(uint64_t n) {
+  Global().canonicalized.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddSubsumptionChecks(uint64_t n) {
+  Global().subsumption_checks.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddHashSkips(uint64_t n) {
+  Global().hash_skips.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddIndexBuild(uint64_t ns) {
+  Global().index_builds.fetch_add(1, kRelaxed);
+  Global().index_build_ns.fetch_add(ns, kRelaxed);
+}
+void EvalCounters::AddIndexProbes(uint64_t n, uint64_t ns) {
+  Global().index_probes.fetch_add(n, kRelaxed);
+  Global().index_probe_ns.fetch_add(ns, kRelaxed);
+}
+
+EvalCounterSnapshot EvalCounters::Snapshot() {
+  const Counters& c = Global();
+  EvalCounterSnapshot snap;
+  snap.pairs_considered = c.pairs_considered.load(kRelaxed);
+  snap.pairs_pruned = c.pairs_pruned.load(kRelaxed);
+  snap.canonicalized = c.canonicalized.load(kRelaxed);
+  snap.subsumption_checks = c.subsumption_checks.load(kRelaxed);
+  snap.hash_skips = c.hash_skips.load(kRelaxed);
+  snap.index_builds = c.index_builds.load(kRelaxed);
+  snap.index_probes = c.index_probes.load(kRelaxed);
+  snap.index_build_ns = c.index_build_ns.load(kRelaxed);
+  snap.index_probe_ns = c.index_probe_ns.load(kRelaxed);
+  return snap;
+}
+
+EvalCounterSnapshot EvalCounterSnapshot::operator-(
+    const EvalCounterSnapshot& since) const {
+  EvalCounterSnapshot delta;
+  delta.pairs_considered = pairs_considered - since.pairs_considered;
+  delta.pairs_pruned = pairs_pruned - since.pairs_pruned;
+  delta.canonicalized = canonicalized - since.canonicalized;
+  delta.subsumption_checks = subsumption_checks - since.subsumption_checks;
+  delta.hash_skips = hash_skips - since.hash_skips;
+  delta.index_builds = index_builds - since.index_builds;
+  delta.index_probes = index_probes - since.index_probes;
+  delta.index_build_ns = index_build_ns - since.index_build_ns;
+  delta.index_probe_ns = index_probe_ns - since.index_probe_ns;
+  return delta;
+}
+
+std::string EvalCounterSnapshot::ToString() const {
+  uint64_t pct =
+      pairs_considered == 0 ? 0 : 100 * pairs_pruned / pairs_considered;
+  return StrCat(
+      "  candidate pairs considered   ", pairs_considered, "\n",
+      "  pruned by bound signatures   ", pairs_pruned, " (", pct, "%)\n",
+      "  tuples canonicalized         ", canonicalized, "\n",
+      "  subsumption checks           ", subsumption_checks, "\n",
+      "  duplicate searches skipped   ", hash_skips, "\n",
+      "  index builds / probes        ", index_builds, " / ", index_probes,
+      "\n",
+      "  index build / probe time     ", Millis(index_build_ns), " / ",
+      Millis(index_probe_ns), "\n");
+}
+
+bool IndexingEnabled() { return tls_indexing_enabled; }
+
+IndexModeScope::IndexModeScope(bool enabled) : prev_(tls_indexing_enabled) {
+  tls_indexing_enabled = enabled;
+}
+
+IndexModeScope::~IndexModeScope() { tls_indexing_enabled = prev_; }
+
+}  // namespace dodb

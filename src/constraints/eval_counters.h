@@ -1,0 +1,71 @@
+#ifndef DODB_CONSTRAINTS_EVAL_COUNTERS_H_
+#define DODB_CONSTRAINTS_EVAL_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dodb {
+
+/// One coherent reading of the engine-wide evaluation counters (plain
+/// integers; subtract two snapshots to attribute work to a query). Times are
+/// wall-clock nanoseconds accumulated on whichever thread did the work.
+struct EvalCounterSnapshot {
+  uint64_t pairs_considered = 0;   // candidate tuple pairs enumerated
+  uint64_t pairs_pruned = 0;       // pairs skipped: bound boxes disjoint
+  uint64_t canonicalized = 0;      // candidates run through closure/canon
+  uint64_t subsumption_checks = 0; // EntailsTuple calls during merges
+  uint64_t hash_skips = 0;         // duplicate searches skipped by hash set
+  uint64_t index_builds = 0;       // relation/join index constructions
+  uint64_t index_probes = 0;       // probe-side lookups against an index
+  uint64_t index_build_ns = 0;
+  uint64_t index_probe_ns = 0;
+
+  EvalCounterSnapshot operator-(const EvalCounterSnapshot& since) const;
+  /// Multi-line human-readable rendering (shell \stats).
+  std::string ToString() const;
+};
+
+/// Process-wide atomic counters behind the per-query EvalStats and the shell
+/// \stats report. Updated with relaxed atomics from pool workers and the
+/// merge thread; reads are snapshots, not barriers. Counter values are
+/// observability only — no evaluation decision ever reads them, so they
+/// cannot perturb the determinism contract.
+class EvalCounters {
+ public:
+  static void AddPairsConsidered(uint64_t n);
+  static void AddPairsPruned(uint64_t n);
+  static void AddCanonicalized(uint64_t n);
+  static void AddSubsumptionChecks(uint64_t n);
+  static void AddHashSkips(uint64_t n);
+  static void AddIndexBuild(uint64_t ns);
+  static void AddIndexProbes(uint64_t n, uint64_t ns);
+
+  static EvalCounterSnapshot Snapshot();
+};
+
+/// Whether the signature/index fast paths are enabled on this thread.
+/// Defaults to true; evaluators install an IndexModeScope from
+/// EvalOptions::use_index so the legacy all-pairs path stays selectable as
+/// an ablation baseline. Outputs are bit-identical either way — the index
+/// only skips provably-unsatisfiable candidates and provably-non-subsuming
+/// comparisons.
+bool IndexingEnabled();
+
+/// RAII thread-local override of IndexingEnabled(), mirroring
+/// EvalThreadsScope. The setting travels into pool workers through
+/// EvalOptions (each rule job installs its own scope), not through thread
+/// inheritance.
+class IndexModeScope {
+ public:
+  explicit IndexModeScope(bool enabled);
+  ~IndexModeScope();
+  IndexModeScope(const IndexModeScope&) = delete;
+  IndexModeScope& operator=(const IndexModeScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_CONSTRAINTS_EVAL_COUNTERS_H_

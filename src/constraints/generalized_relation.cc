@@ -1,16 +1,43 @@
 #include "constraints/generalized_relation.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
+#include "constraints/eval_counters.h"
 #include "core/check.h"
 #include "core/str_util.h"
 #include "core/thread_pool.h"
 
 namespace dodb {
 
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
 GeneralizedRelation::GeneralizedRelation(int arity) : arity_(arity) {
   DODB_CHECK(arity >= 0);
+}
+
+const std::vector<GeneralizedTuple>& GeneralizedRelation::tuples() const {
+  static const std::vector<GeneralizedTuple> kEmpty;
+  return tuples_ ? *tuples_ : kEmpty;
+}
+
+std::vector<GeneralizedTuple>& GeneralizedRelation::MutableTuples() {
+  if (!tuples_) {
+    tuples_ = std::make_shared<std::vector<GeneralizedTuple>>();
+  } else if (tuples_.use_count() > 1) {
+    tuples_ = std::make_shared<std::vector<GeneralizedTuple>>(*tuples_);
+  }
+  return *tuples_;
 }
 
 GeneralizedRelation GeneralizedRelation::True(int arity) {
@@ -35,32 +62,141 @@ GeneralizedRelation GeneralizedRelation::FromPoints(
 
 size_t GeneralizedRelation::atom_count() const {
   size_t count = 0;
-  for (const GeneralizedTuple& tuple : tuples_) count += tuple.atoms().size();
+  for (const GeneralizedTuple& tuple : tuples()) count += tuple.atoms().size();
   return count;
 }
 
 void GeneralizedRelation::AddTuple(GeneralizedTuple tuple) {
   DODB_CHECK_MSG(tuple.arity() == arity_, "AddTuple arity mismatch");
+  EvalCounters::AddCanonicalized(1);
   if (!tuple.IsSatisfiable()) return;
   AddCanonicalTuple(tuple.Canonical());
 }
 
+const RelationIndex& GeneralizedRelation::Index() const {
+  if (!index_) {
+    auto start = std::chrono::steady_clock::now();
+    index_ = std::make_shared<RelationIndex>(RelationIndex::Build(tuples()));
+    EvalCounters::AddIndexBuild(ElapsedNs(start));
+  }
+  return *index_;
+}
+
+RelationIndex* GeneralizedRelation::MutableIndex() {
+  if (index_ && index_.use_count() == 1) return index_.get();
+  auto start = std::chrono::steady_clock::now();
+  if (index_) {
+    // Unshare a snapshot another copy of the relation still holds.
+    index_ = std::make_shared<RelationIndex>(*index_);
+  } else {
+    index_ = std::make_shared<RelationIndex>(RelationIndex::Build(tuples()));
+  }
+  EvalCounters::AddIndexBuild(ElapsedNs(start));
+  return index_.get();
+}
+
 void GeneralizedRelation::AddCanonicalTuple(GeneralizedTuple canonical) {
   DODB_CHECK_MSG(canonical.arity() == arity_, "AddTuple arity mismatch");
+  if (!IndexingEnabled()) {
+    AddCanonicalTupleLegacy(std::move(canonical));
+    return;
+  }
+  RelationIndex* index = MutableIndex();
+  const TupleSignature& signature = canonical.CachedSignature();
+  const std::vector<GeneralizedTuple>& stored = tuples();
+  // Exact duplicates are by far the common case in fixpoint loops. The hash
+  // multiset rejects most non-duplicates in O(1); only a hash hit pays for
+  // the binary-search confirmation against the sorted tuple vector. The
+  // duplicate and subsumed cases return before MutableTuples(), so they
+  // never detach a shared (copy-on-write) vector.
+  size_t insert_at = stored.size();
+  bool pos_valid = false;
+  if (index->MayContainHash(signature.hash)) {
+    auto pos = std::lower_bound(stored.begin(), stored.end(), canonical);
+    insert_at = static_cast<size_t>(pos - stored.begin());
+    pos_valid = true;
+    if (pos != stored.end() && pos->Compare(canonical) == 0) return;
+  } else {
+    EvalCounters::AddHashSkips(1);
+  }
+  // Subsumption in either direction needs the bounding boxes to share a
+  // point, so the entailment scans can be restricted to the tuples whose
+  // signature overlaps the candidate's.
+  std::vector<size_t> overlap;
+  auto probe_start = std::chrono::steady_clock::now();
+  index->AppendOverlapCandidates(signature, &overlap);
+  EvalCounters::AddIndexProbes(1, ElapsedNs(probe_start));
+  size_t checks = 0;
+  bool subsumed = false;
+  for (size_t p : overlap) {
+    ++checks;
+    if (canonical.EntailsTuple(stored[p])) {
+      subsumed = true;
+      break;
+    }
+  }
+  if (subsumed) {
+    EvalCounters::AddSubsumptionChecks(checks);
+    return;
+  }
+  std::vector<GeneralizedTuple>& tuples = MutableTuples();
+  bool erased = false;
+  for (size_t i = overlap.size(); i-- > 0;) {
+    size_t p = overlap[i];
+    ++checks;
+    if (tuples[p].EntailsTuple(canonical)) {
+      tuples.erase(tuples.begin() + p);
+      index->EraseAt(p);
+      erased = true;
+    }
+  }
+  EvalCounters::AddSubsumptionChecks(checks);
+  if (erased || !pos_valid) {
+    insert_at = static_cast<size_t>(
+        std::lower_bound(tuples.begin(), tuples.end(), canonical) -
+        tuples.begin());
+  }
+  index->InsertAt(insert_at, signature);
+  tuples.insert(tuples.begin() + insert_at, std::move(canonical));
+}
+
+void GeneralizedRelation::AddCanonicalTupleLegacy(GeneralizedTuple canonical) {
+  // A legacy-mode mutation would leave a stale index behind; drop it and let
+  // the next indexed use rebuild lazily.
+  index_.reset();
+  const std::vector<GeneralizedTuple>& stored = tuples();
   // Exact duplicates are by far the common case in fixpoint loops: reject
-  // them with a binary search before the linear subsumption scan.
-  auto pos = std::lower_bound(tuples_.begin(), tuples_.end(), canonical);
-  if (pos != tuples_.end() && pos->Compare(canonical) == 0) return;
+  // them with a binary search before the linear subsumption scan. Duplicate
+  // and subsumed candidates return before MutableTuples(), so they never
+  // detach a shared (copy-on-write) vector.
+  auto dup = std::lower_bound(stored.begin(), stored.end(), canonical);
+  size_t insert_at = static_cast<size_t>(dup - stored.begin());
+  if (dup != stored.end() && dup->Compare(canonical) == 0) return;
   // Subsumption pruning: skip if an existing tuple covers it; drop existing
   // tuples it covers.
-  for (const GeneralizedTuple& existing : tuples_) {
-    if (canonical.EntailsTuple(existing)) return;
+  size_t checks = 0;
+  for (const GeneralizedTuple& existing : stored) {
+    ++checks;
+    if (canonical.EntailsTuple(existing)) {
+      EvalCounters::AddSubsumptionChecks(checks);
+      return;
+    }
   }
-  std::erase_if(tuples_, [&](const GeneralizedTuple& existing) {
+  std::vector<GeneralizedTuple>& tuples = MutableTuples();
+  size_t size_before = tuples.size();
+  std::erase_if(tuples, [&](const GeneralizedTuple& existing) {
+    ++checks;
     return existing.EntailsTuple(canonical);
   });
-  pos = std::lower_bound(tuples_.begin(), tuples_.end(), canonical);
-  tuples_.insert(pos, std::move(canonical));
+  EvalCounters::AddSubsumptionChecks(checks);
+  if (tuples.size() != size_before) {
+    // Only re-search when the erase actually shifted elements; otherwise the
+    // first search position is still exact.
+    insert_at = static_cast<size_t>(
+        std::lower_bound(tuples.begin(), tuples.end(), canonical) -
+        tuples.begin());
+  }
+  tuples.insert(tuples.begin() + insert_at, std::move(canonical));
 }
 
 void GeneralizedRelation::AddTuplesParallel(
@@ -72,6 +208,7 @@ void GeneralizedRelation::AddTuplesParallel(
   // Parallel phase: satisfiability + canonicalization per candidate, each a
   // pure function of its index. Sequential phase: the same insertions, in
   // the same order, as the inline loop above.
+  EvalCounters::AddCanonicalized(n);
   std::vector<std::optional<GeneralizedTuple>> prepared =
       ParallelMap<std::optional<GeneralizedTuple>>(n, [&make](size_t i) {
         return make(i).CanonicalIfSatisfiable();
@@ -82,7 +219,7 @@ void GeneralizedRelation::AddTuplesParallel(
 }
 
 bool GeneralizedRelation::Contains(const std::vector<Rational>& point) const {
-  for (const GeneralizedTuple& tuple : tuples_) {
+  for (const GeneralizedTuple& tuple : tuples()) {
     if (tuple.Contains(point)) return true;
   }
   return false;
@@ -90,7 +227,7 @@ bool GeneralizedRelation::Contains(const std::vector<Rational>& point) const {
 
 std::vector<Rational> GeneralizedRelation::Constants() const {
   std::set<Rational> seen;
-  for (const GeneralizedTuple& tuple : tuples_) {
+  for (const GeneralizedTuple& tuple : tuples()) {
     for (const Rational& c : tuple.Constants()) seen.insert(c);
   }
   return std::vector<Rational>(seen.begin(), seen.end());
@@ -98,21 +235,25 @@ std::vector<Rational> GeneralizedRelation::Constants() const {
 
 bool GeneralizedRelation::StructurallyEquals(
     const GeneralizedRelation& other) const {
-  if (arity_ != other.arity_ || tuples_.size() != other.tuples_.size()) {
-    return false;
-  }
-  for (size_t i = 0; i < tuples_.size(); ++i) {
-    if (tuples_[i].Compare(other.tuples_[i]) != 0) return false;
+  if (arity_ != other.arity_) return false;
+  // Copies share their vector until a mutation detaches it, so identical
+  // storage proves structural equality without a scan.
+  if (tuples_ == other.tuples_) return true;
+  const std::vector<GeneralizedTuple>& a = tuples();
+  const std::vector<GeneralizedTuple>& b = other.tuples();
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
   }
   return true;
 }
 
 std::string GeneralizedRelation::ToString(
     const std::vector<std::string>* names) const {
-  if (tuples_.empty()) return "{}";
+  if (IsEmpty()) return "{}";
   std::vector<std::string> parts;
-  parts.reserve(tuples_.size());
-  for (const GeneralizedTuple& tuple : tuples_) {
+  parts.reserve(tuple_count());
+  for (const GeneralizedTuple& tuple : tuples()) {
     // Stored tuples are closure-canonical (quadratic in atoms); print the
     // minimized equivalent — ToString is for humans.
     parts.push_back(tuple.Minimized().ToString(names));

@@ -2,10 +2,12 @@
 #define DODB_CONSTRAINTS_GENERALIZED_RELATION_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "constraints/generalized_tuple.h"
+#include "constraints/relation_index.h"
 
 namespace dodb {
 
@@ -32,9 +34,9 @@ class GeneralizedRelation {
       int arity, const std::vector<std::vector<Rational>>& points);
 
   int arity() const { return arity_; }
-  const std::vector<GeneralizedTuple>& tuples() const { return tuples_; }
-  bool IsEmpty() const { return tuples_.empty(); }
-  size_t tuple_count() const { return tuples_.size(); }
+  const std::vector<GeneralizedTuple>& tuples() const;
+  bool IsEmpty() const { return !tuples_ || tuples_->empty(); }
+  size_t tuple_count() const { return tuples_ ? tuples_->size() : 0; }
   /// Total atom count across tuples (representation-size metric of §3).
   size_t atom_count() const;
 
@@ -69,12 +71,42 @@ class GeneralizedRelation {
   /// semantic equality is decided via cells::SemanticallyEqual).
   bool StructurallyEquals(const GeneralizedRelation& other) const;
 
+  /// The relation's constraint-signature index, built lazily from the
+  /// stored tuples and thereafter maintained incrementally by
+  /// AddCanonicalTuple (while IndexingEnabled(); a legacy-mode mutation
+  /// drops it so it can never go stale). Copies share the index until one
+  /// of them mutates. Not safe to call concurrently on a relation shared
+  /// across threads — mutation, and hence indexing, happens on the owning
+  /// thread only.
+  const RelationIndex& Index() const;
+
   /// "{ tuple ; tuple ; ... }" or "{}".
   std::string ToString(const std::vector<std::string>* names = nullptr) const;
 
  private:
+  /// Index() that is safe to mutate: clones a shared snapshot first, builds
+  /// from scratch when absent.
+  RelationIndex* MutableIndex();
+
+  /// Pre-index insertion path (all-pairs subsumption scan), kept selectable
+  /// via EvalOptions::use_index for differential testing and benchmarking.
+  /// Bit-identical relation state to the indexed path.
+  void AddCanonicalTupleLegacy(GeneralizedTuple canonical);
+
+  /// The tuple vector, unshared: clones a vector other copies of the
+  /// relation still reference (copy-on-write), allocates when still empty.
+  /// Every mutation goes through this.
+  std::vector<GeneralizedTuple>& MutableTuples();
+
   int arity_;
-  std::vector<GeneralizedTuple> tuples_;
+  // Copy-on-write tuple storage: copies of a relation (per-round fixpoint
+  // snapshots, the accumulator copy inside algebra::Union) share one vector
+  // until a mutation detaches it, so a relation copy is O(1) instead of a
+  // deep copy of every tuple. nullptr means empty (the common transient
+  // case: algebra operators construct many empty intermediates).
+  std::shared_ptr<std::vector<GeneralizedTuple>> tuples_;
+  // See Index(). shared_ptr with the same sharing discipline.
+  mutable std::shared_ptr<RelationIndex> index_;
 };
 
 }  // namespace dodb

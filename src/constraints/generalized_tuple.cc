@@ -40,6 +40,7 @@ void GeneralizedTuple::AddAtom(DenseAtom atom) {
   CheckTermArity(atom.rhs(), arity_);
   atoms_.push_back(std::move(atom));
   graph_.reset();
+  signature_.reset();
 }
 
 OrderGraph GeneralizedTuple::BuildGraph() const {
@@ -51,6 +52,16 @@ OrderGraph GeneralizedTuple::BuildGraph() const {
 OrderGraph* GeneralizedTuple::CachedGraph() const {
   if (!graph_) graph_ = std::make_shared<OrderGraph>(BuildGraph());
   return graph_.get();
+}
+
+const TupleSignature& GeneralizedTuple::CachedSignature() const {
+  if (!signature_) {
+    auto signature = std::make_shared<TupleSignature>();
+    signature->hash = Hash();
+    signature->columns = ExtractColumnBounds(arity_, atoms_);
+    signature_ = std::move(signature);
+  }
+  return *signature_;
 }
 
 bool GeneralizedTuple::IsSatisfiable() const {
@@ -76,8 +87,15 @@ GeneralizedTuple GeneralizedTuple::Canonical() const {
                  "Canonical() on unsatisfiable tuple");
   std::vector<DenseAtom> atoms = cached->CanonicalAtoms();
   std::sort(atoms.begin(), atoms.end());
+  for (DenseAtom& atom : atoms) atom = atom.Oriented();
   GeneralizedTuple out(arity_);
-  for (DenseAtom& atom : atoms) out.AddAtom(atom.Oriented());
+  // CanonicalAtoms() only emits terms over this tuple's own variables, so
+  // the per-atom arity checks in AddAtom are redundant: install directly.
+  out.atoms_ = std::move(atoms);
+  // The closed network is the canonical form's own network too (all queries
+  // are term-keyed), so a copy of it seeds the result's cache — downstream
+  // entailment checks and quantifier elimination skip their closure pass.
+  out.graph_ = std::make_shared<OrderGraph>(*cached);
   return out;
 }
 
@@ -87,11 +105,17 @@ std::optional<GeneralizedTuple> GeneralizedTuple::CanonicalIfSatisfiable()
   if (!graph.Close()) return std::nullopt;
   std::vector<DenseAtom> atoms = graph.CanonicalAtoms();
   std::sort(atoms.begin(), atoms.end());
+  for (DenseAtom& atom : atoms) atom = atom.Oriented();
   GeneralizedTuple out(arity_);
-  for (DenseAtom& atom : atoms) out.AddAtom(atom.Oriented());
-  // Warm the result's own cache here (typically on a pool worker) so the
-  // order-sensitive merge that follows only does closed-graph lookups.
-  out.IsSatisfiable();
+  out.atoms_ = std::move(atoms);
+  // Warm the result's own caches here (typically on a pool worker) so the
+  // order-sensitive merge that follows only does closed-graph lookups and
+  // precomputed-signature reads. The network just closed above is the
+  // result's own network (canonical atoms describe exactly its closed edge
+  // set, and every OrderGraph query is term-keyed), so it becomes the cache
+  // directly instead of being rebuilt and re-closed.
+  out.graph_ = std::make_shared<OrderGraph>(std::move(graph));
+  out.CachedSignature();
   return out;
 }
 
@@ -160,6 +184,31 @@ GeneralizedTuple GeneralizedTuple::Reindexed(const std::vector<int>& mapping,
                           atom.op(),
                           ReindexTerm(atom.rhs(), mapping, new_arity)));
   }
+  return out;
+}
+
+GeneralizedTuple GeneralizedTuple::ReindexedCanonical(
+    const std::vector<int>& mapping, int new_arity) const {
+  // The closed network's edge set maps bijectively under an injective
+  // renaming, and both Oriented() and the Compare-based sort are recomputed
+  // from scratch below — so this reproduces CanonicalIfSatisfiable() on the
+  // reindexed atoms without rebuilding or re-closing the network.
+  std::vector<DenseAtom> atoms;
+  atoms.reserve(atoms_.size());
+  for (const DenseAtom& atom : atoms_) {
+    atoms.push_back(DenseAtom(ReindexTerm(atom.lhs(), mapping, new_arity),
+                              atom.op(),
+                              ReindexTerm(atom.rhs(), mapping, new_arity))
+                        .Oriented());
+  }
+  std::sort(atoms.begin(), atoms.end());
+  GeneralizedTuple out(new_arity);
+  // ReindexTerm already range-checked every variable against new_arity.
+  out.atoms_ = std::move(atoms);
+  // The signature (needed by every index probe) is computable straight from
+  // the atom list, so warm it; the closure cache is left lazy — with the
+  // index on, most renamed tuples are never entailment-checked at all.
+  out.CachedSignature();
   return out;
 }
 

@@ -8,6 +8,7 @@
 
 #include "constraints/dense_atom.h"
 #include "constraints/order_graph.h"
+#include "constraints/tuple_signature.h"
 #include "core/rational.h"
 
 namespace dodb {
@@ -79,6 +80,16 @@ class GeneralizedTuple {
   GeneralizedTuple Reindexed(const std::vector<int>& mapping,
                              int new_arity) const;
 
+  /// Reindexed() for a tuple already in canonical form, under an *injective*
+  /// mapping. Column renaming is an isomorphism of the closed constraint
+  /// network, so the result's canonical form is the mapped atom set
+  /// re-oriented and re-sorted — no closure pass. Produces exactly
+  /// Reindexed(...).CanonicalIfSatisfiable() (which always exists: renaming
+  /// preserves satisfiability), with the result's signature warmed and its
+  /// closure cache left lazy.
+  GeneralizedTuple ReindexedCanonical(const std::vector<int>& mapping,
+                                      int new_arity) const;
+
   /// A satisfying point, or nullopt when unsatisfiable.
   std::optional<std::vector<Rational>> SampleWitness() const;
 
@@ -90,6 +101,14 @@ class GeneralizedTuple {
   /// between copies of the tuple, which is safe because every cached-graph
   /// query first runs the idempotent closure.
   OrderGraph* CachedGraph() const;
+
+  /// The tuple's constraint signature (per-column bounds + atom-list hash),
+  /// built once and cached; invalidated by AddAtom, shared between copies.
+  /// Stored tuples are immutable post-canonicalization, so for them the
+  /// cache never invalidates. Like CachedGraph, this is a caching accessor:
+  /// not safe to call concurrently on tuples shared across threads — warm it
+  /// first (CanonicalIfSatisfiable warms the result's own cache).
+  const TupleSignature& CachedSignature() const;
 
   /// "true" or "a and b and ...".
   std::string ToString(const std::vector<std::string>* names = nullptr) const;
@@ -107,6 +126,8 @@ class GeneralizedTuple {
   // Closure cache; see CachedGraph(). Copies share it until either side
   // mutates (AddAtom resets only its own pointer).
   mutable std::shared_ptr<OrderGraph> graph_;
+  // Signature cache; see CachedSignature(). Same sharing discipline.
+  mutable std::shared_ptr<const TupleSignature> signature_;
 };
 
 }  // namespace dodb

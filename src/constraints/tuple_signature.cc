@@ -1,0 +1,114 @@
+#include "constraints/tuple_signature.h"
+
+#include <algorithm>
+
+namespace dodb {
+
+void ColumnBound::TightenLower(const Rational& value, bool open) {
+  if (!has_lower) {
+    has_lower = true;
+    lower = value;
+    lower_open = open;
+    return;
+  }
+  int cmp = value.Compare(lower);
+  if (cmp > 0) {
+    lower = value;
+    lower_open = open;
+  } else if (cmp == 0 && open) {
+    lower_open = true;
+  }
+}
+
+void ColumnBound::TightenUpper(const Rational& value, bool open) {
+  if (!has_upper) {
+    has_upper = true;
+    upper = value;
+    upper_open = open;
+    return;
+  }
+  int cmp = value.Compare(upper);
+  if (cmp < 0) {
+    upper = value;
+    upper_open = open;
+  } else if (cmp == 0 && open) {
+    upper_open = true;
+  }
+}
+
+namespace {
+
+// max(a.lower, b.lower) <(=) min(a.upper, b.upper), over a dense order: a
+// shared value exists unless an upper sits below a lower, or touches it with
+// at least one side open.
+bool LowerFitsUnderUpper(const ColumnBound& lo, const ColumnBound& hi) {
+  if (!lo.has_lower || !hi.has_upper) return true;
+  int cmp = lo.lower.Compare(hi.upper);
+  if (cmp > 0) return false;
+  if (cmp == 0 && (lo.lower_open || hi.upper_open)) return false;
+  return true;
+}
+
+}  // namespace
+
+bool BoundsMayOverlap(const ColumnBound& a, const ColumnBound& b) {
+  return LowerFitsUnderUpper(a, b) && LowerFitsUnderUpper(b, a);
+}
+
+std::optional<std::pair<int, ColumnBound>> BoundOfAtom(const DenseAtom& atom) {
+  // Orient so a var-constant atom reads  x op c  (Term ordering puts
+  // variables before constants, so Oriented() guarantees this shape).
+  DenseAtom oriented = atom.Oriented();
+  if (!oriented.lhs().is_var() || !oriented.rhs().is_const()) {
+    return std::nullopt;
+  }
+  int column = oriented.lhs().var();
+  const Rational& value = oriented.rhs().constant();
+  ColumnBound bound;
+  switch (oriented.op()) {
+    case RelOp::kLt:
+      bound.TightenUpper(value, /*open=*/true);
+      break;
+    case RelOp::kLe:
+      bound.TightenUpper(value, /*open=*/false);
+      break;
+    case RelOp::kEq:
+      bound.TightenLower(value, /*open=*/false);
+      bound.TightenUpper(value, /*open=*/false);
+      break;
+    case RelOp::kGe:
+      bound.TightenLower(value, /*open=*/false);
+      break;
+    case RelOp::kGt:
+      bound.TightenLower(value, /*open=*/true);
+      break;
+    case RelOp::kNeq:
+      return std::nullopt;  // punches a point out; no interval information
+  }
+  return std::make_pair(column, std::move(bound));
+}
+
+std::vector<ColumnBound> ExtractColumnBounds(
+    int arity, const std::vector<DenseAtom>& atoms) {
+  std::vector<ColumnBound> columns(arity);
+  for (const DenseAtom& atom : atoms) {
+    std::optional<std::pair<int, ColumnBound>> contribution =
+        BoundOfAtom(atom);
+    if (!contribution.has_value()) continue;
+    ColumnBound& column = columns[contribution->first];
+    const ColumnBound& bound = contribution->second;
+    if (bound.has_lower) column.TightenLower(bound.lower, bound.lower_open);
+    if (bound.has_upper) column.TightenUpper(bound.upper, bound.upper_open);
+  }
+  return columns;
+}
+
+bool SignaturesMayOverlap(const TupleSignature& a, const TupleSignature& b) {
+  size_t n = std::min(a.columns.size(), b.columns.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (!BoundsMayOverlap(a.columns[i], b.columns[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace dodb

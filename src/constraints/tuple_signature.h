@@ -1,0 +1,66 @@
+#ifndef DODB_CONSTRAINTS_TUPLE_SIGNATURE_H_
+#define DODB_CONSTRAINTS_TUPLE_SIGNATURE_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "constraints/dense_atom.h"
+#include "core/rational.h"
+
+namespace dodb {
+
+/// Constant bounds entailed for one column of a generalized tuple: the
+/// tightest  lower op x  and  x op upper  constraints (op in {<, <=})
+/// derivable from the tuple's var-constant atoms. Either side may be absent
+/// (unbounded). On a closure-canonical tuple these are the tightest constant
+/// bounds the conjunction implies at all, because path consistency
+/// materializes the strongest relation between every variable and every
+/// constant node.
+struct ColumnBound {
+  bool has_lower = false;
+  bool lower_open = false;  // lower < x rather than lower <= x
+  bool has_upper = false;
+  bool upper_open = false;  // x < upper rather than x <= upper
+  Rational lower;
+  Rational upper;
+
+  /// Folds one more bound into the summary, keeping the tighter side.
+  void TightenLower(const Rational& value, bool open);
+  void TightenUpper(const Rational& value, bool open);
+};
+
+/// Whether some rational can satisfy both bounds at once. False only when
+/// the two intervals are provably disjoint, so a false result licenses
+/// skipping the pair entirely (the conjunction forcing the two columns equal
+/// is unsatisfiable).
+bool BoundsMayOverlap(const ColumnBound& a, const ColumnBound& b);
+
+/// Cheap per-tuple summary consulted before any O(k^3) order-graph work:
+/// one ColumnBound per column plus the hash of the atom list. Signatures are
+/// computed once per tuple after canonicalization and never invalidated
+/// (stored tuples are immutable); see GeneralizedTuple::CachedSignature.
+struct TupleSignature {
+  size_t hash = 0;
+  std::vector<ColumnBound> columns;
+};
+
+/// Extracts the per-column bounds of a conjunction. Sound for any atom list
+/// (every atom is entailed by the conjunction); tightest when the list is
+/// closure-canonical.
+std::vector<ColumnBound> ExtractColumnBounds(int arity,
+                                             const std::vector<DenseAtom>& atoms);
+
+/// The bound contributed by a single atom, if it is a var-constant
+/// comparison: returns the column index and its bound, nullopt otherwise
+/// (var-var atoms, inequations and ground atoms carry no box information).
+std::optional<std::pair<int, ColumnBound>> BoundOfAtom(const DenseAtom& atom);
+
+/// All-columns box test: false when some column's bounds are provably
+/// disjoint, i.e. the conjunction of the two tuples (column-aligned) is
+/// unsatisfiable without building an order graph.
+bool SignaturesMayOverlap(const TupleSignature& a, const TupleSignature& b);
+
+}  // namespace dodb
+
+#endif  // DODB_CONSTRAINTS_TUPLE_SIGNATURE_H_

@@ -70,6 +70,9 @@ Result<Rational> Rational::FromString(std::string_view text) {
 }
 
 int Rational::Compare(const Rational& other) const {
+  // Equal (positive) denominators — the overwhelmingly common case is
+  // integer constants with den = 1 — need no cross-multiplication.
+  if (den_.Compare(other.den_) == 0) return num_.Compare(other.num_);
   // num_/den_ <=> other.num_/other.den_ with positive denominators.
   return (num_ * other.den_).Compare(other.num_ * den_);
 }

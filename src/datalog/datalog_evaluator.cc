@@ -138,7 +138,8 @@ GeneralizedRelation TupleDifference(const GeneralizedRelation& next,
   for (const GeneralizedTuple& tuple : next.tuples()) {
     while (i < old_tuples.size() && old_tuples[i].Compare(tuple) < 0) ++i;
     if (i < old_tuples.size() && old_tuples[i].Compare(tuple) == 0) continue;
-    out.AddTuple(tuple);
+    // Stored tuples are already canonical; skip the closure re-run.
+    out.AddCanonicalTuple(tuple);
   }
   return out;
 }
@@ -146,16 +147,37 @@ GeneralizedRelation TupleDifference(const GeneralizedRelation& next,
 constexpr char kDeltaRelationName[] = "__dodb_delta";
 
 // Populates and closes the lazily cached constraint network of every stored
-// tuple. Copies of these tuples made inside pool workers share the caches,
-// and a closed OrderGraph is read-only under every query method — so after
-// warming, concurrent rule evaluations may read the snapshot freely.
+// tuple — and, when indexing is on, each tuple's signature and each
+// relation's constraint-signature index. Copies of these tuples and
+// relations made inside pool workers share the caches, and all of them are
+// read-only once warm — so after warming, concurrent rule evaluations may
+// read the snapshot freely, and every job in the round probes the one
+// snapshot index instead of rebuilding its own.
+void WarmRelationCaches(const GeneralizedRelation& rel) {
+  for (const GeneralizedTuple& tuple : rel.tuples()) {
+    tuple.IsSatisfiable();
+    if (IndexingEnabled()) tuple.CachedSignature();
+  }
+  if (IndexingEnabled()) rel.Index();
+}
+
 void WarmClosureCaches(const Database& db) {
   for (const std::string& name : db.RelationNames()) {
-    for (const GeneralizedTuple& tuple : db.FindRelation(name)->tuples()) {
-      tuple.IsSatisfiable();
-    }
+    WarmRelationCaches(*db.FindRelation(name));
   }
 }
+
+// Writes the engine-counter delta covering its lifetime into `out`.
+class CounterDeltaScope {
+ public:
+  explicit CounterDeltaScope(EvalCounterSnapshot* out)
+      : start_(EvalCounters::Snapshot()), out_(out) {}
+  ~CounterDeltaScope() { *out_ = EvalCounters::Snapshot() - start_; }
+
+ private:
+  EvalCounterSnapshot start_;
+  EvalCounterSnapshot* out_;
+};
 
 // One unit of work in a fixpoint round: a rule fired naively against the
 // full snapshot, or (semi-naive) one positive IDB occurrence of a rule
@@ -229,14 +251,22 @@ Status DatalogEvaluator::RunToFixpoint(
       }
     }
 
+    // Install the round's deltas into the shared snapshot under reserved
+    // per-predicate names, so each semi-naive job only rewrites its own
+    // (small) rule copy instead of deep-copying the whole database.
+    for (const auto& [pred, delta] : delta_in) {
+      if (!delta.IsEmpty()) {
+        snapshot.SetRelation(StrCat(kDeltaRelationName, ":", pred), delta);
+      }
+    }
+
     auto eval_job = [&](size_t j) -> Result<GeneralizedRelation> {
       const RuleJob& job = jobs[j];
       if (job.delta == nullptr) return EvalRule(*job.rule, snapshot);
       DatalogRule focused = *job.rule;
-      focused.body[job.occurrence].relation = kDeltaRelationName;
-      Database focused_snapshot = snapshot;
-      focused_snapshot.SetRelation(kDeltaRelationName, *job.delta);
-      return EvalRule(focused, focused_snapshot);
+      focused.body[job.occurrence].relation =
+          StrCat(kDeltaRelationName, ":", focused.body[job.occurrence].relation);
+      return EvalRule(focused, snapshot);
     };
 
     std::vector<Result<GeneralizedRelation>> derived;
@@ -247,15 +277,10 @@ Status DatalogEvaluator::RunToFixpoint(
         if (!derived.back().ok()) return derived.back().status();
       }
     } else {
-      // Concurrent jobs share the snapshot and deltas read-only; warming
-      // makes every shared tuple's closure cache closed (hence read-only)
-      // before the first worker touches it.
+      // Concurrent jobs share the snapshot (which now holds the round's
+      // deltas too) read-only; warming makes every shared tuple's closure
+      // cache closed (hence read-only) before the first worker touches it.
       WarmClosureCaches(snapshot);
-      for (const auto& [pred, delta] : delta_in) {
-        for (const GeneralizedTuple& tuple : delta.tuples()) {
-          tuple.IsSatisfiable();
-        }
-      }
       derived = ParallelMap<Result<GeneralizedRelation>>(jobs.size(),
                                                          eval_job);
     }
@@ -270,9 +295,14 @@ Status DatalogEvaluator::RunToFixpoint(
       const GeneralizedRelation* old = idb->FindRelation(name);
       DODB_CHECK(old != nullptr);
       GeneralizedRelation merged = algebra::Union(*old, rel);
-      if (!merged.StructurallyEquals(*old)) {
+      // merged != old exactly when the union inserted a tuple structurally
+      // absent from old — and every such tuple survives into the delta (a
+      // later subsuming insert is itself new), so the delta scan doubles as
+      // the change check.
+      GeneralizedRelation delta = TupleDifference(merged, *old);
+      if (!delta.IsEmpty()) {
         changed = true;
-        delta_out.emplace(name, TupleDifference(merged, *old));
+        delta_out.emplace(name, std::move(delta));
         idb->SetRelation(name, std::move(merged));
       }
     }
@@ -333,6 +363,10 @@ Result<GeneralizedRelation> DatalogEvaluator::Answer(
 
 Result<Database> DatalogEvaluator::Evaluate() {
   EvalThreadsScope threads(options_.eval_options.num_threads);
+  // Rule jobs re-install both scopes from eval_options inside their own
+  // FoEvaluator; this scope covers the sequential merge phases.
+  IndexModeScope index_mode(options_.eval_options.use_index);
+  CounterDeltaScope counters(&counters_);
   DODB_RETURN_IF_ERROR(program_.Validate(*edb_));
   iterations_ = 0;
 

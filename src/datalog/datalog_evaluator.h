@@ -64,6 +64,10 @@ class DatalogEvaluator {
   /// Rounds executed by the last Evaluate() call.
   uint64_t iterations() const { return iterations_; }
 
+  /// Engine-counter delta (pairs pruned, subsumption checks, index time...)
+  /// attributed to the last Evaluate() call.
+  const EvalCounterSnapshot& counters() const { return counters_; }
+
  private:
   Result<GeneralizedRelation> EvalRule(const DatalogRule& rule,
                                        const Database& snapshot);
@@ -75,6 +79,7 @@ class DatalogEvaluator {
   const Database* edb_;
   DatalogOptions options_;
   uint64_t iterations_ = 0;
+  EvalCounterSnapshot counters_;
 };
 
 }  // namespace dodb

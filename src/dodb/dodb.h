@@ -31,10 +31,13 @@
 #include "complex/range_restriction.h"
 #include "constraints/dense_atom.h"
 #include "constraints/dense_qe.h"
+#include "constraints/eval_counters.h"
 #include "constraints/generalized_relation.h"
 #include "constraints/generalized_tuple.h"
 #include "constraints/order_graph.h"
+#include "constraints/relation_index.h"
 #include "constraints/term.h"
+#include "constraints/tuple_signature.h"
 #include "core/bigint.h"
 #include "core/rational.h"
 #include "core/status.h"

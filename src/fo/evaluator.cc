@@ -29,6 +29,19 @@ Term LowerSimpleExpr(const FoExpr& expr, const std::vector<std::string>& vars) {
   return Term::Var(index);
 }
 
+// Writes the engine-counter delta covering its lifetime into `out` —
+// attribution of process-wide counters to one evaluation.
+class CounterDeltaScope {
+ public:
+  explicit CounterDeltaScope(EvalCounterSnapshot* out)
+      : start_(EvalCounters::Snapshot()), out_(out) {}
+  ~CounterDeltaScope() { *out_ = EvalCounters::Snapshot() - start_; }
+
+ private:
+  EvalCounterSnapshot start_;
+  EvalCounterSnapshot* out_;
+};
+
 }  // namespace
 
 FoEvaluator::FoEvaluator(const Database* db, EvalOptions options)
@@ -50,6 +63,8 @@ Status FoEvaluator::CheckSize(const GeneralizedRelation& rel) {
 
 Result<GeneralizedRelation> FoEvaluator::Evaluate(const Query& query) {
   EvalThreadsScope threads(options_.num_threads);
+  IndexModeScope index_mode(options_.use_index);
+  CounterDeltaScope counters(&stats_.counters);
   Result<QueryAnalysis> analysis = Analyze(query, db_);
   if (!analysis.ok()) return analysis.status();
   if (!analysis.value().is_dense_fragment) {
@@ -66,6 +81,8 @@ Result<GeneralizedRelation> FoEvaluator::Evaluate(const Query& query) {
 Result<GeneralizedRelation> FoEvaluator::EvaluateFormula(
     const Formula& formula, const std::vector<std::string>& columns) {
   EvalThreadsScope threads(options_.num_threads);
+  IndexModeScope index_mode(options_.use_index);
+  CounterDeltaScope counters(&stats_.counters);
   Result<Binding> binding = Eval(formula);
   if (!binding.ok()) return binding.status();
   for (const std::string& var : binding.value().vars) {

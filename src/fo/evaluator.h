@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "constraints/eval_counters.h"
 #include "constraints/generalized_relation.h"
 #include "core/status.h"
 #include "fo/ast.h"
@@ -26,6 +27,11 @@ struct EvalOptions {
   /// single-threaded legacy path. Canonical results are bit-identical at
   /// every setting; only wall-clock changes.
   int num_threads = 0;
+  /// Use the constraint-signature index (pruned join candidate pairs, hash
+  /// duplicate rejection, overlap-restricted subsumption scans). false =
+  /// the legacy all-pairs path, kept as an ablation baseline. Results are
+  /// bit-identical at either setting; only wall-clock changes.
+  bool use_index = true;
 };
 
 struct EvalStats {
@@ -34,6 +40,9 @@ struct EvalStats {
   uint64_t intersections = 0;
   uint64_t unions = 0;
   uint64_t max_intermediate_tuples = 0;
+  /// Engine-counter delta (pairs pruned, subsumption checks, index time...)
+  /// attributed to the last Evaluate/EvaluateFormula call.
+  EvalCounterSnapshot counters;
 };
 
 /// Bottom-up, closed-form evaluator for first-order queries over dense-order

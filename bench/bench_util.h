@@ -29,6 +29,16 @@ inline void ReportEvalCounters(benchmark::State& state,
       static_cast<double>(delta.index_build_ns) / 1e6;
   state.counters["index_probe_ms"] =
       static_cast<double>(delta.index_probe_ns) / 1e6;
+  state.counters["shard_pairs_considered"] =
+      static_cast<double>(delta.shard_pairs_considered);
+  state.counters["shard_pairs_pruned"] =
+      static_cast<double>(delta.shard_pairs_pruned);
+  state.counters["shard_index_builds"] =
+      static_cast<double>(delta.shard_index_builds);
+  state.counters["planner_reorders"] =
+      static_cast<double>(delta.planner_reorders);
+  state.counters["closure_memo_hits"] =
+      static_cast<double>(delta.closure_memo_hits);
 }
 
 /// RAII: snapshot on construction, ReportEvalCounters on destruction —

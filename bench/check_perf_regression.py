@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Guards the committed benchmark records against perf regressions.
+
+Compares freshly produced BENCH_*.json files (a BENCH_SMOKE run in CI, or a
+full bench/run_benchmarks.sh run locally) against the records committed at a
+baseline git revision, matching benchmarks by (file, name). A case that got
+more than --threshold slower (default 25%) fails the check.
+
+CI smoke timings are noisy by design, so the guard is deliberately coarse:
+it catches the "accidentally quadratic" class of regression, not small
+drifts. Cases present on only one side (new benchmarks, retired benchmarks)
+are reported and skipped.
+
+Usage:
+  bench/check_perf_regression.py [--baseline REV] [--threshold PCT]
+                                 [--fresh-dir DIR]
+
+  --baseline REV   git revision holding the committed records (default HEAD)
+  --threshold PCT  allowed slowdown in percent (default 25)
+  --fresh-dir DIR  directory with the fresh BENCH_*.json (default repo root)
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def repo_root() -> pathlib.Path:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        check=True, capture_output=True, text=True)
+    return pathlib.Path(out.stdout.strip())
+
+
+def committed_json(rev: str, path: str):
+    """The parsed BENCH json at `rev`, or None when absent there."""
+    proc = subprocess.run(
+        ["git", "show", f"{rev}:{path}"], capture_output=True, text=True)
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def rows_by_name(doc) -> dict:
+    rows = {}
+    for row in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev of repetitions) would double
+        # count; keep plain iteration rows only.
+        if row.get("run_type") == "aggregate":
+            continue
+        rows[row["name"]] = row
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="HEAD")
+    parser.add_argument("--threshold", type=float, default=25.0)
+    parser.add_argument("--fresh-dir", default=None)
+    args = parser.parse_args()
+
+    root = repo_root()
+    fresh_dir = pathlib.Path(args.fresh_dir) if args.fresh_dir else root
+    fresh_files = sorted(fresh_dir.glob("BENCH_*.json"))
+    if not fresh_files:
+        print(f"error: no BENCH_*.json under {fresh_dir}", file=sys.stderr)
+        return 2
+
+    limit = 1.0 + args.threshold / 100.0
+    regressions = []
+    compared = 0
+    skipped = []
+
+    for fresh_path in fresh_files:
+        rel_name = fresh_path.name
+        baseline_doc = committed_json(args.baseline, rel_name)
+        if baseline_doc is None:
+            skipped.append(f"{rel_name}: not committed at {args.baseline}")
+            continue
+        try:
+            with open(fresh_path) as f:
+                fresh_doc = json.load(f)
+        except json.JSONDecodeError as err:
+            skipped.append(f"{rel_name}: unreadable fresh JSON ({err})")
+            continue
+        baseline_rows = rows_by_name(baseline_doc)
+        for name, fresh_row in rows_by_name(fresh_doc).items():
+            base_row = baseline_rows.get(name)
+            if base_row is None:
+                skipped.append(f"{rel_name}: {name}: new benchmark")
+                continue
+            base_time = base_row.get("real_time", 0.0)
+            fresh_time = fresh_row.get("real_time", 0.0)
+            if base_time <= 0.0:
+                continue
+            compared += 1
+            ratio = fresh_time / base_time
+            if ratio > limit:
+                regressions.append(
+                    f"{rel_name}: {name}: {base_time:.0f} -> "
+                    f"{fresh_time:.0f} {fresh_row.get('time_unit', 'ns')} "
+                    f"({(ratio - 1.0) * 100.0:+.1f}%)")
+
+    for line in skipped:
+        print(f"skip: {line}")
+    print(f"compared {compared} cases against {args.baseline} "
+          f"(threshold +{args.threshold:.0f}%)")
+    if compared == 0:
+        print("error: nothing to compare — baseline has no matching rows",
+              file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond the threshold:")
+        for line in regressions:
+            print(f"  FAIL {line}")
+        return 1
+    print("no regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

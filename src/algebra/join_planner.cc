@@ -1,0 +1,52 @@
+#include "algebra/join_planner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "constraints/relation_shards.h"
+
+namespace dodb {
+namespace algebra {
+
+RelationProfile ProfileRelation(const GeneralizedRelation& rel) {
+  RelationProfile profile;
+  profile.tuples = rel.tuple_count();
+  if (profile.tuples == 0) return profile;
+  const RelationShards* shards = rel.Index().Shards();
+  profile.shards = shards->shard_count();
+  for (uint32_t s = 0; s < shards->shard_count(); ++s) {
+    const RelationShards::ShardStats& stats = shards->stats(s);
+    profile.distinct_hashes += stats.hashes.size();
+    if (stats.size == 0 || !stats.cover_seeded) continue;
+    for (const ColumnBound& bound : stats.cover.columns) {
+      if (bound.has_lower || bound.has_upper) {
+        ++profile.bounded_shards;
+        break;
+      }
+    }
+  }
+  return profile;
+}
+
+bool KeepOrientation(const RelationProfile& enumerate,
+                     const RelationProfile& build) {
+  if (enumerate.tuples != build.tuples) {
+    return enumerate.tuples < build.tuples;
+  }
+  // Equal cardinality: index the side whose shards discriminate better —
+  // more distinct hashes means fewer false-positive probe hits.
+  return build.distinct_hashes >= enumerate.distinct_hashes;
+}
+
+std::vector<size_t> OrderByAscendingTuples(
+    const std::vector<size_t>& tuple_counts) {
+  std::vector<size_t> order(tuple_counts.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return tuple_counts[a] < tuple_counts[b];
+  });
+  return order;
+}
+
+}  // namespace algebra
+}  // namespace dodb

@@ -1,0 +1,50 @@
+#ifndef DODB_ALGEBRA_JOIN_PLANNER_H_
+#define DODB_ALGEBRA_JOIN_PLANNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "constraints/generalized_relation.h"
+
+namespace dodb {
+namespace algebra {
+
+/// Selectivity statistics of one join input, read off its shard partition
+/// (the per-shard cardinalities, covers and hash-distinct counts double as
+/// a histogram). Gathering a profile forces the relation's lazy index and
+/// sharding, which the subsequent join needs anyway.
+struct RelationProfile {
+  size_t tuples = 0;
+  size_t shards = 0;
+  /// Sum of per-shard distinct canonical hashes — an upper estimate of the
+  /// relation's distinct tuples (a hash repeated across shards is counted
+  /// once per shard).
+  size_t distinct_hashes = 0;
+  /// Shards whose cover is bounded on at least one column — the shards
+  /// pair pruning can actually discriminate on.
+  size_t bounded_shards = 0;
+};
+
+RelationProfile ProfileRelation(const GeneralizedRelation& rel);
+
+/// Whether a pair join should keep `enumerate` as the enumerated
+/// (probe-driving) side and `build` as the indexed side. Enumerating the
+/// smaller side minimizes probe calls; on equal cardinalities, prefer
+/// building on the side with more distinct hashes (the more selective
+/// index). Decisions only change enumeration order — outputs are
+/// bit-identical either way — but a deviation from the caller's given
+/// orientation is counted as a planner reorder.
+bool KeepOrientation(const RelationProfile& enumerate,
+                     const RelationProfile& build);
+
+/// Fold order for a multi-way intersect: indices of `tuple_counts` sorted by
+/// ascending cardinality, stable on ties — smallest inputs first keeps
+/// intermediates small. Returns the identity permutation when already
+/// ordered.
+std::vector<size_t> OrderByAscendingTuples(
+    const std::vector<size_t>& tuple_counts);
+
+}  // namespace algebra
+}  // namespace dodb
+
+#endif  // DODB_ALGEBRA_JOIN_PLANNER_H_

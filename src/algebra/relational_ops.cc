@@ -5,10 +5,14 @@
 #include <optional>
 #include <utility>
 
+#include "algebra/join_planner.h"
 #include "cells/cell_decomposition.h"
+#include "constraints/closure_cache.h"
 #include "constraints/eval_counters.h"
 #include "constraints/relation_index.h"
+#include "constraints/relation_shards.h"
 #include "core/check.h"
+#include "core/thread_pool.h"
 
 namespace dodb {
 namespace algebra {
@@ -19,11 +23,204 @@ namespace {
 // setup cost; both paths produce bit-identical relations either way.
 constexpr size_t kIndexMinPairs = 16;
 
+// Below this many candidate pairs the shard-pair machinery (profiles, cover
+// matrix, per-pair jobs) costs more than it prunes; the flat indexed path
+// handles small joins.
+constexpr size_t kShardMinPairs = 256;
+
 uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - since)
           .count());
+}
+
+// One candidate surviving the shard-pair filters, keyed by its row-major
+// pair rank i * |tb| + j so the sequential merge can replay the exact
+// legacy insertion sequence (minus provably-unsatisfiable pairs) no matter
+// which shard-pair job produced it.
+struct KeyedCandidate {
+  uint64_t key;
+  std::optional<GeneralizedTuple> canonical;
+};
+
+// Whether the sharded pair-join path applies: both inputs sharded into more
+// than one shard and the pair matrix is large enough to amortize it.
+bool ShardedJoinApplies(const GeneralizedRelation& a,
+                        const GeneralizedRelation& b, size_t total_pairs) {
+  if (!ShardingEnabled() || total_pairs < kShardMinPairs) return false;
+  return a.Index().Shards()->shard_count() > 1 &&
+         b.Index().Shards()->shard_count() > 1;
+}
+
+// Shard-pair–parallel join kernel shared by Intersect and EquiJoin.
+//
+// A candidate pair (i, j) survives iff, for every (left, right) in
+// `test_columns`, tuple i's bounds on `left` and tuple j's bounds on
+// `right` can agree on a value — the same predicate the flat indexed path
+// applies, so the surviving pair set is identical; shard covers only decide
+// which pairs get *tested*. Surviving candidates are canonicalized inside
+// the shard-pair jobs (per-shard parallelism instead of per-tuple-block)
+// and merged sequentially in ascending row-major key order, which replays
+// the legacy nested-loop insertion sequence exactly — outputs stay
+// bit-identical to both the unindexed and the flat indexed path at any
+// thread count.
+//
+// The planner picks which side enumerates and which side's per-shard
+// interval indexes are probed (an enumeration-only decision): enumerating
+// the smaller side minimizes probe work.
+void ShardedJoinInto(
+    GeneralizedRelation* out, const GeneralizedRelation& a,
+    const GeneralizedRelation& b,
+    const std::vector<std::pair<int, int>>& test_columns,
+    const std::function<GeneralizedTuple(size_t, size_t)>& make) {
+  const RelationIndex& ia = a.Index();
+  const RelationIndex& ib = b.Index();
+  const RelationShards& sha = *ia.Shards();
+  const RelationShards& shb = *ib.Shards();
+  const size_t nb = b.tuples().size();
+  const int probe_left = test_columns.front().first;
+  const int probe_right = test_columns.front().second;
+  const bool keep =
+      KeepOrientation(ProfileRelation(a), ProfileRelation(b));
+  if (!keep) EvalCounters::AddPlannerReorders(1);
+
+  // Cover matrix: keep only shard pairs whose covers can agree on every
+  // tested column pair (member boxes are contained in their shard's cover,
+  // so a disjoint cover pair proves every member pair disjoint).
+  struct ShardPair {
+    uint32_t sa;
+    uint32_t sb;
+  };
+  std::vector<ShardPair> live;
+  const uint64_t considered =
+      static_cast<uint64_t>(sha.shard_count()) * shb.shard_count();
+  for (uint32_t sa = 0; sa < sha.shard_count(); ++sa) {
+    const RelationShards::ShardStats& stats_a = sha.stats(sa);
+    if (stats_a.size == 0) continue;
+    for (uint32_t sb = 0; sb < shb.shard_count(); ++sb) {
+      const RelationShards::ShardStats& stats_b = shb.stats(sb);
+      if (stats_b.size == 0) continue;
+      bool compatible = true;
+      for (const auto& [left, right] : test_columns) {
+        if (!BoundsMayOverlap(stats_a.cover.columns[left],
+                              stats_b.cover.columns[right])) {
+          compatible = false;
+          break;
+        }
+      }
+      if (compatible) live.push_back(ShardPair{sa, sb});
+    }
+  }
+  EvalCounters::AddShardPairs(considered, considered - live.size());
+
+  // Fault in the lazy member lists and the probed per-shard interval
+  // indexes sequentially, so concurrent jobs read warm caches instead of
+  // serializing on the build mutex.
+  auto probe_start = std::chrono::steady_clock::now();
+  for (const ShardPair& pair : live) {
+    sha.Members(pair.sa);
+    shb.Members(pair.sb);
+    if (keep) {
+      ib.ShardIntervalIndex(pair.sb, probe_right);
+    } else {
+      ia.ShardIntervalIndex(pair.sa, probe_left);
+    }
+  }
+
+  // One job per surviving shard pair: filter member pairs by the exact
+  // per-pair predicate and canonicalize the survivors. The memo pointer and
+  // the closure-sweep mode are read here (calling thread) and captured —
+  // workers don't inherit the thread-local scopes.
+  ClosureCache* memo = CurrentClosureCache();
+  const bool closure_fast = ClosureFastPathEnabled();
+  auto eval_pair = [&](size_t k) -> std::vector<KeyedCandidate> {
+    ClosureFastPathScope sweep(closure_fast);
+    const ShardPair& pair = live[k];
+    const std::vector<size_t>& members_a = sha.Members(pair.sa);
+    const std::vector<size_t>& members_b = shb.Members(pair.sb);
+    std::vector<std::pair<size_t, size_t>> pairs;
+    std::vector<size_t> window;
+    auto test = [&](size_t i, size_t j) {
+      const TupleSignature& siga = ia.signature(i);
+      const TupleSignature& sigb = ib.signature(j);
+      for (const auto& [left, right] : test_columns) {
+        if (!BoundsMayOverlap(siga.columns[left], sigb.columns[right])) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (keep) {
+      const ColumnIntervalIndex* intervals =
+          ib.ShardIntervalIndex(pair.sb, probe_right);
+      for (size_t i : members_a) {
+        window.clear();
+        intervals->AppendCandidates(ia.signature(i).columns[probe_left],
+                                    &window);
+        for (size_t w : window) {
+          size_t j = members_b[w];
+          if (test(i, j)) pairs.emplace_back(i, j);
+        }
+      }
+    } else {
+      const ColumnIntervalIndex* intervals =
+          ia.ShardIntervalIndex(pair.sa, probe_left);
+      for (size_t j : members_b) {
+        window.clear();
+        intervals->AppendCandidates(ib.signature(j).columns[probe_right],
+                                    &window);
+        for (size_t w : window) {
+          size_t i = members_a[w];
+          if (test(i, j)) pairs.emplace_back(i, j);
+        }
+      }
+    }
+    std::vector<KeyedCandidate> result;
+    result.reserve(pairs.size());
+    for (const auto& [i, j] : pairs) {
+      GeneralizedTuple candidate = make(i, j);
+      std::optional<GeneralizedTuple> canonical =
+          memo != nullptr ? memo->CanonicalIfSatisfiable(std::move(candidate))
+                          : candidate.CanonicalIfSatisfiable();
+      result.push_back(
+          KeyedCandidate{static_cast<uint64_t>(i) * nb + j,
+                         std::move(canonical)});
+    }
+    return result;
+  };
+
+  std::vector<std::vector<KeyedCandidate>> per_pair;
+  if (!ShouldParallelize(live.size())) {
+    per_pair.reserve(live.size());
+    for (size_t k = 0; k < live.size(); ++k) per_pair.push_back(eval_pair(k));
+  } else {
+    per_pair = ParallelMap<std::vector<KeyedCandidate>>(live.size(),
+                                                        eval_pair);
+  }
+  EvalCounters::AddIndexProbes(live.size(), ElapsedNs(probe_start));
+
+  size_t survivors = 0;
+  for (const auto& chunk : per_pair) survivors += chunk.size();
+  EvalCounters::AddPairsPruned(a.tuples().size() * nb - survivors);
+  EvalCounters::AddCanonicalized(survivors);
+
+  std::vector<KeyedCandidate> merged;
+  merged.reserve(survivors);
+  for (auto& chunk : per_pair) {
+    for (KeyedCandidate& candidate : chunk) {
+      merged.push_back(std::move(candidate));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const KeyedCandidate& x, const KeyedCandidate& y) {
+              return x.key < y.key;
+            });
+  for (KeyedCandidate& candidate : merged) {
+    if (candidate.canonical.has_value()) {
+      out->AddCanonicalTuple(std::move(*candidate.canonical));
+    }
+  }
 }
 
 }  // namespace
@@ -54,6 +251,19 @@ GeneralizedRelation Intersect(const GeneralizedRelation& a,
     // matches the classic nested loop exactly.
     out.AddTuplesParallel(total, [&](size_t i) {
       return ta[i / tb.size()].Conjoin(tb[i % tb.size()]);
+    });
+    return out;
+  }
+  if (ShardedJoinApplies(a, b, total)) {
+    // Sharded path: prune whole shard pairs by their cover boxes, then test
+    // and canonicalize surviving member pairs inside per-shard-pair pool
+    // jobs. Intersect conjoins column-aligned, so the per-pair test spans
+    // every column.
+    std::vector<std::pair<int, int>> columns;
+    columns.reserve(a.arity());
+    for (int c = 0; c < a.arity(); ++c) columns.emplace_back(c, c);
+    ShardedJoinInto(&out, a, b, columns, [&](size_t i, size_t j) {
+      return ta[i].Conjoin(tb[j]);
     });
     return out;
   }
@@ -264,6 +474,14 @@ GeneralizedRelation EquiJoin(
   if (!IndexingEnabled() || column_pairs.empty() || total < kIndexMinPairs) {
     out.AddTuplesParallel(total, [&](size_t k) {
       return make_candidate(k / tb.size(), k % tb.size());
+    });
+    return out;
+  }
+  if (ShardedJoinApplies(a, b, total)) {
+    // Sharded path; the per-pair test spans exactly the joined column
+    // pairs, as in the flat indexed path below.
+    ShardedJoinInto(&out, a, b, column_pairs, [&](size_t i, size_t j) {
+      return make_candidate(i, j);
     });
     return out;
   }

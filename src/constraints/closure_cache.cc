@@ -1,0 +1,102 @@
+#include "constraints/closure_cache.h"
+
+#include <utility>
+
+#include "constraints/eval_counters.h"
+
+namespace dodb {
+
+namespace {
+
+thread_local ClosureCache* tls_closure_cache = nullptr;
+
+// splitmix64 finalizer: diffuses every input bit across the word, so the two
+// accumulation streams below stay independent even for structurally similar
+// atom lists.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct Fingerprint {
+  uint64_t lo;
+  uint64_t hi;
+};
+
+// Order-sensitive 128-bit fingerprint of (arity, atom list): two polynomial
+// accumulations with distinct odd multipliers over independently re-mixed
+// per-atom hashes.
+Fingerprint FingerprintOf(const GeneralizedTuple& tuple) {
+  Fingerprint fp;
+  fp.lo = Mix64(static_cast<uint64_t>(tuple.arity()));
+  fp.hi = Mix64(fp.lo ^ 0x6a09e667f3bcc909ULL);
+  for (const DenseAtom& atom : tuple.atoms()) {
+    const uint64_t h = static_cast<uint64_t>(atom.Hash());
+    fp.lo = fp.lo * 0x100000001b3ULL ^ Mix64(h);
+    fp.hi = fp.hi * 0xc6a4a7935bd1e995ULL ^ Mix64(h ^ 0x2545f4914f6cdd1dULL);
+  }
+  return fp;
+}
+
+}  // namespace
+
+std::optional<GeneralizedTuple> ClosureCache::CanonicalIfSatisfiable(
+    GeneralizedTuple tuple) {
+  const Fingerprint fp = FingerprintOf(tuple);
+  Stripe& stripe = stripes_[fp.lo % kStripes];
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.entries.find(fp.lo);
+    if (it != stripe.entries.end()) {
+      for (const Entry& entry : it->second) {
+        if (entry.hi == fp.hi) {
+          EvalCounters::AddClosureMemoHits(1);
+          return entry.canonical;
+        }
+      }
+    }
+  }
+  // Miss: run the closure outside the lock (it dominates the cost), then
+  // publish. A racing thread may have inserted the same key meanwhile; both
+  // computed the same pure function, so keeping either entry is equivalent —
+  // keep the first and drop ours.
+  Entry entry;
+  entry.hi = fp.hi;
+  entry.canonical = tuple.CanonicalIfSatisfiable();
+  std::optional<GeneralizedTuple> result = entry.canonical;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    std::vector<Entry>& bucket = stripe.entries[fp.lo];
+    bool present = false;
+    for (const Entry& existing : bucket) {
+      if (existing.hi == entry.hi) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) bucket.push_back(std::move(entry));
+  }
+  return result;
+}
+
+size_t ClosureCache::size() const {
+  size_t total = 0;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [hash, bucket] : stripe.entries) total += bucket.size();
+  }
+  return total;
+}
+
+ClosureCache* CurrentClosureCache() { return tls_closure_cache; }
+
+ClosureCacheScope::ClosureCacheScope(ClosureCache* cache)
+    : prev_(tls_closure_cache) {
+  tls_closure_cache = cache;
+}
+
+ClosureCacheScope::~ClosureCacheScope() { tls_closure_cache = prev_; }
+
+}  // namespace dodb

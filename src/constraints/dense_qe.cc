@@ -3,6 +3,7 @@
 #include <optional>
 #include <utility>
 
+#include "constraints/eval_counters.h"
 #include "core/check.h"
 #include "core/thread_pool.h"
 
@@ -162,9 +163,13 @@ GeneralizedRelation EliminateVariable(const GeneralizedRelation& relation,
   // Per-tuple elimination is a pure function of the tuple (it builds fresh
   // constraint networks throughout); the subsumption-sensitive merge runs
   // sequentially in input order, so the output is bit-identical to the
-  // inline loop above at any thread count.
+  // inline loop above at any thread count. The closure-sweep mode is read
+  // here and re-installed per job — workers don't inherit the thread-local
+  // scope.
+  const bool closure_fast = ClosureFastPathEnabled();
   std::vector<GeneralizedRelation> parts =
-      ParallelMap<GeneralizedRelation>(tuples.size(), [&](size_t i) {
+      ParallelMap<GeneralizedRelation>(tuples.size(), [&, closure_fast](size_t i) {
+        ClosureFastPathScope sweep(closure_fast);
         return EliminateVariable(tuples[i], var);
       });
   for (const GeneralizedRelation& part : parts) {

@@ -18,6 +18,11 @@ struct Counters {
   std::atomic<uint64_t> index_probes{0};
   std::atomic<uint64_t> index_build_ns{0};
   std::atomic<uint64_t> index_probe_ns{0};
+  std::atomic<uint64_t> shard_pairs_considered{0};
+  std::atomic<uint64_t> shard_pairs_pruned{0};
+  std::atomic<uint64_t> shard_index_builds{0};
+  std::atomic<uint64_t> planner_reorders{0};
+  std::atomic<uint64_t> closure_memo_hits{0};
 };
 
 Counters& Global() {
@@ -28,6 +33,8 @@ Counters& Global() {
 constexpr auto kRelaxed = std::memory_order_relaxed;
 
 thread_local bool tls_indexing_enabled = true;
+thread_local bool tls_sharding_enabled = true;
+thread_local bool tls_closure_fastpath = true;
 
 std::string Millis(uint64_t ns) {
   return StrCat(ns / 1000000, ".", (ns / 100000) % 10, " ms");
@@ -58,6 +65,19 @@ void EvalCounters::AddIndexProbes(uint64_t n, uint64_t ns) {
   Global().index_probes.fetch_add(n, kRelaxed);
   Global().index_probe_ns.fetch_add(ns, kRelaxed);
 }
+void EvalCounters::AddShardPairs(uint64_t considered, uint64_t pruned) {
+  Global().shard_pairs_considered.fetch_add(considered, kRelaxed);
+  Global().shard_pairs_pruned.fetch_add(pruned, kRelaxed);
+}
+void EvalCounters::AddShardIndexBuilds(uint64_t n) {
+  Global().shard_index_builds.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddPlannerReorders(uint64_t n) {
+  Global().planner_reorders.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddClosureMemoHits(uint64_t n) {
+  Global().closure_memo_hits.fetch_add(n, kRelaxed);
+}
 
 EvalCounterSnapshot EvalCounters::Snapshot() {
   const Counters& c = Global();
@@ -71,6 +91,11 @@ EvalCounterSnapshot EvalCounters::Snapshot() {
   snap.index_probes = c.index_probes.load(kRelaxed);
   snap.index_build_ns = c.index_build_ns.load(kRelaxed);
   snap.index_probe_ns = c.index_probe_ns.load(kRelaxed);
+  snap.shard_pairs_considered = c.shard_pairs_considered.load(kRelaxed);
+  snap.shard_pairs_pruned = c.shard_pairs_pruned.load(kRelaxed);
+  snap.shard_index_builds = c.shard_index_builds.load(kRelaxed);
+  snap.planner_reorders = c.planner_reorders.load(kRelaxed);
+  snap.closure_memo_hits = c.closure_memo_hits.load(kRelaxed);
   return snap;
 }
 
@@ -86,12 +111,21 @@ EvalCounterSnapshot EvalCounterSnapshot::operator-(
   delta.index_probes = index_probes - since.index_probes;
   delta.index_build_ns = index_build_ns - since.index_build_ns;
   delta.index_probe_ns = index_probe_ns - since.index_probe_ns;
+  delta.shard_pairs_considered =
+      shard_pairs_considered - since.shard_pairs_considered;
+  delta.shard_pairs_pruned = shard_pairs_pruned - since.shard_pairs_pruned;
+  delta.shard_index_builds = shard_index_builds - since.shard_index_builds;
+  delta.planner_reorders = planner_reorders - since.planner_reorders;
+  delta.closure_memo_hits = closure_memo_hits - since.closure_memo_hits;
   return delta;
 }
 
 std::string EvalCounterSnapshot::ToString() const {
   uint64_t pct =
       pairs_considered == 0 ? 0 : 100 * pairs_pruned / pairs_considered;
+  uint64_t shard_pct = shard_pairs_considered == 0
+                           ? 0
+                           : 100 * shard_pairs_pruned / shard_pairs_considered;
   return StrCat(
       "  candidate pairs considered   ", pairs_considered, "\n",
       "  pruned by bound signatures   ", pairs_pruned, " (", pct, "%)\n",
@@ -101,7 +135,13 @@ std::string EvalCounterSnapshot::ToString() const {
       "  index builds / probes        ", index_builds, " / ", index_probes,
       "\n",
       "  index build / probe time     ", Millis(index_build_ns), " / ",
-      Millis(index_probe_ns), "\n");
+      Millis(index_probe_ns), "\n",
+      "  shard pairs considered       ", shard_pairs_considered, "\n",
+      "  pruned by shard covers       ", shard_pairs_pruned, " (", shard_pct,
+      "%)\n",
+      "  per-shard index builds       ", shard_index_builds, "\n",
+      "  planner reorders             ", planner_reorders, "\n",
+      "  closure memo hits            ", closure_memo_hits, "\n");
 }
 
 bool IndexingEnabled() { return tls_indexing_enabled; }
@@ -111,5 +151,22 @@ IndexModeScope::IndexModeScope(bool enabled) : prev_(tls_indexing_enabled) {
 }
 
 IndexModeScope::~IndexModeScope() { tls_indexing_enabled = prev_; }
+
+bool ShardingEnabled() { return tls_sharding_enabled; }
+
+ShardModeScope::ShardModeScope(bool enabled) : prev_(tls_sharding_enabled) {
+  tls_sharding_enabled = enabled;
+}
+
+ShardModeScope::~ShardModeScope() { tls_sharding_enabled = prev_; }
+
+bool ClosureFastPathEnabled() { return tls_closure_fastpath; }
+
+ClosureFastPathScope::ClosureFastPathScope(bool enabled)
+    : prev_(tls_closure_fastpath) {
+  tls_closure_fastpath = enabled;
+}
+
+ClosureFastPathScope::~ClosureFastPathScope() { tls_closure_fastpath = prev_; }
 
 }  // namespace dodb

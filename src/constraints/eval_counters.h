@@ -19,6 +19,11 @@ struct EvalCounterSnapshot {
   uint64_t index_probes = 0;       // probe-side lookups against an index
   uint64_t index_build_ns = 0;
   uint64_t index_probe_ns = 0;
+  uint64_t shard_pairs_considered = 0;  // shard pairs examined by joins
+  uint64_t shard_pairs_pruned = 0;      // shard pairs skipped: covers disjoint
+  uint64_t shard_index_builds = 0;      // shard structure + per-shard indexes
+  uint64_t planner_reorders = 0;        // join-order / side-pick deviations
+  uint64_t closure_memo_hits = 0;       // canonicalizations served from memo
 
   EvalCounterSnapshot operator-(const EvalCounterSnapshot& since) const;
   /// Multi-line human-readable rendering (shell \stats).
@@ -39,6 +44,10 @@ class EvalCounters {
   static void AddHashSkips(uint64_t n);
   static void AddIndexBuild(uint64_t ns);
   static void AddIndexProbes(uint64_t n, uint64_t ns);
+  static void AddShardPairs(uint64_t considered, uint64_t pruned);
+  static void AddShardIndexBuilds(uint64_t n);
+  static void AddPlannerReorders(uint64_t n);
+  static void AddClosureMemoHits(uint64_t n);
 
   static EvalCounterSnapshot Snapshot();
 };
@@ -61,6 +70,53 @@ class IndexModeScope {
   ~IndexModeScope();
   IndexModeScope(const IndexModeScope&) = delete;
   IndexModeScope& operator=(const IndexModeScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Whether the sharded storage fast paths (shard-pair pruned joins,
+/// shard-skipping subsumption scans, the selectivity planner) are enabled on
+/// this thread. Defaults to true; only consulted when IndexingEnabled() also
+/// holds — shards live inside the relation index. Outputs are bit-identical
+/// either way: shard-pair pruning removes only pairs the per-pair signature
+/// test would remove, and the planner only changes enumeration order /
+/// fold order of canonically order-independent merges.
+bool ShardingEnabled();
+
+/// RAII thread-local override of ShardingEnabled(), mirroring
+/// IndexModeScope (travels into pool workers through EvalOptions).
+class ShardModeScope {
+ public:
+  explicit ShardModeScope(bool enabled);
+  ~ShardModeScope();
+  ShardModeScope(const ShardModeScope&) = delete;
+  ShardModeScope& operator=(const ShardModeScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Whether OrderGraph::Close uses the restricted path-consistency sweep
+/// (skip compositions through unconstrained edges; skip refinement of
+/// constant-constant pairs, whose seeded relation is exact). Defaults to
+/// true; disabling it restores the previous milestone's full PC-1 sweep as
+/// an ablation baseline for the perf benchmarks. The restricted sweep
+/// reaches the same unique path-consistent fixpoint and the same
+/// satisfiability verdict (see the proof sketch in order_graph.cc), so the
+/// setting never changes any result, only wall-clock.
+bool ClosureFastPathEnabled();
+
+/// RAII thread-local override of ClosureFastPathEnabled(). Canonicalization
+/// runs on pool workers, so the parallel insertion paths read the flag on
+/// the dispatching thread and re-install it inside each worker job, the same
+/// way the closure memo pointer travels.
+class ClosureFastPathScope {
+ public:
+  explicit ClosureFastPathScope(bool enabled);
+  ~ClosureFastPathScope();
+  ClosureFastPathScope(const ClosureFastPathScope&) = delete;
+  ClosureFastPathScope& operator=(const ClosureFastPathScope&) = delete;
 
  private:
   bool prev_;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <set>
 
+#include "constraints/closure_cache.h"
 #include "constraints/eval_counters.h"
 #include "core/check.h"
 #include "core/str_util.h"
@@ -69,6 +70,15 @@ size_t GeneralizedRelation::atom_count() const {
 void GeneralizedRelation::AddTuple(GeneralizedTuple tuple) {
   DODB_CHECK_MSG(tuple.arity() == arity_, "AddTuple arity mismatch");
   EvalCounters::AddCanonicalized(1);
+  // Canonicalization is a pure function of the atom list, so serving it
+  // from the installed memo (when one is in scope) is bit-identical to
+  // recomputing.
+  if (ClosureCache* memo = CurrentClosureCache()) {
+    std::optional<GeneralizedTuple> canonical =
+        memo->CanonicalIfSatisfiable(std::move(tuple));
+    if (canonical.has_value()) AddCanonicalTuple(std::move(*canonical));
+    return;
+  }
   if (!tuple.IsSatisfiable()) return;
   AddCanonicalTuple(tuple.Canonical());
 }
@@ -207,12 +217,22 @@ void GeneralizedRelation::AddTuplesParallel(
   }
   // Parallel phase: satisfiability + canonicalization per candidate, each a
   // pure function of its index. Sequential phase: the same insertions, in
-  // the same order, as the inline loop above.
+  // the same order, as the inline loop above. The memo pointer and the
+  // closure-sweep mode are read on the calling thread and captured by value
+  // — worker threads don't inherit the thread-local scopes.
   EvalCounters::AddCanonicalized(n);
+  ClosureCache* memo = CurrentClosureCache();
+  const bool closure_fast = ClosureFastPathEnabled();
   std::vector<std::optional<GeneralizedTuple>> prepared =
-      ParallelMap<std::optional<GeneralizedTuple>>(n, [&make](size_t i) {
-        return make(i).CanonicalIfSatisfiable();
-      });
+      ParallelMap<std::optional<GeneralizedTuple>>(
+          n, [&make, memo, closure_fast](size_t i) {
+            ClosureFastPathScope sweep(closure_fast);
+            GeneralizedTuple candidate = make(i);
+            if (memo != nullptr) {
+              return memo->CanonicalIfSatisfiable(std::move(candidate));
+            }
+            return candidate.CanonicalIfSatisfiable();
+          });
   for (std::optional<GeneralizedTuple>& candidate : prepared) {
     if (candidate.has_value()) AddCanonicalTuple(std::move(*candidate));
   }

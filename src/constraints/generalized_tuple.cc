@@ -85,9 +85,9 @@ GeneralizedTuple GeneralizedTuple::Canonical() const {
   OrderGraph* cached = CachedGraph();
   DODB_CHECK_MSG(cached->IsSatisfiable(),
                  "Canonical() on unsatisfiable tuple");
+  // CanonicalAtoms() emits the atoms sorted and oriented (see its comment),
+  // so the list installs directly — no sort or orientation pass.
   std::vector<DenseAtom> atoms = cached->CanonicalAtoms();
-  std::sort(atoms.begin(), atoms.end());
-  for (DenseAtom& atom : atoms) atom = atom.Oriented();
   GeneralizedTuple out(arity_);
   // CanonicalAtoms() only emits terms over this tuple's own variables, so
   // the per-atom arity checks in AddAtom are redundant: install directly.
@@ -103,9 +103,9 @@ std::optional<GeneralizedTuple> GeneralizedTuple::CanonicalIfSatisfiable()
     const {
   OrderGraph graph = BuildGraph();
   if (!graph.Close()) return std::nullopt;
+  // CanonicalAtoms() emits the atoms sorted and oriented (see its comment),
+  // so the list installs directly — no sort or orientation pass.
   std::vector<DenseAtom> atoms = graph.CanonicalAtoms();
-  std::sort(atoms.begin(), atoms.end());
-  for (DenseAtom& atom : atoms) atom = atom.Oriented();
   GeneralizedTuple out(arity_);
   out.atoms_ = std::move(atoms);
   // Warm the result's own caches here (typically on a pool worker) so the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "constraints/eval_counters.h"
 #include "core/check.h"
 
 namespace dodb {
@@ -117,18 +118,38 @@ void OrderGraph::Set(int a, int b, PaRel rel) {
   rel_[b * n + a] = PaInverse(rel);
 }
 
-void OrderGraph::EnsureMatrix() {
+void OrderGraph::EnsureMatrix(bool seed_constants) {
   int n = num_nodes();
   rel_.assign(static_cast<size_t>(n) * n, kPaAll);
   for (int i = 0; i < n; ++i) rel_[i * n + i] = kPaEq;
-  // Constant nodes carry their exact mutual order.
-  for (auto it = constant_nodes_.begin(); it != constant_nodes_.end(); ++it) {
-    auto jt = it;
-    for (++jt; jt != constant_nodes_.end(); ++jt) {
-      // it->first < jt->first by map order.
-      Set(it->second, jt->second, kPaLt);
+  // Constant nodes carry their exact mutual order; record it as value ranks
+  // (the map iterates in value order). The restricted sweep reads
+  // constant-constant relations through RelAt, so the O(C^2) matrix seeding
+  // is only materialized for the legacy full sweep, which visits those
+  // entries directly.
+  const_rank_.assign(n, 0);
+  int rank = 0;
+  for (const auto& [value, node] : constant_nodes_) const_rank_[node] = rank++;
+  if (seed_constants) {
+    for (auto it = constant_nodes_.begin(); it != constant_nodes_.end();
+         ++it) {
+      auto jt = it;
+      for (++jt; jt != constant_nodes_.end(); ++jt) {
+        // it->first < jt->first by map order.
+        Set(it->second, jt->second, kPaLt);
+      }
     }
   }
+}
+
+PaRel OrderGraph::RelAt(int i, int j) const {
+  if (i >= num_vars_ && j >= num_vars_) {
+    const int d = const_rank_[i] - const_rank_[j];
+    if (d < 0) return kPaLt;
+    if (d > 0) return kPaGt;
+    return kPaEq;
+  }
+  return rel_[i * static_cast<int>(node_terms_.size()) + j];
 }
 
 bool OrderGraph::Close() {
@@ -136,7 +157,8 @@ bool OrderGraph::Close() {
   closed_ = true;
   satisfiable_ = !forced_unsat_;
   if (!satisfiable_) return false;
-  EnsureMatrix();
+  const bool fast = ClosureFastPathEnabled();
+  EnsureMatrix(/*seed_constants=*/!fast);
   int n = num_nodes();
   for (const auto& [edge, mask] : pending_) {
     PaRel cur = rel_[edge.first * n + edge.second] & mask;
@@ -147,18 +169,45 @@ bool OrderGraph::Close() {
     Set(edge.first, edge.second, cur);
   }
   // Path consistency (PC-1). Node counts per tuple are small, so the simple
-  // fixpoint loop is preferable to a queue-based PC-2.
+  // fixpoint loop is preferable to a queue-based PC-2. The restricted sweep
+  // (default; ClosureFastPathEnabled) adds two sound skips that keep the
+  // loop from drowning in constant nodes (canonical tuples mention one node
+  // per distinct constant, and those dominate n on realistic data):
+  //   - PaCompose(kPaAll, r) == PaCompose(r, kPaAll) == kPaAll for every
+  //     nonempty r, so compositions through an unconstrained edge never
+  //     refine anything.
+  //   - Constant-constant entries are seeded with the exact basic relation
+  //     realized by the two values, so the only possible "refinement" is to
+  //     empty; at the fixpoint of the remaining triangles that cannot
+  //     happen. Sketch: suppose composing i -> k -> j would empty the
+  //     constant pair (i, j) with seeded basic relation b(i,j). k must be a
+  //     variable (constant-constant-constant triangles are consistent by
+  //     construction: the seeds are realized by actual values). Emptiness
+  //     means PaCompose(rel(i,k), rel(k,j)) excludes b(i,j); but the
+  //     variable-involved pair (k, j) is enforced at the restricted
+  //     fixpoint, i.e. rel(k,j) <= PaCompose(PaInverse(rel(i,k)), b(i,j)),
+  //     which makes b(i,j) a member of the composition — contradiction.
+  //     The restricted fixpoint is therefore a fixpoint of the full PC-1
+  //     operator; path-consistent closure is unique, so the matrix and the
+  //     satisfiability verdict are bit-identical to the full sweep's.
+  // The full sweep is kept selectable as the previous milestone's
+  // behaviour, so perf benchmarks can ablate the restriction.
+  const int nv = fast ? num_vars_ : n;
   bool changed = true;
   while (changed) {
     changed = false;
     for (int k = 0; k < n; ++k) {
       for (int i = 0; i < n; ++i) {
         if (i == k) continue;
-        PaRel rik = rel_[i * n + k];
-        for (int j = 0; j < n; ++j) {
+        PaRel rik = RelAt(i, k);
+        if (fast && rik == kPaAll) continue;
+        const int j_limit = (i < nv) ? n : nv;
+        for (int j = 0; j < j_limit; ++j) {
           if (j == i || j == k) continue;
-          PaRel composed = PaCompose(rik, rel_[k * n + j]);
-          PaRel cur = rel_[i * n + j];
+          PaRel rkj = RelAt(k, j);
+          if (fast && rkj == kPaAll) continue;
+          PaRel composed = PaCompose(rik, rkj);
+          PaRel cur = RelAt(i, j);
           PaRel refined = cur & composed;
           if (refined != cur) {
             if (refined == kPaEmpty) {
@@ -178,7 +227,7 @@ bool OrderGraph::Close() {
 PaRel OrderGraph::RelBetween(int a, int b) {
   bool sat = Close();
   DODB_CHECK_MSG(sat, "RelBetween on unsatisfiable network");
-  return rel_[a * num_nodes() + b];
+  return RelAt(a, b);
 }
 
 PaRel OrderGraph::RelToValue(int var, const Rational& value) {
@@ -231,12 +280,24 @@ std::vector<DenseAtom> OrderGraph::CanonicalAtoms() {
   DODB_CHECK_MSG(sat, "CanonicalAtoms on unsatisfiable network");
   std::vector<DenseAtom> atoms;
   int n = num_nodes();
-  for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      if (node_terms_[i].is_const() && node_terms_[j].is_const()) continue;
+  // Constants all have node ids >= num_vars_, so the pairs that survive the
+  // constant-constant skip are exactly var-var (i < j) and var-const. Walking
+  // the var partner block in index order and the constant partner block in
+  // value order (constant_nodes_ iterates by value) emits the atoms already
+  // in DenseAtom order — every atom has lhs = x_i (so it is oriented), lhs
+  // groups are ascending, and within a group the rhs runs over variables by
+  // index and then constants by value, which is exactly Term order. Callers
+  // can install the list without re-sorting or re-orienting.
+  for (int i = 0; i < num_vars_; ++i) {
+    for (int j = i + 1; j < num_vars_; ++j) {
       PaRel rel = rel_[i * n + j];
       if (rel == kPaAll) continue;
       atoms.emplace_back(node_terms_[i], PaToRelOp(rel), node_terms_[j]);
+    }
+    for (const auto& [value, node] : constant_nodes_) {
+      PaRel rel = rel_[i * n + node];
+      if (rel == kPaAll) continue;
+      atoms.emplace_back(node_terms_[i], PaToRelOp(rel), node_terms_[node]);
     }
   }
   return atoms;
@@ -270,7 +331,7 @@ std::optional<std::vector<Rational>> OrderGraph::SampleWitness() {
   };
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      if (rel_[i * n + j] == kPaEq) parent[find(i)] = find(j);
+      if (RelAt(i, j) == kPaEq) parent[find(i)] = find(j);
     }
   }
   std::vector<int> class_of(n);
@@ -300,7 +361,7 @@ std::optional<std::vector<Rational>> OrderGraph::SampleWitness() {
       int ci = class_of[i];
       int cj = class_of[j];
       if (ci == cj) continue;
-      PaRel rel = rel_[i * n + j];
+      PaRel rel = RelAt(i, j);
       if ((rel & kPaGt) == 0 && !edge[ci][cj]) {
         edge[ci][cj] = true;
         ++indegree[cj];

@@ -93,14 +93,20 @@ class OrderGraph {
 
  private:
   int NodeForConstant(const Rational& value);
-  void EnsureMatrix();
+  void EnsureMatrix(bool seed_constants);
   void Set(int a, int b, PaRel rel);
+  /// Closed-matrix entry (i, j). Constant-constant pairs are answered from
+  /// the value-rank array — their relation is the exact basic order of the
+  /// two values, which seeding would only copy into the matrix; everything
+  /// else reads the matrix. Valid whether or not the matrix was seeded.
+  PaRel RelAt(int i, int j) const;
 
   int num_vars_;
   std::vector<Term> node_terms_;
   std::map<Rational, int> constant_nodes_;
   std::vector<std::pair<std::pair<int, int>, PaRel>> pending_;  // atom edges
   std::vector<PaRel> rel_;  // row-major num_nodes x num_nodes, after Close()
+  std::vector<int> const_rank_;  // node -> rank of its value on the scale
   bool closed_ = false;
   bool satisfiable_ = true;
   bool forced_unsat_ = false;  // a ground atom was already false

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include "constraints/eval_counters.h"
+#include "constraints/relation_shards.h"
 #include "core/check.h"
 
 namespace dodb {
+
+RelationIndex::~RelationIndex() = default;
 
 RelationIndex::RelationIndex(const RelationIndex& other)
     : signatures_(other.signatures_), hash_counts_(other.hash_counts_) {}
@@ -34,6 +38,20 @@ RelationIndex& RelationIndex::operator=(RelationIndex&& other) noexcept {
 void RelationIndex::InvalidateIntervals() {
   std::lock_guard<std::mutex> lock(intervals_mu_);
   intervals_.clear();
+}
+
+const RelationShards* RelationIndex::Shards() const {
+  std::lock_guard<std::mutex> lock(intervals_mu_);
+  if (!shards_) {
+    shards_ = std::make_unique<RelationShards>(signatures_);
+    EvalCounters::AddShardIndexBuilds(1);
+  }
+  return shards_.get();
+}
+
+const ColumnIntervalIndex* RelationIndex::ShardIntervalIndex(
+    uint32_t shard, int column) const {
+  return Shards()->ShardIntervals(shard, column, signatures_);
 }
 
 const ColumnIntervalIndex* RelationIndex::IntervalIndex(int column) const {
@@ -83,6 +101,13 @@ void RelationIndex::InsertAt(size_t pos, const TupleSignature& signature) {
   signatures_.insert(signatures_.begin() + pos, signature);
   ++hash_counts_[signature.hash];
   InvalidateIntervals();
+  if (shards_) {
+    shards_->InsertAt(pos, signature);
+    // Quantile cuts go stale as the relation grows; drop the partition and
+    // let the next use rebuild it (output-invariant either way — shard
+    // layout only decides which pairs get tested, never which survive).
+    if (shards_->NeedsRebuild()) shards_.reset();
+  }
 }
 
 void RelationIndex::EraseAt(size_t pos) {
@@ -90,6 +115,7 @@ void RelationIndex::EraseAt(size_t pos) {
   auto it = hash_counts_.find(signatures_[pos].hash);
   DODB_CHECK(it != hash_counts_.end() && it->second > 0);
   if (--it->second == 0) hash_counts_.erase(it);
+  if (shards_) shards_->EraseAt(pos, signatures_[pos].hash);
   signatures_.erase(signatures_.begin() + pos);
   InvalidateIntervals();
 }
@@ -100,6 +126,39 @@ bool RelationIndex::MayContainHash(size_t hash) const {
 
 void RelationIndex::AppendOverlapCandidates(const TupleSignature& probe,
                                             std::vector<size_t>* out) const {
+  if (ShardingEnabled() && signatures_.size() >= RelationShards::kMinTuples) {
+    const RelationShards* shards = Shards();
+    const size_t num_shards = shards->shard_count();
+    if (num_shards > 1) {
+      // Shard-skipping scan: a shard whose cover box is disjoint from the
+      // probe cannot hold an overlapping member (member boxes are contained
+      // in the cover), so its tuples skip the per-signature test. The
+      // survivor set is exactly the unsharded scan's — the cover check is a
+      // superset filter of the per-pair test — and positions stay ascending.
+      std::vector<char> live(num_shards, 0);
+      uint64_t pruned = 0;
+      for (uint32_t s = 0; s < num_shards; ++s) {
+        const RelationShards::ShardStats& stats = shards->stats(s);
+        if (stats.size == 0) {
+          ++pruned;
+          continue;
+        }
+        if (SignaturesMayOverlap(stats.cover, probe)) {
+          live[s] = 1;
+        } else {
+          ++pruned;
+        }
+      }
+      EvalCounters::AddShardPairs(num_shards, pruned);
+      for (size_t pos = 0; pos < signatures_.size(); ++pos) {
+        if (live[shards->shard_of(pos)] &&
+            SignaturesMayOverlap(signatures_[pos], probe)) {
+          out->push_back(pos);
+        }
+      }
+      return;
+    }
+  }
   for (size_t pos = 0; pos < signatures_.size(); ++pos) {
     if (SignaturesMayOverlap(signatures_[pos], probe)) out->push_back(pos);
   }

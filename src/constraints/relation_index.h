@@ -13,6 +13,7 @@
 namespace dodb {
 
 class ColumnIntervalIndex;
+class RelationShards;
 
 /// Position-parallel index over a GeneralizedRelation's stored tuple vector:
 /// one TupleSignature per tuple plus a multiset of canonical-form hashes.
@@ -36,8 +37,10 @@ class ColumnIntervalIndex;
 class RelationIndex {
  public:
   RelationIndex() = default;
+  ~RelationIndex();
   // Copies/moves carry the signatures and hash multiset; the lazy interval
-  // caches are rebuilt on demand (they hold pointers into the source).
+  // caches and the shard partition are rebuilt on demand (copying them
+  // would race with concurrent lazy builds on the shared source snapshot).
   RelationIndex(const RelationIndex& other);
   RelationIndex& operator=(const RelationIndex& other);
   RelationIndex(RelationIndex&& other) noexcept;
@@ -81,6 +84,21 @@ class RelationIndex {
   /// index — where interval windowing discriminates best.
   int ProbeColumn(int arity) const;
 
+  /// The signature-bound shard partition of the indexed tuples (see
+  /// relation_shards.h), built lazily on first use and thereafter maintained
+  /// incrementally by InsertAt/EraseAt; dropped (and lazily rebuilt) once
+  /// the relation doubles past the partition's build size, and on
+  /// copy/assign. Thread-safe for concurrent readers of a shared snapshot,
+  /// like IntervalIndex(). Returned pointer stays valid until the next
+  /// mutation.
+  const RelationShards* Shards() const;
+
+  /// Convenience forwarder: the lazy interval index over `column` restricted
+  /// to one shard's members (positions in the returned index are local —
+  /// indexes into RelationShards::Members(shard)).
+  const ColumnIntervalIndex* ShardIntervalIndex(uint32_t shard,
+                                                int column) const;
+
   /// Test hook: whether this index is exactly the from-scratch build of
   /// `tuples` (signatures position by position, hash multiset).
   bool MatchesTuples(const std::vector<GeneralizedTuple>& tuples) const;
@@ -93,6 +111,10 @@ class RelationIndex {
   // Lazy per-column interval indexes; see IntervalIndex().
   mutable std::mutex intervals_mu_;
   mutable std::vector<std::unique_ptr<ColumnIntervalIndex>> intervals_;
+  // Lazy shard partition; see Shards(). Lazy build is guarded by
+  // intervals_mu_; incremental maintenance happens on the owning thread
+  // only (mutation is never concurrent with reads of the same index).
+  mutable std::unique_ptr<RelationShards> shards_;
 };
 
 /// Probe-side sorted-endpoint index over one column of a tuple list, built

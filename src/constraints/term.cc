@@ -26,15 +26,6 @@ const Rational& Term::constant() const {
   return value_;
 }
 
-int Term::Compare(const Term& other) const {
-  if (is_var_ != other.is_var_) return is_var_ ? -1 : 1;
-  if (is_var_) {
-    if (index_ != other.index_) return index_ < other.index_ ? -1 : 1;
-    return 0;
-  }
-  return value_.Compare(other.value_);
-}
-
 std::string Term::ToString(const std::vector<std::string>* names) const {
   if (is_var_) {
     if (names != nullptr && index_ < static_cast<int>(names->size())) {

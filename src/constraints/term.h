@@ -28,7 +28,16 @@ class Term {
   const Rational& constant() const;
 
   /// Structural ordering: variables (by index) before constants (by value).
-  int Compare(const Term& other) const;
+  /// Inline: term comparison is the innermost step of every atom sort,
+  /// tuple ordering, and subsumption scan.
+  int Compare(const Term& other) const {
+    if (is_var_ != other.is_var_) return is_var_ ? -1 : 1;
+    if (is_var_) {
+      if (index_ != other.index_) return index_ < other.index_ ? -1 : 1;
+      return 0;
+    }
+    return value_.Compare(other.value_);
+  }
   bool operator==(const Term& other) const { return Compare(other) == 0; }
   bool operator!=(const Term& other) const { return Compare(other) != 0; }
   bool operator<(const Term& other) const { return Compare(other) < 0; }

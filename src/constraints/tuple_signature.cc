@@ -55,6 +55,48 @@ bool BoundsMayOverlap(const ColumnBound& a, const ColumnBound& b) {
   return LowerFitsUnderUpper(a, b) && LowerFitsUnderUpper(b, a);
 }
 
+void WidenToCover(ColumnBound& cover, const ColumnBound& add) {
+  if (cover.has_lower) {
+    if (!add.has_lower) {
+      cover.has_lower = false;
+      cover.lower_open = false;
+    } else {
+      int cmp = add.lower.Compare(cover.lower);
+      if (cmp < 0) {
+        cover.lower = add.lower;
+        cover.lower_open = add.lower_open;
+      } else if (cmp == 0) {
+        cover.lower_open = cover.lower_open && add.lower_open;
+      }
+    }
+  }
+  if (cover.has_upper) {
+    if (!add.has_upper) {
+      cover.has_upper = false;
+      cover.upper_open = false;
+    } else {
+      int cmp = add.upper.Compare(cover.upper);
+      if (cmp > 0) {
+        cover.upper = add.upper;
+        cover.upper_open = add.upper_open;
+      } else if (cmp == 0) {
+        cover.upper_open = cover.upper_open && add.upper_open;
+      }
+    }
+  }
+}
+
+int CompareLowerBounds(const ColumnBound& a, const ColumnBound& b) {
+  if (!a.has_lower || !b.has_lower) {
+    if (a.has_lower == b.has_lower) return 0;
+    return a.has_lower ? 1 : -1;
+  }
+  int cmp = a.lower.Compare(b.lower);
+  if (cmp != 0) return cmp;
+  if (a.lower_open == b.lower_open) return 0;
+  return a.lower_open ? 1 : -1;
+}
+
 std::optional<std::pair<int, ColumnBound>> BoundOfAtom(const DenseAtom& atom) {
   // Orient so a var-constant atom reads  x op c  (Term ordering puts
   // variables before constants, so Oriented() guarantees this shape).

@@ -36,6 +36,21 @@ struct ColumnBound {
 /// is unsatisfiable).
 bool BoundsMayOverlap(const ColumnBound& a, const ColumnBound& b);
 
+/// Widens `cover` to the interval hull of `cover` and `add`: afterwards every
+/// value admitted by either input is admitted by `cover`. Callers seeding a
+/// cover from a member set must initialize it with the first member's bound —
+/// a default-constructed ColumnBound is already the unbounded hull, so
+/// widening it is a no-op. Used for per-shard cover boxes, which widen on
+/// insert and are deliberately never re-tightened on erase (a stale-wide
+/// cover is still a sound overlap filter).
+void WidenToCover(ColumnBound& cover, const ColumnBound& add);
+
+/// Total order on the lower sides of two bounds, treating an absent lower as
+/// negative infinity and, on equal values, a closed bound as starting before
+/// an open one. Returns <0, 0, >0. This is the shard key comparator: shards
+/// partition tuples by where their first-column interval starts.
+int CompareLowerBounds(const ColumnBound& a, const ColumnBound& b);
+
 /// Cheap per-tuple summary consulted before any O(k^3) order-graph work:
 /// one ColumnBound per column plus the hash of the atom list. Signatures are
 /// computed once per tuple after canonicalization and never invalidated

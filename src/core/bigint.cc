@@ -63,13 +63,6 @@ Result<BigInt> BigInt::FromString(std::string_view text) {
   return value;
 }
 
-int BigInt::Compare(const BigInt& other) const {
-  if (sign_ != other.sign_) return sign_ < other.sign_ ? -1 : 1;
-  if (sign_ == 0) return 0;
-  int mag_cmp = MagCompare(mag_, other.mag_);
-  return sign_ > 0 ? mag_cmp : -mag_cmp;
-}
-
 BigInt BigInt::operator-() const {
   BigInt out = *this;
   out.sign_ = -out.sign_;
@@ -179,15 +172,6 @@ size_t BigInt::Hash() const {
     h ^= limb + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
   }
   return h;
-}
-
-int BigInt::MagCompare(const std::vector<uint32_t>& a,
-                       const std::vector<uint32_t>& b) {
-  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
-  for (size_t i = a.size(); i-- > 0;) {
-    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
-  }
-  return 0;
 }
 
 std::vector<uint32_t> BigInt::MagAdd(const std::vector<uint32_t>& a,

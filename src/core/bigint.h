@@ -40,7 +40,14 @@ class BigInt {
   int sign() const { return sign_; }
 
   /// Three-way comparison: negative, zero, or positive as *this <=> other.
-  int Compare(const BigInt& other) const;
+  /// Inline: comparisons dominate tuple sorting and subsumption scans, and
+  /// the typical operand is a single limb.
+  int Compare(const BigInt& other) const {
+    if (sign_ != other.sign_) return sign_ < other.sign_ ? -1 : 1;
+    if (sign_ == 0) return 0;
+    int mag_cmp = MagCompare(mag_, other.mag_);
+    return sign_ > 0 ? mag_cmp : -mag_cmp;
+  }
 
   BigInt operator-() const;
   BigInt Abs() const;
@@ -87,7 +94,13 @@ class BigInt {
 
   // Magnitude helpers (little-endian limb vectors, no trailing zeros).
   static int MagCompare(const std::vector<uint32_t>& a,
-                        const std::vector<uint32_t>& b);
+                        const std::vector<uint32_t>& b) {
+    if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+    for (size_t i = a.size(); i-- > 0;) {
+      if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+    }
+    return 0;
+  }
   static std::vector<uint32_t> MagAdd(const std::vector<uint32_t>& a,
                                       const std::vector<uint32_t>& b);
   // Requires MagCompare(a, b) >= 0.

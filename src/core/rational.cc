@@ -69,10 +69,7 @@ Result<Rational> Rational::FromString(std::string_view text) {
   return Rational(std::move(num).value());
 }
 
-int Rational::Compare(const Rational& other) const {
-  // Equal (positive) denominators — the overwhelmingly common case is
-  // integer constants with den = 1 — need no cross-multiplication.
-  if (den_.Compare(other.den_) == 0) return num_.Compare(other.num_);
+int Rational::CompareCrossMultiplied(const Rational& other) const {
   // num_/den_ <=> other.num_/other.den_ with positive denominators.
   return (num_ * other.den_).Compare(other.num_ * den_);
 }

@@ -38,8 +38,13 @@ class Rational {
   bool is_integer() const { return den_ == BigInt(1); }
   int sign() const { return num_.sign(); }
 
-  /// Three-way comparison by cross-multiplication.
-  int Compare(const Rational& other) const;
+  /// Three-way comparison by cross-multiplication. Inline: the common case
+  /// — equal (typically unit) denominators — reduces to one integer compare,
+  /// and this sits under every atom sort and subsumption scan.
+  int Compare(const Rational& other) const {
+    if (den_.Compare(other.den_) == 0) return num_.Compare(other.num_);
+    return CompareCrossMultiplied(other);
+  }
 
   Rational operator-() const;
   Rational Abs() const;
@@ -76,6 +81,8 @@ class Rational {
 
  private:
   void Normalize();
+  // Slow path of Compare for distinct denominators.
+  int CompareCrossMultiplied(const Rational& other) const;
 
   BigInt num_;
   BigInt den_;

@@ -127,11 +127,21 @@ void ThreadPool::ParallelFor(int num_threads, size_t n,
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  // Never wake more helpers than there are meaningful chunks of work: tiny
+  // fan-outs (a fixpoint round with a handful of new tuples) would otherwise
+  // pay a wakeup + context switch per helper for sub-chunk-sized gains. The
+  // cap only shrinks the thread count, so results are unchanged.
   int helpers =
       static_cast<int>(std::min<size_t>(n, static_cast<size_t>(
                                                std::min(num_threads,
                                                         kMaxWorkers + 1)))) -
       1;
+  helpers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(helpers), std::max<size_t>(n / 4, 1)));
+  if (helpers == 0) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
   EnsureWorkers(helpers);
 
   auto state = std::make_shared<ForState>();

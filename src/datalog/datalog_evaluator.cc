@@ -6,6 +6,7 @@
 #include <set>
 
 #include "algebra/relational_ops.h"
+#include "constraints/closure_cache.h"
 #include "core/check.h"
 #include "core/str_util.h"
 #include "core/thread_pool.h"
@@ -158,7 +159,12 @@ void WarmRelationCaches(const GeneralizedRelation& rel) {
     tuple.IsSatisfiable();
     if (IndexingEnabled()) tuple.CachedSignature();
   }
-  if (IndexingEnabled()) rel.Index();
+  if (IndexingEnabled()) {
+    rel.Index();
+    // Fault in the shard partition too, so concurrent shard-pair jobs read
+    // a warm structure instead of serializing on the lazy-build mutex.
+    if (ShardingEnabled()) rel.Index().Shards();
+  }
 }
 
 void WarmClosureCaches(const Database& db) {
@@ -363,9 +369,30 @@ Result<GeneralizedRelation> DatalogEvaluator::Answer(
 
 Result<Database> DatalogEvaluator::Evaluate() {
   EvalThreadsScope threads(options_.eval_options.num_threads);
-  // Rule jobs re-install both scopes from eval_options inside their own
-  // FoEvaluator; this scope covers the sequential merge phases.
+  // Rule jobs re-install their scopes from eval_options inside their own
+  // FoEvaluator; these cover the sequential merge phases.
   IndexModeScope index_mode(options_.eval_options.use_index);
+  ShardModeScope shard_mode(options_.eval_options.use_index &&
+                            options_.eval_options.use_shards);
+  ClosureFastPathScope closure_mode(options_.eval_options.use_closure_fastpath);
+  // One closure memo spanning every round and stratum: semi-naive refirings
+  // keep re-deriving the same candidate conjunctions, so later rounds serve
+  // most canonicalizations from the memo. Installed into eval_options so
+  // each rule job's FoEvaluator shares it (the memo is thread-safe);
+  // restored on exit since the memo dies with this call.
+  ClosureCache memo;
+  ClosureCache* caller_memo = options_.eval_options.closure_cache;
+  if (options_.eval_options.use_closure_memo && caller_memo == nullptr) {
+    options_.eval_options.closure_cache = &memo;
+  }
+  struct MemoOptionRestore {
+    EvalOptions* options;
+    ClosureCache* prev;
+    ~MemoOptionRestore() { options->closure_cache = prev; }
+  } memo_restore{&options_.eval_options, caller_memo};
+  ClosureCacheScope memo_scope(options_.eval_options.use_closure_memo
+                                   ? options_.eval_options.closure_cache
+                                   : nullptr);
   CounterDeltaScope counters(&counters_);
   DODB_RETURN_IF_ERROR(program_.Validate(*edb_));
   iterations_ = 0;

@@ -19,6 +19,7 @@
 ///   spatial/      Figure-1 regions, intervals, region connectivity
 ///   io/           database catalog and text format
 
+#include "algebra/join_planner.h"
 #include "algebra/relational_ops.h"
 #include "cells/cell.h"
 #include "cells/cell_decomposition.h"
@@ -29,6 +30,7 @@
 #include "complex/cobject.h"
 #include "complex/ctype.h"
 #include "complex/range_restriction.h"
+#include "constraints/closure_cache.h"
 #include "constraints/dense_atom.h"
 #include "constraints/dense_qe.h"
 #include "constraints/eval_counters.h"
@@ -36,6 +38,7 @@
 #include "constraints/generalized_tuple.h"
 #include "constraints/order_graph.h"
 #include "constraints/relation_index.h"
+#include "constraints/relation_shards.h"
 #include "constraints/term.h"
 #include "constraints/tuple_signature.h"
 #include "core/bigint.h"

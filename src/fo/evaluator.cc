@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "algebra/join_planner.h"
 #include "algebra/relational_ops.h"
+#include "constraints/closure_cache.h"
 #include "constraints/dense_qe.h"
 #include "core/check.h"
 #include "core/str_util.h"
@@ -42,6 +44,41 @@ class CounterDeltaScope {
   EvalCounterSnapshot* out_;
 };
 
+// Installs the full set of evaluation scopes an options struct implies;
+// groups them so Evaluate and EvaluateFormula stay in sync. The local memo
+// backs use_closure_memo when the caller didn't supply a shared one.
+class EvalScopes {
+ public:
+  explicit EvalScopes(const EvalOptions& options)
+      : threads_(options.num_threads),
+        index_mode_(options.use_index),
+        shard_mode_(options.use_index && options.use_shards),
+        closure_mode_(options.use_closure_fastpath),
+        memo_scope_(!options.use_closure_memo
+                        ? nullptr
+                        : (options.closure_cache != nullptr
+                               ? options.closure_cache
+                               : &local_memo_)) {}
+
+ private:
+  ClosureCache local_memo_;
+  EvalThreadsScope threads_;
+  IndexModeScope index_mode_;
+  ShardModeScope shard_mode_;
+  ClosureFastPathScope closure_mode_;
+  ClosureCacheScope memo_scope_;
+};
+
+// Appends the leaves of a (possibly nested) conjunction, left to right.
+void FlattenAnd(const Formula& formula, std::vector<const Formula*>* out) {
+  if (formula.kind == FormulaKind::kAnd) {
+    FlattenAnd(*formula.child, out);
+    FlattenAnd(*formula.child2, out);
+    return;
+  }
+  out->push_back(&formula);
+}
+
 }  // namespace
 
 FoEvaluator::FoEvaluator(const Database* db, EvalOptions options)
@@ -62,8 +99,7 @@ Status FoEvaluator::CheckSize(const GeneralizedRelation& rel) {
 }
 
 Result<GeneralizedRelation> FoEvaluator::Evaluate(const Query& query) {
-  EvalThreadsScope threads(options_.num_threads);
-  IndexModeScope index_mode(options_.use_index);
+  EvalScopes scopes(options_);
   CounterDeltaScope counters(&stats_.counters);
   Result<QueryAnalysis> analysis = Analyze(query, db_);
   if (!analysis.ok()) return analysis.status();
@@ -80,8 +116,7 @@ Result<GeneralizedRelation> FoEvaluator::Evaluate(const Query& query) {
 
 Result<GeneralizedRelation> FoEvaluator::EvaluateFormula(
     const Formula& formula, const std::vector<std::string>& columns) {
-  EvalThreadsScope threads(options_.num_threads);
-  IndexModeScope index_mode(options_.use_index);
+  EvalScopes scopes(options_);
   CounterDeltaScope counters(&stats_.counters);
   Result<Binding> binding = Eval(formula);
   if (!binding.ok()) return binding.status();
@@ -129,6 +164,11 @@ Result<FoEvaluator::Binding> FoEvaluator::Eval(const Formula& formula) {
     }
     case FormulaKind::kAnd:
     case FormulaKind::kOr: {
+      if (formula.kind == FormulaKind::kAnd && ShardingEnabled()) {
+        std::vector<const Formula*> conjuncts;
+        FlattenAnd(formula, &conjuncts);
+        if (conjuncts.size() >= 3) return EvalAndChain(conjuncts);
+      }
       Result<Binding> left = Eval(*formula.child);
       if (!left.ok()) return left;
       Result<Binding> right = Eval(*formula.child2);
@@ -176,6 +216,52 @@ Result<FoEvaluator::Binding> FoEvaluator::Eval(const Formula& formula) {
     }
   }
   return Status::Internal("unknown formula kind");
+}
+
+Result<FoEvaluator::Binding> FoEvaluator::EvalAndChain(
+    const std::vector<const Formula*>& conjuncts) {
+  // Evaluate every conjunct left to right (error order matches the binary
+  // fold) and accumulate the joint columns in first-occurrence order — the
+  // same column list the nested binary kAnd case would end with.
+  std::vector<Binding> parts;
+  parts.reserve(conjuncts.size());
+  std::vector<std::string> joint;
+  for (const Formula* conjunct : conjuncts) {
+    Result<Binding> part = Eval(*conjunct);
+    if (!part.ok()) return part;
+    for (const std::string& var : part.value().vars) {
+      if (IndexOfVar(joint, var) < 0) joint.push_back(var);
+    }
+    parts.push_back(std::move(part).value());
+  }
+  // Widen everything to the full joint width up front, then fold Intersect
+  // in ascending-cardinality order. Intersection of canonical relations is
+  // order-independent (each output tuple is the unique canonical form of
+  // one conjunction of inputs, pruned to the maximal ones), so reordering
+  // changes wall-clock only; a deviation from the syntactic order is
+  // recorded as a planner reorder.
+  std::vector<GeneralizedRelation> aligned;
+  aligned.reserve(parts.size());
+  std::vector<size_t> sizes;
+  sizes.reserve(parts.size());
+  for (const Binding& part : parts) {
+    aligned.push_back(AlignTo(part, joint).rel);
+    sizes.push_back(aligned.back().tuple_count());
+  }
+  std::vector<size_t> order = algebra::OrderByAscendingTuples(sizes);
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (order[k] != k) {
+      EvalCounters::AddPlannerReorders(1);
+      break;
+    }
+  }
+  GeneralizedRelation combined = std::move(aligned[order[0]]);
+  for (size_t k = 1; k < order.size(); ++k) {
+    ++stats_.intersections;
+    combined = algebra::Intersect(combined, aligned[order[k]]);
+    DODB_RETURN_IF_ERROR(CheckSize(combined));
+  }
+  return Binding(std::move(joint), std::move(combined));
 }
 
 Result<FoEvaluator::Binding> FoEvaluator::EvalCompare(

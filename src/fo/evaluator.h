@@ -13,6 +13,8 @@
 
 namespace dodb {
 
+class ClosureCache;
+
 /// Evaluation limits and counters.
 struct EvalOptions {
   /// Abort with ResourceExhausted when an intermediate relation exceeds this
@@ -32,6 +34,31 @@ struct EvalOptions {
   /// the legacy all-pairs path, kept as an ablation baseline. Results are
   /// bit-identical at either setting; only wall-clock changes.
   bool use_index = true;
+  /// Partition large relations into signature-bound shards (relation_shards)
+  /// and route joins, subsumption scans and multi-way intersect folds
+  /// through shard-pair pruning and the selectivity planner
+  /// (algebra/join_planner). Only active when use_index is also set; false =
+  /// the flat indexed path of the previous milestone, kept as an ablation
+  /// baseline. Results are bit-identical at either setting and at any
+  /// thread count; only wall-clock changes.
+  bool use_shards = true;
+  /// Memoize closure canonicalizations by raw atom list for the duration of
+  /// an evaluation — and, under the Datalog evaluator, across every
+  /// fixpoint round and stratum (closure_cache.h). Bit-identical either
+  /// way; only wall-clock changes.
+  bool use_closure_memo = true;
+  /// The memo to install (owned by the caller; the Datalog evaluator shares
+  /// one across all rule jobs). nullptr = each evaluation creates its own
+  /// when use_closure_memo is set.
+  ClosureCache* closure_cache = nullptr;
+  /// Run OrderGraph closures with the restricted path-consistency sweep
+  /// (skip no-op compositions through unconstrained edges and refinement of
+  /// exactly-seeded constant-constant pairs). false = the previous
+  /// milestone's full PC-1 sweep, kept selectable as an ablation baseline.
+  /// The restricted sweep reaches the same unique path-consistent fixpoint
+  /// (proof sketch in order_graph.cc), so results are bit-identical at
+  /// either setting; only wall-clock changes.
+  bool use_closure_fastpath = true;
 };
 
 struct EvalStats {
@@ -77,6 +104,12 @@ class FoEvaluator {
   };
 
   Result<Binding> Eval(const Formula& formula);
+  /// Flattened conjunction chain: evaluates every conjunct, aligns all of
+  /// them to the joint column list, and folds Intersect in the planner's
+  /// ascending-cardinality order (smallest inputs first). Canonical-set
+  /// intersection is order-independent, so the result is bit-identical to
+  /// the left-to-right binary fold.
+  Result<Binding> EvalAndChain(const std::vector<const Formula*>& conjuncts);
   Result<Binding> EvalCompare(const Formula& formula);
   Result<Binding> EvalRelation(const Formula& formula);
   Result<Binding> EliminateVars(Binding binding,

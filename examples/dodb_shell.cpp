@@ -12,6 +12,7 @@
 //   \datalog <file>           run a Datalog(not) program, merge its IDB
 //   \ccalc <query>            evaluate a C-CALC query (set quantifiers)
 //   \encode                   replace the database by its standard encoding
+//   \limit time|tuples|mem <n>   per-query resource budgets
 //   \stats                    cumulative evaluation statistics
 //   \help, \quit
 //
@@ -40,7 +41,8 @@ void PrintRelation(const std::string& name,
             << "\n";
 }
 
-void RunFoQuery(Database* db, const std::string& text) {
+void RunFoQuery(Database* db, const std::string& text,
+                const dodb::EvalOptions& eval_options) {
   dodb::Result<dodb::Query> query = dodb::FoParser::ParseQuery(text);
   if (!query.ok()) {
     std::cout << "error: " << query.status().ToString() << "\n";
@@ -53,7 +55,7 @@ void RunFoQuery(Database* db, const std::string& text) {
     return;
   }
   if (analysis.value().is_dense_fragment) {
-    dodb::FoEvaluator evaluator(db);
+    dodb::FoEvaluator evaluator(db, eval_options);
     dodb::Result<dodb::GeneralizedRelation> out =
         evaluator.Evaluate(query.value());
     if (!out.ok()) {
@@ -72,7 +74,7 @@ void RunFoQuery(Database* db, const std::string& text) {
     return;
   }
   // FO+ (linear terms).
-  dodb::LinearFoEvaluator evaluator(db);
+  dodb::LinearFoEvaluator evaluator(db, eval_options);
   dodb::Result<dodb::LinearRelation> out = evaluator.Evaluate(query.value());
   if (!out.ok()) {
     std::cout << "error: " << out.status().ToString() << "\n";
@@ -85,7 +87,8 @@ void RunFoQuery(Database* db, const std::string& text) {
   std::cout << out.value().ToString(&query.value().head) << "\n";
 }
 
-void RunLet(Database* db, const std::string& line) {
+void RunLet(Database* db, const std::string& line,
+            const dodb::EvalOptions& eval_options) {
   // let name = { ... }
   size_t eq = line.find('=');
   if (eq == std::string::npos) {
@@ -99,7 +102,7 @@ void RunLet(Database* db, const std::string& line) {
     std::cout << "error: " << query.status().ToString() << "\n";
     return;
   }
-  dodb::FoEvaluator evaluator(db);
+  dodb::FoEvaluator evaluator(db, eval_options);
   dodb::Result<dodb::GeneralizedRelation> out =
       evaluator.Evaluate(query.value());
   if (!out.ok()) {
@@ -111,7 +114,8 @@ void RunLet(Database* db, const std::string& line) {
             << out.value().tuple_count() << " tuples)\n";
 }
 
-void RunDatalogFile(Database* db, const std::string& path) {
+void RunDatalogFile(Database* db, const std::string& path,
+                    const dodb::EvalOptions& eval_options) {
   std::ifstream in(path);
   if (!in) {
     std::cout << "error: cannot open '" << path << "'\n";
@@ -125,7 +129,9 @@ void RunDatalogFile(Database* db, const std::string& path) {
     std::cout << "error: " << program.status().ToString() << "\n";
     return;
   }
-  dodb::DatalogEvaluator evaluator(program.value(), db);
+  dodb::DatalogOptions datalog_options;
+  datalog_options.eval_options = eval_options;
+  dodb::DatalogEvaluator evaluator(program.value(), db, datalog_options);
   dodb::Result<Database> idb = evaluator.Evaluate();
   if (!idb.ok()) {
     std::cout << "error: " << idb.status().ToString() << "\n";
@@ -153,13 +159,16 @@ void RunDatalogFile(Database* db, const std::string& path) {
   }
 }
 
-void RunCCalc(Database* db, const std::string& text) {
+void RunCCalc(Database* db, const std::string& text,
+              const dodb::EvalOptions& eval_options) {
   dodb::Result<dodb::CCalcQuery> query = dodb::CCalcParser::ParseQuery(text);
   if (!query.ok()) {
     std::cout << "error: " << query.status().ToString() << "\n";
     return;
   }
-  dodb::CCalcEvaluator evaluator(db);
+  dodb::CCalcOptions ccalc_options;
+  ccalc_options.eval_options = eval_options;
+  dodb::CCalcEvaluator evaluator(db, ccalc_options);
   dodb::Result<dodb::GeneralizedRelation> out =
       evaluator.Evaluate(query.value());
   if (!out.ok()) {
@@ -173,6 +182,60 @@ void RunCCalc(Database* db, const std::string& text) {
   }
   std::cout << "   (" << evaluator.stats().set_assignments
             << " set assignments)\n";
+}
+
+void ShowLimits(const dodb::GuardLimits& limits) {
+  if (!limits.any()) {
+    std::cout << "no limits set\n";
+    return;
+  }
+  if (limits.deadline_ms != 0) {
+    std::cout << "  time    " << limits.deadline_ms << " ms\n";
+  }
+  if (limits.max_work_tuples != 0) {
+    std::cout << "  tuples  " << limits.max_work_tuples << "\n";
+  }
+  if (limits.max_memory_bytes != 0) {
+    std::cout << "  mem     " << limits.max_memory_bytes << " bytes\n";
+  }
+}
+
+// \limit                      show current limits
+// \limit clear                remove all limits
+// \limit time <ms>            wall-clock deadline per query
+// \limit tuples <n>           candidate-tuple work budget per query
+// \limit mem <bytes>          approximate memory budget per query
+void RunLimitCommand(const std::string& args, dodb::GuardLimits* limits) {
+  std::string trimmed(dodb::StripWhitespace(args));
+  if (trimmed.empty()) {
+    ShowLimits(*limits);
+    return;
+  }
+  if (trimmed == "clear") {
+    *limits = dodb::GuardLimits{};
+    std::cout << "limits cleared\n";
+    return;
+  }
+  std::istringstream in(trimmed);
+  std::string kind;
+  uint64_t value = 0;
+  if (!(in >> kind >> value) || value == 0) {
+    std::cout << "usage: \\limit [clear | time <ms> | tuples <n> | "
+                 "mem <bytes>]\n";
+    return;
+  }
+  if (kind == "time") {
+    limits->deadline_ms = value;
+  } else if (kind == "tuples") {
+    limits->max_work_tuples = value;
+  } else if (kind == "mem") {
+    limits->max_memory_bytes = value;
+  } else {
+    std::cout << "unknown limit '" << kind
+              << "'; expected time, tuples or mem\n";
+    return;
+  }
+  ShowLimits(*limits);
 }
 
 void PrintHelp() {
@@ -190,8 +253,13 @@ void PrintHelp() {
       "  \\datalog <f>          run a Datalog(not) program file\n"
       "  \\ccalc <query>        C-CALC query with set quantifiers\n"
       "  \\encode               switch to the standard encoding\n"
+      "  \\limit time <ms> | tuples <n> | mem <bytes>\n"
+      "                        per-query resource budgets (\\limit shows,\n"
+      "                        \\limit clear removes); a tripped budget\n"
+      "                        aborts the query with a clean error\n"
       "  \\stats                cumulative evaluation statistics (pruned\n"
-      "                        pairs, subsumption checks, index time)\n"
+      "                        pairs, subsumption checks, index time,\n"
+      "                        guard checkpoints / trips)\n"
       "  \\quit\n";
 }
 
@@ -211,6 +279,10 @@ int main(int argc, char** argv) {
   }
   std::cout << "dodb shell — dense-order constraint databases. \\help for "
                "commands.\n";
+
+  // Session-wide evaluation options; \limit edits the guard budgets that
+  // every evaluator in this shell observes.
+  dodb::EvalOptions session_options;
 
   std::string line;
   while (true) {
@@ -250,10 +322,14 @@ int main(int argc, char** argv) {
       dodb::Status status = dodb::SaveDatabaseFile(db, path);
       std::cout << (status.ok() ? "saved" : status.ToString()) << "\n";
     } else if (trimmed.rfind("\\datalog ", 0) == 0) {
-      RunDatalogFile(&db, std::string(
-                              dodb::StripWhitespace(trimmed.substr(9))));
+      RunDatalogFile(&db,
+                     std::string(dodb::StripWhitespace(trimmed.substr(9))),
+                     session_options);
     } else if (trimmed.rfind("\\ccalc ", 0) == 0) {
-      RunCCalc(&db, trimmed.substr(7));
+      RunCCalc(&db, trimmed.substr(7), session_options);
+    } else if (trimmed == "\\limit" || trimmed.rfind("\\limit ", 0) == 0) {
+      RunLimitCommand(trimmed.size() > 6 ? trimmed.substr(7) : "",
+                      &session_options.limits);
     } else if (trimmed == "\\stats") {
       std::cout << "evaluation statistics (cumulative for this session):\n"
                 << dodb::EvalCounters::Snapshot().ToString();
@@ -262,7 +338,7 @@ int main(int argc, char** argv) {
       std::cout << "database replaced by its standard encoding ("
                 << db.AllConstants().size() << " integer constants)\n";
     } else if (trimmed.rfind("let ", 0) == 0) {
-      RunLet(&db, trimmed);
+      RunLet(&db, trimmed, session_options);
     } else if (trimmed.rfind("create ", 0) == 0 ||
                trimmed.rfind("drop ", 0) == 0 ||
                trimmed.rfind("insert ", 0) == 0 ||
@@ -275,7 +351,7 @@ int main(int argc, char** argv) {
     } else if (trimmed[0] == '\\') {
       std::cout << "unknown command; \\help lists commands\n";
     } else {
-      RunFoQuery(&db, trimmed);
+      RunFoQuery(&db, trimmed, session_options);
     }
   }
   return 0;

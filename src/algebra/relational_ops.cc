@@ -12,6 +12,7 @@
 #include "constraints/relation_index.h"
 #include "constraints/relation_shards.h"
 #include "core/check.h"
+#include "core/query_guard.h"
 #include "core/thread_pool.h"
 
 namespace dodb {
@@ -134,8 +135,17 @@ void ShardedJoinInto(
   // workers don't inherit the thread-local scopes.
   ClosureCache* memo = CurrentClosureCache();
   const bool closure_fast = ClosureFastPathEnabled();
+  QueryGuard* guard = CurrentQueryGuard();
   auto eval_pair = [&](size_t k) -> std::vector<KeyedCandidate> {
     ClosureFastPathScope sweep(closure_fast);
+    // Workers don't inherit the guard thread-local either; re-install it so
+    // closure sweeps and the memo observe it, and bail before enumerating
+    // when a sibling job already tripped.
+    QueryGuardScope guard_scope(guard);
+    if (guard != nullptr && !guard->Checkpoint(GuardSite::kShardJoin)) {
+      return {};
+    }
+    GuardTicker ticker(guard, GuardSite::kShardJoin);
     const ShardPair& pair = live[k];
     const std::vector<size_t>& members_a = sha.Members(pair.sa);
     const std::vector<size_t>& members_b = shb.Members(pair.sb);
@@ -155,6 +165,7 @@ void ShardedJoinInto(
       const ColumnIntervalIndex* intervals =
           ib.ShardIntervalIndex(pair.sb, probe_right);
       for (size_t i : members_a) {
+        if (!ticker.Tick()) return {};
         window.clear();
         intervals->AppendCandidates(ia.signature(i).columns[probe_left],
                                     &window);
@@ -167,6 +178,7 @@ void ShardedJoinInto(
       const ColumnIntervalIndex* intervals =
           ia.ShardIntervalIndex(pair.sa, probe_left);
       for (size_t j : members_b) {
+        if (!ticker.Tick()) return {};
         window.clear();
         intervals->AppendCandidates(ib.signature(j).columns[probe_right],
                                     &window);
@@ -178,7 +190,14 @@ void ShardedJoinInto(
     }
     std::vector<KeyedCandidate> result;
     result.reserve(pairs.size());
+    // Stride 64 here, not 1024: each iteration runs a full closure, so a
+    // finer stride still costs well under the canonicalization and keeps
+    // the deadline reaction inside one operator's millisecond budget. An
+    // aborted job returns an empty chunk — a tripped run never surfaces
+    // the merged relation, only the guard's Status.
+    GuardTicker canon_ticker(guard, GuardSite::kShardJoin, 64);
     for (const auto& [i, j] : pairs) {
+      if (!canon_ticker.Tick()) return {};
       GeneralizedTuple candidate = make(i, j);
       std::optional<GeneralizedTuple> canonical =
           memo != nullptr ? memo->CanonicalIfSatisfiable(std::move(candidate))
@@ -216,10 +235,24 @@ void ShardedJoinInto(
             [](const KeyedCandidate& x, const KeyedCandidate& y) {
               return x.key < y.key;
             });
+  uint64_t inserted = 0;
   for (KeyedCandidate& candidate : merged) {
-    if (candidate.canonical.has_value()) {
+    if (!candidate.canonical.has_value()) continue;
+    if (guard != nullptr) {
+      if ((inserted++ & 63) == 63 &&
+          !guard->Checkpoint(GuardSite::kShardJoin)) {
+        return;
+      }
+      uint64_t bytes = candidate.canonical->ApproxBytes();
       out->AddCanonicalTuple(std::move(*candidate.canonical));
+      if (!guard->AccountBytes(GuardSite::kShardJoin, bytes) ||
+          !guard->CheckRelationSize(GuardSite::kShardJoin,
+                                    out->tuple_count())) {
+        return;
+      }
+      continue;
     }
+    out->AddCanonicalTuple(std::move(*candidate.canonical));
   }
 }
 
@@ -231,7 +264,9 @@ GeneralizedRelation Union(const GeneralizedRelation& a,
   GeneralizedRelation out = a;
   // Stored tuples are already canonical (relation invariant), so they merge
   // directly — re-running the closure on them would be a no-op.
+  GuardTicker ticker(CurrentQueryGuard(), GuardSite::kAlgebraMaterialize, 64);
   for (const GeneralizedTuple& addition : b.tuples()) {
+    if (!ticker.Tick()) break;
     out.AddCanonicalTuple(addition);
   }
   return out;
@@ -278,7 +313,9 @@ GeneralizedRelation Intersect(const GeneralizedRelation& a,
   auto probe_start = std::chrono::steady_clock::now();
   std::vector<std::pair<size_t, size_t>> pairs;
   std::vector<size_t> window;
+  GuardTicker ticker(CurrentQueryGuard(), GuardSite::kAlgebraMaterialize);
   for (size_t i = 0; i < ta.size(); ++i) {
+    if (!ticker.Tick()) break;
     const TupleSignature& sa = ta[i].CachedSignature();
     window.clear();
     intervals->AppendCandidates(sa.columns[probe_column], &window);
@@ -321,7 +358,12 @@ GeneralizedRelation ComplementViaDnf(const GeneralizedRelation& rel) {
   // of the negated atoms of a *minimized* Ti. The accumulator is kept as a
   // pruned DNF throughout.
   GeneralizedRelation acc = GeneralizedRelation::True(rel.arity());
+  GuardTicker ticker(CurrentQueryGuard(), GuardSite::kAlgebraMaterialize, 4);
   for (const GeneralizedTuple& tuple : rel.tuples()) {
+    // Each accumulator step multiplies the partials, so a complement blowup
+    // grows between ticks; tick every few input tuples (the inner products
+    // are themselves strided through AddTuplesParallel).
+    if (!ticker.Tick()) break;
     GeneralizedTuple minimized = tuple.Minimized();
     if (minimized.is_true()) return GeneralizedRelation(rel.arity());
     GeneralizedRelation next(rel.arity());
@@ -389,7 +431,9 @@ GeneralizedRelation Difference(const GeneralizedRelation& a,
     uint64_t checks = 0;
     auto probe_start = std::chrono::steady_clock::now();
     std::vector<size_t> window;
+    GuardTicker ticker(CurrentQueryGuard(), GuardSite::kAlgebraMaterialize);
     for (const GeneralizedTuple& tuple : a.tuples()) {
+      if (!ticker.Tick()) break;
       window.clear();
       index.AppendOverlapCandidates(tuple.CachedSignature(), &window);
       bool contained = false;
@@ -496,7 +540,9 @@ GeneralizedRelation EquiJoin(
   auto probe_start = std::chrono::steady_clock::now();
   std::vector<std::pair<size_t, size_t>> pairs;
   std::vector<size_t> window;
+  GuardTicker ticker(CurrentQueryGuard(), GuardSite::kAlgebraMaterialize);
   for (size_t i = 0; i < ta.size(); ++i) {
+    if (!ticker.Tick()) break;
     const TupleSignature& sa = ta[i].CachedSignature();
     window.clear();
     intervals->AppendCandidates(sa.columns[probe_left], &window);
@@ -553,7 +599,10 @@ GeneralizedRelation Rename(const GeneralizedRelation& rel,
     seen[target] = 1;
   }
   if (injective) {
+    GuardTicker ticker(CurrentQueryGuard(), GuardSite::kAlgebraMaterialize,
+                       64);
     for (const GeneralizedTuple& tuple : tuples) {
+      if (!ticker.Tick()) break;
       out.AddCanonicalTuple(tuple.ReindexedCanonical(mapping, new_arity));
     }
     return out;

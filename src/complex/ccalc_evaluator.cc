@@ -7,6 +7,8 @@
 #include "algebra/relational_ops.h"
 #include "constraints/dense_qe.h"
 #include "core/check.h"
+#include "core/fault_injection.h"
+#include "core/query_guard.h"
 #include "core/str_util.h"
 
 namespace dodb {
@@ -70,6 +72,13 @@ Result<GeneralizedRelation> CCalcEvaluator::Evaluate(
   if (query.body == nullptr) {
     return Status::InvalidArgument("query has no body");
   }
+  // One guard for the whole evaluation, hyper-exponential candidate
+  // enumeration included; the algebra operators called throughout observe
+  // it through the thread-local scope.
+  ResolvedGuard guard(options_.eval_options.guard, options_.eval_options.limits,
+                      options_.eval_options.fault_spec);
+  QueryGuardScope guard_scope(guard.get());
+  DODB_RETURN_IF_ERROR(guard.status());
   // Re-type "X in F" member atoms into set membership.
   CCalcFormulaPtr body = query.body->Clone();
   std::set<std::string> scope;
@@ -101,7 +110,13 @@ Result<GeneralizedRelation> CCalcEvaluator::Evaluate(
 
   Result<Binding> binding = Eval(*body, {});
   if (!binding.ok()) return binding.status();
-  return AlignTo(binding.value(), query.head).rel;
+  GeneralizedRelation out = AlignTo(binding.value(), query.head).rel;
+  // Trips inside algebra operators are absorbed (truncated relations);
+  // surface them here so no partial answer escapes a tripped guard.
+  if (guard.get() != nullptr && guard.get()->tripped()) {
+    return guard.get()->status();
+  }
+  return out;
 }
 
 CCalcEvaluator::Binding CCalcEvaluator::AlignTo(
@@ -261,6 +276,13 @@ Result<CCalcEvaluator::Binding> CCalcEvaluator::EvalFixpoint(
   GeneralizedRelation current(arity);
   Status failure = Status::Ok();
   for (uint64_t round = 0;; ++round) {
+    // One guard checkpoint per inflationary round, mirroring the Datalog
+    // evaluator's datalog-round site.
+    if (QueryGuard* guard = CurrentQueryGuard();
+        guard != nullptr && !guard->Checkpoint(GuardSite::kCCalcFixpoint)) {
+      failure = guard->status();
+      break;
+    }
     if (options_.max_fix_iterations != 0 &&
         round >= options_.max_fix_iterations) {
       failure = Status::ResourceExhausted(
@@ -294,6 +316,10 @@ Result<CCalcEvaluator::Binding> CCalcEvaluator::EvalSetQuantifier(
   Result<const std::vector<Cell>*> cells = CellsForArity(formula.set_arity);
   if (!cells.ok()) return cells.status();
   size_t n = cells.value()->size();
+  // Candidate loops below re-check the guard between bodies: a trip that an
+  // algebra operator absorbed mid-body must stop the enumeration instead of
+  // grinding through the remaining (possibly hyper-exponential) candidates.
+  QueryGuard* guard = CurrentQueryGuard();
 
   // Level-1 candidate space: all unions of cells.
   if (formula.set_height == 1) {
@@ -316,6 +342,7 @@ Result<CCalcEvaluator::Binding> CCalcEvaluator::EvalSetQuantifier(
       ++stats_.set_assignments;
       Result<Binding> body = Eval(*formula.child, extended);
       if (!body.ok()) return body;
+      if (guard != nullptr && guard->tripped()) return guard->status();
       if (first) {
         acc = std::move(body).value();
         first = false;
@@ -363,6 +390,7 @@ Result<CCalcEvaluator::Binding> CCalcEvaluator::EvalSetQuantifier(
     ++stats_.set_assignments;
     Result<Binding> body = Eval(*formula.child, extended);
     if (!body.ok()) return body;
+    if (guard != nullptr && guard->tripped()) return guard->status();
     if (first) {
       acc = std::move(body).value();
       first = false;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "constraints/eval_counters.h"
+#include "core/query_guard.h"
 
 namespace dodb {
 
@@ -66,6 +67,13 @@ std::optional<GeneralizedTuple> ClosureCache::CanonicalIfSatisfiable(
   entry.hi = fp.hi;
   entry.canonical = tuple.CanonicalIfSatisfiable();
   std::optional<GeneralizedTuple> result = entry.canonical;
+  // A query-guard trip aborts the closure sweep mid-propagation, making
+  // CanonicalIfSatisfiable report nullopt for a tuple that may well be
+  // satisfiable. Publishing that would poison the memo — under the Datalog
+  // evaluator it outlives the failed query — so a tripped run computes
+  // without writing back.
+  QueryGuard* guard = CurrentQueryGuard();
+  if (guard != nullptr && guard->tripped()) return result;
   {
     std::lock_guard<std::mutex> lock(stripe.mu);
     std::vector<Entry>& bucket = stripe.entries[fp.lo];

@@ -5,6 +5,7 @@
 
 #include "constraints/eval_counters.h"
 #include "core/check.h"
+#include "core/query_guard.h"
 #include "core/thread_pool.h"
 
 namespace dodb {
@@ -126,7 +127,12 @@ GeneralizedRelation EliminateVariable(const GeneralizedTuple& tuple, int var) {
 
   // Inequation splits: the feasible interval for x can only degenerate to a
   // single point when some nonstrict lower bound meets some nonstrict upper
-  // bound; that point must avoid every forbidden term.
+  // bound; that point must avoid every forbidden term. The work list can
+  // double per (forbidden, lower, upper) triple — the one exponential loop
+  // in QE — so the guard ticks per split candidate; a trip abandons the
+  // remaining splits (the evaluator surfaces the guard's Status, never this
+  // partial relation).
+  GuardTicker ticker(CurrentQueryGuard(), GuardSite::kQuantifierElim, 256);
   std::vector<GeneralizedTuple> work = {base};
   for (const Term& f : bounds.forbidden) {
     for (const Term& l : bounds.lower_nonstrict) {
@@ -134,6 +140,7 @@ GeneralizedRelation EliminateVariable(const GeneralizedTuple& tuple, int var) {
         std::vector<GeneralizedTuple> next;
         next.reserve(work.size() * 2);
         for (const GeneralizedTuple& t : work) {
+          if (!ticker.Tick()) return result;
           GeneralizedTuple strict = t;
           strict.AddAtom(DenseAtom(l, RelOp::kLt, u));
           if (strict.IsSatisfiable()) next.push_back(std::move(strict));
@@ -153,8 +160,15 @@ GeneralizedRelation EliminateVariable(const GeneralizedRelation& relation,
                                       int var) {
   GeneralizedRelation result(relation.arity());
   const std::vector<GeneralizedTuple>& tuples = relation.tuples();
+  QueryGuard* guard = CurrentQueryGuard();
+  if (guard != nullptr &&
+      !guard->Checkpoint(GuardSite::kQuantifierElim, tuples.size())) {
+    return result;
+  }
   if (!ShouldParallelize(tuples.size())) {
+    GuardTicker ticker(guard, GuardSite::kQuantifierElim, 64);
     for (const GeneralizedTuple& tuple : tuples) {
+      if (!ticker.Tick()) return result;
       GeneralizedRelation part = EliminateVariable(tuple, var);
       for (const GeneralizedTuple& t : part.tuples()) result.AddTuple(t);
     }
@@ -163,17 +177,32 @@ GeneralizedRelation EliminateVariable(const GeneralizedRelation& relation,
   // Per-tuple elimination is a pure function of the tuple (it builds fresh
   // constraint networks throughout); the subsumption-sensitive merge runs
   // sequentially in input order, so the output is bit-identical to the
-  // inline loop above at any thread count. The closure-sweep mode is read
-  // here and re-installed per job — workers don't inherit the thread-local
-  // scope.
+  // inline loop above at any thread count. The closure-sweep mode and the
+  // guard are read here and re-installed per job — workers don't inherit
+  // the thread-local scopes.
   const bool closure_fast = ClosureFastPathEnabled();
   std::vector<GeneralizedRelation> parts =
-      ParallelMap<GeneralizedRelation>(tuples.size(), [&, closure_fast](size_t i) {
-        ClosureFastPathScope sweep(closure_fast);
-        return EliminateVariable(tuples[i], var);
-      });
+      ParallelMap<GeneralizedRelation>(
+          tuples.size(), [&, closure_fast, guard](size_t i) {
+            ClosureFastPathScope sweep(closure_fast);
+            QueryGuardScope guard_scope(guard);
+            if (guard != nullptr) {
+              if ((i & 63) == 63 &&
+                  !guard->Checkpoint(GuardSite::kQuantifierElim)) {
+                return GeneralizedRelation(relation.arity());
+              }
+              if (guard->tripped()) {
+                return GeneralizedRelation(relation.arity());
+              }
+            }
+            return EliminateVariable(tuples[i], var);
+          });
+  GuardTicker merge_ticker(guard, GuardSite::kQuantifierElim, 64);
   for (const GeneralizedRelation& part : parts) {
-    for (const GeneralizedTuple& t : part.tuples()) result.AddTuple(t);
+    for (const GeneralizedTuple& t : part.tuples()) {
+      if (!merge_ticker.Tick()) return result;
+      result.AddTuple(t);
+    }
   }
   return result;
 }

@@ -23,6 +23,8 @@ struct Counters {
   std::atomic<uint64_t> shard_index_builds{0};
   std::atomic<uint64_t> planner_reorders{0};
   std::atomic<uint64_t> closure_memo_hits{0};
+  std::atomic<uint64_t> guard_checkpoints{0};
+  std::atomic<uint64_t> guard_trips{0};
 };
 
 Counters& Global() {
@@ -78,6 +80,12 @@ void EvalCounters::AddPlannerReorders(uint64_t n) {
 void EvalCounters::AddClosureMemoHits(uint64_t n) {
   Global().closure_memo_hits.fetch_add(n, kRelaxed);
 }
+void EvalCounters::AddGuardCheckpoints(uint64_t n) {
+  Global().guard_checkpoints.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddGuardTrips(uint64_t n) {
+  Global().guard_trips.fetch_add(n, kRelaxed);
+}
 
 EvalCounterSnapshot EvalCounters::Snapshot() {
   const Counters& c = Global();
@@ -96,6 +104,8 @@ EvalCounterSnapshot EvalCounters::Snapshot() {
   snap.shard_index_builds = c.shard_index_builds.load(kRelaxed);
   snap.planner_reorders = c.planner_reorders.load(kRelaxed);
   snap.closure_memo_hits = c.closure_memo_hits.load(kRelaxed);
+  snap.guard_checkpoints = c.guard_checkpoints.load(kRelaxed);
+  snap.guard_trips = c.guard_trips.load(kRelaxed);
   return snap;
 }
 
@@ -117,6 +127,8 @@ EvalCounterSnapshot EvalCounterSnapshot::operator-(
   delta.shard_index_builds = shard_index_builds - since.shard_index_builds;
   delta.planner_reorders = planner_reorders - since.planner_reorders;
   delta.closure_memo_hits = closure_memo_hits - since.closure_memo_hits;
+  delta.guard_checkpoints = guard_checkpoints - since.guard_checkpoints;
+  delta.guard_trips = guard_trips - since.guard_trips;
   return delta;
 }
 
@@ -141,7 +153,9 @@ std::string EvalCounterSnapshot::ToString() const {
       "%)\n",
       "  per-shard index builds       ", shard_index_builds, "\n",
       "  planner reorders             ", planner_reorders, "\n",
-      "  closure memo hits            ", closure_memo_hits, "\n");
+      "  closure memo hits            ", closure_memo_hits, "\n",
+      "  guard checkpoints / trips    ", guard_checkpoints, " / ", guard_trips,
+      "\n");
 }
 
 bool IndexingEnabled() { return tls_indexing_enabled; }

@@ -24,6 +24,8 @@ struct EvalCounterSnapshot {
   uint64_t shard_index_builds = 0;      // shard structure + per-shard indexes
   uint64_t planner_reorders = 0;        // join-order / side-pick deviations
   uint64_t closure_memo_hits = 0;       // canonicalizations served from memo
+  uint64_t guard_checkpoints = 0;       // query-guard checkpoints recorded
+  uint64_t guard_trips = 0;             // queries aborted by the guard
 
   EvalCounterSnapshot operator-(const EvalCounterSnapshot& since) const;
   /// Multi-line human-readable rendering (shell \stats).
@@ -48,6 +50,8 @@ class EvalCounters {
   static void AddShardIndexBuilds(uint64_t n);
   static void AddPlannerReorders(uint64_t n);
   static void AddClosureMemoHits(uint64_t n);
+  static void AddGuardCheckpoints(uint64_t n);
+  static void AddGuardTrips(uint64_t n);
 
   static EvalCounterSnapshot Snapshot();
 };

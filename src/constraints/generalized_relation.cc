@@ -7,6 +7,7 @@
 #include "constraints/closure_cache.h"
 #include "constraints/eval_counters.h"
 #include "core/check.h"
+#include "core/query_guard.h"
 #include "core/str_util.h"
 #include "core/thread_pool.h"
 
@@ -211,31 +212,87 @@ void GeneralizedRelation::AddCanonicalTupleLegacy(GeneralizedTuple canonical) {
 
 void GeneralizedRelation::AddTuplesParallel(
     size_t n, const std::function<GeneralizedTuple(size_t)>& make) {
+  // Every operator that materializes candidates funnels through here, so
+  // this is the guard's main in-operator coverage: the upfront checkpoint
+  // accounts the whole candidate count against the work budget before any
+  // canonicalization starts (a pathological cross product trips instantly),
+  // the strided per-candidate checkpoints catch deadline blowups mid-phase,
+  // and the merge loop enforces the byte and relation-size budgets as
+  // tuples land. With no guard installed every added branch is one null
+  // test; an untripped guard changes no outputs.
+  QueryGuard* guard = CurrentQueryGuard();
+  constexpr GuardSite kSite = GuardSite::kAlgebraMaterialize;
+  if (guard != nullptr && !guard->Checkpoint(kSite, n)) return;
   if (!ShouldParallelize(n)) {
-    for (size_t i = 0; i < n; ++i) AddTuple(make(i));
+    // Bytes batch at the checkpoint stride: per-tuple accounting would put
+    // an atomic (and formerly a clock read) on every insertion for a
+    // budget that is approximate anyway.
+    uint64_t pending_bytes = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (guard == nullptr) {
+        AddTuple(make(i));
+        continue;
+      }
+      if ((i & 63) == 63) {
+        guard->AccountBytes(kSite, pending_bytes);
+        pending_bytes = 0;
+        if (!guard->Checkpoint(kSite)) return;
+      }
+      GeneralizedTuple candidate = make(i);
+      pending_bytes += candidate.ApproxBytes();
+      AddTuple(std::move(candidate));
+      if (!guard->CheckRelationSize(kSite, tuple_count())) return;
+    }
+    if (guard != nullptr) guard->AccountBytes(kSite, pending_bytes);
     return;
   }
   // Parallel phase: satisfiability + canonicalization per candidate, each a
   // pure function of its index. Sequential phase: the same insertions, in
-  // the same order, as the inline loop above. The memo pointer and the
-  // closure-sweep mode are read on the calling thread and captured by value
-  // — worker threads don't inherit the thread-local scopes.
+  // the same order, as the inline loop above. The memo pointer, the
+  // closure-sweep mode and the guard are read on the calling thread and
+  // captured by value — worker threads don't inherit the thread-local
+  // scopes. The first worker to trip flips the shared flag; siblings see it
+  // at their next strided checkpoint and bail without doing more closure
+  // work (their slots stay empty, which is fine: a tripped run never
+  // surfaces the merged relation, only the guard's Status).
   EvalCounters::AddCanonicalized(n);
   ClosureCache* memo = CurrentClosureCache();
   const bool closure_fast = ClosureFastPathEnabled();
   std::vector<std::optional<GeneralizedTuple>> prepared =
       ParallelMap<std::optional<GeneralizedTuple>>(
-          n, [&make, memo, closure_fast](size_t i) {
+          n, [&make, memo, closure_fast, guard](size_t i) {
             ClosureFastPathScope sweep(closure_fast);
+            QueryGuardScope guard_scope(guard);
+            if (guard != nullptr) {
+              if ((i & 63) == 63 && !guard->Checkpoint(kSite)) {
+                return std::optional<GeneralizedTuple>();
+              }
+              if (guard->tripped()) return std::optional<GeneralizedTuple>();
+            }
             GeneralizedTuple candidate = make(i);
             if (memo != nullptr) {
               return memo->CanonicalIfSatisfiable(std::move(candidate));
             }
             return candidate.CanonicalIfSatisfiable();
           });
+  uint64_t merged = 0;
+  uint64_t pending_bytes = 0;  // batched like the inline loop above
   for (std::optional<GeneralizedTuple>& candidate : prepared) {
-    if (candidate.has_value()) AddCanonicalTuple(std::move(*candidate));
+    if (!candidate.has_value()) continue;
+    if (guard == nullptr) {
+      AddCanonicalTuple(std::move(*candidate));
+      continue;
+    }
+    if ((merged++ & 63) == 63) {
+      guard->AccountBytes(kSite, pending_bytes);
+      pending_bytes = 0;
+      if (!guard->Checkpoint(kSite)) return;
+    }
+    pending_bytes += candidate->ApproxBytes();
+    AddCanonicalTuple(std::move(*candidate));
+    if (!guard->CheckRelationSize(kSite, tuple_count())) return;
   }
+  if (guard != nullptr) guard->AccountBytes(kSite, pending_bytes);
 }
 
 bool GeneralizedRelation::Contains(const std::vector<Rational>& point) const {

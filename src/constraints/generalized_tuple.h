@@ -120,6 +120,14 @@ class GeneralizedTuple {
 
   size_t Hash() const;
 
+  /// Approximate heap footprint for guard memory accounting: the tuple
+  /// object plus its atom array. Cached graphs/signatures are excluded —
+  /// the budget bounds materialized constraint data, not caches.
+  uint64_t ApproxBytes() const {
+    return static_cast<uint64_t>(sizeof(GeneralizedTuple)) +
+           static_cast<uint64_t>(atoms_.size()) * sizeof(DenseAtom);
+  }
+
  private:
   int arity_;
   std::vector<DenseAtom> atoms_;

@@ -5,6 +5,7 @@
 
 #include "constraints/eval_counters.h"
 #include "core/check.h"
+#include "core/query_guard.h"
 
 namespace dodb {
 
@@ -192,6 +193,11 @@ bool OrderGraph::Close() {
   //     satisfiability verdict are bit-identical to the full sweep's.
   // The full sweep is kept selectable as the previous milestone's
   // behaviour, so perf benchmarks can ablate the restriction.
+  // A guard trip abandons the sweep with closed_ reset, so no cached
+  // verdict survives from a partially propagated matrix; the caller's
+  // current computation is discarded (the evaluator returns the trip
+  // Status) and a later re-Close restarts from the pending edges.
+  GuardTicker ticker(CurrentQueryGuard(), GuardSite::kClosureSweep);
   const int nv = fast ? num_vars_ : n;
   bool changed = true;
   while (changed) {
@@ -199,6 +205,10 @@ bool OrderGraph::Close() {
     for (int k = 0; k < n; ++k) {
       for (int i = 0; i < n; ++i) {
         if (i == k) continue;
+        if (!ticker.Tick()) {
+          closed_ = false;
+          return false;
+        }
         PaRel rik = RelAt(i, k);
         if (fast && rik == kPaAll) continue;
         const int j_limit = (i < nv) ? n : nv;

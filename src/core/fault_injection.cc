@@ -1,0 +1,70 @@
+#include "core/fault_injection.h"
+
+#include <cstdlib>
+
+#include "core/str_util.h"
+
+namespace dodb {
+
+Result<FaultPoint> ParseFaultSpec(const std::string& spec) {
+  std::string site_name = spec;
+  uint64_t nth = 1;
+  size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    site_name = spec.substr(0, colon);
+    std::string count = spec.substr(colon + 1);
+    if (count.empty()) {
+      return Status::InvalidArgument(
+          StrCat("fault spec '", spec, "': empty checkpoint count"));
+    }
+    nth = 0;
+    for (char c : count) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument(
+            StrCat("fault spec '", spec, "': bad checkpoint count '", count,
+                   "'"));
+      }
+      nth = nth * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (nth == 0) {
+      return Status::InvalidArgument(
+          StrCat("fault spec '", spec, "': checkpoint count is 1-based"));
+    }
+  }
+  for (int i = 0; i < kGuardSiteCount; ++i) {
+    GuardSite site = static_cast<GuardSite>(i);
+    if (site_name == GuardSiteName(site)) return FaultPoint{site, nth};
+  }
+  return Status::InvalidArgument(
+      StrCat("fault spec '", spec, "': unknown checkpoint site '", site_name,
+             "'"));
+}
+
+std::string EffectiveFaultSpec(const std::string& spec) {
+  if (!spec.empty()) return spec;
+  const char* env = std::getenv("DODB_FAULT");
+  return env != nullptr ? env : "";
+}
+
+Status ArmFaultFromSpec(QueryGuard* guard, const std::string& spec) {
+  std::string effective = EffectiveFaultSpec(spec);
+  if (effective.empty()) return Status::Ok();
+  Result<FaultPoint> fault = ParseFaultSpec(effective);
+  if (!fault.ok()) return fault.status();
+  guard->ArmFault(fault.value().site, fault.value().nth);
+  return Status::Ok();
+}
+
+ResolvedGuard::ResolvedGuard(QueryGuard* explicit_guard,
+                             const GuardLimits& limits,
+                             const std::string& fault_spec) {
+  guard_ = explicit_guard != nullptr ? explicit_guard : CurrentQueryGuard();
+  if (guard_ == nullptr &&
+      (limits.any() || !EffectiveFaultSpec(fault_spec).empty())) {
+    owned_ = std::make_unique<QueryGuard>(limits);
+    guard_ = owned_.get();
+  }
+  if (guard_ != nullptr) status_ = ArmFaultFromSpec(guard_, fault_spec);
+}
+
+}  // namespace dodb

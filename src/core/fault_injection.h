@@ -1,0 +1,65 @@
+#ifndef DODB_CORE_FAULT_INJECTION_H_
+#define DODB_CORE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/query_guard.h"
+#include "core/status.h"
+
+namespace dodb {
+
+/// A deterministic fault: trip the query guard at the nth (1-based)
+/// checkpoint recorded for `site`. Compiled in always — arming it costs one
+/// comparison per checkpoint, so release builds exercise the same abort
+/// paths the tests do.
+struct FaultPoint {
+  GuardSite site;
+  uint64_t nth = 1;
+};
+
+/// Parses a fault spec of the form "<site-name>:<nth>" (nth optional,
+/// default 1), e.g. "closure-sweep:3" or "shard-join". Site names are the
+/// GuardSiteName() strings. Malformed specs are an error, not silently
+/// ignored — a typo in a fault-sweep test must fail loudly.
+Result<FaultPoint> ParseFaultSpec(const std::string& spec);
+
+/// The effective fault spec: `spec` when non-empty, else the DODB_FAULT
+/// environment variable, else "". Lets tests and operators inject faults
+/// into unmodified callers.
+std::string EffectiveFaultSpec(const std::string& spec);
+
+/// Convenience used by every evaluator: resolves EffectiveFaultSpec and
+/// arms `guard` when a fault is requested. Returns the parse error for a
+/// malformed non-empty spec.
+Status ArmFaultFromSpec(QueryGuard* guard, const std::string& spec);
+
+/// Guard resolution shared by every evaluator entry point: an explicitly
+/// supplied guard wins, else the guard already installed on this thread (so
+/// nested evaluations join the outer query's guard instead of creating a
+/// second one), else a locally owned guard when limits or a fault spec ask
+/// for one, else none — the zero-configuration default stays guard-free and
+/// behavior-identical. The fault spec is armed on whichever guard resolved;
+/// a malformed spec surfaces through status().
+class ResolvedGuard {
+ public:
+  ResolvedGuard(QueryGuard* explicit_guard, const GuardLimits& limits,
+                const std::string& fault_spec);
+
+  ResolvedGuard(const ResolvedGuard&) = delete;
+  ResolvedGuard& operator=(const ResolvedGuard&) = delete;
+
+  QueryGuard* get() const { return guard_; }
+  const Status& status() const { return status_; }
+
+ private:
+  std::unique_ptr<QueryGuard> owned_;
+  QueryGuard* guard_ = nullptr;
+  Status status_;
+};
+
+}  // namespace dodb
+
+#endif  // DODB_CORE_FAULT_INJECTION_H_

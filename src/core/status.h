@@ -18,6 +18,7 @@ enum class StatusCode {
   kNotFound,         // a named relation / variable is missing
   kUnsupported,      // operation outside the implemented fragment
   kResourceExhausted,  // configured evaluation limit exceeded
+  kDeadlineExceeded,   // wall-clock deadline elapsed (distinct from budget)
   kInternal,         // invariant violation surfaced as data (bug)
 };
 
@@ -47,6 +48,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));

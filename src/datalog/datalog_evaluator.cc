@@ -8,6 +8,8 @@
 #include "algebra/relational_ops.h"
 #include "constraints/closure_cache.h"
 #include "core/check.h"
+#include "core/fault_injection.h"
+#include "core/query_guard.h"
 #include "core/str_util.h"
 #include "core/thread_pool.h"
 
@@ -210,6 +212,19 @@ Status DatalogEvaluator::RunToFixpoint(
           StrCat("datalog fixpoint did not stabilize within ",
                  options_.max_iterations, " rounds"));
     }
+    if (options_.max_fix_rounds != 0 &&
+        iterations_ >= options_.max_fix_rounds) {
+      return Status::ResourceExhausted(
+          StrCat("datalog fixpoint did not stabilize within the round "
+                 "budget of ",
+                 options_.max_fix_rounds));
+    }
+    // One guard checkpoint per round: a deadline or budget hit between
+    // rounds aborts here; mid-round trips surface from the rule jobs.
+    if (QueryGuard* guard = CurrentQueryGuard();
+        guard != nullptr && !guard->Checkpoint(GuardSite::kDatalogRound)) {
+      return guard->status();
+    }
     ++iterations_;
 
     // Snapshot: EDB plus the current IDB.
@@ -267,6 +282,14 @@ Status DatalogEvaluator::RunToFixpoint(
     }
 
     auto eval_job = [&](size_t j) -> Result<GeneralizedRelation> {
+      // The shared guard travels to pool workers through eval_options (set
+      // by Evaluate), not the thread-local scope — workers don't inherit
+      // thread-locals. The nested FoEvaluator re-installs it; this entry
+      // checkpoint makes an already-tripped round skip the rule outright.
+      if (QueryGuard* guard = options_.eval_options.guard;
+          guard != nullptr && !guard->Checkpoint(GuardSite::kDatalogRule)) {
+        return guard->status();
+      }
       const RuleJob& job = jobs[j];
       if (job.delta == nullptr) return EvalRule(*job.rule, snapshot);
       DatalogRule focused = *job.rule;
@@ -369,6 +392,22 @@ Result<GeneralizedRelation> DatalogEvaluator::Answer(
 
 Result<Database> DatalogEvaluator::Evaluate() {
   EvalThreadsScope threads(options_.eval_options.num_threads);
+  // One guard shared across every round, stratum and rule job: the first
+  // trip anywhere cancels the whole fixpoint. The guard is installed both
+  // as the thread-local (covering the sequential merge/union phases here)
+  // and into eval_options (so each rule job's nested FoEvaluator adopts it
+  // as the explicit guard instead of creating its own).
+  ResolvedGuard guard(options_.eval_options.guard, options_.eval_options.limits,
+                      options_.eval_options.fault_spec);
+  QueryGuardScope guard_scope(guard.get());
+  QueryGuard* caller_guard = options_.eval_options.guard;
+  options_.eval_options.guard = guard.get();
+  struct GuardOptionRestore {
+    EvalOptions* options;
+    QueryGuard* prev;
+    ~GuardOptionRestore() { options->guard = prev; }
+  } guard_restore{&options_.eval_options, caller_guard};
+  DODB_RETURN_IF_ERROR(guard.status());
   // Rule jobs re-install their scopes from eval_options inside their own
   // FoEvaluator; these cover the sequential merge phases.
   IndexModeScope index_mode(options_.eval_options.use_index);

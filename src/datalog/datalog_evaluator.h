@@ -28,6 +28,12 @@ struct DatalogOptions {
   /// Abort with ResourceExhausted beyond this many rounds (0 = unlimited;
   /// termination is guaranteed anyway — see EvaluateInflationary).
   uint64_t max_iterations = 100000;
+  /// A second, user-facing round cap mirroring CCalcOptions'
+  /// max_fix_iterations: 0 = unlimited, otherwise the fixpoint aborts with
+  /// ResourceExhausted after this many rounds. When both caps are nonzero
+  /// the stricter one applies. Unlike max_iterations (a deep safety
+  /// backstop) this is meant to be set per query, e.g. from \limit.
+  uint64_t max_fix_rounds = 0;
   /// Semi-naive evaluation: after the first round, a rule whose IDB
   /// references are all positive is re-evaluated once per positive IDB
   /// occurrence with that occurrence restricted to the previous round's

@@ -42,6 +42,8 @@
 #include "constraints/term.h"
 #include "constraints/tuple_signature.h"
 #include "core/bigint.h"
+#include "core/fault_injection.h"
+#include "core/query_guard.h"
 #include "core/rational.h"
 #include "core/status.h"
 #include "core/str_util.h"

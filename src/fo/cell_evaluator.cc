@@ -6,6 +6,8 @@
 
 #include "cells/cell_decomposition.h"
 #include "core/check.h"
+#include "core/fault_injection.h"
+#include "core/query_guard.h"
 #include "core/str_util.h"
 #include "fo/analyzer.h"
 
@@ -90,7 +92,13 @@ Result<bool> CellFoEvaluator::Quantify(const Formula& formula, Env* env,
   std::optional<Rational> saved;
   auto it = env->find(var);
   if (it != env->end()) saved = it->second;
+  // The representative loops multiply across nested quantifiers — the
+  // evaluator's exponential axis — so the guard ticks once per candidate
+  // value. Env repair is skipped on a trip: the whole evaluation unwinds
+  // with the guard's Status, never reading env again.
+  GuardTicker ticker(CurrentQueryGuard(), GuardSite::kCellEnumerate, 64);
   for (const Rational& value : Representatives(*env)) {
+    if (!ticker.Tick()) return CurrentQueryGuard()->status();
     (*env)[var] = value;
     Result<bool> inner = Quantify(formula, env, index + 1);
     if (!inner.ok()) return inner;
@@ -167,6 +175,9 @@ Result<bool> CellFoEvaluator::Decide(const Formula& formula) {
   if (!formula.FreeVars().empty()) {
     return Status::InvalidArgument("Decide() needs a closed formula");
   }
+  ResolvedGuard guard(options_.guard, options_.limits, options_.fault_spec);
+  QueryGuardScope guard_scope(guard.get());
+  DODB_RETURN_IF_ERROR(guard.status());
   // Include the formula's own constants in the scale for this decision.
   std::set<Rational> constants(scale_.begin(), scale_.end());
   CollectQueryConstants(formula, &constants);
@@ -179,6 +190,9 @@ Result<bool> CellFoEvaluator::Decide(const Formula& formula) {
 }
 
 Result<GeneralizedRelation> CellFoEvaluator::Evaluate(const Query& query) {
+  ResolvedGuard guard(options_.guard, options_.limits, options_.fault_spec);
+  QueryGuardScope guard_scope(guard.get());
+  DODB_RETURN_IF_ERROR(guard.status());
   Result<QueryAnalysis> analysis = Analyze(query, db_);
   if (!analysis.ok()) return analysis.status();
   if (!analysis.value().is_dense_fragment) {
@@ -203,8 +217,13 @@ Result<GeneralizedRelation> CellFoEvaluator::Evaluate(const Query& query) {
         StrCat("answer decomposition has ", decomposition.CellCount(),
                " cells, over the limit of ", options_.max_cells));
   } else {
+    GuardTicker ticker(guard.get(), GuardSite::kCellEnumerate, 64);
     Cell::EnumerateCells(
         arity, static_cast<int>(scale_.size()), [&](const Cell& cell) {
+          if (!ticker.Tick()) {
+            failure = guard.get()->status();
+            return false;
+          }
           std::vector<Rational> witness = cell.WitnessPoint(scale_);
           Env env;
           for (int i = 0; i < arity; ++i) env[query.head[i]] = witness[i];

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "constraints/generalized_relation.h"
+#include "core/query_guard.h"
 #include "core/status.h"
 #include "fo/ast.h"
 #include "io/database.h"
@@ -16,6 +17,16 @@ struct CellEvalOptions {
   /// Abort with ResourceExhausted when the output decomposition has more
   /// cells than this (0 = unlimited).
   uint64_t max_cells = 1 << 22;
+  /// Query-level resource budgets, enforced at guard checkpoints in the
+  /// cell-enumeration and quantifier-representative loops (the two
+  /// unbounded loops of this evaluator). All zero = no guard.
+  GuardLimits limits;
+  /// Externally owned guard to observe instead of creating one from
+  /// `limits` (shared-cancellation; the caller keeps ownership).
+  QueryGuard* guard = nullptr;
+  /// Deterministic fault injection, spec "<site>:<nth>"
+  /// (core/fault_injection.h). Empty = DODB_FAULT when set, else off.
+  std::string fault_spec;
 };
 
 /// Model-theoretic evaluator for dense-order FO queries — the paper's

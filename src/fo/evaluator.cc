@@ -7,6 +7,7 @@
 #include "constraints/closure_cache.h"
 #include "constraints/dense_qe.h"
 #include "core/check.h"
+#include "core/fault_injection.h"
 #include "core/str_util.h"
 #include "core/thread_pool.h"
 #include "fo/analyzer.h"
@@ -46,11 +47,16 @@ class CounterDeltaScope {
 
 // Installs the full set of evaluation scopes an options struct implies;
 // groups them so Evaluate and EvaluateFormula stay in sync. The local memo
-// backs use_closure_memo when the caller didn't supply a shared one.
+// backs use_closure_memo when the caller didn't supply a shared one, and
+// the resolved guard (ResolvedGuard's precedence: explicit > inherited from
+// this thread > locally owned when limits ask for one) is installed for
+// every operator underneath to observe.
 class EvalScopes {
  public:
   explicit EvalScopes(const EvalOptions& options)
-      : threads_(options.num_threads),
+      : guard_(options.guard, options.limits, options.fault_spec),
+        guard_scope_(guard_.get()),
+        threads_(options.num_threads),
         index_mode_(options.use_index),
         shard_mode_(options.use_index && options.use_shards),
         closure_mode_(options.use_closure_fastpath),
@@ -60,8 +66,13 @@ class EvalScopes {
                                ? options.closure_cache
                                : &local_memo_)) {}
 
+  QueryGuard* guard() const { return guard_.get(); }
+  const Status& guard_status() const { return guard_.status(); }
+
  private:
   ClosureCache local_memo_;
+  ResolvedGuard guard_;
+  QueryGuardScope guard_scope_;
   EvalThreadsScope threads_;
   IndexModeScope index_mode_;
   ShardModeScope shard_mode_;
@@ -90,6 +101,14 @@ Status FoEvaluator::CheckSize(const GeneralizedRelation& rel) {
   stats_.max_intermediate_tuples =
       std::max(stats_.max_intermediate_tuples,
                static_cast<uint64_t>(rel.tuple_count()));
+  // One guard checkpoint per completed operator — the coarse backstop above
+  // the strided in-operator checkpoints, and the point where a trip that an
+  // algebra operator absorbed (returning a truncated relation) surfaces as
+  // the trip Status instead of a wrong result.
+  QueryGuard* guard = CurrentQueryGuard();
+  if (guard != nullptr && !guard->Checkpoint(GuardSite::kFoStep)) {
+    return guard->status();
+  }
   if (options_.max_tuples != 0 && rel.tuple_count() > options_.max_tuples) {
     return Status::ResourceExhausted(
         StrCat("intermediate relation has ", rel.tuple_count(),
@@ -100,7 +119,12 @@ Status FoEvaluator::CheckSize(const GeneralizedRelation& rel) {
 
 Result<GeneralizedRelation> FoEvaluator::Evaluate(const Query& query) {
   EvalScopes scopes(options_);
+  GuardStatsScope guard_stats(scopes.guard(), &stats_);
   CounterDeltaScope counters(&stats_.counters);
+  DODB_RETURN_IF_ERROR(scopes.guard_status());
+  if (scopes.guard() != nullptr && scopes.guard()->tripped()) {
+    return scopes.guard()->status();
+  }
   Result<QueryAnalysis> analysis = Analyze(query, db_);
   if (!analysis.ok()) return analysis.status();
   if (!analysis.value().is_dense_fragment) {
@@ -117,7 +141,9 @@ Result<GeneralizedRelation> FoEvaluator::Evaluate(const Query& query) {
 Result<GeneralizedRelation> FoEvaluator::EvaluateFormula(
     const Formula& formula, const std::vector<std::string>& columns) {
   EvalScopes scopes(options_);
+  GuardStatsScope guard_stats(scopes.guard(), &stats_);
   CounterDeltaScope counters(&stats_.counters);
+  DODB_RETURN_IF_ERROR(scopes.guard_status());
   Result<Binding> binding = Eval(formula);
   if (!binding.ok()) return binding.status();
   for (const std::string& var : binding.value().vars) {
@@ -126,7 +152,14 @@ Result<GeneralizedRelation> FoEvaluator::EvaluateFormula(
           StrCat("free variable '", var, "' not among the output columns"));
     }
   }
-  return AlignTo(binding.value(), columns).rel;
+  GeneralizedRelation out = AlignTo(binding.value(), columns).rel;
+  // A trip inside the final alignment's Rename is absorbed by the algebra
+  // layer (it returns a truncated relation); surface it here so no partial
+  // result ever escapes a tripped guard.
+  if (scopes.guard() != nullptr && scopes.guard()->tripped()) {
+    return scopes.guard()->status();
+  }
+  return out;
 }
 
 FoEvaluator::Binding FoEvaluator::AlignTo(

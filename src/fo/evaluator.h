@@ -7,6 +7,7 @@
 
 #include "constraints/eval_counters.h"
 #include "constraints/generalized_relation.h"
+#include "core/query_guard.h"
 #include "core/status.h"
 #include "fo/ast.h"
 #include "io/database.h"
@@ -59,6 +60,23 @@ struct EvalOptions {
   /// (proof sketch in order_graph.cc), so results are bit-identical at
   /// either setting; only wall-clock changes.
   bool use_closure_fastpath = true;
+  /// Query-level resource budgets (deadline, work-tuple budget, memory
+  /// budget, mid-merge relation cap) enforced cooperatively at guard
+  /// checkpoints inside every operator's hot loop, so a blowup aborts
+  /// within one checkpoint stride instead of after full materialization
+  /// (core/query_guard.h). All zero — the default — means no guard is
+  /// created and evaluation is byte-for-byte the unguarded path. A guarded
+  /// but untripped run returns bit-identical results at any thread count.
+  GuardLimits limits;
+  /// An externally owned guard to observe instead of creating one from
+  /// `limits`; the Datalog and C-CALC evaluators share one guard across all
+  /// nested FO evaluations this way so the first trip cancels everything.
+  /// The caller keeps ownership and the guard's own limits apply.
+  QueryGuard* guard = nullptr;
+  /// Deterministic fault injection: trip the guard at a named checkpoint,
+  /// spec "<site>:<nth>" (core/fault_injection.h). Empty = the DODB_FAULT
+  /// environment variable when set, else off.
+  std::string fault_spec;
 };
 
 struct EvalStats {
@@ -67,9 +85,44 @@ struct EvalStats {
   uint64_t intersections = 0;
   uint64_t unions = 0;
   uint64_t max_intermediate_tuples = 0;
+  /// Guard observability for the last call: checkpoints recorded, peak
+  /// accounted bytes, and the name of the site that tripped first ("" when
+  /// the run was unguarded or the guard never tripped).
+  uint64_t guard_checkpoints = 0;
+  uint64_t guard_peak_bytes = 0;
+  std::string guard_trip_site;
   /// Engine-counter delta (pairs pruned, subsumption checks, index time...)
   /// attributed to the last Evaluate/EvaluateFormula call.
   EvalCounterSnapshot counters;
+};
+
+/// Writes the guard's observability numbers into an EvalStats when the
+/// enclosing evaluation unwinds, whether it returned a value or a trip
+/// Status. Shared by every evaluator that exposes EvalStats.
+class GuardStatsScope {
+ public:
+  GuardStatsScope(QueryGuard* guard, EvalStats* stats)
+      : guard_(guard),
+        stats_(stats),
+        start_checkpoints_(guard != nullptr ? guard->checkpoints() : 0) {}
+  ~GuardStatsScope() {
+    if (guard_ == nullptr) {
+      stats_->guard_checkpoints = 0;
+      stats_->guard_peak_bytes = 0;
+      stats_->guard_trip_site.clear();
+      return;
+    }
+    stats_->guard_checkpoints = guard_->checkpoints() - start_checkpoints_;
+    stats_->guard_peak_bytes = guard_->peak_bytes();
+    stats_->guard_trip_site = guard_->trip_site_name();
+  }
+  GuardStatsScope(const GuardStatsScope&) = delete;
+  GuardStatsScope& operator=(const GuardStatsScope&) = delete;
+
+ private:
+  QueryGuard* guard_;
+  EvalStats* stats_;
+  uint64_t start_checkpoints_;
 };
 
 /// Bottom-up, closed-form evaluator for first-order queries over dense-order

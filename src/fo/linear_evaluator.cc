@@ -4,6 +4,8 @@
 #include <set>
 
 #include "core/check.h"
+#include "core/fault_injection.h"
+#include "core/query_guard.h"
 #include "core/str_util.h"
 #include "fo/analyzer.h"
 
@@ -40,6 +42,15 @@ Status LinearFoEvaluator::CheckSize(const LinearRelation& rel) {
   stats_.max_intermediate_tuples =
       std::max(stats_.max_intermediate_tuples,
                static_cast<uint64_t>(rel.system_count()));
+  // One guard checkpoint per completed FO+ operator — the linear pipeline
+  // has no tuple-parallel inner loops, so this per-operator check plus the
+  // relation-size budget below is its guard coverage.
+  QueryGuard* guard = CurrentQueryGuard();
+  if (guard != nullptr &&
+      (!guard->Checkpoint(GuardSite::kLinearFo) ||
+       !guard->CheckRelationSize(GuardSite::kLinearFo, rel.system_count()))) {
+    return guard->status();
+  }
   if (options_.max_tuples != 0 && rel.system_count() > options_.max_tuples) {
     return Status::ResourceExhausted(
         StrCat("intermediate linear relation has ", rel.system_count(),
@@ -49,11 +60,21 @@ Status LinearFoEvaluator::CheckSize(const LinearRelation& rel) {
 }
 
 Result<LinearRelation> LinearFoEvaluator::Evaluate(const Query& query) {
+  // Same guard resolution as FoEvaluator: explicit > inherited > owned
+  // when limits/faults are configured; installed for CheckSize to observe.
+  ResolvedGuard guard(options_.guard, options_.limits, options_.fault_spec);
+  QueryGuardScope guard_scope(guard.get());
+  GuardStatsScope guard_stats(guard.get(), &stats_);
+  DODB_RETURN_IF_ERROR(guard.status());
   Result<QueryAnalysis> analysis = Analyze(query, db_);
   if (!analysis.ok()) return analysis.status();
   Result<Binding> binding = Eval(*query.body);
   if (!binding.ok()) return binding.status();
-  return AlignTo(binding.value(), query.head).rel;
+  LinearRelation out = AlignTo(binding.value(), query.head).rel;
+  if (guard.get() != nullptr && guard.get()->tripped()) {
+    return guard.get()->status();
+  }
+  return out;
 }
 
 LinearFoEvaluator::Binding LinearFoEvaluator::AlignTo(

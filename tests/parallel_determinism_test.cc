@@ -186,6 +186,83 @@ TEST(ParallelDeterminismTest, DatalogFixpointIsThreadCountInvariant) {
   EXPECT_FALSE(idb.FindRelation("odd")->Contains({Rational(4)}));
 }
 
+// A guard with generous, never-tripping budgets must not change a single
+// bit of any output relative to the unguarded run, at 1 thread and at 8.
+TEST(ParallelDeterminismTest, GuardedUntrippedEqualsUnguarded) {
+  Database db = MakeQueryDatabase();
+  const char* kQueries[] = {
+      "{ (x, y) | r(x, y) and s(y, x) }",
+      "{ (x) | exists y (r(x, y) and not s(x, y)) }",
+      "{ (x, z) | exists y (r(x, y) and s(y, z)) }",
+      "{ (x) | forall y (s(x, y) or y <= x) }",
+      "{ (x) | exists y (exists z (r(x, y) and s(y, z) and z != x)) }",
+  };
+  GuardLimits generous;
+  generous.deadline_ms = 1000 * 60 * 60;
+  generous.max_rel_tuples = uint64_t{1} << 40;
+  generous.max_work_tuples = uint64_t{1} << 40;
+  generous.max_memory_bytes = uint64_t{1} << 50;
+  for (const char* text : kQueries) {
+    Query query = FoParser::ParseQuery(text).value();
+    for (int threads : {1, 8}) {
+      EvalOptions unguarded;
+      unguarded.num_threads = threads;
+      FoEvaluator plain(&db, unguarded);
+      Result<GeneralizedRelation> expected = plain.Evaluate(query);
+      ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+      EXPECT_EQ(plain.stats().guard_checkpoints, 0u);
+
+      EvalOptions guarded = unguarded;
+      guarded.limits = generous;
+      FoEvaluator watched(&db, guarded);
+      Result<GeneralizedRelation> actual = watched.Evaluate(query);
+      ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+      EXPECT_EQ(Fingerprint(expected.value()), Fingerprint(actual.value()))
+          << text << " differs under an untripped guard at num_threads="
+          << threads;
+      EXPECT_GT(watched.stats().guard_checkpoints, 0u) << text;
+      EXPECT_EQ(watched.stats().guard_trip_site, "") << text;
+    }
+  }
+}
+
+// The same contract for the Datalog fixpoint: IDB and round count are
+// bit-identical with an untripped guard, at 1 thread and at 8.
+TEST(ParallelDeterminismTest, GuardedUntrippedDatalogEqualsUnguarded) {
+  Database edb;
+  edb.SetRelation("e", GeneralizedRelation::FromPoints(
+                           2, {{Rational(1), Rational(2)},
+                               {Rational(2), Rational(3)},
+                               {Rational(3), Rational(4)},
+                               {Rational(2), Rational(6)},
+                               {Rational(6), Rational(7)}}));
+  DatalogProgram program = DatalogParser::ParseProgram(R"(
+    tc(x, y) :- e(x, y).
+    tc(x, y) :- tc(x, z), e(z, y).
+  )").value();
+  for (int threads : {1, 8}) {
+    DatalogOptions unguarded;
+    unguarded.eval_options.num_threads = threads;
+    DatalogEvaluator plain(program, &edb, unguarded);
+    Result<Database> expected = plain.Evaluate();
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+    DatalogOptions guarded = unguarded;
+    guarded.eval_options.limits.deadline_ms = 1000 * 60 * 60;
+    guarded.eval_options.limits.max_work_tuples = uint64_t{1} << 40;
+    DatalogEvaluator watched(program, &edb, guarded);
+    Result<Database> actual = watched.Evaluate();
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    EXPECT_EQ(plain.iterations(), watched.iterations());
+    for (const std::string& name : expected.value().RelationNames()) {
+      EXPECT_EQ(Fingerprint(*expected.value().FindRelation(name)),
+                Fingerprint(*actual.value().FindRelation(name)))
+          << name << " differs under an untripped guard at num_threads="
+          << threads;
+    }
+  }
+}
+
 TEST(ParallelDeterminismTest, StratifiedDatalogIsThreadCountInvariant) {
   Database edb;
   edb.SetRelation("v", GeneralizedRelation::FromPoints(

@@ -33,7 +33,17 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
   EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
                "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, DeadlineExceededIsDistinctFromResourceExhausted) {
+  Status deadline = Status::DeadlineExceeded("past the deadline");
+  Status budget = Status::ResourceExhausted("past the budget");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(deadline.code(), budget.code());
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: past the deadline");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -1,0 +1,188 @@
+// Durable storage engine benchmarks (DESIGN.md §11): snapshot write/load
+// bandwidth on transitive-closure databases, WAL append throughput under
+// both fsync-per-record and group-commit sync policies, and cold-start
+// recovery (snapshot load + WAL replay) time.
+//
+// The load benchmark also records the headline comparison the binary format
+// exists for: parsing the same catalog from the text format vs loading the
+// snapshot, as the counters `text_parse_ms`, `snapshot_load_ms` and
+// `speedup_vs_text` on each BM_SnapshotLoadTc row (the n=64 row is the
+// acceptance record; the snapshot load must be >= 5x faster).
+//
+// All artifacts live under a scratch directory in the system temp root and
+// are removed before each benchmark exits.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+
+#include "bench/workloads.h"
+#include "dodb/dodb.h"
+
+namespace dodb {
+namespace {
+
+std::string ScratchDir(const std::string& tag) {
+  auto dir = std::filesystem::temp_directory_path() / ("dodb_bench_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// edge = the n-vertex path graph, tc = its Datalog transitive closure:
+// the workload family the rest of the suite measures evaluation on, here
+// reused as a serialization corpus with realistic tuple shapes.
+Database TcDatabase(int n) {
+  Database db;
+  db.SetRelation("edge", bench::PathGraph(n));
+  DatalogProgram program = DatalogParser::ParseProgram(R"(
+    tc(x, y) :- edge(x, y).
+    tc(x, y) :- tc(x, z), edge(z, y).
+  )").value();
+  DatalogEvaluator evaluator(program, &db, DatalogOptions());
+  Database idb = evaluator.Evaluate().value();
+  db.SetRelation("tc", *idb.FindRelation("tc"));
+  return db;
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void BM_SnapshotWriteTc(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db = TcDatabase(n);
+  const std::string dir = ScratchDir("snapwrite");
+  const std::string path = dir + "/bench.snap";
+  for (auto _ : state) {
+    Status status = storage::WriteSnapshotFile(db, path);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  const auto bytes = std::filesystem::file_size(path);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes));
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SnapshotWriteTc)->ArgName("n")->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SnapshotLoadTc(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db = TcDatabase(n);
+  const std::string dir = ScratchDir("snapload");
+  const std::string path = dir + "/bench.snap";
+  Status written = storage::WriteSnapshotFile(db, path);
+  if (!written.ok()) {
+    state.SkipWithError(written.ToString().c_str());
+    return;
+  }
+  const std::string text = FormatDatabase(db);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::LoadSnapshotFile(path));
+  }
+
+  // The text-vs-binary record: same catalog, both formats, a few cold
+  // repetitions each (enough for a ratio; the loop above owns precision).
+  constexpr int kReps = 5;
+  const auto text_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReps; ++i) {
+    benchmark::DoNotOptimize(ParseDatabase(text));
+  }
+  const double text_ms = MillisSince(text_start) / kReps;
+  const auto load_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReps; ++i) {
+    benchmark::DoNotOptimize(storage::LoadSnapshotFile(path));
+  }
+  const double load_ms = MillisSince(load_start) / kReps;
+  state.counters["text_parse_ms"] = text_ms;
+  state.counters["snapshot_load_ms"] = load_ms;
+  state.counters["speedup_vs_text"] = load_ms > 0 ? text_ms / load_ms : 0;
+
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<int64_t>(std::filesystem::file_size(path)));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SnapshotLoadTc)->ArgName("n")->Arg(32)->Arg(64)->Arg(128);
+
+// One LogInsert per iteration: a framed record append plus the sync policy.
+// sync_every=1 is the full ack-implies-durable discipline (fsync bound);
+// sync_every=64 is group commit (append bound).
+void BM_WalAppend(benchmark::State& state) {
+  const uint32_t sync_every = static_cast<uint32_t>(state.range(0));
+  const std::string dir = ScratchDir("walappend");
+  Database db;
+  storage::StorageOptions options;
+  options.mode = storage::DurabilityMode::kWal;
+  options.wal_sync_every = sync_every;
+  options.wal_segment_bytes = 1ull << 30;  // no rotation noise
+  auto engine = storage::StorageEngine::Open(dir, &db, options);
+  if (!engine.ok()) {
+    state.SkipWithError(engine.status().ToString().c_str());
+    return;
+  }
+  GeneralizedRelation batch = bench::PathGraph(16);
+  Status created = engine.value()->LogCreate("r", 2);
+  for (auto _ : state) {
+    Status status = engine.value()->LogInsert("r", batch);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["wal_bytes"] =
+      static_cast<double>(engine.value()->wal_bytes());
+  (void)created;
+  (void)engine.value()->Close();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_WalAppend)->ArgName("sync_every")->Arg(1)->Arg(64);
+
+// Cold start: open a directory holding one created relation plus `records`
+// insert batches in the WAL, replaying everything into a fresh Database.
+void BM_RecoveryReplay(benchmark::State& state) {
+  const int records = static_cast<int>(state.range(0));
+  const std::string dir = ScratchDir("recovery");
+  storage::StorageOptions options;
+  options.mode = storage::DurabilityMode::kWal;  // keep the WAL on Close
+  options.wal_sync_every = 64;
+  {
+    Database db;
+    auto engine = storage::StorageEngine::Open(dir, &db, options);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      return;
+    }
+    (void)engine.value()->LogCreate("r", 2);
+    GeneralizedRelation batch = bench::PathGraph(8);
+    for (int i = 0; i < records; ++i) {
+      (void)engine.value()->LogInsert("r", batch);
+    }
+    (void)engine.value()->Close();
+  }
+  uint64_t replay_ns = 0;
+  for (auto _ : state) {
+    Database db;
+    auto engine = storage::StorageEngine::Open(dir, &db, options);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      return;
+    }
+    replay_ns = engine.value()->recovery().recovery_ns;
+    benchmark::DoNotOptimize(db);
+    (void)engine.value()->Close();
+  }
+  state.counters["records_replayed"] = records + 1;
+  state.counters["recovery_ms"] = static_cast<double>(replay_ns) / 1e6;
+  state.SetItemsProcessed(state.iterations() * (records + 1));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_RecoveryReplay)->ArgName("records")->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace dodb
+
+BENCHMARK_MAIN();

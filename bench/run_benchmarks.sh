@@ -78,6 +78,16 @@ if [[ -n "${BENCH_SMOKE:-}" ]]; then
   smoke_args=(--benchmark_min_time=0.01 --benchmark_repetitions=1)
 fi
 
+# bench_storage writes snapshot/WAL scratch under $TMPDIR/dodb_bench_*; a
+# crashed or interrupted run can leave those (plus stray *.snap / *.wal /
+# dodb_data/ in the repo root) behind, so sweep them on entry and on exit.
+cleanup_storage_artifacts() {
+  rm -rf "${TMPDIR:-/tmp}"/dodb_bench_* \
+    "$repo_root"/*.snap "$repo_root"/*.wal "$repo_root/dodb_data"
+}
+cleanup_storage_artifacts
+trap cleanup_storage_artifacts EXIT
+
 for bench in "${benches[@]}"; do
   [[ -x "$bench" ]] || { echo "error: $bench is not executable" >&2; exit 1; }
   name="$(basename "$bench")"

@@ -8,7 +8,10 @@
 //   let name = { ... | ... }  materialize a query as a new relation
 //   \list                     list relations with arity and tuple count
 //   \show <relation>          print a relation's finite representation
-//   \load <file> / \save <file>
+//   \load <file> / \save <file>  text (.cdb) or binary snapshot (.snap) I/O
+//   \open <dir>               attach durable storage: recover, then WAL-log
+//   \checkpoint               write a snapshot generation, retire the WAL
+//   \wal on|off               re-attach / detach the storage engine
 //   \datalog <file>           run a Datalog(not) program, merge its IDB
 //   \ccalc <query>            evaluate a C-CALC query (set quantifiers)
 //   \encode                   replace the database by its standard encoding
@@ -22,6 +25,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -30,6 +34,49 @@
 namespace {
 
 using dodb::Database;
+using dodb::storage::StorageEngine;
+
+bool HasSuffix(const std::string& path, const char* suffix) {
+  std::string_view view(path);
+  return view.size() >= std::char_traits<char>::length(suffix) &&
+         view.ends_with(suffix);
+}
+
+// Logs a full-relation replacement before applying it, so \let, \datalog
+// and \encode results survive a restart like DML does. Returns false (with
+// a printed error) when logging fails — the catalog is left untouched.
+bool DurableSetRelation(Database* db, StorageEngine* engine,
+                        const std::string& name,
+                        dodb::GeneralizedRelation relation) {
+  if (engine != nullptr) {
+    dodb::Status status = engine->LogSet(name, relation);
+    if (!status.ok()) {
+      std::cout << "storage error: " << status.ToString() << "\n";
+      return false;
+    }
+  }
+  db->SetRelation(name, std::move(relation));
+  return true;
+}
+
+// \open <dir>: recover `db` from the directory and keep logging to it.
+std::unique_ptr<StorageEngine> OpenStorage(const std::string& dir,
+                                           Database* db) {
+  dodb::Result<std::unique_ptr<StorageEngine>> engine =
+      StorageEngine::Open(dir, db);
+  if (!engine.ok()) {
+    std::cout << "error: " << engine.status().ToString() << "\n";
+    return nullptr;
+  }
+  const dodb::storage::RecoveryInfo& info = engine.value()->recovery();
+  std::cout << "opened '" << dir << "' (generation " << info.generation
+            << "): " << db->relation_count() << " relation(s), "
+            << (info.snapshot_loaded ? "snapshot + " : "no snapshot, ")
+            << info.records_replayed << " WAL record(s) replayed";
+  if (info.wal_truncated) std::cout << ", torn WAL tail truncated";
+  std::cout << " in " << info.recovery_ns / 1000000 << " ms\n";
+  return std::move(engine).value();
+}
 
 void PrintRelation(const std::string& name,
                    const dodb::GeneralizedRelation& rel) {
@@ -87,7 +134,7 @@ void RunFoQuery(Database* db, const std::string& text,
   std::cout << out.value().ToString(&query.value().head) << "\n";
 }
 
-void RunLet(Database* db, const std::string& line,
+void RunLet(Database* db, StorageEngine* engine, const std::string& line,
             const dodb::EvalOptions& eval_options) {
   // let name = { ... }
   size_t eq = line.find('=');
@@ -109,12 +156,13 @@ void RunLet(Database* db, const std::string& line,
     std::cout << "error: " << out.status().ToString() << "\n";
     return;
   }
-  db->SetRelation(name, out.value());
+  if (!DurableSetRelation(db, engine, name, out.value())) return;
   std::cout << "defined " << name << "/" << out.value().arity() << " ("
             << out.value().tuple_count() << " tuples)\n";
 }
 
-void RunDatalogFile(Database* db, const std::string& path,
+void RunDatalogFile(Database* db, StorageEngine* engine,
+                    const std::string& path,
                     const dodb::EvalOptions& eval_options) {
   std::ifstream in(path);
   if (!in) {
@@ -138,7 +186,9 @@ void RunDatalogFile(Database* db, const std::string& path,
     return;
   }
   for (const std::string& name : idb.value().RelationNames()) {
-    db->SetRelation(name, *idb.value().FindRelation(name));
+    if (!DurableSetRelation(db, engine, name, *idb.value().FindRelation(name))) {
+      return;
+    }
     PrintRelation(name, *db->FindRelation(name));
   }
   std::cout << "(fixpoint after " << evaluator.iterations() << " rounds)\n";
@@ -249,7 +299,16 @@ void PrintHelp() {
       "  drop r                remove relation r\n"
       "  \\list                 list relations\n"
       "  \\show <r>             print relation r\n"
-      "  \\load <f> / \\save <f> text format I/O\n"
+      "  \\load <f> / \\save <f> database I/O; .snap selects the binary\n"
+      "                        snapshot format, anything else the text format\n"
+      "  \\open <dir>           attach durable storage: recover the database\n"
+      "                        from the newest snapshot + WAL, then log every\n"
+      "                        mutation (create/insert/delete/drop/let/...)\n"
+      "                        write-ahead before applying it\n"
+      "  \\checkpoint           write a new snapshot generation and retire\n"
+      "                        the old WAL (also happens on \\quit)\n"
+      "  \\wal on|off           re-attach the last \\open directory / detach\n"
+      "                        the storage engine (no further logging)\n"
       "  \\datalog <f>          run a Datalog(not) program file\n"
       "  \\ccalc <query>        C-CALC query with set quantifiers\n"
       "  \\encode               switch to the standard encoding\n"
@@ -284,6 +343,10 @@ int main(int argc, char** argv) {
   // every evaluator in this shell observes.
   dodb::EvalOptions session_options;
 
+  // Durable storage, attached by \open / \wal on. Null = in-memory only.
+  std::unique_ptr<StorageEngine> engine;
+  std::string storage_dir = "dodb_data";
+
   std::string line;
   while (true) {
     std::cout << "dodb> " << std::flush;
@@ -310,7 +373,9 @@ int main(int argc, char** argv) {
       }
     } else if (trimmed.rfind("\\load ", 0) == 0) {
       std::string path(dodb::StripWhitespace(trimmed.substr(6)));
-      dodb::Result<Database> loaded = dodb::LoadDatabaseFile(path);
+      dodb::Result<Database> loaded =
+          HasSuffix(path, ".snap") ? dodb::storage::LoadSnapshotFile(path)
+                                   : dodb::LoadDatabaseFile(path);
       if (!loaded.ok()) {
         std::cout << "error: " << loaded.status().ToString() << "\n";
       } else {
@@ -319,10 +384,48 @@ int main(int argc, char** argv) {
       }
     } else if (trimmed.rfind("\\save ", 0) == 0) {
       std::string path(dodb::StripWhitespace(trimmed.substr(6)));
-      dodb::Status status = dodb::SaveDatabaseFile(db, path);
+      dodb::Status status =
+          HasSuffix(path, ".snap")
+              ? dodb::storage::WriteSnapshotFile(db, path)
+              : dodb::SaveDatabaseFile(db, path);
       std::cout << (status.ok() ? "saved" : status.ToString()) << "\n";
+    } else if (trimmed.rfind("\\open ", 0) == 0) {
+      std::string dir(dodb::StripWhitespace(trimmed.substr(6)));
+      if (engine != nullptr) {
+        std::cout << "storage already open on '" << engine->dir()
+                  << "'; \\wal off first\n";
+      } else if (auto opened = OpenStorage(dir, &db)) {
+        engine = std::move(opened);
+        storage_dir = dir;
+      }
+    } else if (trimmed == "\\checkpoint") {
+      if (engine == nullptr) {
+        std::cout << "no storage attached; \\open <dir> first\n";
+      } else {
+        dodb::Status status = engine->Checkpoint();
+        std::cout << (status.ok()
+                          ? "checkpointed to generation " +
+                                std::to_string(engine->generation())
+                          : status.ToString())
+                  << "\n";
+      }
+    } else if (trimmed == "\\wal on") {
+      if (engine != nullptr) {
+        std::cout << "storage already open on '" << engine->dir() << "'\n";
+      } else if (auto opened = OpenStorage(storage_dir, &db)) {
+        engine = std::move(opened);
+      }
+    } else if (trimmed == "\\wal off") {
+      if (engine == nullptr) {
+        std::cout << "storage not attached\n";
+      } else {
+        dodb::Status status = engine->Close();
+        engine.reset();
+        std::cout << (status.ok() ? "storage detached" : status.ToString())
+                  << "\n";
+      }
     } else if (trimmed.rfind("\\datalog ", 0) == 0) {
-      RunDatalogFile(&db,
+      RunDatalogFile(&db, engine.get(),
                      std::string(dodb::StripWhitespace(trimmed.substr(9))),
                      session_options);
     } else if (trimmed.rfind("\\ccalc ", 0) == 0) {
@@ -334,17 +437,27 @@ int main(int argc, char** argv) {
       std::cout << "evaluation statistics (cumulative for this session):\n"
                 << dodb::EvalCounters::Snapshot().ToString();
     } else if (trimmed == "\\encode") {
-      db = db.Encoded();
-      std::cout << "database replaced by its standard encoding ("
-                << db.AllConstants().size() << " integer constants)\n";
+      Database encoded = db.Encoded();
+      bool logged = true;
+      for (const std::string& name : encoded.RelationNames()) {
+        if (!DurableSetRelation(&db, engine.get(), name,
+                                *encoded.FindRelation(name))) {
+          logged = false;
+          break;
+        }
+      }
+      if (logged) {
+        std::cout << "database replaced by its standard encoding ("
+                  << db.AllConstants().size() << " integer constants)\n";
+      }
     } else if (trimmed.rfind("let ", 0) == 0) {
-      RunLet(&db, trimmed, session_options);
+      RunLet(&db, engine.get(), trimmed, session_options);
     } else if (trimmed.rfind("create ", 0) == 0 ||
                trimmed.rfind("drop ", 0) == 0 ||
                trimmed.rfind("insert ", 0) == 0 ||
                trimmed.rfind("delete ", 0) == 0) {
       dodb::Result<std::string> outcome =
-          dodb::ExecuteCommand(&db, trimmed);
+          dodb::ExecuteCommand(&db, trimmed, engine.get());
       std::cout << (outcome.ok() ? outcome.value()
                                  : outcome.status().ToString())
                 << "\n";
@@ -352,6 +465,13 @@ int main(int argc, char** argv) {
       std::cout << "unknown command; \\help lists commands\n";
     } else {
       RunFoQuery(&db, trimmed, session_options);
+    }
+  }
+  if (engine != nullptr) {
+    dodb::Status status = engine->Close();
+    if (!status.ok()) {
+      std::cerr << "storage close: " << status.ToString() << "\n";
+      return 1;
     }
   }
   return 0;

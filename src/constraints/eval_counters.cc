@@ -25,6 +25,12 @@ struct Counters {
   std::atomic<uint64_t> closure_memo_hits{0};
   std::atomic<uint64_t> guard_checkpoints{0};
   std::atomic<uint64_t> guard_trips{0};
+  std::atomic<uint64_t> storage_bytes_written{0};
+  std::atomic<uint64_t> storage_fsyncs{0};
+  std::atomic<uint64_t> wal_records_appended{0};
+  std::atomic<uint64_t> wal_records_replayed{0};
+  std::atomic<uint64_t> snapshots_written{0};
+  std::atomic<uint64_t> storage_recovery_ns{0};
 };
 
 Counters& Global() {
@@ -86,6 +92,24 @@ void EvalCounters::AddGuardCheckpoints(uint64_t n) {
 void EvalCounters::AddGuardTrips(uint64_t n) {
   Global().guard_trips.fetch_add(n, kRelaxed);
 }
+void EvalCounters::AddStorageBytesWritten(uint64_t n) {
+  Global().storage_bytes_written.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddStorageFsyncs(uint64_t n) {
+  Global().storage_fsyncs.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddWalRecordsAppended(uint64_t n) {
+  Global().wal_records_appended.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddWalRecordsReplayed(uint64_t n) {
+  Global().wal_records_replayed.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddSnapshotsWritten(uint64_t n) {
+  Global().snapshots_written.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddStorageRecoveryNs(uint64_t ns) {
+  Global().storage_recovery_ns.fetch_add(ns, kRelaxed);
+}
 
 EvalCounterSnapshot EvalCounters::Snapshot() {
   const Counters& c = Global();
@@ -106,6 +130,12 @@ EvalCounterSnapshot EvalCounters::Snapshot() {
   snap.closure_memo_hits = c.closure_memo_hits.load(kRelaxed);
   snap.guard_checkpoints = c.guard_checkpoints.load(kRelaxed);
   snap.guard_trips = c.guard_trips.load(kRelaxed);
+  snap.storage_bytes_written = c.storage_bytes_written.load(kRelaxed);
+  snap.storage_fsyncs = c.storage_fsyncs.load(kRelaxed);
+  snap.wal_records_appended = c.wal_records_appended.load(kRelaxed);
+  snap.wal_records_replayed = c.wal_records_replayed.load(kRelaxed);
+  snap.snapshots_written = c.snapshots_written.load(kRelaxed);
+  snap.storage_recovery_ns = c.storage_recovery_ns.load(kRelaxed);
   return snap;
 }
 
@@ -129,6 +159,15 @@ EvalCounterSnapshot EvalCounterSnapshot::operator-(
   delta.closure_memo_hits = closure_memo_hits - since.closure_memo_hits;
   delta.guard_checkpoints = guard_checkpoints - since.guard_checkpoints;
   delta.guard_trips = guard_trips - since.guard_trips;
+  delta.storage_bytes_written =
+      storage_bytes_written - since.storage_bytes_written;
+  delta.storage_fsyncs = storage_fsyncs - since.storage_fsyncs;
+  delta.wal_records_appended =
+      wal_records_appended - since.wal_records_appended;
+  delta.wal_records_replayed =
+      wal_records_replayed - since.wal_records_replayed;
+  delta.snapshots_written = snapshots_written - since.snapshots_written;
+  delta.storage_recovery_ns = storage_recovery_ns - since.storage_recovery_ns;
   return delta;
 }
 
@@ -155,7 +194,13 @@ std::string EvalCounterSnapshot::ToString() const {
       "  planner reorders             ", planner_reorders, "\n",
       "  closure memo hits            ", closure_memo_hits, "\n",
       "  guard checkpoints / trips    ", guard_checkpoints, " / ", guard_trips,
-      "\n");
+      "\n",
+      "  storage bytes written        ", storage_bytes_written, "\n",
+      "  storage fsyncs               ", storage_fsyncs, "\n",
+      "  wal records appended         ", wal_records_appended, "\n",
+      "  wal records replayed         ", wal_records_replayed, "\n",
+      "  snapshots written            ", snapshots_written, "\n",
+      "  storage recovery time        ", Millis(storage_recovery_ns), "\n");
 }
 
 bool IndexingEnabled() { return tls_indexing_enabled; }

@@ -26,6 +26,12 @@ struct EvalCounterSnapshot {
   uint64_t closure_memo_hits = 0;       // canonicalizations served from memo
   uint64_t guard_checkpoints = 0;       // query-guard checkpoints recorded
   uint64_t guard_trips = 0;             // queries aborted by the guard
+  uint64_t storage_bytes_written = 0;   // bytes appended to snapshots/WAL
+  uint64_t storage_fsyncs = 0;          // fsync calls (files + directories)
+  uint64_t wal_records_appended = 0;    // logical ops logged to the WAL
+  uint64_t wal_records_replayed = 0;    // logical ops reapplied by recovery
+  uint64_t snapshots_written = 0;       // checkpoint snapshots published
+  uint64_t storage_recovery_ns = 0;     // wall time spent in Open() recovery
 
   EvalCounterSnapshot operator-(const EvalCounterSnapshot& since) const;
   /// Multi-line human-readable rendering (shell \stats).
@@ -52,6 +58,12 @@ class EvalCounters {
   static void AddClosureMemoHits(uint64_t n);
   static void AddGuardCheckpoints(uint64_t n);
   static void AddGuardTrips(uint64_t n);
+  static void AddStorageBytesWritten(uint64_t n);
+  static void AddStorageFsyncs(uint64_t n);
+  static void AddWalRecordsAppended(uint64_t n);
+  static void AddWalRecordsReplayed(uint64_t n);
+  static void AddSnapshotsWritten(uint64_t n);
+  static void AddStorageRecoveryNs(uint64_t ns);
 
   static EvalCounterSnapshot Snapshot();
 };

@@ -62,6 +62,16 @@ GeneralizedRelation GeneralizedRelation::FromPoints(
   return rel;
 }
 
+GeneralizedRelation GeneralizedRelation::FromCanonicalTuples(
+    int arity, std::vector<GeneralizedTuple> tuples) {
+  GeneralizedRelation rel(arity);
+  if (!tuples.empty()) {
+    rel.tuples_ =
+        std::make_shared<std::vector<GeneralizedTuple>>(std::move(tuples));
+  }
+  return rel;
+}
+
 size_t GeneralizedRelation::atom_count() const {
   size_t count = 0;
   for (const GeneralizedTuple& tuple : tuples()) count += tuple.atoms().size();

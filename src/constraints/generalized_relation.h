@@ -33,6 +33,16 @@ class GeneralizedRelation {
   static GeneralizedRelation FromPoints(
       int arity, const std::vector<std::vector<Rational>>& points);
 
+  /// Installs an already-canonical tuple vector verbatim, trusting the
+  /// caller for every AddTuple invariant (each tuple satisfiable and in
+  /// closure form, pairwise non-subsuming, sorted). The binary snapshot
+  /// loader uses this to rebuild a relation exactly as it was stored —
+  /// skipping the closure and subsumption passes is what makes binary load
+  /// several times faster than a text parse. Integrity of the input is the
+  /// snapshot CRC's responsibility.
+  static GeneralizedRelation FromCanonicalTuples(
+      int arity, std::vector<GeneralizedTuple> tuples);
+
   int arity() const { return arity_; }
   const std::vector<GeneralizedTuple>& tuples() const;
   bool IsEmpty() const { return !tuples_ || tuples_->empty(); }

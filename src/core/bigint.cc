@@ -33,6 +33,10 @@ BigInt BigInt::FromParts(int sign, std::vector<uint32_t> mag) {
   return out;
 }
 
+BigInt BigInt::FromLimbs(int sign, std::vector<uint32_t> mag) {
+  return FromParts(sign < 0 ? -1 : 1, std::move(mag));
+}
+
 void BigInt::Trim(std::vector<uint32_t>* mag) {
   while (!mag->empty() && mag->back() == 0) mag->pop_back();
 }

@@ -89,6 +89,16 @@ class BigInt {
   /// Number of limbs (for size diagnostics in benchmarks).
   size_t limb_count() const { return mag_.size(); }
 
+  /// The little-endian base-2^32 magnitude (no trailing zero limbs). The
+  /// binary storage codec serializes this directly; everything else should
+  /// go through the arithmetic interface.
+  const std::vector<uint32_t>& limbs() const { return mag_; }
+
+  /// Reassembles a value from a sign and magnitude as produced by limbs().
+  /// Trailing zero limbs are trimmed and the sign of a zero magnitude is
+  /// normalized, so any input produces a valid BigInt.
+  static BigInt FromLimbs(int sign, std::vector<uint32_t> mag);
+
  private:
   static BigInt FromParts(int sign, std::vector<uint32_t> mag);
 

@@ -37,6 +37,16 @@ const char* GuardSiteName(GuardSite site) {
       return "datalog-rule";
     case GuardSite::kCCalcFixpoint:
       return "ccalc-fixpoint";
+    case GuardSite::kSnapshotWrite:
+      return "snapshot-write";
+    case GuardSite::kSnapshotRename:
+      return "snapshot-rename";
+    case GuardSite::kWalAppend:
+      return "wal-append";
+    case GuardSite::kWalSync:
+      return "wal-sync";
+    case GuardSite::kWalReplay:
+      return "wal-replay";
   }
   return "unknown";
 }

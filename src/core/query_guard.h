@@ -49,8 +49,21 @@ enum class GuardSite {
   kDatalogRound,            // semi-naive fixpoint rounds
   kDatalogRule,             // per-rule jobs inside a Datalog round
   kCCalcFixpoint,           // C-CALC fix() iteration rounds
+  // Storage-engine sites (src/storage/). Tripping one emulates a crash at
+  // that point: the bytes already on disk are exactly what a killed process
+  // would have left, so recovery tests replay real crash states.
+  kSnapshotWrite,           // per-tuple loop inside snapshot serialization
+  kSnapshotRename,          // after the temp snapshot is synced, before rename
+  kWalAppend,               // mid-record, before the WAL append completes
+  kWalSync,                 // after fsync, before the append is acknowledged
+  kWalReplay,               // per-record/tuple loop during recovery replay
 };
-inline constexpr int kGuardSiteCount = 10;
+inline constexpr int kGuardSiteCount = 15;
+/// Index of the first storage-engine site. Sites below this are reachable
+/// from query evaluation; sites from here on are reachable only through the
+/// storage engine (the fault sweeps in robustness_test / storage_test split
+/// coverage along this boundary).
+inline constexpr int kFirstStorageGuardSite = 10;
 
 /// Stable kebab-case name of a site ("closure-sweep"); used by fault specs
 /// and stats output.

@@ -18,6 +18,8 @@
 ///   complex/      complex constraint objects and the C-CALC calculus
 ///   spatial/      Figure-1 regions, intervals, region connectivity
 ///   io/           database catalog and text format
+///   storage/      durable storage: binary snapshots, write-ahead log,
+///                 crash recovery
 
 #include "algebra/join_planner.h"
 #include "algebra/relational_ops.h"
@@ -72,5 +74,10 @@
 #include "spatial/interval.h"
 #include "spatial/polygon.h"
 #include "spatial/region.h"
+#include "storage/binary_format.h"
+#include "storage/file_io.h"
+#include "storage/snapshot.h"
+#include "storage/storage_engine.h"
+#include "storage/wal.h"
 
 #endif  // DODB_DODB_H_

@@ -9,6 +9,7 @@
 #include "core/thread_pool.h"
 #include "fo/evaluator.h"
 #include "fo/parser.h"
+#include "storage/storage_engine.h"
 
 namespace dodb {
 
@@ -57,7 +58,8 @@ Result<GeneralizedRelation> EvalCondition(const Database& db, int arity,
   return evaluator.Evaluate(query);
 }
 
-Result<std::string> Create(Database* db, std::string_view rest) {
+Result<std::string> Create(Database* db, storage::StorageEngine* engine,
+                           std::string_view rest) {
   // create <name>(<arity>)
   size_t paren = rest.find('(');
   size_t close = rest.rfind(')');
@@ -76,26 +78,28 @@ Result<std::string> Create(Database* db, std::string_view rest) {
     return Status::ParseError("arity must be an integer in 0..16");
   }
   int k = static_cast<int>(arity.value().num().ToInt64().value());
+  if (db->HasRelation(name)) {
+    return Status::InvalidArgument(StrCat("relation '", name,
+                                          "' already exists"));
+  }
+  if (engine != nullptr) DODB_RETURN_IF_ERROR(engine->LogCreate(name, k));
   DODB_RETURN_IF_ERROR(db->AddRelation(name, GeneralizedRelation(k)));
   return StrCat("created ", name, "/", k);
 }
 
-Result<std::string> Drop(Database* db, std::string_view rest) {
+Result<std::string> Drop(Database* db, storage::StorageEngine* engine,
+                         std::string_view rest) {
   std::string name(StripWhitespace(rest));
   if (!db->HasRelation(name)) {
     return Status::NotFound(StrCat("no relation '", name, "'"));
   }
-  Database remaining;
-  for (const std::string& existing : db->RelationNames()) {
-    if (existing != name) {
-      remaining.SetRelation(existing, *db->FindRelation(existing));
-    }
-  }
-  *db = std::move(remaining);
+  if (engine != nullptr) DODB_RETURN_IF_ERROR(engine->LogDrop(name));
+  db->RemoveRelation(name);
   return StrCat("dropped ", name);
 }
 
-Result<std::string> Insert(Database* db, std::string_view rest) {
+Result<std::string> Insert(Database* db, storage::StorageEngine* engine,
+                           std::string_view rest) {
   // insert into <name> <formula>
   std::string_view into = NextWord(&rest);
   if (into != "into") {
@@ -112,6 +116,11 @@ Result<std::string> Insert(Database* db, std::string_view rest) {
   Result<GeneralizedRelation> addition =
       EvalCondition(*db, rel->arity(), rest);
   if (!addition.ok()) return addition.status();
+  // Log the batch, not the merged result: replay re-unions it into the
+  // relation's recovered state, reproducing exactly the merge below.
+  if (engine != nullptr) {
+    DODB_RETURN_IF_ERROR(engine->LogInsert(name, addition.value()));
+  }
   GeneralizedRelation merged = algebra::Union(*rel, addition.value());
   size_t added = merged.tuple_count();
   db->SetRelation(name, std::move(merged));
@@ -119,7 +128,8 @@ Result<std::string> Insert(Database* db, std::string_view rest) {
                 " generalized tuples");
 }
 
-Result<std::string> Delete(Database* db, std::string_view rest) {
+Result<std::string> Delete(Database* db, storage::StorageEngine* engine,
+                           std::string_view rest) {
   // delete from <name> where <formula>
   std::string_view from = NextWord(&rest);
   if (from != "from") {
@@ -138,6 +148,9 @@ Result<std::string> Delete(Database* db, std::string_view rest) {
       EvalCondition(*db, rel->arity(), rest);
   if (!removal.ok()) return removal.status();
   GeneralizedRelation remaining = algebra::Difference(*rel, removal.value());
+  if (engine != nullptr) {
+    DODB_RETURN_IF_ERROR(engine->LogSet(name, remaining));
+  }
   size_t left = remaining.tuple_count();
   db->SetRelation(name, std::move(remaining));
   return StrCat("delete ok: ", name, " now has ", left,
@@ -147,14 +160,19 @@ Result<std::string> Delete(Database* db, std::string_view rest) {
 }  // namespace
 
 Result<std::string> ExecuteCommand(Database* db, std::string_view text) {
+  return ExecuteCommand(db, text, nullptr);
+}
+
+Result<std::string> ExecuteCommand(Database* db, std::string_view text,
+                                   storage::StorageEngine* engine) {
   DODB_CHECK(db != nullptr);
   std::string_view rest = StripWhitespace(text);
   if (!rest.empty() && rest.back() == ';') rest.remove_suffix(1);
   std::string_view verb = NextWord(&rest);
-  if (verb == "create") return Create(db, rest);
-  if (verb == "drop") return Drop(db, rest);
-  if (verb == "insert") return Insert(db, rest);
-  if (verb == "delete") return Delete(db, rest);
+  if (verb == "create") return Create(db, engine, rest);
+  if (verb == "drop") return Drop(db, engine, rest);
+  if (verb == "insert") return Insert(db, engine, rest);
+  if (verb == "delete") return Delete(db, engine, rest);
   return Status::ParseError(
       StrCat("unknown command '", verb,
              "' (expected create/drop/insert/delete)"));

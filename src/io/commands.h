@@ -9,6 +9,10 @@
 
 namespace dodb {
 
+namespace storage {
+class StorageEngine;
+}  // namespace storage
+
 /// Data-manipulation commands over a constraint database. Because relations
 /// are (possibly infinite) pointsets, inserts and deletes take *formulas*,
 /// not rows — and the formulas may reference other relations:
@@ -23,6 +27,14 @@ namespace dodb {
 /// the relation; delete subtracts { (x0..) | formula } (set difference over
 /// infinite sets, in closed form). Returns a one-line human summary.
 Result<std::string> ExecuteCommand(Database* db, std::string_view text);
+
+/// ExecuteCommand with write-ahead logging: when `engine` is non-null, the
+/// logical operation is logged durably BEFORE the in-memory catalog mutates
+/// (storage/storage_engine.h's discipline). A logging failure aborts the
+/// command — the catalog is untouched and the error is returned, so an
+/// acknowledged command is always recoverable.
+Result<std::string> ExecuteCommand(Database* db, std::string_view text,
+                                   storage::StorageEngine* engine);
 
 }  // namespace dodb
 

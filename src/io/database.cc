@@ -21,6 +21,10 @@ void Database::SetRelation(const std::string& name,
   relations_.insert_or_assign(name, std::move(relation));
 }
 
+bool Database::RemoveRelation(const std::string& name) {
+  return relations_.erase(name) > 0;
+}
+
 bool Database::HasRelation(const std::string& name) const {
   return relations_.count(name) > 0;
 }

@@ -23,6 +23,9 @@ class Database {
   /// Inserts or replaces.
   void SetRelation(const std::string& name, GeneralizedRelation relation);
 
+  /// Removes a relation; returns whether it existed.
+  bool RemoveRelation(const std::string& name);
+
   bool HasRelation(const std::string& name) const;
 
   /// The relation, or nullptr when absent.

@@ -177,7 +177,12 @@ std::string FormatDatabase(const Database& db) {
     }
     out << "relation " << name << "(" << StrJoin(columns, ", ") << ") {\n";
     for (const GeneralizedTuple& tuple : rel->tuples()) {
-      out << "  " << tuple.Minimized().ToString(&columns) << ";\n";
+      // Emit the stored canonical atom list, not Minimized(): minimization
+      // can drop var-const atoms whose constants then vanish from the
+      // reparsed tuple's closure, so Format∘Parse would not be the identity
+      // on relation structure. Closure is idempotent, so re-parsing the
+      // canonical form reproduces the tuple exactly.
+      out << "  " << tuple.ToString(&columns) << ";\n";
     }
     out << "}\n";
   }

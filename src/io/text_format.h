@@ -25,8 +25,10 @@ namespace dodb {
 /// declared column variables and rational literals.
 Result<Database> ParseDatabase(std::string_view text);
 
-/// Canonical text rendering (column names x0, x1, ...). Round-trips through
-/// ParseDatabase up to tuple canonicalization.
+/// Canonical text rendering (column names x0, x1, ...): each tuple's full
+/// closure-canonical atom list. ParseDatabase(FormatDatabase(db)) rebuilds
+/// `db` exactly (StructurallyEquals), because canonicalization is idempotent
+/// on the emitted form.
 std::string FormatDatabase(const Database& db);
 
 /// File variants.

@@ -1,0 +1,316 @@
+#include "storage/binary_format.h"
+
+#include <array>
+#include <cstring>
+
+#include "core/str_util.h"
+
+namespace dodb {
+namespace storage {
+
+namespace {
+
+// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table, and
+// table[k][b] is the CRC of byte b followed by k zero bytes, which lets the
+// hot loop fold 8 input bytes per iteration (snapshot loads checksum every
+// payload before decoding it, so this is on the recovery critical path).
+std::array<std::array<uint32_t, 256>, 8> BuildCrcTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables[0][i];
+    for (int k = 1; k < 8; ++k) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[k][i] = c;
+    }
+  }
+  return tables;
+}
+
+// Decoded collection sizes are sanity-capped against the bytes actually
+// present (every element costs at least one byte), so a corrupt length can
+// never drive an allocation past the input size.
+Status CheckCount(uint64_t count, size_t remaining, const char* what) {
+  if (count > remaining) {
+    return Status::InvalidArgument(
+        StrCat("binary ", what, " count ", count, " exceeds the ", remaining,
+               " bytes remaining"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const std::array<std::array<uint32_t, 256>, 8> kTables =
+      BuildCrcTables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  while (size >= 8) {
+    uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+        kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+        kTables[3][hi & 0xFFu] ^ kTables[2][(hi >> 8) & 0xFFu] ^
+        kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    c = kTables[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+    --size;
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+void ByteWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutBytes(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + size);
+}
+
+void ByteWriter::PutString(const std::string& s) {
+  PutVarint(s.size());
+  PutBytes(s.data(), s.size());
+}
+
+void ByteWriter::PutBigInt(const BigInt& v) {
+  PutU8(v.is_zero() ? 0 : (v.is_negative() ? 2 : 1));
+  PutVarint(v.limbs().size());
+  for (uint32_t limb : v.limbs()) PutU32(limb);
+}
+
+void ByteWriter::PutRational(const Rational& v) {
+  PutBigInt(v.num());
+  PutBigInt(v.den());
+}
+
+void ByteWriter::PutTerm(const Term& t) {
+  if (t.is_var()) {
+    PutU8(0);
+    PutVarint(static_cast<uint64_t>(t.var()));
+  } else {
+    PutU8(1);
+    PutRational(t.constant());
+  }
+}
+
+void ByteWriter::PutAtom(const DenseAtom& a) {
+  PutTerm(a.lhs());
+  PutU8(static_cast<uint8_t>(a.op()));
+  PutTerm(a.rhs());
+}
+
+void ByteWriter::PutTuple(const GeneralizedTuple& t) {
+  PutVarint(t.atoms().size());
+  for (const DenseAtom& atom : t.atoms()) PutAtom(atom);
+}
+
+void ByteWriter::PutRelationPayload(const GeneralizedRelation& rel) {
+  PutVarint(static_cast<uint64_t>(rel.arity()));
+  PutVarint(rel.tuple_count());
+  for (const GeneralizedTuple& tuple : rel.tuples()) PutTuple(tuple);
+}
+
+Status ByteReader::Truncated(const char* what) {
+  return Status::InvalidArgument(
+      StrCat("binary input truncated reading ", what, " at offset ", pos_));
+}
+
+Status ByteReader::GetU8(uint8_t* v) {
+  if (pos_ >= size_) return Truncated("u8");
+  *v = data_[pos_++];
+  return Status::Ok();
+}
+
+Status ByteReader::GetU32(uint32_t* v) {
+  if (size_ - pos_ < 4) return Truncated("u32");
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return Status::Ok();
+}
+
+Status ByteReader::GetVarint(uint64_t* v) {
+  // Single-byte values dominate (atom counts, small variable indices, limb
+  // counts), so peel that case off the general loop.
+  if (pos_ < size_ && (data_[pos_] & 0x80u) == 0) {
+    *v = data_[pos_++];
+    return Status::Ok();
+  }
+  *v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= size_) return Truncated("varint");
+    uint8_t byte = data_[pos_++];
+    *v |= static_cast<uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      if (shift == 63 && (byte & 0x7Eu) != 0) {
+        return Status::InvalidArgument("varint overflows 64 bits");
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("varint longer than 10 bytes");
+}
+
+Status ByteReader::GetString(std::string* s) {
+  uint64_t len = 0;
+  DODB_RETURN_IF_ERROR(GetVarint(&len));
+  DODB_RETURN_IF_ERROR(CheckCount(len, remaining(), "string"));
+  s->assign(reinterpret_cast<const char*>(data_ + pos_),
+            static_cast<size_t>(len));
+  pos_ += static_cast<size_t>(len);
+  return Status::Ok();
+}
+
+Status ByteReader::GetBigInt(BigInt* v) {
+  uint8_t sign = 0;
+  DODB_RETURN_IF_ERROR(GetU8(&sign));
+  if (sign > 2) {
+    return Status::InvalidArgument(
+        StrCat("bad BigInt sign byte ", static_cast<int>(sign)));
+  }
+  uint64_t limb_count = 0;
+  DODB_RETURN_IF_ERROR(GetVarint(&limb_count));
+  DODB_RETURN_IF_ERROR(CheckCount(limb_count, remaining() / 4, "limb"));
+  // CheckCount above guarantees 4 * limb_count bytes are present, so the
+  // limbs can be decoded with one bounds check instead of one per limb.
+  std::vector<uint32_t> limbs(static_cast<size_t>(limb_count));
+  const uint8_t* p = data_ + pos_;
+  for (uint64_t i = 0; i < limb_count; ++i, p += 4) {
+    limbs[i] = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+               static_cast<uint32_t>(p[2]) << 16 |
+               static_cast<uint32_t>(p[3]) << 24;
+  }
+  pos_ += static_cast<size_t>(limb_count) * 4;
+  *v = BigInt::FromLimbs(sign == 2 ? -1 : 1, std::move(limbs));
+  if (sign == 0 && !v->is_zero()) {
+    return Status::InvalidArgument("BigInt sign byte 0 with nonzero limbs");
+  }
+  return Status::Ok();
+}
+
+Status ByteReader::GetRational(Rational* v) {
+  BigInt num, den;
+  DODB_RETURN_IF_ERROR(GetBigInt(&num));
+  DODB_RETURN_IF_ERROR(GetBigInt(&den));
+  if (den.is_zero()) {
+    return Status::InvalidArgument("Rational with zero denominator");
+  }
+  // Integers (den = 1) dominate real catalogs; the integer constructor
+  // skips the gcd normalization the general one always performs.
+  if (!den.is_negative() && den.limbs().size() == 1 && den.limbs()[0] == 1) {
+    *v = Rational(std::move(num));
+  } else {
+    *v = Rational(std::move(num), std::move(den));
+  }
+  return Status::Ok();
+}
+
+Status ByteReader::GetTerm(Term* t) {
+  uint8_t tag = 0;
+  DODB_RETURN_IF_ERROR(GetU8(&tag));
+  if (tag == 0) {
+    uint64_t index = 0;
+    DODB_RETURN_IF_ERROR(GetVarint(&index));
+    if (index > static_cast<uint64_t>(INT32_MAX)) {
+      return Status::InvalidArgument(StrCat("variable index ", index,
+                                            " out of range"));
+    }
+    *t = Term::Var(static_cast<int>(index));
+    return Status::Ok();
+  }
+  if (tag == 1) {
+    Rational value;
+    DODB_RETURN_IF_ERROR(GetRational(&value));
+    *t = Term::Const(std::move(value));
+    return Status::Ok();
+  }
+  return Status::InvalidArgument(
+      StrCat("bad Term tag ", static_cast<int>(tag)));
+}
+
+Status ByteReader::GetAtom(DenseAtom* a) {
+  Term lhs = Term::Var(0), rhs = Term::Var(0);
+  uint8_t op = 0;
+  DODB_RETURN_IF_ERROR(GetTerm(&lhs));
+  DODB_RETURN_IF_ERROR(GetU8(&op));
+  if (op > static_cast<uint8_t>(RelOp::kGt)) {
+    return Status::InvalidArgument(
+        StrCat("bad RelOp byte ", static_cast<int>(op)));
+  }
+  DODB_RETURN_IF_ERROR(GetTerm(&rhs));
+  *a = DenseAtom(std::move(lhs), static_cast<RelOp>(op), std::move(rhs));
+  return Status::Ok();
+}
+
+Status ByteReader::GetTuple(int arity, GeneralizedTuple* t) {
+  uint64_t atom_count = 0;
+  DODB_RETURN_IF_ERROR(GetVarint(&atom_count));
+  DODB_RETURN_IF_ERROR(CheckCount(atom_count, remaining(), "atom"));
+  std::vector<DenseAtom> atoms;
+  atoms.reserve(static_cast<size_t>(atom_count));
+  for (uint64_t i = 0; i < atom_count; ++i) {
+    DenseAtom atom(Term::Var(0), RelOp::kEq, Term::Var(0));
+    DODB_RETURN_IF_ERROR(GetAtom(&atom));
+    for (const Term* term : {&atom.lhs(), &atom.rhs()}) {
+      if (term->is_var() && term->var() >= arity) {
+        return Status::InvalidArgument(
+            StrCat("variable x", term->var(), " outside arity ", arity));
+      }
+    }
+    atoms.push_back(std::move(atom));
+  }
+  *t = GeneralizedTuple(arity, std::move(atoms));
+  return Status::Ok();
+}
+
+Status ByteReader::Skip(size_t n) {
+  if (remaining() < n) return Truncated("skipped region");
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status ByteReader::GetRelationPayload(GeneralizedRelation* rel) {
+  uint64_t arity = 0, tuple_count = 0;
+  DODB_RETURN_IF_ERROR(GetVarint(&arity));
+  if (arity > 1024) {
+    return Status::InvalidArgument(StrCat("implausible arity ", arity));
+  }
+  DODB_RETURN_IF_ERROR(GetVarint(&tuple_count));
+  DODB_RETURN_IF_ERROR(CheckCount(tuple_count, remaining(), "tuple"));
+  std::vector<GeneralizedTuple> tuples;
+  tuples.reserve(static_cast<size_t>(tuple_count));
+  for (uint64_t i = 0; i < tuple_count; ++i) {
+    GeneralizedTuple tuple(static_cast<int>(arity));
+    DODB_RETURN_IF_ERROR(GetTuple(static_cast<int>(arity), &tuple));
+    tuples.push_back(std::move(tuple));
+  }
+  *rel = GeneralizedRelation::FromCanonicalTuples(static_cast<int>(arity),
+                                                  std::move(tuples));
+  return Status::Ok();
+}
+
+}  // namespace storage
+}  // namespace dodb

@@ -1,0 +1,99 @@
+#ifndef DODB_STORAGE_BINARY_FORMAT_H_
+#define DODB_STORAGE_BINARY_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraints/generalized_relation.h"
+#include "core/status.h"
+
+namespace dodb {
+namespace storage {
+
+/// Low-level binary codec shared by the snapshot and WAL formats.
+///
+/// Primitives (all little-endian):
+///   u8 / u32          fixed width
+///   varint            LEB128-encoded uint64 (7 bits per byte, msb = more)
+///   bytes             varint length prefix + raw bytes
+///   BigInt            u8 sign (0 / 1 / 2 for zero / + / -) + varint limb
+///                     count + base-2^32 limbs as fixed u32s
+///   Rational          BigInt numerator + BigInt denominator
+///   Term              u8 tag (0 var / 1 const) + varint index | Rational
+///   DenseAtom         Term lhs + u8 RelOp + Term rhs
+///   GeneralizedTuple  varint atom count + atoms (arity carried by the
+///                     enclosing relation header)
+///   relation payload  varint arity + varint tuple count + tuples
+///
+/// Every decoder is bounds-checked: truncated or over-length input yields a
+/// clean InvalidArgument Status, never a read past the buffer. Integrity is
+/// the caller's job — the snapshot and WAL formats wrap payloads in CRC32
+/// frames, so a decoder only ever sees bytes that already passed a checksum
+/// (decode errors after a valid CRC indicate version skew or a bug).
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum stamped on every
+/// snapshot relation payload and WAL record. `seed` chains incremental
+/// updates: Crc32(b, Crc32(a)) == Crc32(a ++ b).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// Append-only encoder over a growable byte buffer.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutVarint(uint64_t v);
+  void PutBytes(const void* data, size_t size);
+  void PutString(const std::string& s);
+  void PutBigInt(const BigInt& v);
+  void PutRational(const Rational& v);
+  void PutTerm(const Term& t);
+  void PutAtom(const DenseAtom& a);
+  void PutTuple(const GeneralizedTuple& t);
+  /// The full relation payload (arity + tuples) of the snapshot format.
+  void PutRelationPayload(const GeneralizedRelation& rel);
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked decoder over a borrowed byte range.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetU32(uint32_t* v);
+  Status GetVarint(uint64_t* v);
+  Status GetString(std::string* s);
+  Status GetBigInt(BigInt* v);
+  Status GetRational(Rational* v);
+  Status GetTerm(Term* t);
+  Status GetAtom(DenseAtom* a);
+  /// Decodes a tuple of the given arity, rejecting atoms whose variable
+  /// indices fall outside it.
+  Status GetTuple(int arity, GeneralizedTuple* t);
+  Status GetRelationPayload(GeneralizedRelation* rel);
+  /// Advances past `n` bytes (callers that decode a region out-of-band).
+  Status Skip(size_t n);
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Truncated(const char* what);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace storage
+}  // namespace dodb
+
+#endif  // DODB_STORAGE_BINARY_FORMAT_H_

@@ -1,0 +1,160 @@
+#include "storage/snapshot.h"
+
+#include <cstring>
+
+#include "constraints/eval_counters.h"
+#include "core/str_util.h"
+#include "storage/binary_format.h"
+#include "storage/file_io.h"
+
+namespace dodb {
+namespace storage {
+
+namespace {
+
+Status Corrupt(const std::string& path, const std::string& why) {
+  return Status::InvalidArgument(
+      StrCat("snapshot '", path, "' corrupt: ", why));
+}
+
+}  // namespace
+
+Status WriteSnapshotFile(const Database& db, const std::string& path,
+                         QueryGuard* guard) {
+  const std::string tmp = path + ".tmp";
+  AppendFile file;
+  DODB_RETURN_IF_ERROR(file.Open(tmp, /*truncate=*/true));
+
+  ByteWriter header;
+  header.PutBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  header.PutU32(kSnapshotVersion);
+  header.PutU32(static_cast<uint32_t>(db.relation_count()));
+  header.PutU32(Crc32(header.data().data(), header.size()));
+  DODB_RETURN_IF_ERROR(file.Append(header.data().data(), header.size()));
+
+  // One record per relation, appended as soon as it is serialized: a guard
+  // trip mid-loop flushes whatever bytes the tuple loop produced so far, so
+  // the .tmp on disk is the torn file a killed process would have left.
+  GuardTicker ticker(guard, GuardSite::kSnapshotWrite, /*stride=*/64);
+  for (const std::string& name : db.RelationNames()) {
+    const GeneralizedRelation* rel = db.FindRelation(name);
+    ByteWriter payload;
+    payload.PutVarint(static_cast<uint64_t>(rel->arity()));
+    payload.PutVarint(rel->tuple_count());
+    bool alive = true;
+    for (const GeneralizedTuple& tuple : rel->tuples()) {
+      if (!ticker.Tick()) {
+        alive = false;
+        break;
+      }
+      payload.PutTuple(tuple);
+    }
+    ByteWriter record;
+    record.PutString(name);
+    record.PutVarint(payload.size());
+    uint32_t crc = Crc32(name.data(), name.size());
+    crc = Crc32(payload.data().data(), payload.size(), crc);
+    record.PutBytes(payload.data().data(), payload.size());
+    record.PutU32(crc);
+    DODB_RETURN_IF_ERROR(file.Append(record.data().data(), record.size()));
+    if (!alive) return guard->status();
+  }
+
+  DODB_RETURN_IF_ERROR(file.Sync());
+  if (guard != nullptr &&
+      !guard->Checkpoint(GuardSite::kSnapshotRename)) {
+    // Emulated crash after the temp file is durable but before the rename
+    // publishes it: the complete .tmp stays, the final name is untouched.
+    return guard->status();
+  }
+  DODB_RETURN_IF_ERROR(file.Close());
+  DODB_RETURN_IF_ERROR(RenameFileDurable(tmp, path));
+  EvalCounters::AddSnapshotsWritten(1);
+  return Status::Ok();
+}
+
+Result<Database> LoadSnapshotFile(const std::string& path,
+                                  QueryGuard* guard) {
+  Result<std::vector<uint8_t>> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  const std::vector<uint8_t>& buf = bytes.value();
+
+  if (buf.size() < 20) return Corrupt(path, "shorter than the 20-byte header");
+  if (std::memcmp(buf.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Corrupt(path, "bad magic");
+  }
+  ByteReader reader(buf.data() + sizeof(kSnapshotMagic),
+                    buf.size() - sizeof(kSnapshotMagic));
+  uint32_t version = 0, relation_count = 0, header_crc = 0;
+  DODB_RETURN_IF_ERROR(reader.GetU32(&version));
+  DODB_RETURN_IF_ERROR(reader.GetU32(&relation_count));
+  DODB_RETURN_IF_ERROR(reader.GetU32(&header_crc));
+  if (header_crc != Crc32(buf.data(), 16)) {
+    return Corrupt(path, "header checksum mismatch");
+  }
+  if (version != kSnapshotVersion) {
+    return Corrupt(path, StrCat("unsupported format version ", version));
+  }
+
+  Database db;
+  GuardTicker ticker(guard, GuardSite::kWalReplay, /*stride=*/64);
+  for (uint32_t i = 0; i < relation_count; ++i) {
+    std::string name;
+    uint64_t payload_len = 0;
+    DODB_RETURN_IF_ERROR(reader.GetString(&name));
+    DODB_RETURN_IF_ERROR(reader.GetVarint(&payload_len));
+    if (payload_len + 4 > reader.remaining()) {
+      return Corrupt(path, StrCat("relation '", name, "' payload truncated"));
+    }
+    const uint8_t* payload =
+        buf.data() + sizeof(kSnapshotMagic) + reader.position();
+    uint32_t crc = Crc32(name.data(), name.size());
+    crc = Crc32(payload, static_cast<size_t>(payload_len), crc);
+    DODB_RETURN_IF_ERROR(reader.Skip(static_cast<size_t>(payload_len)));
+    uint32_t stored_crc = 0;
+    DODB_RETURN_IF_ERROR(reader.GetU32(&stored_crc));
+    if (stored_crc != crc) {
+      return Corrupt(path, StrCat("relation '", name, "' checksum mismatch"));
+    }
+
+    // Only checksum-clean bytes reach the decoder (the binary_format
+    // contract); a decode error past this point is version skew or a bug.
+    ByteReader body(payload, static_cast<size_t>(payload_len));
+    uint64_t arity = 0, tuple_count = 0;
+    DODB_RETURN_IF_ERROR(body.GetVarint(&arity));
+    if (arity > 1024) {
+      return Corrupt(path, StrCat("implausible arity ", arity));
+    }
+    DODB_RETURN_IF_ERROR(body.GetVarint(&tuple_count));
+    if (tuple_count > body.remaining()) {
+      return Corrupt(path, StrCat("relation '", name, "' tuple count ",
+                                  tuple_count, " exceeds payload"));
+    }
+    std::vector<GeneralizedTuple> tuples;
+    tuples.reserve(static_cast<size_t>(tuple_count));
+    for (uint64_t t = 0; t < tuple_count; ++t) {
+      if (!ticker.Tick()) return guard->status();
+      GeneralizedTuple tuple(static_cast<int>(arity));
+      DODB_RETURN_IF_ERROR(body.GetTuple(static_cast<int>(arity), &tuple));
+      tuples.push_back(std::move(tuple));
+    }
+    if (!body.AtEnd()) {
+      return Corrupt(path, StrCat("relation '", name, "' has ",
+                                  body.remaining(), " trailing payload bytes"));
+    }
+    if (guard != nullptr &&
+        !guard->AccountBytes(GuardSite::kWalReplay, payload_len)) {
+      return guard->status();
+    }
+    DODB_RETURN_IF_ERROR(db.AddRelation(
+        name, GeneralizedRelation::FromCanonicalTuples(
+                  static_cast<int>(arity), std::move(tuples))));
+  }
+  if (!reader.AtEnd()) {
+    return Corrupt(path, StrCat(reader.remaining(), " trailing bytes"));
+  }
+  return db;
+}
+
+}  // namespace storage
+}  // namespace dodb

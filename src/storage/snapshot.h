@@ -1,0 +1,62 @@
+#ifndef DODB_STORAGE_SNAPSHOT_H_
+#define DODB_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/query_guard.h"
+#include "io/database.h"
+
+namespace dodb {
+namespace storage {
+
+/// Versioned, checksummed binary snapshot of a whole catalog.
+///
+/// File layout (DESIGN.md §11):
+///   magic[8]  "DODBSNP1"
+///   u32       format version (kSnapshotVersion)
+///   u32       relation count
+///   u32       CRC32 of the 16 header bytes above
+///   per relation, in catalog (name) order:
+///     varint name length + name bytes
+///     varint payload length + payload (binary_format relation payload)
+///     u32    CRC32 of name bytes ++ payload bytes
+///   (end of file exactly here; trailing bytes are an error)
+///
+/// Writes are atomic: the snapshot is assembled at `path`.tmp, fsynced, and
+/// renamed over `path` — a reader never observes a half-written snapshot
+/// under the final name. Serialization walks the relation's COW tuple
+/// vector in place (copying a GeneralizedRelation is O(1)), so producing a
+/// checkpoint copy of the catalog never deep-copies tuple data.
+///
+/// Guard wiring: the tuple loop ticks `guard` at GuardSite::kSnapshotWrite
+/// and the final pre-rename checkpoint is GuardSite::kSnapshotRename, so a
+/// snapshot of a huge database is cancellable / budget-bounded, and the
+/// fault-injection tests can emulate a crash mid-write (torn .tmp left
+/// behind, final name untouched) or pre-rename (complete .tmp left behind,
+/// final name untouched).
+
+inline constexpr char kSnapshotMagic[8] = {'D', 'O', 'D', 'B',
+                                           'S', 'N', 'P', '1'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Writes `db` as a binary snapshot at `path` (via `path`.tmp + rename).
+/// On a guard trip the partial .tmp is deliberately left on disk — it is
+/// the crash state recovery must tolerate — and the guard's status is
+/// returned. `guard` may be null.
+Status WriteSnapshotFile(const Database& db, const std::string& path,
+                         QueryGuard* guard = nullptr);
+
+/// Loads a snapshot written by WriteSnapshotFile. Any header, framing or
+/// CRC violation is a clean InvalidArgument (NotFound when the file is
+/// absent); no partial database escapes. The per-tuple loop ticks `guard`
+/// at GuardSite::kWalReplay — snapshot load is the first half of recovery
+/// replay — and accounts loaded tuple bytes against the guard's memory
+/// budget.
+Result<Database> LoadSnapshotFile(const std::string& path,
+                                  QueryGuard* guard = nullptr);
+
+}  // namespace storage
+}  // namespace dodb
+
+#endif  // DODB_STORAGE_SNAPSHOT_H_

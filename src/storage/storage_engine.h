@@ -1,0 +1,159 @@
+#ifndef DODB_STORAGE_STORAGE_ENGINE_H_
+#define DODB_STORAGE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/query_guard.h"
+#include "core/status.h"
+#include "io/database.h"
+#include "storage/wal.h"
+
+namespace dodb {
+namespace storage {
+
+/// How much durability the engine provides (the shell's \wal command and
+/// Open() select one).
+enum class DurabilityMode {
+  kOff,            // no files touched; Log* calls are no-ops
+  kWal,            // every op logged + fsynced before it is acknowledged
+  kWalCheckpoint,  // kWal, plus automatic snapshot checkpoints and a
+                   // checkpoint on Close()
+};
+
+const char* DurabilityModeName(DurabilityMode mode);
+
+struct StorageOptions {
+  DurabilityMode mode = DurabilityMode::kWalCheckpoint;
+  /// Rotate to a new WAL segment once the current one exceeds this.
+  uint64_t wal_segment_bytes = 4ull << 20;
+  /// fsync batching: sync after every nth logged record. 1 = every record
+  /// (full ack-implies-durable); larger values trade the tail of a crash for
+  /// throughput, exactly like group commit.
+  uint32_t wal_sync_every = 1;
+  /// In kWalCheckpoint mode, checkpoint automatically once the live WAL
+  /// exceeds this many bytes. 0 = only explicit Checkpoint()/Close().
+  uint64_t checkpoint_wal_bytes = 64ull << 20;
+  /// Budgets for the engine's guard (recovery replay, snapshot writes).
+  /// deadline_ms is measured from Open(), so treat it as a bound on the
+  /// engine's whole life, not per-op.
+  GuardLimits limits;
+  /// Storage fault spec "<site>[:<nth>]" (core/fault_injection.h). Empty =
+  /// the DODB_FAULT environment variable when set, else off. The crash
+  /// tests arm wal-append / wal-sync / snapshot-write / snapshot-rename /
+  /// wal-replay here.
+  std::string fault_spec;
+};
+
+/// What recovery found when the engine opened.
+struct RecoveryInfo {
+  bool snapshot_loaded = false;   // a snapshot file seeded the catalog
+  uint32_t generation = 0;        // generation recovered into
+  size_t segments_scanned = 0;    // WAL segments read
+  size_t records_replayed = 0;    // logical ops applied on top of the snapshot
+  bool wal_truncated = false;     // a torn/corrupt WAL tail was chopped
+  uint64_t recovery_ns = 0;       // wall time of the whole Open() recovery
+};
+
+/// Durable storage for one Database: a data directory holding the latest
+/// binary snapshot plus the WAL segments written since (DESIGN.md §11).
+///
+///   dodb_data/
+///     snapshot-000007.snap     latest checkpoint (generation 7)
+///     wal-000007-000000.wal    segments extending it, in index order
+///     wal-000007-000001.wal
+///
+/// Discipline: callers invoke Log* BEFORE applying the same operation to the
+/// in-memory Database; a Log* that returns OK means the op is durable (at
+/// wal_sync_every = 1) and recovery will replay it. A Log* error means the
+/// op must not be applied or acknowledged — and the engine goes sticky-
+/// failed: every later Log*/Checkpoint returns the first failure, because
+/// after a failed append the disk state no longer tracks memory and only a
+/// fresh Open() (which re-truncates the torn tail) can re-establish the
+/// invariant. Close() the failed engine and reopen to resume.
+///
+/// Checkpoint() writes generation N+1: snapshot of the current catalog
+/// (atomic temp + rename), a fresh empty WAL, then deletes generation N's
+/// files. A crash anywhere in between leaves either generation intact on
+/// disk — recovery picks the newest complete snapshot.
+///
+/// Not thread-safe: the engine serializes with the catalog it mirrors,
+/// which is single-writer by construction (the shell/command layer).
+class StorageEngine {
+ public:
+  /// Opens (creating if needed) the data directory, recovers `db` from the
+  /// newest snapshot + WAL tail, and leaves the engine ready to log. `db`
+  /// must outlive the engine and start empty — recovery replaces its
+  /// contents. A corrupt snapshot is a loud error (never silently ignored);
+  /// a torn WAL tail is truncated and reported via recovery().
+  static Result<std::unique_ptr<StorageEngine>> Open(
+      const std::string& dir, Database* db, StorageOptions options = {});
+
+  ~StorageEngine();
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  /// Logs "create <name>/<arity>" durably. Call before Database::AddRelation.
+  Status LogCreate(const std::string& name, int arity);
+  /// Logs "drop <name>". Call before Database::RemoveRelation.
+  Status LogDrop(const std::string& name);
+  /// Logs "set <name> = relation" (insert/delete results, materialized
+  /// query results). Call before Database::SetRelation.
+  Status LogSet(const std::string& name, const GeneralizedRelation& relation);
+  /// Logs "union <batch> into <name>"; replay unions the batch into the
+  /// relation's recovered state. Call before applying the same union.
+  Status LogInsert(const std::string& name, const GeneralizedRelation& batch);
+
+  /// Writes a new snapshot generation and retires the old WAL.
+  Status Checkpoint();
+
+  /// Syncs any batched WAL tail; in kWalCheckpoint mode also checkpoints.
+  /// The destructor calls Close() best-effort; call it explicitly to see
+  /// the status.
+  Status Close();
+
+  const RecoveryInfo& recovery() const { return recovery_; }
+  DurabilityMode mode() const { return options_.mode; }
+  const std::string& dir() const { return dir_; }
+  uint32_t generation() const { return generation_; }
+  /// Bytes in the live WAL generation (all segments, headers included).
+  uint64_t wal_bytes() const { return wal_bytes_; }
+  /// The sticky failure, Ok while healthy.
+  Status failure() const { return failed_; }
+
+  /// The engine's guard (fault injection, budgets). Never null.
+  QueryGuard* guard() { return guard_.get(); }
+
+ private:
+  StorageEngine(std::string dir, Database* db, StorageOptions options);
+
+  Status Recover();
+  Status ApplyRecord(const WalRecord& record);
+  /// Append + policy-driven sync + segment rotation for one encoded record.
+  Status LogRecord(const WalRecord& record);
+  /// Makes `status` sticky (first failure wins) and returns it.
+  Status Fail(Status status);
+  std::string SnapshotPath(uint32_t generation) const;
+  std::string WalPath(uint32_t generation, uint32_t segment) const;
+  Status DeleteGeneration(uint32_t generation);
+
+  const std::string dir_;
+  Database* const db_;
+  const StorageOptions options_;
+  std::unique_ptr<QueryGuard> guard_;
+
+  uint32_t generation_ = 0;
+  uint32_t segment_index_ = 0;
+  uint64_t wal_bytes_ = 0;
+  uint32_t unsynced_records_ = 0;
+  WalWriter writer_;
+  RecoveryInfo recovery_;
+  Status failed_;
+  bool closed_ = false;
+};
+
+}  // namespace storage
+}  // namespace dodb
+
+#endif  // DODB_STORAGE_STORAGE_ENGINE_H_

@@ -1,0 +1,120 @@
+#ifndef DODB_STORAGE_WAL_H_
+#define DODB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraints/generalized_relation.h"
+#include "core/query_guard.h"
+#include "core/status.h"
+#include "storage/file_io.h"
+
+namespace dodb {
+namespace storage {
+
+/// Append-only write-ahead log of logical catalog operations.
+///
+/// Segment layout (DESIGN.md §11):
+///   magic[8]  "DODBWAL1"
+///   u32       format version (kWalVersion)
+///   u32       generation (which snapshot this log extends)
+///   u32       segment index within the generation
+///   u32       CRC32 of the 20 header bytes above
+///   records, back to back:
+///     u32     payload length
+///     u32     CRC32 of the payload
+///     payload (u8 record type + body, see WalRecord)
+///
+/// The discipline is log-then-apply: the engine appends and syncs a record
+/// BEFORE mutating the in-memory catalog, and acknowledges the operation
+/// only after fsync returns. A reader (ReadWalSegment) accepts the longest
+/// prefix of intact records and reports where it stopped — a torn length
+/// prefix, a short payload, a checksum mismatch, or an undecodable payload
+/// all end the log at that record's start, which is exactly the state an
+/// append interrupted by a crash leaves behind.
+
+inline constexpr char kWalMagic[8] = {'D', 'O', 'D', 'B', 'W', 'A', 'L', '1'};
+inline constexpr uint32_t kWalVersion = 1;
+inline constexpr size_t kWalHeaderBytes = 24;
+
+/// Logical operation types. Values are the on-disk u8 tags — append-only,
+/// never renumber.
+enum class WalRecordType : uint8_t {
+  kCreateRelation = 1,  // name + arity: an empty relation enters the catalog
+  kDropRelation = 2,    // name
+  kSetRelation = 3,     // name + full relation payload (replaces)
+  kInsertTuples = 4,    // name + batch relation payload (unions into existing)
+};
+
+/// One decoded logical operation.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kCreateRelation;
+  std::string name;
+  int arity = 0;  // kCreateRelation only
+  GeneralizedRelation relation{0};  // kSetRelation / kInsertTuples only
+};
+
+/// Record payload codecs (the framing CRC is WalWriter/ReadWalSegment's job).
+std::vector<uint8_t> EncodeWalRecord(const WalRecord& record);
+Result<WalRecord> DecodeWalRecord(const uint8_t* data, size_t size);
+
+/// Appender for one WAL segment file.
+class WalWriter {
+ public:
+  /// Creates a fresh segment: writes and fsyncs the header, so rotation is
+  /// durable before the first record lands.
+  Status Create(const std::string& path, uint32_t generation,
+                uint32_t segment_index);
+
+  /// Reopens a recovered segment for appending, truncating it to
+  /// `valid_bytes` first (chopping the torn tail ReadWalSegment reported).
+  Status OpenForAppend(const std::string& path, uint64_t valid_bytes);
+
+  /// Appends one framed record. The write is split around a checkpoint at
+  /// GuardSite::kWalAppend, so a tripped fault leaves a genuinely torn
+  /// record on disk (framing present, payload short) and returns the
+  /// guard's status — the caller must not apply or acknowledge the op.
+  /// Durability requires a subsequent Sync.
+  Status Append(const std::vector<uint8_t>& payload, QueryGuard* guard);
+
+  /// fsyncs the segment, then checkpoints GuardSite::kWalSync: a trip there
+  /// emulates a crash after the record became durable but before the engine
+  /// acknowledged it — recovery will replay the op even though the caller
+  /// saw an error.
+  Status Sync(QueryGuard* guard);
+
+  Status Close() { return file_.Close(); }
+  bool is_open() const { return file_.is_open(); }
+  uint64_t size() const { return file_.size(); }
+  const std::string& path() const { return file_.path(); }
+
+ private:
+  AppendFile file_;
+};
+
+/// What ReadWalSegment found in a segment file.
+struct WalSegmentContents {
+  std::vector<WalRecord> records;
+  /// Offset one past the last intact record (the truncation point a writer
+  /// must resume from). kWalHeaderBytes when the log is empty; 0 when even
+  /// the header was torn.
+  uint64_t valid_bytes = 0;
+  /// Whether a torn/corrupt suffix was dropped to get there.
+  bool truncated = false;
+};
+
+/// Reads the longest intact prefix of a segment. A torn or corrupt header
+/// yields an empty, truncated-at-zero result (a crash during segment
+/// creation); a header whose CRC is valid but whose generation or index
+/// disagrees with the expected values is an error (misplaced file, not a
+/// crash state). Ticks `guard` at GuardSite::kWalReplay per record.
+Result<WalSegmentContents> ReadWalSegment(const std::string& path,
+                                          uint32_t expected_generation,
+                                          uint32_t expected_segment_index,
+                                          QueryGuard* guard = nullptr);
+
+}  // namespace storage
+}  // namespace dodb
+
+#endif  // DODB_STORAGE_WAL_H_

@@ -1,0 +1,124 @@
+// Minimal canonical forms (DESIGN.md §12), measured against the full
+// closure form. Arg "minimal" toggles EvalOptions::use_minimal_canonical;
+// both modes answer every query identically (the randomized differentials
+// live in minimal_canonical_test), so rows at equal n/threads differ in
+// wall-clock and atom economy only.
+//
+//   - CanonicalTransitiveClosure: the Datalog TC fixpoint over a path
+//     graph. Under the full form each tc tuple carries every var-const
+//     atom implied through the constant scale, so atoms per tuple grow
+//     with depth n; the minimal form keeps one bound per side and stays
+//     flat. Watch tc_atoms_per_tuple (the final IDB) and
+//     atoms_per_canonical_tuple (every form built during the run) across
+//     the n sweep, and real_time at n=64 for the fixpoint speedup.
+//   - CanonicalWideInsert: bulk insert of wide tuples, the arena path —
+//     arena_bytes / arena_reuse_hits account for the flat atom storage.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "bench/workloads.h"
+#include "dodb/dodb.h"
+
+namespace dodb {
+namespace {
+
+void BM_CanonicalTransitiveClosure(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
+  bool minimal = state.range(2) != 0;
+  Database db;
+  db.SetRelation("e", bench::PathGraph(n));
+  DatalogProgram program = DatalogParser::ParseProgram(R"(
+    tc(x, y) :- e(x, y).
+    tc(x, y) :- tc(x, z), e(z, y).
+  )").value();
+  DatalogOptions options;
+  options.eval_options.num_threads = threads;
+  options.eval_options.use_index = true;
+  options.eval_options.use_shards = true;
+  options.eval_options.use_closure_memo = true;
+  options.eval_options.use_closure_fastpath = true;
+  options.eval_options.use_minimal_canonical = minimal;
+
+  // Both modes must produce the same set of tc tuples (forms differ, the
+  // tuple-per-cell correspondence does not); checked outside timing.
+  DatalogOptions check = options;
+  check.eval_options.num_threads = 1;
+  check.eval_options.use_minimal_canonical = !minimal;
+  DatalogEvaluator ours(program, &db, options);
+  DatalogEvaluator theirs(program, &db, check);
+  Database idb = ours.Evaluate().value();
+  const GeneralizedRelation& tc = *idb.FindRelation("tc");
+  state.counters["same_tuple_count"] =
+      tc.tuple_count() ==
+              theirs.Evaluate().value().FindRelation("tc")->tuple_count()
+          ? 1
+          : 0;
+  state.counters["tc_atoms_per_tuple"] =
+      tc.tuple_count() == 0 ? 0.0
+                            : static_cast<double>(tc.atom_count()) /
+                                  static_cast<double>(tc.tuple_count());
+
+  bench::ScopedCounterReport eval_counters(state);
+  for (auto _ : state) {
+    DatalogEvaluator evaluator(program, &db, options);
+    benchmark::DoNotOptimize(evaluator.Evaluate());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_CanonicalTransitiveClosure)
+    ->ArgNames({"n", "threads", "minimal"})
+    ->Args({16, 1, 0})
+    ->Args({16, 1, 1})
+    ->Args({32, 1, 0})
+    ->Args({32, 1, 1})
+    ->Args({48, 1, 0})
+    ->Args({48, 1, 1})
+    ->Args({64, 1, 0})
+    ->Args({64, 1, 1})
+    ->Args({64, 8, 0})
+    ->Args({64, 8, 1});
+
+// Bulk insert of wide full-form tuples: arity 8 boxes whose canonical
+// forms overflow the inline atom buffer, so stored atoms land in the
+// relation arena (arena_bytes) and re-inserting them into a second
+// relation rides the span fast path (arena_reuse_hits).
+void BM_CanonicalWideInsert(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  bool minimal = state.range(1) != 0;
+  MinimalCanonicalScope mode(minimal);
+  std::vector<GeneralizedTuple> tuples;
+  for (int i = 0; i < n; ++i) {
+    GeneralizedTuple t(8);
+    for (int c = 0; c < 8; ++c) {
+      t.AddAtom(DenseAtom(Term::Var(c), RelOp::kGe,
+                          Term::Const(Rational(i % 7))));
+      t.AddAtom(DenseAtom(Term::Var(c), RelOp::kLe,
+                          Term::Const(Rational(i % 7 + 5 + c))));
+    }
+    tuples.push_back(std::move(t));
+  }
+  bench::ScopedCounterReport eval_counters(state);
+  for (auto _ : state) {
+    GeneralizedRelation rel(8);
+    for (const GeneralizedTuple& t : tuples) rel.AddTuple(t);
+    GeneralizedRelation copy(8);
+    for (const GeneralizedTuple& t : rel.tuples()) {
+      copy.AddCanonicalTuple(t);
+    }
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_CanonicalWideInsert)
+    ->ArgNames({"n", "minimal"})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
+
+}  // namespace
+}  // namespace dodb
+
+BENCHMARK_MAIN();

@@ -39,6 +39,16 @@ inline void ReportEvalCounters(benchmark::State& state,
       static_cast<double>(delta.planner_reorders);
   state.counters["closure_memo_hits"] =
       static_cast<double>(delta.closure_memo_hits);
+  state.counters["atoms_per_canonical_tuple"] =
+      delta.canonical_forms == 0
+          ? 0.0
+          : static_cast<double>(delta.canonical_atoms) /
+                static_cast<double>(delta.canonical_forms);
+  state.counters["canonical_atoms_max"] =
+      static_cast<double>(delta.canonical_atoms_max);
+  state.counters["arena_bytes"] = static_cast<double>(delta.arena_bytes);
+  state.counters["arena_reuse_hits"] =
+      static_cast<double>(delta.arena_reuse_hits);
 }
 
 /// RAII: snapshot on construction, ReportEvalCounters on destruction —

@@ -131,13 +131,15 @@ void ShardedJoinInto(
 
   // One job per surviving shard pair: filter member pairs by the exact
   // per-pair predicate and canonicalize the survivors. The memo pointer and
-  // the closure-sweep mode are read here (calling thread) and captured —
-  // workers don't inherit the thread-local scopes.
+  // the closure-sweep and canonical-form modes are read here (calling
+  // thread) and captured — workers don't inherit the thread-local scopes.
   ClosureCache* memo = CurrentClosureCache();
   const bool closure_fast = ClosureFastPathEnabled();
+  const bool minimal = MinimalCanonicalEnabled();
   QueryGuard* guard = CurrentQueryGuard();
   auto eval_pair = [&](size_t k) -> std::vector<KeyedCandidate> {
     ClosureFastPathScope sweep(closure_fast);
+    MinimalCanonicalScope canonical_mode(minimal);
     // Workers don't inherit the guard thread-local either; re-install it so
     // closure sweeps and the memo observe it, and bail before enumerating
     // when a sibling job already tripped.
@@ -368,7 +370,7 @@ GeneralizedRelation ComplementViaDnf(const GeneralizedRelation& rel) {
     if (minimized.is_true()) return GeneralizedRelation(rel.arity());
     GeneralizedRelation next(rel.arity());
     const std::vector<GeneralizedTuple>& partials = acc.tuples();
-    const std::vector<DenseAtom>& atoms = minimized.atoms();
+    const AtomVec& atoms = minimized.atoms();
     const size_t total = partials.size() * atoms.size();
     EvalCounters::AddPairsConsidered(total);
     // The outer accumulator walk is inherently sequential; the partial x

@@ -1,0 +1,126 @@
+#ifndef DODB_CONSTRAINTS_ATOM_VEC_H_
+#define DODB_CONSTRAINTS_ATOM_VEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "constraints/dense_atom.h"
+
+namespace dodb {
+
+/// Flat append-only arena of packed DenseAtom records ({lhs, rhs, op} with
+/// pool-slot constants — see Term), owned by a relation and shared by every
+/// tuple whose atom list was placed in it. Chunked so placed spans have
+/// stable addresses forever; a tuple's AtomVec keeps the arena alive through
+/// a shared_ptr, so relations and their copies can die in any order.
+///
+/// Not internally synchronized: placement happens only on the thread
+/// mutating the owning relation (the same exclusivity contract relation
+/// mutation already has). Readers of *placed* spans on other threads are
+/// safe — chunks never move or shrink, and span publication travels through
+/// the same happens-before edges as the tuples holding them.
+class AtomArena {
+ public:
+  AtomArena() = default;
+  AtomArena(const AtomArena&) = delete;
+  AtomArena& operator=(const AtomArena&) = delete;
+  ~AtomArena();
+
+  /// Copies `n` atoms into the arena and returns the placed span's base
+  /// pointer (stable for the arena's lifetime).
+  const DenseAtom* Place(const DenseAtom* atoms, size_t n);
+
+  /// Bytes of atom storage allocated by this arena.
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  static constexpr size_t kMinChunkAtoms = 512;
+
+  std::vector<DenseAtom*> chunks_;
+  size_t last_capacity_ = 0;
+  size_t last_used_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+/// The atom storage of a generalized tuple: a small-size-inline vector of
+/// trivially copyable DenseAtoms with a third, borrowed representation — a
+/// span into an AtomArena (kept alive via shared_ptr). Replaces the old
+/// per-tuple std::vector<DenseAtom>:
+///   - canonical tuples under the minimal form fit inline (no heap at all),
+///   - big atom lists spill to a normal heap vector,
+///   - tuples stored in a relation are re-pointed at the relation's arena,
+///     so copying a stored tuple (COW detach, join fan-out) copies a
+///     pointer and a refcount instead of an atom array.
+/// The exposed API is the read-only subset of std::vector that tuple code
+/// uses (iteration, size, operator[]) plus push_back, which transparently
+/// detaches a borrowed span before mutating.
+class AtomVec {
+ public:
+  AtomVec() = default;
+  AtomVec(const AtomVec&) = default;
+  AtomVec& operator=(const AtomVec&) = default;
+  AtomVec(AtomVec&&) noexcept = default;
+  AtomVec& operator=(AtomVec&&) noexcept = default;
+
+  /// Takes over a vector's buffer (no per-atom copy for big lists).
+  explicit AtomVec(std::vector<DenseAtom> atoms);
+
+  const DenseAtom* data() const {
+    switch (rep_) {
+      case Rep::kInline:
+        return inline_;
+      case Rep::kHeap:
+        return heap_.data();
+      case Rep::kSpan:
+        return span_;
+    }
+    return inline_;
+  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const DenseAtom* begin() const { return data(); }
+  const DenseAtom* end() const { return data() + size_; }
+  const DenseAtom& operator[](size_t i) const { return data()[i]; }
+  const DenseAtom& back() const { return data()[size_ - 1]; }
+
+  void push_back(const DenseAtom& atom);
+  void clear();
+
+  /// The atoms as a plain vector (copy; for call sites that edit the list).
+  std::vector<DenseAtom> ToVector() const {
+    return std::vector<DenseAtom>(begin(), end());
+  }
+
+  /// Whether the atoms live in an arena (borrowed span representation).
+  bool is_arena_backed() const { return rep_ == Rep::kSpan; }
+
+  /// Whether the atoms own a heap buffer (the only representation PlaceIn
+  /// moves; inline lists are already allocation-free).
+  bool is_heap_backed() const { return rep_ == Rep::kHeap; }
+
+  /// Re-points a heap-backed list at storage placed inside `arena` and
+  /// keeps the arena alive from this AtomVec. Inline lists stay inline
+  /// (they are already allocation-free) and spans stay on their original
+  /// arena. Returns the bytes newly placed (0 when nothing moved).
+  uint64_t PlaceIn(const std::shared_ptr<AtomArena>& arena);
+
+ private:
+  enum class Rep : uint8_t { kInline, kHeap, kSpan };
+  static constexpr size_t kInlineAtoms = 6;
+
+  /// Copies a borrowed span back into owned storage before a mutation.
+  void DetachSpan();
+
+  Rep rep_ = Rep::kInline;
+  uint32_t size_ = 0;
+  DenseAtom inline_[kInlineAtoms];
+  std::vector<DenseAtom> heap_;       // kHeap only
+  const DenseAtom* span_ = nullptr;   // kSpan only
+  std::shared_ptr<const AtomArena> keepalive_;  // kSpan only
+};
+
+}  // namespace dodb
+
+#endif  // DODB_CONSTRAINTS_ATOM_VEC_H_

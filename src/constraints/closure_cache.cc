@@ -26,12 +26,16 @@ struct Fingerprint {
   uint64_t hi;
 };
 
-// Order-sensitive 128-bit fingerprint of (arity, atom list): two polynomial
-// accumulations with distinct odd multipliers over independently re-mixed
-// per-atom hashes.
+// Order-sensitive 128-bit fingerprint of (canonical-form mode, arity, atom
+// list): two polynomial accumulations with distinct odd multipliers over
+// independently re-mixed per-atom hashes. The mode bit is part of the key
+// because the cached value — the canonical form — is a different string
+// under minimal vs full emission, and one cache may serve scopes of both
+// modes (the differential tests do exactly that).
 Fingerprint FingerprintOf(const GeneralizedTuple& tuple) {
   Fingerprint fp;
-  fp.lo = Mix64(static_cast<uint64_t>(tuple.arity()));
+  fp.lo = Mix64(static_cast<uint64_t>(tuple.arity()) * 2 +
+                (MinimalCanonicalEnabled() ? 1 : 0));
   fp.hi = Mix64(fp.lo ^ 0x6a09e667f3bcc909ULL);
   for (const DenseAtom& atom : tuple.atoms()) {
     const uint64_t h = static_cast<uint64_t>(atom.Hash());

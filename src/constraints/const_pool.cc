@@ -1,0 +1,89 @@
+#include "constraints/const_pool.h"
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "core/check.h"
+
+namespace dodb {
+
+namespace {
+
+struct Entry {
+  Rational value;
+  size_t hash = 0;
+};
+
+constexpr uint32_t kChunkBits = 10;
+constexpr uint32_t kChunkSize = 1u << kChunkBits;  // 1024 entries per chunk
+constexpr uint32_t kMaxChunks = 1u << 14;          // 16M constants total
+
+struct RationalHash {
+  size_t operator()(const Rational& r) const { return r.Hash(); }
+};
+
+struct Pool {
+  // Chunk pointers are published with release stores after the chunk is
+  // fully constructed, so a reader holding a slot (obtained through any
+  // synchronizing channel — typically a task queue) sees initialized
+  // storage via the acquire load.
+  std::atomic<Entry*> chunks[kMaxChunks] = {};
+  std::atomic<uint32_t> count{0};
+  std::shared_mutex mu;
+  std::unordered_map<Rational, uint32_t, RationalHash> slots;  // under mu
+};
+
+Pool& Global() {
+  static Pool* pool = new Pool();  // leaked: Terms hold slots forever
+  return *pool;
+}
+
+}  // namespace
+
+uint32_t ConstPool::Intern(const Rational& value) {
+  Pool& pool = Global();
+  {
+    std::shared_lock<std::shared_mutex> lock(pool.mu);
+    auto it = pool.slots.find(value);
+    if (it != pool.slots.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(pool.mu);
+  auto [it, inserted] = pool.slots.try_emplace(value, 0);
+  if (!inserted) return it->second;
+  const uint32_t slot = pool.count.load(std::memory_order_relaxed);
+  const uint32_t chunk_index = slot >> kChunkBits;
+  DODB_CHECK_MSG(chunk_index < kMaxChunks, "constant pool exhausted");
+  Entry* chunk = pool.chunks[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Entry[kChunkSize];
+    pool.chunks[chunk_index].store(chunk, std::memory_order_release);
+  }
+  Entry& entry = chunk[slot & (kChunkSize - 1)];
+  entry.value = value;
+  entry.hash = value.Hash();
+  // Publish after the entry is written: readers that learn the slot through
+  // any happens-before edge (including this release) observe the entry.
+  pool.count.store(slot + 1, std::memory_order_release);
+  it->second = slot;
+  return slot;
+}
+
+const Rational& ConstPool::Value(uint32_t slot) {
+  Entry* chunk =
+      Global().chunks[slot >> kChunkBits].load(std::memory_order_acquire);
+  return chunk[slot & (kChunkSize - 1)].value;
+}
+
+size_t ConstPool::HashOf(uint32_t slot) {
+  Entry* chunk =
+      Global().chunks[slot >> kChunkBits].load(std::memory_order_acquire);
+  return chunk[slot & (kChunkSize - 1)].hash;
+}
+
+size_t ConstPool::size() {
+  return Global().count.load(std::memory_order_acquire);
+}
+
+}  // namespace dodb

@@ -1,0 +1,43 @@
+#ifndef DODB_CONSTRAINTS_CONST_POOL_H_
+#define DODB_CONSTRAINTS_CONST_POOL_H_
+
+#include <cstdint>
+
+#include "core/rational.h"
+
+namespace dodb {
+
+/// Process-wide interner for the rational constants mentioned by dense-order
+/// terms. Rationals are normalized (reduced, positive denominator), so value
+/// equality coincides with structural equality and interning is canonical:
+/// equal values always map to the same slot, which turns constant-term
+/// equality into a slot compare and constant-term copies into POD copies —
+/// the old Term carried a Rational (two heap-backed BigInts) by value, so
+/// every atom copy in the closure sweep and the merge paths paid allocator
+/// round-trips.
+///
+/// Slots are append-only and never invalidated: Value() returns a reference
+/// that stays stable for the process lifetime. Storage is chunked with
+/// atomically published chunk pointers, so Value()/HashOf() are lock-free;
+/// Intern() takes a shared lock on the lookup table (exclusive only for a
+/// first-seen value). The working set is the distinct constants of the
+/// loaded databases and queries — bounded and small in practice, so no
+/// eviction is needed (or possible, since Terms hold bare slots).
+class ConstPool {
+ public:
+  /// The slot of `value`, interning it on first sight.
+  static uint32_t Intern(const Rational& value);
+
+  /// The value stored at `slot` (stable address, lock-free).
+  static const Rational& Value(uint32_t slot);
+
+  /// value.Hash(), precomputed at intern time (lock-free).
+  static size_t HashOf(uint32_t slot);
+
+  /// Distinct constants interned so far (diagnostic).
+  static size_t size();
+};
+
+}  // namespace dodb
+
+#endif  // DODB_CONSTRAINTS_CONST_POOL_H_

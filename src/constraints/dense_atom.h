@@ -32,8 +32,11 @@ bool OpHolds(int cmp, RelOp op);
 /// Kanellakis-Kuper-Revesz; see GeneralizedTuple.
 class DenseAtom {
  public:
-  DenseAtom(Term lhs, RelOp op, Term rhs)
-      : lhs_(std::move(lhs)), op_(op), rhs_(std::move(rhs)) {}
+  /// The trivial atom x0 = x0 (arrays of atoms need a default; never
+  /// observed — AtomVec only exposes its initialized prefix).
+  DenseAtom() : op_(RelOp::kEq) {}
+
+  DenseAtom(Term lhs, RelOp op, Term rhs) : lhs_(lhs), op_(op), rhs_(rhs) {}
 
   const Term& lhs() const { return lhs_; }
   const Term& rhs() const { return rhs_; }
@@ -64,6 +67,10 @@ class DenseAtom {
   RelOp op_;
   Term rhs_;
 };
+
+static_assert(sizeof(DenseAtom) <= 24,
+              "DenseAtom stays a small trivially copyable record; atom "
+              "arrays and arena spans rely on memcpy-able storage");
 
 std::ostream& operator<<(std::ostream& os, const DenseAtom& atom);
 

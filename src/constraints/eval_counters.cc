@@ -31,6 +31,11 @@ struct Counters {
   std::atomic<uint64_t> wal_records_replayed{0};
   std::atomic<uint64_t> snapshots_written{0};
   std::atomic<uint64_t> storage_recovery_ns{0};
+  std::atomic<uint64_t> canonical_forms{0};
+  std::atomic<uint64_t> canonical_atoms{0};
+  std::atomic<uint64_t> canonical_atoms_max{0};
+  std::atomic<uint64_t> arena_bytes{0};
+  std::atomic<uint64_t> arena_reuse_hits{0};
 };
 
 Counters& Global() {
@@ -43,6 +48,7 @@ constexpr auto kRelaxed = std::memory_order_relaxed;
 thread_local bool tls_indexing_enabled = true;
 thread_local bool tls_sharding_enabled = true;
 thread_local bool tls_closure_fastpath = true;
+thread_local bool tls_minimal_canonical = true;
 
 std::string Millis(uint64_t ns) {
   return StrCat(ns / 1000000, ".", (ns / 100000) % 10, " ms");
@@ -110,6 +116,21 @@ void EvalCounters::AddSnapshotsWritten(uint64_t n) {
 void EvalCounters::AddStorageRecoveryNs(uint64_t ns) {
   Global().storage_recovery_ns.fetch_add(ns, kRelaxed);
 }
+void EvalCounters::AddCanonicalForm(uint64_t atoms) {
+  Counters& c = Global();
+  c.canonical_forms.fetch_add(1, kRelaxed);
+  c.canonical_atoms.fetch_add(atoms, kRelaxed);
+  uint64_t seen = c.canonical_atoms_max.load(kRelaxed);
+  while (seen < atoms &&
+         !c.canonical_atoms_max.compare_exchange_weak(seen, atoms, kRelaxed)) {
+  }
+}
+void EvalCounters::AddArenaBytes(uint64_t n) {
+  Global().arena_bytes.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddArenaReuseHits(uint64_t n) {
+  Global().arena_reuse_hits.fetch_add(n, kRelaxed);
+}
 
 EvalCounterSnapshot EvalCounters::Snapshot() {
   const Counters& c = Global();
@@ -136,6 +157,11 @@ EvalCounterSnapshot EvalCounters::Snapshot() {
   snap.wal_records_replayed = c.wal_records_replayed.load(kRelaxed);
   snap.snapshots_written = c.snapshots_written.load(kRelaxed);
   snap.storage_recovery_ns = c.storage_recovery_ns.load(kRelaxed);
+  snap.canonical_forms = c.canonical_forms.load(kRelaxed);
+  snap.canonical_atoms = c.canonical_atoms.load(kRelaxed);
+  snap.canonical_atoms_max = c.canonical_atoms_max.load(kRelaxed);
+  snap.arena_bytes = c.arena_bytes.load(kRelaxed);
+  snap.arena_reuse_hits = c.arena_reuse_hits.load(kRelaxed);
   return snap;
 }
 
@@ -168,6 +194,12 @@ EvalCounterSnapshot EvalCounterSnapshot::operator-(
       wal_records_replayed - since.wal_records_replayed;
   delta.snapshots_written = snapshots_written - since.snapshots_written;
   delta.storage_recovery_ns = storage_recovery_ns - since.storage_recovery_ns;
+  delta.canonical_forms = canonical_forms - since.canonical_forms;
+  delta.canonical_atoms = canonical_atoms - since.canonical_atoms;
+  // High-water mark, not a rate: the delta keeps the later reading.
+  delta.canonical_atoms_max = canonical_atoms_max;
+  delta.arena_bytes = arena_bytes - since.arena_bytes;
+  delta.arena_reuse_hits = arena_reuse_hits - since.arena_reuse_hits;
   return delta;
 }
 
@@ -177,6 +209,10 @@ std::string EvalCounterSnapshot::ToString() const {
   uint64_t shard_pct = shard_pairs_considered == 0
                            ? 0
                            : 100 * shard_pairs_pruned / shard_pairs_considered;
+  uint64_t avg_tenths_total =
+      canonical_forms == 0 ? 0 : 10 * canonical_atoms / canonical_forms;
+  uint64_t avg_whole = avg_tenths_total / 10;
+  uint64_t avg_tenths = avg_tenths_total % 10;
   return StrCat(
       "  candidate pairs considered   ", pairs_considered, "\n",
       "  pruned by bound signatures   ", pairs_pruned, " (", pct, "%)\n",
@@ -200,7 +236,11 @@ std::string EvalCounterSnapshot::ToString() const {
       "  wal records appended         ", wal_records_appended, "\n",
       "  wal records replayed         ", wal_records_replayed, "\n",
       "  snapshots written            ", snapshots_written, "\n",
-      "  storage recovery time        ", Millis(storage_recovery_ns), "\n");
+      "  storage recovery time        ", Millis(storage_recovery_ns), "\n",
+      "  atoms per canonical tuple    ", avg_whole, ".", avg_tenths,
+      " avg / ", canonical_atoms_max, " max\n",
+      "  arena bytes / span reuses    ", arena_bytes, " / ", arena_reuse_hits,
+      "\n");
 }
 
 bool IndexingEnabled() { return tls_indexing_enabled; }
@@ -227,5 +267,16 @@ ClosureFastPathScope::ClosureFastPathScope(bool enabled)
 }
 
 ClosureFastPathScope::~ClosureFastPathScope() { tls_closure_fastpath = prev_; }
+
+bool MinimalCanonicalEnabled() { return tls_minimal_canonical; }
+
+MinimalCanonicalScope::MinimalCanonicalScope(bool enabled)
+    : prev_(tls_minimal_canonical) {
+  tls_minimal_canonical = enabled;
+}
+
+MinimalCanonicalScope::~MinimalCanonicalScope() {
+  tls_minimal_canonical = prev_;
+}
 
 }  // namespace dodb

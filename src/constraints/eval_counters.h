@@ -32,6 +32,15 @@ struct EvalCounterSnapshot {
   uint64_t wal_records_replayed = 0;    // logical ops reapplied by recovery
   uint64_t snapshots_written = 0;       // checkpoint snapshots published
   uint64_t storage_recovery_ns = 0;     // wall time spent in Open() recovery
+  uint64_t canonical_forms = 0;         // canonical atom lists emitted
+  uint64_t canonical_atoms = 0;         // atoms across those lists (avg =
+                                        // canonical_atoms / canonical_forms)
+  uint64_t canonical_atoms_max = 0;     // largest single list (high-water
+                                        // mark, not a delta: operator- keeps
+                                        // the later snapshot's value)
+  uint64_t arena_bytes = 0;             // atom-arena storage allocated
+  uint64_t arena_reuse_hits = 0;        // tuples stored by re-pointing at an
+                                        // already-placed arena span
 
   EvalCounterSnapshot operator-(const EvalCounterSnapshot& since) const;
   /// Multi-line human-readable rendering (shell \stats).
@@ -64,6 +73,11 @@ class EvalCounters {
   static void AddWalRecordsReplayed(uint64_t n);
   static void AddSnapshotsWritten(uint64_t n);
   static void AddStorageRecoveryNs(uint64_t ns);
+  /// One canonical atom list of `atoms` atoms was emitted (updates the
+  /// form/atom totals and the high-water mark).
+  static void AddCanonicalForm(uint64_t atoms);
+  static void AddArenaBytes(uint64_t n);
+  static void AddArenaReuseHits(uint64_t n);
 
   static EvalCounterSnapshot Snapshot();
 };
@@ -133,6 +147,35 @@ class ClosureFastPathScope {
   ~ClosureFastPathScope();
   ClosureFastPathScope(const ClosureFastPathScope&) = delete;
   ClosureFastPathScope& operator=(const ClosureFastPathScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Whether OrderGraph::CanonicalAtoms emits the minimal canonical form:
+/// per variable only the tightest constant lower and upper bound (plus
+/// equality and surviving inequations), dropping every var-const atom
+/// implied by transitivity through the constant scale. Defaults to true;
+/// disabling it restores the previous milestone's full closure form (one
+/// atom per informative var-const pair) as an ablation baseline. The two
+/// forms are logically equivalent conjunctions — see DESIGN.md §12 — but
+/// they are *different strings*, so the mode is part of the canonical-form
+/// contract: relations built under one mode must not be structurally
+/// compared against relations built under the other (semantic comparison
+/// via cells::SemanticallyEqual is mode-oblivious), and the closure cache
+/// keys its fingerprints on the mode bit.
+bool MinimalCanonicalEnabled();
+
+/// RAII thread-local override of MinimalCanonicalEnabled(), mirroring
+/// ClosureFastPathScope: canonicalization runs on pool workers, so the
+/// parallel insertion paths read the flag on the dispatching thread and
+/// re-install it inside each worker job.
+class MinimalCanonicalScope {
+ public:
+  explicit MinimalCanonicalScope(bool enabled);
+  ~MinimalCanonicalScope();
+  MinimalCanonicalScope(const MinimalCanonicalScope&) = delete;
+  MinimalCanonicalScope& operator=(const MinimalCanonicalScope&) = delete;
 
  private:
   bool prev_;

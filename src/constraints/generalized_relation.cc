@@ -66,10 +66,24 @@ GeneralizedRelation GeneralizedRelation::FromCanonicalTuples(
     int arity, std::vector<GeneralizedTuple> tuples) {
   GeneralizedRelation rel(arity);
   if (!tuples.empty()) {
+    // Loaded tuples arrive heap-backed from the decoder; pack them into one
+    // arena so a freshly loaded database scans as flat as a computed one.
+    for (GeneralizedTuple& tuple : tuples) rel.PlaceInArena(tuple);
     rel.tuples_ =
         std::make_shared<std::vector<GeneralizedTuple>>(std::move(tuples));
   }
   return rel;
+}
+
+void GeneralizedRelation::PlaceInArena(GeneralizedTuple& tuple) {
+  if (tuple.atoms().is_arena_backed()) {
+    EvalCounters::AddArenaReuseHits(1);
+    return;
+  }
+  if (!tuple.atoms().is_heap_backed()) return;  // inline: nothing to place
+  if (!arena_) arena_ = std::make_shared<AtomArena>();
+  uint64_t added = tuple.PlaceAtomsIn(arena_);
+  if (added != 0) EvalCounters::AddArenaBytes(added);
 }
 
 size_t GeneralizedRelation::atom_count() const {
@@ -178,6 +192,7 @@ void GeneralizedRelation::AddCanonicalTuple(GeneralizedTuple canonical) {
         tuples.begin());
   }
   index->InsertAt(insert_at, signature);
+  PlaceInArena(canonical);
   tuples.insert(tuples.begin() + insert_at, std::move(canonical));
 }
 
@@ -217,6 +232,7 @@ void GeneralizedRelation::AddCanonicalTupleLegacy(GeneralizedTuple canonical) {
         std::lower_bound(tuples.begin(), tuples.end(), canonical) -
         tuples.begin());
   }
+  PlaceInArena(canonical);
   tuples.insert(tuples.begin() + insert_at, std::move(canonical));
 }
 
@@ -259,19 +275,21 @@ void GeneralizedRelation::AddTuplesParallel(
   // Parallel phase: satisfiability + canonicalization per candidate, each a
   // pure function of its index. Sequential phase: the same insertions, in
   // the same order, as the inline loop above. The memo pointer, the
-  // closure-sweep mode and the guard are read on the calling thread and
-  // captured by value — worker threads don't inherit the thread-local
-  // scopes. The first worker to trip flips the shared flag; siblings see it
+  // closure-sweep and canonical-form modes and the guard are read on the
+  // calling thread and captured by value — worker threads don't inherit the
+  // thread-local scopes. The first worker to trip flips the shared flag; siblings see it
   // at their next strided checkpoint and bail without doing more closure
   // work (their slots stay empty, which is fine: a tripped run never
   // surfaces the merged relation, only the guard's Status).
   EvalCounters::AddCanonicalized(n);
   ClosureCache* memo = CurrentClosureCache();
   const bool closure_fast = ClosureFastPathEnabled();
+  const bool minimal = MinimalCanonicalEnabled();
   std::vector<std::optional<GeneralizedTuple>> prepared =
       ParallelMap<std::optional<GeneralizedTuple>>(
-          n, [&make, memo, closure_fast, guard](size_t i) {
+          n, [&make, memo, closure_fast, minimal, guard](size_t i) {
             ClosureFastPathScope sweep(closure_fast);
+            MinimalCanonicalScope canonical_mode(minimal);
             QueryGuardScope guard_scope(guard);
             if (guard != nullptr) {
               if ((i & 63) == 63 && !guard->Checkpoint(kSite)) {

@@ -24,6 +24,23 @@ class GeneralizedRelation {
   /// The empty relation over Q^arity (formula "false").
   explicit GeneralizedRelation(int arity);
 
+  /// Copies share tuple storage (copy-on-write) and the index snapshot, but
+  /// never the atom arena: the arena is an append-only buffer owned by the
+  /// thread mutating this relation, and two relations appending to one
+  /// arena would race. The copy starts a fresh arena on its first insert;
+  /// tuples it shares keep their spans alive through per-tuple refs.
+  GeneralizedRelation(const GeneralizedRelation& other)
+      : arity_(other.arity_), tuples_(other.tuples_), index_(other.index_) {}
+  GeneralizedRelation& operator=(const GeneralizedRelation& other) {
+    arity_ = other.arity_;
+    tuples_ = other.tuples_;
+    index_ = other.index_;
+    arena_.reset();
+    return *this;
+  }
+  GeneralizedRelation(GeneralizedRelation&&) noexcept = default;
+  GeneralizedRelation& operator=(GeneralizedRelation&&) noexcept = default;
+
   /// The full space Q^arity (formula "true": one all-true tuple).
   static GeneralizedRelation True(int arity);
   /// Alias of the default constructor, for symmetry.
@@ -103,6 +120,12 @@ class GeneralizedRelation {
   /// Bit-identical relation state to the indexed path.
   void AddCanonicalTupleLegacy(GeneralizedTuple canonical);
 
+  /// Moves an accepted tuple's heap-backed atom list into this relation's
+  /// arena (allocating the arena on first use); counts a reuse hit when the
+  /// tuple already borrows an arena span (typically another relation's —
+  /// storing it is then a pointer copy, no atom traffic at all).
+  void PlaceInArena(GeneralizedTuple& tuple);
+
   /// The tuple vector, unshared: clones a vector other copies of the
   /// relation still reference (copy-on-write), allocates when still empty.
   /// Every mutation goes through this.
@@ -117,6 +140,11 @@ class GeneralizedRelation {
   std::shared_ptr<std::vector<GeneralizedTuple>> tuples_;
   // See Index(). shared_ptr with the same sharing discipline.
   mutable std::shared_ptr<RelationIndex> index_;
+  // Flat atom storage for stored tuples (see AtomArena): created on the
+  // first insert that has a heap-backed atom list to place, deliberately
+  // NOT shared by copies (see the copy constructor). Tuples hold their own
+  // keepalive refs, so resetting this never dangles a span.
+  std::shared_ptr<AtomArena> arena_;
 };
 
 }  // namespace dodb

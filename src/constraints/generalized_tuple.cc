@@ -15,8 +15,7 @@ GeneralizedTuple::GeneralizedTuple(int arity) : arity_(arity) {
 GeneralizedTuple::GeneralizedTuple(int arity, std::vector<DenseAtom> atoms)
     : arity_(arity) {
   DODB_CHECK(arity >= 0);
-  atoms_.reserve(atoms.size());
-  for (DenseAtom& atom : atoms) AddAtom(std::move(atom));
+  for (const DenseAtom& atom : atoms) AddAtom(atom);
 }
 
 GeneralizedTuple GeneralizedTuple::Point(const std::vector<Rational>& values) {
@@ -38,7 +37,7 @@ void CheckTermArity(const Term& term, int arity) {
 void GeneralizedTuple::AddAtom(DenseAtom atom) {
   CheckTermArity(atom.lhs(), arity_);
   CheckTermArity(atom.rhs(), arity_);
-  atoms_.push_back(std::move(atom));
+  atoms_.push_back(atom);
   graph_.reset();
   signature_.reset();
 }
@@ -58,7 +57,8 @@ const TupleSignature& GeneralizedTuple::CachedSignature() const {
   if (!signature_) {
     auto signature = std::make_shared<TupleSignature>();
     signature->hash = Hash();
-    signature->columns = ExtractColumnBounds(arity_, atoms_);
+    signature->columns =
+        ExtractColumnBounds(arity_, atoms_.data(), atoms_.size());
     signature_ = std::move(signature);
   }
   return *signature_;
@@ -85,13 +85,12 @@ GeneralizedTuple GeneralizedTuple::Canonical() const {
   OrderGraph* cached = CachedGraph();
   DODB_CHECK_MSG(cached->IsSatisfiable(),
                  "Canonical() on unsatisfiable tuple");
-  // CanonicalAtoms() emits the atoms sorted and oriented (see its comment),
-  // so the list installs directly — no sort or orientation pass.
-  std::vector<DenseAtom> atoms = cached->CanonicalAtoms();
-  GeneralizedTuple out(arity_);
-  // CanonicalAtoms() only emits terms over this tuple's own variables, so
+  // CanonicalAtomVec() emits the atoms sorted and oriented (see its
+  // comment), so the list installs directly — no sort or orientation pass.
+  // CanonicalAtomVec() only emits terms over this tuple's own variables, so
   // the per-atom arity checks in AddAtom are redundant: install directly.
-  out.atoms_ = std::move(atoms);
+  GeneralizedTuple out(arity_);
+  out.atoms_ = cached->CanonicalAtomVec();
   // The closed network is the canonical form's own network too (all queries
   // are term-keyed), so a copy of it seeds the result's cache — downstream
   // entailment checks and quantifier elimination skip their closure pass.
@@ -103,11 +102,10 @@ std::optional<GeneralizedTuple> GeneralizedTuple::CanonicalIfSatisfiable()
     const {
   OrderGraph graph = BuildGraph();
   if (!graph.Close()) return std::nullopt;
-  // CanonicalAtoms() emits the atoms sorted and oriented (see its comment),
-  // so the list installs directly — no sort or orientation pass.
-  std::vector<DenseAtom> atoms = graph.CanonicalAtoms();
+  // CanonicalAtomVec() emits the atoms sorted and oriented (see its
+  // comment), so the list installs directly — no sort or orientation pass.
   GeneralizedTuple out(arity_);
-  out.atoms_ = std::move(atoms);
+  out.atoms_ = graph.CanonicalAtomVec();
   // Warm the result's own caches here (typically on a pool worker) so the
   // order-sensitive merge that follows only does closed-graph lookups and
   // precomputed-signature reads. The network just closed above is the
@@ -121,13 +119,21 @@ std::optional<GeneralizedTuple> GeneralizedTuple::CanonicalIfSatisfiable()
 
 GeneralizedTuple GeneralizedTuple::Minimized() const {
   DODB_CHECK_MSG(IsSatisfiable(), "Minimized() on unsatisfiable tuple");
-  std::vector<DenseAtom> kept = atoms_;
+  std::vector<DenseAtom> kept = atoms_.ToVector();
   // Drop ground (constant-constant) truths outright, then greedily remove
-  // atoms entailed by the rest. Scanning from the back keeps the earliest,
-  // typically user-written, atoms.
+  // atoms entailed by the rest. The greedy scan is order-dependent when two
+  // atoms mutually entail (e.g. x0 <= 5 and x1 <= 5 under x0 = x1: dropping
+  // either leaves the other entailing it), so the list is oriented and
+  // sorted first and the scan runs from the back: of a mutually-entailing
+  // pair the sorted-earliest atom survives, and a non-tightest bound —
+  // entailed one-way by the tighter one, never the converse — is always the
+  // one dropped. The result is a pure function of the atom *set*, not of
+  // the order the atoms were written in.
   std::erase_if(kept, [](const DenseAtom& atom) {
     return atom.lhs().is_const() && atom.rhs().is_const();
   });
+  for (DenseAtom& atom : kept) atom = atom.Oriented();
+  std::sort(kept.begin(), kept.end());
   for (size_t i = kept.size(); i-- > 0;) {
     OrderGraph graph(arity_);
     for (size_t j = 0; j < kept.size(); ++j) {
@@ -204,7 +210,7 @@ GeneralizedTuple GeneralizedTuple::ReindexedCanonical(
   std::sort(atoms.begin(), atoms.end());
   GeneralizedTuple out(new_arity);
   // ReindexTerm already range-checked every variable against new_arity.
-  out.atoms_ = std::move(atoms);
+  out.atoms_ = AtomVec(std::move(atoms));
   // The signature (needed by every index probe) is computable straight from
   // the atom list, so warm it; the closure cache is left lazy — with the
   // index on, most renamed tuples are never entailment-checked at all.

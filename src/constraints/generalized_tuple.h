@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "constraints/atom_vec.h"
 #include "constraints/dense_atom.h"
 #include "constraints/order_graph.h"
 #include "constraints/tuple_signature.h"
@@ -30,7 +31,10 @@ class GeneralizedTuple {
   static GeneralizedTuple Point(const std::vector<Rational>& values);
 
   int arity() const { return arity_; }
-  const std::vector<DenseAtom>& atoms() const { return atoms_; }
+  /// The atom list: read-only random-access range of DenseAtoms. Inline for
+  /// small lists, a borrowed span into a relation's AtomArena for stored
+  /// tuples (see AtomVec).
+  const AtomVec& atoms() const { return atoms_; }
   bool is_true() const { return atoms_.empty(); }
 
   /// Appends a conjunct. Variable indices must be < arity.
@@ -62,7 +66,11 @@ class GeneralizedTuple {
   /// A subset of the atoms with the same meaning: greedily drops every atom
   /// entailed by the remaining ones. Keeps complements and printed output
   /// small (the closure normal form is quadratic in the node count).
-  /// Requires IsSatisfiable().
+  /// Deterministic in the *set* of input atoms: the list is oriented and
+  /// sorted before the greedy back-scan, so reordering the input cannot
+  /// change which of two mutually-entailing atoms survives (the sorted-first
+  /// one does), and a non-tightest bound — entailed one-way by the tighter
+  /// one — is always the side dropped. Requires IsSatisfiable().
   GeneralizedTuple Minimized() const;
 
   /// Point membership.
@@ -121,16 +129,24 @@ class GeneralizedTuple {
   size_t Hash() const;
 
   /// Approximate heap footprint for guard memory accounting: the tuple
-  /// object plus its atom array. Cached graphs/signatures are excluded —
-  /// the budget bounds materialized constraint data, not caches.
+  /// object plus its atom array (atoms are counted whether they live
+  /// inline, on the heap or in a shared arena — the budget bounds
+  /// materialized constraint data). Cached graphs/signatures are excluded.
   uint64_t ApproxBytes() const {
     return static_cast<uint64_t>(sizeof(GeneralizedTuple)) +
            static_cast<uint64_t>(atoms_.size()) * sizeof(DenseAtom);
   }
 
+  /// Re-points a heap-backed atom list at `arena` (see AtomVec::PlaceIn);
+  /// the relation that owns the arena calls this when storing the tuple.
+  /// Returns the arena bytes newly allocated.
+  uint64_t PlaceAtomsIn(const std::shared_ptr<AtomArena>& arena) {
+    return atoms_.PlaceIn(arena);
+  }
+
  private:
   int arity_;
-  std::vector<DenseAtom> atoms_;
+  AtomVec atoms_;
   // Closure cache; see CachedGraph(). Copies share it until either side
   // mutates (AddAtom resets only its own pointer).
   mutable std::shared_ptr<OrderGraph> graph_;

@@ -286,10 +286,15 @@ bool OrderGraph::Entails(const DenseAtom& atom) {
 }
 
 std::vector<DenseAtom> OrderGraph::CanonicalAtoms() {
+  return CanonicalAtomVec().ToVector();
+}
+
+AtomVec OrderGraph::CanonicalAtomVec() {
   bool sat = Close();
   DODB_CHECK_MSG(sat, "CanonicalAtoms on unsatisfiable network");
-  std::vector<DenseAtom> atoms;
+  AtomVec atoms;
   int n = num_nodes();
+  const bool minimal = MinimalCanonicalEnabled();
   // Constants all have node ids >= num_vars_, so the pairs that survive the
   // constant-constant skip are exactly var-var (i < j) and var-const. Walking
   // the var partner block in index order and the constant partner block in
@@ -302,14 +307,73 @@ std::vector<DenseAtom> OrderGraph::CanonicalAtoms() {
     for (int j = i + 1; j < num_vars_; ++j) {
       PaRel rel = rel_[i * n + j];
       if (rel == kPaAll) continue;
-      atoms.emplace_back(node_terms_[i], PaToRelOp(rel), node_terms_[j]);
+      atoms.push_back(
+          DenseAtom(node_terms_[i], PaToRelOp(rel), node_terms_[j]));
     }
+    if (!minimal) {
+      // Full form: one atom per informative var-const pair. A tuple at
+      // transitive-closure depth d mentions ~d constants, so this block —
+      // and with it every downstream compare, hash and re-closure — grows
+      // linearly with derivation depth.
+      for (const auto& [value, node] : constant_nodes_) {
+        PaRel rel = rel_[i * n + node];
+        if (rel == kPaAll) continue;
+        atoms.push_back(
+            DenseAtom(node_terms_[i], PaToRelOp(rel), node_terms_[node]));
+      }
+      continue;
+    }
+    // Minimal form: drop every var-const atom implied by transitivity
+    // through the constant scale. After closure the relation of x_i to the
+    // scale is monotone (constant-constant edges are exact, so e.g.
+    // x >= c propagates x > c' to every c' < c): below the tightest lower
+    // bound every relation is exactly {>}, above the tightest upper bound
+    // exactly {<}, and an inequation survives only strictly between the
+    // bounds (at a bound it is absorbed: {>=} ∩ {≠} = {>}). Hence
+    //   { equality }                                 when one exists, else
+    //   { tightest lower, surviving ≠s, tightest upper }
+    // conjoined with the ground constant order entails the full form, and
+    // is a subset of it — the two are logically equivalent. First pass:
+    // locate the selected nodes. Second pass: emit them, which reproduces
+    // value order (hence Term order) without a sort.
+    int eq_node = -1;
+    int lower_node = -1;  // largest constant with rel ∈ {>, >=}
+    int upper_node = -1;  // smallest constant with rel ∈ {<, <=}
+    bool has_neq = false;
     for (const auto& [value, node] : constant_nodes_) {
       PaRel rel = rel_[i * n + node];
       if (rel == kPaAll) continue;
-      atoms.emplace_back(node_terms_[i], PaToRelOp(rel), node_terms_[node]);
+      if (rel == kPaEq) {
+        eq_node = node;
+        break;
+      }
+      if ((rel & kPaLt) == 0) {
+        lower_node = node;  // ascending walk: the last lower bound wins
+      } else if ((rel & kPaGt) == 0) {
+        if (upper_node < 0) upper_node = node;  // the first upper bound wins
+      } else {
+        has_neq = true;  // kPaNeq
+      }
+    }
+    if (eq_node >= 0) {
+      // x_i = c entails every other var-const relation of x_i (through the
+      // exact constant order), so the equality atom stands alone.
+      atoms.push_back(
+          DenseAtom(node_terms_[i], RelOp::kEq, node_terms_[eq_node]));
+      continue;
+    }
+    if (lower_node < 0 && upper_node < 0 && !has_neq) continue;
+    for (const auto& [value, node] : constant_nodes_) {
+      if (node != lower_node && node != upper_node) {
+        if (!has_neq) continue;
+        if (rel_[i * n + node] != kPaNeq) continue;
+      }
+      PaRel rel = rel_[i * n + node];
+      atoms.push_back(
+          DenseAtom(node_terms_[i], PaToRelOp(rel), node_terms_[node]));
     }
   }
+  EvalCounters::AddCanonicalForm(atoms.size());
   return atoms;
 }
 

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "constraints/atom_vec.h"
 #include "constraints/dense_atom.h"
 #include "core/rational.h"
 
@@ -76,11 +77,26 @@ class OrderGraph {
   /// fragment). An unsatisfiable network entails everything.
   bool Entails(const DenseAtom& atom);
 
-  /// Deterministic canonical conjunction equivalent to the closure: one atom
-  /// per unordered node pair whose closed relation is informative, skipping
-  /// constant-constant pairs. Empty when the network is unsatisfiable is NOT
+  /// Deterministic canonical conjunction equivalent to the closure,
+  /// skipping constant-constant pairs. Var-var pairs always emit their
+  /// informative closed relation. Var-const pairs depend on the mode:
+  ///   - full form (MinimalCanonicalEnabled() == false): one atom per
+  ///     informative pair, the previous milestone's behaviour;
+  ///   - minimal form (default): per variable only the equality atom when
+  ///     one exists, else the tightest lower bound, the tightest upper
+  ///     bound, and the surviving inequations — every other var-const atom
+  ///     is implied by transitivity through the constant scale (proof
+  ///     sketch in the implementation and DESIGN.md §12).
+  /// Both forms are logically equivalent to the closure; they differ as
+  /// strings, so the mode must be held fixed across tuples that are
+  /// structurally compared. Empty when the network is unsatisfiable is NOT
   /// the convention: call IsSatisfiable() first.
   std::vector<DenseAtom> CanonicalAtoms();
+
+  /// CanonicalAtoms() into an AtomVec (small lists stay inline — the
+  /// minimal form usually fits with zero heap traffic). Primary emitter;
+  /// updates the canonical-form counters.
+  AtomVec CanonicalAtomVec();
 
   /// A point of Q^num_vars satisfying the conjunction, or nullopt when
   /// unsatisfiable. Witnesses avoid all constant values unless forced equal.

@@ -9,36 +9,41 @@ namespace dodb {
 
 Term Term::Var(int index) {
   DODB_CHECK_MSG(index >= 0, "negative variable index");
-  return Term(/*is_var=*/true, index, Rational());
+  return Term(static_cast<int32_t>(index), 0);
 }
 
-Term Term::Const(Rational value) {
-  return Term(/*is_var=*/false, -1, std::move(value));
+Term Term::Const(const Rational& value) {
+  return Term(-1, ConstPool::Intern(value));
 }
 
 int Term::var() const {
-  DODB_CHECK_MSG(is_var_, "Term::var() on a constant");
+  DODB_CHECK_MSG(index_ >= 0, "Term::var() on a constant");
   return index_;
 }
 
 const Rational& Term::constant() const {
-  DODB_CHECK_MSG(!is_var_, "Term::constant() on a variable");
-  return value_;
+  DODB_CHECK_MSG(index_ < 0, "Term::constant() on a variable");
+  return ConstPool::Value(slot_);
+}
+
+uint32_t Term::const_slot() const {
+  DODB_CHECK_MSG(index_ < 0, "Term::const_slot() on a variable");
+  return slot_;
 }
 
 std::string Term::ToString(const std::vector<std::string>* names) const {
-  if (is_var_) {
+  if (is_var()) {
     if (names != nullptr && index_ < static_cast<int>(names->size())) {
       return (*names)[index_];
     }
     return StrCat("x", index_);
   }
-  return value_.ToString();
+  return constant().ToString();
 }
 
 size_t Term::Hash() const {
-  if (is_var_) return 0x517cc1b727220a95ull ^ static_cast<size_t>(index_);
-  return value_.Hash();
+  if (is_var()) return 0x517cc1b727220a95ull ^ static_cast<size_t>(index_);
+  return ConstPool::HashOf(slot_);
 }
 
 std::ostream& operator<<(std::ostream& os, const Term& term) {

@@ -1,10 +1,12 @@
 #ifndef DODB_CONSTRAINTS_TERM_H_
 #define DODB_CONSTRAINTS_TERM_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "constraints/const_pool.h"
 #include "core/rational.h"
 
 namespace dodb {
@@ -12,31 +14,49 @@ namespace dodb {
 /// A term of the dense-order language L = {=, <=} ∪ Q: either a variable
 /// (identified by its column index within a tuple context) or a rational
 /// constant.
+///
+/// Terms are 8-byte trivially copyable handles: a variable stores its column
+/// index, a constant stores its ConstPool slot. Interning is canonical
+/// (equal values share one slot), so equality of constant terms is a slot
+/// compare and copying a term — the innermost operation of atom sorts, the
+/// PC-1 sweep's node table and every tuple materialization — never touches
+/// the allocator. constant() reads the pooled value, whose address is stable
+/// for the process lifetime.
 class Term {
  public:
+  /// The variable x0 (arrays of terms need a default; never observed).
+  Term() : index_(0), slot_(0) {}
+
   /// Constructs the variable with column index `index` (>= 0).
   static Term Var(int index);
-  /// Constructs a constant term.
-  static Term Const(Rational value);
+  /// Constructs a constant term (interned).
+  static Term Const(const Rational& value);
 
-  bool is_var() const { return is_var_; }
-  bool is_const() const { return !is_var_; }
+  bool is_var() const { return index_ >= 0; }
+  bool is_const() const { return index_ < 0; }
 
   /// Column index; requires is_var().
   int var() const;
-  /// Constant value; requires is_const().
+  /// Constant value; requires is_const(). Stable reference into the pool.
   const Rational& constant() const;
+
+  /// The pool slot of a constant term; requires is_const().
+  uint32_t const_slot() const;
 
   /// Structural ordering: variables (by index) before constants (by value).
   /// Inline: term comparison is the innermost step of every atom sort,
-  /// tuple ordering, and subsumption scan.
+  /// tuple ordering, and subsumption scan. Equal slots short-circuit the
+  /// rational compare — interning makes that the common constant case.
   int Compare(const Term& other) const {
-    if (is_var_ != other.is_var_) return is_var_ ? -1 : 1;
-    if (is_var_) {
+    const bool var_a = index_ >= 0;
+    const bool var_b = other.index_ >= 0;
+    if (var_a != var_b) return var_a ? -1 : 1;  // variables before constants
+    if (var_a) {
       if (index_ != other.index_) return index_ < other.index_ ? -1 : 1;
       return 0;
     }
-    return value_.Compare(other.value_);
+    if (slot_ == other.slot_) return 0;
+    return ConstPool::Value(slot_).Compare(ConstPool::Value(other.slot_));
   }
   bool operator==(const Term& other) const { return Compare(other) == 0; }
   bool operator!=(const Term& other) const { return Compare(other) != 0; }
@@ -48,13 +68,14 @@ class Term {
   size_t Hash() const;
 
  private:
-  Term(bool is_var, int index, Rational value)
-      : is_var_(is_var), index_(index), value_(std::move(value)) {}
+  Term(int32_t index, uint32_t slot) : index_(index), slot_(slot) {}
 
-  bool is_var_;
-  int index_;
-  Rational value_;
+  // >= 0: variable index. < 0: constant, value at ConstPool slot slot_.
+  int32_t index_;
+  uint32_t slot_;
 };
+
+static_assert(sizeof(Term) == 8, "Term is a two-word POD handle");
 
 std::ostream& operator<<(std::ostream& os, const Term& term);
 

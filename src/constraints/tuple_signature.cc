@@ -130,12 +130,12 @@ std::optional<std::pair<int, ColumnBound>> BoundOfAtom(const DenseAtom& atom) {
   return std::make_pair(column, std::move(bound));
 }
 
-std::vector<ColumnBound> ExtractColumnBounds(
-    int arity, const std::vector<DenseAtom>& atoms) {
+std::vector<ColumnBound> ExtractColumnBounds(int arity, const DenseAtom* atoms,
+                                             size_t count) {
   std::vector<ColumnBound> columns(arity);
-  for (const DenseAtom& atom : atoms) {
+  for (size_t i = 0; i < count; ++i) {
     std::optional<std::pair<int, ColumnBound>> contribution =
-        BoundOfAtom(atom);
+        BoundOfAtom(atoms[i]);
     if (!contribution.has_value()) continue;
     ColumnBound& column = columns[contribution->first];
     const ColumnBound& bound = contribution->second;

@@ -62,9 +62,17 @@ struct TupleSignature {
 
 /// Extracts the per-column bounds of a conjunction. Sound for any atom list
 /// (every atom is entailed by the conjunction); tightest when the list is
-/// closure-canonical.
-std::vector<ColumnBound> ExtractColumnBounds(int arity,
-                                             const std::vector<DenseAtom>& atoms);
+/// closure-canonical — and the minimal canonical form (which keeps exactly
+/// the tightest bound per side; see OrderGraph::CanonicalAtoms) yields the
+/// same bounds as the full form, so signatures, index probes and shard
+/// routing are invariant under the canonical-form mode.
+std::vector<ColumnBound> ExtractColumnBounds(int arity, const DenseAtom* atoms,
+                                             size_t count);
+
+inline std::vector<ColumnBound> ExtractColumnBounds(
+    int arity, const std::vector<DenseAtom>& atoms) {
+  return ExtractColumnBounds(arity, atoms.data(), atoms.size());
+}
 
 /// The bound contributed by a single atom, if it is a var-constant
 /// comparison: returns the column index and its bound, nullopt otherwise

@@ -414,6 +414,8 @@ Result<Database> DatalogEvaluator::Evaluate() {
   ShardModeScope shard_mode(options_.eval_options.use_index &&
                             options_.eval_options.use_shards);
   ClosureFastPathScope closure_mode(options_.eval_options.use_closure_fastpath);
+  MinimalCanonicalScope canonical_mode(
+      options_.eval_options.use_minimal_canonical);
   // One closure memo spanning every round and stratum: semi-naive refirings
   // keep re-deriving the same candidate conjunctions, so later rounds serve
   // most canonicalizations from the memo. Installed into eval_options so

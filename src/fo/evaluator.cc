@@ -60,6 +60,7 @@ class EvalScopes {
         index_mode_(options.use_index),
         shard_mode_(options.use_index && options.use_shards),
         closure_mode_(options.use_closure_fastpath),
+        canonical_mode_(options.use_minimal_canonical),
         memo_scope_(!options.use_closure_memo
                         ? nullptr
                         : (options.closure_cache != nullptr
@@ -77,6 +78,7 @@ class EvalScopes {
   IndexModeScope index_mode_;
   ShardModeScope shard_mode_;
   ClosureFastPathScope closure_mode_;
+  MinimalCanonicalScope canonical_mode_;
   ClosureCacheScope memo_scope_;
 };
 

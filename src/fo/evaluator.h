@@ -60,6 +60,16 @@ struct EvalOptions {
   /// (proof sketch in order_graph.cc), so results are bit-identical at
   /// either setting; only wall-clock changes.
   bool use_closure_fastpath = true;
+  /// Emit minimal canonical forms: per variable keep only the tightest
+  /// constant lower/upper bound (plus equality and surviving inequations),
+  /// dropping every var-const atom implied by transitivity through the
+  /// constant scale; var-var atoms are kept as before. false = the previous
+  /// milestone's full closure form, kept as an ablation baseline. The two
+  /// forms are logically equivalent (DESIGN.md §12) and yield identical
+  /// query *answers*, signatures, index routing and shard assignment — but
+  /// they are different canonical strings, so relations built under
+  /// different settings compare equal semantically, not structurally.
+  bool use_minimal_canonical = true;
   /// Query-level resource budgets (deadline, work-tuple budget, memory
   /// budget, mid-merge relation cap) enforced cooperatively at guard
   /// checkpoints inside every operator's hot loop, so a blowup aborts

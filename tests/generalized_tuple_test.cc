@@ -1,5 +1,10 @@
 #include "constraints/generalized_tuple.h"
 
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace dodb {
@@ -158,6 +163,75 @@ TEST(GeneralizedTupleTest, HashEqualForEqualTuples) {
   GeneralizedTuple b(2);
   b.AddAtom(A(V(1), RelOp::kGt, V(0)));
   EXPECT_EQ(a.Canonical().Hash(), b.Canonical().Hash());
+}
+
+// Regression for a nondeterminism in Minimized(): when two atoms mutually
+// entail each other through a var-var equality (x0 = x1 makes x0 <= 5 and
+// x1 <= 5 interchangeable), the greedy back-scan used to keep whichever
+// came later in the *input* order, so logically equal tuples built with
+// different atom orders minimized to different strings. The list is now
+// oriented and sorted first, making the survivor the sorted-earliest atom
+// regardless of insertion order.
+TEST(GeneralizedTupleTest, MinimizedIsDeterministicUnderMutualEntailment) {
+  GeneralizedTuple forward(2);
+  forward.AddAtom(A(V(0), RelOp::kEq, V(1)));
+  forward.AddAtom(A(V(0), RelOp::kLe, C(5)));
+  forward.AddAtom(A(V(1), RelOp::kLe, C(5)));
+  GeneralizedTuple reversed(2);
+  reversed.AddAtom(A(V(1), RelOp::kLe, C(5)));
+  reversed.AddAtom(A(V(0), RelOp::kLe, C(5)));
+  reversed.AddAtom(A(V(0), RelOp::kEq, V(1)));
+  EXPECT_EQ(forward.Minimized().ToString(), reversed.Minimized().ToString());
+  // One of the two interchangeable bounds must go, along with nothing else.
+  EXPECT_EQ(forward.Minimized().atoms().size(), 2u)
+      << forward.Minimized().ToString();
+}
+
+TEST(GeneralizedTupleTest, MinimizedDropsOnlyTheNonTightestBound) {
+  // One-way entailment: x0 < 3 entails x0 <= 5 but not conversely; the
+  // non-tightest side must be the one dropped whatever the input order.
+  for (bool tight_first : {false, true}) {
+    GeneralizedTuple t(1);
+    if (tight_first) {
+      t.AddAtom(A(V(0), RelOp::kLt, C(3)));
+      t.AddAtom(A(V(0), RelOp::kLe, C(5)));
+    } else {
+      t.AddAtom(A(V(0), RelOp::kLe, C(5)));
+      t.AddAtom(A(V(0), RelOp::kLt, C(3)));
+    }
+    EXPECT_EQ(t.Minimized().ToString(), "x0 < 3") << tight_first;
+  }
+}
+
+// Minimized is deterministic in the atom *set* on random soups: every
+// permutation of the same atoms minimizes to the same string.
+TEST(GeneralizedTupleTest, MinimizedIsPermutationInvariantOnRandomSoups) {
+  std::mt19937_64 rng(911);
+  const RelOp kOps[] = {RelOp::kLt, RelOp::kLe, RelOp::kEq,
+                        RelOp::kNeq, RelOp::kGe, RelOp::kGt};
+  int checked = 0;
+  for (int round = 0; round < 200; ++round) {
+    const int arity = 1 + static_cast<int>(rng() % 3);
+    const int atoms = 2 + static_cast<int>(rng() % 6);
+    std::vector<DenseAtom> soup;
+    for (int a = 0; a < atoms; ++a) {
+      Term lhs = V(static_cast<int>(rng() % arity));
+      Term rhs = (rng() % 2 == 0) ? C(static_cast<int64_t>(rng() % 8))
+                                  : V(static_cast<int>(rng() % arity));
+      soup.push_back(A(lhs, kOps[rng() % 6], rhs));
+    }
+    GeneralizedTuple original(arity, soup);
+    if (!original.IsSatisfiable()) continue;
+    ++checked;
+    std::string expected = original.Minimized().ToString();
+    for (int perm = 0; perm < 4; ++perm) {
+      std::shuffle(soup.begin(), soup.end(), rng);
+      GeneralizedTuple shuffled(arity, soup);
+      EXPECT_EQ(shuffled.Minimized().ToString(), expected)
+          << original.ToString();
+    }
+  }
+  EXPECT_GT(checked, 30);
 }
 
 }  // namespace

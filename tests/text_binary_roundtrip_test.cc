@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "cells/cell_decomposition.h"
+#include "constraints/eval_counters.h"
 #include "io/text_format.h"
 #include "storage/file_io.h"
 #include "storage/snapshot.h"
@@ -142,6 +144,74 @@ TEST(TextBinaryRoundTripTest, TextAndBinaryAgreeOnRandomCatalogs) {
     EXPECT_EQ(FormatDatabase(from_binary.value()), text_before)
         << "seed " << seed;
   }
+}
+
+// The text format prints the stored canonical atom list verbatim and
+// ParseDatabase re-canonicalizes each tuple on insert, so within one
+// canonical-form mode the text form is a fixed point regardless of which
+// mode it is. Across modes the parse rewrites each tuple into the reader's
+// form: structurally different, semantically identical, with tuples
+// corresponding one-to-one (subsumption is semantic, so no merging).
+TEST(TextBinaryRoundTripTest, TextFixedPointHoldsInBothCanonicalModes) {
+  for (bool minimal : {false, true}) {
+    MinimalCanonicalScope mode(minimal);
+    Database db = RandomDatabase(minimal ? 31 : 32);
+    const std::string text = FormatDatabase(db);
+    Result<Database> reparsed = ParseDatabase(text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    ExpectStructurallyEqual(db, reparsed.value());
+    EXPECT_EQ(FormatDatabase(reparsed.value()), text)
+        << "minimal=" << minimal;
+  }
+}
+
+TEST(TextBinaryRoundTripTest, CrossModeParseIsSemanticallyExact) {
+  Database db;
+  GeneralizedRelation rel(2);
+  {
+    // Full-form tuples with transitively implied var-const atoms, so the
+    // cross-mode parse actually rewrites something.
+    MinimalCanonicalScope full(false);
+    GeneralizedTuple a(2);
+    a.AddAtom(DenseAtom(Term::Var(0), RelOp::kGt, Term::Const(Rational(0))));
+    a.AddAtom(DenseAtom(Term::Var(0), RelOp::kLt, Term::Const(Rational(4))));
+    a.AddAtom(DenseAtom(Term::Var(1), RelOp::kGe, Term::Const(Rational(2))));
+    a.AddAtom(DenseAtom(Term::Var(1), RelOp::kLe, Term::Const(Rational(6))));
+    a.AddAtom(DenseAtom(Term::Var(0), RelOp::kLt, Term::Var(1)));
+    rel.AddTuple(std::move(a));
+    GeneralizedTuple b(2);
+    b.AddAtom(DenseAtom(Term::Var(0), RelOp::kEq, Term::Const(Rational(5))));
+    b.AddAtom(DenseAtom(Term::Var(1), RelOp::kNeq, Term::Const(Rational(3))));
+    rel.AddTuple(std::move(b));
+    db.SetRelation("q", std::move(rel));
+  }
+  const std::string full_text = FormatDatabase(db);
+  Database minimal_db;
+  {
+    MinimalCanonicalScope minimal(true);
+    Result<Database> parsed = ParseDatabase(full_text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    minimal_db = std::move(parsed).value();
+  }
+  const GeneralizedRelation& original = *db.FindRelation("q");
+  const GeneralizedRelation& reparsed = *minimal_db.FindRelation("q");
+  EXPECT_EQ(reparsed.tuple_count(), original.tuple_count());
+  EXPECT_LT(reparsed.atom_count(), original.atom_count())
+      << "minimal parse kept every full-form atom";
+  Result<bool> equal =
+      CellDecomposition::SemanticallyEqual(original, reparsed);
+  ASSERT_TRUE(equal.ok()) << equal.status().ToString();
+  EXPECT_TRUE(equal.value());
+  // And parsing the minimal rendering back under full mode returns to the
+  // original full form exactly.
+  Database back;
+  {
+    MinimalCanonicalScope full(false);
+    Result<Database> parsed = ParseDatabase(FormatDatabase(minimal_db));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    back = std::move(parsed).value();
+  }
+  ExpectStructurallyEqual(db, back);
 }
 
 }  // namespace

@@ -1,0 +1,178 @@
+// Incremental view maintenance benchmarks (DESIGN.md §13): steady-state
+// single-edge DML against a materialized transitive closure on the n=64
+// path graph, comparing the registry's O(delta) maintenance against a full
+// from-scratch recompute of the same view.
+//
+// BM_IvmIncrementalUpdate rows are the acceptance record: each iteration
+// deletes one edge and re-inserts it (two maintenance passes), with `off`
+// selecting how deep in the path the edge sits — off=1 touches only the
+// tc(*, n) column (the smallest delta), off=32 invalidates about half the
+// closure. Every row carries `full_recompute_ms` (the same update cycle
+// forced through the recompute fallback) and `speedup_vs_recompute`; the
+// off=1 rows must stay >= 10x at both thread counts, which
+// bench/check_perf_regression.py enforces on BENCH_ivm.json.
+//
+// BM_IvmFullRecomputeUpdate publishes the comparator as its own rows so
+// the generic slowdown guard also covers the recompute path.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "bench/bench_util.h"
+#include "bench/workloads.h"
+#include "dodb/dodb.h"
+
+namespace dodb {
+namespace {
+
+constexpr char kTcProgram[] =
+    "tc(x, y) :- edge(x, y). tc(x, z) :- tc(x, y), edge(y, z).";
+
+GeneralizedTuple EdgeTuple(int a, int b) {
+  GeneralizedRelation rel = GeneralizedRelation::FromPoints(
+      2, {{Rational(a), Rational(b)}});
+  return *rel.tuples().begin();  // the copy keeps the atom arena alive
+}
+
+// Materializes tc over the n-vertex path graph with the given maintenance
+// thread count; `max_delta_fraction` 0 forces every pass through the
+// recompute fallback (the comparator configuration).
+Status SetupView(int n, int threads, double max_delta_fraction, Database* db,
+                 ViewRegistry* views) {
+  db->SetRelation("edge", bench::PathGraph(n));
+  views->options().max_delta_fraction = max_delta_fraction;
+  views->options().datalog.eval_options.num_threads = threads;
+  Result<const MaterializedView*> created =
+      views->Create("tc", kTcProgram, db);
+  return created.ok() ? Status::Ok() : created.status();
+}
+
+// One steady-state DML cycle: delete `e` from edge, maintain, re-insert it,
+// maintain — the database ends every cycle in the same state it started.
+Status UpdateCycle(ViewRegistry* views, Database* db,
+                   const GeneralizedTuple& e) {
+  const GeneralizedRelation* rel = db->FindRelation("edge");
+  BaseDelta del;
+  del.relation = "edge";
+  del.deleted.push_back(e);
+  del.old_relation = std::make_unique<GeneralizedRelation>(*rel);
+  GeneralizedRelation without = *rel;
+  without.EraseCanonicalTuple(e);
+  db->SetRelation("edge", std::move(without));
+  DODB_RETURN_IF_ERROR(views->ApplyDelta(del, db));
+
+  GeneralizedRelation with = *db->FindRelation("edge");
+  with.AddCanonicalTuple(e);
+  db->SetRelation("edge", std::move(with));
+  BaseDelta ins;
+  ins.relation = "edge";
+  ins.inserted.push_back(e);
+  return views->ApplyDelta(ins, db);
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void BM_IvmIncrementalUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const int off = static_cast<int>(state.range(2));
+  Database db;
+  ViewRegistry views;
+  Status setup = SetupView(n, threads, 0.25, &db, &views);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.ToString().c_str());
+    return;
+  }
+  const GeneralizedTuple e = EdgeTuple(n - off, n - off + 1);
+
+  // The comparator: the identical cycle against a second registry whose
+  // threshold forces the recompute fallback, a few cold repetitions.
+  Database full_db;
+  ViewRegistry full_views;
+  Status full_setup = SetupView(n, threads, 0.0, &full_db, &full_views);
+  if (!full_setup.ok()) {
+    state.SkipWithError(full_setup.ToString().c_str());
+    return;
+  }
+  constexpr int kReps = 3;
+  const auto full_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReps; ++i) {
+    Status status = UpdateCycle(&full_views, &full_db, e);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+  }
+  const double full_ms = MillisSince(full_start) / kReps;
+
+  double incremental_ms = 0.0;
+  {
+    bench::ScopedCounterReport scoped(state);
+    const auto start = std::chrono::steady_clock::now();
+    for (auto _ : state) {
+      Status status = UpdateCycle(&views, &db, e);
+      if (!status.ok()) {
+        state.SkipWithError(status.ToString().c_str());
+        return;
+      }
+    }
+    if (state.iterations() > 0) {
+      incremental_ms = MillisSince(start) / state.iterations();
+    }
+  }
+  state.counters["full_recompute_ms"] = full_ms;
+  state.counters["incremental_ms"] = incremental_ms;
+  state.counters["speedup_vs_recompute"] =
+      incremental_ms > 0 ? full_ms / incremental_ms : 0;
+  state.counters["view_tuples"] =
+      static_cast<double>(views.Find("tc")->tuple_count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IvmIncrementalUpdate)
+    ->ArgNames({"n", "threads", "off"})
+    ->Args({64, 1, 1})
+    ->Args({64, 1, 16})
+    ->Args({64, 1, 32})
+    ->Args({64, 8, 1})
+    ->Args({64, 8, 16})
+    ->Args({64, 8, 32})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IvmFullRecomputeUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Database db;
+  ViewRegistry views;
+  Status setup = SetupView(n, threads, 0.0, &db, &views);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.ToString().c_str());
+    return;
+  }
+  const GeneralizedTuple e = EdgeTuple(n - 1, n);
+  bench::ScopedCounterReport scoped(state);
+  for (auto _ : state) {
+    Status status = UpdateCycle(&views, &db, e);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IvmFullRecomputeUpdate)
+    ->ArgNames({"n", "threads"})
+    ->Args({64, 1})
+    ->Args({64, 8})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dodb
+
+BENCHMARK_MAIN();

@@ -49,6 +49,14 @@ inline void ReportEvalCounters(benchmark::State& state,
   state.counters["arena_bytes"] = static_cast<double>(delta.arena_bytes);
   state.counters["arena_reuse_hits"] =
       static_cast<double>(delta.arena_reuse_hits);
+  state.counters["view_delta_tuples"] =
+      static_cast<double>(delta.view_delta_tuples);
+  state.counters["view_rederivations"] =
+      static_cast<double>(delta.view_rederivations);
+  state.counters["view_full_recomputes"] =
+      static_cast<double>(delta.view_full_recomputes);
+  state.counters["view_maintenance_ms"] =
+      static_cast<double>(delta.view_maintenance_ns) / 1e6;
 }
 
 /// RAII: snapshot on construction, ReportEvalCounters on destruction —

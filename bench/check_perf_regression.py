@@ -11,6 +11,13 @@ it catches the "accidentally quadratic" class of regression, not small
 drifts. Cases present on only one side (new benchmarks, retired benchmarks)
 are reported and skipped.
 
+BENCH_ivm.json additionally carries an absolute acceptance floor that needs
+no baseline: every fresh BM_IvmIncrementalUpdate row at the smallest delta
+(off:1) must keep speedup_vs_recompute >= 10 — the incremental-maintenance
+edge over a from-scratch recompute is a ratio within one run, so it is
+stable even under smoke timings, and losing it means O(delta) maintenance
+degraded to O(n) regardless of how the wall-clock moved.
+
 Usage:
   bench/check_perf_regression.py [--baseline REV] [--threshold PCT]
                                  [--fresh-dir DIR]
@@ -41,6 +48,32 @@ def committed_json(rev: str, path: str):
     if proc.returncode != 0:
         return None
     return json.loads(proc.stdout)
+
+
+# Absolute floor for the incremental-view-maintenance record: the off:1 rows
+# (single-edge delta against the n=64 transitive closure) must beat a full
+# recompute by at least this factor.
+IVM_FILE = "BENCH_ivm.json"
+IVM_MIN_SPEEDUP = 10.0
+
+
+def ivm_floor_failures(rel_name: str, rows: dict) -> list:
+    """Failures of the absolute IVM speedup floor (independent of baseline)."""
+    failures = []
+    for name, row in sorted(rows.items()):
+        if not name.startswith("BM_IvmIncrementalUpdate"):
+            continue
+        if not name.endswith("/off:1"):
+            continue
+        speedup = row.get("speedup_vs_recompute")
+        if speedup is None:
+            failures.append(
+                f"{rel_name}: {name}: missing speedup_vs_recompute counter")
+        elif speedup < IVM_MIN_SPEEDUP:
+            failures.append(
+                f"{rel_name}: {name}: speedup_vs_recompute {speedup:.1f} "
+                f"< required {IVM_MIN_SPEEDUP:.0f}x")
+    return failures
 
 
 def rows_by_name(doc) -> dict:
@@ -75,18 +108,26 @@ def main() -> int:
 
     for fresh_path in fresh_files:
         rel_name = fresh_path.name
-        baseline_doc = committed_json(args.baseline, rel_name)
-        if baseline_doc is None:
-            skipped.append(f"{rel_name}: not committed at {args.baseline}")
-            continue
         try:
             with open(fresh_path) as f:
                 fresh_doc = json.load(f)
         except json.JSONDecodeError as err:
             skipped.append(f"{rel_name}: unreadable fresh JSON ({err})")
             continue
+        fresh_rows = rows_by_name(fresh_doc)
+        # The IVM acceptance floor is absolute, so it applies even when the
+        # baseline predates the record.
+        if rel_name == IVM_FILE:
+            regressions.extend(ivm_floor_failures(rel_name, fresh_rows))
+            compared += sum(1 for name in fresh_rows
+                            if name.startswith("BM_IvmIncrementalUpdate")
+                            and name.endswith("/off:1"))
+        baseline_doc = committed_json(args.baseline, rel_name)
+        if baseline_doc is None:
+            skipped.append(f"{rel_name}: not committed at {args.baseline}")
+            continue
         baseline_rows = rows_by_name(baseline_doc)
-        for name, fresh_row in rows_by_name(fresh_doc).items():
+        for name, fresh_row in fresh_rows.items():
             base_row = baseline_rows.get(name)
             if base_row is None:
                 skipped.append(f"{rel_name}: {name}: new benchmark")

@@ -18,8 +18,15 @@
 # JSONs (with counter columns), not to produce stable timings.
 #
 # Every JSON is stamped (benchmark "context" section) with the git revision,
-# compiler version and the effective evaluation thread count, so archived
-# records stay attributable.
+# compiler version, effective evaluation thread count, CMake build type and
+# a provenance verdict, so archived records stay attributable.
+#
+# Committed records must come from an optimized build of a clean checkout:
+# the script refuses to run against a Debug (or default, un-optimized) build
+# tree or a dirty working tree. BENCH_ALLOW_DIRTY=1 overrides the refusal
+# for local experiments — the JSONs are then stamped provenance=tainted and
+# must not be committed (check_perf_regression.py and code review key off
+# the stamp).
 #
 # The parallel-engine speedup record (ISSUE: bench_qe relation-level
 # elimination, bench_thm44) comes from running the same bench twice:
@@ -73,6 +80,34 @@ compiler="$( (c++ --version 2>/dev/null || cc --version 2>/dev/null) \
   | head -n1 | tr -s ' ' | tr ' ' '_' )"
 threads="${DODB_THREADS:-$(nproc 2>/dev/null || echo unknown)}"
 
+# Provenance gate: refuse debug build trees and dirty checkouts. A cmake
+# tree configured without CMAKE_BUILD_TYPE compiles at -O0, which is as
+# unrepresentative as an explicit Debug build, so an absent entry counts as
+# Debug here.
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "$build_dir/CMakeCache.txt" 2>/dev/null | head -n1)"
+build_type="${build_type:-Debug}"
+taint=""
+case "$build_type" in
+  Release|RelWithDebInfo|MinSizeRel) ;;
+  *) taint="un-optimized build type '$build_type'" ;;
+esac
+if [[ "$git_sha" == *-dirty || "$git_sha" == unknown ]]; then
+  taint="${taint:+$taint, }unclean git revision '$git_sha'"
+fi
+provenance="clean"
+if [[ -n "$taint" ]]; then
+  if [[ -z "${BENCH_ALLOW_DIRTY:-}" ]]; then
+    echo "error: refusing to record benchmarks from: $taint" >&2
+    echo "  committed BENCH_*.json must come from a Release build of a" >&2
+    echo "  clean checkout; set BENCH_ALLOW_DIRTY=1 to record anyway" >&2
+    echo "  (the JSONs are then stamped provenance=tainted and must not" >&2
+    echo "  be committed)" >&2
+    exit 1
+  fi
+  provenance="tainted ($taint)"
+fi
+
 smoke_args=()
 if [[ -n "${BENCH_SMOKE:-}" ]]; then
   smoke_args=(--benchmark_min_time=0.01 --benchmark_repetitions=1)
@@ -100,6 +135,8 @@ for bench in "${benches[@]}"; do
     --benchmark_context=git_sha="$git_sha" \
     --benchmark_context=compiler="$compiler" \
     --benchmark_context=eval_threads="$threads" \
+    --benchmark_context=cmake_build_type="$build_type" \
+    --benchmark_context=provenance="$provenance" \
     "${smoke_args[@]}" \
     ${BENCH_ARGS:-}
 done

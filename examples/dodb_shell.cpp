@@ -59,11 +59,33 @@ bool DurableSetRelation(Database* db, StorageEngine* engine,
   return true;
 }
 
-// \open <dir>: recover `db` from the directory and keep logging to it.
+// \open <dir>: recover `db` from the directory and keep logging to it. The
+// view registry is rebuilt from the WAL's view records (via ViewHooks), so
+// any in-memory registrations are discarded first; replayed views come back
+// stale and are recomputed once recovery has the base relations in place.
 std::unique_ptr<StorageEngine> OpenStorage(const std::string& dir,
-                                           Database* db) {
+                                           Database* db,
+                                           dodb::ViewRegistry* views) {
+  for (const dodb::MaterializedView* view : views->Views()) {
+    views->RestoreDrop(view->name());
+  }
+  dodb::storage::StorageOptions options;
+  options.view_hooks.list = [views] {
+    std::vector<std::pair<std::string, std::string>> defs;
+    for (const dodb::MaterializedView* view : views->Views()) {
+      defs.emplace_back(view->name(), view->text());
+    }
+    return defs;
+  };
+  options.view_hooks.restore = [views](const std::string& name,
+                                       const std::string& text) {
+    return views->Restore(name, text);
+  };
+  options.view_hooks.restore_drop = [views](const std::string& name) {
+    return views->RestoreDrop(name);
+  };
   dodb::Result<std::unique_ptr<StorageEngine>> engine =
-      StorageEngine::Open(dir, db);
+      StorageEngine::Open(dir, db, std::move(options));
   if (!engine.ok()) {
     std::cout << "error: " << engine.status().ToString() << "\n";
     return nullptr;
@@ -75,6 +97,15 @@ std::unique_ptr<StorageEngine> OpenStorage(const std::string& dir,
             << info.records_replayed << " WAL record(s) replayed";
   if (info.wal_truncated) std::cout << ", torn WAL tail truncated";
   std::cout << " in " << info.recovery_ns / 1000000 << " ms\n";
+  if (views->view_count() > 0) {
+    dodb::Status refreshed = views->RefreshStale(db);
+    std::cout << views->view_count() << " view(s) re-registered";
+    if (!refreshed.ok()) {
+      std::cout << "; refresh failed: " << refreshed.ToString()
+                << " (stale views recompute on next maintenance)";
+    }
+    std::cout << "\n";
+  }
   return std::move(engine).value();
 }
 
@@ -134,7 +165,8 @@ void RunFoQuery(Database* db, const std::string& text,
   std::cout << out.value().ToString(&query.value().head) << "\n";
 }
 
-void RunLet(Database* db, StorageEngine* engine, const std::string& line,
+void RunLet(Database* db, StorageEngine* engine,
+            const dodb::ViewRegistry& views, const std::string& line,
             const dodb::EvalOptions& eval_options) {
   // let name = { ... }
   size_t eq = line.find('=');
@@ -143,6 +175,11 @@ void RunLet(Database* db, StorageEngine* engine, const std::string& line,
     return;
   }
   std::string name(dodb::StripWhitespace(line.substr(4, eq - 4)));
+  if (views.IsView(name)) {
+    std::cout << "'" << name << "' is a materialized view; \\view drop it "
+              << "first\n";
+    return;
+  }
   std::string body(line.substr(eq + 1));
   dodb::Result<dodb::Query> query = dodb::FoParser::ParseQuery(body);
   if (!query.ok()) {
@@ -162,7 +199,7 @@ void RunLet(Database* db, StorageEngine* engine, const std::string& line,
 }
 
 void RunDatalogFile(Database* db, StorageEngine* engine,
-                    const std::string& path,
+                    const dodb::ViewRegistry& views, const std::string& path,
                     const dodb::EvalOptions& eval_options) {
   std::ifstream in(path);
   if (!in) {
@@ -186,6 +223,11 @@ void RunDatalogFile(Database* db, StorageEngine* engine,
     return;
   }
   for (const std::string& name : idb.value().RelationNames()) {
+    if (views.IsView(name)) {
+      std::cout << "skipping " << name
+                << ": a materialized view owns that relation\n";
+      continue;
+    }
     if (!DurableSetRelation(db, engine, name, *idb.value().FindRelation(name))) {
       return;
     }
@@ -288,6 +330,100 @@ void RunLimitCommand(const std::string& args, dodb::GuardLimits* limits) {
   ShowLimits(*limits);
 }
 
+// \view create <name> <rules>   register + materialize a Datalog view
+// \view drop <name>             unregister, remove the exported relation
+// \view list                    registered views with maintenance state
+// \view threshold [<fraction>]  show / set the incremental-vs-recompute knob
+//
+// Create-then-log ordering: registering a view can fail (the initial
+// materialization evaluates the program), so unlike DML the registry runs
+// first and the WAL record is appended only on success; if the append then
+// fails, the registration is rolled back — disk never runs ahead of memory.
+void RunViewCommand(Database* db, StorageEngine* engine,
+                    dodb::ViewRegistry* views, const std::string& args) {
+  std::istringstream in(args);
+  std::string verb;
+  in >> verb;
+  if (verb == "create") {
+    std::string name;
+    in >> name;
+    std::string rules;
+    std::getline(in, rules);
+    rules = std::string(dodb::StripWhitespace(rules));
+    if (name.empty() || rules.empty()) {
+      std::cout << "usage: \\view create <name> <datalog rules>\n";
+      return;
+    }
+    dodb::Result<const dodb::MaterializedView*> view =
+        views->Create(name, rules, db);
+    if (!view.ok()) {
+      std::cout << "error: " << view.status().ToString() << "\n";
+      return;
+    }
+    if (engine != nullptr) {
+      dodb::Status logged = engine->LogViewCreate(name, rules);
+      if (!logged.ok()) {
+        views->Drop(name, db);
+        std::cout << "storage error: " << logged.ToString() << "\n";
+        return;
+      }
+    }
+    std::cout << "view " << name << " materialized ("
+              << view.value()->tuple_count() << " tuples, "
+              << (view.value()->incremental() ? "incremental" : "recompute")
+              << " maintenance)\n";
+  } else if (verb == "drop") {
+    std::string name;
+    in >> name;
+    if (name.empty() || !views->IsView(name)) {
+      std::cout << (name.empty() ? "usage: \\view drop <name>\n"
+                                 : "no view '" + name + "'\n");
+      return;
+    }
+    if (engine != nullptr) {
+      dodb::Status logged = engine->LogViewDrop(name);
+      if (!logged.ok()) {
+        std::cout << "storage error: " << logged.ToString() << "\n";
+        return;
+      }
+    }
+    dodb::Status dropped = views->Drop(name, db);
+    std::cout << (dropped.ok() ? "dropped view " + name : dropped.ToString())
+              << "\n";
+  } else if (verb == "list") {
+    if (views->view_count() == 0) {
+      std::cout << "no views registered\n";
+      return;
+    }
+    for (const dodb::MaterializedView* view : views->Views()) {
+      std::cout << "  " << view->name() << "  (" << view->tuple_count()
+                << " tuples, "
+                << (view->incremental() ? "incremental" : "recompute");
+      if (view->stale()) std::cout << ", STALE";
+      std::cout << "; bases:";
+      for (const std::string& base : view->base_relations()) {
+        std::cout << " " << base;
+      }
+      std::cout << ")\n";
+    }
+  } else if (verb == "threshold") {
+    double fraction = -1.0;
+    if (in >> fraction) {
+      if (fraction < 0.0 || fraction > 1.0) {
+        std::cout << "threshold must be in [0, 1]\n";
+        return;
+      }
+      views->options().max_delta_fraction = fraction;
+    }
+    std::cout << "recompute when delta > "
+              << views->options().max_delta_fraction * 100
+              << "% of base tuples\n";
+  } else {
+    std::cout << "usage: \\view create <name> <rules> | drop <name> | list | "
+                 "threshold [<fraction>]\n";
+  }
+}
+
 void PrintHelp() {
   std::cout <<
       "  { (x, y) | phi }      FO/FO+ query\n"
@@ -310,6 +446,14 @@ void PrintHelp() {
       "  \\wal on|off           re-attach the last \\open directory / detach\n"
       "                        the storage engine (no further logging)\n"
       "  \\datalog <f>          run a Datalog(not) program file\n"
+      "  \\view create <name> <rules>\n"
+      "                        register a Datalog program as a materialized\n"
+      "                        view; committed DML on its base relations is\n"
+      "                        propagated incrementally (O(delta) semi-naive\n"
+      "                        inserts, DRed-style deletes with support\n"
+      "                        counting), falling back to a full recompute\n"
+      "                        for large deltas or negated programs\n"
+      "  \\view drop <name> | list | threshold [<fraction>]\n"
       "  \\ccalc <query>        C-CALC query with set quantifiers\n"
       "  \\encode               switch to the standard encoding\n"
       "  \\limit time <ms> | tuples <n> | mem <bytes>\n"
@@ -342,6 +486,10 @@ int main(int argc, char** argv) {
   // Session-wide evaluation options; \limit edits the guard budgets that
   // every evaluator in this shell observes.
   dodb::EvalOptions session_options;
+
+  // Materialized views, kept consistent with the catalog by the command
+  // layer; maintenance passes inherit the session's guard limits.
+  dodb::ViewRegistry views;
 
   // Durable storage, attached by \open / \wal on. Null = in-memory only.
   std::unique_ptr<StorageEngine> engine;
@@ -394,7 +542,7 @@ int main(int argc, char** argv) {
       if (engine != nullptr) {
         std::cout << "storage already open on '" << engine->dir()
                   << "'; \\wal off first\n";
-      } else if (auto opened = OpenStorage(dir, &db)) {
+      } else if (auto opened = OpenStorage(dir, &db, &views)) {
         engine = std::move(opened);
         storage_dir = dir;
       }
@@ -412,7 +560,7 @@ int main(int argc, char** argv) {
     } else if (trimmed == "\\wal on") {
       if (engine != nullptr) {
         std::cout << "storage already open on '" << engine->dir() << "'\n";
-      } else if (auto opened = OpenStorage(storage_dir, &db)) {
+      } else if (auto opened = OpenStorage(storage_dir, &db, &views)) {
         engine = std::move(opened);
       }
     } else if (trimmed == "\\wal off") {
@@ -425,9 +573,13 @@ int main(int argc, char** argv) {
                   << "\n";
       }
     } else if (trimmed.rfind("\\datalog ", 0) == 0) {
-      RunDatalogFile(&db, engine.get(),
+      RunDatalogFile(&db, engine.get(), views,
                      std::string(dodb::StripWhitespace(trimmed.substr(9))),
                      session_options);
+    } else if (trimmed == "\\view" || trimmed.rfind("\\view ", 0) == 0) {
+      views.options().datalog.eval_options = session_options;
+      RunViewCommand(&db, engine.get(), &views,
+                     trimmed.size() > 5 ? trimmed.substr(6) : "");
     } else if (trimmed.rfind("\\ccalc ", 0) == 0) {
       RunCCalc(&db, trimmed.substr(7), session_options);
     } else if (trimmed == "\\limit" || trimmed.rfind("\\limit ", 0) == 0) {
@@ -451,13 +603,14 @@ int main(int argc, char** argv) {
                   << db.AllConstants().size() << " integer constants)\n";
       }
     } else if (trimmed.rfind("let ", 0) == 0) {
-      RunLet(&db, engine.get(), trimmed, session_options);
+      RunLet(&db, engine.get(), views, trimmed, session_options);
     } else if (trimmed.rfind("create ", 0) == 0 ||
                trimmed.rfind("drop ", 0) == 0 ||
                trimmed.rfind("insert ", 0) == 0 ||
                trimmed.rfind("delete ", 0) == 0) {
+      views.options().datalog.eval_options = session_options;
       dodb::Result<std::string> outcome =
-          dodb::ExecuteCommand(&db, trimmed, engine.get());
+          dodb::ExecuteCommand(&db, trimmed, engine.get(), &views);
       std::cout << (outcome.ok() ? outcome.value()
                                  : outcome.status().ToString())
                 << "\n";

@@ -36,6 +36,10 @@ struct Counters {
   std::atomic<uint64_t> canonical_atoms_max{0};
   std::atomic<uint64_t> arena_bytes{0};
   std::atomic<uint64_t> arena_reuse_hits{0};
+  std::atomic<uint64_t> view_delta_tuples{0};
+  std::atomic<uint64_t> view_rederivations{0};
+  std::atomic<uint64_t> view_full_recomputes{0};
+  std::atomic<uint64_t> view_maintenance_ns{0};
 };
 
 Counters& Global() {
@@ -131,6 +135,18 @@ void EvalCounters::AddArenaBytes(uint64_t n) {
 void EvalCounters::AddArenaReuseHits(uint64_t n) {
   Global().arena_reuse_hits.fetch_add(n, kRelaxed);
 }
+void EvalCounters::AddViewDeltaTuples(uint64_t n) {
+  Global().view_delta_tuples.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddViewRederivations(uint64_t n) {
+  Global().view_rederivations.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddViewFullRecomputes(uint64_t n) {
+  Global().view_full_recomputes.fetch_add(n, kRelaxed);
+}
+void EvalCounters::AddViewMaintenanceNs(uint64_t ns) {
+  Global().view_maintenance_ns.fetch_add(ns, kRelaxed);
+}
 
 EvalCounterSnapshot EvalCounters::Snapshot() {
   const Counters& c = Global();
@@ -162,6 +178,10 @@ EvalCounterSnapshot EvalCounters::Snapshot() {
   snap.canonical_atoms_max = c.canonical_atoms_max.load(kRelaxed);
   snap.arena_bytes = c.arena_bytes.load(kRelaxed);
   snap.arena_reuse_hits = c.arena_reuse_hits.load(kRelaxed);
+  snap.view_delta_tuples = c.view_delta_tuples.load(kRelaxed);
+  snap.view_rederivations = c.view_rederivations.load(kRelaxed);
+  snap.view_full_recomputes = c.view_full_recomputes.load(kRelaxed);
+  snap.view_maintenance_ns = c.view_maintenance_ns.load(kRelaxed);
   return snap;
 }
 
@@ -200,6 +220,11 @@ EvalCounterSnapshot EvalCounterSnapshot::operator-(
   delta.canonical_atoms_max = canonical_atoms_max;
   delta.arena_bytes = arena_bytes - since.arena_bytes;
   delta.arena_reuse_hits = arena_reuse_hits - since.arena_reuse_hits;
+  delta.view_delta_tuples = view_delta_tuples - since.view_delta_tuples;
+  delta.view_rederivations = view_rederivations - since.view_rederivations;
+  delta.view_full_recomputes =
+      view_full_recomputes - since.view_full_recomputes;
+  delta.view_maintenance_ns = view_maintenance_ns - since.view_maintenance_ns;
   return delta;
 }
 
@@ -240,7 +265,11 @@ std::string EvalCounterSnapshot::ToString() const {
       "  atoms per canonical tuple    ", avg_whole, ".", avg_tenths,
       " avg / ", canonical_atoms_max, " max\n",
       "  arena bytes / span reuses    ", arena_bytes, " / ", arena_reuse_hits,
-      "\n");
+      "\n",
+      "  view delta tuples            ", view_delta_tuples, "\n",
+      "  view rederivations           ", view_rederivations, "\n",
+      "  view full recomputes         ", view_full_recomputes, "\n",
+      "  view maintenance time        ", Millis(view_maintenance_ns), "\n");
 }
 
 bool IndexingEnabled() { return tls_indexing_enabled; }

@@ -41,6 +41,14 @@ struct EvalCounterSnapshot {
   uint64_t arena_bytes = 0;             // atom-arena storage allocated
   uint64_t arena_reuse_hits = 0;        // tuples stored by re-pointing at an
                                         // already-placed arena span
+  uint64_t view_delta_tuples = 0;       // base+derived delta tuples pushed
+                                        // through incremental view passes
+  uint64_t view_rederivations = 0;      // over-deleted view tuples restored
+                                        // by the DRed re-derive firing
+  uint64_t view_full_recomputes = 0;    // view maintenance passes that fell
+                                        // back to a from-scratch fixpoint
+  uint64_t view_maintenance_ns = 0;     // wall time inside ApplyDelta /
+                                        // Recompute across all views
 
   EvalCounterSnapshot operator-(const EvalCounterSnapshot& since) const;
   /// Multi-line human-readable rendering (shell \stats).
@@ -78,6 +86,10 @@ class EvalCounters {
   static void AddCanonicalForm(uint64_t atoms);
   static void AddArenaBytes(uint64_t n);
   static void AddArenaReuseHits(uint64_t n);
+  static void AddViewDeltaTuples(uint64_t n);
+  static void AddViewRederivations(uint64_t n);
+  static void AddViewFullRecomputes(uint64_t n);
+  static void AddViewMaintenanceNs(uint64_t ns);
 
   static EvalCounterSnapshot Snapshot();
 };

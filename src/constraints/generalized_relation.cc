@@ -131,10 +131,14 @@ RelationIndex* GeneralizedRelation::MutableIndex() {
 }
 
 void GeneralizedRelation::AddCanonicalTuple(GeneralizedTuple canonical) {
+  (void)AddCanonicalTupleCaptured(std::move(canonical), nullptr);
+}
+
+bool GeneralizedRelation::AddCanonicalTupleCaptured(
+    GeneralizedTuple canonical, std::vector<GeneralizedTuple>* captured) {
   DODB_CHECK_MSG(canonical.arity() == arity_, "AddTuple arity mismatch");
   if (!IndexingEnabled()) {
-    AddCanonicalTupleLegacy(std::move(canonical));
-    return;
+    return AddCanonicalTupleLegacy(std::move(canonical), captured);
   }
   RelationIndex* index = MutableIndex();
   const TupleSignature& signature = canonical.CachedSignature();
@@ -150,7 +154,7 @@ void GeneralizedRelation::AddCanonicalTuple(GeneralizedTuple canonical) {
     auto pos = std::lower_bound(stored.begin(), stored.end(), canonical);
     insert_at = static_cast<size_t>(pos - stored.begin());
     pos_valid = true;
-    if (pos != stored.end() && pos->Compare(canonical) == 0) return;
+    if (pos != stored.end() && pos->Compare(canonical) == 0) return false;
   } else {
     EvalCounters::AddHashSkips(1);
   }
@@ -172,7 +176,7 @@ void GeneralizedRelation::AddCanonicalTuple(GeneralizedTuple canonical) {
   }
   if (subsumed) {
     EvalCounters::AddSubsumptionChecks(checks);
-    return;
+    return false;
   }
   std::vector<GeneralizedTuple>& tuples = MutableTuples();
   bool erased = false;
@@ -180,6 +184,7 @@ void GeneralizedRelation::AddCanonicalTuple(GeneralizedTuple canonical) {
     size_t p = overlap[i];
     ++checks;
     if (tuples[p].EntailsTuple(canonical)) {
+      if (captured != nullptr) captured->push_back(tuples[p]);
       tuples.erase(tuples.begin() + p);
       index->EraseAt(p);
       erased = true;
@@ -194,9 +199,29 @@ void GeneralizedRelation::AddCanonicalTuple(GeneralizedTuple canonical) {
   index->InsertAt(insert_at, signature);
   PlaceInArena(canonical);
   tuples.insert(tuples.begin() + insert_at, std::move(canonical));
+  return true;
 }
 
-void GeneralizedRelation::AddCanonicalTupleLegacy(GeneralizedTuple canonical) {
+bool GeneralizedRelation::EraseCanonicalTuple(
+    const GeneralizedTuple& canonical) {
+  const std::vector<GeneralizedTuple>& stored = tuples();
+  auto pos = std::lower_bound(stored.begin(), stored.end(), canonical);
+  if (pos == stored.end() || pos->Compare(canonical) != 0) return false;
+  size_t at = static_cast<size_t>(pos - stored.begin());
+  if (!IndexingEnabled()) {
+    // A legacy-mode mutation would leave a stale index behind; drop it and
+    // let the next indexed use rebuild lazily (same rule as legacy inserts).
+    index_.reset();
+  } else {
+    MutableIndex()->EraseAt(at);
+  }
+  std::vector<GeneralizedTuple>& tuples = MutableTuples();
+  tuples.erase(tuples.begin() + at);
+  return true;
+}
+
+bool GeneralizedRelation::AddCanonicalTupleLegacy(
+    GeneralizedTuple canonical, std::vector<GeneralizedTuple>* captured) {
   // A legacy-mode mutation would leave a stale index behind; drop it and let
   // the next indexed use rebuild lazily.
   index_.reset();
@@ -207,7 +232,7 @@ void GeneralizedRelation::AddCanonicalTupleLegacy(GeneralizedTuple canonical) {
   // detach a shared (copy-on-write) vector.
   auto dup = std::lower_bound(stored.begin(), stored.end(), canonical);
   size_t insert_at = static_cast<size_t>(dup - stored.begin());
-  if (dup != stored.end() && dup->Compare(canonical) == 0) return;
+  if (dup != stored.end() && dup->Compare(canonical) == 0) return false;
   // Subsumption pruning: skip if an existing tuple covers it; drop existing
   // tuples it covers.
   size_t checks = 0;
@@ -215,14 +240,16 @@ void GeneralizedRelation::AddCanonicalTupleLegacy(GeneralizedTuple canonical) {
     ++checks;
     if (canonical.EntailsTuple(existing)) {
       EvalCounters::AddSubsumptionChecks(checks);
-      return;
+      return false;
     }
   }
   std::vector<GeneralizedTuple>& tuples = MutableTuples();
   size_t size_before = tuples.size();
   std::erase_if(tuples, [&](const GeneralizedTuple& existing) {
     ++checks;
-    return existing.EntailsTuple(canonical);
+    bool erase = existing.EntailsTuple(canonical);
+    if (erase && captured != nullptr) captured->push_back(existing);
+    return erase;
   });
   EvalCounters::AddSubsumptionChecks(checks);
   if (tuples.size() != size_before) {
@@ -234,6 +261,7 @@ void GeneralizedRelation::AddCanonicalTupleLegacy(GeneralizedTuple canonical) {
   }
   PlaceInArena(canonical);
   tuples.insert(tuples.begin() + insert_at, std::move(canonical));
+  return true;
 }
 
 void GeneralizedRelation::AddTuplesParallel(

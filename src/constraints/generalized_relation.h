@@ -76,6 +76,22 @@ class GeneralizedRelation {
   /// check and re-canonicalization, keeps the same pruning contract.
   void AddCanonicalTuple(GeneralizedTuple canonical);
 
+  /// AddCanonicalTuple that reports the structural delta: returns whether
+  /// the tuple was actually inserted (false = exact duplicate or subsumed by
+  /// a stored tuple) and, when `erased` is non-null, appends every stored
+  /// tuple the insert displaced by subsumption. The view-maintenance layer
+  /// uses this to capture per-statement base deltas without diffing whole
+  /// relations. Identical relation state to AddCanonicalTuple.
+  bool AddCanonicalTupleCaptured(GeneralizedTuple canonical,
+                                 std::vector<GeneralizedTuple>* erased);
+
+  /// Structurally removes the stored tuple equal to `canonical` (Compare ==
+  /// 0); returns whether it was present. The index mirror is maintained
+  /// incrementally (no rebuild); in legacy (unindexed) mode the stale index
+  /// snapshot is dropped instead. Note this is *structural* removal — the
+  /// semantic counterpart (pointset subtraction) is algebra::Difference.
+  bool EraseCanonicalTuple(const GeneralizedTuple& canonical);
+
   /// Evaluates make(i) for every i in [0, n) — on the shared thread pool
   /// when the current eval-thread setting allows — and inserts the results
   /// in index order. Bit-identical to `for (i) AddTuple(make(i))` at any
@@ -118,7 +134,8 @@ class GeneralizedRelation {
   /// Pre-index insertion path (all-pairs subsumption scan), kept selectable
   /// via EvalOptions::use_index for differential testing and benchmarking.
   /// Bit-identical relation state to the indexed path.
-  void AddCanonicalTupleLegacy(GeneralizedTuple canonical);
+  bool AddCanonicalTupleLegacy(GeneralizedTuple canonical,
+                               std::vector<GeneralizedTuple>* erased);
 
   /// Moves an accepted tuple's heap-backed atom list into this relation's
   /// arena (allocating the arena on first use); counts a reuse hit when the

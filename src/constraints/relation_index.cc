@@ -10,27 +10,52 @@ namespace dodb {
 
 RelationIndex::~RelationIndex() = default;
 
+namespace {
+
+// Clones the source's shard partition under its lazy-build mutex (a reader
+// of the shared snapshot may be faulting the partition in concurrently).
+// Carrying the partition across a copy-on-write detach is what keeps
+// delete-heavy maintenance loops from paying a from-scratch quantile
+// rebuild per erase: the copy is a flat vector clone, maintained
+// incrementally by InsertAt/EraseAt from then on, and is NOT counted as a
+// shard index build (relation_shards_test asserts on that).
+std::unique_ptr<RelationShards> CloneShards(
+    std::mutex& mu, const std::unique_ptr<RelationShards>& shards) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (!shards) return nullptr;
+  return std::make_unique<RelationShards>(*shards);
+}
+
+}  // namespace
+
 RelationIndex::RelationIndex(const RelationIndex& other)
-    : signatures_(other.signatures_), hash_counts_(other.hash_counts_) {}
+    : signatures_(other.signatures_),
+      hash_counts_(other.hash_counts_),
+      shards_(CloneShards(other.intervals_mu_, other.shards_)) {}
 
 RelationIndex& RelationIndex::operator=(const RelationIndex& other) {
   if (this != &other) {
     signatures_ = other.signatures_;
     hash_counts_ = other.hash_counts_;
+    std::unique_ptr<RelationShards> cloned =
+        CloneShards(other.intervals_mu_, other.shards_);
     InvalidateIntervals();
+    shards_ = std::move(cloned);
   }
   return *this;
 }
 
 RelationIndex::RelationIndex(RelationIndex&& other) noexcept
     : signatures_(std::move(other.signatures_)),
-      hash_counts_(std::move(other.hash_counts_)) {}
+      hash_counts_(std::move(other.hash_counts_)),
+      shards_(std::move(other.shards_)) {}
 
 RelationIndex& RelationIndex::operator=(RelationIndex&& other) noexcept {
   if (this != &other) {
     signatures_ = std::move(other.signatures_);
     hash_counts_ = std::move(other.hash_counts_);
     InvalidateIntervals();
+    shards_ = std::move(other.shards_);
   }
   return *this;
 }

@@ -38,9 +38,13 @@ class RelationIndex {
  public:
   RelationIndex() = default;
   ~RelationIndex();
-  // Copies/moves carry the signatures and hash multiset; the lazy interval
-  // caches and the shard partition are rebuilt on demand (copying them
-  // would race with concurrent lazy builds on the shared source snapshot).
+  // Copies/moves carry the signatures, the hash multiset and the shard
+  // partition (cloned under the source's lazy-build mutex, so a concurrent
+  // lazy build on the shared snapshot cannot race the copy); only the lazy
+  // interval caches are rebuilt on demand. Carrying the partition matters
+  // for delete-heavy view maintenance: every erase detaches the shared
+  // index snapshot first, and before this the detach dropped the partition,
+  // charging a from-scratch shard rebuild per erase.
   RelationIndex(const RelationIndex& other);
   RelationIndex& operator=(const RelationIndex& other);
   RelationIndex(RelationIndex&& other) noexcept;
@@ -86,9 +90,9 @@ class RelationIndex {
 
   /// The signature-bound shard partition of the indexed tuples (see
   /// relation_shards.h), built lazily on first use and thereafter maintained
-  /// incrementally by InsertAt/EraseAt; dropped (and lazily rebuilt) once
-  /// the relation doubles past the partition's build size, and on
-  /// copy/assign. Thread-safe for concurrent readers of a shared snapshot,
+  /// incrementally by InsertAt/EraseAt (copies carry it); dropped (and
+  /// lazily rebuilt) once the relation doubles past the partition's build
+  /// size. Thread-safe for concurrent readers of a shared snapshot,
   /// like IntervalIndex(). Returned pointer stays valid until the next
   /// mutation.
   const RelationShards* Shards() const;

@@ -47,6 +47,10 @@ const char* GuardSiteName(GuardSite site) {
       return "wal-sync";
     case GuardSite::kWalReplay:
       return "wal-replay";
+    case GuardSite::kViewDeltaApply:
+      return "view-delta-apply";
+    case GuardSite::kViewRederive:
+      return "view-rederive";
   }
   return "unknown";
 }

@@ -57,8 +57,15 @@ enum class GuardSite {
   kWalAppend,               // mid-record, before the WAL append completes
   kWalSync,                 // after fsync, before the append is acknowledged
   kWalReplay,               // per-record/tuple loop during recovery replay
+  // View-maintenance sites (src/datalog/view_maintenance.cc). Reachable
+  // only through ViewRegistry maintenance passes; a trip aborts the pass
+  // and marks the affected view stale (next access recomputes), never
+  // corrupts it — view_maintenance_test sweeps both.
+  kViewDeltaApply,          // per-delta-tuple loop in incremental insert /
+                            // over-delete propagation
+  kViewRederive,            // per-candidate loop in the DRed re-derive pass
 };
-inline constexpr int kGuardSiteCount = 15;
+inline constexpr int kGuardSiteCount = 17;
 /// Index of the first storage-engine site. Sites below this are reachable
 /// from query evaluation; sites from here on are reachable only through the
 /// storage engine (the fault sweeps in robustness_test / storage_test split

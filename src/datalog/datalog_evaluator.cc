@@ -113,12 +113,7 @@ Result<GeneralizedRelation> DatalogEvaluator::EvalRule(
   return widened;
 }
 
-namespace {
-
-// Positions of positive IDB atoms in a rule's body; nullopt when the rule
-// has a *negated* IDB atom (then semi-naive evaluation is unsound and the
-// rule runs naively every round).
-std::optional<std::vector<size_t>> PositiveIdbOccurrences(
+std::optional<std::vector<size_t>> DatalogEvaluator::PositiveIdbOccurrences(
     const DatalogRule& rule, const std::map<std::string, int>& idb_arities) {
   std::vector<size_t> positions;
   for (size_t i = 0; i < rule.body.size(); ++i) {
@@ -131,10 +126,8 @@ std::optional<std::vector<size_t>> PositiveIdbOccurrences(
   return positions;
 }
 
-// Syntactic set difference of canonical relations: tuples of `next` not
-// present in `prev` (both kept sorted by AddTuple).
-GeneralizedRelation TupleDifference(const GeneralizedRelation& next,
-                                    const GeneralizedRelation& prev) {
+GeneralizedRelation StructuralTupleDifference(const GeneralizedRelation& next,
+                                              const GeneralizedRelation& prev) {
   GeneralizedRelation out(next.arity());
   size_t i = 0;
   const auto& old_tuples = prev.tuples();
@@ -147,7 +140,11 @@ GeneralizedRelation TupleDifference(const GeneralizedRelation& next,
   return out;
 }
 
+namespace {
+
 constexpr char kDeltaRelationName[] = "__dodb_delta";
+
+}  // namespace
 
 // Populates and closes the lazily cached constraint network of every stored
 // tuple — and, when indexing is on, each tuple's signature and each
@@ -156,7 +153,7 @@ constexpr char kDeltaRelationName[] = "__dodb_delta";
 // read-only once warm — so after warming, concurrent rule evaluations may
 // read the snapshot freely, and every job in the round probes the one
 // snapshot index instead of rebuilding its own.
-void WarmRelationCaches(const GeneralizedRelation& rel) {
+static void WarmRelationCaches(const GeneralizedRelation& rel) {
   for (const GeneralizedTuple& tuple : rel.tuples()) {
     tuple.IsSatisfiable();
     if (IndexingEnabled()) tuple.CachedSignature();
@@ -169,11 +166,13 @@ void WarmRelationCaches(const GeneralizedRelation& rel) {
   }
 }
 
-void WarmClosureCaches(const Database& db) {
+void WarmDatabaseCaches(const Database& db) {
   for (const std::string& name : db.RelationNames()) {
     WarmRelationCaches(*db.FindRelation(name));
   }
 }
+
+namespace {
 
 // Writes the engine-counter delta covering its lifetime into `out`.
 class CounterDeltaScope {
@@ -197,6 +196,33 @@ struct RuleJob {
 };
 
 }  // namespace
+
+Result<GeneralizedRelation> DatalogEvaluator::FireRule(
+    size_t rule_index, const Database& snapshot,
+    std::optional<size_t> redirect_occurrence,
+    std::string_view redirect_relation) {
+  DODB_CHECK(rule_index < program_.rules.size());
+  const DatalogRule& rule = program_.rules[rule_index];
+  if (!redirect_occurrence.has_value()) return EvalRule(rule, snapshot);
+  DODB_CHECK(*redirect_occurrence < rule.body.size());
+  DatalogRule focused = rule;
+  focused.body[*redirect_occurrence].relation = std::string(redirect_relation);
+  return EvalRule(focused, snapshot);
+}
+
+Result<GeneralizedRelation> DatalogEvaluator::FireRule(
+    size_t rule_index, const Database& snapshot,
+    const std::vector<std::pair<size_t, std::string>>& redirects) {
+  DODB_CHECK(rule_index < program_.rules.size());
+  const DatalogRule& rule = program_.rules[rule_index];
+  if (redirects.empty()) return EvalRule(rule, snapshot);
+  DatalogRule focused = rule;
+  for (const auto& [occurrence, relation] : redirects) {
+    DODB_CHECK(occurrence < focused.body.size());
+    focused.body[occurrence].relation = relation;
+  }
+  return EvalRule(focused, snapshot);
+}
 
 Status DatalogEvaluator::RunToFixpoint(
     const std::vector<const DatalogRule*>& rules, Database* idb) {
@@ -309,7 +335,7 @@ Status DatalogEvaluator::RunToFixpoint(
       // Concurrent jobs share the snapshot (which now holds the round's
       // deltas too) read-only; warming makes every shared tuple's closure
       // cache closed (hence read-only) before the first worker touches it.
-      WarmClosureCaches(snapshot);
+      WarmDatabaseCaches(snapshot);
       derived = ParallelMap<Result<GeneralizedRelation>>(jobs.size(),
                                                          eval_job);
     }
@@ -328,7 +354,7 @@ Status DatalogEvaluator::RunToFixpoint(
       // absent from old — and every such tuple survives into the delta (a
       // later subsuming insert is itself new), so the delta scan doubles as
       // the change check.
-      GeneralizedRelation delta = TupleDifference(merged, *old);
+      GeneralizedRelation delta = StructuralTupleDifference(merged, *old);
       if (!delta.IsEmpty()) {
         changed = true;
         delta_out.emplace(name, std::move(delta));

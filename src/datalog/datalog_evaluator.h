@@ -2,7 +2,11 @@
 #define DODB_DATALOG_DATALOG_EVALUATOR_H_
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/status.h"
@@ -67,6 +71,37 @@ class DatalogEvaluator {
   Result<GeneralizedRelation> Answer(const DatalogQuery& query,
                                      const Database& idb);
 
+  /// Fires rule `rule_index` of the program once against `snapshot` (which
+  /// must already hold every relation the body references — EDB, IDB, and
+  /// any installed delta relations). When `redirect_occurrence` is set, that
+  /// body literal's relation is rewritten to `redirect_relation` before
+  /// lowering: the semi-naive delta firing RunToFixpoint plans internally,
+  /// exposed so the view-maintenance subsystem can compile per-view delta
+  /// rules from the same primitive. Unlike Evaluate(), this installs no
+  /// guard/memo/mode scopes — the caller owns that setup.
+  Result<GeneralizedRelation> FireRule(
+      size_t rule_index, const Database& snapshot,
+      std::optional<size_t> redirect_occurrence = std::nullopt,
+      std::string_view redirect_relation = {});
+
+  /// FireRule with any number of body-literal redirects: each (occurrence,
+  /// relation) pair rewrites that literal to read the named snapshot
+  /// relation. View maintenance uses this to aim one occurrence at a delta
+  /// relation and the remaining occurrences at semi-join-restricted subsets
+  /// of their relations in the same firing.
+  Result<GeneralizedRelation> FireRule(
+      size_t rule_index, const Database& snapshot,
+      const std::vector<std::pair<size_t, std::string>>& redirects);
+
+  /// Positions of positive IDB atoms in a rule's body; nullopt when the rule
+  /// has a *negated* IDB atom (then semi-naive delta firing is unsound and
+  /// the rule must run naively every round).
+  static std::optional<std::vector<size_t>> PositiveIdbOccurrences(
+      const DatalogRule& rule, const std::map<std::string, int>& idb_arities);
+
+  const DatalogProgram& program() const { return program_; }
+  const DatalogOptions& options() const { return options_; }
+
   /// Rounds executed by the last Evaluate() call.
   uint64_t iterations() const { return iterations_; }
 
@@ -87,6 +122,21 @@ class DatalogEvaluator {
   uint64_t iterations_ = 0;
   EvalCounterSnapshot counters_;
 };
+
+/// Syntactic set difference of canonical relations: tuples of `next` not
+/// present (Compare == 0) in `prev`; both must be stored-sorted, as AddTuple
+/// keeps them. This is the fixpoint's change check, exported because the
+/// DML layer uses the same structural diff to capture base-relation deltas
+/// for view maintenance.
+GeneralizedRelation StructuralTupleDifference(const GeneralizedRelation& next,
+                                              const GeneralizedRelation& prev);
+
+/// Populates and closes the lazily cached constraint network, signature,
+/// index and shard partition of every relation in `db`, making the whole
+/// snapshot read-only-sharable across pool workers (see RunToFixpoint's
+/// warm-before-parallel discipline). Exported for the view-maintenance
+/// rounds, which fan out rule jobs the same way.
+void WarmDatabaseCaches(const Database& db);
 
 }  // namespace dodb
 

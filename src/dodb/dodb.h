@@ -53,6 +53,7 @@
 #include "datalog/datalog_ast.h"
 #include "datalog/datalog_evaluator.h"
 #include "datalog/datalog_parser.h"
+#include "datalog/view_maintenance.h"
 #include "fo/analyzer.h"
 #include "fo/ast.h"
 #include "fo/cell_evaluator.h"

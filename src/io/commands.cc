@@ -5,8 +5,10 @@
 
 #include "algebra/relational_ops.h"
 #include "core/check.h"
+#include "core/query_guard.h"
 #include "core/str_util.h"
 #include "core/thread_pool.h"
+#include "datalog/view_maintenance.h"
 #include "fo/evaluator.h"
 #include "fo/parser.h"
 #include "storage/storage_engine.h"
@@ -58,6 +60,22 @@ Result<GeneralizedRelation> EvalCondition(const Database& db, int arity,
   return evaluator.Evaluate(query);
 }
 
+// Runs view maintenance for a committed base change and renders the result
+// as a summary suffix: empty on success (or nothing to do), a warning when
+// some view's maintenance failed — the DML itself is already durable and
+// applied, and the failed views are stale until refreshed.
+std::string MaintainViews(ViewRegistry* views, const BaseDelta& delta,
+                          Database* db) {
+  if (views == nullptr ||
+      (delta.inserted.empty() && delta.deleted.empty())) {
+    return "";
+  }
+  Status status = views->ApplyDelta(delta, db);
+  if (status.ok()) return "";
+  return StrCat(" (warning: view maintenance failed: ", status.message(),
+                "; affected views are stale until recomputed)");
+}
+
 Result<std::string> Create(Database* db, storage::StorageEngine* engine,
                            std::string_view rest) {
   // create <name>(<arity>)
@@ -88,10 +106,21 @@ Result<std::string> Create(Database* db, storage::StorageEngine* engine,
 }
 
 Result<std::string> Drop(Database* db, storage::StorageEngine* engine,
-                         std::string_view rest) {
+                         ViewRegistry* views, std::string_view rest) {
   std::string name(StripWhitespace(rest));
   if (!db->HasRelation(name)) {
     return Status::NotFound(StrCat("no relation '", name, "'"));
+  }
+  if (views != nullptr) {
+    if (views->IsView(name)) {
+      return Status::InvalidArgument(
+          StrCat("'", name, "' is a materialized view; use \\view drop"));
+    }
+    if (views->DependsOn(name)) {
+      return Status::InvalidArgument(
+          StrCat("relation '", name,
+                 "' is read by a materialized view; drop the view first"));
+    }
   }
   if (engine != nullptr) DODB_RETURN_IF_ERROR(engine->LogDrop(name));
   db->RemoveRelation(name);
@@ -99,7 +128,7 @@ Result<std::string> Drop(Database* db, storage::StorageEngine* engine,
 }
 
 Result<std::string> Insert(Database* db, storage::StorageEngine* engine,
-                           std::string_view rest) {
+                           ViewRegistry* views, std::string_view rest) {
   // insert into <name> <formula>
   std::string_view into = NextWord(&rest);
   if (into != "into") {
@@ -109,6 +138,11 @@ Result<std::string> Insert(Database* db, storage::StorageEngine* engine,
   const GeneralizedRelation* rel = db->FindRelation(name);
   if (rel == nullptr) {
     return Status::NotFound(StrCat("no relation '", name, "'"));
+  }
+  if (views != nullptr && views->IsView(name)) {
+    return Status::InvalidArgument(
+        StrCat("'", name,
+               "' is a materialized view; insert into its base relations"));
   }
   if (rest.empty()) {
     return Status::ParseError("insert needs a formula");
@@ -121,15 +155,38 @@ Result<std::string> Insert(Database* db, storage::StorageEngine* engine,
   if (engine != nullptr) {
     DODB_RETURN_IF_ERROR(engine->LogInsert(name, addition.value()));
   }
-  GeneralizedRelation merged = algebra::Union(*rel, addition.value());
+  // The same merge algebra::Union performs (replay depends on that), but
+  // capturing the statement's structural delta tuple by tuple instead of
+  // diffing whole relations afterwards. Additions subsumed by stored tuples
+  // contribute nothing; stored tuples displaced by a subsuming addition are
+  // elided from the delta (the inserted tuple covers every derivation the
+  // displaced one fed — dominated-delete elision) but poison support-mask
+  // exactness, which the registry tracks via base_displaced.
+  const bool track = views != nullptr && views->DependsOn(name);
+  GeneralizedRelation merged = *rel;
+  BaseDelta delta;
+  delta.relation = name;
+  {
+    GuardTicker ticker(CurrentQueryGuard(), GuardSite::kAlgebraMaterialize,
+                       64);
+    std::vector<GeneralizedTuple> displaced;
+    for (const GeneralizedTuple& tuple : addition.value().tuples()) {
+      if (!ticker.Tick()) break;
+      displaced.clear();
+      bool inserted = merged.AddCanonicalTupleCaptured(tuple, &displaced);
+      if (track && inserted) delta.inserted.push_back(tuple);
+      if (!displaced.empty()) delta.base_displaced = true;
+    }
+  }
   size_t added = merged.tuple_count();
   db->SetRelation(name, std::move(merged));
+  std::string warning = MaintainViews(views, delta, db);
   return StrCat("insert ok: ", name, " now has ", added,
-                " generalized tuples");
+                " generalized tuples", warning);
 }
 
 Result<std::string> Delete(Database* db, storage::StorageEngine* engine,
-                           std::string_view rest) {
+                           ViewRegistry* views, std::string_view rest) {
   // delete from <name> where <formula>
   std::string_view from = NextWord(&rest);
   if (from != "from") {
@@ -139,6 +196,11 @@ Result<std::string> Delete(Database* db, storage::StorageEngine* engine,
   const GeneralizedRelation* rel = db->FindRelation(name);
   if (rel == nullptr) {
     return Status::NotFound(StrCat("no relation '", name, "'"));
+  }
+  if (views != nullptr && views->IsView(name)) {
+    return Status::InvalidArgument(
+        StrCat("'", name,
+               "' is a materialized view; delete from its base relations"));
   }
   std::string_view where = NextWord(&rest);
   if (where != "where" || rest.empty()) {
@@ -151,28 +213,54 @@ Result<std::string> Delete(Database* db, storage::StorageEngine* engine,
   if (engine != nullptr) {
     DODB_RETURN_IF_ERROR(engine->LogSet(name, remaining));
   }
+  // A semantic delete reshapes tuples (surviving regions re-canonicalize),
+  // so the statement's structural delta has both directions: old ∖ new are
+  // removals the DRed pass propagates, new ∖ old are fresh canonical forms
+  // the insert pipeline propagates. The pre-statement relation rides along
+  // as a COW snapshot — the over-delete waves fire against it.
+  const bool track = views != nullptr && views->DependsOn(name);
+  BaseDelta delta;
+  delta.relation = name;
+  if (track) {
+    GeneralizedRelation removed = StructuralTupleDifference(*rel, remaining);
+    for (const GeneralizedTuple& tuple : removed.tuples()) {
+      delta.deleted.push_back(tuple);
+    }
+    GeneralizedRelation reshaped = StructuralTupleDifference(remaining, *rel);
+    for (const GeneralizedTuple& tuple : reshaped.tuples()) {
+      delta.inserted.push_back(tuple);
+    }
+    delta.old_relation = std::make_unique<GeneralizedRelation>(*rel);
+  }
   size_t left = remaining.tuple_count();
   db->SetRelation(name, std::move(remaining));
+  std::string warning = MaintainViews(views, delta, db);
   return StrCat("delete ok: ", name, " now has ", left,
-                " generalized tuples");
+                " generalized tuples", warning);
 }
 
 }  // namespace
 
 Result<std::string> ExecuteCommand(Database* db, std::string_view text) {
-  return ExecuteCommand(db, text, nullptr);
+  return ExecuteCommand(db, text, nullptr, nullptr);
 }
 
 Result<std::string> ExecuteCommand(Database* db, std::string_view text,
                                    storage::StorageEngine* engine) {
+  return ExecuteCommand(db, text, engine, nullptr);
+}
+
+Result<std::string> ExecuteCommand(Database* db, std::string_view text,
+                                   storage::StorageEngine* engine,
+                                   ViewRegistry* views) {
   DODB_CHECK(db != nullptr);
   std::string_view rest = StripWhitespace(text);
   if (!rest.empty() && rest.back() == ';') rest.remove_suffix(1);
   std::string_view verb = NextWord(&rest);
   if (verb == "create") return Create(db, engine, rest);
-  if (verb == "drop") return Drop(db, engine, rest);
-  if (verb == "insert") return Insert(db, engine, rest);
-  if (verb == "delete") return Delete(db, engine, rest);
+  if (verb == "drop") return Drop(db, engine, views, rest);
+  if (verb == "insert") return Insert(db, engine, views, rest);
+  if (verb == "delete") return Delete(db, engine, views, rest);
   return Status::ParseError(
       StrCat("unknown command '", verb,
              "' (expected create/drop/insert/delete)"));

@@ -13,6 +13,8 @@ namespace storage {
 class StorageEngine;
 }  // namespace storage
 
+class ViewRegistry;
+
 /// Data-manipulation commands over a constraint database. Because relations
 /// are (possibly infinite) pointsets, inserts and deletes take *formulas*,
 /// not rows — and the formulas may reference other relations:
@@ -35,6 +37,17 @@ Result<std::string> ExecuteCommand(Database* db, std::string_view text);
 /// acknowledged command is always recoverable.
 Result<std::string> ExecuteCommand(Database* db, std::string_view text,
                                    storage::StorageEngine* engine);
+
+/// ExecuteCommand with view maintenance: when `views` is non-null, DML is
+/// refused on materialized-view names (and dropping a relation some view
+/// reads is refused), the merge/difference captures the statement's
+/// structural delta, and every dependent view is maintained incrementally
+/// after the base change commits (datalog/view_maintenance.h). A
+/// maintenance failure does NOT fail the DML — the base change is already
+/// durable; the affected view is stale and the summary carries a warning.
+Result<std::string> ExecuteCommand(Database* db, std::string_view text,
+                                   storage::StorageEngine* engine,
+                                   ViewRegistry* views);
 
 }  // namespace dodb
 

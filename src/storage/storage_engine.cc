@@ -227,6 +227,30 @@ Status StorageEngine::ApplyRecord(const WalRecord& record) {
                        algebra::Union(*existing, record.relation));
       return Status::Ok();
     }
+    case WalRecordType::kCreateView:
+      if (!options_.view_hooks.restore) {
+        return Status::Unsupported(
+            StrCat("WAL replay: view '", record.name,
+                   "' found but no view registry is attached"));
+      }
+      // Re-registered stale: the materialized tuples are derived state the
+      // caller recomputes after recovery (RefreshStale). The exported
+      // relation may already be present from the snapshot; it keeps serving
+      // until then.
+      return options_.view_hooks.restore(record.name, record.text);
+    case WalRecordType::kDropView:
+      if (!options_.view_hooks.restore_drop) {
+        return Status::Unsupported(
+            StrCat("WAL replay: view drop of '", record.name,
+                   "' found but no view registry is attached"));
+      }
+      if (!options_.view_hooks.restore_drop(record.name)) {
+        return Status::Internal(
+            StrCat("WAL replay: drop of unregistered view '", record.name,
+                   "'"));
+      }
+      db_->RemoveRelation(record.name);
+      return Status::Ok();
   }
   return Status::Internal("WAL replay: unreachable record type");
 }
@@ -307,6 +331,22 @@ Status StorageEngine::LogInsert(const std::string& name,
   return LogRecord(record);
 }
 
+Status StorageEngine::LogViewCreate(const std::string& name,
+                                    const std::string& text) {
+  WalRecord record;
+  record.type = WalRecordType::kCreateView;
+  record.name = name;
+  record.text = text;
+  return LogRecord(record);
+}
+
+Status StorageEngine::LogViewDrop(const std::string& name) {
+  WalRecord record;
+  record.type = WalRecordType::kDropView;
+  record.name = name;
+  return LogRecord(record);
+}
+
 Status StorageEngine::Checkpoint() {
   if (options_.mode == DurabilityMode::kOff) return Status::Ok();
   if (closed_) {
@@ -332,6 +372,22 @@ Status StorageEngine::Checkpoint() {
   DODB_RETURN_IF_ERROR(Fail(
       writer_.Create(WalPath(new_generation, 0), new_generation, 0)));
   wal_bytes_ = kWalHeaderBytes;
+  // View definitions live only in the WAL (their create records are in the
+  // generation being retired), so every registered view is re-logged into
+  // the fresh log before the old one goes away. Appended directly — routing
+  // through LogRecord could recurse into Checkpoint via the size trigger.
+  if (options_.view_hooks.list) {
+    for (const auto& [name, text] : options_.view_hooks.list()) {
+      WalRecord record;
+      record.type = WalRecordType::kCreateView;
+      record.name = name;
+      record.text = text;
+      std::vector<uint8_t> payload = EncodeWalRecord(record);
+      DODB_RETURN_IF_ERROR(Fail(writer_.Append(payload, guard_.get())));
+      wal_bytes_ += 8 + payload.size();
+    }
+    DODB_RETURN_IF_ERROR(Fail(writer_.Sync(guard_.get())));
+  }
   DODB_RETURN_IF_ERROR(Fail(DeleteGeneration(old_generation)));
   return Status::Ok();
 }

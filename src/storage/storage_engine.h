@@ -2,8 +2,11 @@
 #define DODB_STORAGE_STORAGE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/query_guard.h"
 #include "core/status.h"
@@ -23,6 +26,26 @@ enum class DurabilityMode {
 };
 
 const char* DurabilityModeName(DurabilityMode mode);
+
+/// Callbacks connecting the engine to a materialized-view registry without a
+/// storage→datalog dependency. Views are metadata + derived data: the WAL
+/// carries only their definitions (kCreateView/kDropView records), never
+/// their tuples — maintenance keeps the log O(delta) in the base change.
+/// Checkpoint() re-logs every registered definition into the fresh WAL (the
+/// old segments, holding the original create records, are retired), and
+/// replay re-registers views *stale*; the caller recomputes them after Open
+/// (ViewRegistry::RefreshStale).
+struct ViewHooks {
+  /// (name, definition text) of every registered view, in creation-safe
+  /// (name) order. Called by Checkpoint.
+  std::function<std::vector<std::pair<std::string, std::string>>()> list;
+  /// Re-registers a view from its definition without evaluating it; the
+  /// view starts stale. Called during WAL replay.
+  std::function<Status(const std::string& name, const std::string& text)>
+      restore;
+  /// Unregisters a replayed view drop; returns whether it was registered.
+  std::function<bool(const std::string& name)> restore_drop;
+};
 
 struct StorageOptions {
   DurabilityMode mode = DurabilityMode::kWalCheckpoint;
@@ -44,6 +67,10 @@ struct StorageOptions {
   /// tests arm wal-append / wal-sync / snapshot-write / snapshot-rename /
   /// wal-replay here.
   std::string fault_spec;
+  /// Optional view-registry callbacks; without them, replaying a WAL that
+  /// holds view records is an error (the database needs its view-aware
+  /// opener).
+  ViewHooks view_hooks;
 };
 
 /// What recovery found when the engine opened.
@@ -104,6 +131,15 @@ class StorageEngine {
   /// Logs "union <batch> into <name>"; replay unions the batch into the
   /// relation's recovered state. Call before applying the same union.
   Status LogInsert(const std::string& name, const GeneralizedRelation& batch);
+
+  /// Logs "create view <name> as <text>". The definition only — the
+  /// materialized tuples are derived state, recomputed on recovery. Because
+  /// registering a view can itself fail (evaluation), the command layer
+  /// creates the view first and logs on success, rolling the registration
+  /// back if the log fails — disk never runs ahead of memory.
+  Status LogViewCreate(const std::string& name, const std::string& text);
+  /// Logs "drop view <name>". Call before ViewRegistry::Drop.
+  Status LogViewDrop(const std::string& name);
 
   /// Writes a new snapshot generation and retires the old WAL.
   Status Checkpoint();

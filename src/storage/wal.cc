@@ -23,6 +23,11 @@ std::vector<uint8_t> EncodeWalRecord(const WalRecord& record) {
     case WalRecordType::kInsertTuples:
       w.PutRelationPayload(record.relation);
       break;
+    case WalRecordType::kCreateView:
+      w.PutString(record.text);
+      break;
+    case WalRecordType::kDropView:
+      break;
   }
   return w.Take();
 }
@@ -31,7 +36,7 @@ Result<WalRecord> DecodeWalRecord(const uint8_t* data, size_t size) {
   ByteReader reader(data, size);
   uint8_t type = 0;
   DODB_RETURN_IF_ERROR(reader.GetU8(&type));
-  if (type < 1 || type > 4) {
+  if (type < 1 || type > 6) {
     return Status::InvalidArgument(
         StrCat("bad WAL record type ", static_cast<int>(type)));
   }
@@ -53,6 +58,11 @@ Result<WalRecord> DecodeWalRecord(const uint8_t* data, size_t size) {
     case WalRecordType::kSetRelation:
     case WalRecordType::kInsertTuples:
       DODB_RETURN_IF_ERROR(reader.GetRelationPayload(&record.relation));
+      break;
+    case WalRecordType::kCreateView:
+      DODB_RETURN_IF_ERROR(reader.GetString(&record.text));
+      break;
+    case WalRecordType::kDropView:
       break;
   }
   if (!reader.AtEnd()) {

@@ -45,6 +45,10 @@ enum class WalRecordType : uint8_t {
   kDropRelation = 2,    // name
   kSetRelation = 3,     // name + full relation payload (replaces)
   kInsertTuples = 4,    // name + batch relation payload (unions into existing)
+  kCreateView = 5,      // name + definition text: a materialized view enters
+                        // the catalog (replay re-registers it stale; its
+                        // tuples are recomputed, never logged)
+  kDropView = 6,        // name
 };
 
 /// One decoded logical operation.
@@ -53,6 +57,7 @@ struct WalRecord {
   std::string name;
   int arity = 0;  // kCreateRelation only
   GeneralizedRelation relation{0};  // kSetRelation / kInsertTuples only
+  std::string text;  // kCreateView only: the Datalog definition, verbatim
 };
 
 /// Record payload codecs (the framing CRC is WalWriter/ReadWalSegment's job).

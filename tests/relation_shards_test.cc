@@ -406,6 +406,36 @@ TEST(ShardCountersTest, ShardedJoinReportsShardPairsAndMemoHits) {
   EXPECT_GT(evaluator.counters().closure_memo_hits, 0u);
 }
 
+// Delete-heavy view maintenance erases tuples from a copy-on-write copy of
+// a sharded relation, one structural erase at a time. The copy must carry
+// the shard partition across the detach and maintain it incrementally —
+// before that fix, every MutableIndex() detach dropped the partition and
+// the next probe paid a from-scratch quantile rebuild, O(n) per erase.
+TEST(ShardCountersTest, EraseLoopOnCopiedRelationKeepsShardPartition) {
+  IndexModeScope indexed(true);
+  ShardModeScope sharded(true);
+  GeneralizedRelation rel = bench::RandomIntervals(128, 0, 77);
+  rel.Index().Shards();  // fault in the partition (counts one build)
+
+  EvalCounterSnapshot before = EvalCounters::Snapshot();
+  GeneralizedRelation copy = rel;  // COW: shares tuples and index
+  std::vector<GeneralizedTuple> stored(copy.tuples().begin(),
+                                       copy.tuples().end());
+  ASSERT_GE(stored.size(), RelationShards::kMinTuples);
+  for (size_t i = 0; i < stored.size() / 2; ++i) {
+    ASSERT_TRUE(copy.EraseCanonicalTuple(stored[i]));
+    // Probe between erases, like an over-delete wave joining against the
+    // shrinking relation: must reuse the maintained partition.
+    ASSERT_GT(copy.Index().Shards()->shard_count(), 0u);
+  }
+  EvalCounterSnapshot delta = EvalCounters::Snapshot() - before;
+  EXPECT_EQ(delta.shard_index_builds, 0u)
+      << "erase loop rebuilt the shard partition from scratch";
+  EXPECT_EQ(copy.tuple_count(), stored.size() - stored.size() / 2);
+  // The source snapshot is untouched (COW isolation).
+  EXPECT_EQ(rel.tuple_count(), stored.size());
+}
+
 // The restricted closure sweep (ClosureFastPathEnabled) must be a drop-in
 // replacement for the legacy full PC-1 sweep: same satisfiability verdict
 // and same canonical form on arbitrary — including unsatisfiable and

@@ -71,9 +71,12 @@ if [[ -n "${DODB_THREADS:-}" ]]; then
   suffix="_t${DODB_THREADS}"
 fi
 
-# Provenance stamps for the JSON "context" section.
+# Provenance stamps for the JSON "context" section. BENCH_*.json working
+# copies are this script's own outputs — a full regeneration rewrites them
+# one suite at a time, and later suites must not read the earlier ones as a
+# dirty tree — so they are excluded from the dirty check.
 git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
-if ! git -C "$repo_root" diff --quiet 2>/dev/null; then
+if ! git -C "$repo_root" diff --quiet -- ':!BENCH_*.json' 2>/dev/null; then
   git_sha="${git_sha}-dirty"
 fi
 compiler="$( (c++ --version 2>/dev/null || cc --version 2>/dev/null) \

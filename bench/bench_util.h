@@ -57,6 +57,19 @@ inline void ReportEvalCounters(benchmark::State& state,
       static_cast<double>(delta.view_full_recomputes);
   state.counters["view_maintenance_ms"] =
       static_cast<double>(delta.view_maintenance_ns) / 1e6;
+  state.counters["page_cache_hits"] =
+      static_cast<double>(delta.page_cache_hits);
+  state.counters["page_cache_misses"] =
+      static_cast<double>(delta.page_cache_misses);
+  state.counters["page_evictions"] = static_cast<double>(delta.page_evictions);
+  state.counters["page_writeback_bytes"] =
+      static_cast<double>(delta.page_writeback_bytes);
+  state.counters["paged_runs_fetched"] =
+      static_cast<double>(delta.paged_runs_fetched);
+  state.counters["paged_spill_bytes"] =
+      static_cast<double>(delta.paged_spill_bytes);
+  state.counters["paged_materializations"] =
+      static_cast<double>(delta.paged_materializations);
 }
 
 /// RAII: snapshot on construction, ReportEvalCounters on destruction —

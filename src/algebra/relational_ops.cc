@@ -36,6 +36,87 @@ uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
           .count());
 }
 
+// Routes a paged-fetch failure through cooperative cancellation: the guard
+// (usually already tripped — the failure propagated out of one of its own
+// page-cache checkpoints) aborts the query with this Status, and the
+// enclosing operator's partial output is discarded like any tripped run's.
+// Without a guard a spill-file I/O error mid-operator is unrecoverable.
+void FailPagedFetch(const Status& status) {
+  QueryGuard* guard = CurrentQueryGuard();
+  DODB_CHECK_MSG(guard != nullptr, status.message().c_str());
+  if (!guard->tripped()) {
+    guard->Trip(GuardSite::kPageEvict, status);
+  }
+}
+
+// Position-addressed tuple access over either storage form of a join
+// input. Resident relations hand out references to their vector; paged
+// relations decode positions through their bounded run cache, so an
+// operator's live decoded memory stays O(runs in flight) while signatures
+// keep coming from the resident index. Get/Signature are safe to call
+// concurrently (the run cache locks; index signatures are read-only here),
+// which is what lets paged inputs flow through the existing shard-pair
+// pool jobs unchanged.
+class InputTuples {
+ public:
+  explicit InputTuples(const GeneralizedRelation& rel)
+      : rel_(rel),
+        runs_(rel.PagedRuns()),
+        resident_(runs_ == nullptr ? &rel.tuples() : nullptr) {}
+
+  size_t size() const { return rel_.tuple_count(); }
+
+  /// The tuple at position i, by value (a paged position is a copy out of
+  /// its decoded run — cheap: atom storage is shared, not cloned).
+  GeneralizedTuple Get(size_t i) const {
+    if (resident_ != nullptr) return (*resident_)[i];
+    auto tuple = runs_->TupleAt(i);
+    if (tuple.ok()) return std::move(tuple).value();
+    FailPagedFetch(tuple.status());
+    // The guard is tripped; any well-formed tuple keeps the worker loops
+    // type-correct until they observe it (the merged output never
+    // surfaces).
+    return GeneralizedTuple(rel_.arity());
+  }
+
+  /// The signature at position i without touching the payload (the index
+  /// mirrors signatures position by position).
+  const TupleSignature& Signature(size_t i) const {
+    if (resident_ != nullptr) return (*resident_)[i].CachedSignature();
+    return rel_.Index().signature(i);
+  }
+
+ private:
+  const GeneralizedRelation& rel_;
+  std::shared_ptr<PagedRunCache> runs_;
+  const std::vector<GeneralizedTuple>* resident_;
+};
+
+// Streams rel's tuples in position order through fn (which returns false
+// to stop early). Paged inputs decode one run at a time through the shared
+// run cache — the whole relation is never resident at once.
+template <typename Fn>
+void ForEachTuple(const GeneralizedRelation& rel, Fn&& fn) {
+  std::shared_ptr<PagedRunCache> runs = rel.PagedRuns();
+  if (runs == nullptr) {
+    for (const GeneralizedTuple& tuple : rel.tuples()) {
+      if (!fn(tuple)) return;
+    }
+    return;
+  }
+  const PagedTupleSource& source = runs->source();
+  for (size_t r = 0; r < source.run_count(); ++r) {
+    auto run = runs->Run(r);
+    if (!run.ok()) {
+      FailPagedFetch(run.status());
+      return;
+    }
+    for (const GeneralizedTuple& tuple : *run.value()) {
+      if (!fn(tuple)) return;
+    }
+  }
+}
+
 // One candidate surviving the shard-pair filters, keyed by its row-major
 // pair rank i * |tb| + j so the sequential merge can replay the exact
 // legacy insertion sequence (minus provably-unsatisfiable pairs) no matter
@@ -79,7 +160,7 @@ void ShardedJoinInto(
   const RelationIndex& ib = b.Index();
   const RelationShards& sha = *ia.Shards();
   const RelationShards& shb = *ib.Shards();
-  const size_t nb = b.tuples().size();
+  const size_t nb = b.tuple_count();
   const int probe_left = test_columns.front().first;
   const int probe_right = test_columns.front().second;
   const bool keep =
@@ -223,7 +304,7 @@ void ShardedJoinInto(
 
   size_t survivors = 0;
   for (const auto& chunk : per_pair) survivors += chunk.size();
-  EvalCounters::AddPairsPruned(a.tuples().size() * nb - survivors);
+  EvalCounters::AddPairsPruned(a.tuple_count() * nb - survivors);
   EvalCounters::AddCanonicalized(survivors);
 
   std::vector<KeyedCandidate> merged;
@@ -265,12 +346,15 @@ GeneralizedRelation Union(const GeneralizedRelation& a,
   DODB_CHECK_MSG(a.arity() == b.arity(), "Union arity mismatch");
   GeneralizedRelation out = a;
   // Stored tuples are already canonical (relation invariant), so they merge
-  // directly — re-running the closure on them would be a no-op.
+  // directly — re-running the closure on them would be a no-op. A paged `b`
+  // streams run by run; a paged `a` residentizes on the first merge (the
+  // union is a new relation, not the spilled image).
   GuardTicker ticker(CurrentQueryGuard(), GuardSite::kAlgebraMaterialize, 64);
-  for (const GeneralizedTuple& addition : b.tuples()) {
-    if (!ticker.Tick()) break;
+  ForEachTuple(b, [&](const GeneralizedTuple& addition) {
+    if (!ticker.Tick()) return false;
     out.AddCanonicalTuple(addition);
-  }
+    return true;
+  });
   return out;
 }
 
@@ -278,6 +362,59 @@ GeneralizedRelation Intersect(const GeneralizedRelation& a,
                               const GeneralizedRelation& b) {
   DODB_CHECK_MSG(a.arity() == b.arity(), "Intersect arity mismatch");
   GeneralizedRelation out(a.arity());
+  if (a.is_paged() || b.is_paged()) {
+    // Streaming variant: same paths, same enumeration orders, same pruning
+    // predicates as the resident code below — signatures come from the
+    // resident index and tuple payloads through the bounded run caches, so
+    // outputs stay bit-identical while decoded memory stays O(runs in
+    // flight). Kept separate so the resident hot path pays nothing.
+    if (a.IsEmpty() || b.IsEmpty()) return out;
+    InputTuples in_a(a);
+    InputTuples in_b(b);
+    const size_t nb = in_b.size();
+    const size_t total = in_a.size() * nb;
+    EvalCounters::AddPairsConsidered(total);
+    if (!IndexingEnabled() || a.arity() == 0 || total < kIndexMinPairs) {
+      out.AddTuplesParallel(total, [&](size_t i) {
+        return in_a.Get(i / nb).Conjoin(in_b.Get(i % nb));
+      });
+      return out;
+    }
+    if (ShardedJoinApplies(a, b, total)) {
+      std::vector<std::pair<int, int>> columns;
+      columns.reserve(a.arity());
+      for (int c = 0; c < a.arity(); ++c) columns.emplace_back(c, c);
+      ShardedJoinInto(&out, a, b, columns, [&](size_t i, size_t j) {
+        return in_a.Get(i).Conjoin(in_b.Get(j));
+      });
+      return out;
+    }
+    const RelationIndex& index = b.Index();
+    const int probe_column = index.ProbeColumn(b.arity());
+    const ColumnIntervalIndex* intervals = index.IntervalIndex(probe_column);
+    auto probe_start = std::chrono::steady_clock::now();
+    std::vector<std::pair<size_t, size_t>> pairs;
+    std::vector<size_t> window;
+    GuardTicker ticker(CurrentQueryGuard(), GuardSite::kAlgebraMaterialize);
+    for (size_t i = 0; i < in_a.size(); ++i) {
+      if (!ticker.Tick()) break;
+      const TupleSignature& sa = in_a.Signature(i);
+      window.clear();
+      intervals->AppendCandidates(sa.columns[probe_column], &window);
+      std::sort(window.begin(), window.end());
+      for (size_t j : window) {
+        if (SignaturesMayOverlap(sa, index.signature(j))) {
+          pairs.emplace_back(i, j);
+        }
+      }
+    }
+    EvalCounters::AddIndexProbes(in_a.size(), ElapsedNs(probe_start));
+    EvalCounters::AddPairsPruned(total - pairs.size());
+    out.AddTuplesParallel(pairs.size(), [&](size_t k) {
+      return in_a.Get(pairs[k].first).Conjoin(in_b.Get(pairs[k].second));
+    });
+    return out;
+  }
   const std::vector<GeneralizedTuple>& ta = a.tuples();
   const std::vector<GeneralizedTuple>& tb = b.tuples();
   if (ta.empty() || tb.empty()) return out;
@@ -361,13 +498,17 @@ GeneralizedRelation ComplementViaDnf(const GeneralizedRelation& rel) {
   // pruned DNF throughout.
   GeneralizedRelation acc = GeneralizedRelation::True(rel.arity());
   GuardTicker ticker(CurrentQueryGuard(), GuardSite::kAlgebraMaterialize, 4);
-  for (const GeneralizedTuple& tuple : rel.tuples()) {
+  bool covers_everything = false;
+  ForEachTuple(rel, [&](const GeneralizedTuple& tuple) {
     // Each accumulator step multiplies the partials, so a complement blowup
     // grows between ticks; tick every few input tuples (the inner products
     // are themselves strided through AddTuplesParallel).
-    if (!ticker.Tick()) break;
+    if (!ticker.Tick()) return false;
     GeneralizedTuple minimized = tuple.Minimized();
-    if (minimized.is_true()) return GeneralizedRelation(rel.arity());
+    if (minimized.is_true()) {
+      covers_everything = true;
+      return false;
+    }
     GeneralizedRelation next(rel.arity());
     const std::vector<GeneralizedTuple>& partials = acc.tuples();
     const AtomVec& atoms = minimized.atoms();
@@ -411,14 +552,50 @@ GeneralizedRelation ComplementViaDnf(const GeneralizedRelation& rel) {
       });
     }
     acc = std::move(next);
-    if (acc.IsEmpty()) break;
-  }
+    return !acc.IsEmpty();
+  });
+  if (covers_everything) return GeneralizedRelation(rel.arity());
   return acc;
 }
 
 GeneralizedRelation Difference(const GeneralizedRelation& a,
                                const GeneralizedRelation& b) {
   DODB_CHECK_MSG(a.arity() == b.arity(), "Difference arity mismatch");
+  if (a.is_paged() || b.is_paged()) {
+    // Streaming variant of the prefilter below (same predicate, same
+    // order); the Intersect/Complement it feeds handle paged inputs
+    // themselves.
+    if (IndexingEnabled() && a.arity() > 0 && !a.IsEmpty() && !b.IsEmpty() &&
+        a.tuple_count() * b.tuple_count() >= kIndexMinPairs) {
+      const RelationIndex& index = b.Index();
+      InputTuples in_b(b);
+      GeneralizedRelation kept(a.arity());
+      uint64_t checks = 0;
+      auto probe_start = std::chrono::steady_clock::now();
+      std::vector<size_t> window;
+      GuardTicker ticker(CurrentQueryGuard(), GuardSite::kAlgebraMaterialize);
+      ForEachTuple(a, [&](const GeneralizedTuple& tuple) {
+        if (!ticker.Tick()) return false;
+        window.clear();
+        index.AppendOverlapCandidates(tuple.CachedSignature(), &window);
+        bool contained = false;
+        for (size_t j : window) {
+          ++checks;
+          if (tuple.EntailsTuple(in_b.Get(j))) {
+            contained = true;
+            break;
+          }
+        }
+        if (!contained) kept.AddCanonicalTuple(tuple);
+        return true;
+      });
+      EvalCounters::AddIndexProbes(a.tuple_count(), ElapsedNs(probe_start));
+      EvalCounters::AddSubsumptionChecks(checks);
+      if (kept.IsEmpty()) return kept;
+      return Intersect(kept, Complement(b));
+    }
+    return Intersect(a, Complement(b));
+  }
   if (IndexingEnabled() && a.arity() > 0 && !a.IsEmpty() && !b.IsEmpty() &&
       a.tuples().size() * b.tuples().size() >= kIndexMinPairs) {
     // Overlap-restricted containment pre-filter: a tuple of `a` wholly inside
@@ -464,6 +641,19 @@ GeneralizedRelation CrossProduct(const GeneralizedRelation& a,
   std::vector<int> b_map(b.arity());
   for (int i = 0; i < b.arity(); ++i) b_map[i] = a.arity() + i;
   GeneralizedRelation out(arity);
+  if (a.is_paged() || b.is_paged()) {
+    // Streaming variant: widen per candidate instead of precomputing
+    // wide_a — the candidate conjunction (and so the canonical output) is
+    // identical, only the resident precompute is skipped.
+    InputTuples in_a(a);
+    InputTuples in_b(b);
+    const size_t nb = in_b.size();
+    out.AddTuplesParallel(nb == 0 ? 0 : in_a.size() * nb, [&](size_t i) {
+      return in_a.Get(i / nb).Reindexed(a_map, arity).Conjoin(
+          in_b.Get(i % nb).Reindexed(b_map, arity));
+    });
+    return out;
+  }
   const std::vector<GeneralizedTuple>& tb = b.tuples();
   std::vector<GeneralizedTuple> wide_a;
   wide_a.reserve(a.tuples().size());
@@ -497,6 +687,74 @@ GeneralizedRelation EquiJoin(
   // output bit-identical to the unindexed mode.
   const int arity = a.arity() + b.arity();
   GeneralizedRelation out(arity);
+  if (a.is_paged() || b.is_paged()) {
+    // Streaming variant: same fused candidates, same paths and enumeration
+    // orders as the resident code below; widening happens per candidate
+    // instead of through the wide_a precompute (the conjunction is the
+    // same, so canonical outputs are bit-identical).
+    if (a.IsEmpty() || b.IsEmpty()) return out;
+    std::vector<int> a_map(a.arity());
+    for (int i = 0; i < a.arity(); ++i) a_map[i] = i;
+    std::vector<int> b_map(b.arity());
+    for (int i = 0; i < b.arity(); ++i) b_map[i] = a.arity() + i;
+    InputTuples in_a(a);
+    InputTuples in_b(b);
+    auto make_candidate = [&](size_t i, size_t j) {
+      GeneralizedTuple candidate = in_a.Get(i).Reindexed(a_map, arity)
+                                       .Conjoin(in_b.Get(j).Reindexed(
+                                           b_map, arity));
+      for (const DenseAtom& atom : eq_atoms) candidate.AddAtom(atom);
+      return candidate;
+    };
+    const size_t nb = in_b.size();
+    const size_t total = in_a.size() * nb;
+    EvalCounters::AddPairsConsidered(total);
+    if (!IndexingEnabled() || column_pairs.empty() ||
+        total < kIndexMinPairs) {
+      out.AddTuplesParallel(total, [&](size_t k) {
+        return make_candidate(k / nb, k % nb);
+      });
+      return out;
+    }
+    if (ShardedJoinApplies(a, b, total)) {
+      ShardedJoinInto(&out, a, b, column_pairs, [&](size_t i, size_t j) {
+        return make_candidate(i, j);
+      });
+      return out;
+    }
+    const RelationIndex& index = b.Index();
+    const int probe_left = column_pairs.front().first;
+    const int probe_right = column_pairs.front().second;
+    const ColumnIntervalIndex* intervals = index.IntervalIndex(probe_right);
+    auto probe_start = std::chrono::steady_clock::now();
+    std::vector<std::pair<size_t, size_t>> pairs;
+    std::vector<size_t> window;
+    GuardTicker ticker(CurrentQueryGuard(), GuardSite::kAlgebraMaterialize);
+    for (size_t i = 0; i < in_a.size(); ++i) {
+      if (!ticker.Tick()) break;
+      const TupleSignature& sa = in_a.Signature(i);
+      window.clear();
+      intervals->AppendCandidates(sa.columns[probe_left], &window);
+      std::sort(window.begin(), window.end());
+      for (size_t j : window) {
+        const TupleSignature& sb = index.signature(j);
+        bool compatible = true;
+        for (const auto& [left, right] : column_pairs) {
+          if (!BoundsMayOverlap(sa.columns[left], sb.columns[right])) {
+            compatible = false;
+            break;
+          }
+        }
+        if (compatible) pairs.emplace_back(i, j);
+      }
+    }
+    EvalCounters::AddIndexProbes(in_a.size(), ElapsedNs(probe_start));
+    EvalCounters::AddPairsPruned(total - pairs.size());
+    out.AddTuplesParallel(pairs.size(), [&](size_t k) {
+      return make_candidate(pairs[k].first, pairs[k].second);
+    });
+    return out;
+  }
   const std::vector<GeneralizedTuple>& ta = a.tuples();
   const std::vector<GeneralizedTuple>& tb = b.tuples();
   if (ta.empty() || tb.empty()) return out;
@@ -572,6 +830,15 @@ GeneralizedRelation EquiJoin(
 GeneralizedRelation Select(const GeneralizedRelation& rel,
                            const DenseAtom& atom) {
   GeneralizedRelation out(rel.arity());
+  if (rel.is_paged()) {
+    InputTuples in(rel);
+    out.AddTuplesParallel(in.size(), [&](size_t i) {
+      GeneralizedTuple selected = in.Get(i);
+      selected.AddAtom(atom);
+      return selected;
+    });
+    return out;
+  }
   const std::vector<GeneralizedTuple>& tuples = rel.tuples();
   out.AddTuplesParallel(tuples.size(), [&](size_t i) {
     GeneralizedTuple selected = tuples[i];
@@ -584,7 +851,6 @@ GeneralizedRelation Select(const GeneralizedRelation& rel,
 GeneralizedRelation Rename(const GeneralizedRelation& rel,
                            const std::vector<int>& mapping, int new_arity) {
   GeneralizedRelation out(new_arity);
-  const std::vector<GeneralizedTuple>& tuples = rel.tuples();
   // Injective renamings (column permutation / widening — the common case in
   // rule evaluation) preserve canonical form up to re-orienting and
   // re-sorting atoms, so stored tuples skip the closure pass entirely. A
@@ -603,12 +869,21 @@ GeneralizedRelation Rename(const GeneralizedRelation& rel,
   if (injective) {
     GuardTicker ticker(CurrentQueryGuard(), GuardSite::kAlgebraMaterialize,
                        64);
-    for (const GeneralizedTuple& tuple : tuples) {
-      if (!ticker.Tick()) break;
+    ForEachTuple(rel, [&](const GeneralizedTuple& tuple) {
+      if (!ticker.Tick()) return false;
       out.AddCanonicalTuple(tuple.ReindexedCanonical(mapping, new_arity));
-    }
+      return true;
+    });
     return out;
   }
+  if (rel.is_paged()) {
+    InputTuples in(rel);
+    out.AddTuplesParallel(in.size(), [&](size_t i) {
+      return in.Get(i).Reindexed(mapping, new_arity);
+    });
+    return out;
+  }
+  const std::vector<GeneralizedTuple>& tuples = rel.tuples();
   out.AddTuplesParallel(tuples.size(), [&](size_t i) {
     return tuples[i].Reindexed(mapping, new_arity);
   });

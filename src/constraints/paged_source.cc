@@ -1,0 +1,77 @@
+#include "constraints/paged_source.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "constraints/eval_counters.h"
+#include "core/check.h"
+
+namespace dodb {
+
+size_t PagedTupleSource::RunOf(size_t pos) const {
+  DODB_CHECK_MSG(pos < tuple_count(), "RunOf position out of range");
+  // Largest run with RunBegin(run) <= pos.
+  size_t lo = 0, hi = run_count();
+  while (hi - lo > 1) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (RunBegin(mid) <= pos) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+PagedRunCache::PagedRunCache(std::shared_ptr<const PagedTupleSource> source,
+                             size_t max_runs)
+    : source_(std::move(source)), max_runs_(std::max<size_t>(max_runs, 1)) {
+  DODB_CHECK_MSG(source_ != nullptr, "PagedRunCache over a null source");
+}
+
+Result<std::shared_ptr<const std::vector<GeneralizedTuple>>>
+PagedRunCache::Run(size_t run) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = runs_.find(run);
+    if (it != runs_.end()) return it->second;
+  }
+  // Fetch outside the lock so concurrent shard jobs decode different runs
+  // in parallel; a racing double-fetch of the same run is benign (the loser
+  // adopts the winner's copy).
+  auto decoded = std::make_shared<std::vector<GeneralizedTuple>>();
+  DODB_RETURN_IF_ERROR(source_->FetchRun(run, decoded.get()));
+  // Freshly decoded tuples have cold signature/graph caches; stored
+  // resident tuples have warm ones (insertion and canonicalization fill
+  // them). Warm before publishing: cached accessors are not safe to call
+  // concurrently on shared tuples, and a published run is shared with
+  // every thread that hits this cache.
+  for (GeneralizedTuple& tuple : *decoded) {
+    tuple.CachedSignature();
+    tuple.CachedGraph();
+  }
+  std::shared_ptr<const std::vector<GeneralizedTuple>> shared =
+      std::move(decoded);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = runs_.find(run);
+  if (it != runs_.end()) return it->second;
+  while (runs_.size() >= max_runs_) {
+    runs_.erase(order_.front());
+    order_.pop_front();
+  }
+  runs_.emplace(run, shared);
+  order_.push_back(run);
+  return shared;
+}
+
+Result<GeneralizedTuple> PagedRunCache::TupleAt(size_t pos) {
+  size_t run = source_->RunOf(pos);
+  auto tuples = Run(run);
+  if (!tuples.ok()) return tuples.status();
+  size_t offset = pos - source_->RunBegin(run);
+  DODB_CHECK_MSG(offset < tuples.value()->size(),
+                 "paged run shorter than its directory entry");
+  return (*tuples.value())[offset];
+}
+
+}  // namespace dodb

@@ -51,6 +51,10 @@ const char* GuardSiteName(GuardSite site) {
       return "view-delta-apply";
     case GuardSite::kViewRederive:
       return "view-rederive";
+    case GuardSite::kPageEvict:
+      return "page-evict";
+    case GuardSite::kPageWriteback:
+      return "page-writeback";
   }
   return "unknown";
 }

@@ -64,8 +64,15 @@ enum class GuardSite {
   kViewDeltaApply,          // per-delta-tuple loop in incremental insert /
                             // over-delete propagation
   kViewRederive,            // per-candidate loop in the DRed re-derive pass
+  // Buffer-pool sites (src/storage/buffer_pool.cc). Reachable only while a
+  // paged record store is in use; a trip emulates a crash inside the page
+  // cache — the spill file holds exactly the pages already written back,
+  // and recovery rebuilds the paged catalog from the snapshot + WAL, which
+  // never depend on spill-file contents.
+  kPageEvict,               // frame selection when the pool is at capacity
+  kPageWriteback,           // before a dirty page's bytes reach the file
 };
-inline constexpr int kGuardSiteCount = 17;
+inline constexpr int kGuardSiteCount = 19;
 /// Index of the first storage-engine site. Sites below this are reachable
 /// from query evaluation; sites from here on are reachable only through the
 /// storage engine (the fault sweeps in robustness_test / storage_test split

@@ -87,6 +87,15 @@ struct EvalOptions {
   /// spec "<site>:<nth>" (core/fault_injection.h). Empty = the DODB_FAULT
   /// environment variable when set, else off.
   std::string fault_spec;
+  /// Whether catalog relations may live out-of-core behind the paged
+  /// record store (storage/record_store.h), streaming through the algebra
+  /// operators run by run instead of residing as tuple vectors. Purely a
+  /// memory/latency trade — results are bit-identical with the flag on or
+  /// off at any thread count and cache size. Consumed by the shell, the
+  /// benches and the differential tests when deciding which relations to
+  /// spill; evaluation itself handles mixed resident/paged inputs
+  /// transparently.
+  bool use_paged_storage = false;
 };
 
 struct EvalStats {

@@ -1,0 +1,325 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+#include <utility>
+
+#include "constraints/eval_counters.h"
+#include "core/query_guard.h"
+#include "core/str_util.h"
+
+namespace dodb {
+namespace storage {
+
+struct BufferPool::Frame {
+  uint64_t file_id = 0;
+  uint64_t page_no = 0;
+  std::unique_ptr<uint8_t[]> data;
+  uint32_t pins = 0;
+  bool dirty = false;
+  bool referenced = false;  // CLOCK second-chance bit
+  bool valid = false;
+};
+
+struct BufferPool::Impl {
+  mutable std::mutex mu;
+  uint64_t capacity = 0;
+  uint64_t resident = 0;
+  std::map<std::pair<uint64_t, uint64_t>, size_t> table;  // (file, page)->frame
+  std::vector<Frame> frames;
+  std::vector<size_t> free_frames;
+  size_t clock_hand = 0;
+  std::map<uint64_t, RandomAccessFile*> files;
+  uint64_t next_file_id = 1;
+  std::function<Status()> pre_writeback_hook;
+};
+
+BufferPool& BufferPool::Global() {
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+BufferPool::BufferPool(uint64_t capacity_bytes) : impl_(new Impl()) {
+  impl_->capacity = capacity_bytes;
+}
+
+BufferPool::~BufferPool() = default;
+
+uint64_t BufferPool::RegisterFile(RandomAccessFile* file) {
+  DODB_CHECK_MSG(file != nullptr, "RegisterFile(nullptr)");
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  uint64_t id = impl_->next_file_id++;
+  impl_->files.emplace(id, file);
+  return id;
+}
+
+Status BufferPool::UnregisterFile(uint64_t file_id, bool flush) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  auto file_it = impl_->files.find(file_id);
+  if (file_it == impl_->files.end()) {
+    return Status::InvalidArgument(
+        StrCat("buffer pool: unknown file id ", file_id));
+  }
+  // Collect first: writeback can fail mid-way and we must not half-erase.
+  std::vector<size_t> owned;
+  for (const auto& [key, frame] : impl_->table) {
+    if (key.first != file_id) continue;
+    if (impl_->frames[frame].pins > 0) {
+      return Status::Internal(
+          StrCat("buffer pool: unregistering '", file_it->second->path(),
+                 "' with pinned pages"));
+    }
+    owned.push_back(frame);
+  }
+  for (size_t idx : owned) {
+    Frame& f = impl_->frames[idx];
+    if (f.dirty && flush) DODB_RETURN_IF_ERROR(WritebackLocked(f, lock));
+    impl_->table.erase({f.file_id, f.page_no});
+    f.valid = false;
+    f.data.reset();
+    impl_->resident -= kPageSize;
+    impl_->free_frames.push_back(idx);
+  }
+  impl_->files.erase(file_id);
+  return Status::Ok();
+}
+
+BufferPool::Page& BufferPool::Page::operator=(Page&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) pool_->Unpin(frame_);
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+BufferPool::Page::~Page() {
+  if (pool_ != nullptr) pool_->Unpin(frame_);
+}
+
+void BufferPool::Page::MarkDirty() {
+  DODB_CHECK_MSG(pool_ != nullptr, "MarkDirty on an invalid page handle");
+  pool_->MarkFrameDirty(frame_);
+}
+
+void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Frame& f = impl_->frames[frame];
+  DODB_CHECK_MSG(f.pins > 0, "unpin of an unpinned frame");
+  --f.pins;
+}
+
+void BufferPool::MarkFrameDirty(size_t frame) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->frames[frame].dirty = true;
+}
+
+Status BufferPool::WritebackLocked(Frame& f,
+                                   std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // held throughout; the hook takes only downstream locks
+  // Checkpoint *before* any byte moves: a fault armed at page-writeback
+  // leaves the spill file exactly as a crash at this instant would.
+  if (QueryGuard* guard = CurrentQueryGuard()) {
+    if (!guard->Checkpoint(GuardSite::kPageWriteback)) {
+      return guard->status();
+    }
+  }
+  if (impl_->pre_writeback_hook) {
+    DODB_RETURN_IF_ERROR(impl_->pre_writeback_hook());
+  }
+  auto file_it = impl_->files.find(f.file_id);
+  if (file_it == impl_->files.end()) {
+    return Status::Internal("buffer pool: dirty frame of unregistered file");
+  }
+  DODB_RETURN_IF_ERROR(
+      file_it->second->WriteAt(f.page_no * kPageSize, f.data.get(),
+                               kPageSize));
+  f.dirty = false;
+  EvalCounters::AddPageWritebackBytes(kPageSize);
+  return Status::Ok();
+}
+
+Status BufferPool::EvictForSpaceLocked(std::unique_lock<std::mutex>& lock) {
+  uint64_t target = impl_->capacity;
+  while (impl_->resident > target) {
+    const size_t n = impl_->frames.size();
+    if (n == 0) break;
+    // CLOCK: skip pinned frames, clear one reference bit per pass; a full
+    // double sweep with no victim means everything is pinned — allocate
+    // past the cap rather than stall (pins are correctness, the cap is a
+    // target).
+    size_t victim = n;
+    for (size_t scanned = 0; scanned < 2 * n; ++scanned) {
+      size_t idx = impl_->clock_hand;
+      impl_->clock_hand = (impl_->clock_hand + 1) % n;
+      Frame& f = impl_->frames[idx];
+      if (!f.valid || f.pins > 0) continue;
+      if (f.referenced) {
+        f.referenced = false;
+        continue;
+      }
+      victim = idx;
+      break;
+    }
+    if (victim == n) break;
+    if (QueryGuard* guard = CurrentQueryGuard()) {
+      if (!guard->Checkpoint(GuardSite::kPageEvict)) return guard->status();
+    }
+    Frame& f = impl_->frames[victim];
+    if (f.dirty) DODB_RETURN_IF_ERROR(WritebackLocked(f, lock));
+    impl_->table.erase({f.file_id, f.page_no});
+    f.valid = false;
+    f.data.reset();
+    impl_->resident -= kPageSize;
+    impl_->free_frames.push_back(victim);
+    EvalCounters::AddPageEvictions(1);
+  }
+  return Status::Ok();
+}
+
+Result<BufferPool::Page> BufferPool::Fetch(uint64_t file_id,
+                                           uint64_t page_no) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  auto file_it = impl_->files.find(file_id);
+  if (file_it == impl_->files.end()) {
+    return Status::InvalidArgument(
+        StrCat("buffer pool: fetch from unknown file id ", file_id));
+  }
+  auto it = impl_->table.find({file_id, page_no});
+  if (it != impl_->table.end()) {
+    Frame& f = impl_->frames[it->second];
+    ++f.pins;
+    f.referenced = true;
+    EvalCounters::AddPageCacheHits(1);
+    return Page(this, it->second, f.data.get());
+  }
+  EvalCounters::AddPageCacheMisses(1);
+  // Make room for the incoming page first (the new frame is pinned, so it
+  // could not be chosen as its own victim, but evicting after insertion
+  // would transiently overshoot the cap).
+  impl_->resident += kPageSize;
+  Status evict = EvictForSpaceLocked(lock);
+  if (!evict.ok()) {
+    impl_->resident -= kPageSize;
+    return evict;
+  }
+  size_t idx;
+  if (!impl_->free_frames.empty()) {
+    idx = impl_->free_frames.back();
+    impl_->free_frames.pop_back();
+  } else {
+    idx = impl_->frames.size();
+    impl_->frames.emplace_back();
+  }
+  Frame& f = impl_->frames[idx];
+  f.file_id = file_id;
+  f.page_no = page_no;
+  f.data.reset(new uint8_t[kPageSize]);
+  Status read =
+      file_it->second->ReadAt(page_no * kPageSize, f.data.get(), kPageSize);
+  if (!read.ok()) {
+    f.data.reset();
+    impl_->resident -= kPageSize;
+    impl_->free_frames.push_back(idx);
+    return read;
+  }
+  f.pins = 1;
+  f.dirty = false;
+  f.referenced = true;
+  f.valid = true;
+  impl_->table.emplace(std::make_pair(file_id, page_no), idx);
+  return Page(this, idx, f.data.get());
+}
+
+Result<BufferPool::Page> BufferPool::Create(uint64_t file_id,
+                                            uint64_t page_no) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  if (impl_->files.find(file_id) == impl_->files.end()) {
+    return Status::InvalidArgument(
+        StrCat("buffer pool: create in unknown file id ", file_id));
+  }
+  auto it = impl_->table.find({file_id, page_no});
+  if (it != impl_->table.end()) {
+    // Re-creating a page that is still resident (e.g. a freed record-store
+    // page being reused): zero the existing frame in place so stale bytes
+    // never resurface.
+    Frame& f = impl_->frames[it->second];
+    std::memset(f.data.get(), 0, kPageSize);
+    ++f.pins;
+    f.referenced = true;
+    EvalCounters::AddPageCacheHits(1);
+    return Page(this, it->second, f.data.get());
+  }
+  EvalCounters::AddPageCacheMisses(1);
+  impl_->resident += kPageSize;
+  Status evict = EvictForSpaceLocked(lock);
+  if (!evict.ok()) {
+    impl_->resident -= kPageSize;
+    return evict;
+  }
+  size_t idx;
+  if (!impl_->free_frames.empty()) {
+    idx = impl_->free_frames.back();
+    impl_->free_frames.pop_back();
+  } else {
+    idx = impl_->frames.size();
+    impl_->frames.emplace_back();
+  }
+  Frame& f = impl_->frames[idx];
+  f.file_id = file_id;
+  f.page_no = page_no;
+  f.data.reset(new uint8_t[kPageSize]());
+  f.pins = 1;
+  f.dirty = false;  // the creator marks after filling the page
+  f.referenced = true;
+  f.valid = true;
+  impl_->table.emplace(std::make_pair(file_id, page_no), idx);
+  return Page(this, idx, f.data.get());
+}
+
+Status BufferPool::FlushFile(uint64_t file_id) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  for (auto& [key, frame] : impl_->table) {
+    if (key.first != file_id) continue;
+    Frame& f = impl_->frames[frame];
+    if (f.dirty) DODB_RETURN_IF_ERROR(WritebackLocked(f, lock));
+  }
+  return Status::Ok();
+}
+
+void BufferPool::set_pre_writeback_hook(std::function<Status()> hook) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->pre_writeback_hook = std::move(hook);
+}
+
+void BufferPool::set_capacity_bytes(uint64_t bytes) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->capacity = bytes;
+  // Best-effort shrink; a writeback failure (or an armed guard fault) just
+  // leaves the extra pages resident until the next eviction attempt.
+  (void)EvictForSpaceLocked(lock);
+}
+
+uint64_t BufferPool::capacity_bytes() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->capacity;
+}
+
+uint64_t BufferPool::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->resident;
+}
+
+size_t BufferPool::pinned_frames() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  size_t pinned = 0;
+  for (const Frame& f : impl_->frames) {
+    if (f.valid && f.pins > 0) ++pinned;
+  }
+  return pinned;
+}
+
+}  // namespace storage
+}  // namespace dodb

@@ -1,0 +1,123 @@
+#include "storage/paged_relation.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "constraints/eval_counters.h"
+#include "core/str_util.h"
+#include "storage/binary_format.h"
+
+namespace dodb {
+namespace storage {
+
+SpilledTupleSource::SpilledTupleSource(std::shared_ptr<RecordStore> store,
+                                       int arity, size_t tuple_count,
+                                       std::vector<RunEntry> runs,
+                                       uint64_t payload_bytes)
+    : store_(std::move(store)),
+      arity_(arity),
+      tuple_count_(tuple_count),
+      runs_(std::move(runs)),
+      payload_bytes_(payload_bytes) {}
+
+SpilledTupleSource::~SpilledTupleSource() {
+  // The records exist only to back this source; a Free failure (e.g. a
+  // fault-tripped fetch mid-walk) just strands reusable pages in an
+  // ephemeral file.
+  for (const RunEntry& run : runs_) (void)store_->Free(run.record_id);
+}
+
+Status SpilledTupleSource::FetchRun(size_t run,
+                                    std::vector<GeneralizedTuple>* out) const {
+  DODB_CHECK_MSG(run < runs_.size(), "FetchRun index out of range");
+  const RunEntry& entry = runs_[run];
+  std::vector<uint8_t> bytes;
+  DODB_RETURN_IF_ERROR(store_->Get(entry.record_id, &bytes));
+  ByteReader reader(bytes.data(), bytes.size());
+  uint64_t count = 0;
+  DODB_RETURN_IF_ERROR(reader.GetVarint(&count));
+  size_t expected = RunEnd(run) - entry.begin;
+  if (count != expected) {
+    return Status::Internal(
+        StrCat("spilled run ", run, ": decoded tuple count ", count,
+               " does not match the directory (", expected, ")"));
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    GeneralizedTuple tuple(arity_);
+    DODB_RETURN_IF_ERROR(reader.GetTuple(arity_, &tuple));
+    out->push_back(std::move(tuple));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Internal(
+        StrCat("spilled run ", run, ": trailing bytes after the last tuple"));
+  }
+  if (!out->empty() &&
+      out->front().CachedSignature().hash != entry.signature_key) {
+    return Status::Internal(
+        StrCat("spilled run ", run, ": signature key mismatch (the record ",
+               "store returned the wrong run)"));
+  }
+  EvalCounters::AddPagedRunsFetched(1);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<RelationPager>> RelationPager::OpenPaged(
+    const std::string& path, BufferPool* pool) {
+  auto store = PagedRecordStore::Open(path, pool);
+  if (!store.ok()) return store.status();
+  std::shared_ptr<RecordStore> shared = std::move(store).value();
+  return std::unique_ptr<RelationPager>(new RelationPager(std::move(shared)));
+}
+
+std::unique_ptr<RelationPager> RelationPager::InMemory() {
+  return std::unique_ptr<RelationPager>(
+      new RelationPager(std::make_shared<MemoryRecordStore>()));
+}
+
+Result<GeneralizedRelation> RelationPager::Spill(
+    const GeneralizedRelation& rel) {
+  if (rel.is_paged() || rel.IsEmpty()) return rel;
+  const std::vector<GeneralizedTuple>& tuples = rel.tuples();
+  // Build the index before spilling so the paged twin shares the resident
+  // build (signatures double as the run directory keys).
+  std::shared_ptr<RelationIndex> index = rel.SharedIndex();
+  std::vector<SpilledTupleSource::RunEntry> runs;
+  runs.reserve((tuples.size() + SpilledTupleSource::kRunTuples - 1) /
+               SpilledTupleSource::kRunTuples);
+  uint64_t payload_bytes = 0;
+  Status failed = Status::Ok();
+  for (size_t begin = 0; begin < tuples.size() && failed.ok();
+       begin += SpilledTupleSource::kRunTuples) {
+    size_t end =
+        std::min(begin + SpilledTupleSource::kRunTuples, tuples.size());
+    ByteWriter writer;
+    writer.PutVarint(end - begin);
+    for (size_t i = begin; i < end; ++i) writer.PutTuple(tuples[i]);
+    auto id = store_->Put(writer.data().data(), writer.size());
+    if (!id.ok()) {
+      failed = id.status();
+      break;
+    }
+    SpilledTupleSource::RunEntry entry;
+    entry.record_id = id.value();
+    entry.begin = begin;
+    entry.signature_key = index->signature(begin).hash;
+    payload_bytes += writer.size();
+    runs.push_back(entry);
+  }
+  if (!failed.ok()) {
+    for (const SpilledTupleSource::RunEntry& run : runs) {
+      (void)store_->Free(run.record_id);
+    }
+    return failed;
+  }
+  auto source = std::make_shared<SpilledTupleSource>(
+      store_, rel.arity(), tuples.size(), std::move(runs), payload_bytes);
+  return GeneralizedRelation::FromPagedSource(std::move(source),
+                                              std::move(index));
+}
+
+}  // namespace storage
+}  // namespace dodb

@@ -1,0 +1,90 @@
+#ifndef DODB_STORAGE_PAGED_RELATION_H_
+#define DODB_STORAGE_PAGED_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "constraints/generalized_relation.h"
+#include "constraints/paged_source.h"
+#include "core/status.h"
+#include "storage/record_store.h"
+
+namespace dodb {
+namespace storage {
+
+/// PagedTupleSource over runs parked in a RecordStore: each run is
+/// kRunTuples consecutive tuples of the canonical vector, encoded with the
+/// snapshot codec into one record. The run directory keys each record by
+/// the signature hash of its first tuple; FetchRun recomputes the hash
+/// after decoding and rejects a mismatch, so a record-id mixup (the wrong
+/// run coming back) is caught even though every page already passed its
+/// CRC. Records are freed when the source dies.
+class SpilledTupleSource : public PagedTupleSource {
+ public:
+  struct RunEntry {
+    uint64_t record_id = 0;
+    size_t begin = 0;        // first tuple position of the run
+    size_t signature_key = 0;  // CachedSignature().hash of the first tuple
+  };
+
+  SpilledTupleSource(std::shared_ptr<RecordStore> store, int arity,
+                     size_t tuple_count, std::vector<RunEntry> runs,
+                     uint64_t payload_bytes);
+  ~SpilledTupleSource() override;
+
+  int arity() const override { return arity_; }
+  size_t tuple_count() const override { return tuple_count_; }
+  size_t run_count() const override { return runs_.size(); }
+  size_t RunBegin(size_t run) const override { return runs_[run].begin; }
+  Status FetchRun(size_t run,
+                  std::vector<GeneralizedTuple>* out) const override;
+  uint64_t approx_bytes() const override { return payload_bytes_; }
+
+  /// Tuples per run (the streaming granularity). Small enough that one run
+  /// decodes in microseconds; large enough to amortize the record header
+  /// and the run-cache lock.
+  static constexpr size_t kRunTuples = 16;
+
+ private:
+  const std::shared_ptr<RecordStore> store_;
+  const int arity_;
+  const size_t tuple_count_;
+  const std::vector<RunEntry> runs_;
+  const uint64_t payload_bytes_;
+};
+
+/// Spills resident relations into a RecordStore and hands back their paged
+/// twins. One pager per database directory: every spilled relation of the
+/// catalog shares its store (and hence, for the paged backend, one spill
+/// file and the global buffer pool's cache budget).
+class RelationPager {
+ public:
+  /// Pager over a paged (out-of-core) record store backed by the spill
+  /// file at `path`, served through `pool`.
+  static Result<std::unique_ptr<RelationPager>> OpenPaged(
+      const std::string& path, BufferPool* pool);
+  /// Pager over the resident MemoryRecordStore backend (the interface
+  /// without the I/O — what `\page <rel> off` degenerates to).
+  static std::unique_ptr<RelationPager> InMemory();
+
+  /// Encodes `rel`'s tuples into the store and returns the paged twin:
+  /// structurally identical (same canonical vector, position by position),
+  /// sharing `rel`'s prebuilt RelationIndex, with the atom payload
+  /// out-of-core. Spilling an empty or already-paged relation returns a
+  /// plain copy.
+  Result<GeneralizedRelation> Spill(const GeneralizedRelation& rel);
+
+  RecordStore& store() { return *store_; }
+
+ private:
+  explicit RelationPager(std::shared_ptr<RecordStore> store)
+      : store_(std::move(store)) {}
+
+  std::shared_ptr<RecordStore> store_;
+};
+
+}  // namespace storage
+}  // namespace dodb
+
+#endif  // DODB_STORAGE_PAGED_RELATION_H_

@@ -1,0 +1,227 @@
+#include "storage/record_store.h"
+
+#include <cstring>
+#include <utility>
+
+#include "constraints/eval_counters.h"
+#include "core/str_util.h"
+#include "storage/binary_format.h"
+
+namespace dodb {
+namespace storage {
+
+namespace {
+
+void StoreU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Result<uint64_t> MemoryRecordStore::Put(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_id_++;
+  records_.emplace(id, std::vector<uint8_t>(p, p + size));
+  payload_bytes_ += size;
+  return id;
+}
+
+Status MemoryRecordStore::Get(uint64_t id, std::vector<uint8_t>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound(StrCat("record store: no record ", id));
+  }
+  *out = it->second;
+  return Status::Ok();
+}
+
+Status MemoryRecordStore::Free(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound(StrCat("record store: no record ", id));
+  }
+  payload_bytes_ -= it->second.size();
+  records_.erase(it);
+  return Status::Ok();
+}
+
+uint64_t MemoryRecordStore::payload_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return payload_bytes_;
+}
+
+Result<std::unique_ptr<PagedRecordStore>> PagedRecordStore::Open(
+    const std::string& path, BufferPool* pool) {
+  DODB_CHECK_MSG(pool != nullptr, "PagedRecordStore::Open without a pool");
+  std::unique_ptr<PagedRecordStore> store(new PagedRecordStore());
+  // Spill files are ephemeral caches: always start empty, never recover
+  // contents from a previous process (the snapshot + WAL are authoritative).
+  DODB_RETURN_IF_ERROR(store->file_.Open(path, /*truncate=*/true));
+  store->pool_ = pool;
+  store->file_id_ = pool->RegisterFile(&store->file_);
+  return store;
+}
+
+PagedRecordStore::~PagedRecordStore() {
+  if (pool_ != nullptr) {
+    // Dirty pages of an ephemeral cache need not reach the disk on the way
+    // out; drop them.
+    (void)pool_->UnregisterFile(file_id_, /*flush=*/false);
+  }
+  (void)file_.Close();
+}
+
+uint64_t PagedRecordStore::AllocPageLocked() {
+  if (!free_pages_.empty()) {
+    uint64_t page = free_pages_.back();
+    free_pages_.pop_back();
+    return page;
+  }
+  return next_page_num_++;
+}
+
+Result<uint64_t> PagedRecordStore::Put(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t chunks = size == 0 ? 1 : (size + kPagePayload - 1) / kPagePayload;
+  std::vector<uint64_t> pages(chunks);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < chunks; ++i) pages[i] = AllocPageLocked();
+    payload_bytes_ += size;
+  }
+  size_t left = size;
+  for (size_t i = 0; i < chunks; ++i) {
+    size_t chunk = left < kPagePayload ? left : kPagePayload;
+    auto page = pool_->Create(file_id_, pages[i]);
+    if (!page.ok()) {
+      // Roll the allocation back so a guard trip mid-Put leaks no pages.
+      std::lock_guard<std::mutex> lock(mu_);
+      payload_bytes_ -= size;
+      for (uint64_t page_no : pages) free_pages_.push_back(page_no);
+      return page.status();
+    }
+    uint8_t* buf = page.value().data();
+    StoreU32(buf + 4, static_cast<uint32_t>(chunk));
+    StoreU32(buf + 8, i + 1 < chunks ? static_cast<uint32_t>(pages[i + 1])
+                                     : kNoPage);
+    if (chunk > 0) std::memcpy(buf + kPageHeaderSize, p, chunk);
+    StoreU32(buf, Crc32(buf + 4, kPageSize - 4));
+    page.value().MarkDirty();
+    p += chunk;
+    left -= chunk;
+  }
+  EvalCounters::AddPagedSpillBytes(size);
+  return pages[0];
+}
+
+Status PagedRecordStore::ReadPage(uint64_t page_no,
+                                  std::vector<uint8_t>* payload,
+                                  uint32_t* next_page) const {
+  auto page = pool_->Fetch(file_id_, page_no);
+  if (!page.ok()) return page.status();
+  const uint8_t* buf = page.value().data();
+  uint32_t stored_crc = LoadU32(buf);
+  uint32_t actual_crc = Crc32(buf + 4, kPageSize - 4);
+  if (stored_crc != actual_crc) {
+    return Status::Internal(
+        StrCat("record store '", file_.path(), "': page ", page_no,
+               " checksum mismatch (stored ", stored_crc, ", computed ",
+               actual_crc, ")"));
+  }
+  uint32_t len = LoadU32(buf + 4);
+  if (len > kPagePayload) {
+    return Status::Internal(
+        StrCat("record store '", file_.path(), "': page ", page_no,
+               " payload length ", len, " exceeds page capacity"));
+  }
+  *next_page = LoadU32(buf + 8);
+  payload->assign(buf + kPageHeaderSize, buf + kPageHeaderSize + len);
+  return Status::Ok();
+}
+
+Status PagedRecordStore::Get(uint64_t id, std::vector<uint8_t>* out) const {
+  out->clear();
+  uint64_t limit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    limit = next_page_num_;
+  }
+  if (id >= limit) {
+    return Status::NotFound(StrCat("record store: no record ", id));
+  }
+  uint64_t page_no = id;
+  std::vector<uint8_t> payload;
+  // A chain can visit each allocated page at most once; more hops means the
+  // next-pointers cycle (corruption the per-page CRC cannot see).
+  for (uint64_t hops = 0; hops <= limit; ++hops) {
+    uint32_t next = kNoPage;
+    DODB_RETURN_IF_ERROR(ReadPage(page_no, &payload, &next));
+    out->insert(out->end(), payload.begin(), payload.end());
+    if (next == kNoPage) return Status::Ok();
+    if (next >= limit) {
+      return Status::Internal(
+          StrCat("record store '", file_.path(), "': page ", page_no,
+                 " links past the allocated range"));
+    }
+    page_no = next;
+  }
+  return Status::Internal(StrCat("record store '", file_.path(),
+                                 "': record ", id, " page chain cycles"));
+}
+
+Status PagedRecordStore::Free(uint64_t id) {
+  uint64_t limit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    limit = next_page_num_;
+  }
+  if (id >= limit) {
+    return Status::NotFound(StrCat("record store: no record ", id));
+  }
+  uint64_t page_no = id;
+  std::vector<uint64_t> chain;
+  uint64_t freed_bytes = 0;
+  std::vector<uint8_t> payload;
+  for (uint64_t hops = 0; hops <= limit; ++hops) {
+    uint32_t next = kNoPage;
+    DODB_RETURN_IF_ERROR(ReadPage(page_no, &payload, &next));
+    chain.push_back(page_no);
+    freed_bytes += payload.size();
+    if (next == kNoPage) {
+      std::lock_guard<std::mutex> lock(mu_);
+      payload_bytes_ -= freed_bytes;
+      free_pages_.insert(free_pages_.end(), chain.begin(), chain.end());
+      return Status::Ok();
+    }
+    page_no = next;
+  }
+  return Status::Internal(StrCat("record store '", file_.path(),
+                                 "': record ", id, " page chain cycles"));
+}
+
+Status PagedRecordStore::Flush() { return pool_->FlushFile(file_id_); }
+
+uint64_t PagedRecordStore::payload_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return payload_bytes_;
+}
+
+uint64_t PagedRecordStore::allocated_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_page_num_;
+}
+
+}  // namespace storage
+}  // namespace dodb

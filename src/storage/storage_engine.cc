@@ -298,6 +298,19 @@ Status StorageEngine::LogRecord(const WalRecord& record) {
   return Status::Ok();
 }
 
+Status StorageEngine::SyncWal() {
+  if (options_.mode == DurabilityMode::kOff) return Status::Ok();
+  if (closed_) {
+    return Status::Internal("storage engine used after Close()");
+  }
+  if (!failed_.ok()) return failed_;
+  if (unsynced_records_ > 0) {
+    DODB_RETURN_IF_ERROR(Fail(writer_.Sync(guard_.get())));
+    unsynced_records_ = 0;
+  }
+  return Status::Ok();
+}
+
 Status StorageEngine::LogCreate(const std::string& name, int arity) {
   WalRecord record;
   record.type = WalRecordType::kCreateRelation;

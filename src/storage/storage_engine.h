@@ -144,6 +144,12 @@ class StorageEngine {
   /// Writes a new snapshot generation and retires the old WAL.
   Status Checkpoint();
 
+  /// Syncs any batched WAL tail without closing or checkpointing. The
+  /// buffer pool's pre-writeback hook: dirty page writeback must never
+  /// overtake the log records that justify the state on those pages.
+  /// A no-op in kOff mode and when nothing is unsynced.
+  Status SyncWal();
+
   /// Syncs any batched WAL tail; in kWalCheckpoint mode also checkpoints.
   /// The destructor calls Close() best-effort; call it explicitly to see
   /// the status.

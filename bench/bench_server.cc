@@ -1,0 +1,220 @@
+// Multi-client server benchmarks (DESIGN.md §15): request latency and
+// throughput against a live loopback dodb_server as the connection count
+// grows, and the overload-shedding record — a client herd at twice the
+// session cap, where shed clients must be rejected with a typed kOverloaded
+// and then admitted by their own capped-backoff retries.
+//
+// Counters (all within-run, so stable under smoke timings):
+//   p50_us / p99_us          per-request round-trip latency percentiles
+//   connections              concurrent client connections in the row
+//   overload_rejections      typed sheds the server issued (session + queue)
+//   retry_success            shed clients that were later admitted by retry
+//   corrupt_recoveries       responses that decoded to a WRONG answer; the
+//                            acceptance gate pins this to 0 — shedding and
+//                            retrying must never corrupt a result
+//
+// The server serializes query execution on one exec mutex, so throughput
+// measures admission + queueing overhead, not parallel evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dodb/dodb.h"
+
+namespace dodb {
+namespace {
+
+using server::DodbServer;
+using server::ClientOptions;
+using server::DodbClient;
+using server::QueryResult;
+using server::ServerConfig;
+
+// A tiny catalog: point relation r = {0, 1, 2, 3}, so every benchmark query
+// has a known answer to verify responses against.
+Database BenchDatabase() {
+  Database db;
+  db.SetRelation("r", GeneralizedRelation::FromPoints(
+                          1, {{Rational(0)}, {Rational(1)}, {Rational(2)},
+                              {Rational(3)}}));
+  return db;
+}
+
+constexpr char kQuery[] = "{ (x) | r(x) and x < 2 }";
+
+// The shell-identical rendering of kQuery's answer, computed in-process —
+// any served response differing from this counts as a corrupt recovery.
+std::string ReferenceAnswer(Database* db) {
+  Query query = FoParser::ParseQuery(kQuery).value();
+  FoEvaluator evaluator(db, EvalOptions{});
+  GeneralizedRelation out = evaluator.Evaluate(query).value();
+  GeneralizedRelation pretty(out.arity());
+  for (const auto& tuple : out.tuples()) {
+    pretty.AddTuple(tuple.Minimized());
+  }
+  return pretty.ToString(&query.head);
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double>* sorted_us, double pct) {
+  if (sorted_us->empty()) return 0.0;
+  std::sort(sorted_us->begin(), sorted_us->end());
+  size_t index = static_cast<size_t>(pct * (sorted_us->size() - 1));
+  return (*sorted_us)[index];
+}
+
+// Round-trip latency and throughput at 1 / 8 / 64 persistent connections,
+// each issuing the same verified query in a closed loop.
+void BM_ServerQueryLatency(benchmark::State& state) {
+  const int connections = static_cast<int>(state.range(0));
+  Database db = BenchDatabase();
+  const std::string answer = ReferenceAnswer(&db);
+  ServerConfig config;
+  config.max_sessions = connections + 4;
+  config.max_queue = 8;
+  DodbServer server(&db, nullptr, nullptr, config);
+  Status started = server.Start();
+  if (!started.ok()) {
+    state.SkipWithError(started.ToString().c_str());
+    return;
+  }
+
+  ClientOptions options;
+  options.port = server.port();
+  std::vector<std::unique_ptr<DodbClient>> clients;
+  for (int c = 0; c < connections; ++c) {
+    clients.push_back(std::make_unique<DodbClient>(options));
+    Status connected = clients.back()->Connect();
+    if (!connected.ok()) {
+      state.SkipWithError(connected.ToString().c_str());
+      return;
+    }
+  }
+
+  const int kRequestsPerConnection = 4;
+  std::vector<double> latencies_us;
+  std::atomic<uint64_t> wrong{0};
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_thread(connections);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        for (int i = 0; i < kRequestsPerConnection; ++i) {
+          const auto start = std::chrono::steady_clock::now();
+          Result<QueryResult> result = clients[c]->Query(kQuery);
+          per_thread[c].push_back(MicrosSince(start));
+          if (!result.ok() || result.value().text != answer) {
+            wrong.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (auto& lat : per_thread) {
+      latencies_us.insert(latencies_us.end(), lat.begin(), lat.end());
+    }
+  }
+
+  state.SetItemsProcessed(state.iterations() * connections *
+                          kRequestsPerConnection);
+  state.counters["connections"] = connections;
+  state.counters["p50_us"] = Percentile(&latencies_us, 0.50);
+  state.counters["p99_us"] = Percentile(&latencies_us, 0.99);
+  state.counters["corrupt_recoveries"] =
+      static_cast<double>(wrong.load(std::memory_order_relaxed));
+  server.Stop();
+}
+BENCHMARK(BM_ServerQueryLatency)
+    ->ArgName("connections")
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The shedding record: a herd at 2x the session cap, every member holding
+// its session across a stall, so admission control MUST shed — and every
+// shed client must win admission later purely through its own backoff
+// retries, with every answer it finally gets still being correct.
+void BM_ServerOverloadShedding(benchmark::State& state) {
+  Database db = BenchDatabase();
+  const std::string answer = ReferenceAnswer(&db);
+  uint64_t rejections = 0;
+  uint64_t retry_success = 0;
+  uint64_t corrupt = 0;
+  uint64_t herd_failures = 0;
+  for (auto _ : state) {
+    ServerConfig config;
+    config.max_sessions = 4;
+    config.max_queue = 2;
+    DodbServer server(&db, nullptr, nullptr, config);
+    Status started = server.Start();
+    if (!started.ok()) {
+      state.SkipWithError(started.ToString().c_str());
+      return;
+    }
+
+    const int kHerd = 2 * config.max_sessions;
+    std::atomic<uint64_t> iteration_retry_success{0};
+    std::atomic<uint64_t> iteration_corrupt{0};
+    std::atomic<uint64_t> iteration_failures{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kHerd; ++c) {
+      threads.emplace_back([&] {
+        ClientOptions options;
+        options.port = server.port();
+        options.max_retries = 24;
+        options.backoff_initial_ms = 1;
+        options.backoff_max_ms = 20;
+        DodbClient client(options);
+        if (!client.Connect().ok()) {
+          iteration_failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        // Hold the session across a stall so the herd genuinely overlaps.
+        (void)client.Command("\\sleep 5");
+        Result<QueryResult> result = client.Query(kQuery);
+        if (!result.ok()) {
+          iteration_failures.fetch_add(1, std::memory_order_relaxed);
+        } else if (result.value().text != answer) {
+          iteration_corrupt.fetch_add(1, std::memory_order_relaxed);
+        } else if (client.retries() > 0) {
+          iteration_retry_success.fetch_add(1, std::memory_order_relaxed);
+        }
+        client.Close();
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    server.Stop();
+    rejections += server.stats().sessions_rejected.load() +
+                  server.stats().queue_rejected.load();
+    retry_success += iteration_retry_success.load();
+    corrupt += iteration_corrupt.load();
+    herd_failures += iteration_failures.load();
+    state.SetItemsProcessed(state.items_processed() + kHerd);
+  }
+  state.counters["overload_rejections"] = static_cast<double>(rejections);
+  state.counters["retry_success"] = static_cast<double>(retry_success);
+  state.counters["corrupt_recoveries"] = static_cast<double>(corrupt);
+  state.counters["herd_failures"] = static_cast<double>(herd_failures);
+}
+BENCHMARK(BM_ServerOverloadShedding)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace dodb
+
+BENCHMARK_MAIN();

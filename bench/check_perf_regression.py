@@ -18,6 +18,9 @@ edge over a from-scratch recompute is a ratio within one run, so it is
 stable even under smoke timings, and losing it means O(delta) maintenance
 degraded to O(n) regardless of how the wall-clock moved.
 
+BENCH_server.json and BENCH_paged.json carry analogous absolute gates; see
+server_floor_failures / paged_floor_failures below.
+
 Usage:
   bench/check_perf_regression.py [--baseline REV] [--threshold PCT]
                                  [--fresh-dir DIR]
@@ -108,6 +111,46 @@ def paged_floor_failures(rel_name: str, rows: dict) -> list:
     return failures
 
 
+# Absolute acceptance gates for the multi-client server record
+# (BENCH_server.json), all within-run counts and hence stable under smoke
+# timings:
+#   - every row carrying a corrupt_recoveries counter must report 0 (no
+#     served answer ever diverged from the in-process reference),
+#   - the overload-shedding row must have shed at least once
+#     (overload_rejections >= 1) AND re-admitted at least one shed client
+#     via its own retries (retry_success >= 1), or the record never
+#     demonstrates admission control at work.
+SERVER_FILE = "BENCH_server.json"
+
+
+def server_floor_failures(rel_name: str, rows: dict) -> list:
+    """Failures of the absolute server gates (independent of baseline)."""
+    failures = []
+    shed_rows = 0
+    for name, row in sorted(rows.items()):
+        corrupt = row.get("corrupt_recoveries")
+        if corrupt is not None and corrupt != 0:
+            failures.append(
+                f"{rel_name}: {name}: served answers diverged from the "
+                f"reference (corrupt_recoveries = {corrupt:.0f})")
+        if not name.startswith("BM_ServerOverloadShedding"):
+            continue
+        shed_rows += 1
+        if row.get("overload_rejections", 0) < 1:
+            failures.append(
+                f"{rel_name}: {name}: the herd never got shed "
+                f"(overload_rejections = 0) — admission control untested")
+        if row.get("retry_success", 0) < 1:
+            failures.append(
+                f"{rel_name}: {name}: no shed client was later admitted by "
+                f"retry (retry_success = 0)")
+    if shed_rows == 0:
+        failures.append(
+            f"{rel_name}: no BM_ServerOverloadShedding rows — the "
+            f"overload-shedding acceptance record is missing")
+    return failures
+
+
 def ivm_floor_failures(rel_name: str, rows: dict) -> list:
     """Failures of the absolute IVM speedup floor (independent of baseline)."""
     failures = []
@@ -179,6 +222,11 @@ def main() -> int:
             compared += sum(1 for name in fresh_rows
                             if name.startswith("BM_PagedTcFixpoint")
                             and name.endswith("/cache_pct:100"))
+        # And so are the server's shed/no-corruption gates.
+        if rel_name == SERVER_FILE:
+            regressions.extend(server_floor_failures(rel_name, fresh_rows))
+            compared += sum(1 for name in fresh_rows
+                            if name.startswith("BM_ServerOverloadShedding"))
         baseline_doc = committed_json(args.baseline, rel_name)
         if baseline_doc is None:
             skipped.append(f"{rel_name}: not committed at {args.baseline}")

@@ -1,0 +1,97 @@
+// dodb_client: command-line client for a running dodb_server (or a shell's
+// \serve). Speaks the length-prefixed binary protocol (DESIGN.md §15) and
+// retries overload rejections / transient transport failures with capped
+// exponential backoff + jitter.
+//
+//   ./build/examples/dodb_client <port> [host] [-e <line>]...
+//
+// With -e lines, each is executed in order and the process exits non-zero
+// on the first failure (scriptable). Without, an interactive prompt reads
+// lines: DML (create/insert/delete/drop), \checkpoint and \sleep go as
+// commands; \ping probes liveness; anything else is an FO/FO+ query whose
+// answer prints exactly as the shell would print it.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dodb/dodb.h"
+
+namespace {
+
+bool IsCommandLine(const std::string& line) {
+  return line.rfind("create ", 0) == 0 || line.rfind("insert ", 0) == 0 ||
+         line.rfind("delete ", 0) == 0 || line.rfind("drop ", 0) == 0 ||
+         line.rfind("\\checkpoint", 0) == 0 || line.rfind("\\sleep ", 0) == 0;
+}
+
+// Runs one line; prints the answer or error. False on error.
+bool RunLine(dodb::server::DodbClient* client, const std::string& raw) {
+  std::string line(dodb::StripWhitespace(raw));
+  if (line.empty()) return true;
+  if (line == "\\ping") {
+    dodb::Result<std::string> pong = client->Ping();
+    std::cout << (pong.ok() ? pong.value() : pong.status().ToString()) << "\n";
+    return pong.ok();
+  }
+  if (IsCommandLine(line)) {
+    dodb::Result<std::string> outcome = client->Command(line);
+    std::cout << (outcome.ok() ? outcome.value()
+                               : outcome.status().ToString())
+              << "\n";
+    return outcome.ok();
+  }
+  dodb::Result<dodb::server::QueryResult> answer = client->Query(line);
+  if (!answer.ok()) {
+    std::cout << answer.status().ToString() << "\n";
+    return false;
+  }
+  std::cout << answer.value().text << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: dodb_client <port> [host] [-e <line>]...\n";
+    return 2;
+  }
+  dodb::server::ClientOptions options;
+  options.port = static_cast<uint16_t>(std::stoi(argv[1]));
+  std::vector<std::string> lines;
+  int arg = 2;
+  if (arg < argc && std::string(argv[arg]) != "-e") {
+    options.host = argv[arg++];
+  }
+  while (arg + 1 < argc && std::string(argv[arg]) == "-e") {
+    lines.push_back(argv[arg + 1]);
+    arg += 2;
+  }
+
+  dodb::server::DodbClient client(options);
+  dodb::Status connected = client.Connect();
+  if (!connected.ok()) {
+    std::cerr << "connect: " << connected.ToString() << "\n";
+    return 1;
+  }
+  if (!lines.empty()) {
+    for (const std::string& line : lines) {
+      if (!RunLine(&client, line)) return 1;
+    }
+    return 0;
+  }
+  std::cout << "connected to " << options.host << ":" << options.port
+            << " (session " << client.session_id()
+            << (client.server_read_only() ? ", server is READ-ONLY" : "")
+            << "); \\quit exits\n";
+  std::string line;
+  while (true) {
+    std::cout << "dodb> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(dodb::StripWhitespace(line));
+    if (trimmed == "\\quit" || trimmed == "\\q") break;
+    RunLine(&client, trimmed);
+  }
+  return 0;
+}

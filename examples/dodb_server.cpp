@@ -1,0 +1,134 @@
+// dodb_server: a standalone multi-client server for dense-order constraint
+// databases (DESIGN.md §15).
+//
+//   ./build/examples/dodb_server <port> [options]
+//
+//   --dir <path>          durable storage: recover from <path> on startup,
+//                         WAL-log every command (in-memory only without it)
+//   --max-sessions <n>    admission cap; extra connections are shed with a
+//                         typed overloaded error (default 8)
+//   --max-queue <n>       per-session pending-request bound (default 4)
+//   --idle-ms <n>         close sessions idle this long, 0 = never
+//                         (default 30000)
+//   --limit-time-ms <n>   per-request deadline budget
+//   --limit-tuples <n>    per-request work-tuple budget
+//   --limit-mem <n>       per-request memory budget (bytes)
+//   --threads <n>         evaluator worker threads (0 = auto)
+//
+// Port 0 binds an ephemeral port (printed on startup). The server runs
+// until stdin reaches EOF or a line "quit" arrives — so it composes with
+// `echo quit | dodb_server ...`, harness drivers and interactive use alike.
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "dodb/dodb.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: dodb_server <port> [--dir <path>] "
+                 "[--max-sessions <n>] [--max-queue <n>] [--idle-ms <n>] "
+                 "[--limit-time-ms <n>] [--limit-tuples <n>] "
+                 "[--limit-mem <n>] [--threads <n>]\n";
+    return 2;
+  }
+  dodb::server::ServerConfig config;
+  config.port = static_cast<uint16_t>(std::stoi(argv[1]));
+  std::string dir;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    std::string value = argv[i + 1];
+    if (flag == "--dir") {
+      dir = value;
+    } else if (flag == "--max-sessions") {
+      config.max_sessions = std::stoi(value);
+    } else if (flag == "--max-queue") {
+      config.max_queue = std::stoi(value);
+    } else if (flag == "--idle-ms") {
+      config.idle_timeout_ms = std::stoi(value);
+    } else if (flag == "--limit-time-ms") {
+      config.session_limits.deadline_ms = std::stoull(value);
+    } else if (flag == "--limit-tuples") {
+      config.session_limits.max_work_tuples = std::stoull(value);
+    } else if (flag == "--limit-mem") {
+      config.session_limits.max_memory_bytes = std::stoull(value);
+    } else if (flag == "--threads") {
+      config.eval_options.num_threads = std::stoi(value);
+    } else {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      return 2;
+    }
+  }
+
+  dodb::Database db;
+  dodb::ViewRegistry views;
+  std::unique_ptr<dodb::storage::StorageEngine> engine;
+  if (!dir.empty()) {
+    dodb::storage::StorageOptions storage_options;
+    storage_options.view_hooks.list = [&views] {
+      std::vector<std::pair<std::string, std::string>> defs;
+      for (const dodb::MaterializedView* view : views.Views()) {
+        defs.emplace_back(view->name(), view->text());
+      }
+      return defs;
+    };
+    storage_options.view_hooks.restore =
+        [&views](const std::string& name, const std::string& text) {
+          return views.Restore(name, text);
+        };
+    storage_options.view_hooks.restore_drop = [&views](
+                                                  const std::string& name) {
+      return views.RestoreDrop(name);
+    };
+    auto opened = dodb::storage::StorageEngine::Open(dir, &db,
+                                                     std::move(storage_options));
+    if (!opened.ok()) {
+      std::cerr << "error: " << opened.status().ToString() << "\n";
+      return 1;
+    }
+    engine = std::move(opened).value();
+    std::cout << "recovered '" << dir << "' (generation "
+              << engine->recovery().generation << "): " << db.relation_count()
+              << " relation(s), " << engine->recovery().records_replayed
+              << " WAL record(s) replayed\n";
+    if (views.view_count() > 0) {
+      dodb::Status refreshed = views.RefreshStale(&db);
+      if (!refreshed.ok()) {
+        std::cerr << "view refresh: " << refreshed.ToString() << "\n";
+      }
+    }
+  }
+
+  dodb::server::DodbServer server(&db, engine.get(), &views, config);
+  dodb::Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "error: " << started.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "dodb server on 127.0.0.1:" << server.port() << " (max "
+            << config.max_sessions << " sessions, queue " << config.max_queue
+            << "); 'quit' or EOF stops\n"
+            << std::flush;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "\\quit") break;
+  }
+  server.Stop();
+  const dodb::server::ServerStats& stats = server.stats();
+  std::cout << "served " << stats.sessions_admitted.load() << " session(s): "
+            << stats.requests_ok.load() << " ok, "
+            << stats.requests_error.load() << " error(s), "
+            << stats.sessions_rejected.load() << " admission-shed, "
+            << stats.queue_rejected.load() << " queue-shed, "
+            << stats.sessions_killed.load() << " killed, "
+            << stats.idle_closed.load() << " idle-closed\n";
+  if (engine != nullptr) {
+    dodb::Status closed = engine->Close();
+    if (!closed.ok()) {
+      std::cerr << "storage close: " << closed.ToString() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 //   \pagecache [<bytes>]      show / resize the shared page-cache budget
 //   \page <r> on|off          spill one relation out-of-core / residentize
 //   \datalog <file>           run a Datalog(not) program, merge its IDB
+//   \serve <port> [<n>]       serve the database over TCP (Enter stops)
 //   \ccalc <query>            evaluate a C-CALC query (set quantifiers)
 //   \encode                   replace the database by its standard encoding
 //   \limit time|tuples|mem <n>   per-query resource budgets
@@ -491,6 +492,11 @@ void PrintHelp() {
       "                        counting), falling back to a full recompute\n"
       "                        for large deltas or negated programs\n"
       "  \\view drop <name> | list | threshold [<fraction>]\n"
+      "  \\serve <port> [<n>]   serve this database over TCP to dodb_client\n"
+      "                        sessions (at most n concurrent, default 8;\n"
+      "                        extra connections are shed with a typed\n"
+      "                        overloaded error). \\limit budgets become the\n"
+      "                        per-request session limits. Enter stops.\n"
       "  \\ccalc <query>        C-CALC query with set quantifiers\n"
       "  \\encode               switch to the standard encoding\n"
       "  \\limit time <ms> | tuples <n> | mem <bytes>\n"
@@ -723,6 +729,44 @@ int main(int argc, char** argv) {
                                  rel->arity(), rel->tuples()));
         std::cout << name << " materialized resident\n";
       }
+    } else if (trimmed.rfind("\\serve", 0) == 0) {
+      // \serve <port> [<max-sessions>]: expose this shell's database over
+      // TCP (DESIGN.md §15). Blocks the REPL while serving — the catalog
+      // must not be mutated behind the server's back — until Enter.
+      std::istringstream in(trimmed.size() > 6 ? trimmed.substr(7) : "");
+      int port = -1;
+      int max_sessions = 8;
+      if (!(in >> port) || port < 0 || port > 65535) {
+        std::cout << "usage: \\serve <port> [<max-sessions>]  (port 0 = "
+                     "ephemeral)\n";
+        continue;
+      }
+      in >> max_sessions;
+      dodb::server::ServerConfig config;
+      config.port = static_cast<uint16_t>(port);
+      config.max_sessions = max_sessions;
+      config.session_limits = session_options.limits;
+      config.eval_options = session_options;
+      dodb::server::DodbServer server(&db, engine.get(), &views, config);
+      dodb::Status started = server.Start();
+      if (!started.ok()) {
+        std::cout << "error: " << started.ToString() << "\n";
+        continue;
+      }
+      std::cout << "serving on 127.0.0.1:" << server.port() << " (max "
+                << max_sessions << " sessions";
+      if (session_options.limits.any()) std::cout << ", \\limit budgets apply";
+      std::cout << "; press Enter to stop)\n";
+      std::string ignored;
+      std::getline(std::cin, ignored);
+      server.Stop();
+      const dodb::server::ServerStats& stats = server.stats();
+      std::cout << "server stopped: " << stats.sessions_admitted.load()
+                << " session(s), " << stats.requests_ok.load() << " ok, "
+                << stats.requests_error.load() << " error(s), "
+                << stats.sessions_rejected.load() +
+                       stats.queue_rejected.load()
+                << " shed\n";
     } else if (trimmed.rfind("\\datalog ", 0) == 0) {
       RunDatalogFile(&db, engine.get(), views,
                      std::string(dodb::StripWhitespace(trimmed.substr(9))),

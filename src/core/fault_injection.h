@@ -1,6 +1,7 @@
 #ifndef DODB_CORE_FAULT_INJECTION_H_
 #define DODB_CORE_FAULT_INJECTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -19,6 +20,24 @@ struct FaultPoint {
   GuardSite site;
   uint64_t nth = 1;
 };
+
+/// The single authoritative table of every fault-injectable site. Sweep
+/// tests iterate THIS table (never ad-hoc per-file lists), so a new tagged
+/// site that is not registered here cannot silently escape chaos coverage:
+/// ValidateFaultSiteRegistry() fails at startup instead.
+struct FaultSiteInfo {
+  GuardSite site;
+  const char* name;  // == GuardSiteName(site); duplicated so a registry
+                     // entry that drifts from the enum is itself a failure
+};
+extern const FaultSiteInfo kAllFaultSites[kGuardSiteCount];
+
+/// Startup check: every GuardSite value 0..kGuardSiteCount-1 appears in
+/// kAllFaultSites exactly once, in enum order, under its GuardSiteName()
+/// (and no name is "unknown"). Called by the server and the storage engine
+/// on startup and by the sweep tests; an unregistered site is a bug, not a
+/// configuration choice.
+Status ValidateFaultSiteRegistry();
 
 /// Parses a fault spec of the form "<site-name>:<nth>" (nth optional,
 /// default 1), e.g. "closure-sweep:3" or "shard-join". Site names are the
@@ -58,6 +77,32 @@ class ResolvedGuard {
   std::unique_ptr<QueryGuard> owned_;
   QueryGuard* guard_ = nullptr;
   Status status_;
+};
+
+/// A consumable fault: fires exactly once, at the nth (1-based) Hit() on
+/// the armed site, then disarms itself. Unlike QueryGuard::ArmFault — whose
+/// trip is sticky by design (a tripped query is dead) — a OneShotFault
+/// models an environment hiccup the process survives: the server drops the
+/// nth connection or tears the nth frame and then keeps serving. Thread-
+/// safe; unarmed Hit() is one relaxed load.
+class OneShotFault {
+ public:
+  /// Arms from a fault spec ("<site>[:<nth>]", or "" / unset DODB_FAULT for
+  /// never-fires). Returns the parse error for a malformed non-empty spec.
+  Status Arm(const std::string& spec);
+
+  /// Records one hit at `site`; true exactly when this hit is the armed
+  /// site's nth, after which the fault is spent.
+  bool Hit(GuardSite site);
+
+  bool armed() const {
+    return site_.load(std::memory_order_acquire) >= 0;
+  }
+
+ private:
+  std::atomic<int> site_{-1};
+  std::atomic<uint64_t> hits_{0};
+  uint64_t nth_ = 0;  // written by Arm before the site becomes visible
 };
 
 }  // namespace dodb

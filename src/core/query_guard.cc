@@ -55,6 +55,16 @@ const char* GuardSiteName(GuardSite site) {
       return "page-evict";
     case GuardSite::kPageWriteback:
       return "page-writeback";
+    case GuardSite::kWalSyncDegrade:
+      return "wal-sync-degrade";
+    case GuardSite::kServerAccept:
+      return "server-accept";
+    case GuardSite::kServerRead:
+      return "server-read";
+    case GuardSite::kServerWrite:
+      return "server-write";
+    case GuardSite::kSessionCommit:
+      return "session-commit";
   }
   return "unknown";
 }

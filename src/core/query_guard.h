@@ -71,8 +71,21 @@ enum class GuardSite {
   // never depend on spill-file contents.
   kPageEvict,               // frame selection when the pool is at capacity
   kPageWriteback,           // before a dirty page's bytes reach the file
+  // Degrade site (src/storage/storage_engine.cc). A trip emulates an fsync
+  // failure (EIO) rather than a crash: the engine goes sticky-failed and
+  // every later mutation is refused with kReadOnly while queries keep
+  // working — the server's graceful-degradation contract.
+  kWalSyncDegrade,          // before the WAL tail fsync in SyncWal/LogRecord
+  // Server sites (src/server/). Consumed one-shot by the server's
+  // OneShotFault rather than a sticky guard trip: the chaos harness drops
+  // exactly the nth connection / tears exactly the nth frame, and the
+  // server must keep serving everyone else.
+  kServerAccept,            // after accept(), before the session is admitted
+  kServerRead,              // after a request frame is read, before dispatch
+  kServerWrite,             // mid-response-frame write (torn frame to client)
+  kSessionCommit,           // before a session's DML reaches the WAL
 };
-inline constexpr int kGuardSiteCount = 19;
+inline constexpr int kGuardSiteCount = 24;
 /// Index of the first storage-engine site. Sites below this are reachable
 /// from query evaluation; sites from here on are reachable only through the
 /// storage engine (the fault sweeps in robustness_test / storage_test split

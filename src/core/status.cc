@@ -20,6 +20,12 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kReadOnly:
+      return "ReadOnly";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -20,6 +20,9 @@ enum class StatusCode {
   kResourceExhausted,  // configured evaluation limit exceeded
   kDeadlineExceeded,   // wall-clock deadline elapsed (distinct from budget)
   kInternal,         // invariant violation surfaced as data (bug)
+  kOverloaded,       // admission control shed the request; retry with backoff
+  kReadOnly,         // engine degraded to read-only; queries fine, DML refused
+  kUnavailable,      // transient transport failure (connect/read/write)
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -54,6 +57,15 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Overloaded(std::string message) {
+    return Status(StatusCode::kOverloaded, std::move(message));
+  }
+  static Status ReadOnly(std::string message) {
+    return Status(StatusCode::kReadOnly, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

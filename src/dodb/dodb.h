@@ -20,6 +20,7 @@
 ///   io/           database catalog and text format
 ///   storage/      durable storage: binary snapshots, write-ahead log,
 ///                 crash recovery
+///   server/       multi-client TCP server, wire protocol, client library
 
 #include "algebra/join_planner.h"
 #include "algebra/relational_ops.h"
@@ -71,6 +72,9 @@
 #include "linear/linear_expr.h"
 #include "linear/linear_relation.h"
 #include "linear/linear_system.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
 #include "spatial/connectivity.h"
 #include "spatial/interval.h"
 #include "spatial/polygon.h"

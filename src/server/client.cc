@@ -1,0 +1,190 @@
+#include "server/client.h"
+
+#include <chrono>
+#include <thread>
+
+#include "core/str_util.h"
+
+namespace dodb {
+namespace server {
+
+namespace {
+
+bool IsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
+
+DodbClient::DodbClient(ClientOptions options)
+    : options_(std::move(options)),
+      jitter_state_(options_.jitter_seed != 0 ? options_.jitter_seed : 1) {}
+
+DodbClient::~DodbClient() { Close(); }
+
+void DodbClient::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+  session_id_ = 0;
+}
+
+void DodbClient::Backoff(int attempt) {
+  ++retries_;
+  uint64_t delay = static_cast<uint64_t>(options_.backoff_initial_ms);
+  for (int i = 0; i < attempt && delay < static_cast<uint64_t>(
+                                            options_.backoff_max_ms);
+       ++i) {
+    delay *= 2;
+  }
+  if (delay > static_cast<uint64_t>(options_.backoff_max_ms)) {
+    delay = static_cast<uint64_t>(options_.backoff_max_ms);
+  }
+  // Deterministic jitter (an LCG, not std::rand) in [0, delay/2]: spreads
+  // synchronized retry herds without making tests flaky.
+  jitter_state_ =
+      jitter_state_ * 6364136223846793005ull + 1442695040888963407ull;
+  delay += (jitter_state_ >> 33) % (delay / 2 + 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+Status DodbClient::Connect() {
+  Status last = Status::Unavailable("connect never attempted");
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) Backoff(attempt - 1);
+    Close();
+    Result<int> fd = ConnectTcp(options_.host, options_.port,
+                                options_.connect_timeout_ms);
+    if (!fd.ok()) {
+      last = fd.status();
+      if (IsTransient(last.code())) continue;
+      return last;
+    }
+    fd_ = fd.value();
+    Result<FramePayload> frame =
+        ReadFrame(fd_, options_.io_timeout_ms, options_.io_timeout_ms);
+    if (!frame.ok() || frame.value().closed) {
+      // The server died between accept and hello (or the accept fault did).
+      last = frame.ok() ? Status::Unavailable("server closed before hello")
+                        : frame.status();
+      Close();
+      if (IsTransient(last.code())) continue;
+      return last;
+    }
+    Result<Hello> hello = DecodeHello(frame.value().bytes);
+    if (!hello.ok()) {
+      Close();
+      return hello.status();  // wrong protocol — retrying cannot help
+    }
+    if (hello.value().code == StatusCode::kOverloaded) {
+      last = Status::Overloaded(hello.value().message);
+      Close();
+      continue;
+    }
+    if (hello.value().code != StatusCode::kOk) {
+      last = Status(hello.value().code, hello.value().message);
+      Close();
+      return last;
+    }
+    session_id_ = hello.value().session_id;
+    server_read_only_ = hello.value().read_only;
+    return Status::Ok();
+  }
+  Close();
+  return last;
+}
+
+Result<Response> DodbClient::RoundTrip(RequestKind kind,
+                                       const std::string& text) {
+  Request request;
+  request.id = next_request_id_++;
+  request.kind = kind;
+  request.text = text;
+  Status sent = WriteFrame(fd_, EncodeRequest(request), options_.io_timeout_ms);
+  if (!sent.ok()) return sent;
+  Result<FramePayload> frame =
+      ReadFrame(fd_, options_.io_timeout_ms, options_.io_timeout_ms);
+  if (!frame.ok()) return frame.status();
+  if (frame.value().closed) {
+    return Status::Unavailable("server closed without responding");
+  }
+  Result<Response> response = DecodeResponse(frame.value().bytes);
+  if (!response.ok()) return response.status();
+  if (response.value().id != request.id) {
+    return Status::Internal(
+        StrCat("response id ", response.value().id, " for request ",
+               request.id, " — synchronous client, ids must match"));
+  }
+  return response;
+}
+
+Result<Response> DodbClient::Call(RequestKind kind, const std::string& text,
+                                  bool retry_transport) {
+  Status last = Status::Unavailable("never attempted");
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) Backoff(attempt - 1);
+    if (!connected()) {
+      Status connect = Connect();
+      if (!connect.ok()) return connect;  // Connect has its own budget
+    }
+    Result<Response> response = RoundTrip(kind, text);
+    if (!response.ok()) {
+      Close();  // the connection is in an unknown framing state
+      last = response.status();
+      if (retry_transport && IsTransient(last.code())) continue;
+      return last;
+    }
+    if (response.value().code == StatusCode::kOverloaded) {
+      // Queue-full shedding: the session survives; just back off and retry.
+      last = Status::Overloaded(response.value().message);
+      continue;
+    }
+    return response;
+  }
+  return last;
+}
+
+Result<std::string> DodbClient::Ping() {
+  Result<Response> response =
+      Call(RequestKind::kPing, "", /*retry_transport=*/true);
+  if (!response.ok()) return response.status();
+  if (response.value().code != StatusCode::kOk) {
+    return Status(response.value().code, response.value().message);
+  }
+  return response.value().message;
+}
+
+Result<QueryResult> DodbClient::Query(const std::string& text) {
+  Result<Response> call =
+      Call(RequestKind::kQuery, text, /*retry_transport=*/true);
+  if (!call.ok()) return call.status();
+  Response& response = call.value();
+  if (response.code != StatusCode::kOk) {
+    return Status(response.code, response.message);
+  }
+  QueryResult result;
+  result.has_relation = response.has_relation;
+  result.head = response.head;
+  if (response.has_relation) {
+    result.relation = std::move(response.relation);
+    // The server sends the minimized relation; rendering it under the head
+    // is exactly the shell's output for the same query.
+    result.text = result.relation.ToString(&result.head);
+  } else {
+    result.text = response.message;
+  }
+  return result;
+}
+
+Result<std::string> DodbClient::Command(const std::string& text) {
+  Result<Response> response =
+      Call(RequestKind::kCommand, text, /*retry_transport=*/false);
+  if (!response.ok()) return response.status();
+  if (response.value().code != StatusCode::kOk) {
+    return Status(response.value().code, response.value().message);
+  }
+  return response.value().message;
+}
+
+}  // namespace server
+}  // namespace dodb

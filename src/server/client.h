@@ -1,0 +1,102 @@
+#ifndef DODB_SERVER_CLIENT_H_
+#define DODB_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "server/protocol.h"
+
+namespace dodb {
+namespace server {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connect_timeout_ms = 2000;
+  /// Bound on waiting for any one response / mid-frame stall.
+  int io_timeout_ms = 30000;
+  /// Retry budget for kOverloaded rejections and transient transport
+  /// failures (kUnavailable): total attempts = 1 + max_retries.
+  int max_retries = 6;
+  /// Capped exponential backoff between retries: attempt n sleeps
+  /// min(initial << n, max) plus jitter in [0, delay/2], from a
+  /// deterministic per-client LCG so tests replay byte-identically.
+  int backoff_initial_ms = 5;
+  int backoff_max_ms = 200;
+  uint64_t jitter_seed = 1;
+};
+
+/// One query answer, rendered exactly as the shell would print it.
+struct QueryResult {
+  /// The shell's text: a minimized relation ToString under the query head,
+  /// "true"/"false" for boolean queries, or the FO+ linear rendering.
+  std::string text;
+  bool has_relation = false;
+  GeneralizedRelation relation{0};
+  std::vector<std::string> head;
+};
+
+/// A synchronous dodb client: one TCP connection, one request in flight.
+///
+/// Retry contract (DESIGN.md §15): Connect() and every request retry
+/// kOverloaded with capped exponential backoff + jitter. Query() and Ping()
+/// also retry transient transport failures (torn frame, reset, timeout) by
+/// reconnecting — queries are idempotent. Command() does NOT retry a
+/// transport failure after the request was sent: the command may have
+/// committed before the connection died (commit ambiguity), and replaying
+/// a non-idempotent command forges state. It surfaces kUnavailable and
+/// lets the caller decide.
+///
+/// Not thread-safe; one DodbClient per thread.
+class DodbClient {
+ public:
+  explicit DodbClient(ClientOptions options);
+  ~DodbClient();
+  DodbClient(const DodbClient&) = delete;
+  DodbClient& operator=(const DodbClient&) = delete;
+
+  /// Connects and reads the server hello, retrying admission rejections and
+  /// transient connect failures with backoff. Returns the hello's verdict:
+  /// kOverloaded/kUnavailable only after the retry budget is spent.
+  Status Connect();
+
+  /// Liveness round trip ("pong").
+  Result<std::string> Ping();
+
+  /// Evaluates an FO/FO+ query; the result renders shell-identically.
+  Result<QueryResult> Query(const std::string& text);
+
+  /// Runs a DML command (create/insert/delete/drop), a \checkpoint, or the
+  /// \sleep diagnostic; returns the server's one-line summary.
+  Result<std::string> Command(const std::string& text);
+
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+  uint64_t session_id() const { return session_id_; }
+  /// The server's read_only flag from the admitting hello.
+  bool server_read_only() const { return server_read_only_; }
+  /// Total backoff retries this client has performed (tests assert the
+  /// retry path actually ran).
+  uint64_t retries() const { return retries_; }
+
+ private:
+  Result<Response> Call(RequestKind kind, const std::string& text,
+                        bool retry_transport);
+  Result<Response> RoundTrip(RequestKind kind, const std::string& text);
+  void Backoff(int attempt);
+
+  const ClientOptions options_;
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  bool server_read_only_ = false;
+  uint64_t next_request_id_ = 1;
+  uint64_t retries_ = 0;
+  uint64_t jitter_state_;
+};
+
+}  // namespace server
+}  // namespace dodb
+
+#endif  // DODB_SERVER_CLIENT_H_

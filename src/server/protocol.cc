@@ -1,0 +1,322 @@
+#include "server/protocol.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "core/str_util.h"
+#include "storage/binary_format.h"
+
+namespace dodb {
+namespace server {
+
+namespace {
+
+using storage::ByteReader;
+using storage::ByteWriter;
+
+constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(
+    StatusCode::kUnavailable);
+
+Status DecodeStatusCode(uint8_t raw, StatusCode* code) {
+  if (raw > kMaxStatusCode) {
+    return Status::InvalidArgument(
+        StrCat("wire status code ", raw, " out of range"));
+  }
+  *code = static_cast<StatusCode>(raw);
+  return Status::Ok();
+}
+
+// Milliseconds left until `deadline`, clamped at 0; -1 for "wait forever".
+int RemainingMs(bool forever,
+                std::chrono::steady_clock::time_point deadline) {
+  if (forever) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - std::chrono::steady_clock::now())
+                  .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+// EINTR-safe poll for one event with an absolute deadline. Returns OK when
+// the fd is ready, kDeadlineExceeded on timeout, kUnavailable on error.
+Status PollFd(int fd, short events, int timeout_ms, const char* what) {
+  const bool forever = timeout_ms <= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    struct pollfd pfd = {fd, events, 0};
+    int remaining = RemainingMs(forever, deadline);
+    int ready = ::poll(&pfd, 1, remaining);
+    if (ready > 0) return Status::Ok();
+    if (ready == 0) {
+      return Status::DeadlineExceeded(StrCat(what, ": timed out"));
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(StrCat(what, ": poll: ", strerror(errno)));
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeHello(const Hello& hello) {
+  ByteWriter writer;
+  for (char c : kServerMagic) writer.PutU8(static_cast<uint8_t>(c));
+  writer.PutU32(hello.version);
+  writer.PutU8(static_cast<uint8_t>(hello.code));
+  writer.PutVarint(hello.session_id);
+  writer.PutU8(hello.read_only ? 1 : 0);
+  writer.PutString(hello.message);
+  return writer.Take();
+}
+
+Result<Hello> DecodeHello(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload.data(), payload.size());
+  for (char expected : kServerMagic) {
+    uint8_t c = 0;
+    DODB_RETURN_IF_ERROR(reader.GetU8(&c));
+    if (c != static_cast<uint8_t>(expected)) {
+      return Status::InvalidArgument(
+          "hello frame does not start with the DODBSRV1 magic — not a dodb "
+          "server");
+    }
+  }
+  Hello hello;
+  DODB_RETURN_IF_ERROR(reader.GetU32(&hello.version));
+  if (hello.version != kProtocolVersion) {
+    return Status::Unsupported(StrCat("server speaks protocol version ",
+                                      hello.version, ", this client speaks ",
+                                      kProtocolVersion));
+  }
+  uint8_t code = 0;
+  DODB_RETURN_IF_ERROR(reader.GetU8(&code));
+  DODB_RETURN_IF_ERROR(DecodeStatusCode(code, &hello.code));
+  DODB_RETURN_IF_ERROR(reader.GetVarint(&hello.session_id));
+  uint8_t read_only = 0;
+  DODB_RETURN_IF_ERROR(reader.GetU8(&read_only));
+  hello.read_only = read_only != 0;
+  DODB_RETURN_IF_ERROR(reader.GetString(&hello.message));
+  return hello;
+}
+
+std::vector<uint8_t> EncodeRequest(const Request& request) {
+  ByteWriter writer;
+  writer.PutVarint(request.id);
+  writer.PutU8(static_cast<uint8_t>(request.kind));
+  writer.PutString(request.text);
+  return writer.Take();
+}
+
+Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload.data(), payload.size());
+  Request request;
+  DODB_RETURN_IF_ERROR(reader.GetVarint(&request.id));
+  uint8_t kind = 0;
+  DODB_RETURN_IF_ERROR(reader.GetU8(&kind));
+  if (kind < static_cast<uint8_t>(RequestKind::kPing) ||
+      kind > static_cast<uint8_t>(RequestKind::kCommand)) {
+    return Status::InvalidArgument(
+        StrCat("request kind ", kind, " out of range"));
+  }
+  request.kind = static_cast<RequestKind>(kind);
+  DODB_RETURN_IF_ERROR(reader.GetString(&request.text));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after request");
+  }
+  return request;
+}
+
+std::vector<uint8_t> EncodeResponse(const Response& response) {
+  ByteWriter writer;
+  writer.PutVarint(response.id);
+  writer.PutU8(static_cast<uint8_t>(response.code));
+  writer.PutString(response.message);
+  writer.PutU8(response.has_relation ? 1 : 0);
+  if (response.has_relation) {
+    writer.PutVarint(response.head.size());
+    for (const std::string& name : response.head) writer.PutString(name);
+    writer.PutRelationPayload(response.relation);
+  }
+  return writer.Take();
+}
+
+Result<Response> DecodeResponse(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload.data(), payload.size());
+  Response response;
+  DODB_RETURN_IF_ERROR(reader.GetVarint(&response.id));
+  uint8_t code = 0;
+  DODB_RETURN_IF_ERROR(reader.GetU8(&code));
+  DODB_RETURN_IF_ERROR(DecodeStatusCode(code, &response.code));
+  DODB_RETURN_IF_ERROR(reader.GetString(&response.message));
+  uint8_t has_relation = 0;
+  DODB_RETURN_IF_ERROR(reader.GetU8(&has_relation));
+  response.has_relation = has_relation != 0;
+  if (response.has_relation) {
+    uint64_t head_count = 0;
+    DODB_RETURN_IF_ERROR(reader.GetVarint(&head_count));
+    if (head_count > 64) {
+      return Status::InvalidArgument(
+          StrCat("response head has ", head_count, " columns"));
+    }
+    for (uint64_t i = 0; i < head_count; ++i) {
+      std::string name;
+      DODB_RETURN_IF_ERROR(reader.GetString(&name));
+      response.head.push_back(std::move(name));
+    }
+    DODB_RETURN_IF_ERROR(reader.GetRelationPayload(&response.relation));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after response");
+  }
+  return response;
+}
+
+Result<FramePayload> ReadFrame(int fd, int idle_timeout_ms,
+                               int io_timeout_ms) {
+  uint8_t prefix[4];
+  size_t got = 0;
+  while (got < sizeof(prefix)) {
+    // The wait for the first byte is the idle timeout; once a frame has
+    // started, stalls are bounded by the (typically tighter) I/O timeout.
+    int timeout = got == 0 ? idle_timeout_ms : io_timeout_ms;
+    const char* what = got == 0 ? "idle read" : "frame read";
+    DODB_RETURN_IF_ERROR(PollFd(fd, POLLIN, timeout, what));
+    ssize_t n = ::recv(fd, prefix + got, sizeof(prefix) - got, 0);
+    if (n == 0) {
+      if (got == 0) {
+        FramePayload closed;
+        closed.closed = true;
+        return closed;
+      }
+      return Status::Unavailable("torn frame: EOF inside the length prefix");
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Unavailable(StrCat("recv: ", strerror(errno)));
+    }
+    got += static_cast<size_t>(n);
+  }
+  uint32_t length = static_cast<uint32_t>(prefix[0]) |
+                    static_cast<uint32_t>(prefix[1]) << 8 |
+                    static_cast<uint32_t>(prefix[2]) << 16 |
+                    static_cast<uint32_t>(prefix[3]) << 24;
+  if (length > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        StrCat("frame length ", length, " exceeds the ", kMaxFrameBytes,
+               "-byte cap"));
+  }
+  FramePayload frame;
+  frame.bytes.resize(length);
+  size_t pos = 0;
+  while (pos < length) {
+    DODB_RETURN_IF_ERROR(PollFd(fd, POLLIN, io_timeout_ms, "frame read"));
+    ssize_t n = ::recv(fd, frame.bytes.data() + pos, length - pos, 0);
+    if (n == 0) {
+      return Status::Unavailable(
+          StrCat("torn frame: EOF after ", pos, " of ", length,
+                 " payload bytes"));
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Unavailable(StrCat("recv: ", strerror(errno)));
+    }
+    pos += static_cast<size_t>(n);
+  }
+  return frame;
+}
+
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload, int timeout_ms,
+                  size_t max_bytes) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        StrCat("frame payload of ", payload.size(), " bytes exceeds the ",
+               kMaxFrameBytes, "-byte cap"));
+  }
+  std::vector<uint8_t> frame;
+  frame.reserve(4 + payload.size());
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  frame.push_back(static_cast<uint8_t>(length));
+  frame.push_back(static_cast<uint8_t>(length >> 8));
+  frame.push_back(static_cast<uint8_t>(length >> 16));
+  frame.push_back(static_cast<uint8_t>(length >> 24));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  size_t limit = frame.size() < max_bytes ? frame.size() : max_bytes;
+  size_t pos = 0;
+  while (pos < limit) {
+    DODB_RETURN_IF_ERROR(PollFd(fd, POLLOUT, timeout_ms, "frame write"));
+    ssize_t n = ::send(fd, frame.data() + pos, limit - pos, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Unavailable(StrCat("send: ", strerror(errno)));
+    }
+    pos += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms) {
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* node = host == "localhost" ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, node, &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrCat("host '", host, "' is not an IPv4 address"));
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(StrCat("socket: ", strerror(errno)));
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    Status status = Status::Unavailable(StrCat("fcntl: ", strerror(errno)));
+    CloseFd(fd);
+    return status;
+  }
+  int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    Status status = Status::Unavailable(StrCat("connect: ", strerror(errno)));
+    CloseFd(fd);
+    return status;
+  }
+  if (rc < 0) {
+    Status ready = PollFd(fd, POLLOUT, timeout_ms, "connect");
+    if (!ready.ok()) {
+      CloseFd(fd);
+      // A connect timeout is transient for retry purposes.
+      return ready.code() == StatusCode::kDeadlineExceeded
+                 ? Status::Unavailable("connect: timed out")
+                 : ready;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      Status status = Status::Unavailable(
+          StrCat("connect: ", strerror(err != 0 ? err : errno)));
+      CloseFd(fd);
+      return status;
+    }
+  }
+  return fd;
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  while (::close(fd) < 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace server
+}  // namespace dodb

@@ -1,0 +1,120 @@
+#ifndef DODB_SERVER_PROTOCOL_H_
+#define DODB_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraints/generalized_relation.h"
+#include "core/status.h"
+
+namespace dodb {
+namespace server {
+
+/// The dodb client/server wire protocol (DESIGN.md §15).
+///
+/// Every message is one length-prefixed frame:
+///   u32      payload length (little-endian, <= kMaxFrameBytes)
+///   payload  ByteWriter-encoded message (the same DODBSNP1 primitive
+///            codecs the snapshot and WAL formats use, binary_format.h)
+///
+/// Connection lifecycle: the server speaks first with a Hello frame (magic,
+/// protocol version, admission verdict, session id). A kOk hello admits the
+/// session; a kOverloaded hello is the admission-control rejection — the
+/// server closes right after it and the client retries with backoff. After
+/// the hello, the client sends Request frames and the server answers each
+/// with exactly one Response frame carrying the request's id (queue-full
+/// rejections may overtake in-flight requests, which is why responses carry
+/// ids at all).
+///
+/// Relations travel as the snapshot format's relation payload
+/// (ByteWriter::PutRelationPayload), so a query answer decodes into exactly
+/// the GeneralizedRelation the server's evaluator produced — the
+/// server-vs-shell differential checks bit-identical text on both sides.
+
+inline constexpr char kServerMagic[8] = {'D', 'O', 'D', 'B',
+                                         'S', 'R', 'V', '1'};
+inline constexpr uint32_t kProtocolVersion = 1;
+/// Hard cap on one frame's payload; a longer length prefix is a protocol
+/// violation (or garbage traffic) and the connection is dropped.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class RequestKind : uint8_t {
+  kPing = 1,     // liveness probe; answer is "pong"
+  kQuery = 2,    // FO/FO+ query text; answer carries a relation payload
+                 // (dense fragment) or formatted text (FO+ linear)
+  kCommand = 3,  // create/drop/insert/delete DML; answer is a summary line
+};
+
+struct Request {
+  uint64_t id = 0;  // echoed in the response; client-assigned
+  RequestKind kind = RequestKind::kPing;
+  std::string text;
+};
+
+/// The server's first frame on every accepted connection.
+struct Hello {
+  uint32_t version = kProtocolVersion;
+  StatusCode code = StatusCode::kOk;  // kOverloaded = admission refused
+  uint64_t session_id = 0;
+  bool read_only = false;  // storage degraded; DML will be refused
+  std::string message;
+};
+
+struct Response {
+  uint64_t id = 0;
+  StatusCode code = StatusCode::kOk;
+  /// Command summary, error text, or the FO+ linear answer rendered as
+  /// text (linear relations have no binary payload codec).
+  std::string message;
+  bool has_relation = false;
+  GeneralizedRelation relation{0};
+  std::vector<std::string> head;  // query head variable names, in order
+};
+
+std::vector<uint8_t> EncodeHello(const Hello& hello);
+Result<Hello> DecodeHello(const std::vector<uint8_t>& payload);
+std::vector<uint8_t> EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(const std::vector<uint8_t>& payload);
+std::vector<uint8_t> EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(const std::vector<uint8_t>& payload);
+
+// ---------------------------------------------------------------------------
+// Framing over a (non-blocking) socket. All calls loop over EINTR and
+// enforce their timeouts with poll(); a peer that stalls mid-frame gets
+// kDeadlineExceeded, a torn frame (EOF mid-payload) gets kUnavailable —
+// both transient, typed for the client's retry policy.
+
+/// What ReadFrame found.
+struct FramePayload {
+  std::vector<uint8_t> bytes;
+  /// True when the peer closed cleanly before any byte of a frame arrived
+  /// (bytes is then empty) — end of conversation, not an error.
+  bool closed = false;
+};
+
+/// Reads one frame. `idle_timeout_ms` bounds the wait for the frame's first
+/// byte (the server's per-session idle timeout); `io_timeout_ms` bounds
+/// every subsequent stall mid-frame. 0 = wait forever.
+Result<FramePayload> ReadFrame(int fd, int idle_timeout_ms, int io_timeout_ms);
+
+/// Writes [length][payload]. `max_bytes` below the full frame size writes
+/// only that prefix and then reports success — the server's torn-frame
+/// fault (server-write) uses it to leave a half-written frame on the wire
+/// exactly like a crash mid-send would.
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload, int timeout_ms,
+                  size_t max_bytes = SIZE_MAX);
+
+/// Non-blocking TCP connect with timeout. Transient failures (refused,
+/// unreachable, timeout) come back kUnavailable so the client's backoff
+/// loop can distinguish them from programming errors.
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms);
+
+/// EINTR-safe close. Safe on -1.
+void CloseFd(int fd);
+
+}  // namespace server
+}  // namespace dodb
+
+#endif  // DODB_SERVER_PROTOCOL_H_

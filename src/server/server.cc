@@ -1,0 +1,520 @@
+#include "server/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <sstream>
+
+#include "core/str_util.h"
+#include "datalog/view_maintenance.h"
+#include "fo/analyzer.h"
+#include "fo/linear_evaluator.h"
+#include "fo/parser.h"
+#include "io/commands.h"
+#include "storage/storage_engine.h"
+
+namespace dodb {
+namespace server {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+/// Minimizes every tuple, the shell's presentation form (PrintRelation /
+/// RunFoQuery do the same before ToString) — the differential test compares
+/// the client's rendering of this relation against the shell's text.
+GeneralizedRelation Minimize(const GeneralizedRelation& relation) {
+  GeneralizedRelation pretty(relation.arity());
+  for (const auto& tuple : relation.tuples()) {
+    pretty.AddTuple(tuple.Minimized());
+  }
+  return pretty;
+}
+
+bool IsGuardTrip(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
+
+/// One admitted connection: a reader thread feeding a bounded queue and a
+/// worker thread draining it. Frame writes (worker responses and the
+/// reader's queue-full rejections) serialize on write_mu.
+struct DodbServer::Session {
+  uint64_t id = 0;
+  int fd = -1;
+  DodbServer* server = nullptr;
+
+  std::thread reader;
+  std::thread worker;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Request> queue;
+  bool closing = false;
+
+  std::mutex write_mu;
+  std::atomic<bool> done{false};
+
+  /// Wakes both threads: the worker via the cv, the reader via socket
+  /// shutdown (its poll() returns immediately once the fd is shut down).
+  void Kick() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      closing = true;
+    }
+    cv.notify_all();
+    ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+DodbServer::DodbServer(Database* db, storage::StorageEngine* engine,
+                       ViewRegistry* views, ServerConfig config)
+    : db_(db), engine_(engine), views_(views), config_(std::move(config)) {}
+
+DodbServer::~DodbServer() { Stop(); }
+
+Status DodbServer::Start() {
+  if (started_) return Status::Internal("server already started");
+  DODB_RETURN_IF_ERROR(ValidateFaultSiteRegistry());
+  DODB_RETURN_IF_ERROR(fault_.Arm(config_.fault_spec));
+  if (views_ != nullptr) {
+    // View maintenance passes inherit the server's evaluation knobs, minus
+    // the per-request guard machinery (maintenance runs post-commit).
+    EvalOptions options = config_.eval_options;
+    options.limits = GuardLimits{};
+    options.guard = nullptr;
+    options.fault_spec.clear();
+    views_->options().datalog.eval_options = options;
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(StrCat("socket: ", strerror(errno)));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    Status status = Status::Unavailable(
+        StrCat("bind port ", config_.port, ": ", strerror(errno)));
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    Status status = Status::Unavailable(StrCat("listen: ", strerror(errno)));
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  if (!SetNonBlocking(listen_fd_)) {
+    Status status = Status::Unavailable(StrCat("fcntl: ", strerror(errno)));
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  stopping_.store(false, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void DodbServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& session : sessions_) session->Kick();
+  }
+  ReapFinished(/*join_all=*/true);
+  started_ = false;
+}
+
+int DodbServer::active_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  int live = 0;
+  for (const auto& session : sessions_) {
+    if (!session->done.load(std::memory_order_acquire)) ++live;
+  }
+  return live;
+}
+
+bool DodbServer::read_only() const {
+  return engine_ != nullptr && engine_->read_only();
+}
+
+void DodbServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 50);
+    ReapFinished(/*join_all=*/false);
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleAccept(fd);
+  }
+}
+
+void DodbServer::HandleAccept(int fd) {
+  // The accept fault: the nth connection dies before any byte is exchanged,
+  // exactly like a network blip between accept and hello. The client sees
+  // EOF/reset (kUnavailable) and retries.
+  if (fault_.Hit(GuardSite::kServerAccept)) {
+    stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+    CloseFd(fd);
+    return;
+  }
+  if (!SetNonBlocking(fd)) {
+    CloseFd(fd);
+    return;
+  }
+  int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+  std::unique_lock<std::mutex> lock(sessions_mu_);
+  int live = 0;
+  for (const auto& session : sessions_) {
+    if (!session->done.load(std::memory_order_acquire)) ++live;
+  }
+  if (live >= config_.max_sessions) {
+    lock.unlock();
+    stats_.sessions_rejected.fetch_add(1, std::memory_order_relaxed);
+    Hello refused;
+    refused.code = StatusCode::kOverloaded;
+    refused.read_only = read_only();
+    refused.message = StrCat("server at capacity (", config_.max_sessions,
+                             " sessions); retry with backoff");
+    WriteFrame(fd, EncodeHello(refused), config_.io_timeout_ms);
+    CloseFd(fd);
+    return;
+  }
+
+  auto session = std::make_unique<Session>();
+  session->id = next_session_id_++;
+  session->fd = fd;
+  session->server = this;
+  Session* raw = session.get();
+  sessions_.push_back(std::move(session));
+  lock.unlock();
+
+  stats_.sessions_admitted.fetch_add(1, std::memory_order_relaxed);
+  Hello hello;
+  hello.session_id = raw->id;
+  hello.read_only = read_only();
+  hello.message = "dodb server ready";
+  Status sent;
+  {
+    std::lock_guard<std::mutex> write_lock(raw->write_mu);
+    sent = WriteFrame(fd, EncodeHello(hello), config_.io_timeout_ms);
+  }
+  if (!sent.ok()) {
+    raw->Kick();
+    raw->done.store(true, std::memory_order_release);
+    return;
+  }
+  raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
+  raw->worker = std::thread([this, raw] { WorkerLoop(raw); });
+}
+
+void DodbServer::ReaderLoop(Session* session) {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(session->mu);
+      if (session->closing) break;
+    }
+    // The read fault: the nth arriving frame is thrown away with the
+    // connection, as if the peer reset mid-conversation.
+    Result<FramePayload> frame = ReadFrame(
+        session->fd, config_.idle_timeout_ms, config_.io_timeout_ms);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+        stats_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    if (frame.value().closed) break;
+    if (fault_.Hit(GuardSite::kServerRead)) {
+      stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    Result<Request> request = DecodeRequest(frame.value().bytes);
+    if (!request.ok()) {
+      // Protocol violation: answer once (id 0 — the frame never yielded an
+      // id) and drop the connection.
+      Response malformed;
+      malformed.code = request.status().code();
+      malformed.message = request.status().message();
+      WriteResponse(session, malformed);
+      break;
+    }
+    bool reject = false;
+    {
+      std::lock_guard<std::mutex> lock(session->mu);
+      if (session->closing) break;
+      if (static_cast<int>(session->queue.size()) >= config_.max_queue) {
+        reject = true;
+      } else {
+        session->queue.push_back(std::move(request).value());
+      }
+    }
+    if (reject) {
+      // Bounded-queue admission: reject NOW, ahead of the in-flight work.
+      stats_.queue_rejected.fetch_add(1, std::memory_order_relaxed);
+      Response overloaded;
+      overloaded.id = request.value().id;
+      overloaded.code = StatusCode::kOverloaded;
+      overloaded.message = StrCat("session queue full (", config_.max_queue,
+                                  " pending); retry with backoff");
+      if (!WriteResponse(session, overloaded)) break;
+    } else {
+      session->cv.notify_one();
+    }
+  }
+  session->Kick();
+}
+
+void DodbServer::WorkerLoop(Session* session) {
+  while (true) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(session->mu);
+      session->cv.wait(lock, [session] {
+        return session->closing || !session->queue.empty();
+      });
+      if (session->queue.empty()) break;  // closing and drained
+      request = std::move(session->queue.front());
+      session->queue.pop_front();
+    }
+    bool kill_session = false;
+    bool drop_silently = false;
+    Response response =
+        ExecuteRequest(request, &kill_session, &drop_silently);
+    if (drop_silently) {
+      stats_.sessions_killed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (response.code == StatusCode::kOk) {
+      stats_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.requests_error.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!WriteResponse(session, response)) break;
+    if (kill_session) {
+      stats_.sessions_killed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+  session->Kick();
+  session->done.store(true, std::memory_order_release);
+}
+
+Response DodbServer::ExecuteRequest(const Request& request,
+                                    bool* kill_session, bool* drop_silently) {
+  switch (request.kind) {
+    case RequestKind::kPing: {
+      Response response;
+      response.id = request.id;
+      response.message = "pong";
+      return response;
+    }
+    case RequestKind::kQuery:
+      return ExecuteQuery(request, kill_session);
+    case RequestKind::kCommand:
+      return ExecuteCommandRequest(request, kill_session, drop_silently);
+  }
+  Response response;
+  response.id = request.id;
+  response.code = StatusCode::kInvalidArgument;
+  response.message = "unknown request kind";
+  return response;
+}
+
+Response DodbServer::ExecuteQuery(const Request& request,
+                                  bool* kill_session) {
+  Response response;
+  response.id = request.id;
+
+  // Per-request guard: the server-side \limit. Fresh per request so one
+  // runaway query cannot eat a later request's budget, and a trip is typed
+  // (kDeadlineExceeded / kResourceExhausted) and kills only this session.
+  QueryGuard guard(config_.session_limits);
+  EvalOptions options = config_.eval_options;
+  options.limits = GuardLimits{};
+  options.guard = &guard;
+  options.fault_spec.clear();
+
+  Result<Query> query = FoParser::ParseQuery(request.text);
+  if (!query.ok()) {
+    response.code = query.status().code();
+    response.message = query.status().message();
+    return response;
+  }
+  response.head = query.value().head;
+
+  std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  Result<QueryAnalysis> analysis = Analyze(query.value(), db_);
+  if (!analysis.ok()) {
+    response.code = analysis.status().code();
+    response.message = analysis.status().message();
+    return response;
+  }
+  if (analysis.value().is_dense_fragment) {
+    FoEvaluator evaluator(db_, options);
+    Result<GeneralizedRelation> out = evaluator.Evaluate(query.value());
+    if (!out.ok()) {
+      response.code = out.status().code();
+      response.message = out.status().message();
+      *kill_session = IsGuardTrip(response.code);
+      return response;
+    }
+    if (query.value().head.empty()) {
+      response.message = out.value().IsEmpty() ? "false" : "true";
+      return response;
+    }
+    response.has_relation = true;
+    response.relation = Minimize(out.value());
+    return response;
+  }
+  LinearFoEvaluator evaluator(db_, options);
+  Result<LinearRelation> out = evaluator.Evaluate(query.value());
+  if (!out.ok()) {
+    response.code = out.status().code();
+    response.message = out.status().message();
+    *kill_session = IsGuardTrip(response.code);
+    return response;
+  }
+  if (query.value().head.empty()) {
+    response.message = out.value().IsEmpty() ? "false" : "true";
+  } else {
+    // Linear relations have no wire codec; the rendered text IS the answer.
+    response.message = out.value().ToString(&query.value().head);
+  }
+  return response;
+}
+
+Response DodbServer::ExecuteCommandRequest(const Request& request,
+                                           bool* kill_session,
+                                           bool* drop_silently) {
+  Response response;
+  response.id = request.id;
+  std::string text(StripWhitespace(request.text));
+
+  // \sleep <ms>: a diagnostic stall (NOT under the exec mutex), letting the
+  // overload tests fill this session's bounded queue deterministically.
+  if (text.rfind("\\sleep ", 0) == 0) {
+    uint64_t ms = 0;
+    std::istringstream in(text.substr(7));
+    if (!(in >> ms) || ms > 10000) {
+      response.code = StatusCode::kInvalidArgument;
+      response.message = "usage: \\sleep <ms in [0, 10000]>";
+      return response;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    response.message = StrCat("slept ", ms, " ms");
+    return response;
+  }
+
+  // The commit fault: the server "dies" after admitting the command but
+  // before its WAL append — the catalog and the log are untouched and the
+  // client never sees an ack, so recovery must NOT resurface the command.
+  // (Acknowledged commands are durable before their ack by the storage
+  // discipline, so the sweep's other half holds by construction.)
+  if (fault_.Hit(GuardSite::kSessionCommit)) {
+    stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+    *drop_silently = true;
+    return response;
+  }
+
+  std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  if (text == "\\checkpoint") {
+    if (engine_ == nullptr) {
+      response.code = StatusCode::kUnsupported;
+      response.message = "no storage attached to this server";
+      return response;
+    }
+    Status status = engine_->Checkpoint();
+    response.code = status.code();
+    response.message = status.ok() ? StrCat("checkpointed to generation ",
+                                            engine_->generation())
+                                   : status.message();
+  } else {
+    Result<std::string> outcome = ExecuteCommand(db_, text, engine_, views_);
+    if (outcome.ok()) {
+      response.message = outcome.value();
+    } else {
+      response.code = outcome.status().code();
+      response.message = outcome.status().message();
+      *kill_session = IsGuardTrip(response.code);
+    }
+  }
+  if (response.code == StatusCode::kReadOnly) {
+    stats_.readonly_rejected.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+bool DodbServer::WriteResponse(Session* session, const Response& response) {
+  std::lock_guard<std::mutex> lock(session->write_mu);
+  std::vector<uint8_t> payload = EncodeResponse(response);
+  // The write fault: tear the nth response mid-frame — the length prefix
+  // promises more bytes than ever arrive, exactly what a crash mid-send
+  // leaves on the wire. The client reads a torn frame (kUnavailable).
+  if (fault_.Hit(GuardSite::kServerWrite)) {
+    stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+    WriteFrame(session->fd, payload, config_.io_timeout_ms,
+               (payload.size() + 4) / 2);
+    return false;
+  }
+  return WriteFrame(session->fd, payload, config_.io_timeout_ms).ok();
+}
+
+void DodbServer::ReapFinished(bool join_all) {
+  std::vector<std::unique_ptr<Session>> finished;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (join_all || (*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& session : finished) {
+    if (session->reader.joinable()) session->reader.join();
+    if (session->worker.joinable()) session->worker.join();
+    CloseFd(session->fd);
+  }
+}
+
+}  // namespace server
+}  // namespace dodb

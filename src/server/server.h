@@ -1,0 +1,175 @@
+#ifndef DODB_SERVER_SERVER_H_
+#define DODB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fault_injection.h"
+#include "core/query_guard.h"
+#include "core/status.h"
+#include "fo/evaluator.h"
+#include "io/database.h"
+#include "server/protocol.h"
+
+namespace dodb {
+
+class ViewRegistry;
+
+namespace storage {
+class StorageEngine;
+}  // namespace storage
+
+namespace server {
+
+/// Multi-client server configuration (DESIGN.md §15). The defaults are the
+/// test/bench profile; the shell's \serve and the dodb_server binary expose
+/// the knobs that matter operationally.
+struct ServerConfig {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back with
+  /// port() — the tests run this way so parallel ctest never collides).
+  uint16_t port = 0;
+  /// Admission control: connections beyond this many concurrent sessions
+  /// get a Hello{kOverloaded} and are closed. The client retries with
+  /// backoff; the server never queues un-admitted connections.
+  int max_sessions = 8;
+  /// Per-session request queue bound. A request arriving while this many
+  /// are already pending is answered kOverloaded immediately (the rejection
+  /// overtakes the in-flight requests — responses carry ids for exactly
+  /// this reason). Bounded on purpose: an unbounded queue turns overload
+  /// into unbounded memory growth and unbounded latency.
+  int max_queue = 4;
+  /// Close a session whose client sends nothing for this long. 0 = never.
+  int idle_timeout_ms = 30000;
+  /// Bound on any single read/write stall mid-frame (a peer that opens a
+  /// frame and walks away cannot hold a session slot forever).
+  int io_timeout_ms = 5000;
+  /// Per-request guard budgets (the server-side \limit): each request runs
+  /// under a fresh QueryGuard with these limits. A trip kills only the
+  /// offending session — the error is typed, acknowledged, and the
+  /// connection closed; every other session keeps running.
+  GuardLimits session_limits;
+  /// OneShotFault spec for the server's own sites (server-accept,
+  /// server-read, server-write, session-commit), "<site>[:<nth>]". Empty =
+  /// DODB_FAULT when set, else off. Storage sites are armed on the engine
+  /// at Open, not here.
+  std::string fault_spec;
+  /// Evaluation knobs shared by every session (threads, index, shards...).
+  /// limits/guard/fault_spec inside are ignored — session_limits and a
+  /// per-request guard take their place.
+  EvalOptions eval_options;
+};
+
+/// Monotonic counters, readable while the server runs (the soak driver and
+/// the overload bench poll them). Atomics, not a snapshot.
+struct ServerStats {
+  std::atomic<uint64_t> sessions_admitted{0};
+  std::atomic<uint64_t> sessions_rejected{0};  // admission kOverloaded
+  std::atomic<uint64_t> queue_rejected{0};     // per-session queue full
+  std::atomic<uint64_t> requests_ok{0};
+  std::atomic<uint64_t> requests_error{0};     // answered with a non-OK code
+  std::atomic<uint64_t> readonly_rejected{0};  // DML refused with kReadOnly
+  std::atomic<uint64_t> sessions_killed{0};    // guard trip / commit fault
+  std::atomic<uint64_t> idle_closed{0};
+  std::atomic<uint64_t> faults_injected{0};    // OneShotFault firings
+};
+
+/// A TCP server multiplexing many client sessions onto one Database.
+///
+/// Threading: one acceptor thread; per session a reader thread (socket →
+/// bounded queue) and a worker thread (queue → execute → socket). The
+/// Database/StorageEngine/ViewRegistry trio is NOT thread-safe, so workers
+/// serialize execution on one mutex — sessions overlap on parsing, I/O and
+/// queueing, not evaluation (shared-catalog MVCC is a roadmap item, and the
+/// bench records what serialization costs honestly).
+///
+/// Graceful degradation: a WAL sync failure flips the engine sticky
+/// read-only (storage_engine.h); the server keeps answering queries and
+/// refuses DML with kReadOnly. Guard trips (deadline/work/memory) kill only
+/// the offending session. Fault sites (core/fault_injection.h) let the
+/// chaos tests drop the nth accept, tear the nth response frame mid-write,
+/// and kill a commit before its WAL append — recovery is then proven by
+/// reopening the data directory.
+///
+/// The db/engine/views pointers must outlive the server, and no other
+/// thread may mutate them between Start() and Stop() (the shell's \serve
+/// blocks its REPL for exactly this reason). engine and views may be null:
+/// null engine = in-memory only (DML works, nothing durable), null views =
+/// no view maintenance.
+class DodbServer {
+ public:
+  DodbServer(Database* db, storage::StorageEngine* engine, ViewRegistry* views,
+             ServerConfig config);
+  ~DodbServer();
+  DodbServer(const DodbServer&) = delete;
+  DodbServer& operator=(const DodbServer&) = delete;
+
+  /// Validates the fault-site registry, arms the fault spec, binds, listens
+  /// and starts the acceptor. Returns the bind/listen error; kUnavailable
+  /// for a busy port.
+  Status Start();
+
+  /// Stops accepting, kicks every live session and joins all threads.
+  /// Idempotent. The destructor calls it.
+  void Stop();
+
+  /// The bound port (after Start); the configured port before.
+  uint16_t port() const { return port_; }
+  /// Live (admitted, not yet finished) sessions.
+  int active_sessions() const;
+  /// Whether the engine has degraded to read-only (false without an engine).
+  bool read_only() const;
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  struct Session;
+
+  void AcceptLoop();
+  void HandleAccept(int fd);
+  void ReaderLoop(Session* session);
+  void WorkerLoop(Session* session);
+  /// Executes one request (Ping/Query/Command). Sets *kill_session when the
+  /// session must close after the response goes out (guard trip), and
+  /// *drop_silently when the connection must die with NO response
+  /// (session-commit fault: the crash happens before the WAL append, so the
+  /// client never gets an ack and recovery must not replay the command).
+  Response ExecuteRequest(const Request& request, bool* kill_session,
+                          bool* drop_silently);
+  Response ExecuteQuery(const Request& request, bool* kill_session);
+  Response ExecuteCommandRequest(const Request& request, bool* kill_session,
+                                 bool* drop_silently);
+  /// Serialized frame write with the server-write torn-frame fault wired
+  /// in. Returns false when the session must close (torn or failed write).
+  bool WriteResponse(Session* session, const Response& response);
+  void ReapFinished(bool join_all);
+
+  Database* const db_;
+  storage::StorageEngine* const engine_;
+  ViewRegistry* const views_;
+  const ServerConfig config_;
+
+  OneShotFault fault_;
+  ServerStats stats_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+
+  /// Serializes every request execution (see class comment).
+  std::mutex exec_mu_;
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace server
+}  // namespace dodb
+
+#endif  // DODB_SERVER_SERVER_H_

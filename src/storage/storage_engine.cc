@@ -73,6 +73,9 @@ StorageEngine::~StorageEngine() {
 Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
     const std::string& dir, Database* db, StorageOptions options) {
   DODB_CHECK(db != nullptr);
+  // Startup check: a tagged site missing from kAllFaultSites would let the
+  // chaos sweeps silently skip it.
+  DODB_RETURN_IF_ERROR(ValidateFaultSiteRegistry());
   std::unique_ptr<StorageEngine> engine(
       new StorageEngine(dir, db, std::move(options)));
   engine->guard_ = std::make_unique<QueryGuard>(engine->options_.limits);
@@ -260,26 +263,42 @@ Status StorageEngine::Fail(Status status) {
   return status;
 }
 
+Status StorageEngine::RejectReadOnly() const {
+  return Status::ReadOnly(
+      StrCat("storage is read-only after: ", failed_.ToString(),
+             " (reopen '", dir_, "' to resume logging)"));
+}
+
+Status StorageEngine::SyncWriter() {
+  // The degrade site: a trip here emulates fsync returning EIO — no crash,
+  // but the tail's durability is unknown, so the engine flips sticky-failed
+  // and every later mutation is refused with kReadOnly.
+  if (!guard_->Checkpoint(GuardSite::kWalSyncDegrade)) {
+    return Fail(guard_->status());
+  }
+  Status status = Fail(writer_.Sync(guard_.get()));
+  if (status.ok()) unsynced_records_ = 0;
+  return status;
+}
+
 Status StorageEngine::LogRecord(const WalRecord& record) {
   if (options_.mode == DurabilityMode::kOff) return Status::Ok();
   if (closed_) {
     return Status::Internal("storage engine used after Close()");
   }
-  if (!failed_.ok()) return failed_;
+  if (!failed_.ok()) return RejectReadOnly();
 
   std::vector<uint8_t> payload = EncodeWalRecord(record);
   DODB_RETURN_IF_ERROR(Fail(writer_.Append(payload, guard_.get())));
   wal_bytes_ += 8 + payload.size();
   ++unsynced_records_;
   if (unsynced_records_ >= options_.wal_sync_every) {
-    DODB_RETURN_IF_ERROR(Fail(writer_.Sync(guard_.get())));
-    unsynced_records_ = 0;
+    DODB_RETURN_IF_ERROR(SyncWriter());
   }
 
   if (writer_.size() > options_.wal_segment_bytes) {
     if (unsynced_records_ > 0) {
-      DODB_RETURN_IF_ERROR(Fail(writer_.Sync(guard_.get())));
-      unsynced_records_ = 0;
+      DODB_RETURN_IF_ERROR(SyncWriter());
     }
     DODB_RETURN_IF_ERROR(Fail(writer_.Close()));
     ++segment_index_;
@@ -303,10 +322,9 @@ Status StorageEngine::SyncWal() {
   if (closed_) {
     return Status::Internal("storage engine used after Close()");
   }
-  if (!failed_.ok()) return failed_;
+  if (!failed_.ok()) return RejectReadOnly();
   if (unsynced_records_ > 0) {
-    DODB_RETURN_IF_ERROR(Fail(writer_.Sync(guard_.get())));
-    unsynced_records_ = 0;
+    DODB_RETURN_IF_ERROR(SyncWriter());
   }
   return Status::Ok();
 }
@@ -365,10 +383,9 @@ Status StorageEngine::Checkpoint() {
   if (closed_) {
     return Status::Internal("storage engine used after Close()");
   }
-  if (!failed_.ok()) return failed_;
+  if (!failed_.ok()) return RejectReadOnly();
   if (unsynced_records_ > 0) {
-    DODB_RETURN_IF_ERROR(Fail(writer_.Sync(guard_.get())));
-    unsynced_records_ = 0;
+    DODB_RETURN_IF_ERROR(SyncWriter());
   }
 
   // Generation N+1 is born in this order — snapshot, fresh WAL, retire N —
@@ -399,7 +416,7 @@ Status StorageEngine::Checkpoint() {
       DODB_RETURN_IF_ERROR(Fail(writer_.Append(payload, guard_.get())));
       wal_bytes_ += 8 + payload.size();
     }
-    DODB_RETURN_IF_ERROR(Fail(writer_.Sync(guard_.get())));
+    DODB_RETURN_IF_ERROR(SyncWriter());
   }
   DODB_RETURN_IF_ERROR(Fail(DeleteGeneration(old_generation)));
   return Status::Ok();
@@ -424,8 +441,7 @@ Status StorageEngine::Close() {
   }
   Status status = failed_;
   if (status.ok() && unsynced_records_ > 0) {
-    status = Fail(writer_.Sync(guard_.get()));
-    unsynced_records_ = 0;
+    status = SyncWriter();
   }
   if (status.ok() && options_.mode == DurabilityMode::kWalCheckpoint) {
     status = Checkpoint();

@@ -95,10 +95,15 @@ struct RecoveryInfo {
 /// in-memory Database; a Log* that returns OK means the op is durable (at
 /// wal_sync_every = 1) and recovery will replay it. A Log* error means the
 /// op must not be applied or acknowledged — and the engine goes sticky-
-/// failed: every later Log*/Checkpoint returns the first failure, because
-/// after a failed append the disk state no longer tracks memory and only a
-/// fresh Open() (which re-truncates the torn tail) can re-establish the
-/// invariant. Close() the failed engine and reopen to resume.
+/// failed: the failing call returns its own error, and every LATER
+/// Log*/Checkpoint/SyncWal is refused with a distinct StatusCode::kReadOnly
+/// naming the original failure, because after a failed append the disk
+/// state no longer tracks memory and only a fresh Open() (which
+/// re-truncates the torn tail) can re-establish the invariant. The typed
+/// kReadOnly lets callers (the server, the shell) degrade gracefully —
+/// keep answering queries, refuse DML precisely — instead of treating the
+/// engine as generically broken. Close() the failed engine and reopen to
+/// resume.
 ///
 /// Checkpoint() writes generation N+1: snapshot of the current catalog
 /// (atomic temp + rename), a fresh empty WAL, then deletes generation N's
@@ -163,6 +168,10 @@ class StorageEngine {
   uint64_t wal_bytes() const { return wal_bytes_; }
   /// The sticky failure, Ok while healthy.
   Status failure() const { return failed_; }
+  /// Whether the engine has degraded to read-only (sticky-failed): queries
+  /// against the in-memory catalog still work, every mutation is refused
+  /// with kReadOnly until the directory is reopened.
+  bool read_only() const { return !failed_.ok(); }
 
   /// The engine's guard (fault injection, budgets). Never null.
   QueryGuard* guard() { return guard_.get(); }
@@ -176,6 +185,13 @@ class StorageEngine {
   Status LogRecord(const WalRecord& record);
   /// Makes `status` sticky (first failure wins) and returns it.
   Status Fail(Status status);
+  /// The typed refusal every post-failure mutation gets: kReadOnly, naming
+  /// the sticky failure it degraded on.
+  Status RejectReadOnly() const;
+  /// Degrade checkpoint + fsync of the batched WAL tail. Every sync the
+  /// engine performs goes through here so the wal-sync-degrade fault site
+  /// can emulate an fsync EIO at any of them.
+  Status SyncWriter();
   std::string SnapshotPath(uint32_t generation) const;
   std::string WalPath(uint32_t generation, uint32_t segment) const;
   Status DeleteGeneration(uint32_t generation);

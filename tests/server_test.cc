@@ -1,0 +1,648 @@
+// The multi-client server's contracts (DESIGN.md §15): wire codecs round
+// trip exactly, admission control and the bounded per-session queue shed
+// with typed kOverloaded (and the client's backoff retry eventually gets
+// through), guard trips kill only the offending session, WAL sync failure
+// degrades the server to read-only without stopping queries, every server
+// fault site injects cleanly and recovery preserves exactly the
+// acknowledged commits, and the server answers bit-identically to the
+// in-process shell path at every thread count.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fault_injection.h"
+#include "core/rational.h"
+#include "datalog/view_maintenance.h"
+#include "core/status.h"
+#include "fo/analyzer.h"
+#include "fo/evaluator.h"
+#include "fo/parser.h"
+#include "io/commands.h"
+#include "io/database.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "storage/file_io.h"
+#include "storage/storage_engine.h"
+
+namespace dodb {
+namespace server {
+namespace {
+
+std::string TestDir(const std::string& tag) {
+  static int counter = 0;
+  std::string dir =
+      ::testing::TempDir() + "dodb_server_" + tag + std::to_string(counter++);
+  std::filesystem::remove_all(dir);
+  EXPECT_TRUE(storage::CreateDirIfMissing(dir).ok());
+  return dir;
+}
+
+// Two point relations whose cross product blows any small work budget.
+void AddCrossProductBait(Database* db) {
+  std::vector<std::vector<Rational>> pa, pb;
+  for (int i = 0; i < 200; ++i) {
+    pa.push_back({Rational(i)});
+    pb.push_back({Rational(10000 + i)});
+  }
+  db->SetRelation("big_a", GeneralizedRelation::FromPoints(1, pa));
+  db->SetRelation("big_b", GeneralizedRelation::FromPoints(1, pb));
+}
+
+// The shell's rendering of a dense FO query, computed in-process — the
+// reference the served answer must match byte for byte.
+std::string ShellQueryText(Database* db, const std::string& text,
+                           int num_threads) {
+  Result<Query> query = FoParser::ParseQuery(text);
+  EXPECT_TRUE(query.ok()) << text;
+  EvalOptions options;
+  options.num_threads = num_threads;
+  FoEvaluator evaluator(db, options);
+  Result<GeneralizedRelation> out = evaluator.Evaluate(query.value());
+  EXPECT_TRUE(out.ok()) << text << ": " << out.status().ToString();
+  if (query.value().head.empty()) {
+    return out.value().IsEmpty() ? "false" : "true";
+  }
+  GeneralizedRelation pretty(out.value().arity());
+  for (const auto& tuple : out.value().tuples()) {
+    pretty.AddTuple(tuple.Minimized());
+  }
+  return pretty.ToString(&query.value().head);
+}
+
+ClientOptions Options(uint16_t port) {
+  ClientOptions options;
+  options.port = port;
+  options.connect_timeout_ms = 2000;
+  options.io_timeout_ms = 10000;
+  return options;
+}
+
+// Raw-frame helpers for the tests that need to pipeline requests or watch
+// the connection itself (the synchronous DodbClient hides both).
+struct RawConnection {
+  int fd = -1;
+  Hello hello;
+  ~RawConnection() { CloseFd(fd); }
+};
+
+Status RawConnect(uint16_t port, RawConnection* conn) {
+  Result<int> fd = ConnectTcp("127.0.0.1", port, 2000);
+  if (!fd.ok()) return fd.status();
+  conn->fd = fd.value();
+  Result<FramePayload> frame = ReadFrame(conn->fd, 5000, 5000);
+  if (!frame.ok()) return frame.status();
+  if (frame.value().closed) return Status::Unavailable("closed before hello");
+  Result<Hello> hello = DecodeHello(frame.value().bytes);
+  if (!hello.ok()) return hello.status();
+  conn->hello = hello.value();
+  return Status::Ok();
+}
+
+Status RawSend(int fd, uint64_t id, RequestKind kind,
+               const std::string& text) {
+  Request request;
+  request.id = id;
+  request.kind = kind;
+  request.text = text;
+  return WriteFrame(fd, EncodeRequest(request), 5000);
+}
+
+Result<Response> RawRecv(int fd) {
+  Result<FramePayload> frame = ReadFrame(fd, 10000, 10000);
+  if (!frame.ok()) return frame.status();
+  if (frame.value().closed) {
+    return Status::Unavailable("connection closed");
+  }
+  return DecodeResponse(frame.value().bytes);
+}
+
+// --- Wire codecs ------------------------------------------------------------
+
+TEST(ProtocolTest, HelloRoundTrips) {
+  Hello hello;
+  hello.code = StatusCode::kOverloaded;
+  hello.session_id = 42;
+  hello.read_only = true;
+  hello.message = "server at capacity";
+  Result<Hello> decoded = DecodeHello(EncodeHello(hello));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().version, kProtocolVersion);
+  EXPECT_EQ(decoded.value().code, StatusCode::kOverloaded);
+  EXPECT_EQ(decoded.value().session_id, 42u);
+  EXPECT_TRUE(decoded.value().read_only);
+  EXPECT_EQ(decoded.value().message, "server at capacity");
+}
+
+TEST(ProtocolTest, HelloRejectsWrongMagicAndVersion) {
+  std::vector<uint8_t> frame = EncodeHello(Hello{});
+  frame[0] ^= 0xff;
+  EXPECT_EQ(DecodeHello(frame).status().code(),
+            StatusCode::kInvalidArgument);
+  Hello future;
+  future.version = kProtocolVersion + 1;
+  EXPECT_EQ(DecodeHello(EncodeHello(future)).status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(ProtocolTest, RequestAndResponseRoundTrip) {
+  Request request;
+  request.id = 7;
+  request.kind = RequestKind::kQuery;
+  request.text = "{ (x) | r(x) }";
+  Result<Request> decoded_request = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded_request.ok());
+  EXPECT_EQ(decoded_request.value().id, 7u);
+  EXPECT_EQ(decoded_request.value().kind, RequestKind::kQuery);
+  EXPECT_EQ(decoded_request.value().text, request.text);
+
+  Response response;
+  response.id = 7;
+  response.code = StatusCode::kOk;
+  response.has_relation = true;
+  response.head = {"x", "y"};
+  std::vector<std::vector<Rational>> points = {{Rational(1), Rational(2)},
+                                               {Rational(3), Rational(4)}};
+  response.relation = GeneralizedRelation::FromPoints(2, points);
+  Result<Response> decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().id, 7u);
+  EXPECT_EQ(decoded.value().head, response.head);
+  ASSERT_TRUE(decoded.value().has_relation);
+  EXPECT_TRUE(decoded.value().relation.StructurallyEquals(response.relation));
+}
+
+TEST(ProtocolTest, TruncatedAndTrailingBytesAreCleanErrors) {
+  Response response;
+  response.id = 9;
+  response.message = "ok";
+  std::vector<uint8_t> payload = EncodeResponse(response);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    std::vector<uint8_t> prefix(payload.begin(), payload.begin() + len);
+    EXPECT_FALSE(DecodeResponse(prefix).ok()) << "prefix " << len;
+  }
+  payload.push_back(0);
+  EXPECT_EQ(DecodeResponse(payload).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Fault-site registry (the single authoritative table) -------------------
+
+TEST(FaultRegistryTest, RegistryIsCompleteOrderedAndParseable) {
+  ASSERT_TRUE(ValidateFaultSiteRegistry().ok())
+      << ValidateFaultSiteRegistry().ToString();
+  for (int i = 0; i < kGuardSiteCount; ++i) {
+    const FaultSiteInfo& info = kAllFaultSites[i];
+    EXPECT_EQ(static_cast<int>(info.site), i);
+    // Every registered site is reachable by a fault spec — a tagged site
+    // the spec parser cannot name would escape every chaos sweep.
+    Result<FaultPoint> parsed = ParseFaultSpec(std::string(info.name) + ":3");
+    ASSERT_TRUE(parsed.ok()) << info.name;
+    EXPECT_EQ(parsed.value().site, info.site);
+    EXPECT_EQ(parsed.value().nth, 3u);
+  }
+}
+
+TEST(FaultRegistryTest, OneShotFaultFiresExactlyOnce) {
+  OneShotFault fault;
+  ASSERT_TRUE(fault.Arm("server-read:2").ok());
+  EXPECT_TRUE(fault.armed());
+  EXPECT_FALSE(fault.Hit(GuardSite::kServerWrite));  // other sites don't count
+  EXPECT_FALSE(fault.Hit(GuardSite::kServerRead));   // hit 1 of 2
+  EXPECT_TRUE(fault.Hit(GuardSite::kServerRead));    // the nth fires
+  EXPECT_FALSE(fault.Hit(GuardSite::kServerRead));   // spent
+  EXPECT_FALSE(fault.armed());
+  EXPECT_EQ(OneShotFault().Arm("no-such-site").code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Server round trips -----------------------------------------------------
+
+TEST(ServerTest, PingCommandAndQueryRoundTrip) {
+  Database db;
+  ViewRegistry views;
+  DodbServer server(&db, nullptr, &views, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  DodbClient client(Options(server.port()));
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_GT(client.session_id(), 0u);
+  EXPECT_FALSE(client.server_read_only());
+
+  Result<std::string> pong = client.Ping();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong.value(), "pong");
+
+  ASSERT_TRUE(client.Command("create r(2)").ok());
+  ASSERT_TRUE(
+      client.Command("insert into r x0 >= 0 and x0 <= 4 and x1 >= x0").ok());
+
+  const std::string query = "{ (x) | exists y (r(x, y) and y < 2) }";
+  Result<QueryResult> answer = client.Query(query);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_TRUE(answer.value().has_relation);
+  EXPECT_EQ(answer.value().text, ShellQueryText(&db, query, 1));
+
+  // Boolean query: no relation payload, the verdict is the text.
+  Result<QueryResult> yes = client.Query("exists x (r(x, x))");
+  ASSERT_TRUE(yes.ok());
+  EXPECT_FALSE(yes.value().has_relation);
+  EXPECT_EQ(yes.value().text, "true");
+
+  // Errors carry their typed code through the wire.
+  EXPECT_EQ(client.Query("{ (x) | nosuch(x) }").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(client.Command("insert into nosuch x0 > 0").status().code(),
+            StatusCode::kNotFound);
+
+  server.Stop();
+  const ServerStats& stats = server.stats();
+  EXPECT_EQ(stats.sessions_admitted.load(), 1u);
+  EXPECT_GE(stats.requests_ok.load(), 5u);
+  EXPECT_EQ(stats.requests_error.load(), 2u);
+}
+
+TEST(ServerTest, AdmissionControlShedsAndRetryEventuallyAdmits) {
+  Database db;
+  ServerConfig config;
+  config.max_sessions = 1;
+  DodbServer server(&db, nullptr, nullptr, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto holder = std::make_unique<DodbClient>(Options(server.port()));
+  ASSERT_TRUE(holder->Connect().ok());
+
+  // No retry budget: the admission rejection surfaces as typed kOverloaded.
+  ClientOptions impatient = Options(server.port());
+  impatient.max_retries = 0;
+  DodbClient rejected(impatient);
+  EXPECT_EQ(rejected.Connect().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(server.stats().sessions_rejected.load(), 1u);
+
+  // With a budget, backoff outlasts the holder and the retry gets in.
+  std::thread releaser([&holder] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    holder->Close();
+  });
+  ClientOptions patient = Options(server.port());
+  patient.max_retries = 10;
+  patient.backoff_initial_ms = 20;
+  DodbClient admitted(patient);
+  Status connected = admitted.Connect();
+  releaser.join();
+  ASSERT_TRUE(connected.ok()) << connected.ToString();
+  EXPECT_GE(admitted.retries(), 1u);
+  EXPECT_TRUE(admitted.Ping().ok());
+  server.Stop();
+}
+
+TEST(ServerTest, BoundedQueueRejectsAheadOfInFlightWork) {
+  Database db;
+  ServerConfig config;
+  config.max_queue = 1;
+  DodbServer server(&db, nullptr, nullptr, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConnection conn;
+  ASSERT_TRUE(RawConnect(server.port(), &conn).ok());
+  // Occupy the worker, then pipeline three more requests: one fits the
+  // queue, the rest must be shed immediately with typed kOverloaded —
+  // their rejections OVERTAKE the in-flight sleep (ids prove it).
+  ASSERT_TRUE(RawSend(conn.fd, 1, RequestKind::kCommand, "\\sleep 400").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(RawSend(conn.fd, 2, RequestKind::kPing, "").ok());
+  ASSERT_TRUE(RawSend(conn.fd, 3, RequestKind::kPing, "").ok());
+  ASSERT_TRUE(RawSend(conn.fd, 4, RequestKind::kPing, "").ok());
+
+  std::vector<Response> responses;
+  for (int i = 0; i < 4; ++i) {
+    Result<Response> response = RawRecv(conn.fd);
+    ASSERT_TRUE(response.ok()) << i << ": " << response.status().ToString();
+    responses.push_back(std::move(response).value());
+  }
+  // The shed responses arrive first, before the sleep completes.
+  EXPECT_EQ(responses[0].code, StatusCode::kOverloaded);
+  EXPECT_GE(responses[0].id, 3u);
+  uint64_t overloaded = 0, ok = 0;
+  for (const Response& response : responses) {
+    if (response.code == StatusCode::kOverloaded) {
+      ++overloaded;
+    } else if (response.code == StatusCode::kOk) {
+      ++ok;
+    }
+  }
+  EXPECT_EQ(overloaded, 2u);  // ids 3 and 4
+  EXPECT_EQ(ok, 2u);          // the sleep and the queued ping
+  EXPECT_EQ(server.stats().queue_rejected.load(), 2u);
+  server.Stop();
+}
+
+TEST(ServerTest, IdleSessionsAreClosed) {
+  Database db;
+  ServerConfig config;
+  config.idle_timeout_ms = 100;
+  DodbServer server(&db, nullptr, nullptr, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConnection conn;
+  ASSERT_TRUE(RawConnect(server.port(), &conn).ok());
+  // Say nothing; the server hangs up on us.
+  Result<FramePayload> frame = ReadFrame(conn.fd, 5000, 5000);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_TRUE(frame.value().closed);
+  server.Stop();
+  EXPECT_EQ(server.stats().idle_closed.load(), 1u);
+}
+
+TEST(ServerTest, GuardTripKillsOnlyTheOffendingSession) {
+  Database db;
+  AddCrossProductBait(&db);
+  ServerConfig config;
+  // Big enough for the bystander's single-relation scan, far too small for
+  // the 200x200 cross product (>= 40000 candidate tuples).
+  config.session_limits.max_work_tuples = 20000;
+  DodbServer server(&db, nullptr, nullptr, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  DodbClient bystander(Options(server.port()));
+  ASSERT_TRUE(bystander.Connect().ok());
+
+  ClientOptions no_retry = Options(server.port());
+  no_retry.max_retries = 0;
+  DodbClient offender(no_retry);
+  ASSERT_TRUE(offender.Connect().ok());
+  Result<QueryResult> blown =
+      offender.Query("{ (x, y) | big_a(x) and big_b(y) }");
+  ASSERT_FALSE(blown.ok());
+  EXPECT_EQ(blown.status().code(), StatusCode::kResourceExhausted);
+
+  // The offender's session is dead; the bystander never noticed.
+  Result<QueryResult> fine = bystander.Query("{ (x) | big_a(x) and x < 1 }");
+  EXPECT_TRUE(fine.ok()) << fine.status().ToString();
+  server.Stop();
+  EXPECT_EQ(server.stats().sessions_killed.load(), 1u);
+  EXPECT_EQ(server.stats().sessions_admitted.load(), 2u);
+}
+
+// --- Graceful degradation ---------------------------------------------------
+
+TEST(ServerTest, WalSyncFailureDegradesToReadOnlyAndRecovers) {
+  const std::string dir = TestDir("degrade");
+  Database db;
+  storage::StorageOptions storage_options;
+  storage_options.mode = storage::DurabilityMode::kWal;
+  // The 2nd sync the engine performs dies — an fsync EIO mid-service.
+  storage_options.fault_spec = "wal-sync-degrade:2";
+  Result<std::unique_ptr<storage::StorageEngine>> engine =
+      storage::StorageEngine::Open(dir, &db, storage_options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  DodbServer server(&db, engine.value().get(), nullptr, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions no_retry = Options(server.port());
+  no_retry.max_retries = 0;
+  {
+    DodbClient client(no_retry);
+    ASSERT_TRUE(client.Connect().ok());
+    ASSERT_TRUE(client.Command("create acked(1)").ok());
+    // This command's WAL sync dies; the engine flips sticky read-only and
+    // the failing session is killed (the trip is a guard trip).
+    Result<std::string> dead = client.Command("create lost(1)");
+    ASSERT_FALSE(dead.ok());
+    EXPECT_EQ(dead.status().code(), StatusCode::kResourceExhausted);
+  }
+  ASSERT_TRUE(server.read_only());
+
+  {
+    // New sessions are admitted and told the server is degraded; queries
+    // keep answering, every DML is refused with typed kReadOnly.
+    DodbClient client(no_retry);
+    ASSERT_TRUE(client.Connect().ok());
+    EXPECT_TRUE(client.server_read_only());
+    Result<QueryResult> query = client.Query("{ (x) | acked(x) }");
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    Result<std::string> refused = client.Command("create more(1)");
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kReadOnly);
+    EXPECT_EQ(client.Command("\\checkpoint").status().code(),
+              StatusCode::kReadOnly);
+  }
+  server.Stop();
+  EXPECT_GE(server.stats().readonly_rejected.load(), 2u);
+  engine.value()->Close();  // reports the sticky failure; reopen heals
+  engine.value().reset();
+
+  // Reopening re-establishes the log/memory invariant: the acknowledged
+  // create survives and the engine is writable again.
+  Database recovered;
+  Result<std::unique_ptr<storage::StorageEngine>> reopened =
+      storage::StorageEngine::Open(dir, &recovered, {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_NE(recovered.FindRelation("acked"), nullptr);
+  EXPECT_EQ(recovered.FindRelation("more"), nullptr);
+  EXPECT_FALSE(reopened.value()->read_only());
+  Result<std::string> retry =
+      ExecuteCommand(&recovered, "create more(1)", reopened.value().get());
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+  ASSERT_TRUE(reopened.value()->Close().ok());
+}
+
+// --- Chaos: the server fault-site sweep -------------------------------------
+
+// Every server-layer fault site trips exactly once, the client's retry
+// policy rides out the transient ones, and the connection-killing ones
+// never forge an acknowledgement.
+TEST(ServerChaosTest, EveryServerFaultSiteInjectsCleanly) {
+  // server-accept: the first connection dies pre-hello; Connect retries.
+  {
+    Database db;
+    ServerConfig config;
+    config.fault_spec = "server-accept:1";
+    DodbServer server(&db, nullptr, nullptr, config);
+    ASSERT_TRUE(server.Start().ok());
+    DodbClient client(Options(server.port()));
+    ASSERT_TRUE(client.Connect().ok());
+    EXPECT_GE(client.retries(), 1u);
+    EXPECT_TRUE(client.Ping().ok());
+    server.Stop();
+    EXPECT_EQ(server.stats().faults_injected.load(), 1u);
+  }
+  // server-read: the first frame is swallowed with the connection; Ping
+  // retries over a fresh session.
+  {
+    Database db;
+    ServerConfig config;
+    config.fault_spec = "server-read:1";
+    DodbServer server(&db, nullptr, nullptr, config);
+    ASSERT_TRUE(server.Start().ok());
+    DodbClient client(Options(server.port()));
+    ASSERT_TRUE(client.Connect().ok());
+    Result<std::string> pong = client.Ping();
+    ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+    EXPECT_GE(client.retries(), 1u);
+    server.Stop();
+    EXPECT_EQ(server.stats().faults_injected.load(), 1u);
+    EXPECT_EQ(server.stats().sessions_admitted.load(), 2u);
+  }
+  // server-write: the first response tears mid-frame; the query (idempotent)
+  // retries and succeeds.
+  {
+    Database db;
+    ASSERT_TRUE(ExecuteCommand(&db, "create r(1)").ok());
+    ServerConfig config;
+    config.fault_spec = "server-write:1";
+    DodbServer server(&db, nullptr, nullptr, config);
+    ASSERT_TRUE(server.Start().ok());
+    DodbClient client(Options(server.port()));
+    ASSERT_TRUE(client.Connect().ok());
+    Result<QueryResult> answer = client.Query("{ (x) | r(x) }");
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    EXPECT_GE(client.retries(), 1u);
+    server.Stop();
+    EXPECT_EQ(server.stats().faults_injected.load(), 1u);
+  }
+  // session-commit: the command dies before its WAL append with NO ack; the
+  // client must NOT silently retry a non-idempotent command (commit
+  // ambiguity) — it surfaces kUnavailable.
+  {
+    Database db;
+    ServerConfig config;
+    config.fault_spec = "session-commit:1";
+    DodbServer server(&db, nullptr, nullptr, config);
+    ASSERT_TRUE(server.Start().ok());
+    DodbClient client(Options(server.port()));
+    ASSERT_TRUE(client.Connect().ok());
+    Result<std::string> dead = client.Command("create r(1)");
+    ASSERT_FALSE(dead.ok());
+    EXPECT_EQ(dead.status().code(), StatusCode::kUnavailable);
+    EXPECT_EQ(db.FindRelation("r"), nullptr);  // nothing applied
+    server.Stop();
+    EXPECT_EQ(server.stats().faults_injected.load(), 1u);
+    EXPECT_EQ(server.stats().sessions_killed.load(), 1u);
+  }
+}
+
+// The kill-point sweep through the wire: for each crash emulation — the
+// session dying pre-append and the WAL append tearing mid-record — the
+// reopened directory holds exactly the acknowledged commits: acked ones
+// survive, unacknowledged ones vanish.
+TEST(ServerChaosTest, RecoveryKeepsAckedCommitsAndDropsUnackedOnes) {
+  struct KillPoint {
+    const char* server_fault;   // armed on the server (OneShotFault)
+    const char* storage_fault;  // armed on the engine (guard fault)
+    StatusCode expected_code;   // what the doomed command returns
+  };
+  const KillPoint kill_points[] = {
+      // Dies before the append: no bytes reach the log. Commit 3 because
+      // each of the three commands is one commit.
+      {"session-commit:3", "", StatusCode::kUnavailable},
+      // Dies inside the append: a torn record recovery must truncate.
+      // Record 3 because "create lost(1)" is the engine's 3rd append
+      // (create acked + insert + create lost).
+      {"", "wal-append:3", StatusCode::kResourceExhausted},
+  };
+  for (const KillPoint& kill : kill_points) {
+    const std::string dir = TestDir("kill");
+    {
+      Database db;
+      storage::StorageOptions storage_options;
+      storage_options.mode = storage::DurabilityMode::kWal;
+      storage_options.fault_spec = kill.storage_fault;
+      Result<std::unique_ptr<storage::StorageEngine>> engine =
+          storage::StorageEngine::Open(dir, &db, storage_options);
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      ServerConfig config;
+      config.fault_spec = kill.server_fault;
+      DodbServer server(&db, engine.value().get(), nullptr, config);
+      ASSERT_TRUE(server.Start().ok());
+
+      ClientOptions no_retry = Options(server.port());
+      no_retry.max_retries = 0;
+      DodbClient client(no_retry);
+      ASSERT_TRUE(client.Connect().ok());
+      ASSERT_TRUE(client.Command("create acked(1)").ok())
+          << kill.server_fault << kill.storage_fault;
+      ASSERT_TRUE(client.Command("insert into acked x0 > 3 and x0 < 7").ok());
+      Result<std::string> dead = client.Command("create lost(1)");
+      ASSERT_FALSE(dead.ok()) << kill.server_fault << kill.storage_fault;
+      EXPECT_EQ(dead.status().code(), kill.expected_code);
+
+      server.Stop();
+      engine.value()->Close();  // the crash: no checkpoint, failure stands
+    }
+    Database recovered;
+    Result<std::unique_ptr<storage::StorageEngine>> reopened =
+        storage::StorageEngine::Open(dir, &recovered, {});
+    ASSERT_TRUE(reopened.ok())
+        << kill.server_fault << kill.storage_fault << ": "
+        << reopened.status().ToString();
+    ASSERT_NE(recovered.FindRelation("acked"), nullptr);
+    EXPECT_EQ(recovered.FindRelation("acked")->tuple_count(), 1u);
+    EXPECT_EQ(recovered.FindRelation("lost"), nullptr)
+        << "unacknowledged commit resurfaced after "
+        << kill.server_fault << kill.storage_fault;
+    EXPECT_EQ(reopened.value()->recovery().wal_truncated,
+              std::string(kill.storage_fault).find("append") !=
+                  std::string::npos);
+    ASSERT_TRUE(reopened.value()->Close().ok());
+  }
+}
+
+// --- Determinism: served answers == in-process answers, any thread count ----
+
+TEST(ServerDifferentialTest, ServedAnswersMatchShellAtEveryThreadCount) {
+  // A deterministic mixed workload over relations built through the wire.
+  const char* kSetup[] = {
+      "create r(2)",
+      "insert into r x0 >= 0 and x0 <= 6 and x1 >= x0 and x1 <= 9",
+      "insert into r x0 > 10 and x1 < x0",
+      "create s(1)",
+      "insert into s x0 > 2 and x0 < 11",
+      "delete from r where x0 > 12",
+  };
+  const char* kQueries[] = {
+      "{ (x, y) | r(x, y) and s(x) }",
+      "{ (x) | exists y (r(x, y) and y > 4) }",
+      "{ (x) | s(x) and not (exists y (r(x, y))) }",
+      "{ (x, y) | r(x, y) and x < y and y < 8 }",
+      "exists x (s(x) and x > 10)",
+  };
+
+  // The in-process reference, single-threaded shell path.
+  Database reference;
+  for (const char* command : kSetup) {
+    ASSERT_TRUE(ExecuteCommand(&reference, command).ok()) << command;
+  }
+
+  for (int threads : {1, 8}) {
+    Database db;
+    ServerConfig config;
+    config.eval_options.num_threads = threads;
+    DodbServer server(&db, nullptr, nullptr, config);
+    ASSERT_TRUE(server.Start().ok());
+    DodbClient client(Options(server.port()));
+    ASSERT_TRUE(client.Connect().ok());
+    for (const char* command : kSetup) {
+      ASSERT_TRUE(client.Command(command).ok()) << command;
+    }
+    for (const char* query : kQueries) {
+      Result<QueryResult> served = client.Query(query);
+      ASSERT_TRUE(served.ok()) << query << ": " << served.status().ToString();
+      EXPECT_EQ(served.value().text, ShellQueryText(&reference, query, 1))
+          << query << " at " << threads << " threads";
+    }
+    server.Stop();
+  }
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace dodb

@@ -36,6 +36,27 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
                "DeadlineExceeded");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOverloaded), "Overloaded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kReadOnly), "ReadOnly");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, ServerFacingCodesAreDistinctAndTyped) {
+  // The server's contract: kOverloaded = shed, retry with backoff;
+  // kReadOnly = degraded engine, do not retry DML; kUnavailable = transient
+  // transport failure, reconnect and retry idempotent work.
+  Status shed = Status::Overloaded("server at capacity");
+  Status degraded = Status::ReadOnly("wal sync failed");
+  Status transport = Status::Unavailable("connection reset");
+  EXPECT_EQ(shed.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(degraded.code(), StatusCode::kReadOnly);
+  EXPECT_EQ(transport.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.code(), degraded.code());
+  EXPECT_NE(shed.code(), transport.code());
+  EXPECT_NE(degraded.code(), transport.code());
+  EXPECT_EQ(shed.ToString(), "Overloaded: server at capacity");
+  EXPECT_EQ(degraded.ToString(), "ReadOnly: wal sync failed");
+  EXPECT_EQ(transport.ToString(), "Unavailable: connection reset");
 }
 
 TEST(StatusTest, DeadlineExceededIsDistinctFromResourceExhausted) {

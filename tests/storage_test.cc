@@ -541,6 +541,7 @@ TEST(StorageEngineCrashTest, EveryStorageFaultSiteIsReachable) {
   QueryGuard* guard = engine.value()->guard();
   EXPECT_GT(guard->site_checkpoints(GuardSite::kWalAppend), 0u);
   EXPECT_GT(guard->site_checkpoints(GuardSite::kWalSync), 0u);
+  EXPECT_GT(guard->site_checkpoints(GuardSite::kWalSyncDegrade), 0u);
   EXPECT_GT(guard->site_checkpoints(GuardSite::kSnapshotWrite), 0u);
   EXPECT_GT(guard->site_checkpoints(GuardSite::kSnapshotRename), 0u);
   ASSERT_TRUE(engine.value()->Close().ok());
@@ -551,6 +552,58 @@ TEST(StorageEngineCrashTest, EveryStorageFaultSiteIsReachable) {
   ASSERT_TRUE(reopened.ok());
   EXPECT_GT(reopened.value()->guard()->site_checkpoints(GuardSite::kWalReplay),
             0u);
+}
+
+TEST(StorageEngineTest, StickyFailureDegradesToTypedReadOnly) {
+  // An fsync error mid-service (no crash): the failing op returns its own
+  // error, and every later mutation is refused with the distinct kReadOnly
+  // code naming the original failure — the contract the server's graceful
+  // degradation is built on. Reopening the directory resumes logging.
+  const std::string dir = TestDir("degrade");
+  Database db;
+  StorageOptions options;
+  options.mode = DurabilityMode::kWal;
+  options.fault_spec = "wal-sync-degrade:2";
+  Result<std::unique_ptr<StorageEngine>> engine =
+      StorageEngine::Open(dir, &db, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_FALSE(engine.value()->read_only());
+
+  Result<std::string> first =
+      ExecuteCommand(&db, "create acked(1)", engine.value().get());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // The 2nd sync dies: the op reports the injected failure's own code...
+  Result<std::string> second =
+      ExecuteCommand(&db, "create lost(1)", engine.value().get());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+
+  // ...and the engine is sticky-failed, preserving that original code.
+  EXPECT_TRUE(engine.value()->read_only());
+  EXPECT_EQ(engine.value()->failure().code(),
+            StatusCode::kResourceExhausted);
+
+  // Every later mutation gets the typed refusal, not a generic error.
+  Result<std::string> refused =
+      ExecuteCommand(&db, "create more(1)", engine.value().get());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kReadOnly);
+  EXPECT_NE(refused.status().message().find("read-only"), std::string::npos);
+  EXPECT_EQ(engine.value()->Checkpoint().code(), StatusCode::kReadOnly);
+  EXPECT_EQ(engine.value()->SyncWal().code(), StatusCode::kReadOnly);
+  engine.value().reset();  // abandon the degraded engine without checkpoint
+
+  Database recovered;
+  Result<std::unique_ptr<StorageEngine>> reopened =
+      StorageEngine::Open(dir, &recovered, {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE(reopened.value()->read_only());
+  EXPECT_TRUE(recovered.HasRelation("acked"));
+  EXPECT_FALSE(recovered.HasRelation("more"));
+  Result<std::string> retry =
+      ExecuteCommand(&recovered, "create more(1)", reopened.value().get());
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
 }
 
 TEST(StorageEngineTest, CorruptNewestSnapshotFailsLoudly) {

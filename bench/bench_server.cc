@@ -13,8 +13,9 @@
 //                            acceptance gate pins this to 0 — shedding and
 //                            retrying must never corrupt a result
 //
-// The server serializes query execution on one exec mutex, so throughput
-// measures admission + queueing overhead, not parallel evaluation.
+// Reads run concurrently against MVCC snapshots (DESIGN.md §16; the
+// transaction-specific scaling record lives in bench_txn), so throughput
+// here measures admission + queueing + evaluation overhead per connection.
 
 #include <benchmark/benchmark.h>
 

@@ -1,0 +1,375 @@
+// MVCC transaction benchmarks (DESIGN.md §16): read-only transaction
+// throughput against a live loopback dodb_server as the connection count
+// grows, with and without a concurrent auto-commit writer mix, plus the
+// first-committer-wins conflict-rate sweep and a durability record.
+//
+// Scaling methodology: each read transaction carries a \sleep stall (a
+// modeled I/O / network wait) alongside its verified query, so throughput
+// measures CONCURRENCY — how many stalled transactions the server keeps in
+// flight at once — not CPU parallelism. Before this milestone every
+// statement serialized on one exec mutex, so eight such transactions took
+// eight stalls end to end; with MVCC snapshot reads they overlap and the
+// closed-loop throughput scales with the connection count even on a
+// single-core host (CI runs pinned to one core). The acceptance gate in
+// check_perf_regression.py requires speedup_vs_1conn >= 3 on the
+// 8-connection read-only row.
+//
+// Counters (all within-run, so stable under smoke timings):
+//   connections / writer_pct   row workload shape
+//   read_txns_per_sec          committed read-only transactions per second
+//   speedup_vs_1conn           that throughput over a single-connection
+//                              calibration run measured in the same process
+//   p50_us / p99_us            whole-transaction (begin..commit) latency
+//   committed / conflicts      writer-sweep outcomes; conflict_rate is
+//                              conflicts / (committed + conflicts)
+//   corrupt_recoveries         wrong answers served, live-state divergence
+//                              from the write ledger, or a recovery that
+//                              did not reproduce the served state bit for
+//                              bit; the gate pins this to 0
+//
+// The conflict sweep runs WAL-durable (kWal, sync every commit) and ends by
+// reopening the data directory into a fresh catalog: recovery must replay
+// exactly the committed transactions — aborted and conflicted ones must
+// have left no trace — and match the live catalog's FormatDatabase text.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dodb/dodb.h"
+
+namespace dodb {
+namespace {
+
+using server::ClientOptions;
+using server::DodbClient;
+using server::DodbServer;
+using server::QueryResult;
+using server::ServerConfig;
+
+// A tiny catalog: point relation r = {0, 1, 2, 3}, so every benchmark query
+// has a known answer to verify responses against.
+Database BenchDatabase() {
+  Database db;
+  db.SetRelation("r", GeneralizedRelation::FromPoints(
+                          1, {{Rational(0)}, {Rational(1)}, {Rational(2)},
+                              {Rational(3)}}));
+  return db;
+}
+
+constexpr char kQuery[] = "{ (x) | r(x) and x < 2 }";
+
+// The modeled per-transaction stall; see the scaling methodology above.
+constexpr int kThinkMs = 3;
+
+// The shell-identical rendering of kQuery's answer, computed in-process —
+// any served response differing from this counts as a corrupt recovery.
+std::string ReferenceAnswer(Database* db) {
+  Query query = FoParser::ParseQuery(kQuery).value();
+  FoEvaluator evaluator(db, EvalOptions{});
+  GeneralizedRelation out = evaluator.Evaluate(query).value();
+  GeneralizedRelation pretty(out.arity());
+  for (const auto& tuple : out.tuples()) {
+    pretty.AddTuple(tuple.Minimized());
+  }
+  return pretty.ToString(&query.head);
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double>* sorted_us, double pct) {
+  if (sorted_us->empty()) return 0.0;
+  std::sort(sorted_us->begin(), sorted_us->end());
+  size_t index = static_cast<size_t>(pct * (sorted_us->size() - 1));
+  return (*sorted_us)[index];
+}
+
+// One read-only transaction in a closed loop: begin (pins the snapshot),
+// the modeled stall, the verified query, commit. Returns the whole-trip
+// latency in microseconds; bumps `wrong` if any step misbehaved.
+double RunReadTxn(DodbClient* client, const std::string& answer,
+                  std::atomic<uint64_t>* wrong) {
+  const auto start = std::chrono::steady_clock::now();
+  bool ok = client->Begin().ok();
+  if (ok) ok = client->Command("\\sleep " + std::to_string(kThinkMs)).ok();
+  if (ok) {
+    Result<QueryResult> result = client->Query(kQuery);
+    ok = result.ok() && result.value().text == answer;
+  }
+  if (ok) ok = client->CommitTxn().ok();
+  if (!ok) wrong->fetch_add(1, std::memory_order_relaxed);
+  return MicrosSince(start);
+}
+
+// Read-only transaction throughput at 1 / 8 / 64 persistent connections
+// with a 0% or 10% auto-commit writer mix, against an in-process
+// single-connection calibration of the same read loop.
+void BM_TxnReadThroughput(benchmark::State& state) {
+  const int connections = static_cast<int>(state.range(0));
+  const int writer_pct = static_cast<int>(state.range(1));
+  Database db = BenchDatabase();
+  const std::string answer = ReferenceAnswer(&db);
+  ServerConfig config;
+  config.max_sessions = connections + 4;
+  config.max_queue = 8;
+  // One evaluation thread: connection-level concurrency is the measured
+  // quantity, intra-query parallelism would only blur it.
+  config.eval_options.num_threads = 1;
+  DodbServer server(&db, nullptr, nullptr, config);
+  Status started = server.Start();
+  if (!started.ok()) {
+    state.SkipWithError(started.ToString().c_str());
+    return;
+  }
+
+  ClientOptions options;
+  options.port = server.port();
+  std::vector<std::unique_ptr<DodbClient>> clients;
+  for (int c = 0; c < connections; ++c) {
+    clients.push_back(std::make_unique<DodbClient>(options));
+    Status connected = clients.back()->Connect();
+    if (!connected.ok()) {
+      state.SkipWithError(connected.ToString().c_str());
+      return;
+    }
+    // Each connection owns a private relation for its writer ops, so the
+    // mix exercises commit + snapshot publication, never answer changes.
+    if (writer_pct > 0) {
+      (void)clients[c]->Command("create w" + std::to_string(c) + "(1)");
+    }
+  }
+
+  std::atomic<uint64_t> wrong{0};
+
+  // Single-connection calibration: the same read loop, same process, same
+  // server — the denominator of speedup_vs_1conn. Within-run, so the ratio
+  // stays meaningful under smoke timings and across machines.
+  const int kCalibrationTxns = 8;
+  const auto calibration_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kCalibrationTxns; ++i) {
+    (void)RunReadTxn(clients[0].get(), answer, &wrong);
+  }
+  const double calibration_qps =
+      kCalibrationTxns / (MicrosSince(calibration_start) * 1e-6);
+
+  // Ten operations per connection per iteration; at writer_pct:10 one of
+  // the ten is an auto-commit insert instead of a read transaction.
+  const int kOpsPerConnection = 10;
+  std::vector<double> latencies_us;
+  uint64_t read_txns = 0;
+  uint64_t round = 0;
+  double elapsed_s = 0.0;
+  for (auto _ : state) {
+    ++round;
+    std::vector<std::vector<double>> per_thread(connections);
+    const auto iter_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        for (int i = 0; i < kOpsPerConnection; ++i) {
+          if (writer_pct > 0 && i == 7) {
+            std::string cmd =
+                "insert into w" + std::to_string(c) + " x0 = " +
+                std::to_string(static_cast<long long>(round) * 1000 + i);
+            if (!clients[c]->Command(cmd).ok()) {
+              wrong.fetch_add(1, std::memory_order_relaxed);
+            }
+            continue;
+          }
+          per_thread[c].push_back(
+              RunReadTxn(clients[c].get(), answer, &wrong));
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    elapsed_s += MicrosSince(iter_start) * 1e-6;
+    for (auto& lat : per_thread) {
+      read_txns += lat.size();
+      latencies_us.insert(latencies_us.end(), lat.begin(), lat.end());
+    }
+  }
+
+  const double qps = elapsed_s > 0.0 ? read_txns / elapsed_s : 0.0;
+  state.SetItemsProcessed(static_cast<int64_t>(read_txns));
+  state.counters["connections"] = connections;
+  state.counters["writer_pct"] = writer_pct;
+  state.counters["read_txns_per_sec"] = qps;
+  state.counters["speedup_vs_1conn"] =
+      calibration_qps > 0.0 ? qps / calibration_qps : 0.0;
+  state.counters["p50_us"] = Percentile(&latencies_us, 0.50);
+  state.counters["p99_us"] = Percentile(&latencies_us, 0.99);
+  state.counters["corrupt_recoveries"] =
+      static_cast<double>(wrong.load(std::memory_order_relaxed));
+  server.Stop();
+}
+BENCHMARK(BM_TxnReadThroughput)
+    ->ArgNames({"connections", "writer_pct"})
+    ->Args({1, 0})
+    ->Args({8, 0})
+    ->Args({64, 0})
+    ->Args({1, 10})
+    ->Args({8, 10})
+    ->Args({64, 10})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// First-committer-wins conflict sweep, WAL-durable: 8 writer connections
+// run begin -> insert -> (stall) -> commit transactions against either ONE
+// shared relation (every overlapping commit but the first must conflict)
+// or one relation per writer (no commit may ever conflict). Ends with a
+// recovery replay that must reproduce the live catalog bit for bit.
+void BM_TxnConflictRate(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  const int target_relations = static_cast<int>(state.range(1));
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("dodb_bench_txn_" + std::to_string(state.range(0)) + "_" +
+        std::to_string(state.range(1))))
+          .string();
+  std::filesystem::remove_all(dir);
+
+  Database db;
+  storage::StorageOptions storage_options;
+  storage_options.mode = storage::DurabilityMode::kWal;
+  auto opened = storage::StorageEngine::Open(dir, &db, storage_options);
+  if (!opened.ok()) {
+    state.SkipWithError(opened.status().ToString().c_str());
+    return;
+  }
+  std::unique_ptr<storage::StorageEngine> engine = std::move(opened).value();
+
+  ServerConfig config;
+  config.max_sessions = writers + 4;
+  config.max_queue = 8;
+  config.eval_options.num_threads = 1;
+  DodbServer server(&db, engine.get(), nullptr, config);
+  Status started = server.Start();
+  if (!started.ok()) {
+    state.SkipWithError(started.ToString().c_str());
+    return;
+  }
+
+  ClientOptions options;
+  options.port = server.port();
+  std::vector<std::unique_ptr<DodbClient>> clients;
+  for (int c = 0; c < writers; ++c) {
+    clients.push_back(std::make_unique<DodbClient>(options));
+    Status connected = clients.back()->Connect();
+    if (!connected.ok()) {
+      state.SkipWithError(connected.ToString().c_str());
+      return;
+    }
+  }
+  for (int t = 0; t < target_relations; ++t) {
+    (void)clients[0]->Command("create c" + std::to_string(t) + "(1)");
+  }
+
+  const int kTxnsPerWriter = 4;
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> conflicts{0};
+  std::atomic<uint64_t> other_failures{0};
+  uint64_t round = 0;
+  for (auto _ : state) {
+    ++round;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < writers; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kTxnsPerWriter; ++i) {
+          const int target = t % target_relations;
+          const long long value =
+              static_cast<long long>(round) * 1000000 + t * 1000 + i;
+          bool ok = clients[t]->Begin().ok();
+          if (ok) {
+            ok = clients[t]
+                     ->Command("insert into c" + std::to_string(target) +
+                               " x0 = " + std::to_string(value))
+                     .ok();
+          }
+          // Widen the overlap window so contending commits genuinely race.
+          if (ok) ok = clients[t]->Command("\\sleep 1").ok();
+          if (!ok) {
+            (void)clients[t]->AbortTxn();
+            other_failures.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          Result<std::string> commit = clients[t]->CommitTxn();
+          if (commit.ok()) {
+            committed.fetch_add(1, std::memory_order_relaxed);
+          } else if (commit.status().code() == StatusCode::kTxnConflict) {
+            conflicts.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            other_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  server.Stop();
+
+  // Every committed transaction inserted exactly one fresh point; the live
+  // catalog must account for each, and a cold recovery of the data
+  // directory must reproduce the live catalog exactly — committed
+  // transactions durable, conflicted and aborted ones traceless.
+  uint64_t corrupt = other_failures.load(std::memory_order_relaxed);
+  uint64_t live_points = 0;
+  for (int t = 0; t < target_relations; ++t) {
+    const GeneralizedRelation* rel =
+        db.FindRelation("c" + std::to_string(t));
+    if (rel != nullptr) live_points += rel->tuple_count();
+  }
+  if (live_points != committed.load(std::memory_order_relaxed)) ++corrupt;
+  uint64_t replayed_commits = 0;
+  {
+    Status closed = engine->Close();
+    if (!closed.ok()) ++corrupt;
+    engine.reset();
+    Database recovered;
+    auto reopened = storage::StorageEngine::Open(dir, &recovered,
+                                                 storage_options);
+    if (!reopened.ok()) {
+      ++corrupt;
+    } else {
+      replayed_commits =
+          reopened.value()->recovery().txn_commits_replayed;
+      if (FormatDatabase(recovered) != FormatDatabase(db)) ++corrupt;
+    }
+  }
+  std::filesystem::remove_all(dir);
+
+  const double attempts =
+      static_cast<double>(committed.load() + conflicts.load());
+  state.SetItemsProcessed(static_cast<int64_t>(committed.load()));
+  state.counters["writers"] = writers;
+  state.counters["target_relations"] = target_relations;
+  state.counters["committed"] = static_cast<double>(committed.load());
+  state.counters["conflicts"] = static_cast<double>(conflicts.load());
+  state.counters["conflict_rate"] =
+      attempts > 0.0 ? conflicts.load() / attempts : 0.0;
+  state.counters["replayed_txn_commits"] =
+      static_cast<double>(replayed_commits);
+  state.counters["corrupt_recoveries"] = static_cast<double>(corrupt);
+}
+BENCHMARK(BM_TxnConflictRate)
+    ->ArgNames({"writers", "relations"})
+    ->Args({8, 1})
+    ->Args({8, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace dodb
+
+BENCHMARK_MAIN();

@@ -18,8 +18,9 @@ edge over a from-scratch recompute is a ratio within one run, so it is
 stable even under smoke timings, and losing it means O(delta) maintenance
 degraded to O(n) regardless of how the wall-clock moved.
 
-BENCH_server.json and BENCH_paged.json carry analogous absolute gates; see
-server_floor_failures / paged_floor_failures below.
+BENCH_server.json, BENCH_paged.json and BENCH_txn.json carry analogous
+absolute gates; see server_floor_failures / paged_floor_failures /
+txn_floor_failures below.
 
 Usage:
   bench/check_perf_regression.py [--baseline REV] [--threshold PCT]
@@ -151,6 +152,66 @@ def server_floor_failures(rel_name: str, rows: dict) -> list:
     return failures
 
 
+# Absolute acceptance gates for the MVCC transaction record
+# (BENCH_txn.json), all within-run counters and hence stable under smoke
+# timings:
+#   - the 8-connection, 0%-writer read-throughput row must scale at least
+#     TXN_MIN_SCALING over its own in-run single-connection calibration —
+#     read-only transactions overlapping their stalls is the whole point of
+#     taking reads off the exec mutex,
+#   - every row carrying a corrupt_recoveries counter must report 0 (no
+#     wrong answer, no live-state divergence from the commit ledger, no
+#     recovery that failed to reproduce the served state),
+#   - the contended conflict-sweep row (target_relations:1) must have
+#     detected at least one first-committer-wins conflict, and the disjoint
+#     row (target_relations == writers) must have detected none — a sweep
+#     that can't tell the two apart validates nothing.
+TXN_FILE = "BENCH_txn.json"
+TXN_MIN_SCALING = 3.0
+
+
+def txn_floor_failures(rel_name: str, rows: dict) -> list:
+    """Failures of the absolute MVCC transaction gates."""
+    failures = []
+    scaling_rows = 0
+    for name, row in sorted(rows.items()):
+        corrupt = row.get("corrupt_recoveries")
+        if corrupt is not None and corrupt != 0:
+            failures.append(
+                f"{rel_name}: {name}: transactional answers or recovery "
+                f"diverged (corrupt_recoveries = {corrupt:.0f})")
+        if name.startswith("BM_TxnReadThroughput"):
+            if row.get("connections") != 8 or row.get("writer_pct") != 0:
+                continue
+            scaling_rows += 1
+            speedup = row.get("speedup_vs_1conn")
+            if speedup is None:
+                failures.append(
+                    f"{rel_name}: {name}: missing speedup_vs_1conn counter")
+            elif speedup < TXN_MIN_SCALING:
+                failures.append(
+                    f"{rel_name}: {name}: speedup_vs_1conn {speedup:.2f} "
+                    f"< required {TXN_MIN_SCALING:.0f}x — read transactions "
+                    f"are serializing again")
+        if name.startswith("BM_TxnConflictRate"):
+            conflicts = row.get("conflicts", 0)
+            if row.get("target_relations") == 1 and conflicts < 1:
+                failures.append(
+                    f"{rel_name}: {name}: contended writers never "
+                    f"conflicted — first-committer-wins validation untested")
+            if (row.get("target_relations") == row.get("writers")
+                    and conflicts != 0):
+                failures.append(
+                    f"{rel_name}: {name}: disjoint write sets conflicted "
+                    f"(conflicts = {conflicts:.0f}) — validation is "
+                    f"over-rejecting")
+    if scaling_rows == 0:
+        failures.append(
+            f"{rel_name}: no 8-connection read-only BM_TxnReadThroughput "
+            f"row — the read-scaling acceptance record is missing")
+    return failures
+
+
 def ivm_floor_failures(rel_name: str, rows: dict) -> list:
     """Failures of the absolute IVM speedup floor (independent of baseline)."""
     failures = []
@@ -227,6 +288,12 @@ def main() -> int:
             regressions.extend(server_floor_failures(rel_name, fresh_rows))
             compared += sum(1 for name in fresh_rows
                             if name.startswith("BM_ServerOverloadShedding"))
+        # And the MVCC transaction scaling/conflict/durability gates.
+        if rel_name == TXN_FILE:
+            regressions.extend(txn_floor_failures(rel_name, fresh_rows))
+            compared += sum(1 for name in fresh_rows
+                            if name.startswith("BM_TxnReadThroughput")
+                            or name.startswith("BM_TxnConflictRate"))
         baseline_doc = committed_json(args.baseline, rel_name)
         if baseline_doc is None:
             skipped.append(f"{rel_name}: not committed at {args.baseline}")

@@ -8,8 +8,11 @@
 // With -e lines, each is executed in order and the process exits non-zero
 // on the first failure (scriptable). Without, an interactive prompt reads
 // lines: DML (create/insert/delete/drop), \checkpoint and \sleep go as
-// commands; \ping probes liveness; anything else is an FO/FO+ query whose
-// answer prints exactly as the shell would print it.
+// commands; \begin/\commit/\abort drive a server-side transaction (DML in
+// between is buffered against the begin-time snapshot until \commit;
+// a \commit answering TxnConflict means first committer won — rerun);
+// \ping probes liveness; anything else is an FO/FO+ query whose answer
+// prints exactly as the shell would print it.
 
 #include <iostream>
 #include <string>
@@ -33,6 +36,16 @@ bool RunLine(dodb::server::DodbClient* client, const std::string& raw) {
     dodb::Result<std::string> pong = client->Ping();
     std::cout << (pong.ok() ? pong.value() : pong.status().ToString()) << "\n";
     return pong.ok();
+  }
+  if (line == "\\begin" || line == "\\commit" || line == "\\abort") {
+    dodb::Result<std::string> outcome =
+        line == "\\begin"    ? client->Begin()
+        : line == "\\commit" ? client->CommitTxn()
+                             : client->AbortTxn();
+    std::cout << (outcome.ok() ? outcome.value()
+                               : outcome.status().ToString())
+              << "\n";
+    return outcome.ok();
   }
   if (IsCommandLine(line)) {
     dodb::Result<std::string> outcome = client->Command(line);
@@ -87,7 +100,8 @@ int main(int argc, char** argv) {
             << "); \\quit exits\n";
   std::string line;
   while (true) {
-    std::cout << "dodb> " << std::flush;
+    std::cout << (client.in_transaction() ? "dodb*> " : "dodb> ")
+              << std::flush;
     if (!std::getline(std::cin, line)) break;
     std::string trimmed(dodb::StripWhitespace(line));
     if (trimmed == "\\quit" || trimmed == "\\q") break;

@@ -123,6 +123,13 @@ int main(int argc, char** argv) {
             << stats.queue_rejected.load() << " queue-shed, "
             << stats.sessions_killed.load() << " killed, "
             << stats.idle_closed.load() << " idle-closed\n";
+  if (const dodb::txn::TxnCounters* txn = server.txn_counters()) {
+    std::cout << "transactions: " << txn->committed.load() << " committed ("
+              << txn->read_only_commits.load() << " read-only), "
+              << txn->aborted.load() << " aborted, " << txn->conflicts.load()
+              << " conflict(s), " << txn->snapshots_published.load()
+              << " snapshot(s) published\n";
+  }
   if (engine != nullptr) {
     dodb::Status closed = engine->Close();
     if (!closed.ok()) {

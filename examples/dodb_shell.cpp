@@ -16,6 +16,10 @@
 //   \pagecache [<bytes>]      show / resize the shared page-cache budget
 //   \page <r> on|off          spill one relation out-of-core / residentize
 //   \datalog <file>           run a Datalog(not) program, merge its IDB
+//   \begin / \commit / \abort multi-statement transaction: DML buffers into
+//                             a private write set, queries read the pinned
+//                             snapshot + own writes, commit installs all of
+//                             it atomically (one WAL record group)
 //   \serve <port> [<n>]       serve the database over TCP (Enter stops)
 //   \ccalc <query>            evaluate a C-CALC query (set quantifiers)
 //   \encode                   replace the database by its standard encoding
@@ -492,6 +496,13 @@ void PrintHelp() {
       "                        counting), falling back to a full recompute\n"
       "                        for large deltas or negated programs\n"
       "  \\view drop <name> | list | threshold [<fraction>]\n"
+      "  \\begin                open a transaction: DML buffers into a\n"
+      "                        private write set, queries see the snapshot\n"
+      "                        pinned at begin plus the buffered writes,\n"
+      "                        nothing touches the WAL or the catalog\n"
+      "  \\commit               install the write set atomically (one WAL\n"
+      "                        record group; all-or-nothing on crash)\n"
+      "  \\abort                discard the write set\n"
       "  \\serve <port> [<n>]   serve this database over TCP to dodb_client\n"
       "                        sessions (at most n concurrent, default 8;\n"
       "                        extra connections are shed with a typed\n"
@@ -557,25 +568,96 @@ int main(int argc, char** argv) {
         [raw] { return raw->SyncWal(); });
   };
 
+  // One open shell transaction at a time. The manager is created fresh at
+  // \begin (pinning the catalog as it stands then) and torn down at
+  // \commit/\abort — the shell has no concurrent committers, so a
+  // per-transaction manager gives exactly the server's buffering, WAL
+  // commit-group and install semantics without a resident snapshot chain.
+  std::unique_ptr<dodb::txn::TransactionManager> txn_mgr;
+  std::unique_ptr<dodb::txn::Transaction> shell_txn;
+
   std::string line;
   while (true) {
-    std::cout << "dodb> " << std::flush;
+    std::cout << (shell_txn != nullptr ? "dodb*> " : "dodb> ") << std::flush;
     if (!std::getline(std::cin, line)) break;
     std::string trimmed(dodb::StripWhitespace(line));
     if (trimmed.empty()) continue;
-    if (trimmed == "\\quit" || trimmed == "\\q") break;
+    if (trimmed == "\\quit" || trimmed == "\\q") {
+      if (shell_txn != nullptr) {
+        txn_mgr->Abort(std::move(shell_txn));
+        std::cout << "open transaction aborted\n";
+      }
+      break;
+    }
+    // Inside a transaction only the transactional surface is available:
+    // queries, DML (buffered), \list/\show (reading the workspace), and
+    // the transaction verbs themselves. Everything else mutates state the
+    // pinned workspace cannot see or the commit cannot replay.
+    if (shell_txn != nullptr && trimmed[0] == '\\' && trimmed != "\\help" &&
+        trimmed != "\\commit" && trimmed != "\\abort" &&
+        trimmed != "\\list" && trimmed.rfind("\\show ", 0) != 0) {
+      std::cout << "not available inside a transaction; \\commit or "
+                   "\\abort first\n";
+      continue;
+    }
+    if (trimmed == "\\begin") {
+      txn_mgr = std::make_unique<dodb::txn::TransactionManager>(
+          &db, engine.get(), &views);
+      shell_txn = txn_mgr->Begin();
+      std::cout << "transaction " << shell_txn->id()
+                << " began at generation " << shell_txn->begin_generation()
+                << "\n";
+      continue;
+    }
+    if (trimmed == "\\commit") {
+      if (shell_txn == nullptr) {
+        std::cout << "no open transaction; \\begin first\n";
+        continue;
+      }
+      uint64_t id = shell_txn->id();
+      size_t writes = shell_txn->write_set_size();
+      std::string warning;
+      dodb::Status status = txn_mgr->Commit(std::move(shell_txn), &warning);
+      txn_mgr.reset();
+      if (status.ok()) {
+        std::cout << "transaction " << id << " committed (" << writes
+                  << " buffered statements)";
+        if (!warning.empty()) std::cout << "; warning: " << warning;
+        std::cout << "\n";
+      } else {
+        std::cout << "error: " << status.ToString() << "\n";
+      }
+      continue;
+    }
+    if (trimmed == "\\abort") {
+      if (shell_txn == nullptr) {
+        std::cout << "no open transaction; \\begin first\n";
+        continue;
+      }
+      uint64_t id = shell_txn->id();
+      size_t writes = shell_txn->write_set_size();
+      txn_mgr->Abort(std::move(shell_txn));
+      txn_mgr.reset();
+      std::cout << "transaction " << id << " aborted (" << writes
+                << " buffered statements discarded)\n";
+      continue;
+    }
+    // The catalog this iteration reads: the transaction's workspace when
+    // one is open, the authoritative database otherwise.
+    Database* read_db =
+        shell_txn != nullptr ? shell_txn->mutable_workspace() : &db;
     if (trimmed == "\\help") {
       PrintHelp();
     } else if (trimmed == "\\list") {
-      for (const std::string& name : db.RelationNames()) {
-        const dodb::GeneralizedRelation* rel = db.FindRelation(name);
+      for (const std::string& name : read_db->RelationNames()) {
+        const dodb::GeneralizedRelation* rel = read_db->FindRelation(name);
         std::cout << "  " << name << "/" << rel->arity() << "  ("
                   << rel->tuple_count() << " tuples, "
                   << rel->Constants().size() << " constants)\n";
       }
     } else if (trimmed.rfind("\\show ", 0) == 0) {
       std::string name(dodb::StripWhitespace(trimmed.substr(6)));
-      const dodb::GeneralizedRelation* rel = db.FindRelation(name);
+      const dodb::GeneralizedRelation* rel = read_db->FindRelation(name);
       if (rel == nullptr) {
         std::cout << "no relation '" << name << "'\n";
       } else {
@@ -767,6 +849,14 @@ int main(int argc, char** argv) {
                 << stats.sessions_rejected.load() +
                        stats.queue_rejected.load()
                 << " shed\n";
+      if (const dodb::txn::TxnCounters* txn = server.txn_counters()) {
+        std::cout << "transactions: " << txn->committed.load()
+                  << " committed (" << txn->read_only_commits.load()
+                  << " read-only), " << txn->aborted.load() << " aborted, "
+                  << txn->conflicts.load() << " conflict(s), "
+                  << txn->snapshots_published.load()
+                  << " snapshot(s) published\n";
+      }
     } else if (trimmed.rfind("\\datalog ", 0) == 0) {
       RunDatalogFile(&db, engine.get(), views,
                      std::string(dodb::StripWhitespace(trimmed.substr(9))),
@@ -803,21 +893,30 @@ int main(int argc, char** argv) {
                   << db.AllConstants().size() << " integer constants)\n";
       }
     } else if (trimmed.rfind("let ", 0) == 0) {
-      RunLet(&db, engine.get(), views, trimmed, session_options);
+      if (shell_txn != nullptr) {
+        // let bypasses the write set (it logs kSetRelation directly);
+        // inside a transaction that would dodge commit atomicity.
+        std::cout << "let is not available inside a transaction; \\commit "
+                     "or \\abort first\n";
+      } else {
+        RunLet(&db, engine.get(), views, trimmed, session_options);
+      }
     } else if (trimmed.rfind("create ", 0) == 0 ||
                trimmed.rfind("drop ", 0) == 0 ||
                trimmed.rfind("insert ", 0) == 0 ||
                trimmed.rfind("delete ", 0) == 0) {
       views.options().datalog.eval_options = session_options;
       dodb::Result<std::string> outcome =
-          dodb::ExecuteCommand(&db, trimmed, engine.get(), &views);
+          shell_txn != nullptr
+              ? txn_mgr->ExecuteBuffered(shell_txn.get(), trimmed)
+              : dodb::ExecuteCommand(&db, trimmed, engine.get(), &views);
       std::cout << (outcome.ok() ? outcome.value()
                                  : outcome.status().ToString())
                 << "\n";
     } else if (trimmed[0] == '\\') {
       std::cout << "unknown command; \\help lists commands\n";
     } else {
-      RunFoQuery(&db, trimmed, session_options);
+      RunFoQuery(read_db, trimmed, session_options);
     }
     // Under \open ... paged, mutations land resident (DML rebuilds the
     // canonical vector); re-spill whatever the command left resident so the

@@ -34,6 +34,9 @@ const FaultSiteInfo kAllFaultSites[kGuardSiteCount] = {
     {GuardSite::kServerRead, "server-read"},
     {GuardSite::kServerWrite, "server-write"},
     {GuardSite::kSessionCommit, "session-commit"},
+    {GuardSite::kTxnBegin, "txn-begin"},
+    {GuardSite::kTxnCommitValidate, "txn-commit-validate"},
+    {GuardSite::kTxnWalCommit, "txn-wal-commit"},
 };
 
 Status ValidateFaultSiteRegistry() {

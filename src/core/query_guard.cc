@@ -65,6 +65,12 @@ const char* GuardSiteName(GuardSite site) {
       return "server-write";
     case GuardSite::kSessionCommit:
       return "session-commit";
+    case GuardSite::kTxnBegin:
+      return "txn-begin";
+    case GuardSite::kTxnCommitValidate:
+      return "txn-commit-validate";
+    case GuardSite::kTxnWalCommit:
+      return "txn-wal-commit";
   }
   return "unknown";
 }

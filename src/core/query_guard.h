@@ -84,8 +84,15 @@ enum class GuardSite {
   kServerRead,              // after a request frame is read, before dispatch
   kServerWrite,             // mid-response-frame write (torn frame to client)
   kSessionCommit,           // before a session's DML reaches the WAL
+  // Transaction sites (src/txn/ + src/server/). Like the server sites these
+  // are consumed one-shot: the chaos harness kills exactly the nth begin /
+  // commit validation / commit WAL append, and the recovery sweeps prove
+  // committed transactions survive while aborted and in-flight ones vanish.
+  kTxnBegin,                // after begin is accepted, before it is acked
+  kTxnCommitValidate,       // during first-committer-wins write-set check
+  kTxnWalCommit,            // before the commit record group reaches the WAL
 };
-inline constexpr int kGuardSiteCount = 24;
+inline constexpr int kGuardSiteCount = 27;
 /// Index of the first storage-engine site. Sites below this are reachable
 /// from query evaluation; sites from here on are reachable only through the
 /// storage engine (the fault sweeps in robustness_test / storage_test split

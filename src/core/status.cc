@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "ReadOnly";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kTxnConflict:
+      return "TxnConflict";
+    case StatusCode::kTxnInvalidState:
+      return "TxnInvalidState";
   }
   return "Unknown";
 }

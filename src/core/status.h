@@ -23,6 +23,8 @@ enum class StatusCode {
   kOverloaded,       // admission control shed the request; retry with backoff
   kReadOnly,         // engine degraded to read-only; queries fine, DML refused
   kUnavailable,      // transient transport failure (connect/read/write)
+  kTxnConflict,      // write-set conflict at commit; first committer won
+  kTxnInvalidState,  // begin/commit/abort outside the legal session states
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -66,6 +68,12 @@ class Status {
   }
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status TxnConflict(std::string message) {
+    return Status(StatusCode::kTxnConflict, std::move(message));
+  }
+  static Status TxnInvalidState(std::string message) {
+    return Status(StatusCode::kTxnInvalidState, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

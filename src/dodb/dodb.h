@@ -21,6 +21,8 @@
 ///   storage/      durable storage: binary snapshots, write-ahead log,
 ///                 crash recovery
 ///   server/       multi-client TCP server, wire protocol, client library
+///   txn/          MVCC transactions: snapshot isolation, write-set
+///                 validation, atomic commit record groups
 
 #include "algebra/join_planner.h"
 #include "algebra/relational_ops.h"
@@ -87,5 +89,6 @@
 #include "storage/snapshot.h"
 #include "storage/storage_engine.h"
 #include "storage/wal.h"
+#include "txn/transaction_manager.h"
 
 #endif  // DODB_DODB_H_

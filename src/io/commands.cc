@@ -60,6 +60,19 @@ Result<GeneralizedRelation> EvalCondition(const Database& db, int arity,
   return evaluator.Evaluate(query);
 }
 
+// Where a buffered (transactional) statement's effects go instead of the
+// WAL + view maintenance: the write-set op and its captured delta, kept
+// index-aligned for replay at commit.
+struct TxnBuffer {
+  std::vector<storage::WalRecord>* ops;
+  std::vector<BaseDelta>* deltas;
+
+  void Push(storage::WalRecord op, BaseDelta delta) {
+    ops->push_back(std::move(op));
+    deltas->push_back(std::move(delta));
+  }
+};
+
 // Runs view maintenance for a committed base change and renders the result
 // as a summary suffix: empty on success (or nothing to do), a warning when
 // some view's maintenance failed — the DML itself is already durable and
@@ -77,7 +90,7 @@ std::string MaintainViews(ViewRegistry* views, const BaseDelta& delta,
 }
 
 Result<std::string> Create(Database* db, storage::StorageEngine* engine,
-                           std::string_view rest) {
+                           TxnBuffer* buffer, std::string_view rest) {
   // create <name>(<arity>)
   size_t paren = rest.find('(');
   size_t close = rest.rfind(')');
@@ -100,13 +113,22 @@ Result<std::string> Create(Database* db, storage::StorageEngine* engine,
     return Status::InvalidArgument(StrCat("relation '", name,
                                           "' already exists"));
   }
-  if (engine != nullptr) DODB_RETURN_IF_ERROR(engine->LogCreate(name, k));
+  if (buffer != nullptr) {
+    storage::WalRecord op;
+    op.type = storage::WalRecordType::kCreateRelation;
+    op.name = name;
+    op.arity = k;
+    buffer->Push(std::move(op), BaseDelta{});
+  } else if (engine != nullptr) {
+    DODB_RETURN_IF_ERROR(engine->LogCreate(name, k));
+  }
   DODB_RETURN_IF_ERROR(db->AddRelation(name, GeneralizedRelation(k)));
   return StrCat("created ", name, "/", k);
 }
 
 Result<std::string> Drop(Database* db, storage::StorageEngine* engine,
-                         ViewRegistry* views, std::string_view rest) {
+                         ViewRegistry* views, TxnBuffer* buffer,
+                         std::string_view rest) {
   std::string name(StripWhitespace(rest));
   if (!db->HasRelation(name)) {
     return Status::NotFound(StrCat("no relation '", name, "'"));
@@ -122,13 +144,21 @@ Result<std::string> Drop(Database* db, storage::StorageEngine* engine,
                  "' is read by a materialized view; drop the view first"));
     }
   }
-  if (engine != nullptr) DODB_RETURN_IF_ERROR(engine->LogDrop(name));
+  if (buffer != nullptr) {
+    storage::WalRecord op;
+    op.type = storage::WalRecordType::kDropRelation;
+    op.name = name;
+    buffer->Push(std::move(op), BaseDelta{});
+  } else if (engine != nullptr) {
+    DODB_RETURN_IF_ERROR(engine->LogDrop(name));
+  }
   db->RemoveRelation(name);
   return StrCat("dropped ", name);
 }
 
 Result<std::string> Insert(Database* db, storage::StorageEngine* engine,
-                           ViewRegistry* views, std::string_view rest) {
+                           ViewRegistry* views, TxnBuffer* buffer,
+                           std::string_view rest) {
   // insert into <name> <formula>
   std::string_view into = NextWord(&rest);
   if (into != "into") {
@@ -151,8 +181,9 @@ Result<std::string> Insert(Database* db, storage::StorageEngine* engine,
       EvalCondition(*db, rel->arity(), rest);
   if (!addition.ok()) return addition.status();
   // Log the batch, not the merged result: replay re-unions it into the
-  // relation's recovered state, reproducing exactly the merge below.
-  if (engine != nullptr) {
+  // relation's recovered state, reproducing exactly the merge below. In
+  // buffered mode the same batch op joins the write set instead.
+  if (buffer == nullptr && engine != nullptr) {
     DODB_RETURN_IF_ERROR(engine->LogInsert(name, addition.value()));
   }
   // The same merge algebra::Union performs (replay depends on that), but
@@ -180,13 +211,23 @@ Result<std::string> Insert(Database* db, storage::StorageEngine* engine,
   }
   size_t added = merged.tuple_count();
   db->SetRelation(name, std::move(merged));
+  if (buffer != nullptr) {
+    storage::WalRecord op;
+    op.type = storage::WalRecordType::kInsertTuples;
+    op.name = name;
+    op.relation = std::move(addition).value();
+    buffer->Push(std::move(op), std::move(delta));
+    return StrCat("insert buffered: ", name, " now has ", added,
+                  " generalized tuples (uncommitted)");
+  }
   std::string warning = MaintainViews(views, delta, db);
   return StrCat("insert ok: ", name, " now has ", added,
                 " generalized tuples", warning);
 }
 
 Result<std::string> Delete(Database* db, storage::StorageEngine* engine,
-                           ViewRegistry* views, std::string_view rest) {
+                           ViewRegistry* views, TxnBuffer* buffer,
+                           std::string_view rest) {
   // delete from <name> where <formula>
   std::string_view from = NextWord(&rest);
   if (from != "from") {
@@ -210,7 +251,7 @@ Result<std::string> Delete(Database* db, storage::StorageEngine* engine,
       EvalCondition(*db, rel->arity(), rest);
   if (!removal.ok()) return removal.status();
   GeneralizedRelation remaining = algebra::Difference(*rel, removal.value());
-  if (engine != nullptr) {
+  if (buffer == nullptr && engine != nullptr) {
     DODB_RETURN_IF_ERROR(engine->LogSet(name, remaining));
   }
   // A semantic delete reshapes tuples (surviving regions re-canonicalize),
@@ -233,10 +274,36 @@ Result<std::string> Delete(Database* db, storage::StorageEngine* engine,
     delta.old_relation = std::make_unique<GeneralizedRelation>(*rel);
   }
   size_t left = remaining.tuple_count();
+  if (buffer != nullptr) {
+    storage::WalRecord op;
+    op.type = storage::WalRecordType::kSetRelation;
+    op.name = name;
+    op.relation = remaining;
+    db->SetRelation(name, std::move(remaining));
+    buffer->Push(std::move(op), std::move(delta));
+    return StrCat("delete buffered: ", name, " now has ", left,
+                  " generalized tuples (uncommitted)");
+  }
   db->SetRelation(name, std::move(remaining));
   std::string warning = MaintainViews(views, delta, db);
   return StrCat("delete ok: ", name, " now has ", left,
                 " generalized tuples", warning);
+}
+
+Result<std::string> Dispatch(Database* db, std::string_view text,
+                             storage::StorageEngine* engine,
+                             ViewRegistry* views, TxnBuffer* buffer) {
+  DODB_CHECK(db != nullptr);
+  std::string_view rest = StripWhitespace(text);
+  if (!rest.empty() && rest.back() == ';') rest.remove_suffix(1);
+  std::string_view verb = NextWord(&rest);
+  if (verb == "create") return Create(db, engine, buffer, rest);
+  if (verb == "drop") return Drop(db, engine, views, buffer, rest);
+  if (verb == "insert") return Insert(db, engine, views, buffer, rest);
+  if (verb == "delete") return Delete(db, engine, views, buffer, rest);
+  return Status::ParseError(
+      StrCat("unknown command '", verb,
+             "' (expected create/drop/insert/delete)"));
 }
 
 }  // namespace
@@ -253,17 +320,15 @@ Result<std::string> ExecuteCommand(Database* db, std::string_view text,
 Result<std::string> ExecuteCommand(Database* db, std::string_view text,
                                    storage::StorageEngine* engine,
                                    ViewRegistry* views) {
-  DODB_CHECK(db != nullptr);
-  std::string_view rest = StripWhitespace(text);
-  if (!rest.empty() && rest.back() == ';') rest.remove_suffix(1);
-  std::string_view verb = NextWord(&rest);
-  if (verb == "create") return Create(db, engine, rest);
-  if (verb == "drop") return Drop(db, engine, views, rest);
-  if (verb == "insert") return Insert(db, engine, views, rest);
-  if (verb == "delete") return Delete(db, engine, views, rest);
-  return Status::ParseError(
-      StrCat("unknown command '", verb,
-             "' (expected create/drop/insert/delete)"));
+  return Dispatch(db, text, engine, views, nullptr);
+}
+
+Result<std::string> ExecuteCommandBuffered(
+    Database* workspace, std::string_view text, ViewRegistry* views,
+    std::vector<storage::WalRecord>* ops, std::vector<BaseDelta>* deltas) {
+  DODB_CHECK(ops != nullptr && deltas != nullptr);
+  TxnBuffer buffer{ops, deltas};
+  return Dispatch(workspace, text, nullptr, views, &buffer);
 }
 
 }  // namespace dodb

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/status.h"
 #include "io/database.h"
@@ -11,9 +12,11 @@ namespace dodb {
 
 namespace storage {
 class StorageEngine;
+struct WalRecord;
 }  // namespace storage
 
 class ViewRegistry;
+struct BaseDelta;
 
 /// Data-manipulation commands over a constraint database. Because relations
 /// are (possibly infinite) pointsets, inserts and deletes take *formulas*,
@@ -48,6 +51,22 @@ Result<std::string> ExecuteCommand(Database* db, std::string_view text,
 Result<std::string> ExecuteCommand(Database* db, std::string_view text,
                                    storage::StorageEngine* engine,
                                    ViewRegistry* views);
+
+/// Transactional (buffered) DML: executes one command against `workspace`
+/// — a transaction's private snapshot copy — WITHOUT touching the WAL or
+/// running view maintenance. Instead the statement's logical operation is
+/// appended to `ops` (the write set the TransactionManager logs as one
+/// atomic kTxnCommit group) and its structural view delta to `deltas`
+/// (applied at commit, after the matching op lands on the authoritative
+/// catalog). `ops` and `deltas` stay index-aligned: op i's delta is
+/// deltas[i], empty when no registered view reads the relation. `views` is
+/// consulted only for refusals (DML on a view name, dropping a relation a
+/// view reads) and for the delta-tracking decision; it is not mutated.
+Result<std::string> ExecuteCommandBuffered(Database* workspace,
+                                           std::string_view text,
+                                           ViewRegistry* views,
+                                           std::vector<storage::WalRecord>* ops,
+                                           std::vector<BaseDelta>* deltas);
 
 }  // namespace dodb
 

@@ -27,6 +27,9 @@ void DodbClient::Close() {
   CloseFd(fd_);
   fd_ = -1;
   session_id_ = 0;
+  // The server aborts a session's open transaction the moment the
+  // connection dies; mirror that here so in_transaction() stays truthful.
+  in_transaction_ = false;
 }
 
 void DodbClient::Backoff(int attempt) {
@@ -155,8 +158,10 @@ Result<std::string> DodbClient::Ping() {
 }
 
 Result<QueryResult> DodbClient::Query(const std::string& text) {
-  Result<Response> call =
-      Call(RequestKind::kQuery, text, /*retry_transport=*/true);
+  // In a transaction a reconnect would land in a fresh session whose
+  // catalog is NOT the pinned snapshot — surface the failure instead.
+  Result<Response> call = Call(RequestKind::kQuery, text,
+                               /*retry_transport=*/!in_transaction_);
   if (!call.ok()) return call.status();
   Response& response = call.value();
   if (response.code != StatusCode::kOk) {
@@ -184,6 +189,87 @@ Result<std::string> DodbClient::Command(const std::string& text) {
     return Status(response.value().code, response.value().message);
   }
   return response.value().message;
+}
+
+Result<std::string> DodbClient::Begin() {
+  // Safe to retry transport here: an unacknowledged begin pinned nothing
+  // durable, and the server aborts the orphaned transaction when the old
+  // connection dies.
+  Result<Response> response =
+      Call(RequestKind::kBegin, "", /*retry_transport=*/true);
+  if (!response.ok()) return response.status();
+  if (response.value().code != StatusCode::kOk) {
+    return Status(response.value().code, response.value().message);
+  }
+  in_transaction_ = true;
+  return response.value().message;
+}
+
+Result<std::string> DodbClient::CommitTxn() {
+  Result<Response> response =
+      Call(RequestKind::kCommit, "", /*retry_transport=*/false);
+  // Whatever happened — success, conflict, transport loss — the
+  // transaction is gone: the server consumed it, or the session died and
+  // the server aborted it.
+  in_transaction_ = false;
+  if (!response.ok()) return response.status();
+  if (response.value().code != StatusCode::kOk) {
+    return Status(response.value().code, response.value().message);
+  }
+  return response.value().message;
+}
+
+Result<std::string> DodbClient::AbortTxn() {
+  Result<Response> response =
+      Call(RequestKind::kAbort, "", /*retry_transport=*/false);
+  in_transaction_ = false;
+  if (!response.ok()) return response.status();
+  if (response.value().code != StatusCode::kOk) {
+    return Status(response.value().code, response.value().message);
+  }
+  return response.value().message;
+}
+
+Result<std::vector<QueryResult>> DodbClient::RunReadOnlyTransaction(
+    const std::vector<std::string>& queries) {
+  Status last = Status::Unavailable("never attempted");
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) Backoff(attempt - 1);
+    Result<std::string> begun = Begin();
+    if (!begun.ok()) {
+      last = begun.status();
+      if (IsTransient(last.code())) continue;
+      return last;
+    }
+    std::vector<QueryResult> results;
+    results.reserve(queries.size());
+    bool transient = false;
+    for (const std::string& text : queries) {
+      Result<QueryResult> answer = Query(text);
+      if (!answer.ok()) {
+        last = answer.status();
+        if (in_transaction_) AbortTxn();
+        if (IsTransient(last.code())) {
+          transient = true;
+          break;
+        }
+        return last;  // a real query error; retrying cannot help
+      }
+      results.push_back(std::move(answer).value());
+    }
+    if (transient) continue;
+    Result<std::string> committed = CommitTxn();
+    if (committed.ok()) return results;
+    last = committed.status();
+    // kTxnConflict (the forged-validation chaos fault, or a future
+    // read-validation scheme) and transport losses both restart the whole
+    // transaction against a fresh snapshot.
+    if (last.code() == StatusCode::kTxnConflict || IsTransient(last.code())) {
+      continue;
+    }
+    return last;
+  }
+  return last;
 }
 
 }  // namespace server

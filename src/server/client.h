@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/status.h"
 #include "server/protocol.h"
@@ -48,6 +49,16 @@ struct QueryResult {
 /// a non-idempotent command forges state. It surfaces kUnavailable and
 /// lets the caller decide.
 ///
+/// Transactions (DESIGN.md §16): Begin() retries transport failures (an
+/// unacknowledged begin pinned nothing — the server aborts the orphan on
+/// disconnect). CommitTxn() and AbortTxn() do not (same commit ambiguity as
+/// Command). While a transaction is open, Query() also stops retrying
+/// transport failures: a reconnect lands in a fresh session whose catalog
+/// is NOT the pinned snapshot, so the failure must surface and the caller
+/// restarts the transaction. RunReadOnlyTransaction() packages the retry:
+/// it reruns the whole begin→query*→commit sequence on kTxnConflict or a
+/// mid-transaction transport failure, with the usual backoff.
+///
 /// Not thread-safe; one DodbClient per thread.
 class DodbClient {
  public:
@@ -68,12 +79,36 @@ class DodbClient {
   Result<QueryResult> Query(const std::string& text);
 
   /// Runs a DML command (create/insert/delete/drop), a \checkpoint, or the
-  /// \sleep diagnostic; returns the server's one-line summary.
+  /// \sleep diagnostic; returns the server's one-line summary. Inside an
+  /// open transaction the command is buffered server-side, not committed.
   Result<std::string> Command(const std::string& text);
+
+  /// Opens a transaction pinned to the server's current snapshot. Fails
+  /// with kTxnInvalidState if one is already open on this session.
+  Result<std::string> Begin();
+
+  /// Commits the open transaction. kTxnConflict = first committer won and
+  /// the transaction is gone — rebuild it from current state and retry.
+  /// The transaction is closed on this client whatever the outcome.
+  Result<std::string> CommitTxn();
+
+  /// Discards the open transaction's buffered writes.
+  Result<std::string> AbortTxn();
+
+  /// Begin → each query in order → commit, retrying the WHOLE sequence
+  /// (fresh begin, fresh snapshot) on kTxnConflict or a mid-transaction
+  /// transport failure, with the client's usual backoff budget. The
+  /// answers are mutually consistent: all evaluated against one snapshot.
+  Result<std::vector<QueryResult>> RunReadOnlyTransaction(
+      const std::vector<std::string>& queries);
 
   void Close();
 
   bool connected() const { return fd_ >= 0; }
+  /// Whether this session has an open (begun, not yet resolved) transaction.
+  /// Cleared by commit/abort and by any disconnect (the server aborts the
+  /// orphaned transaction on its side).
+  bool in_transaction() const { return in_transaction_; }
   uint64_t session_id() const { return session_id_; }
   /// The server's read_only flag from the admitting hello.
   bool server_read_only() const { return server_read_only_; }
@@ -90,6 +125,7 @@ class DodbClient {
   const ClientOptions options_;
   int fd_ = -1;
   uint64_t session_id_ = 0;
+  bool in_transaction_ = false;
   bool server_read_only_ = false;
   uint64_t next_request_id_ = 1;
   uint64_t retries_ = 0;

@@ -24,7 +24,7 @@ using storage::ByteReader;
 using storage::ByteWriter;
 
 constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(
-    StatusCode::kUnavailable);
+    StatusCode::kTxnInvalidState);
 
 Status DecodeStatusCode(uint8_t raw, StatusCode* code) {
   if (raw > kMaxStatusCode) {
@@ -121,7 +121,7 @@ Result<Request> DecodeRequest(const std::vector<uint8_t>& payload) {
   uint8_t kind = 0;
   DODB_RETURN_IF_ERROR(reader.GetU8(&kind));
   if (kind < static_cast<uint8_t>(RequestKind::kPing) ||
-      kind > static_cast<uint8_t>(RequestKind::kCommand)) {
+      kind > static_cast<uint8_t>(RequestKind::kAbort)) {
     return Status::InvalidArgument(
         StrCat("request kind ", kind, " out of range"));
   }

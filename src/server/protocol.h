@@ -44,6 +44,13 @@ enum class RequestKind : uint8_t {
   kQuery = 2,    // FO/FO+ query text; answer carries a relation payload
                  // (dense fragment) or formatted text (FO+ linear)
   kCommand = 3,  // create/drop/insert/delete DML; answer is a summary line
+  // Multi-statement transactions (DESIGN.md §16). Between kBegin and
+  // kCommit/kAbort, the session's queries read the transaction's pinned
+  // snapshot (plus its own buffered writes) and kCommand buffers DML into
+  // the write set instead of auto-committing. Text payloads are ignored.
+  kBegin = 4,    // open a transaction; answer names the pinned generation
+  kCommit = 5,   // validate + install; kTxnConflict = first committer won
+  kAbort = 6,    // discard the write set; always succeeds in a transaction
 };
 
 struct Request {

@@ -69,6 +69,11 @@ struct DodbServer::Session {
   std::mutex write_mu;
   std::atomic<bool> done{false};
 
+  /// The session's open transaction, if any. Touched ONLY by the worker
+  /// thread (begin/commit/abort/query all flow through the worker), so no
+  /// lock guards it; the worker aborts it on session close.
+  std::unique_ptr<txn::Transaction> txn;
+
   /// Wakes both threads: the worker via the cv, the reader via socket
   /// shutdown (its poll() returns immediately once the fd is shut down).
   void Kick() {
@@ -100,6 +105,10 @@ Status DodbServer::Start() {
     options.fault_spec.clear();
     views_->options().datalog.eval_options = options;
   }
+  // The MVCC heart: publishes the initial snapshot (warming every relation)
+  // and owns generations from here on. All catalog mutation now flows
+  // through it; queries read its published snapshots lock-free.
+  txn_ = std::make_unique<txn::TransactionManager>(db_, engine_, views_);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -316,7 +325,7 @@ void DodbServer::WorkerLoop(Session* session) {
     bool kill_session = false;
     bool drop_silently = false;
     Response response =
-        ExecuteRequest(request, &kill_session, &drop_silently);
+        ExecuteRequest(session, request, &kill_session, &drop_silently);
     if (drop_silently) {
       stats_.sessions_killed.fetch_add(1, std::memory_order_relaxed);
       break;
@@ -332,11 +341,16 @@ void DodbServer::WorkerLoop(Session* session) {
       break;
     }
   }
+  // A dropped connection aborts the session's open transaction: nothing was
+  // logged or installed, so discarding the write set IS the rollback.
+  if (session->txn != nullptr) {
+    txn_->Abort(std::move(session->txn));
+  }
   session->Kick();
   session->done.store(true, std::memory_order_release);
 }
 
-Response DodbServer::ExecuteRequest(const Request& request,
+Response DodbServer::ExecuteRequest(Session* session, const Request& request,
                                     bool* kill_session, bool* drop_silently) {
   switch (request.kind) {
     case RequestKind::kPing: {
@@ -346,9 +360,16 @@ Response DodbServer::ExecuteRequest(const Request& request,
       return response;
     }
     case RequestKind::kQuery:
-      return ExecuteQuery(request, kill_session);
+      return ExecuteQuery(session, request, kill_session);
     case RequestKind::kCommand:
-      return ExecuteCommandRequest(request, kill_session, drop_silently);
+      return ExecuteCommandRequest(session, request, kill_session,
+                                   drop_silently);
+    case RequestKind::kBegin:
+      return ExecuteBegin(session, request, drop_silently);
+    case RequestKind::kCommit:
+      return ExecuteCommit(session, request);
+    case RequestKind::kAbort:
+      return ExecuteAbort(session, request);
   }
   Response response;
   response.id = request.id;
@@ -357,7 +378,7 @@ Response DodbServer::ExecuteRequest(const Request& request,
   return response;
 }
 
-Response DodbServer::ExecuteQuery(const Request& request,
+Response DodbServer::ExecuteQuery(Session* session, const Request& request,
                                   bool* kill_session) {
   Response response;
   response.id = request.id;
@@ -379,15 +400,27 @@ Response DodbServer::ExecuteQuery(const Request& request,
   }
   response.head = query.value().head;
 
-  std::lock_guard<std::mutex> exec_lock(exec_mu_);
-  Result<QueryAnalysis> analysis = Analyze(query.value(), db_);
+  // NO execution mutex: the query reads an immutable catalog. Inside a
+  // transaction that is the pinned workspace (snapshot + own buffered
+  // writes, owned by this worker thread); outside it is the latest
+  // published snapshot, whose shared_ptr we hold for the whole evaluation
+  // so a concurrent commit can publish freely without invalidating us.
+  std::shared_ptr<const Database> pinned;
+  const Database* catalog;
+  if (session->txn != nullptr) {
+    catalog = &session->txn->workspace();
+  } else {
+    pinned = txn_->current_snapshot();
+    catalog = pinned.get();
+  }
+  Result<QueryAnalysis> analysis = Analyze(query.value(), catalog);
   if (!analysis.ok()) {
     response.code = analysis.status().code();
     response.message = analysis.status().message();
     return response;
   }
   if (analysis.value().is_dense_fragment) {
-    FoEvaluator evaluator(db_, options);
+    FoEvaluator evaluator(catalog, options);
     Result<GeneralizedRelation> out = evaluator.Evaluate(query.value());
     if (!out.ok()) {
       response.code = out.status().code();
@@ -403,7 +436,7 @@ Response DodbServer::ExecuteQuery(const Request& request,
     response.relation = Minimize(out.value());
     return response;
   }
-  LinearFoEvaluator evaluator(db_, options);
+  LinearFoEvaluator evaluator(catalog, options);
   Result<LinearRelation> out = evaluator.Evaluate(query.value());
   if (!out.ok()) {
     response.code = out.status().code();
@@ -420,15 +453,16 @@ Response DodbServer::ExecuteQuery(const Request& request,
   return response;
 }
 
-Response DodbServer::ExecuteCommandRequest(const Request& request,
+Response DodbServer::ExecuteCommandRequest(Session* session,
+                                           const Request& request,
                                            bool* kill_session,
                                            bool* drop_silently) {
   Response response;
   response.id = request.id;
   std::string text(StripWhitespace(request.text));
 
-  // \sleep <ms>: a diagnostic stall (NOT under the exec mutex), letting the
-  // overload tests fill this session's bounded queue deterministically.
+  // \sleep <ms>: a diagnostic stall, letting the overload tests fill this
+  // session's bounded queue deterministically.
   if (text.rfind("\\sleep ", 0) == 0) {
     uint64_t ms = 0;
     std::istringstream in(text.substr(7));
@@ -453,20 +487,43 @@ Response DodbServer::ExecuteCommandRequest(const Request& request,
     return response;
   }
 
-  std::lock_guard<std::mutex> exec_lock(exec_mu_);
   if (text == "\\checkpoint") {
+    if (session->txn != nullptr) {
+      stats_.txn_invalid_state.fetch_add(1, std::memory_order_relaxed);
+      response.code = StatusCode::kTxnInvalidState;
+      response.message =
+          "\\checkpoint is not allowed inside a transaction; "
+          "commit or abort first";
+      return response;
+    }
     if (engine_ == nullptr) {
       response.code = StatusCode::kUnsupported;
       response.message = "no storage attached to this server";
       return response;
     }
-    Status status = engine_->Checkpoint();
+    Status status = txn_->Checkpoint();
     response.code = status.code();
     response.message = status.ok() ? StrCat("checkpointed to generation ",
                                             engine_->generation())
                                    : status.message();
+  } else if (session->txn != nullptr) {
+    // In a transaction: the statement executes against the private
+    // workspace and joins the buffered write set — no locks, no WAL, no
+    // published catalog change until commit.
+    Result<std::string> outcome =
+        txn_->ExecuteBuffered(session->txn.get(), text);
+    if (outcome.ok()) {
+      response.message = outcome.value();
+    } else {
+      response.code = outcome.status().code();
+      response.message = outcome.status().message();
+      *kill_session = IsGuardTrip(response.code);
+    }
   } else {
-    Result<std::string> outcome = ExecuteCommand(db_, text, engine_, views_);
+    // Bare statement: auto-commit with the serial log→apply→maintain
+    // discipline, serialized on the manager's write mutex (readers are
+    // unaffected — they hold the previous snapshot).
+    Result<std::string> outcome = txn_->AutoCommit(text);
     if (outcome.ok()) {
       response.message = outcome.value();
     } else {
@@ -478,6 +535,90 @@ Response DodbServer::ExecuteCommandRequest(const Request& request,
   if (response.code == StatusCode::kReadOnly) {
     stats_.readonly_rejected.fetch_add(1, std::memory_order_relaxed);
   }
+  return response;
+}
+
+Response DodbServer::ExecuteBegin(Session* session, const Request& request,
+                                  bool* drop_silently) {
+  Response response;
+  response.id = request.id;
+  if (session->txn != nullptr) {
+    stats_.txn_invalid_state.fetch_add(1, std::memory_order_relaxed);
+    response.code = StatusCode::kTxnInvalidState;
+    response.message = StrCat("transaction ", session->txn->id(),
+                              " is already open; commit or abort it first");
+    return response;
+  }
+  // The begin fault: the connection dies before the transaction opens.
+  // Nothing to recover — an unacknowledged begin never pinned anything.
+  if (fault_.Hit(GuardSite::kTxnBegin)) {
+    stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+    *drop_silently = true;
+    return response;
+  }
+  session->txn = txn_->Begin();
+  response.message =
+      StrCat("transaction ", session->txn->id(), " began at generation ",
+             session->txn->begin_generation());
+  return response;
+}
+
+Response DodbServer::ExecuteCommit(Session* session, const Request& request) {
+  Response response;
+  response.id = request.id;
+  if (session->txn == nullptr) {
+    stats_.txn_invalid_state.fetch_add(1, std::memory_order_relaxed);
+    response.code = StatusCode::kTxnInvalidState;
+    response.message = "no open transaction to commit";
+    return response;
+  }
+  uint64_t id = session->txn->id();
+  size_t writes = session->txn->write_set_size();
+  // The commit-validate fault: the nth commit is forged into a conflict —
+  // the client-visible shape of losing first-committer-wins, letting the
+  // chaos tests drive the retry path deterministically. The transaction is
+  // dead either way; nothing reached the WAL or the catalog.
+  if (fault_.Hit(GuardSite::kTxnCommitValidate)) {
+    stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+    txn_->Abort(std::move(session->txn));
+    response.code = StatusCode::kTxnConflict;
+    response.message = StrCat("transaction ", id,
+                              " lost validation (injected conflict); retry");
+    return response;
+  }
+  std::string warning;
+  Status status = txn_->Commit(std::move(session->txn), &warning);
+  response.code = status.code();
+  if (status.ok()) {
+    response.message = StrCat("transaction ", id, " committed (", writes,
+                              " buffered statements) at generation ",
+                              txn_->generation());
+    if (!warning.empty()) {
+      response.message = StrCat(response.message, "; warning: ", warning);
+    }
+  } else {
+    response.message = status.message();
+  }
+  if (response.code == StatusCode::kReadOnly) {
+    stats_.readonly_rejected.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+Response DodbServer::ExecuteAbort(Session* session, const Request& request) {
+  Response response;
+  response.id = request.id;
+  if (session->txn == nullptr) {
+    stats_.txn_invalid_state.fetch_add(1, std::memory_order_relaxed);
+    response.code = StatusCode::kTxnInvalidState;
+    response.message = "no open transaction to abort";
+    return response;
+  }
+  uint64_t id = session->txn->id();
+  size_t writes = session->txn->write_set_size();
+  txn_->Abort(std::move(session->txn));
+  response.message = StrCat("transaction ", id, " aborted (", writes,
+                            " buffered statements discarded)");
   return response;
 }
 

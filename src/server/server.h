@@ -15,6 +15,7 @@
 #include "fo/evaluator.h"
 #include "io/database.h"
 #include "server/protocol.h"
+#include "txn/transaction_manager.h"
 
 namespace dodb {
 
@@ -54,9 +55,10 @@ struct ServerConfig {
   /// connection closed; every other session keeps running.
   GuardLimits session_limits;
   /// OneShotFault spec for the server's own sites (server-accept,
-  /// server-read, server-write, session-commit), "<site>[:<nth>]". Empty =
-  /// DODB_FAULT when set, else off. Storage sites are armed on the engine
-  /// at Open, not here.
+  /// server-read, server-write, session-commit, txn-begin,
+  /// txn-commit-validate), "<site>[:<nth>]". Empty = DODB_FAULT when set,
+  /// else off. Storage sites (including txn-wal-commit) are armed on the
+  /// engine at Open, not here.
   std::string fault_spec;
   /// Evaluation knobs shared by every session (threads, index, shards...).
   /// limits/guard/fault_spec inside are ignored — session_limits and a
@@ -76,16 +78,19 @@ struct ServerStats {
   std::atomic<uint64_t> sessions_killed{0};    // guard trip / commit fault
   std::atomic<uint64_t> idle_closed{0};
   std::atomic<uint64_t> faults_injected{0};    // OneShotFault firings
+  std::atomic<uint64_t> txn_invalid_state{0};  // begin/commit/abort misuse
 };
 
 /// A TCP server multiplexing many client sessions onto one Database.
 ///
 /// Threading: one acceptor thread; per session a reader thread (socket →
-/// bounded queue) and a worker thread (queue → execute → socket). The
-/// Database/StorageEngine/ViewRegistry trio is NOT thread-safe, so workers
-/// serialize execution on one mutex — sessions overlap on parsing, I/O and
-/// queueing, not evaluation (shared-catalog MVCC is a roadmap item, and the
-/// bench records what serialization costs honestly).
+/// bounded queue) and a worker thread (queue → execute → socket). Reads run
+/// CONCURRENTLY: every query evaluates lock-free against an immutable,
+/// pre-warmed MVCC snapshot (the session's open transaction's pinned
+/// workspace, or the latest published generation for bare statements) —
+/// see txn/transaction_manager.h. Only catalog mutation serializes, on the
+/// transaction manager's internal write mutex: auto-commit DML, transaction
+/// commits and checkpoints. Workers never share a mutex for evaluation.
 ///
 /// Graceful degradation: a WAL sync failure flips the engine sticky
 /// read-only (storage_engine.h); the server keeps answering queries and
@@ -93,7 +98,10 @@ struct ServerStats {
 /// the offending session. Fault sites (core/fault_injection.h) let the
 /// chaos tests drop the nth accept, tear the nth response frame mid-write,
 /// and kill a commit before its WAL append — recovery is then proven by
-/// reopening the data directory.
+/// reopening the data directory. Transaction sites extend the sweep: drop
+/// the nth begin (in-flight txn vanishes), forge a validation conflict on
+/// the nth commit, and (storage-side) kill the nth commit between
+/// validation and its WAL group append.
 ///
 /// The db/engine/views pointers must outlive the server, and no other
 /// thread may mutate them between Start() and Stop() (the shell's \serve
@@ -124,6 +132,11 @@ class DodbServer {
   /// Whether the engine has degraded to read-only (false without an engine).
   bool read_only() const;
   const ServerStats& stats() const { return stats_; }
+  /// Transaction counters (null before Start()). The soak driver and
+  /// bench_txn poll these alongside stats().
+  const txn::TxnCounters* txn_counters() const {
+    return txn_ != nullptr ? &txn_->counters() : nullptr;
+  }
 
  private:
   struct Session;
@@ -132,16 +145,22 @@ class DodbServer {
   void HandleAccept(int fd);
   void ReaderLoop(Session* session);
   void WorkerLoop(Session* session);
-  /// Executes one request (Ping/Query/Command). Sets *kill_session when the
-  /// session must close after the response goes out (guard trip), and
-  /// *drop_silently when the connection must die with NO response
-  /// (session-commit fault: the crash happens before the WAL append, so the
-  /// client never gets an ack and recovery must not replay the command).
-  Response ExecuteRequest(const Request& request, bool* kill_session,
-                          bool* drop_silently);
-  Response ExecuteQuery(const Request& request, bool* kill_session);
-  Response ExecuteCommandRequest(const Request& request, bool* kill_session,
-                                 bool* drop_silently);
+  /// Executes one request (Ping/Query/Command/Begin/Commit/Abort). Sets
+  /// *kill_session when the session must close after the response goes out
+  /// (guard trip), and *drop_silently when the connection must die with NO
+  /// response (session-commit / txn-begin faults: the crash happens before
+  /// anything durable, so the client never gets an ack and recovery must
+  /// not resurface the work).
+  Response ExecuteRequest(Session* session, const Request& request,
+                          bool* kill_session, bool* drop_silently);
+  Response ExecuteQuery(Session* session, const Request& request,
+                        bool* kill_session);
+  Response ExecuteCommandRequest(Session* session, const Request& request,
+                                 bool* kill_session, bool* drop_silently);
+  Response ExecuteBegin(Session* session, const Request& request,
+                        bool* drop_silently);
+  Response ExecuteCommit(Session* session, const Request& request);
+  Response ExecuteAbort(Session* session, const Request& request);
   /// Serialized frame write with the server-write torn-frame fault wired
   /// in. Returns false when the session must close (torn or failed write).
   bool WriteResponse(Session* session, const Response& response);
@@ -160,8 +179,9 @@ class DodbServer {
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
 
-  /// Serializes every request execution (see class comment).
-  std::mutex exec_mu_;
+  /// Snapshot publication + transaction lifecycle (created at Start()).
+  /// Queries never lock it; commits serialize inside it.
+  std::unique_ptr<txn::TransactionManager> txn_;
 
   mutable std::mutex sessions_mu_;
   std::vector<std::unique_ptr<Session>> sessions_;

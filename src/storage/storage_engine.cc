@@ -159,6 +159,13 @@ Status StorageEngine::Recover() {
     segment_index_ = segment;
     if (contents.value().truncated) {
       recovery_.wal_truncated = true;
+      if (contents.value().torn_txn_tail) {
+        recovery_.torn_txn_tail = true;
+        recovery_.warning = StrCat(
+            "WAL tail of segment ", segment, " held an unfinished ",
+            "transaction commit; its write set was discarded (the commit ",
+            "never completed)");
+      }
       for (uint32_t later = segment + 1;
            FileExists(WalPath(generation_, later)); ++later) {
         DODB_RETURN_IF_ERROR(
@@ -253,6 +260,17 @@ Status StorageEngine::ApplyRecord(const WalRecord& record) {
                    "'"));
       }
       db_->RemoveRelation(record.name);
+      return Status::Ok();
+    case WalRecordType::kTxnCommit:
+      // The group is atomic by framing: either the whole record decoded (we
+      // are here) or recovery truncated at its start. Apply the buffered
+      // ops in execution order — each sub-record reuses the cases above.
+      for (const WalRecord& op : record.group) {
+        DODB_RETURN_IF_ERROR(ApplyRecord(op));
+      }
+      ++recovery_.txn_commits_replayed;
+      recovery_.last_txn_generation =
+          std::max(recovery_.last_txn_generation, record.txn_generation);
       return Status::Ok();
   }
   return Status::Internal("WAL replay: unreachable record type");
@@ -375,6 +393,25 @@ Status StorageEngine::LogViewDrop(const std::string& name) {
   WalRecord record;
   record.type = WalRecordType::kDropView;
   record.name = name;
+  return LogRecord(record);
+}
+
+Status StorageEngine::LogTxnCommit(uint64_t txn_generation,
+                                   const std::vector<WalRecord>& ops) {
+  if (options_.mode == DurabilityMode::kOff) return Status::Ok();
+  if (closed_) {
+    return Status::Internal("storage engine used after Close()");
+  }
+  if (!failed_.ok()) return RejectReadOnly();
+  // Crash emulation right before the commit group becomes durable: the
+  // transaction validated but its effects must vanish on recovery.
+  if (!guard_->Checkpoint(GuardSite::kTxnWalCommit)) {
+    return Fail(guard_->status());
+  }
+  WalRecord record;
+  record.type = WalRecordType::kTxnCommit;
+  record.txn_generation = txn_generation;
+  record.group = ops;
   return LogRecord(record);
 }
 

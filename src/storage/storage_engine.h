@@ -81,6 +81,17 @@ struct RecoveryInfo {
   size_t records_replayed = 0;    // logical ops applied on top of the snapshot
   bool wal_truncated = false;     // a torn/corrupt WAL tail was chopped
   uint64_t recovery_ns = 0;       // wall time of the whole Open() recovery
+  /// Transaction commit groups replayed (each counts once in
+  /// records_replayed; its sub-operations are not counted separately).
+  uint64_t txn_commits_replayed = 0;
+  /// Highest transaction commit generation seen in the replayed log; the
+  /// TransactionManager resumes numbering above it.
+  uint64_t last_txn_generation = 0;
+  /// The chopped WAL tail was an unfinished transaction commit: its write
+  /// set vanished (correct — the commit never completed), and `warning`
+  /// carries the typed message instead of a silent truncation.
+  bool torn_txn_tail = false;
+  std::string warning;
 };
 
 /// Durable storage for one Database: a data directory holding the latest
@@ -145,6 +156,16 @@ class StorageEngine {
   Status LogViewCreate(const std::string& name, const std::string& text);
   /// Logs "drop view <name>". Call before ViewRegistry::Drop.
   Status LogViewDrop(const std::string& name);
+
+  /// Logs a whole transaction's write set as ONE atomic kTxnCommit record
+  /// group tagged with its commit generation. The group either replays in
+  /// full or (torn tail) not at all, so aborted and in-flight transactions
+  /// never reach the log and a crashed commit vanishes cleanly. Checkpoints
+  /// GuardSite::kTxnWalCommit before the append — a trip there emulates a
+  /// crash with the commit validated but not yet durable. Call before
+  /// applying the ops to the catalog.
+  Status LogTxnCommit(uint64_t txn_generation,
+                      const std::vector<WalRecord>& ops);
 
   /// Writes a new snapshot generation and retires the old WAL.
   Status Checkpoint();

@@ -28,15 +28,32 @@ std::vector<uint8_t> EncodeWalRecord(const WalRecord& record) {
       break;
     case WalRecordType::kDropView:
       break;
+    case WalRecordType::kTxnCommit: {
+      w.PutVarint(record.txn_generation);
+      w.PutVarint(record.group.size());
+      for (const WalRecord& op : record.group) {
+        DODB_CHECK_MSG(op.type != WalRecordType::kTxnCommit,
+                       "nested kTxnCommit record");
+        std::vector<uint8_t> sub = EncodeWalRecord(op);
+        w.PutVarint(sub.size());
+        w.PutBytes(sub.data(), sub.size());
+      }
+      break;
+    }
   }
   return w.Take();
 }
 
-Result<WalRecord> DecodeWalRecord(const uint8_t* data, size_t size) {
+namespace {
+
+// `allow_group` is true only for top-level records: a kTxnCommit nested
+// inside another kTxnCommit is rejected as corruption.
+Result<WalRecord> DecodeWalRecordImpl(const uint8_t* data, size_t size,
+                                      bool allow_group) {
   ByteReader reader(data, size);
   uint8_t type = 0;
   DODB_RETURN_IF_ERROR(reader.GetU8(&type));
-  if (type < 1 || type > 6) {
+  if (type < 1 || type > 7 || (type == 7 && !allow_group)) {
     return Status::InvalidArgument(
         StrCat("bad WAL record type ", static_cast<int>(type)));
   }
@@ -64,12 +81,42 @@ Result<WalRecord> DecodeWalRecord(const uint8_t* data, size_t size) {
       break;
     case WalRecordType::kDropView:
       break;
+    case WalRecordType::kTxnCommit: {
+      DODB_RETURN_IF_ERROR(reader.GetVarint(&record.txn_generation));
+      uint64_t count = 0;
+      DODB_RETURN_IF_ERROR(reader.GetVarint(&count));
+      if (count > size) {
+        return Status::InvalidArgument(
+            StrCat("implausible txn group size ", count));
+      }
+      record.group.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t sub_len = 0;
+        DODB_RETURN_IF_ERROR(reader.GetVarint(&sub_len));
+        if (sub_len > reader.remaining()) {
+          return Status::InvalidArgument(
+              StrCat("txn sub-record ", i, " overruns the group"));
+        }
+        Result<WalRecord> sub = DecodeWalRecordImpl(
+            data + reader.position(), sub_len, /*allow_group=*/false);
+        if (!sub.ok()) return sub.status();
+        DODB_RETURN_IF_ERROR(reader.Skip(sub_len));
+        record.group.push_back(std::move(sub).value());
+      }
+      break;
+    }
   }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument(
         StrCat("WAL record has ", reader.remaining(), " trailing bytes"));
   }
   return record;
+}
+
+}  // namespace
+
+Result<WalRecord> DecodeWalRecord(const uint8_t* data, size_t size) {
+  return DecodeWalRecordImpl(data, size, /*allow_group=*/true);
 }
 
 Status WalWriter::Create(const std::string& path, uint32_t generation,
@@ -183,6 +230,15 @@ Result<WalSegmentContents> ReadWalSegment(const std::string& path,
   }
   contents.valid_bytes = pos;
   contents.truncated = pos < buf.size();
+  // When the dropped tail still carries its first payload byte, classify it:
+  // a type tag of kTxnCommit means a transaction's commit record never made
+  // it to disk intact — the whole write set vanishes by the group's
+  // all-or-nothing framing, and recovery surfaces a typed warning instead of
+  // truncating silently.
+  if (contents.truncated && buf.size() - pos >= 9 &&
+      buf[pos + 8] == static_cast<uint8_t>(WalRecordType::kTxnCommit)) {
+    contents.torn_txn_tail = true;
+  }
   return contents;
 }
 

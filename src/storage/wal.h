@@ -49,6 +49,11 @@ enum class WalRecordType : uint8_t {
                         // the catalog (replay re-registers it stale; its
                         // tuples are recomputed, never logged)
   kDropView = 6,        // name
+  kTxnCommit = 7,       // commit generation + nested sub-records: one atomic
+                        // record group holding a whole transaction's write
+                        // set. The per-record framing CRC makes the group
+                        // all-or-nothing — a torn commit is truncated and
+                        // none of its operations replay.
 };
 
 /// One decoded logical operation.
@@ -58,6 +63,10 @@ struct WalRecord {
   int arity = 0;  // kCreateRelation only
   GeneralizedRelation relation{0};  // kSetRelation / kInsertTuples only
   std::string text;  // kCreateView only: the Datalog definition, verbatim
+  // kTxnCommit only: the commit generation and the transaction's buffered
+  // operations in execution order. Nesting another kTxnCommit is illegal.
+  uint64_t txn_generation = 0;
+  std::vector<WalRecord> group;
 };
 
 /// Record payload codecs (the framing CRC is WalWriter/ReadWalSegment's job).
@@ -107,6 +116,12 @@ struct WalSegmentContents {
   uint64_t valid_bytes = 0;
   /// Whether a torn/corrupt suffix was dropped to get there.
   bool truncated = false;
+  /// Whether the dropped suffix starts with a kTxnCommit frame — the tail
+  /// belonged to a transaction whose commit never finished. Recovery
+  /// surfaces this as a typed warning (the transaction's effects vanish by
+  /// design, but silently chopping a commit is worth telling the operator
+  /// about) and counts it in RecoveryInfo.
+  bool torn_txn_tail = false;
 };
 
 /// Reads the longest intact prefix of a segment. A torn or corrupt header
